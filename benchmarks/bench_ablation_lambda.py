@@ -1,0 +1,100 @@
+"""Ablation E6 — the λ knob and its decay (paper §2.4, §3.2).
+
+Sweeps λ at a fixed initialisation on LeNet: larger λ pushes in-vivo
+privacy higher but slows (or reverses) accuracy recovery; λ = 0 is the
+privacy-agnostic baseline.  Also verifies that decay-on-target stabilises
+privacy where a constant λ would keep inflating it.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core import ConstantLambda
+from repro.eval import build_pipeline, format_table, load_benchmark, write_csv
+
+LAMBDAS = (0.0, 1e-4, 1e-3, 1e-2, 5e-2)
+
+
+def test_lambda_sweep(benchmark, config, results_dir):
+    def run():
+        bundle, bench = load_benchmark("lenet", config)
+        rows = []
+        for lam in LAMBDAS:
+            pipeline = build_pipeline(
+                bundle, bench, config, lambda_coeff=lam, init_in_vivo=0.2,
+                target_in_vivo=10.0,  # unreachable: λ stays constant
+            )
+            result = pipeline.train_noise()
+            rows.append(
+                (
+                    lam,
+                    result.history.in_vivo_privacies[0],
+                    result.final_in_vivo_privacy,
+                    result.final_accuracy,
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["lambda", "in vivo (init)", "in vivo (final)", "accuracy"],
+            [[f"{r[0]:g}", f"{r[1]:.3f}", f"{r[2]:.3f}", f"{r[3]:.3f}"] for r in rows],
+            title="Ablation: lambda sweep on LeNet",
+        )
+    )
+    write_csv(
+        results_dir / "ablation_lambda.csv",
+        ["lambda", "initial_in_vivo", "final_in_vivo", "final_accuracy"],
+        rows,
+    )
+    by_lambda = {row[0]: row for row in rows}
+    # λ=0 loses privacy; large λ gains privacy (Figure 4's two regimes).
+    assert by_lambda[0.0][2] <= by_lambda[0.0][1] + 0.02
+    assert by_lambda[5e-2][2] > by_lambda[5e-2][1]
+    # Final privacy is (weakly) monotone in λ.
+    finals = [row[2] for row in rows]
+    assert finals[-1] > finals[0]
+
+
+def test_decay_stabilises_privacy(benchmark, config, results_dir):
+    def run():
+        bundle, bench = load_benchmark("lenet", config)
+        with_decay = build_pipeline(
+            bundle, bench, config, lambda_coeff=5e-2, init_in_vivo=0.2,
+            target_in_vivo=0.5,
+        ).train_noise()
+        no_decay_pipe = build_pipeline(
+            bundle, bench, config, lambda_coeff=5e-2, init_in_vivo=0.2,
+            target_in_vivo=0.5,
+        )
+        no_decay_pipe.trainer.schedule = ConstantLambda(5e-2)
+        without_decay = no_decay_pipe.train_noise()
+        return with_decay, without_decay
+
+    with_decay, without_decay = run_once(benchmark, run)
+    print()
+    print(
+        f"decay-on-target: final in vivo "
+        f"{with_decay.final_in_vivo_privacy:.3f}, accuracy "
+        f"{with_decay.final_accuracy:.3f}"
+    )
+    print(
+        f"constant lambda: final in vivo "
+        f"{without_decay.final_in_vivo_privacy:.3f}, accuracy "
+        f"{without_decay.final_accuracy:.3f}"
+    )
+    write_csv(
+        results_dir / "ablation_lambda_decay.csv",
+        ["schedule", "final_in_vivo", "final_accuracy"],
+        [
+            ["decay_on_target", with_decay.final_in_vivo_privacy, with_decay.final_accuracy],
+            ["constant", without_decay.final_in_vivo_privacy, without_decay.final_accuracy],
+        ],
+    )
+    # Without decay, privacy keeps inflating past the target (paper §3.2:
+    # "If it is not decayed, the privacy will keep increasing and the
+    # accuracy would increase more slowly").
+    assert without_decay.final_in_vivo_privacy > with_decay.final_in_vivo_privacy
+    assert with_decay.final_accuracy >= without_decay.final_accuracy - 0.02

@@ -1,0 +1,112 @@
+"""Ablation E8 — noise *sampling* vs a single fixed tensor (paper §2.5).
+
+Three deployment strategies at matched noise magnitude on LeNet:
+
+* **collection sampling** (Shredder's deployment): per-inference draws
+  from the trained collection — reduces MI while keeping accuracy;
+* **single fixed tensor**: a constant shift — keeps accuracy but reduces
+  *no* mutual information (I(x; a+c) = I(x; a));
+* **fresh Laplace** (accuracy-agnostic baseline of Figure 1): reduces MI
+  but costs far more accuracy because it was never trained;
+
+plus the two generalised deployment strategies beyond the paper:
+
+* **element-wise resampling**: per-element draws across members — enlarges
+  the effective support of the empirical distribution;
+* **fitted Laplace**: fresh tensors from a per-element parametric fit of
+  the collection (:class:`repro.core.FittedNoiseDistribution`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core import FittedNoiseDistribution
+from repro.eval import build_pipeline, format_table, load_benchmark, write_csv
+from repro.privacy import estimate_leakage
+
+
+def test_sampling_strategies(benchmark, config, results_dir):
+    def run():
+        bundle, bench = load_benchmark("lenet", config)
+        pipeline = build_pipeline(bundle, bench, config)
+        collection = pipeline.collect(bench.n_members)
+        rng = np.random.default_rng(config.child_seed("ablation-sampling"))
+        activations = pipeline.trainer.eval_activations
+        images = bundle.test_set.images
+        scale = config.scale
+
+        def leakage(noisy):
+            return estimate_leakage(
+                images,
+                noisy,
+                n_components=scale.mi_components,
+                max_samples=scale.mi_samples,
+                rng=np.random.default_rng(0),
+            ).mi_bits
+
+        clean_acc = pipeline.clean_accuracy()
+        original_mi = leakage(activations)
+
+        sampled = collection.sample_batch(rng, len(activations))
+        fixed = collection.samples[0].tensor[None]
+        member_std = float(np.std(np.stack([s.tensor for s in collection.samples])))
+        fresh = rng.laplace(0.0, member_std / np.sqrt(2), size=activations.shape).astype(
+            np.float32
+        )
+        elementwise = np.concatenate(
+            [collection.sample_elementwise(rng) for _ in range(len(activations))]
+        )
+        fitted = FittedNoiseDistribution.fit(collection).sample_batch(
+            rng, len(activations)
+        )
+
+        rows = []
+        for name, noise in (
+            ("collection_sampling", sampled),
+            ("elementwise_resampling", elementwise),
+            ("fitted_laplace", fitted),
+            ("single_fixed_tensor", fixed),
+            ("fresh_laplace", fresh),
+        ):
+            accuracy = pipeline.split.accuracy_from_activations(
+                activations, pipeline.trainer.eval_labels, noise
+            )
+            mi = leakage(activations + noise)
+            rows.append((name, accuracy, mi))
+        return clean_acc, original_mi, rows
+
+    clean_acc, original_mi, rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ["strategy", "accuracy", "MI (bits)"],
+            [[r[0], f"{r[1]:.3f}", f"{r[2]:.3f}"] for r in rows]
+            + [["no_noise", f"{clean_acc:.3f}", f"{original_mi:.3f}"]],
+            title="Ablation: deployment noise strategies (LeNet)",
+        )
+    )
+    write_csv(
+        results_dir / "ablation_sampling.csv",
+        ["strategy", "accuracy", "mi_bits"],
+        rows + [("no_noise", clean_acc, original_mi)],
+    )
+    by_name = {r[0]: r for r in rows}
+    # The fixed tensor keeps accuracy but cannot reduce MI below ~original.
+    assert by_name["single_fixed_tensor"][2] > 0.7 * original_mi
+    # Collection sampling reduces MI substantially below the fixed tensor.
+    assert by_name["collection_sampling"][2] < by_name["single_fixed_tensor"][2]
+    # And keeps accuracy close to clean (within 10 points at small scale).
+    assert by_name["collection_sampling"][1] > clean_acc - 0.10
+    # The generalised strategies also realise a noisy channel.
+    assert by_name["elementwise_resampling"][2] < by_name["single_fixed_tensor"][2]
+    assert by_name["fitted_laplace"][2] < by_name["single_fixed_tensor"][2]
+    # Fresh draws from the *fitted* distribution break the cross-element
+    # structure of individual trained members, so they sit well below
+    # member sampling — and can even rank below zero-centred fresh noise,
+    # since the fit combines a biased location with large independent
+    # per-element spread (a real finding: the collection's members are
+    # correlated tensors, not independent per-element draws).  The fit is
+    # still usable, far above chance.
+    assert by_name["fitted_laplace"][1] >= 0.45

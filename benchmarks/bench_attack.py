@@ -1,0 +1,63 @@
+"""Extension benchmark E10 — operational attacks against the channel.
+
+Linear-decoder reconstruction, nearest-neighbour inversion, and MLP label
+inference, under three conditions: the clean channel, Shredder's sampled
+noise, and magnitude-matched fresh Laplace (accuracy-agnostic baseline).
+
+Expected shape: Shredder collapses the reconstruction attacks like the
+matched baseline does, but retains far more task accuracy — the asymmetric
+trade-off of Figure 1 made operational.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.eval import run_attack_suite, write_csv
+
+
+def test_attack_suite_lenet(benchmark, config, results_dir):
+    def run():
+        return run_attack_suite("lenet", config, verbose=True)
+
+    result = run_once(benchmark, run)
+    print()
+    print(result.format())
+    write_csv(
+        results_dir / "attack_suite_lenet.csv",
+        [
+            "condition",
+            "task_accuracy",
+            "linear_advantage",
+            "nn_mse",
+            "label_attack_advantage",
+            "reid_top1",
+        ],
+        [
+            [
+                o.condition,
+                o.task_accuracy,
+                o.linear_advantage,
+                o.nn_mse,
+                o.label_attack_advantage,
+                o.reid_top1,
+            ]
+            for o in result.outcomes
+        ],
+    )
+    clean = result.by_condition("clean")
+    shredder = result.by_condition("shredder")
+    # Shredder blunts the reconstruction attack...
+    assert shredder.linear_advantage < clean.linear_advantage
+    # ...while keeping most of the task accuracy.
+    assert shredder.task_accuracy > clean.task_accuracy - 0.12
+    # The clean channel must actually be attackable for this to mean much.
+    assert clean.linear_advantage > 0.05
+    # Re-identification is the attack additive noise does NOT stop: with
+    # the exact candidate pool in hand, the noise (independent of the
+    # activation) is near-orthogonal to activation differences in high
+    # dimensions, so nearest-pool matching survives Shredder at these
+    # magnitudes.  This operationalises the paper's own caveat that MI
+    # "targets the average case privacy, but does not guarantee the amount
+    # of privacy that is offered to each individual user" (§3).
+    assert clean.reid_top1 == 1.0
+    assert shredder.reid_top1 > 0.8

@@ -1,0 +1,72 @@
+"""Extension benchmark E12 — device-grounded cutting-point costs.
+
+Figure 6 ranks cuts by the abstract Computation × Communication product;
+this extension grounds the same decision in device terms (energy and
+latency per inference) for three device classes, showing that the best
+cut shifts with the compute/radio balance of the hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.edge import PROFILES, cheapest_cut, energy_table
+from repro.eval import format_table, write_csv
+from repro.models import build_model, default_width
+
+
+def test_device_energy_tables(benchmark, config, results_dir):
+    def run():
+        model = build_model(
+            "svhn", np.random.default_rng(config.seed), default_width(config.scale)
+        )
+        tables = {
+            name: energy_table(model, profile) for name, profile in PROFILES.items()
+        }
+        best = {
+            name: cheapest_cut(model, profile, metric="energy").cut
+            for name, profile in PROFILES.items()
+        }
+        return tables, best
+
+    tables, best = run_once(benchmark, run)
+    rows = []
+    for device, estimates in tables.items():
+        for e in estimates:
+            rows.append(
+                [
+                    device,
+                    e.cut,
+                    e.compute_energy_mj,
+                    e.radio_energy_mj,
+                    e.total_energy_mj,
+                    e.total_latency_ms,
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["device", "cut", "compute mJ", "radio mJ", "total mJ", "latency ms"],
+            [[r[0], r[1]] + [f"{v:.4f}" for v in r[2:]] for r in rows],
+            title="Per-device cutting point costs (SVHN)",
+        )
+    )
+    print(f"cheapest cut per device: {best}")
+    write_csv(
+        results_dir / "energy_svhn.csv",
+        ["device", "cut", "compute_mj", "radio_mj", "total_mj", "latency_ms"],
+        rows,
+    )
+    # Radio-heavy devices push toward deep cuts with small outputs; SVHN's
+    # conv6 output is tiny, so the microcontroller must prefer a deep cut.
+    assert best["microcontroller"] in ("conv5", "conv6")
+    # Every device's compute energy grows monotonically with cut depth.
+    for estimates in tables.values():
+        compute = [e.compute_energy_mj for e in estimates]
+        assert compute == sorted(compute)
+    # The embedded GPU pays relatively less for compute than the MCU at
+    # the deepest cut.
+    mcu = tables["microcontroller"][-1]
+    gpu = tables["embedded_gpu"][-1]
+    assert gpu.compute_energy_mj < mcu.compute_energy_mj

@@ -1,0 +1,40 @@
+"""Benchmark E2 — regenerate **Figure 3** (accuracy-privacy trade-off).
+
+Per network, sweep the noise level and report (accuracy loss, information
+loss) operating points plus the Zero-Leakage line.  The paper's shape: a
+steep information-loss rise at small accuracy loss (stripping excess
+information), flattening once only task-relevant information remains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval import benchmark_names, run_tradeoff, write_csv
+
+LEVELS = (0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+@pytest.mark.parametrize("network", benchmark_names())
+def test_figure3_tradeoff(benchmark, config, results_dir, network):
+    def run():
+        return run_tradeoff(network, config, levels=LEVELS, verbose=True)
+
+    curve = run_once(benchmark, run)
+    print()
+    print(curve.format())
+    write_csv(
+        results_dir / f"figure3_{network}.csv",
+        ["target_in_vivo", "accuracy_loss_percent", "information_loss_bits", "zero_leakage_bits"],
+        [
+            [p.target_in_vivo, p.accuracy_loss_percent, p.information_loss_bits, curve.zero_leakage_bits]
+            for p in curve.points
+        ],
+    )
+    # Shape assertions mirroring the figure: more noise loses more
+    # information, and the loss approaches (but cannot exceed) zero leakage.
+    losses = [p.information_loss_bits for p in sorted(curve.points, key=lambda p: p.target_in_vivo)]
+    assert losses[-1] > losses[0]
+    assert max(losses) <= curve.zero_leakage_bits + 1e-6
+    assert curve.zero_leakage_bits > 0

@@ -1,0 +1,69 @@
+"""Benchmark E3 — regenerate **Figure 4** (training dynamics).
+
+Noise training on AlexNet cut at its last convolution, Shredder's loss vs
+regular cross entropy from the same initialisation.  Paper shape: Shredder's
+in-vivo privacy rises then stabilises (λ decay at the target); regular
+training loses privacy monotonically while regaining accuracy faster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval import run_training_curves, write_csv
+
+
+@pytest.mark.parametrize("network", ["alexnet", "lenet"])
+def test_figure4_training_dynamics(benchmark, config, results_dir, network):
+    def run():
+        return run_training_curves(network, config, verbose=True)
+
+    curves = run_once(benchmark, run)
+    shredder = curves.shredder.history
+    regular = curves.regular.history
+    print()
+    print(curves.format())
+    write_csv(
+        results_dir / f"figure4_{network}.csv",
+        ["iteration", "shredder_in_vivo", "regular_in_vivo"],
+        list(
+            zip(
+                shredder.iterations,
+                shredder.in_vivo_privacies,
+                regular.in_vivo_privacies,
+            )
+        ),
+    )
+    write_csv(
+        results_dir / f"figure4_{network}_accuracy.csv",
+        ["iteration", "shredder_accuracy", "regular_accuracy"],
+        list(
+            zip(
+                shredder.accuracy_iterations,
+                shredder.accuracies,
+                regular.accuracies,
+            )
+        ),
+    )
+    # Figure 4a: privacy rises under Shredder and separates clearly from
+    # privacy-agnostic training.
+    assert shredder.in_vivo_privacies[-1] > shredder.in_vivo_privacies[0]
+    assert shredder.in_vivo_privacies[-1] > 1.2 * regular.in_vivo_privacies[-1]
+    if network == "lenet":
+        # On LeNet the paper's strict shape holds: CE-only training
+        # shrinks whatever noise hurts accuracy, so privacy decays.
+        assert regular.in_vivo_privacies[-1] < regular.in_vivo_privacies[0]
+    else:
+        # On the synthetic AlexNet substrate the CE-optimal additive bias
+        # at the cut is not ~0 (the backbone is good but not saturated), so
+        # even λ = 0 training can grow noise variance while accuracy
+        # recovers; the paper's *separation* between the curves is the
+        # invariant we hold it to (see EXPERIMENTS.md, Figure 4 notes).
+        assert (
+            regular.in_vivo_privacies[-1] - regular.in_vivo_privacies[0]
+            < shredder.in_vivo_privacies[-1] - shredder.in_vivo_privacies[0]
+        )
+    # Figure 4b: both recover accuracy; regular at least as fast.
+    assert shredder.accuracies[-1] > shredder.accuracies[0]
+    assert regular.accuracies[-1] >= shredder.accuracies[-1] - 0.05

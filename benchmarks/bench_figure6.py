@@ -1,0 +1,48 @@
+"""Benchmark E5 — regenerate **Figure 6** (cost vs privacy per cut).
+
+Per candidate cutting point: cumulative edge kMACs × communicated MB (the
+§3.4 cost model) against measured ex-vivo privacy, plus the planner's
+recommendation.  Paper conclusions to reproduce: SVHN picks conv6 (small
+bottleneck output dominates every other cut), LeNet picks conv2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval import run_cutpoints, write_csv
+
+EXPECTED_CHOICE = {"svhn": "conv6", "lenet": "conv2"}
+
+
+@pytest.mark.parametrize("network", ["svhn", "lenet"])
+def test_figure6_cutting_points(benchmark, config, results_dir, network):
+    def run():
+        return run_cutpoints(network, config, verbose=True)
+
+    analysis = run_once(benchmark, run)
+    print()
+    print(analysis.format())
+    write_csv(
+        results_dir / f"figure6_{network}.csv",
+        ["cut", "kilomacs", "megabytes", "cost_product", "ex_vivo_privacy", "recommended"],
+        [
+            [
+                c.cut,
+                c.cost.kilomacs,
+                c.cost.megabytes,
+                c.cost.product,
+                c.ex_vivo_privacy,
+                int(c.cut == analysis.recommended.cut),
+            ]
+            for c in analysis.candidates
+        ],
+    )
+    # The planner must reproduce the paper's chosen cutting point.
+    assert analysis.recommended.cut == EXPECTED_CHOICE[network]
+    # Ex-vivo privacy is (weakly) higher at the deepest cut than the
+    # shallowest — the "deeper is better" rule of §3.4.
+    by_cut = {c.cut: c.ex_vivo_privacy for c in analysis.candidates}
+    cuts = sorted(by_cut, key=lambda name: int(name.replace("conv", "")))
+    assert by_cut[cuts[-1]] > by_cut[cuts[0]]

@@ -1,0 +1,60 @@
+"""Extension benchmark E11 — the §2.4 training scenarios on LeNet.
+
+The paper narrates three qualitatively different noise-training regimes
+(hold / overshoot / rise) as prose; this benchmark materialises all three
+from the same backbone and asserts their trajectory shapes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.eval import run_scenarios, write_csv
+
+
+def test_training_scenarios(benchmark, config, results_dir):
+    def run():
+        return run_scenarios("lenet", config, verbose=True)
+
+    suite = run_once(benchmark, run)
+    print()
+    print(suite.format())
+    write_csv(
+        results_dir / "scenarios_lenet.csv",
+        [
+            "scenario",
+            "initial_privacy",
+            "final_privacy",
+            "privacy_drift",
+            "final_accuracy",
+            "accuracy_gain",
+        ],
+        [
+            [
+                o.scenario,
+                o.initial_privacy,
+                o.final_privacy,
+                o.privacy_drift,
+                o.final_accuracy,
+                o.accuracy_gain,
+            ]
+            for o in suite.outcomes
+        ],
+    )
+    hold = suite.by_name("hold")
+    overshoot = suite.by_name("overshoot")
+    rise = suite.by_name("rise")
+    # Scenario 1: privacy held near the target (modest drift either way).
+    assert abs(hold.privacy_drift) < 0.6 * suite.target_in_vivo
+    # Scenario 2: starts far above target, drifts down, stays private.
+    assert overshoot.initial_privacy > 2.0 * suite.target_in_vivo
+    assert overshoot.privacy_drift < 0
+    assert overshoot.final_privacy > 0.5 * suite.target_in_vivo
+    # Scenario 3: starts below target and climbs (the Figure 4 dynamic).
+    assert rise.initial_privacy < 0.5 * suite.target_in_vivo
+    assert rise.privacy_drift > 0
+    # Hold and rise end near clean accuracy; overshoot pays for its much
+    # higher privacy level with a slower recovery (paper: "train until
+    # accuracy is regained" — the budget here is fixed, not to-convergence).
+    assert hold.final_accuracy > 0.85
+    assert rise.final_accuracy > 0.85
+    assert overshoot.final_accuracy > 0.70

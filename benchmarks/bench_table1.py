@@ -1,0 +1,99 @@
+"""Benchmark E1 — regenerate **Table 1**.
+
+For each network: original vs shredded mutual information, MI loss %,
+accuracy loss %, learnable-parameter ratio, and noise-training epochs,
+plus the GMean row.  Paper reference: 70.2% mean MI loss at 1.46% mean
+accuracy loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.eval import (
+    PAPER_GMEAN_ACCURACY_LOSS,
+    PAPER_GMEAN_MI_LOSS,
+    benchmark_names,
+    get_benchmark,
+    run_table1,
+    write_csv,
+)
+
+
+@pytest.mark.parametrize("network", benchmark_names())
+def test_table1_row(benchmark, config, results_dir, network):
+    """One Table 1 column: train the noise collection and measure MI/accuracy."""
+
+    def run():
+        return run_table1(config, benchmarks=[network], verbose=True)
+
+    result = run_once(benchmark, run)
+    row = result.rows[0]
+    paper = get_benchmark(network).paper
+    print()
+    print(result.format())
+    print(
+        f"paper reference ({network}): MI loss {paper.mi_loss_percent:.2f}% "
+        f"(measured {row.report.mi_loss_percent:.2f}%), accuracy loss "
+        f"{paper.accuracy_loss_percent:.2f}% "
+        f"(measured {row.report.accuracy_loss_percent:.2f}%)"
+    )
+    write_csv(
+        results_dir / f"table1_{network}.csv",
+        [
+            "benchmark",
+            "original_mi_bits",
+            "shredded_mi_bits",
+            "mi_loss_percent",
+            "accuracy_loss_percent",
+            "params_ratio_percent",
+            "epochs",
+            "paper_mi_loss_percent",
+            "paper_accuracy_loss_percent",
+        ],
+        [
+            [
+                network,
+                row.report.original_mi_bits,
+                row.report.shredded_mi_bits,
+                row.report.mi_loss_percent,
+                row.report.accuracy_loss_percent,
+                row.report.params_ratio_percent,
+                row.report.epochs,
+                paper.mi_loss_percent,
+                paper.accuracy_loss_percent,
+            ]
+        ],
+    )
+    # Shape assertions: noise must strip a substantial share of the MI while
+    # accuracy stays within a usable band (paper: 70.2% / 1.46%).
+    assert row.report.mi_loss_percent > 25.0
+    assert row.report.accuracy_loss_percent < 15.0
+
+
+def test_table1_gmean(benchmark, config, results_dir):
+    """The full four-network table with its GMean summary row."""
+
+    def run():
+        return run_table1(config, verbose=True)
+
+    result = run_once(benchmark, run)
+    print()
+    print(result.format())
+    print(
+        f"paper GMean: MI loss {PAPER_GMEAN_MI_LOSS}% at "
+        f"{PAPER_GMEAN_ACCURACY_LOSS}% accuracy loss; measured "
+        f"{result.gmean_mi_loss():.2f}% at {result.mean_accuracy_loss():.2f}%"
+    )
+    write_csv(
+        results_dir / "table1_full.csv",
+        ["benchmark", "mi_loss_percent", "accuracy_loss_percent"],
+        [
+            [row.benchmark, row.report.mi_loss_percent, row.report.accuracy_loss_percent]
+            for row in result.rows
+        ]
+        + [["gmean", result.gmean_mi_loss(), result.mean_accuracy_loss()]],
+    )
+    assert result.gmean_mi_loss() > 25.0
+    assert result.mean_accuracy_loss() < 15.0

@@ -1,0 +1,36 @@
+"""Benchmark fixtures.
+
+Benchmarks default to the ``small`` experiment scale (override with
+``REPRO_SCALE``) and share the persistent ``.repro_cache`` zoo cache, so
+backbone pre-training is a one-time cost across benchmark invocations.
+Result tables are also written under ``results/`` (override with
+``REPRO_RESULTS_DIR``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def config():
+    from repro.config import Config, get_scale
+
+    return Config(scale=get_scale())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment benchmark exactly once (no calibration)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Attack evaluation — what concrete adversaries recover from the wire.
+
+Runs the extension attack suite on LeNet's first conv cut: a linear
+reconstruction decoder, a nearest-neighbour inverter, and an MLP label
+attacker, each against (a) the clean channel, (b) Shredder's sampled
+noise, (c) magnitude-matched fresh Laplace noise.  The asymmetric
+trade-off of the paper's Figure 1 becomes operational: Shredder hurts the
+attackers about as much as blind noise does, while giving up far less
+task accuracy.
+
+Run:
+    python examples/attack_evaluation.py [network] [tiny|small|paper]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.config import Config, get_scale
+from repro.eval import run_attack_suite
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "lenet"
+    scale = get_scale(sys.argv[2] if len(sys.argv) > 2 else "tiny")
+    config = Config(scale=scale)
+    print(f"running the attack suite on {network} (scale={scale.name}) ...")
+    result = run_attack_suite(network, config, verbose=True)
+    print()
+    print(result.format())
+
+    clean = result.by_condition("clean")
+    shredder = result.by_condition("shredder")
+    matched = result.by_condition("matched_laplace")
+    print()
+    print(
+        f"task accuracy kept by Shredder:      "
+        f"{shredder.task_accuracy:.1%} (clean {clean.task_accuracy:.1%}, "
+        f"blind noise {matched.task_accuracy:.1%})"
+    )
+    print(
+        f"label-attack advantage:              "
+        f"{clean.label_attack_advantage:.3f} -> {shredder.label_attack_advantage:.3f}"
+    )
+    print(
+        f"linear reconstruction advantage:     "
+        f"{clean.linear_advantage:.3f} -> {shredder.linear_advantage:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Cutting-point selection — regenerates a Figure 6 panel.
+
+For each candidate conv cut of a network, combines the analytic
+computation x communication cost model with measured ex-vivo privacy, and
+asks the planner which cut an edge deployment should choose.  Reproduces
+the paper's conclusions: conv6 for SVHN, conv2 for LeNet.
+
+Run:
+    python examples/cutting_point_selection.py [network] [tiny|small|paper]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.config import Config, get_scale
+from repro.eval import cost_table, run_cutpoints
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "svhn"
+    scale = get_scale(sys.argv[2] if len(sys.argv) > 2 else "tiny")
+    config = Config(scale=scale)
+
+    print(f"analytic cost model for {network}:")
+    for cost in cost_table(network, config):
+        print(
+            f"  {cost.cut}: {cost.kilomacs:10.1f} kMAC, "
+            f"{cost.megabytes:.5f} MB -> product {cost.product:.4f}"
+        )
+
+    print("\nmeasuring ex-vivo privacy per cut (matched in-vivo noise) ...")
+    analysis = run_cutpoints(network, config, trained=False)
+    print()
+    print(analysis.format())
+    choice = analysis.recommended
+    print(
+        f"\nplanner choice: {choice.cut} "
+        f"(privacy {choice.ex_vivo_privacy:.4g} at cost "
+        f"{choice.cost.product:.4f} kMAC*MB)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Noise distribution sampling — the §2.5 deployment story.
+
+Demonstrates why Shredder collects a *distribution* of noise tensors
+rather than deploying one: a single fixed tensor is a constant shift that
+removes zero mutual information, while per-inference draws from the
+collection realise a genuinely noisy channel.  Also shows persistence
+(save/load) of the collection, which is what an edge device would ship.
+
+Run:
+    python examples/noise_distribution_sampling.py [tiny|small|paper]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import Config, get_scale
+from repro.core import NoiseCollection
+from repro.eval import build_pipeline, get_benchmark
+from repro.models import get_pretrained
+from repro.privacy import estimate_leakage
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else "tiny")
+    config = Config(scale=scale)
+    bundle = get_pretrained("lenet", config)
+    benchmark = get_benchmark("lenet")
+    pipeline = build_pipeline(bundle, benchmark, config)
+
+    print(f"collecting {benchmark.n_members} trained noise tensors (§2.5) ...")
+    collection = pipeline.collect(benchmark.n_members)
+    for i, sample in enumerate(collection.samples):
+        print(
+            f"  member {i}: accuracy {sample.accuracy:.1%}, "
+            f"in-vivo privacy {sample.in_vivo_privacy:.3f}"
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = collection.save(Path(tmp) / "lenet_noise.npz")
+        print(f"saved -> {path.name} ({path.stat().st_size} bytes)")
+        collection = NoiseCollection.load(path)
+        print(f"loaded {len(collection)} members back")
+
+    rng = np.random.default_rng(config.seed)
+    activations = pipeline.trainer.eval_activations
+    images = bundle.test_set.images
+
+    def mi(noisy):
+        return estimate_leakage(
+            images, noisy, n_components=scale.mi_components,
+            max_samples=scale.mi_samples, rng=np.random.default_rng(0),
+        ).mi_bits
+
+    original = mi(activations)
+    fixed = mi(activations + collection.samples[0].tensor[None])
+    sampled = mi(activations + collection.sample_batch(rng, len(activations)))
+    elementwise = mi(
+        activations
+        + np.concatenate(
+            [collection.sample_elementwise(rng) for _ in range(len(activations))]
+        )
+    )
+
+    print()
+    print(f"MI(x; a)  no noise:              {original:.3f} bits")
+    print(f"MI(x; a') single fixed tensor:   {fixed:.3f} bits   <- constant shift, no privacy")
+    print(f"MI(x; a') per-inference samples: {sampled:.3f} bits   <- Shredder deployment")
+    print(f"MI(x; a') element-wise samples:  {elementwise:.3f} bits   <- extension")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Deployment-grade noise sampling + wire quantisation.
+
+Goes one step past the paper's deployment story (§2.5):
+
+1. train a LeNet noise collection as usual;
+2. *fit* a per-element Laplace distribution to the members
+   (:class:`~repro.core.FittedNoiseDistribution`) so deployment can draw
+   fresh tensors instead of replaying stored members;
+3. quantise the noisy activation to 8 bits before transmission
+   (:mod:`repro.edge.quantization`), cutting communication 4x;
+4. report accuracy, leakage, and bytes per inference for each step so you
+   can see that neither generalised sampling nor 8-bit transmission breaks
+   the accuracy/privacy operating point.
+
+Run:
+    python examples/quantized_deployment.py [tiny|small|paper]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.config import Config, get_scale
+from repro.core import FittedNoiseDistribution
+from repro.edge import calibrate, dequantize, quantize, wire_bytes
+from repro.eval import build_pipeline, get_benchmark
+from repro.models import get_pretrained
+from repro.privacy import estimate_leakage
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else "tiny")
+    config = Config(scale=scale)
+    bundle = get_pretrained("lenet", config)
+    benchmark = get_benchmark("lenet")
+
+    print("training the noise collection ...")
+    pipeline = build_pipeline(bundle, benchmark, config)
+    collection = pipeline.collect(benchmark.n_members)
+    fitted = FittedNoiseDistribution.fit(collection)
+    summary = fitted.summary()
+    print(
+        f"fitted {summary.family} distribution over {summary.n_members} "
+        f"members: mean |location| {summary.mean_abs_location:.3f}, "
+        f"mean scale {summary.mean_scale:.3f}"
+    )
+
+    activations = pipeline.trainer.eval_activations
+    labels = pipeline.trainer.eval_labels
+    images = bundle.test_set.images
+    rng = np.random.default_rng(config.child_seed("deployment"))
+
+    def leakage(batch: np.ndarray) -> float:
+        return estimate_leakage(
+            images,
+            batch,
+            n_components=scale.mi_components,
+            max_samples=scale.mi_samples,
+            rng=np.random.default_rng(0),
+        ).mi_bits
+
+    def accuracy(batch: np.ndarray) -> float:
+        return pipeline.split.accuracy_from_activations(batch, labels)
+
+    per_sample = activations.shape[1:]
+    float_bytes = int(np.prod(per_sample)) * 4
+
+    noisy_member = activations + collection.sample_batch(rng, len(activations))
+    noisy_fitted = activations + fitted.sample_batch(rng, len(activations))
+    params = calibrate(noisy_fitted, bits=8, percentile=99.9)
+    noisy_wire = dequantize(quantize(noisy_fitted, params), params)
+
+    print()
+    print(f"{'configuration':<34} {'accuracy':>9} {'MI (bits)':>10} {'bytes':>7}")
+    for name, batch, size in (
+        ("no noise (float32)", activations, float_bytes),
+        ("member sampling (float32)", noisy_member, float_bytes),
+        ("fitted sampling (float32)", noisy_fitted, float_bytes),
+        ("fitted sampling + int8 wire", noisy_wire, wire_bytes(per_sample, params)),
+    ):
+        print(f"{name:<34} {accuracy(batch):>9.3f} {leakage(batch):>10.3f} {size:>7}")
+
+    print()
+    print(
+        "The int8 row should match the float32 fitted row in accuracy and "
+        "leakage while shipping a quarter of the bytes.  Note the fitted\n"
+        "rows may trade accuracy against member sampling: trained members "
+        "are correlated tensors, and independent per-element draws leave\n"
+        "that correlation structure behind — the price of generalising "
+        "beyond the stored collection."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart — Shredder in ~20 lines.
+
+Pre-trains (or loads) the LeNet backbone on the synthetic MNIST surrogate,
+learns a noise-tensor collection at the last conv cut, and prints the
+Table-1-style summary: mutual-information loss vs accuracy loss.
+
+Run:
+    python examples/quickstart.py [tiny|small|paper]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.config import Config, get_scale
+from repro.core import ShredderPipeline
+from repro.eval import build_pipeline, get_benchmark
+from repro.models import get_pretrained
+
+
+def main() -> None:
+    scale = get_scale(sys.argv[1] if len(sys.argv) > 1 else "tiny")
+    config = Config(scale=scale)
+    print(f"scale={scale.name}: pre-training / loading the LeNet backbone ...")
+    bundle = get_pretrained("lenet", config, verbose=True)
+    print(f"frozen backbone accuracy: {bundle.test_accuracy:.1%}")
+
+    benchmark = get_benchmark("lenet")
+    pipeline: ShredderPipeline = build_pipeline(bundle, benchmark, config)
+    print(
+        f"training a {benchmark.n_members}-member noise collection at cut "
+        f"{pipeline.split.cut!r} (lambda={benchmark.lambda_coeff:g}) ..."
+    )
+    report = pipeline.run(n_members=benchmark.n_members)
+
+    print()
+    print(f"clean accuracy:          {report.clean_accuracy:.1%}")
+    print(f"noisy accuracy:          {report.noisy_accuracy:.1%}")
+    print(f"accuracy loss:           {report.accuracy_loss_percent:.2f}%")
+    print(f"original MI:             {report.original_mi_bits:.3f} bits")
+    print(f"shredded MI:             {report.shredded_mi_bits:.3f} bits")
+    print(f"mutual information loss: {report.mi_loss_percent:.1f}%")
+    print(f"noise params / model:    {report.params_ratio_percent:.2f}%")
+    print(f"noise training epochs:   {report.epochs:.2f}")
+    print()
+    print(
+        "paper reference (LeNet, real MNIST): 93.74% MI loss at 1.34% "
+        "accuracy loss"
+    )
+
+
+if __name__ == "__main__":
+    main()

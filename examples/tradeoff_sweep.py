@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Accuracy-privacy trade-off sweep — regenerates a Figure 3 panel.
+
+Sweeps the noise level (target in-vivo privacy) on one network and prints
+the (accuracy loss, information loss) operating points together with the
+Zero-Leakage line, exposing the asymmetric trade-off the paper's λ knob
+controls.
+
+Run:
+    python examples/tradeoff_sweep.py [network] [tiny|small|paper]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.config import Config, get_scale
+from repro.eval import run_tradeoff
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "lenet"
+    scale = get_scale(sys.argv[2] if len(sys.argv) > 2 else "tiny")
+    config = Config(scale=scale)
+    curve = run_tradeoff(
+        network,
+        config,
+        levels=(0.1, 0.25, 0.5, 1.0, 2.0),
+        verbose=True,
+    )
+    print()
+    print(curve.format())
+    steepest = max(
+        curve.points,
+        key=lambda p: p.information_loss_bits / max(p.accuracy_loss_percent, 0.1),
+    )
+    print(
+        f"\nbest information-per-accuracy point: noise level "
+        f"{steepest.target_in_vivo:g} "
+        f"({steepest.information_loss_bits:.3f} bits lost for "
+        f"{steepest.accuracy_loss_percent:.2f}% accuracy)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so environments without the ``wheel`` package can still do
+an editable install via ``python setup.py develop`` (PEP 660 editable
+installs require ``wheel``, which offline environments may lack)."""
+
+from setuptools import setup
+
+setup()

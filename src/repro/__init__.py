@@ -1,0 +1,46 @@
+"""Shredder reproduction — learning noise distributions to protect
+inference privacy (Mireshghallah et al., ASPLOS 2020).
+
+Packages:
+
+* :mod:`repro.nn` — from-scratch autograd / layers / optimisers on numpy.
+* :mod:`repro.datasets` — procedural surrogates for MNIST/CIFAR/SVHN/ImageNet.
+* :mod:`repro.models` — LeNet / CifarNet / SvhnNet / AlexNet, splittable at
+  any conv cut, with a pretrained cache.
+* :mod:`repro.privacy` — kNN mutual-information estimators (ITE substitute),
+  confidence intervals, and analytic SNR↔MI leakage brackets.
+* :mod:`repro.core` — the Shredder noise-learning framework itself.
+* :mod:`repro.edge` — cost / energy models, wire quantisation, and the
+  simulated edge/cloud deployment.
+* :mod:`repro.attacks` — operational adversaries (reconstruction, label
+  inference, re-identification) against the communicated tensors.
+* :mod:`repro.eval` — the harness regenerating Table 1 and Figures 3-6.
+
+Quickstart::
+
+    from repro.config import Config, get_scale
+    from repro.models import get_pretrained
+    from repro.core import ShredderPipeline
+
+    config = Config(scale=get_scale("tiny"))
+    bundle = get_pretrained("lenet", config)
+    pipeline = ShredderPipeline(bundle, lambda_coeff=1e-2, config=config)
+    report = pipeline.run()
+    print(report.mi_loss_percent, report.accuracy_loss_percent)
+"""
+
+from repro.config import Config, ExperimentScale, get_scale
+from repro.core import ShredderPipeline, ShredderReport
+from repro.models import get_pretrained
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Config",
+    "ExperimentScale",
+    "ShredderPipeline",
+    "ShredderReport",
+    "get_pretrained",
+    "get_scale",
+    "__version__",
+]

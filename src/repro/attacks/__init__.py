@@ -1,0 +1,42 @@
+"""``repro.attacks`` — operational privacy validation.
+
+The paper argues privacy via mutual information; this package attacks the
+communicated tensors directly: nearest-neighbour and linear-decoder
+reconstruction (:mod:`repro.attacks.reconstruction`) and an MLP
+property-inference adversary (:mod:`repro.attacks.inference`).  Shredder's
+noise sampling should collapse their advantage while leaving the cloud
+task's accuracy intact.
+"""
+
+from repro.attacks.inference import ActivationClassifierAttack, run_inference_attack
+from repro.attacks.metrics import (
+    InferenceAttackReport,
+    ReconstructionReport,
+    mean_squared_error,
+    peak_signal_to_noise_ratio,
+)
+from repro.attacks.reidentification import (
+    ReidentificationAttack,
+    ReidentificationReport,
+    run_reidentification,
+)
+from repro.attacks.reconstruction import (
+    LinearInverter,
+    NearestNeighbourInverter,
+    evaluate_reconstruction,
+)
+
+__all__ = [
+    "ActivationClassifierAttack",
+    "InferenceAttackReport",
+    "LinearInverter",
+    "NearestNeighbourInverter",
+    "ReconstructionReport",
+    "ReidentificationAttack",
+    "ReidentificationReport",
+    "run_reidentification",
+    "evaluate_reconstruction",
+    "mean_squared_error",
+    "peak_signal_to_noise_ratio",
+    "run_inference_attack",
+]

@@ -1,0 +1,81 @@
+"""Attack-quality metrics.
+
+The paper quantifies privacy information-theoretically (1/MI, an
+average-case measure).  The :mod:`repro.attacks` package complements that
+with *operational* measures: how well concrete adversaries do against the
+communicated tensors.  These helpers score reconstruction attacks
+(MSE / PSNR against the true inputs) and inference attacks (accuracy,
+advantage over chance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EstimatorError
+
+
+def mean_squared_error(truth: np.ndarray, estimate: np.ndarray) -> float:
+    """Per-element MSE between two equally shaped batches."""
+    truth = np.asarray(truth, dtype=np.float64)
+    estimate = np.asarray(estimate, dtype=np.float64)
+    if truth.shape != estimate.shape:
+        raise EstimatorError(
+            f"shape mismatch: {truth.shape} vs {estimate.shape}"
+        )
+    return float(np.mean((truth - estimate) ** 2))
+
+
+def peak_signal_to_noise_ratio(
+    truth: np.ndarray, estimate: np.ndarray, data_range: float = 1.0
+) -> float:
+    """PSNR in dB (higher = better reconstruction = worse privacy)."""
+    mse = mean_squared_error(truth, estimate)
+    if mse == 0:
+        return float("inf")
+    return 10.0 * math.log10(data_range * data_range / mse)
+
+
+@dataclass(frozen=True)
+class ReconstructionReport:
+    """Outcome of a reconstruction attack.
+
+    Attributes:
+        mse: Mean squared error of the reconstructions.
+        psnr_db: Peak signal-to-noise ratio (dB).
+        baseline_mse: MSE of predicting the training-set mean image —
+            the "knows nothing" floor an attack must beat.
+        advantage: ``1 − mse / baseline_mse``; 0 means the attack learned
+            nothing, 1 means perfect reconstruction.
+    """
+
+    mse: float
+    psnr_db: float
+    baseline_mse: float
+
+    @property
+    def advantage(self) -> float:
+        if self.baseline_mse <= 0:
+            return 0.0
+        return 1.0 - self.mse / self.baseline_mse
+
+
+@dataclass(frozen=True)
+class InferenceAttackReport:
+    """Outcome of a property-inference attack.
+
+    Attributes:
+        accuracy: Attacker's held-out accuracy on the private property.
+        chance: Accuracy of always predicting the majority class.
+        advantage: ``accuracy − chance`` (0 = the channel taught nothing).
+    """
+
+    accuracy: float
+    chance: float
+
+    @property
+    def advantage(self) -> float:
+        return self.accuracy - self.chance

@@ -1,0 +1,297 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the eval harness so every paper artefact can be regenerated without
+writing code:
+
+.. code-block:: bash
+
+    python -m repro table1 --scale small
+    python -m repro figure3 --network lenet
+    python -m repro figure4 --network alexnet
+    python -m repro figure5 --network svhn
+    python -m repro figure6 --network svhn
+    python -m repro attacks --network lenet
+    python -m repro summary --network alexnet
+    python -m repro costs  --network svhn
+    python -m repro collect --network lenet --out noise.npz
+    python -m repro bounds --signal-power 4.0
+    python -m repro report --out results/REPORT.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.config import Config, get_scale
+
+
+def _make_config(args: argparse.Namespace) -> Config:
+    config = Config(scale=get_scale(args.scale))
+    if args.seed is not None:
+        config = Config(seed=args.seed, scale=config.scale)
+    return config
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.eval import run_table1
+
+    networks = args.networks or None
+    result = run_table1(_make_config(args), benchmarks=networks, verbose=True)
+    print()
+    print(result.format())
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from repro.eval import run_tradeoff
+
+    curve = run_tradeoff(args.network, _make_config(args), verbose=True)
+    print()
+    print(curve.format())
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from repro.eval import run_training_curves
+
+    curves = run_training_curves(args.network, _make_config(args), verbose=True)
+    print()
+    print(curves.format())
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    from repro.eval import run_layerwise
+
+    result = run_layerwise(
+        args.network, _make_config(args), trained=args.trained, verbose=True
+    )
+    print()
+    print(result.format())
+    return 0
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    from repro.eval import run_cutpoints
+
+    analysis = run_cutpoints(
+        args.network, _make_config(args), trained=args.trained, verbose=True
+    )
+    print()
+    print(analysis.format())
+    return 0
+
+
+def _cmd_attacks(args: argparse.Namespace) -> int:
+    from repro.eval import run_attack_suite
+
+    result = run_attack_suite(args.network, _make_config(args), verbose=True)
+    print()
+    print(result.format())
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.models import build_model, default_width
+    from repro.utils import model_summary
+
+    config = _make_config(args)
+    model = build_model(
+        args.network, np.random.default_rng(config.seed), default_width(config.scale)
+    )
+    print(model_summary(model))
+    return 0
+
+
+def _cmd_costs(args: argparse.Namespace) -> int:
+    from repro.eval import cost_table
+
+    print(f"cost model for {args.network} (cumulative kMAC, communicated MB):")
+    for cost in cost_table(args.network, _make_config(args)):
+        print(
+            f"  {cost.cut}: {cost.kilomacs:12.1f} kMAC  {cost.megabytes:10.5f} MB"
+            f"  product {cost.product:.5f}"
+        )
+    if args.device:
+        import numpy as np
+
+        from repro.edge import PROFILES, energy_table
+        from repro.models import build_model, default_width
+
+        config = _make_config(args)
+        model = build_model(
+            args.network, np.random.default_rng(config.seed), default_width(config.scale)
+        )
+        profile = PROFILES[args.device]
+        print(f"\nper-inference edge cost on {profile.name}:")
+        for e in energy_table(model, profile):
+            print(
+                f"  {e.cut}: {e.total_energy_mj:10.4f} mJ "
+                f"(compute {e.compute_energy_mj:.4f} + radio {e.radio_energy_mj:.4f}), "
+                f"latency {e.total_latency_ms:8.2f} ms"
+            )
+    return 0
+
+
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from repro.core import FittedNoiseDistribution
+    from repro.eval import build_pipeline, get_benchmark, load_benchmark
+
+    config = _make_config(args)
+    bundle, benchmark = load_benchmark(args.network, config, verbose=True)
+    pipeline = build_pipeline(bundle, benchmark, config)
+    members = args.members or benchmark.n_members
+    print(f"training {members} noise tensors for {args.network} ...")
+    collection = pipeline.collect(members)
+    path = collection.save(args.out)
+    print(
+        f"saved {len(collection)} members to {path} "
+        f"(mean accuracy {collection.mean_accuracy():.1%}, "
+        f"mean in-vivo privacy {collection.mean_in_vivo_privacy():.3f})"
+    )
+    if args.fit:
+        fitted = FittedNoiseDistribution.fit(collection, family=args.fit)
+        fit_path = fitted.save(str(path).replace(".npz", f".{args.fit}.npz"))
+        summary = fitted.summary()
+        print(
+            f"fitted {summary.family} distribution saved to {fit_path} "
+            f"(mean scale {summary.mean_scale:.3f})"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval import render_report, write_report
+
+    if args.out:
+        path = write_report(args.results_dir, args.out)
+        print(f"wrote report to {path}")
+    else:
+        print(render_report(args.results_dir))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    from repro.privacy import laplace_channel_bracket
+
+    print(
+        f"analytic leakage bracket per dimension "
+        f"(signal power {args.signal_power:g}, Laplace noise):"
+    )
+    print(f"{'scale b':>10} {'SNR':>10} {'1/SNR':>10} {'MI lower':>10} {'MI upper':>10}")
+    for scale in args.scales:
+        bracket = laplace_channel_bracket(args.signal_power, scale)
+        print(
+            f"{scale:>10.3f} {bracket.snr:>10.3f} {1.0 / bracket.snr:>10.3f} "
+            f"{bracket.lower_bits:>10.3f} {bracket.upper_bits:>10.3f}"
+        )
+    return 0
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
+    "table1": _cmd_table1,
+    "figure3": _cmd_figure3,
+    "figure4": _cmd_figure4,
+    "figure5": _cmd_figure5,
+    "figure6": _cmd_figure6,
+    "attacks": _cmd_attacks,
+    "summary": _cmd_summary,
+    "costs": _cmd_costs,
+    "collect": _cmd_collect,
+    "bounds": _cmd_bounds,
+    "report": _cmd_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the Shredder paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["tiny", "small", "paper"],
+        help="experiment scale (default: REPRO_SCALE or small)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument(
+        "--networks", nargs="*", default=None,
+        help="benchmark subset (default: all four)",
+    )
+
+    for name in ("figure3", "figure4"):
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd.add_argument("--network", default="lenet")
+
+    for name in ("figure5", "figure6"):
+        cmd = sub.add_parser(name, help=f"regenerate {name}")
+        cmd.add_argument("--network", default="svhn")
+        cmd.add_argument(
+            "--trained", action="store_true",
+            help="train noise per point (slower; default injects matched noise)",
+        )
+
+    attacks = sub.add_parser("attacks", help="run the attack suite (extension)")
+    attacks.add_argument("--network", default="lenet")
+
+    summary = sub.add_parser("summary", help="print a model's layer table")
+    summary.add_argument("--network", default="lenet")
+
+    costs = sub.add_parser("costs", help="print the section 3.4 cost model")
+    costs.add_argument("--network", default="svhn")
+    costs.add_argument(
+        "--device",
+        choices=["microcontroller", "mobile_cpu", "embedded_gpu"],
+        default=None,
+        help="also print the per-device energy/latency table",
+    )
+
+    collect = sub.add_parser(
+        "collect", help="train and save a deployable noise collection (section 2.5)"
+    )
+    collect.add_argument("--network", default="lenet")
+    collect.add_argument("--out", default="noise_collection.npz")
+    collect.add_argument(
+        "--members", type=int, default=None,
+        help="collection size (default: the benchmark's configured size)",
+    )
+    collect.add_argument(
+        "--fit", choices=["laplace", "gaussian"], default=None,
+        help="also fit and save a parametric distribution over the members",
+    )
+
+    report = sub.add_parser(
+        "report", help="render results/*.csv into a markdown report"
+    )
+    report.add_argument("--results-dir", default="results")
+    report.add_argument("--out", default=None, help="write to a file instead of stdout")
+
+    bounds = sub.add_parser(
+        "bounds", help="print the analytic SNR-to-MI leakage bracket (section 2.3)"
+    )
+    bounds.add_argument("--signal-power", type=float, default=1.0)
+    bounds.add_argument(
+        "--scales", type=float, nargs="*",
+        default=[0.25, 0.5, 1.0, 2.0, 4.0],
+        help="Laplace noise scales to tabulate",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Global configuration: scales, seeds, and cache locations.
+
+The paper's experiments run on a GPU with the real MNIST / CIFAR-10 / SVHN /
+ImageNet datasets.  This reproduction runs on CPU with procedurally generated
+datasets, so every experiment accepts an :class:`ExperimentScale` that shrinks
+dataset sizes, training epochs, and mutual-information sample counts to
+something a laptop can do.  ``tiny`` is used by the test suite, ``small`` is
+the default for benchmarks, and ``paper`` approaches the paper's sample
+counts (still synthetic data).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+_SCALE_ENV_VAR = "REPRO_SCALE"
+_CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Default global random seed.  All dataset generation, weight
+#: initialisation, and noise initialisation derive their RNG streams from
+#: this seed so experiments are reproducible end to end.
+DEFAULT_SEED = 0x5EED
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing knobs for one experiment run.
+
+    Attributes:
+        name: Human-readable scale name (``tiny``/``small``/``paper``).
+        train_samples: Number of training images per synthetic dataset.
+        test_samples: Number of test images per synthetic dataset.
+        model_epochs: Epochs used to pre-train a backbone model.
+        noise_iterations: Gradient steps used to train a noise tensor.
+        mi_samples: Samples drawn when estimating mutual information.
+        mi_components: PCA components kept before kNN MI estimation.
+        batch_size: Mini-batch size for both model and noise training.
+    """
+
+    name: str
+    train_samples: int
+    test_samples: int
+    model_epochs: int
+    noise_iterations: int
+    mi_samples: int
+    mi_components: int
+    batch_size: int
+
+    def scaled(self, factor: float) -> "ExperimentScale":
+        """Return a copy with sample counts multiplied by ``factor``.
+
+        Iteration counts are scaled as well; minimums of 1 are enforced so a
+        very small factor still yields a runnable configuration.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be positive, got {factor}")
+        return ExperimentScale(
+            name=f"{self.name}*{factor:g}",
+            train_samples=max(1, int(self.train_samples * factor)),
+            test_samples=max(1, int(self.test_samples * factor)),
+            model_epochs=max(1, int(self.model_epochs * factor)),
+            noise_iterations=max(1, int(self.noise_iterations * factor)),
+            mi_samples=max(8, int(self.mi_samples * factor)),
+            mi_components=self.mi_components,
+            batch_size=self.batch_size,
+        )
+
+
+TINY = ExperimentScale(
+    name="tiny",
+    train_samples=320,
+    test_samples=96,
+    model_epochs=6,
+    noise_iterations=300,
+    mi_samples=64,
+    mi_components=8,
+    batch_size=32,
+)
+
+SMALL = ExperimentScale(
+    name="small",
+    train_samples=2000,
+    test_samples=400,
+    model_epochs=8,
+    noise_iterations=400,
+    mi_samples=256,
+    mi_components=12,
+    batch_size=64,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    train_samples=8000,
+    test_samples=1500,
+    model_epochs=20,
+    noise_iterations=2000,
+    mi_samples=1000,
+    mi_components=16,
+    batch_size=64,
+)
+
+_SCALES = {"tiny": TINY, "small": SMALL, "paper": PAPER}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve an :class:`ExperimentScale` by name.
+
+    Args:
+        name: ``tiny``, ``small``, ``paper``, or ``None`` to consult the
+            ``REPRO_SCALE`` environment variable (default ``small``).
+
+    Raises:
+        ConfigurationError: If the name is not a known scale.
+    """
+    if name is None:
+        name = os.environ.get(_SCALE_ENV_VAR, "small")
+    key = name.strip().lower()
+    if key not in _SCALES:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; expected one of {sorted(_SCALES)}"
+        )
+    return _SCALES[key]
+
+
+def cache_dir() -> Path:
+    """Directory used to cache pre-trained model weights.
+
+    Defaults to ``.repro_cache`` in the current working directory and can be
+    overridden with the ``REPRO_CACHE_DIR`` environment variable.  The
+    directory is created on first use.
+    """
+    root = Path(os.environ.get(_CACHE_ENV_VAR, ".repro_cache"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+@dataclass
+class Config:
+    """Top-level configuration bundle passed through the eval harness."""
+
+    seed: int = DEFAULT_SEED
+    scale: ExperimentScale = field(default_factory=get_scale)
+
+    def child_seed(self, *tags: object) -> int:
+        """Derive a deterministic sub-seed from the base seed and tags.
+
+        The derivation is a simple stable hash so that independent parts of
+        an experiment (dataset generation, weight init, noise init, ...) use
+        decorrelated RNG streams while remaining reproducible.
+        """
+        value = self.seed & 0xFFFFFFFF
+        for tag in tags:
+            for byte in str(tag).encode("utf8"):
+                value = (value * 1000003 + byte) & 0xFFFFFFFF
+        return value

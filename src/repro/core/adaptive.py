@@ -1,0 +1,148 @@
+"""Adaptive operating-point search on the accuracy/privacy knob.
+
+The paper exposes λ and the Laplace init as manually tuned knobs ("it
+should be tuned carefully for each network", §2.4).  This extension
+automates the outer loop: :class:`OperatingPointSearch` bisection-searches
+the noise level (target in-vivo privacy) for the most private operating
+point whose accuracy loss stays within a user budget — the quantity a
+deployment actually specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.trainer import NoiseTrainingResult
+from repro.errors import ConfigurationError, TrainingError
+
+
+@dataclass(frozen=True)
+class SearchProbe:
+    """One evaluated noise level during the search."""
+
+    level: float
+    accuracy_loss_percent: float
+    in_vivo_privacy: float
+
+
+@dataclass
+class SearchResult:
+    """Outcome of an operating-point search.
+
+    Attributes:
+        best: The most private probe within the accuracy budget (None when
+            even the lowest level violates the budget).
+        probes: Every evaluated level, in evaluation order.
+    """
+
+    best: SearchProbe | None
+    probes: list[SearchProbe] = field(default_factory=list)
+
+
+class OperatingPointSearch:
+    """Bisection search over noise levels under an accuracy-loss budget.
+
+    Args:
+        evaluate: Maps a noise level (target in-vivo privacy) to
+            ``(accuracy_loss_percent, realised_in_vivo)`` — typically a
+            closure that builds a pipeline, trains a small collection, and
+            measures.  Accuracy loss is assumed monotone (noisier = worse),
+            which holds on average for Shredder-trained noise.
+        max_accuracy_loss_percent: The deployment's accuracy budget.
+        low / high: Search bracket for the noise level.
+        iterations: Bisection steps (each costs one noise training).
+    """
+
+    def __init__(
+        self,
+        evaluate: Callable[[float], tuple[float, float]],
+        max_accuracy_loss_percent: float,
+        low: float = 0.05,
+        high: float = 4.0,
+        iterations: int = 5,
+    ) -> None:
+        if max_accuracy_loss_percent <= 0:
+            raise ConfigurationError("accuracy budget must be positive")
+        if not 0 < low < high:
+            raise ConfigurationError(f"invalid bracket [{low}, {high}]")
+        if iterations < 1:
+            raise ConfigurationError("need at least one iteration")
+        self.evaluate = evaluate
+        self.budget = max_accuracy_loss_percent
+        self.low = low
+        self.high = high
+        self.iterations = iterations
+
+    def run(self) -> SearchResult:
+        """Run the bisection and return the best in-budget probe."""
+        result = SearchResult(best=None)
+
+        def probe(level: float) -> SearchProbe:
+            loss, privacy = self.evaluate(level)
+            entry = SearchProbe(
+                level=level, accuracy_loss_percent=loss, in_vivo_privacy=privacy
+            )
+            result.probes.append(entry)
+            if loss <= self.budget and (
+                result.best is None
+                or entry.in_vivo_privacy > result.best.in_vivo_privacy
+            ):
+                result.best = entry
+            return entry
+
+        low, high = self.low, self.high
+        lowest = probe(low)
+        if lowest.accuracy_loss_percent > self.budget:
+            # Even the quietest level blows the budget; report and stop.
+            return result
+        if probe(high).accuracy_loss_percent <= self.budget:
+            # The noisiest level is already affordable.
+            return result
+        for _ in range(self.iterations):
+            mid = (low + high) / 2.0
+            entry = probe(mid)
+            if entry.accuracy_loss_percent <= self.budget:
+                low = mid
+            else:
+                high = mid
+        return result
+
+
+def accuracy_budget_evaluator(
+    pipeline_factory: Callable[[float], "object"],
+    iterations: int | None = None,
+    n_members: int = 2,
+) -> Callable[[float], tuple[float, float]]:
+    """Build the ``evaluate`` closure for :class:`OperatingPointSearch`.
+
+    Args:
+        pipeline_factory: Maps a noise level to a ready
+            :class:`~repro.core.pipeline.ShredderPipeline` (e.g. a partial
+            of :func:`repro.eval.experiments.build_pipeline`).
+        iterations: Noise-training iterations per probe.
+        n_members: Collection size per probe.
+    """
+
+    def evaluate(level: float) -> tuple[float, float]:
+        pipeline = pipeline_factory(level)
+        collection = pipeline.collect(n_members, iterations)
+        clean = pipeline.clean_accuracy()
+        noisy = pipeline.noisy_accuracy(collection)
+        return 100.0 * (clean - noisy), collection.mean_in_vivo_privacy()
+
+    return evaluate
+
+
+def require_converged(result: NoiseTrainingResult, minimum_accuracy: float) -> None:
+    """Raise :class:`TrainingError` when a run failed to recover accuracy.
+
+    A guard for automated pipelines: noise training that ends below the
+    given accuracy means λ / the init scale need retuning, and downstream
+    privacy numbers would be misleading.
+    """
+    if result.final_accuracy < minimum_accuracy:
+        raise TrainingError(
+            f"noise training converged to accuracy {result.final_accuracy:.3f} "
+            f"< required {minimum_accuracy:.3f}; retune lambda or the init scale"
+        )

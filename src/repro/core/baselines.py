@@ -1,0 +1,72 @@
+"""Noise baselines Shredder is compared against (paper Figure 1).
+
+* :func:`laplace_mechanism_noise` — the classic ε-differential-privacy
+  Laplace mechanism applied to the activation (the "accuracy-agnostic
+  noise addition" region of Figure 1): calibrated to sensitivity/ε, with
+  no knowledge of the task, so accuracy collapses quickly as ε shrinks.
+* :func:`matched_variance_noise` — fresh Laplace/Gaussian noise matched to
+  a trained collection's variance; isolates the value of *learning* the
+  noise rather than just its magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sampler import NoiseCollection
+from repro.errors import ConfigurationError
+
+
+def laplace_mechanism_noise(
+    shape: tuple[int, ...],
+    sensitivity: float,
+    epsilon: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-sample Laplace-mechanism noise with scale ``sensitivity / ε``.
+
+    Args:
+        shape: Batch-shaped output, e.g. ``(N, C, H, W)``.
+        sensitivity: L1 sensitivity of the released quantity (for bounded
+            activations, their max-min range is the usual surrogate).
+        epsilon: Privacy budget; smaller = noisier.
+        rng: Randomness.
+    """
+    if sensitivity <= 0:
+        raise ConfigurationError(f"sensitivity must be positive, got {sensitivity}")
+    if epsilon <= 0:
+        raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+    scale = sensitivity / epsilon
+    return rng.laplace(0.0, scale, size=shape).astype(np.float32)
+
+
+def activation_sensitivity(activations: np.ndarray) -> float:
+    """Range-based L1 sensitivity surrogate for an activation tensor."""
+    activations = np.asarray(activations)
+    if activations.size == 0:
+        raise ConfigurationError("cannot derive sensitivity of an empty batch")
+    return float(activations.max() - activations.min())
+
+
+def matched_variance_noise(
+    collection: NoiseCollection,
+    n: int,
+    rng: np.random.Generator,
+    family: str = "laplace",
+) -> np.ndarray:
+    """Fresh noise with the same element variance as a trained collection.
+
+    Args:
+        collection: Trained noise distribution to match.
+        n: Number of per-sample tensors to draw.
+        rng: Randomness.
+        family: ``"laplace"`` or ``"gaussian"``.
+    """
+    stacked = np.stack([s.tensor for s in collection.samples])
+    std = float(stacked.std())
+    shape = (n, *collection.activation_shape)
+    if family == "laplace":
+        return rng.laplace(0.0, std / np.sqrt(2.0), size=shape).astype(np.float32)
+    if family == "gaussian":
+        return rng.normal(0.0, std, size=shape).astype(np.float32)
+    raise ConfigurationError(f"unknown noise family {family!r}")

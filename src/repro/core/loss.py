@@ -1,0 +1,83 @@
+"""Shredder's loss functions (paper Eq. 2 and Eq. 3).
+
+Eq. 2:  ``CE(y, p) + λ · 1/σ²(n)``   — penalise *small* noise variance.
+Eq. 3:  ``CE(y, p) − λ · Σ_i |n_i|`` — the "anti-weight-decay" form the
+paper actually trains with: the update is the opposite of L2/L1 weight
+decay, growing the noise magnitude instead of shrinking it.
+
+``λ`` is the knob trading accuracy for privacy (§2.4): too large and the
+noise growth swamps accuracy recovery; too small and privacy stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.noise_tensor import NoiseTensor
+from repro.errors import ConfigurationError
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+_VARIANTS = ("l1", "inverse_variance")
+
+
+@dataclass(frozen=True)
+class LossParts:
+    """Decomposition of one loss evaluation (for curves and debugging)."""
+
+    total: float
+    cross_entropy: float
+    privacy_term: float
+    lambda_coeff: float
+
+
+class ShredderLoss:
+    """Accuracy/privacy loss over (logits, targets, noise).
+
+    Args:
+        lambda_coeff: The privacy knob ``λ`` (paper uses 0.01 / 0.001 /
+            0.0001 depending on network size).
+        variant: ``"l1"`` for Eq. 3 (default, what the paper trains with)
+            or ``"inverse_variance"`` for Eq. 2.
+    """
+
+    def __init__(self, lambda_coeff: float, variant: str = "l1") -> None:
+        if lambda_coeff < 0:
+            raise ConfigurationError(f"lambda must be non-negative, got {lambda_coeff}")
+        if variant not in _VARIANTS:
+            raise ConfigurationError(
+                f"unknown variant {variant!r}; options: {_VARIANTS}"
+            )
+        self.lambda_coeff = float(lambda_coeff)
+        self.variant = variant
+
+    def __call__(
+        self, logits: Tensor, targets: np.ndarray, noise: NoiseTensor
+    ) -> tuple[Tensor, LossParts]:
+        """Evaluate the loss.
+
+        Returns:
+            The differentiable total loss plus a float decomposition.
+        """
+        cross_entropy = F.cross_entropy(logits, targets)
+        if self.variant == "l1":
+            privacy = noise.abs().sum()
+            total = cross_entropy - privacy * self.lambda_coeff
+        else:
+            mean = noise.mean()
+            variance = (noise * noise).mean() - mean * mean
+            privacy = 1.0 / (variance + 1e-12)
+            total = cross_entropy + privacy * self.lambda_coeff
+        parts = LossParts(
+            total=total.item(),
+            cross_entropy=cross_entropy.item(),
+            privacy_term=privacy.item(),
+            lambda_coeff=self.lambda_coeff,
+        )
+        return total, parts
+
+    def with_lambda(self, lambda_coeff: float) -> "ShredderLoss":
+        """A copy with a different ``λ`` (used by the decay schedule)."""
+        return ShredderLoss(lambda_coeff, self.variant)

@@ -1,0 +1,77 @@
+"""The trainable noise tensor — Shredder's only learnable object.
+
+Paper §2.1/§2.4: the noise ``n`` has the same (per-sample) shape as the
+activation at the cutting point, is initialised from a Laplace distribution
+``Laplace(mu, b)`` whose parameters are hyper-parameters, and is trained by
+gradient descent while the network weights stay frozen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import init as nn_init
+from repro.nn.module import Parameter
+
+
+class NoiseTensor(Parameter):
+    """Additive noise parameter with shape ``(1, *activation_shape)``.
+
+    The leading singleton dimension broadcasts the same noise tensor over a
+    batch of activations; the autograd engine sums the incoming gradient
+    over the batch, which is exactly the mini-batch gradient of the loss
+    with respect to the shared noise.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(np.asarray(data, dtype=np.float32), name="shredder_noise")
+
+    @classmethod
+    def from_laplace(
+        cls,
+        activation_shape: tuple[int, ...],
+        rng: np.random.Generator,
+        loc: float = 0.0,
+        scale: float = 1.0,
+    ) -> "NoiseTensor":
+        """Laplace(mu=loc, b=scale) initialisation (paper §2.4).
+
+        Args:
+            activation_shape: Per-sample activation shape (no batch dim),
+                e.g. ``(C, H, W)``.
+            rng: Initialisation randomness.
+            loc: Location parameter ``mu``.
+            scale: Scale parameter ``b`` — the knob controlling initial
+                in-vivo privacy.
+        """
+        if any(dim <= 0 for dim in activation_shape):
+            raise ConfigurationError(
+                f"invalid activation shape {activation_shape}"
+            )
+        data = nn_init.laplace(
+            (1, *activation_shape), rng, loc=loc, scale=scale
+        )
+        return cls(data)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "NoiseTensor":
+        """Wrap a previously trained noise tensor (adds the batch dim
+        when given a per-sample array)."""
+        array = np.asarray(array, dtype=np.float32)
+        if array.ndim >= 1 and array.shape[0] != 1:
+            array = array[None]
+        return cls(array)
+
+    @property
+    def per_sample(self) -> np.ndarray:
+        """The noise with the broadcast dimension stripped."""
+        return self.data[0]
+
+    def magnitude_l1(self) -> float:
+        """``Σ|n_i|`` — the quantity the Eq. 3 regulariser grows."""
+        return float(np.abs(self.data).sum())
+
+    def variance(self) -> float:
+        """``σ²(n)`` — population variance over the noise elements."""
+        return float(self.data.var())

@@ -1,0 +1,240 @@
+"""End-to-end Shredder pipeline — the library's main entry point.
+
+``ShredderPipeline`` ties everything together for one backbone and cut:
+
+1. split the frozen pre-trained network at the cut point,
+2. initialise a noise tensor from ``Laplace(mu, b)``,
+3. train it with the Eq. 3 loss (λ knob, optional decay-on-target),
+4. optionally repeat to build a noise collection (§2.5),
+5. measure clean/noisy accuracy and the input↔activation mutual
+   information with and without noise (the Table 1 quantities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import Config, get_scale
+from repro.core.distribution import FittedNoiseDistribution
+from repro.core.loss import ShredderLoss
+from repro.core.noise_tensor import NoiseTensor
+from repro.core.sampler import NoiseCollection, NoiseSample
+from repro.core.schedules import LambdaSchedule
+from repro.core.split import SplitInferenceModel
+from repro.core.trainer import NoiseTrainer, NoiseTrainingResult
+from repro.models.zoo import PretrainedBundle
+from repro.privacy.metrics import (
+    LeakageEstimate,
+    estimate_leakage,
+    information_loss_percent,
+)
+
+
+@dataclass
+class ShredderReport:
+    """The Table 1 row for one (network, cut, λ, init) configuration.
+
+    Attributes:
+        model_name: Backbone name.
+        cut: Cut-point name.
+        clean_accuracy: Frozen backbone accuracy, no noise.
+        noisy_accuracy: Accuracy with the trained noise injected.
+        accuracy_loss_percent: ``clean − noisy`` in percentage points.
+        original_mi_bits: I(x; a) without noise (the zero-leakage line).
+        shredded_mi_bits: I(x; a′) with trained noise.
+        mi_loss_percent: Percent reduction (Table 1's headline metric).
+        final_in_vivo_privacy: 1/SNR of the trained noise.
+        noise_elements: Trainable noise parameters.
+        model_parameters: Backbone weight count.
+        params_ratio_percent: noise / model parameters × 100 (Table 1).
+        epochs: Equivalent training epochs of noise training (Table 1).
+    """
+
+    model_name: str
+    cut: str
+    clean_accuracy: float
+    noisy_accuracy: float
+    accuracy_loss_percent: float
+    original_mi_bits: float
+    shredded_mi_bits: float
+    mi_loss_percent: float
+    final_in_vivo_privacy: float
+    noise_elements: int
+    model_parameters: int
+    params_ratio_percent: float
+    epochs: float
+
+
+class ShredderPipeline:
+    """Runs Shredder for one pre-trained backbone.
+
+    Args:
+        bundle: A :class:`~repro.models.zoo.PretrainedBundle` (frozen model
+            plus its normalised data splits).
+        cut: Cut point; defaults to the last conv layer (paper default).
+        lambda_coeff: The λ knob of Eq. 3.
+        init_loc / init_scale: Laplace initialisation ``mu`` and ``b``.
+        schedule: Optional λ schedule (decay-on-target etc.).
+        lr: Adam learning rate for the noise.
+        config: Seed/scale configuration.
+    """
+
+    def __init__(
+        self,
+        bundle: PretrainedBundle,
+        cut: str | None = None,
+        lambda_coeff: float = 1e-3,
+        init_loc: float = 0.0,
+        init_scale: float = 1.0,
+        schedule: LambdaSchedule | None = None,
+        lr: float = 1e-2,
+        config: Config | None = None,
+    ) -> None:
+        self.bundle = bundle
+        self.config = config or Config(scale=get_scale())
+        self.split = SplitInferenceModel(bundle.model, cut)
+        self.lambda_coeff = lambda_coeff
+        self.init_loc = init_loc
+        self.init_scale = init_scale
+        self.lr = lr
+        self.trainer = NoiseTrainer(
+            self.split,
+            bundle.train_set,
+            bundle.test_set,
+            loss=ShredderLoss(lambda_coeff),
+            schedule=schedule,
+            lr=lr,
+            batch_size=self.config.scale.batch_size,
+            rng=np.random.default_rng(self.config.child_seed("noise-batches")),
+        )
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def new_noise(self, seed_tag: object = 0) -> NoiseTensor:
+        """A fresh Laplace-initialised noise tensor."""
+        rng = np.random.default_rng(self.config.child_seed("noise-init", seed_tag))
+        return NoiseTensor.from_laplace(
+            self.split.activation_shape, rng, loc=self.init_loc, scale=self.init_scale
+        )
+
+    def train_noise(
+        self, iterations: int | None = None, seed_tag: object = 0
+    ) -> NoiseTrainingResult:
+        """Train one noise tensor (paper §2.4)."""
+        iterations = iterations or self.config.scale.noise_iterations
+        return self.trainer.train(self.new_noise(seed_tag), iterations)
+
+    def collect(self, n_members: int, iterations: int | None = None) -> NoiseCollection:
+        """Build a §2.5 noise collection by repeated training."""
+        collection = NoiseCollection(self.split.activation_shape)
+        for index in range(n_members):
+            result = self.train_noise(iterations, seed_tag=index)
+            collection.add(
+                result.noise, result.final_accuracy, result.final_in_vivo_privacy
+            )
+        return collection
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def _noise_for_eval(
+        self, noise: np.ndarray | NoiseCollection | FittedNoiseDistribution | None
+    ) -> np.ndarray | None:
+        """Resolve a noise source to per-sample tensors for the eval set.
+
+        A :class:`NoiseCollection` or :class:`FittedNoiseDistribution` is
+        sampled once per test inference (§2.5 deployment); a plain array is
+        broadcast as-is (note a single fixed tensor is a constant shift and
+        leaves MI unchanged — use a collection or fitted distribution to
+        measure deployment-time privacy).
+        """
+        if noise is None:
+            return None
+        if isinstance(noise, (NoiseCollection, FittedNoiseDistribution)):
+            rng = np.random.default_rng(self.config.child_seed("noise-sampling"))
+            return noise.sample_batch(rng, len(self.trainer.eval_labels))
+        return np.asarray(noise, dtype=np.float32)
+
+    def measure_leakage(
+        self,
+        noise: np.ndarray | NoiseCollection | FittedNoiseDistribution | None = None,
+    ) -> LeakageEstimate:
+        """I(x; a′) on the (shuffled) test set, as in §3."""
+        scale = self.config.scale
+        test = self.bundle.test_set
+        activations = self.trainer.eval_activations
+        resolved = self._noise_for_eval(noise)
+        if resolved is not None:
+            activations = activations + resolved
+        return estimate_leakage(
+            test.images,
+            activations,
+            n_components=scale.mi_components,
+            max_samples=scale.mi_samples,
+            rng=np.random.default_rng(self.config.child_seed("mi-subsample")),
+        )
+
+    def noisy_accuracy(
+        self, noise: np.ndarray | NoiseCollection | FittedNoiseDistribution
+    ) -> float:
+        """Held-out accuracy under the given noise source."""
+        return self.split.accuracy_from_activations(
+            self.trainer.eval_activations,
+            self.trainer.eval_labels,
+            self._noise_for_eval(noise),
+        )
+
+    def clean_accuracy(self) -> float:
+        """Held-out accuracy of the frozen backbone without noise."""
+        return self.split.accuracy_from_activations(
+            self.trainer.eval_activations, self.trainer.eval_labels
+        )
+
+    def report(
+        self, collection: NoiseCollection, epochs: float | None = None
+    ) -> ShredderReport:
+        """Assemble the Table 1 row for a trained noise collection.
+
+        Args:
+            collection: Noise distribution to deploy (per-inference draws).
+            epochs: Equivalent training epochs per member (for the Table 1
+                row); defaults to the collection's bookkeeping being absent,
+                i.e. 0.0 when unknown.
+        """
+        clean = self.clean_accuracy()
+        noisy = self.noisy_accuracy(collection)
+        original = self.measure_leakage(None)
+        shredded = self.measure_leakage(collection)
+        noise_elements = int(np.prod(self.split.activation_shape))
+        model_parameters = self.bundle.model.num_parameters()
+        return ShredderReport(
+            model_name=self.bundle.model.model_name,
+            cut=self.split.cut,
+            clean_accuracy=clean,
+            noisy_accuracy=noisy,
+            accuracy_loss_percent=100.0 * (clean - noisy),
+            original_mi_bits=original.mi_bits,
+            shredded_mi_bits=shredded.mi_bits,
+            mi_loss_percent=information_loss_percent(
+                original.mi_bits, shredded.mi_bits
+            ),
+            final_in_vivo_privacy=collection.mean_in_vivo_privacy(),
+            noise_elements=noise_elements,
+            model_parameters=model_parameters,
+            params_ratio_percent=100.0 * noise_elements / model_parameters,
+            epochs=epochs if epochs is not None else 0.0,
+        )
+
+    def run(
+        self, iterations: int | None = None, n_members: int = 4
+    ) -> ShredderReport:
+        """Train a noise collection and report all Table 1 quantities."""
+        iterations = iterations or self.config.scale.noise_iterations
+        collection = self.collect(n_members, iterations)
+        epochs = iterations * self.config.scale.batch_size / len(
+            self.trainer.train_labels
+        )
+        return self.report(collection, epochs=epochs)

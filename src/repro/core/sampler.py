@@ -1,0 +1,175 @@
+"""Noise distribution collection and sampling (paper §2.5).
+
+Shredder does not deploy a single noise tensor: it repeats noise training
+from different Laplace initialisations until it has a *collection* of
+tensors, all with similar accuracy and privacy.  The collection is the
+empirical noise distribution; at inference time one member is sampled per
+request and injected — no training happens in deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TrainingError
+
+
+@dataclass(frozen=True)
+class NoiseSample:
+    """One trained noise tensor with its measured qualities."""
+
+    tensor: np.ndarray
+    accuracy: float
+    in_vivo_privacy: float
+
+
+class NoiseCollection:
+    """An empirical distribution over trained noise tensors.
+
+    Args:
+        activation_shape: Per-sample activation shape every member must
+            match (e.g. ``(C, H, W)``); the broadcast batch dim is stripped.
+    """
+
+    def __init__(self, activation_shape: tuple[int, ...]) -> None:
+        self.activation_shape = tuple(activation_shape)
+        self._samples: list[NoiseSample] = []
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def add(self, tensor: np.ndarray, accuracy: float, in_vivo_privacy: float) -> None:
+        """Add a trained tensor to the collection."""
+        tensor = np.asarray(tensor, dtype=np.float32)
+        if tensor.ndim == len(self.activation_shape) + 1 and tensor.shape[0] == 1:
+            tensor = tensor[0]
+        if tensor.shape != self.activation_shape:
+            raise ConfigurationError(
+                f"noise shape {tensor.shape} does not match collection shape "
+                f"{self.activation_shape}"
+            )
+        self._samples.append(
+            NoiseSample(tensor=tensor.copy(), accuracy=accuracy, in_vivo_privacy=in_vivo_privacy)
+        )
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[NoiseSample]:
+        return list(self._samples)
+
+    # ------------------------------------------------------------------
+    # Sampling (deployment path)
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one noise tensor uniformly (with the batch dim restored)."""
+        if not self._samples:
+            raise TrainingError("cannot sample from an empty noise collection")
+        index = int(rng.integers(0, len(self._samples)))
+        return self._samples[index].tensor[None]
+
+    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` independent member tensors, one per inference.
+
+        This is the deployment behaviour of §2.5 — and the reason Shredder
+        reduces mutual information at all: a *fixed* tensor added to every
+        activation is a constant shift with ``I(x; a+c) = I(x; a)``, whereas
+        per-inference draws from the collection realise a genuinely noisy
+        channel.
+        """
+        if not self._samples:
+            raise TrainingError("cannot sample from an empty noise collection")
+        indices = rng.integers(0, len(self._samples), size=n)
+        stacked = np.stack([self._samples[i].tensor for i in indices])
+        return stacked.astype(np.float32)
+
+    def sample_elementwise(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw a *new* tensor from the per-element empirical marginals.
+
+        An extension beyond uniform member sampling: each element is drawn
+        independently from the values that element took across the
+        collection, enlarging the effective support of the distribution.
+        """
+        if len(self._samples) < 2:
+            raise TrainingError("element-wise sampling needs >= 2 members")
+        stacked = np.stack([s.tensor for s in self._samples])
+        picks = rng.integers(0, len(self._samples), size=self.activation_shape)
+        flat = stacked.reshape(len(self._samples), -1)
+        chosen = flat[picks.reshape(-1), np.arange(flat.shape[1])]
+        return chosen.reshape(self.activation_shape)[None].astype(np.float32)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean_accuracy(self) -> float:
+        self._require_nonempty()
+        return float(np.mean([s.accuracy for s in self._samples]))
+
+    def mean_in_vivo_privacy(self) -> float:
+        self._require_nonempty()
+        return float(np.mean([s.in_vivo_privacy for s in self._samples]))
+
+    def _require_nonempty(self) -> None:
+        if not self._samples:
+            raise TrainingError("noise collection is empty")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the collection as an ``.npz`` archive."""
+        self._require_nonempty()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path,
+            tensors=np.stack([s.tensor for s in self._samples]),
+            accuracies=np.array([s.accuracy for s in self._samples]),
+            privacies=np.array([s.in_vivo_privacy for s in self._samples]),
+        )
+        if not path.name.endswith(".npz"):
+            path = path.with_name(path.name + ".npz")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "NoiseCollection":
+        """Read a collection previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"no noise collection at {path}")
+        with np.load(path) as archive:
+            tensors = archive["tensors"]
+            accuracies = archive["accuracies"]
+            privacies = archive["privacies"]
+        collection = cls(tensors.shape[1:])
+        for tensor, accuracy, privacy in zip(tensors, accuracies, privacies):
+            collection.add(tensor, float(accuracy), float(privacy))
+        return collection
+
+
+def collect_noise_distribution(
+    train_one: Callable[[int], NoiseSample],
+    n_members: int,
+) -> NoiseCollection:
+    """Build a collection by repeated noise training (paper §2.5).
+
+    Args:
+        train_one: Callable mapping a member index (used to vary the
+            initialisation seed) to a trained :class:`NoiseSample`.
+        n_members: Number of training repetitions.
+    """
+    if n_members < 1:
+        raise ConfigurationError(f"need at least one member, got {n_members}")
+    first = train_one(0)
+    shape = first.tensor.shape[1:] if first.tensor.shape[0] == 1 else first.tensor.shape
+    collection = NoiseCollection(shape)
+    collection.add(first.tensor, first.accuracy, first.in_vivo_privacy)
+    for index in range(1, n_members):
+        sample = train_one(index)
+        collection.add(sample.tensor, sample.accuracy, sample.in_vivo_privacy)
+    return collection

@@ -1,0 +1,79 @@
+"""λ schedules for noise training.
+
+Paper §3.2: "When the in vivo notion of privacy reaches a certain desired
+level, λ is decayed to stabilize privacy and facilitate the learning
+process."  :class:`DecayOnTarget` implements exactly that behaviour;
+:class:`ConstantLambda` covers the fixed-λ scenarios of §2.4 (including
+λ = 0, the privacy-agnostic baseline of Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class LambdaSchedule:
+    """Maps (step, current in-vivo privacy) to the λ used at that step."""
+
+    def coefficient(self, step: int, in_vivo_privacy: float) -> float:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+
+class ConstantLambda(LambdaSchedule):
+    """A fixed λ (λ = 0 gives the privacy-agnostic baseline)."""
+
+    def __init__(self, value: float) -> None:
+        if value < 0:
+            raise ConfigurationError(f"lambda must be non-negative, got {value}")
+        self.value = float(value)
+
+    def coefficient(self, step: int, in_vivo_privacy: float) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantLambda({self.value})"
+
+
+class DecayOnTarget(LambdaSchedule):
+    """Decay λ once the in-vivo privacy target is reached (paper §3.2).
+
+    While privacy is below ``target`` the schedule returns ``base``; when
+    the target is reached λ is multiplied by ``decay`` (repeatedly, each
+    time privacy is still above target at a query), stabilising privacy so
+    cross-entropy recovery dominates the remaining updates.
+
+    Args:
+        base: Initial λ.
+        target: Desired in-vivo privacy (1/SNR) level.
+        decay: Multiplicative decay factor in (0, 1).
+        floor: λ never decays below this value.
+    """
+
+    def __init__(
+        self, base: float, target: float, decay: float = 0.5, floor: float = 0.0
+    ) -> None:
+        if base < 0:
+            raise ConfigurationError(f"base lambda must be non-negative, got {base}")
+        if not 0.0 < decay < 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1), got {decay}")
+        if target <= 0:
+            raise ConfigurationError(f"target privacy must be positive, got {target}")
+        self.base = float(base)
+        self.target = float(target)
+        self.decay = float(decay)
+        self.floor = float(floor)
+        self._current = float(base)
+        self.reached_at_step: int | None = None
+
+    def coefficient(self, step: int, in_vivo_privacy: float) -> float:
+        if in_vivo_privacy >= self.target:
+            if self.reached_at_step is None:
+                self.reached_at_step = step
+            self._current = max(self._current * self.decay, self.floor)
+        return self._current
+
+    def __repr__(self) -> str:
+        return (
+            f"DecayOnTarget(base={self.base}, target={self.target}, "
+            f"decay={self.decay})"
+        )

@@ -1,0 +1,125 @@
+"""Split-inference wrapper: local half, noise injection, remote half.
+
+This is the runtime object of Figure 2: the user input ``x`` runs through
+the local network on the edge producing ``a``, noise is added (``a' = a+n``)
+and the remote network computes the prediction from the noisy activation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError, TrainingError
+from repro.models.base import SplittableModel
+from repro.nn import DataLoader, Dataset, Sequential, Tensor, no_grad
+
+
+class SplitInferenceModel:
+    """A backbone split at a cut point, with optional noise at the seam.
+
+    Args:
+        model: The frozen backbone.
+        cut: Cut-point name (defaults to the paper's choice — the last
+            convolution layer).
+    """
+
+    def __init__(self, model: SplittableModel, cut: str | None = None) -> None:
+        self.model = model
+        self.cut = cut or model.last_conv_cut()
+        local, remote = model.split(self.cut)
+        self.local: Sequential = local
+        self.remote: Sequential = remote
+        self.activation_shape = model.activation_shape(self.cut)[1:]
+
+    # ------------------------------------------------------------------
+    # Forward paths
+    # ------------------------------------------------------------------
+    def activations(self, images: np.ndarray) -> np.ndarray:
+        """Clean activations ``a = L(x, θ₁)`` (no autograd, eval mode)."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                out = self.local(Tensor(images))
+        finally:
+            self.model.train(was_training)
+        return out.numpy()
+
+    def predict_from_activations(
+        self, activations: np.ndarray, noise: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Cloud-side logits from (possibly noisy) activations."""
+        data = activations if noise is None else activations + noise
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                logits = self.remote(Tensor(data))
+        finally:
+            self.model.train(was_training)
+        return logits.numpy()
+
+    def predict(self, images: np.ndarray, noise: np.ndarray | None = None) -> np.ndarray:
+        """End-to-end logits with noise injected at the cut."""
+        return self.predict_from_activations(self.activations(images), noise)
+
+    # ------------------------------------------------------------------
+    # Dataset-level helpers
+    # ------------------------------------------------------------------
+    def materialize_activations(
+        self, dataset: Dataset, batch_size: int = 128
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Precompute activations and labels for a whole dataset.
+
+        The local network is frozen and independent of the noise, so noise
+        training can run entirely on cached activations — this is the big
+        CPU saving that makes the reproduction tractable.
+        """
+        if len(dataset) == 0:
+            raise TrainingError("cannot materialise activations of an empty dataset")
+        batches = []
+        labels = []
+        for images, batch_labels in DataLoader(dataset, batch_size=batch_size):
+            batches.append(self.activations(images))
+            labels.append(batch_labels)
+        return np.concatenate(batches), np.concatenate(labels)
+
+    def accuracy(
+        self,
+        dataset: Dataset,
+        noise: np.ndarray | None = None,
+        batch_size: int = 128,
+    ) -> float:
+        """Top-1 accuracy with optional noise at the cut."""
+        correct = 0
+        total = 0
+        for images, labels in DataLoader(dataset, batch_size=batch_size):
+            logits = self.predict(images, noise)
+            correct += int((logits.argmax(axis=1) == labels).sum())
+            total += len(labels)
+        return correct / total
+
+    def accuracy_from_activations(
+        self,
+        activations: np.ndarray,
+        labels: np.ndarray,
+        noise: np.ndarray | None = None,
+        batch_size: int = 256,
+    ) -> float:
+        """Accuracy computed from cached activations (fast path)."""
+        if len(activations) != len(labels):
+            raise ModelError("activations and labels must be paired")
+        per_sample = noise is not None and len(noise) == len(labels) and len(noise) > 1
+        correct = 0
+        for start in range(0, len(labels), batch_size):
+            stop = start + batch_size
+            batch_noise = noise[start:stop] if per_sample else noise
+            logits = self.predict_from_activations(activations[start:stop], batch_noise)
+            correct += int((logits.argmax(axis=1) == labels[start:stop]).sum())
+        return correct / len(labels)
+
+    def __repr__(self) -> str:
+        return (
+            f"SplitInferenceModel({self.model.model_name}, cut={self.cut}, "
+            f"activation={self.activation_shape})"
+        )

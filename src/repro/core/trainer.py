@@ -1,0 +1,166 @@
+"""Gradient-based noise training (the paper's core algorithm).
+
+The training loop of §2.4/§3.2: freeze the network, cast the noise as a
+trainable tensor at the cut point, and minimise
+``CE(R(a + n), y) − λ Σ|n_i|`` with Adam.  Because the local half is frozen
+and not a function of the noise, its activations are precomputed once and
+the loop only evaluates the remote half — mathematically identical to
+running the full network (``∂L/∂n`` does not involve ``L(x, θ₁)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.loss import ShredderLoss
+from repro.core.noise_tensor import NoiseTensor
+from repro.core.schedules import ConstantLambda, LambdaSchedule
+from repro.core.snr import in_vivo_privacy_from_power, signal_power
+from repro.core.split import SplitInferenceModel
+from repro.errors import TrainingError
+from repro.nn import Adam, Dataset, Tensor
+
+
+@dataclass
+class NoiseTrainingHistory:
+    """Per-iteration training curves (Figure 4's raw material)."""
+
+    iterations: list[int] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    cross_entropies: list[float] = field(default_factory=list)
+    in_vivo_privacies: list[float] = field(default_factory=list)
+    lambdas: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+    accuracy_iterations: list[int] = field(default_factory=list)
+
+
+@dataclass
+class NoiseTrainingResult:
+    """Outcome of one noise-training run.
+
+    Attributes:
+        noise: The trained per-batch-broadcast noise ``(1, C, H, W)``.
+        history: Training curves.
+        final_in_vivo_privacy: ``σ²(n)/E[a²]`` at the end.
+        final_accuracy: Noisy accuracy on the held-out activations.
+        signal_power: The constant ``E[a²]`` used during training.
+        epochs: Equivalent passes over the training activations.
+    """
+
+    noise: np.ndarray
+    history: NoiseTrainingHistory
+    final_in_vivo_privacy: float
+    final_accuracy: float
+    signal_power: float
+    epochs: float
+
+
+class NoiseTrainer:
+    """Trains one noise tensor for a split model.
+
+    Args:
+        split: The split backbone (weights frozen by the caller).
+        train_set: Dataset whose activations drive the optimisation.
+        eval_set: Held-out dataset for accuracy tracking.
+        loss: The Shredder loss (λ inside is overridden by ``schedule``).
+        schedule: λ schedule; defaults to the loss's constant λ.
+        lr: Adam learning rate for the noise tensor.
+        batch_size: Mini-batch size over cached activations.
+        eval_every: Iterations between held-out accuracy measurements.
+        rng: Randomness for batching (noise init happens outside).
+    """
+
+    def __init__(
+        self,
+        split: SplitInferenceModel,
+        train_set: Dataset,
+        eval_set: Dataset,
+        loss: ShredderLoss,
+        schedule: LambdaSchedule | None = None,
+        lr: float = 1e-2,
+        batch_size: int = 32,
+        eval_every: int = 20,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.split = split
+        self.loss = loss
+        self.schedule = schedule or ConstantLambda(loss.lambda_coeff)
+        self.lr = lr
+        self.batch_size = batch_size
+        self.eval_every = eval_every
+        self._rng = rng or np.random.default_rng()
+        # The backbone is frozen *and* in eval mode throughout noise
+        # training: BatchNorm uses its running statistics and dropout is
+        # inactive, exactly as at deployment time.
+        split.model.eval()
+        self.train_activations, self.train_labels = split.materialize_activations(
+            train_set
+        )
+        self.eval_activations, self.eval_labels = split.materialize_activations(
+            eval_set
+        )
+        # E[a²] is a constant of the frozen network (paper §2.4: "the
+        # numerator in our SNR formulation is constant").
+        self.signal_power = signal_power(self.train_activations)
+
+    def train(self, noise: NoiseTensor, iterations: int) -> NoiseTrainingResult:
+        """Run ``iterations`` Adam steps on ``noise`` and measure curves."""
+        if iterations <= 0:
+            raise TrainingError(f"iterations must be positive, got {iterations}")
+        if noise.per_sample.shape != self.split.activation_shape:
+            raise TrainingError(
+                f"noise shape {noise.per_sample.shape} does not match the "
+                f"activation shape {self.split.activation_shape} at cut "
+                f"{self.split.cut!r}"
+            )
+        optimizer = Adam([noise], lr=self.lr)
+        history = NoiseTrainingHistory()
+        n = len(self.train_labels)
+        order = self._rng.permutation(n)
+        cursor = 0
+        for step in range(iterations):
+            if cursor + self.batch_size > n:
+                order = self._rng.permutation(n)
+                cursor = 0
+            batch = order[cursor : cursor + self.batch_size]
+            cursor += self.batch_size
+
+            privacy = in_vivo_privacy_from_power(self.signal_power, noise.data)
+            lambda_now = self.schedule.coefficient(step, privacy)
+            loss_fn = self.loss.with_lambda(lambda_now)
+
+            activations = Tensor(self.train_activations[batch])
+            logits = self.split.remote(activations + noise)
+            total, parts = loss_fn(logits, self.train_labels[batch], noise)
+            if not np.isfinite(parts.total):
+                raise TrainingError(
+                    f"noise training diverged at iteration {step} "
+                    f"(loss={parts.total})"
+                )
+            optimizer.zero_grad()
+            total.backward()
+            optimizer.step()
+
+            history.iterations.append(step)
+            history.losses.append(parts.total)
+            history.cross_entropies.append(parts.cross_entropy)
+            history.in_vivo_privacies.append(privacy)
+            history.lambdas.append(lambda_now)
+            if step % self.eval_every == 0 or step == iterations - 1:
+                accuracy = self.split.accuracy_from_activations(
+                    self.eval_activations, self.eval_labels, noise.data
+                )
+                history.accuracies.append(accuracy)
+                history.accuracy_iterations.append(step)
+
+        final_privacy = in_vivo_privacy_from_power(self.signal_power, noise.data)
+        return NoiseTrainingResult(
+            noise=noise.data.copy(),
+            history=history,
+            final_in_vivo_privacy=final_privacy,
+            final_accuracy=history.accuracies[-1],
+            signal_power=self.signal_power,
+            epochs=iterations * self.batch_size / n,
+        )

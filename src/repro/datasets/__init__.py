@@ -1,0 +1,44 @@
+"""``repro.datasets`` — procedural surrogates for the paper's datasets.
+
+MNIST -> :class:`SynthDigits`, CIFAR-10 -> :class:`SynthObjects`,
+SVHN -> :class:`SynthSVHN`, ImageNet -> :class:`SynthImageNet`.
+See DESIGN.md §2 for why these substitutions preserve the experiments.
+"""
+
+from repro.datasets.base import SyntheticImageDataset
+from repro.datasets.digits import SynthDigits
+from repro.datasets.glyphs import all_digit_glyphs, digit_glyph
+from repro.datasets.imagenet import SynthImageNet, class_description
+from repro.datasets.objects import CLASS_NAMES as OBJECT_CLASS_NAMES
+from repro.datasets.objects import SynthObjects
+from repro.datasets.registry import (
+    SURROGATE_NAMES,
+    dataset_names,
+    load_dataset,
+)
+from repro.datasets.svhn import SynthSVHN
+from repro.datasets.transforms import (
+    channel_statistics,
+    normalize,
+    normalized_pair,
+    random_horizontal_flip,
+)
+
+__all__ = [
+    "OBJECT_CLASS_NAMES",
+    "SURROGATE_NAMES",
+    "SynthDigits",
+    "SynthImageNet",
+    "SynthObjects",
+    "SynthSVHN",
+    "SyntheticImageDataset",
+    "all_digit_glyphs",
+    "channel_statistics",
+    "class_description",
+    "dataset_names",
+    "digit_glyph",
+    "load_dataset",
+    "normalize",
+    "normalized_pair",
+    "random_horizontal_flip",
+]

@@ -1,0 +1,83 @@
+"""Base class for the procedurally generated datasets.
+
+The paper evaluates on MNIST, CIFAR-10, SVHN and ImageNet, none of which are
+available in this offline environment.  Each surrogate dataset below
+generates class-conditional images from a parametric renderer with nuisance
+variation (position, rotation, colour, clutter, sensor noise), which is the
+property the experiments rely on: intermediate activations carry both
+task-relevant and excess information about the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.nn.data import TensorDataset
+
+
+class SyntheticImageDataset:
+    """A deterministic, class-balanced synthetic image dataset.
+
+    Subclasses implement :meth:`render` (one image for a given label and
+    RNG) and define :attr:`num_classes`, :attr:`image_shape`, and
+    :attr:`name`.
+
+    Args:
+        train_samples: Number of training images.
+        test_samples: Number of held-out test images.
+        seed: Seed for the dataset's private RNG stream.
+    """
+
+    name: str = "synthetic"
+    num_classes: int = 0
+    image_shape: tuple[int, int, int] = (0, 0, 0)
+
+    def __init__(self, train_samples: int, test_samples: int, seed: int = 0) -> None:
+        if train_samples <= 0 or test_samples <= 0:
+            raise DatasetError("sample counts must be positive")
+        if self.num_classes <= 0:
+            raise DatasetError(f"{type(self).__name__} must define num_classes")
+        self.train_samples = train_samples
+        self.test_samples = test_samples
+        self.seed = seed
+        self._train: TensorDataset | None = None
+        self._test: TensorDataset | None = None
+
+    # ------------------------------------------------------------------
+    # Subclass API
+    # ------------------------------------------------------------------
+    def render(self, label: int, rng: np.random.Generator) -> np.ndarray:
+        """Render one CHW image for ``label``."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def _generate(self, count: int, rng: np.random.Generator) -> TensorDataset:
+        labels = np.arange(count) % self.num_classes
+        rng.shuffle(labels)
+        images = np.empty((count, *self.image_shape), dtype=np.float32)
+        for i, label in enumerate(labels):
+            images[i] = self.render(int(label), rng)
+        return TensorDataset(images, labels.astype(np.int64))
+
+    def train_set(self) -> TensorDataset:
+        """Materialise (and cache) the training split."""
+        if self._train is None:
+            rng = np.random.default_rng(self.seed)
+            self._train = self._generate(self.train_samples, rng)
+        return self._train
+
+    def test_set(self) -> TensorDataset:
+        """Materialise (and cache) the test split (independent RNG stream)."""
+        if self._test is None:
+            rng = np.random.default_rng(self.seed + 1_000_003)
+            self._test = self._generate(self.test_samples, rng)
+        return self._test
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(train={self.train_samples}, "
+            f"test={self.test_samples}, seed={self.seed})"
+        )

@@ -1,0 +1,42 @@
+"""Bitmap glyphs for the digits 0-9.
+
+A classic 5x7 dot-matrix font, used by the MNIST and SVHN surrogates.  Each
+glyph is a ``(7, 5)`` float array with ink at 1.0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+_GLYPH_ROWS: dict[int, tuple[str, ...]] = {
+    0: (".###.", "#...#", "#..##", "#.#.#", "##..#", "#...#", ".###."),
+    1: ("..#..", ".##..", "..#..", "..#..", "..#..", "..#..", ".###."),
+    2: (".###.", "#...#", "....#", "...#.", "..#..", ".#...", "#####"),
+    3: (".###.", "#...#", "....#", "..##.", "....#", "#...#", ".###."),
+    4: ("...#.", "..##.", ".#.#.", "#..#.", "#####", "...#.", "...#."),
+    5: ("#####", "#....", "####.", "....#", "....#", "#...#", ".###."),
+    6: (".###.", "#....", "#....", "####.", "#...#", "#...#", ".###."),
+    7: ("#####", "....#", "...#.", "..#..", ".#...", ".#...", ".#..."),
+    8: (".###.", "#...#", "#...#", ".###.", "#...#", "#...#", ".###."),
+    9: (".###.", "#...#", "#...#", ".####", "....#", "....#", ".###."),
+}
+
+GLYPH_HEIGHT = 7
+GLYPH_WIDTH = 5
+
+
+def digit_glyph(digit: int) -> np.ndarray:
+    """Return the ``(7, 5)`` bitmap for ``digit`` (0-9)."""
+    if digit not in _GLYPH_ROWS:
+        raise DatasetError(f"no glyph for digit {digit!r}")
+    rows = _GLYPH_ROWS[digit]
+    return np.array(
+        [[1.0 if ch == "#" else 0.0 for ch in row] for row in rows], dtype=np.float32
+    )
+
+
+def all_digit_glyphs() -> np.ndarray:
+    """Return all ten glyphs stacked into a ``(10, 7, 5)`` array."""
+    return np.stack([digit_glyph(d) for d in range(10)])

@@ -1,0 +1,56 @@
+"""Dataset registry keyed by benchmark name.
+
+The registry maps the paper's benchmark names to the synthetic surrogate
+datasets, so the eval harness can say ``load_dataset("mnist", scale)`` and
+receive the dataset LeNet trains on in this reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import ExperimentScale
+from repro.datasets.base import SyntheticImageDataset
+from repro.datasets.digits import SynthDigits
+from repro.datasets.imagenet import SynthImageNet
+from repro.datasets.objects import SynthObjects
+from repro.datasets.svhn import SynthSVHN
+from repro.errors import DatasetError
+
+_FACTORIES: dict[str, Callable[..., SyntheticImageDataset]] = {
+    "mnist": SynthDigits,
+    "cifar": SynthObjects,
+    "svhn": SynthSVHN,
+    "imagenet": SynthImageNet,
+}
+
+#: Paper benchmark -> surrogate dataset name, for reporting.
+SURROGATE_NAMES = {
+    "mnist": SynthDigits.name,
+    "cifar": SynthObjects.name,
+    "svhn": SynthSVHN.name,
+    "imagenet": SynthImageNet.name,
+}
+
+
+def dataset_names() -> list[str]:
+    """All registered benchmark dataset keys."""
+    return sorted(_FACTORIES)
+
+
+def load_dataset(
+    name: str, scale: ExperimentScale, seed: int = 0
+) -> SyntheticImageDataset:
+    """Instantiate the surrogate dataset for a paper benchmark.
+
+    Args:
+        name: One of ``mnist``, ``cifar``, ``svhn``, ``imagenet``.
+        scale: Controls train/test sample counts.
+        seed: Dataset RNG seed.
+    """
+    key = name.strip().lower()
+    if key not in _FACTORIES:
+        raise DatasetError(f"unknown dataset {name!r}; options: {dataset_names()}")
+    return _FACTORIES[key](
+        train_samples=scale.train_samples, test_samples=scale.test_samples, seed=seed
+    )

@@ -1,0 +1,50 @@
+"""Array transforms applied to whole datasets (normalisation etc.)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.nn.data import TensorDataset
+
+
+def channel_statistics(images: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-channel mean and std over an NCHW batch."""
+    if images.ndim != 4:
+        raise DatasetError(f"expected NCHW images, got shape {images.shape}")
+    mean = images.mean(axis=(0, 2, 3))
+    std = images.std(axis=(0, 2, 3))
+    return mean.astype(np.float32), np.maximum(std, 1e-6).astype(np.float32)
+
+
+def normalize(images: np.ndarray, mean: np.ndarray, std: np.ndarray) -> np.ndarray:
+    """Standardise an NCHW batch with per-channel statistics."""
+    c = images.shape[1]
+    return (images - mean.reshape(1, c, 1, 1)) / std.reshape(1, c, 1, 1)
+
+
+def normalized_pair(
+    train: TensorDataset, test: TensorDataset
+) -> tuple[TensorDataset, TensorDataset, np.ndarray, np.ndarray]:
+    """Normalise train/test with statistics computed on train only.
+
+    Returns the normalised datasets plus the (mean, std) used, so that
+    deployment-time inputs can be normalised identically on the edge device.
+    """
+    mean, std = channel_statistics(train.images)
+    return (
+        TensorDataset(normalize(train.images, mean, std), train.labels),
+        TensorDataset(normalize(test.images, mean, std), test.labels),
+        mean,
+        std,
+    )
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator, probability: float = 0.5
+) -> np.ndarray:
+    """Flip a random subset of an NCHW batch left-right (augmentation)."""
+    flip = rng.random(len(images)) < probability
+    out = images.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out

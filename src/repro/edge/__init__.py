@@ -1,0 +1,91 @@
+"""``repro.edge`` — cost model and simulated edge/cloud deployment.
+
+Analytic MAC/byte accounting (:mod:`repro.edge.costs`), the §3.4 cutting
+point planner, a binary wire protocol, a simulated channel, and the
+EdgeDevice / CloudServer runtime of Figure 2.
+"""
+
+from repro.edge.channel import Channel, ChannelStats
+from repro.edge.costs import (
+    BYTES_PER_ELEMENT,
+    CutCost,
+    LayerCost,
+    cut_cost,
+    cut_costs,
+    layer_macs,
+    profile_network,
+)
+from repro.edge.device import CloudServer, EdgeDevice, InferenceSession, SessionReport
+from repro.edge.energy import (
+    EMBEDDED_GPU,
+    MICROCONTROLLER,
+    MOBILE_CPU,
+    PROFILES,
+    DeviceProfile,
+    EnergyEstimate,
+    battery_inferences,
+    cheapest_cut,
+    energy_table,
+    estimate_cut,
+)
+from repro.edge.planner import CutCandidate, CuttingPointPlanner
+from repro.edge.quantization import (
+    QuantizationParams,
+    QuantizedActivation,
+    calibrate,
+    compress_activation,
+    dequantize,
+    quantization_error,
+    quantize,
+    wire_bytes,
+)
+from repro.edge.protocol import (
+    ActivationMessage,
+    PredictionMessage,
+    decode_activation,
+    decode_prediction,
+    encode_activation,
+    encode_prediction,
+)
+
+__all__ = [
+    "ActivationMessage",
+    "BYTES_PER_ELEMENT",
+    "Channel",
+    "ChannelStats",
+    "CloudServer",
+    "CutCandidate",
+    "DeviceProfile",
+    "EMBEDDED_GPU",
+    "EnergyEstimate",
+    "MICROCONTROLLER",
+    "MOBILE_CPU",
+    "PROFILES",
+    "battery_inferences",
+    "cheapest_cut",
+    "energy_table",
+    "estimate_cut",
+    "CutCost",
+    "CuttingPointPlanner",
+    "EdgeDevice",
+    "InferenceSession",
+    "LayerCost",
+    "PredictionMessage",
+    "QuantizationParams",
+    "QuantizedActivation",
+    "calibrate",
+    "compress_activation",
+    "dequantize",
+    "quantization_error",
+    "quantize",
+    "wire_bytes",
+    "SessionReport",
+    "cut_cost",
+    "cut_costs",
+    "decode_activation",
+    "decode_prediction",
+    "encode_activation",
+    "encode_prediction",
+    "layer_macs",
+    "profile_network",
+]

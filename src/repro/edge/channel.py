@@ -1,0 +1,91 @@
+"""Simulated network link between edge and cloud.
+
+Models the communication cost the paper's §3.4 trade-off analysis reasons
+about: transfer time = latency + bytes/bandwidth, with optional random drops
+(retried up to a bound).  Wall-clock time is *simulated*, not slept, so the
+whole deployment story runs instantly in tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ChannelError, ConfigurationError
+
+
+@dataclass
+class ChannelStats:
+    """Accumulated traffic statistics."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    simulated_seconds: float = 0.0
+    drops: int = 0
+    per_message_seconds: list[float] = field(default_factory=list)
+
+
+class Channel:
+    """A lossy, bandwidth-limited, fixed-latency link.
+
+    Args:
+        bandwidth_mbps: Payload bandwidth in megabits per second.
+        latency_ms: One-way latency per message in milliseconds.
+        drop_rate: Probability a transmission attempt is lost.
+        max_retries: Attempts before giving up with :class:`ChannelError`.
+        rng: Randomness for drops.
+    """
+
+    def __init__(
+        self,
+        bandwidth_mbps: float = 100.0,
+        latency_ms: float = 10.0,
+        drop_rate: float = 0.0,
+        max_retries: int = 3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if latency_ms < 0:
+            raise ConfigurationError("latency must be non-negative")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ConfigurationError("drop rate must be in [0, 1)")
+        self.bandwidth_mbps = bandwidth_mbps
+        self.latency_ms = latency_ms
+        self.drop_rate = drop_rate
+        self.max_retries = max_retries
+        self._rng = rng or np.random.default_rng()
+        self.stats = ChannelStats()
+
+    def transfer_seconds(self, n_bytes: int) -> float:
+        """Simulated seconds to move ``n_bytes`` across the link once."""
+        payload = (n_bytes * 8) / (self.bandwidth_mbps * 1e6)
+        return self.latency_ms / 1e3 + payload
+
+    def transmit(self, blob: bytes) -> bytes:
+        """Deliver a message, simulating time and possible retries.
+
+        Returns the delivered bytes (identity — the channel is transparent
+        apart from cost and drops).
+
+        Raises:
+            ChannelError: When every retry is dropped.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            elapsed = self.transfer_seconds(len(blob))
+            self.stats.simulated_seconds += elapsed
+            if self.drop_rate and self._rng.random() < self.drop_rate:
+                self.stats.drops += 1
+                if attempts > self.max_retries:
+                    raise ChannelError(
+                        f"message lost after {attempts} attempts "
+                        f"(drop rate {self.drop_rate})"
+                    )
+                continue
+            self.stats.messages += 1
+            self.stats.bytes_sent += len(blob)
+            self.stats.per_message_seconds.append(elapsed)
+            return blob

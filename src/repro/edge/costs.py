@@ -1,0 +1,132 @@
+"""Analytic computation / communication cost model (paper §3.4).
+
+Figure 6 plots ``Computation × Communication`` per candidate cutting point:
+computation is the cumulative multiply-accumulate (MAC) count of all layers
+the edge device must run, and communication is the byte size of the
+activation tensor shipped to the cloud.  Both are derived exactly from the
+layer geometry — no measurement needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.models.base import SplittableModel
+from repro.nn import Conv2d, Linear, Tensor, no_grad
+from repro.nn.module import Module
+
+BYTES_PER_ELEMENT = 4  # float32 activations on the wire
+
+
+def layer_macs(module: Module, input_shape: tuple[int, ...], output_shape: tuple[int, ...]) -> int:
+    """Multiply-accumulate count of one layer for a single sample.
+
+    Convolutions dominate; linear layers count ``in × out``; pooling,
+    normalisation and elementwise layers are counted as zero MACs (their
+    cost is negligible next to the convs, and the paper's cost model is
+    MAC-based).
+    """
+    if isinstance(module, Conv2d):
+        _, out_c, out_h, out_w = output_shape
+        kh, kw = module.kernel_size
+        return out_h * out_w * out_c * module.in_channels * kh * kw
+    if isinstance(module, Linear):
+        return module.in_features * module.out_features
+    return 0
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost profile of one layer in the flattened network.
+
+    Attributes:
+        name: Layer name inside the model's Sequential.
+        macs: Per-sample multiply-accumulates of this layer.
+        output_elements: Per-sample elements of the layer output.
+        output_bytes: Per-sample bytes if this output were communicated.
+    """
+
+    name: str
+    macs: int
+    output_elements: int
+    output_bytes: int
+
+
+def profile_network(model: SplittableModel) -> list[LayerCost]:
+    """Per-layer cost profile via a single dry run."""
+    was_training = model.training
+    model.eval()
+    costs: list[LayerCost] = []
+    try:
+        with no_grad():
+            x = Tensor(np.zeros((1, *model.input_shape), dtype=np.float32))
+            for name in model.net.layer_names():
+                module = model.net[name]
+                input_shape = x.shape
+                x = module(x)
+                elements = int(np.prod(x.shape[1:]))
+                costs.append(
+                    LayerCost(
+                        name=name,
+                        macs=layer_macs(module, input_shape, x.shape),
+                        output_elements=elements,
+                        output_bytes=elements * BYTES_PER_ELEMENT,
+                    )
+                )
+    finally:
+        model.train(was_training)
+    return costs
+
+
+@dataclass(frozen=True)
+class CutCost:
+    """Edge-side cost of choosing one cutting point.
+
+    Attributes:
+        cut: Cut-point name.
+        conv_index: Conv ordinal of the cut (for figure labelling).
+        kilomacs: Cumulative edge computation, in kMACs.
+        megabytes: Communicated activation size, in MB.
+        product: ``kilomacs × megabytes`` — Figure 6's x-axis.
+    """
+
+    cut: str
+    conv_index: int
+    kilomacs: float
+    megabytes: float
+    product: float
+
+
+def cut_costs(model: SplittableModel) -> list[CutCost]:
+    """The Figure 6 cost model: one entry per candidate cutting point."""
+    profile = {cost.name: cost for cost in profile_network(model)}
+    order = model.net.layer_names()
+    results: list[CutCost] = []
+    for cut in model.cut_names():
+        point = model.cut_point(cut)
+        local_layers = order[: point.end_index + 1]
+        total_macs = sum(profile[name].macs for name in local_layers)
+        boundary = profile[order[point.end_index]]
+        kilomacs = total_macs / 1e3
+        megabytes = boundary.output_bytes / 1e6
+        results.append(
+            CutCost(
+                cut=cut,
+                conv_index=point.conv_index,
+                kilomacs=kilomacs,
+                megabytes=megabytes,
+                product=kilomacs * megabytes,
+            )
+        )
+    return results
+
+
+def cut_cost(model: SplittableModel, cut: str) -> CutCost:
+    """Cost of a single cutting point."""
+    for cost in cut_costs(model):
+        if cost.cut == cut:
+            return cost
+    raise ModelError(f"{model.model_name} has no cut point {cut!r}")

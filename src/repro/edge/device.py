@@ -1,0 +1,162 @@
+"""Edge device and cloud server runtimes (Figure 2 made executable).
+
+The :class:`EdgeDevice` owns the local half of the network, the input
+normalisation constants, and the trained :class:`NoiseCollection`; per
+request it computes the activation, samples a noise tensor (§2.5 — no
+training at deployment), adds it, and serialises the result.  The
+:class:`CloudServer` owns the remote half and never sees anything but noisy
+activations.  :class:`InferenceSession` wires the two through a simulated
+:class:`~repro.edge.channel.Channel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampler import NoiseCollection
+from repro.edge.channel import Channel
+from repro.edge.costs import cut_cost
+from repro.edge.protocol import (
+    ActivationMessage,
+    PredictionMessage,
+    decode_activation,
+    decode_prediction,
+    encode_activation,
+    encode_prediction,
+)
+from repro.errors import ConfigurationError
+from repro.models.base import SplittableModel
+from repro.nn import Sequential, Tensor, no_grad
+
+
+class EdgeDevice:
+    """The user-side half of split inference.
+
+    Args:
+        local: Local network ``L(x, θ₁)``.
+        mean / std: Input normalisation (matching backbone training).
+        noise: Trained noise collection; ``None`` disables noise injection
+            (the privacy-free baseline).
+        rng: Randomness for per-request noise sampling.
+    """
+
+    def __init__(
+        self,
+        local: Sequential,
+        mean: np.ndarray,
+        std: np.ndarray,
+        noise: NoiseCollection | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.local = local.eval()
+        self.mean = np.asarray(mean, dtype=np.float32)
+        self.std = np.asarray(std, dtype=np.float32)
+        if (self.std <= 0).any():
+            raise ConfigurationError("normalisation std must be positive")
+        self.noise = noise
+        self._rng = rng or np.random.default_rng()
+        self._next_request = 0
+
+    def normalize(self, images: np.ndarray) -> np.ndarray:
+        """Apply the backbone's training normalisation."""
+        c = images.shape[1]
+        return (images - self.mean.reshape(1, c, 1, 1)) / self.std.reshape(1, c, 1, 1)
+
+    def process(self, images: np.ndarray) -> ActivationMessage:
+        """Run the local half and inject sampled noise (one request)."""
+        with no_grad():
+            activation = self.local(Tensor(self.normalize(images))).numpy()
+        if self.noise is not None:
+            activation = activation + self.noise.sample_batch(
+                self._rng, len(activation)
+            )
+        message = ActivationMessage(request_id=self._next_request, tensor=activation)
+        self._next_request += 1
+        return message
+
+
+class CloudServer:
+    """The provider-side half: computes predictions from noisy activations."""
+
+    def __init__(self, remote: Sequential) -> None:
+        self.remote = remote.eval()
+
+    def handle(self, message: ActivationMessage) -> PredictionMessage:
+        """Compute logits for one activation message."""
+        with no_grad():
+            logits = self.remote(Tensor(message.tensor)).numpy()
+        return PredictionMessage(request_id=message.request_id, logits=logits)
+
+
+@dataclass
+class SessionReport:
+    """Cost accounting for a batch of inferences."""
+
+    requests: int
+    uplink_bytes: int
+    downlink_bytes: int
+    simulated_seconds: float
+    edge_kilomacs_per_sample: float
+
+
+class InferenceSession:
+    """End-to-end split inference over a simulated channel.
+
+    Args:
+        model: The full backbone (used for cost bookkeeping).
+        cut: Cut-point name.
+        mean / std: Input normalisation constants.
+        noise: Noise collection for the edge device (optional).
+        channel: Link model; default is a fast clean link.
+        rng: Noise-sampling randomness.
+    """
+
+    def __init__(
+        self,
+        model: SplittableModel,
+        cut: str,
+        mean: np.ndarray,
+        std: np.ndarray,
+        noise: NoiseCollection | None = None,
+        channel: Channel | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        local, remote = model.split(cut)
+        self.device = EdgeDevice(local, mean, std, noise, rng)
+        self.server = CloudServer(remote)
+        self.channel = channel or Channel()
+        self.cut = cut
+        self._edge_cost = cut_cost(model, cut)
+        self._uplink_bytes = 0
+        self._downlink_bytes = 0
+        self._requests = 0
+        self._samples = 0
+
+    def infer(self, images: np.ndarray) -> np.ndarray:
+        """One round trip: edge -> channel -> cloud -> channel -> edge."""
+        uplink = encode_activation(self.device.process(images))
+        delivered = self.channel.transmit(uplink)
+        response = self.server.handle(decode_activation(delivered))
+        downlink = self.channel.transmit(encode_prediction(response))
+        logits = decode_prediction(downlink).logits
+        self._uplink_bytes += len(uplink)
+        self._downlink_bytes += len(downlink)
+        self._requests += 1
+        self._samples += len(images)
+        return logits
+
+    def classify(self, images: np.ndarray) -> np.ndarray:
+        """Predicted labels for a batch."""
+        return self.infer(images).argmax(axis=1)
+
+    def report(self) -> SessionReport:
+        """Traffic and computation accounting for the session so far."""
+        return SessionReport(
+            requests=self._requests,
+            uplink_bytes=self._uplink_bytes,
+            downlink_bytes=self._downlink_bytes,
+            simulated_seconds=self.channel.stats.simulated_seconds,
+            edge_kilomacs_per_sample=self._edge_cost.kilomacs,
+        )

@@ -1,0 +1,184 @@
+"""Energy and latency model for the edge side of split inference.
+
+Paper §3.4 reasons about the cutting point with an abstract
+``Computation × Communication`` product.  This module grounds that product
+in device terms: given a device profile (energy per MAC, radio energy per
+byte, compute rate, uplink bandwidth), every candidate cut gets an energy
+and latency estimate per inference — the quantities an edge deployment
+actually budgets.
+
+The built-in profiles are order-of-magnitude characterisations of three
+device classes (microcontroller, mobile big-core, embedded-GPU board),
+assembled from public energy-per-operation figures; they are meant for
+*relative* cut comparisons, not absolute power claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edge.costs import CutCost, cut_costs
+from repro.errors import ConfigurationError
+from repro.models.base import SplittableModel
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Energy/throughput characterisation of one edge device class.
+
+    Attributes:
+        name: Profile label.
+        energy_per_mac_pj: Compute energy per multiply-accumulate, in pJ.
+        radio_energy_per_byte_nj: Transmit energy per payload byte, in nJ.
+        compute_rate_mmacs: Sustained compute rate, in millions of MACs/s.
+        uplink_mbps: Radio uplink, in megabits per second.
+        radio_overhead_ms: Fixed per-message radio wake/handshake latency.
+    """
+
+    name: str
+    energy_per_mac_pj: float
+    radio_energy_per_byte_nj: float
+    compute_rate_mmacs: float
+    uplink_mbps: float
+    radio_overhead_ms: float = 5.0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.energy_per_mac_pj,
+            self.radio_energy_per_byte_nj,
+            self.compute_rate_mmacs,
+            self.uplink_mbps,
+        ) <= 0:
+            raise ConfigurationError(
+                f"device profile {self.name!r} needs positive rates/energies"
+            )
+        if self.radio_overhead_ms < 0:
+            raise ConfigurationError("radio overhead cannot be negative")
+
+
+#: Order-of-magnitude device classes for cut-point comparisons.
+MICROCONTROLLER = DeviceProfile(
+    name="microcontroller",
+    energy_per_mac_pj=20.0,
+    radio_energy_per_byte_nj=200.0,  # BLE-class radio
+    compute_rate_mmacs=50.0,
+    uplink_mbps=0.5,
+    radio_overhead_ms=20.0,
+)
+
+MOBILE_CPU = DeviceProfile(
+    name="mobile_cpu",
+    energy_per_mac_pj=5.0,
+    radio_energy_per_byte_nj=50.0,  # LTE-class radio
+    compute_rate_mmacs=2000.0,
+    uplink_mbps=10.0,
+    radio_overhead_ms=10.0,
+)
+
+EMBEDDED_GPU = DeviceProfile(
+    name="embedded_gpu",
+    energy_per_mac_pj=1.0,
+    radio_energy_per_byte_nj=30.0,  # WiFi-class radio
+    compute_rate_mmacs=50000.0,
+    uplink_mbps=50.0,
+    radio_overhead_ms=2.0,
+)
+
+PROFILES: dict[str, DeviceProfile] = {
+    profile.name: profile
+    for profile in (MICROCONTROLLER, MOBILE_CPU, EMBEDDED_GPU)
+}
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Per-inference edge cost of one cutting point on one device.
+
+    Attributes:
+        cut: Cut-point name.
+        device: Device profile name.
+        compute_energy_mj: Edge compute energy, in millijoules.
+        radio_energy_mj: Transmit energy, in millijoules.
+        compute_latency_ms: Edge compute time, in milliseconds.
+        radio_latency_ms: Transmit time (incl. fixed overhead), in ms.
+    """
+
+    cut: str
+    device: str
+    compute_energy_mj: float
+    radio_energy_mj: float
+    compute_latency_ms: float
+    radio_latency_ms: float
+
+    @property
+    def total_energy_mj(self) -> float:
+        """Compute plus radio energy."""
+        return self.compute_energy_mj + self.radio_energy_mj
+
+    @property
+    def total_latency_ms(self) -> float:
+        """Compute plus radio latency (serialised, worst case)."""
+        return self.compute_latency_ms + self.radio_latency_ms
+
+
+def estimate_cut(cost: CutCost, profile: DeviceProfile) -> EnergyEstimate:
+    """Energy/latency of one cutting point on one device."""
+    macs = cost.kilomacs * 1e3
+    payload_bytes = cost.megabytes * 1e6
+    compute_energy_mj = macs * profile.energy_per_mac_pj * 1e-9
+    radio_energy_mj = payload_bytes * profile.radio_energy_per_byte_nj * 1e-6
+    compute_latency_ms = macs / (profile.compute_rate_mmacs * 1e6) * 1e3
+    radio_latency_ms = (
+        payload_bytes * 8.0 / (profile.uplink_mbps * 1e6) * 1e3
+        + profile.radio_overhead_ms
+    )
+    return EnergyEstimate(
+        cut=cost.cut,
+        device=profile.name,
+        compute_energy_mj=compute_energy_mj,
+        radio_energy_mj=radio_energy_mj,
+        compute_latency_ms=compute_latency_ms,
+        radio_latency_ms=radio_latency_ms,
+    )
+
+
+def energy_table(
+    model: SplittableModel, profile: DeviceProfile
+) -> list[EnergyEstimate]:
+    """Energy/latency of every candidate cut of a model on one device."""
+    return [estimate_cut(cost, profile) for cost in cut_costs(model)]
+
+
+def cheapest_cut(
+    model: SplittableModel, profile: DeviceProfile, metric: str = "energy"
+) -> EnergyEstimate:
+    """The cut minimising total energy (or latency) on a device.
+
+    Args:
+        metric: ``"energy"`` or ``"latency"``.
+    """
+    estimates = energy_table(model, profile)
+    if metric == "energy":
+        return min(estimates, key=lambda e: e.total_energy_mj)
+    if metric == "latency":
+        return min(estimates, key=lambda e: e.total_latency_ms)
+    raise ConfigurationError(f"unknown metric {metric!r}; use energy or latency")
+
+
+def battery_inferences(
+    estimate: EnergyEstimate, battery_joules: float
+) -> int:
+    """How many inferences one battery charge sustains at this cut.
+
+    Args:
+        estimate: Per-inference cost.
+        battery_joules: Usable battery energy (e.g. a 1 Wh budget = 3600 J).
+    """
+    if battery_joules <= 0:
+        raise ConfigurationError(
+            f"battery energy must be positive, got {battery_joules}"
+        )
+    per_inference_j = estimate.total_energy_mj * 1e-3
+    if per_inference_j <= 0:
+        raise ConfigurationError("estimate carries no positive energy cost")
+    return int(battery_joules / per_inference_j)

@@ -1,0 +1,101 @@
+"""Cutting-point selection (paper §3.4).
+
+Layer choice "is mostly an interplay of communication and computation of
+the edge device": deeper cuts start from lower MI (more private) but cost
+more edge compute, while communication depends non-monotonically on layer
+output sizes.  The planner reproduces the paper's reasoning: Figure 6 plots
+``Computation × Communication`` against ex-vivo privacy per cut, and the
+chosen point is the one offering the most privacy among Pareto-reasonable
+costs (SVHN: conv6 — cheapest *and* most private; LeNet: conv2 — a one
+percent cost increase "worth the gained privacy level").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.edge.costs import CutCost, cut_costs
+from repro.errors import ModelError
+from repro.models.base import SplittableModel
+
+
+@dataclass(frozen=True)
+class CutCandidate:
+    """One cutting point with its cost and measured privacy.
+
+    Attributes:
+        cut: Cut-point name.
+        cost: The §3.4 cost model entry (kMAC, MB, product).
+        ex_vivo_privacy: Measured ``1/MI`` at this cut.
+    """
+
+    cut: str
+    cost: CutCost
+    ex_vivo_privacy: float
+
+
+class CuttingPointPlanner:
+    """Ranks cutting points by the paper's cost/privacy trade-off.
+
+    Args:
+        model: The backbone under consideration.
+        privacy_by_cut: ``{cut_name: ex vivo privacy}`` measurements (from
+            :func:`repro.privacy.metrics.estimate_leakage` at each cut).
+    """
+
+    def __init__(self, model: SplittableModel, privacy_by_cut: dict[str, float]) -> None:
+        costs = {cost.cut: cost for cost in cut_costs(model)}
+        missing = set(privacy_by_cut) - set(costs)
+        if missing:
+            raise ModelError(f"unknown cuts in privacy map: {sorted(missing)}")
+        if not privacy_by_cut:
+            raise ModelError("privacy_by_cut must not be empty")
+        self.candidates = [
+            CutCandidate(cut=cut, cost=costs[cut], ex_vivo_privacy=privacy)
+            for cut, privacy in privacy_by_cut.items()
+        ]
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def pareto_frontier(self) -> list[CutCandidate]:
+        """Candidates not dominated in (lower cost, higher privacy)."""
+        frontier = []
+        for candidate in self.candidates:
+            dominated = any(
+                other.cost.product <= candidate.cost.product
+                and other.ex_vivo_privacy >= candidate.ex_vivo_privacy
+                and (
+                    other.cost.product < candidate.cost.product
+                    or other.ex_vivo_privacy > candidate.ex_vivo_privacy
+                )
+                for other in self.candidates
+            )
+            if not dominated:
+                frontier.append(candidate)
+        return sorted(frontier, key=lambda c: c.cost.product)
+
+    def recommend(self, cost_budget: float | None = None) -> CutCandidate:
+        """The paper's choice: most private Pareto point within budget.
+
+        Args:
+            cost_budget: Optional upper bound on the cost product
+                (kMAC × MB); ``None`` means unconstrained, in which case the
+                most private frontier point wins (ties broken by cost).
+        """
+        frontier = self.pareto_frontier()
+        if cost_budget is not None:
+            affordable = [c for c in frontier if c.cost.product <= cost_budget]
+            if not affordable:
+                raise ModelError(
+                    f"no cutting point fits the cost budget {cost_budget}"
+                )
+            frontier = affordable
+        return max(frontier, key=lambda c: (c.ex_vivo_privacy, -c.cost.product))
+
+    def ranked(self) -> list[CutCandidate]:
+        """All candidates, most attractive (private, then cheap) first."""
+        return sorted(
+            self.candidates,
+            key=lambda c: (-c.ex_vivo_privacy, c.cost.product),
+        )

@@ -1,0 +1,117 @@
+"""Wire protocol between the edge device and the cloud service.
+
+A minimal length-prefixed binary format: header (magic, request id, dtype
+code, shape) followed by the raw tensor bytes and a checksum.  The point is
+not the format itself but that the *only* thing crossing the wire is the
+noisy activation — exactly the privacy surface the paper analyses.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChannelError
+
+_MAGIC = b"SHRD"
+_DTYPES = {0: np.float32, 1: np.float64, 2: np.int64}
+_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1, np.dtype(np.int64): 2}
+
+
+@dataclass(frozen=True)
+class ActivationMessage:
+    """Edge -> cloud: the (noisy) activation for one batch."""
+
+    request_id: int
+    tensor: np.ndarray
+
+
+@dataclass(frozen=True)
+class PredictionMessage:
+    """Cloud -> edge: logits for one batch."""
+
+    request_id: int
+    logits: np.ndarray
+
+
+def encode_tensor(request_id: int, tensor: np.ndarray) -> bytes:
+    """Serialise a tensor message to bytes (header + payload + CRC32)."""
+    tensor = np.ascontiguousarray(tensor)
+    dtype_code = _DTYPE_CODES.get(tensor.dtype)
+    if dtype_code is None:
+        raise ChannelError(f"unsupported wire dtype {tensor.dtype}")
+    if tensor.ndim > 8:
+        raise ChannelError(f"too many dimensions for the wire format: {tensor.ndim}")
+    payload = tensor.tobytes()
+    header = struct.pack(
+        f"<4sQBB{tensor.ndim}I",
+        _MAGIC,
+        request_id,
+        dtype_code,
+        tensor.ndim,
+        *tensor.shape,
+    )
+    checksum = struct.pack("<I", zlib.crc32(payload))
+    return header + payload + checksum
+
+
+def decode_tensor(blob: bytes) -> tuple[int, np.ndarray]:
+    """Parse bytes produced by :func:`encode_tensor`.
+
+    Raises:
+        ChannelError: On bad magic, truncation, or checksum mismatch.
+    """
+    fixed = struct.calcsize("<4sQBB")
+    if len(blob) < fixed:
+        raise ChannelError("message truncated before header end")
+    magic, request_id, dtype_code, ndim = struct.unpack("<4sQBB", blob[:fixed])
+    if magic != _MAGIC:
+        raise ChannelError(f"bad magic {magic!r}")
+    if dtype_code not in _DTYPES:
+        raise ChannelError(f"unknown dtype code {dtype_code}")
+    if ndim > 8:
+        raise ChannelError(f"too many dimensions in header: {ndim}")
+    shape_size = struct.calcsize(f"<{ndim}I")
+    if len(blob) < fixed + shape_size:
+        raise ChannelError("message truncated inside the shape header")
+    shape = struct.unpack(f"<{ndim}I", blob[fixed : fixed + shape_size])
+    dtype = np.dtype(_DTYPES[dtype_code])
+    count = int(np.prod(shape)) if ndim else 1
+    payload_size = count * dtype.itemsize
+    start = fixed + shape_size
+    payload = blob[start : start + payload_size]
+    if len(payload) != payload_size:
+        raise ChannelError("message truncated inside payload")
+    crc_bytes = blob[start + payload_size : start + payload_size + 4]
+    if len(crc_bytes) != 4:
+        raise ChannelError("message truncated inside the checksum")
+    (expected_crc,) = struct.unpack("<I", crc_bytes)
+    if zlib.crc32(payload) != expected_crc:
+        raise ChannelError("checksum mismatch — payload corrupted in transit")
+    tensor = np.frombuffer(payload, dtype=dtype).reshape(shape)
+    return request_id, tensor.copy()
+
+
+def encode_activation(message: ActivationMessage) -> bytes:
+    """Serialise an activation message."""
+    return encode_tensor(message.request_id, message.tensor)
+
+
+def decode_activation(blob: bytes) -> ActivationMessage:
+    """Deserialise an activation message."""
+    request_id, tensor = decode_tensor(blob)
+    return ActivationMessage(request_id=request_id, tensor=tensor)
+
+
+def encode_prediction(message: PredictionMessage) -> bytes:
+    """Serialise a prediction message."""
+    return encode_tensor(message.request_id, message.logits)
+
+
+def decode_prediction(blob: bytes) -> PredictionMessage:
+    """Deserialise a prediction message."""
+    request_id, tensor = decode_tensor(blob)
+    return PredictionMessage(request_id=request_id, logits=tensor)

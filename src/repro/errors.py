@@ -1,0 +1,48 @@
+"""Exception hierarchy for the Shredder reproduction.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so that callers can catch library failures without
+catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or tensor had an incompatible shape."""
+
+
+class GradientError(ReproError, RuntimeError):
+    """Backward pass was used incorrectly (e.g. no grad function)."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class SerializationError(ReproError, ValueError):
+    """A state dict could not be saved or loaded."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset was asked for something it cannot produce."""
+
+
+class ModelError(ReproError, ValueError):
+    """A model was constructed or used incorrectly (bad cut point, ...)."""
+
+
+class EstimatorError(ReproError, ValueError):
+    """An information-theoretic estimator received unusable inputs."""
+
+
+class TrainingError(ReproError, RuntimeError):
+    """Noise or model training failed or diverged."""
+
+
+class ChannelError(ReproError, RuntimeError):
+    """The simulated edge-cloud channel rejected a message."""

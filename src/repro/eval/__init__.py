@@ -1,0 +1,85 @@
+"""``repro.eval`` — the experiment harness for the paper's Table 1 and
+Figures 3-6, plus the ablations indexed in DESIGN.md."""
+
+from repro.eval.attack_eval import (
+    AttackOutcome,
+    AttackSuiteResult,
+    run_attack_suite,
+)
+from repro.eval.cutpoints import CutpointAnalysis, cost_table, run_cutpoints
+from repro.eval.experiments import (
+    BENCHMARKS,
+    PAPER_GMEAN_ACCURACY_LOSS,
+    PAPER_GMEAN_MI_LOSS,
+    BenchmarkConfig,
+    PaperNumbers,
+    benchmark_names,
+    build_pipeline,
+    derive_init_scale,
+    get_benchmark,
+    load_benchmark,
+)
+from repro.eval.layerwise import (
+    PAPER_CUTS,
+    LayerPrivacyPoint,
+    LayerwiseResult,
+    run_layerwise,
+)
+from repro.eval.report_document import (
+    CsvTable,
+    load_results,
+    render_report,
+    write_report,
+)
+from repro.eval.reporting import format_series, format_table, write_csv
+from repro.eval.scenarios import (
+    SCENARIO_NAMES,
+    ScenarioOutcome,
+    ScenarioSuite,
+    run_scenarios,
+)
+from repro.eval.table1 import Table1Result, Table1Row, run_table1
+from repro.eval.tradeoff import TradeoffCurve, TradeoffPoint, run_tradeoff
+from repro.eval.training_curves import TrainingCurves, run_training_curves
+
+__all__ = [
+    "AttackOutcome",
+    "AttackSuiteResult",
+    "BENCHMARKS",
+    "BenchmarkConfig",
+    "run_attack_suite",
+    "CutpointAnalysis",
+    "LayerPrivacyPoint",
+    "LayerwiseResult",
+    "PAPER_CUTS",
+    "PAPER_GMEAN_ACCURACY_LOSS",
+    "PAPER_GMEAN_MI_LOSS",
+    "PaperNumbers",
+    "CsvTable",
+    "SCENARIO_NAMES",
+    "load_results",
+    "render_report",
+    "write_report",
+    "ScenarioOutcome",
+    "ScenarioSuite",
+    "run_scenarios",
+    "Table1Result",
+    "Table1Row",
+    "TradeoffCurve",
+    "TradeoffPoint",
+    "TrainingCurves",
+    "benchmark_names",
+    "build_pipeline",
+    "cost_table",
+    "derive_init_scale",
+    "format_series",
+    "format_table",
+    "get_benchmark",
+    "load_benchmark",
+    "run_cutpoints",
+    "run_layerwise",
+    "run_table1",
+    "run_tradeoff",
+    "run_training_curves",
+    "write_csv",
+]

@@ -1,0 +1,161 @@
+"""Extension experiment E10 — operational attacks vs Shredder's noise.
+
+Complements the paper's information-theoretic privacy measure with
+concrete adversaries on the communicated tensors: a linear reconstruction
+decoder, a nearest-neighbour inverter, and an MLP label-inference attack,
+each evaluated against the clean channel, Shredder's sampled noise, and
+the accuracy-agnostic matched-variance baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks import (
+    LinearInverter,
+    NearestNeighbourInverter,
+    evaluate_reconstruction,
+    run_inference_attack,
+    run_reidentification,
+)
+from repro.config import Config
+from repro.core import matched_variance_noise
+from repro.eval.experiments import build_pipeline, load_benchmark
+from repro.eval.reporting import format_table
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Attack results for one channel condition.
+
+    Attributes:
+        condition: ``clean`` / ``shredder`` / ``matched_laplace``.
+        task_accuracy: Cloud-task accuracy under this condition.
+        linear_advantage: Linear decoder reconstruction advantage (0..1).
+        nn_mse: Nearest-neighbour reconstruction MSE.
+        label_attack_advantage: MLP label-inference advantage over chance.
+        reid_top1: Re-identification top-1 hit rate (chance = 1/pool).
+    """
+
+    condition: str
+    task_accuracy: float
+    linear_advantage: float
+    nn_mse: float
+    label_attack_advantage: float
+    reid_top1: float
+
+
+@dataclass
+class AttackSuiteResult:
+    """All conditions for one network."""
+
+    benchmark: str
+    outcomes: list[AttackOutcome]
+
+    def by_condition(self, condition: str) -> AttackOutcome:
+        for outcome in self.outcomes:
+            if outcome.condition == condition:
+                return outcome
+        raise KeyError(condition)
+
+    def format(self) -> str:
+        rows = [
+            (
+                o.condition,
+                f"{o.task_accuracy:.3f}",
+                f"{o.linear_advantage:.3f}",
+                f"{o.nn_mse:.4f}",
+                f"{o.label_attack_advantage:.3f}",
+                f"{o.reid_top1:.3f}",
+            )
+            for o in self.outcomes
+        ]
+        return format_table(
+            ["condition", "task acc", "linear recon adv", "NN recon MSE", "label attack adv", "reid top-1"],
+            rows,
+            title=f"Attack suite ({self.benchmark})",
+        )
+
+
+def run_attack_suite(
+    benchmark_name: str,
+    config: Config,
+    cut: str | None = None,
+    iterations: int | None = None,
+    n_members: int | None = None,
+    attack_epochs: int = 25,
+    verbose: bool = False,
+) -> AttackSuiteResult:
+    """Evaluate the three adversaries under three channel conditions.
+
+    Args:
+        cut: Cutting point under attack.  Defaults to the *first* conv cut:
+            shallow activations are the ones a reconstruction adversary can
+            actually invert (deep cuts already carry little pixel
+            information — paper §3.3), so that is where noise protection is
+            interesting to measure.
+    """
+    bundle, benchmark = load_benchmark(benchmark_name, config, verbose=verbose)
+    cut = cut or bundle.model.cut_names()[0]
+    pipeline = build_pipeline(bundle, benchmark, config, cut=cut)
+    collection = pipeline.collect(
+        n_members or benchmark.n_members, iterations
+    )
+    rng = np.random.default_rng(config.child_seed("attack-suite"))
+
+    activations = pipeline.trainer.eval_activations
+    labels = pipeline.trainer.eval_labels
+    images = bundle.test_set.images
+    half = len(labels) // 2
+
+    shredder_noise = collection.sample_batch(rng, len(activations))
+    baseline_noise = matched_variance_noise(collection, len(activations), rng)
+    conditions = {
+        "clean": activations,
+        "shredder": activations + shredder_noise,
+        "matched_laplace": activations + baseline_noise,
+    }
+
+    outcomes = []
+    for name, observed in conditions.items():
+        task_accuracy = pipeline.split.accuracy_from_activations(
+            activations,
+            labels,
+            None if name == "clean" else (observed - activations),
+        )
+        linear = LinearInverter().fit(images[:half], observed[:half])
+        linear_report = evaluate_reconstruction(
+            images[half:], linear.reconstruct(observed[half:]), images[:half]
+        )
+        nn = NearestNeighbourInverter(images[:half], observed[:half])
+        nn_report = evaluate_reconstruction(
+            images[half:], nn.reconstruct(observed[half:]), images[:half]
+        )
+        reid_report = run_reidentification(activations, observed)
+        label_report = run_inference_attack(
+            observed[:half],
+            labels[:half],
+            observed[half:],
+            labels[half:],
+            rng=np.random.default_rng(config.child_seed("attack-mlp", name)),
+            epochs=attack_epochs,
+        )
+        outcomes.append(
+            AttackOutcome(
+                condition=name,
+                task_accuracy=task_accuracy,
+                linear_advantage=linear_report.advantage,
+                nn_mse=nn_report.mse,
+                label_attack_advantage=label_report.advantage,
+                reid_top1=reid_report.top1_rate,
+            )
+        )
+        if verbose:
+            print(
+                f"{name}: task acc {task_accuracy:.3f}, linear adv "
+                f"{linear_report.advantage:.3f}, label adv "
+                f"{label_report.advantage:.3f}"
+            )
+    return AttackSuiteResult(benchmark=benchmark_name, outcomes=outcomes)

@@ -1,0 +1,95 @@
+"""Figure 6 — computation/communication cost vs privacy per cutting point.
+
+Combines the §3.4 analytic cost model (cumulative kMACs × communicated MB)
+with measured ex-vivo privacy at each conv cut, and reports the cut the
+planner recommends — reproducing the paper's conclusions (SVHN: conv6,
+LeNet: conv2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import Config
+from repro.edge import CutCandidate, CutCost, CuttingPointPlanner, cut_costs
+from repro.eval.experiments import load_benchmark
+from repro.eval.layerwise import PAPER_CUTS, run_layerwise
+from repro.eval.reporting import format_table
+
+
+@dataclass
+class CutpointAnalysis:
+    """The Figure 6 panel for one network.
+
+    Attributes:
+        benchmark: Network name.
+        candidates: Per-cut cost and measured ex-vivo privacy.
+        recommended: The planner's choice (the paper's "Shredder's
+            Cutting Point" marker).
+    """
+
+    benchmark: str
+    candidates: list[CutCandidate]
+    recommended: CutCandidate
+
+    def format(self) -> str:
+        rows = [
+            (
+                c.cut,
+                f"{c.cost.kilomacs:.1f}",
+                f"{c.cost.megabytes:.5f}",
+                f"{c.cost.product:.4f}",
+                f"{c.ex_vivo_privacy:.4g}",
+                "<== Shredder's cutting point" if c.cut == self.recommended.cut else "",
+            )
+            for c in sorted(self.candidates, key=lambda c: c.cost.conv_index)
+        ]
+        return format_table(
+            ["cut", "kMACs", "MB", "kMAC x MB", "ex vivo (1/MI)", ""],
+            rows,
+            title=(
+                f"Figure 6 ({self.benchmark}): cost vs privacy per cutting point"
+            ),
+        )
+
+
+def run_cutpoints(
+    benchmark_name: str,
+    config: Config,
+    cuts: tuple[str, ...] | None = None,
+    noise_level: float = 0.6,
+    trained: bool = False,
+    verbose: bool = False,
+) -> CutpointAnalysis:
+    """Measure the Figure 6 panel for one network.
+
+    Ex-vivo privacy per cut is measured at a fixed in-vivo noise level
+    (default matches the paper's ~0.6), then combined with the analytic
+    cost model and ranked by the planner.
+    """
+    bundle, _ = load_benchmark(benchmark_name, config, verbose=verbose)
+    if cuts is None:
+        cuts = PAPER_CUTS.get(benchmark_name, tuple(bundle.model.cut_names()))
+    layerwise = run_layerwise(
+        benchmark_name,
+        config,
+        cuts=cuts,
+        levels=(noise_level,),
+        trained=trained,
+        verbose=verbose,
+    )
+    privacy_by_cut = {
+        point.cut: point.ex_vivo for point in layerwise.points
+    }
+    planner = CuttingPointPlanner(bundle.model, privacy_by_cut)
+    return CutpointAnalysis(
+        benchmark=benchmark_name,
+        candidates=sorted(planner.candidates, key=lambda c: c.cost.conv_index),
+        recommended=planner.recommend(),
+    )
+
+
+def cost_table(benchmark_name: str, config: Config) -> list[CutCost]:
+    """Just the analytic §3.4 cost model for a network (no MI needed)."""
+    bundle, _ = load_benchmark(benchmark_name, config)
+    return cut_costs(bundle.model)

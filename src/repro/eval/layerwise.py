@@ -1,0 +1,164 @@
+"""Figure 5 — in-vivo vs ex-vivo privacy across cutting points.
+
+For each candidate conv cut (SVHN: conv 0/2/4/6, LeNet: conv 0/1/2) and
+each in-vivo noise level, measure the ex-vivo privacy (1/MI) of the noisy
+activation.  The paper's observation: deeper layers start from higher
+ex-vivo privacy (less MI to begin with), and the *proportional* information
+loss for matched in-vivo noise is consistent across layers (similar slopes
+in Figure 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import Config
+from repro.core import NoiseCollection, SplitInferenceModel
+from repro.eval.experiments import build_pipeline, load_benchmark
+from repro.eval.reporting import format_table
+from repro.privacy import estimate_leakage, mi_to_ex_vivo_privacy
+
+#: The cuts the paper probes per network.
+PAPER_CUTS = {"svhn": ("conv0", "conv2", "conv4", "conv6"), "lenet": ("conv0", "conv1", "conv2")}
+
+
+@dataclass(frozen=True)
+class LayerPrivacyPoint:
+    """One (cut, noise level) measurement.
+
+    Attributes:
+        cut: Cutting-point name.
+        in_vivo: Noise level (1/SNR) actually realised.
+        ex_vivo: 1/MI of the noisy activation.
+        mi_bits: The underlying MI estimate.
+    """
+
+    cut: str
+    in_vivo: float
+    ex_vivo: float
+    mi_bits: float
+
+
+@dataclass
+class LayerwiseResult:
+    """The Figure 5 panel for one network."""
+
+    benchmark: str
+    baseline_mi: dict[str, float]
+    points: list[LayerPrivacyPoint]
+
+    def series(self, cut: str) -> list[LayerPrivacyPoint]:
+        return sorted(
+            (p for p in self.points if p.cut == cut), key=lambda p: p.in_vivo
+        )
+
+    def information_loss_fraction(self, point: LayerPrivacyPoint) -> float:
+        """Fractional MI loss of one measurement vs its cut's baseline."""
+        baseline = self.baseline_mi[point.cut]
+        return (baseline - point.mi_bits) / baseline if baseline > 0 else 0.0
+
+    def format(self) -> str:
+        rows = [
+            (
+                p.cut,
+                f"{p.in_vivo:.3g}",
+                f"{p.ex_vivo:.4g}",
+                f"{p.mi_bits:.3f}",
+                f"{100 * self.information_loss_fraction(p):.1f}",
+            )
+            for p in sorted(self.points, key=lambda p: (p.cut, p.in_vivo))
+        ]
+        return format_table(
+            ["cut", "in vivo (1/SNR)", "ex vivo (1/MI)", "MI (bits)", "info loss (%)"],
+            rows,
+            title=f"Figure 5 ({self.benchmark}): in vivo vs ex vivo privacy per layer",
+        )
+
+
+#: Noise levels swept per cut (in-vivo privacy 1/SNR).
+DEFAULT_LEVELS = (0.2, 0.6, 1.0)
+
+
+def run_layerwise(
+    benchmark_name: str,
+    config: Config,
+    cuts: tuple[str, ...] | None = None,
+    levels: tuple[float, ...] = DEFAULT_LEVELS,
+    trained: bool = True,
+    iterations: int | None = None,
+    n_members: int = 2,
+    verbose: bool = False,
+) -> LayerwiseResult:
+    """Measure the Figure 5 points for one network.
+
+    Args:
+        benchmark_name: ``svhn`` or ``lenet`` for the paper's panels (any
+            registered network works).
+        config: Seed/scale configuration.
+        cuts: Cut subset; defaults to the paper's choices.
+        levels: In-vivo privacy levels to probe.
+        trained: Train noise at each (cut, level) with decay-on-target
+            (paper behaviour).  ``False`` skips training and injects fresh
+            Laplace noise of matched variance — much faster, identical
+            in-vivo level, used by quick checks.
+        iterations: Noise-training iterations when ``trained``.
+        n_members: Collection size per point when ``trained``.
+    """
+    bundle, benchmark = load_benchmark(benchmark_name, config, verbose=verbose)
+    if cuts is None:
+        cuts = PAPER_CUTS.get(benchmark_name, tuple(bundle.model.cut_names()))
+    iters = iterations or config.scale.noise_iterations
+    scale = config.scale
+    rng = np.random.default_rng(config.child_seed("layerwise"))
+
+    baseline_mi: dict[str, float] = {}
+    points: list[LayerPrivacyPoint] = []
+    for cut in cuts:
+        split = SplitInferenceModel(bundle.model, cut)
+        activations, _ = split.materialize_activations(bundle.test_set)
+        images = bundle.test_set.images
+        baseline = estimate_leakage(
+            images,
+            activations,
+            n_components=scale.mi_components,
+            max_samples=scale.mi_samples,
+            rng=np.random.default_rng(config.child_seed("mi", cut)),
+        ).mi_bits
+        baseline_mi[cut] = baseline
+        power = float(np.mean(np.square(activations, dtype=np.float64)))
+        for level in levels:
+            if trained:
+                pipeline = build_pipeline(
+                    bundle, benchmark, config, cut=cut, target_in_vivo=level
+                )
+                collection = pipeline.collect(n_members, iters)
+                noisy = activations + collection.sample_batch(rng, len(activations))
+                realised = collection.mean_in_vivo_privacy()
+            else:
+                b = math.sqrt(level * power / 2.0)
+                noise = rng.laplace(0.0, b, size=activations.shape).astype(np.float32)
+                noisy = activations + noise
+                realised = float(noise.var()) / power
+            mi = estimate_leakage(
+                images,
+                noisy,
+                n_components=scale.mi_components,
+                max_samples=scale.mi_samples,
+                rng=np.random.default_rng(config.child_seed("mi", cut, level)),
+            ).mi_bits
+            points.append(
+                LayerPrivacyPoint(
+                    cut=cut,
+                    in_vivo=realised,
+                    ex_vivo=mi_to_ex_vivo_privacy(mi),
+                    mi_bits=mi,
+                )
+            )
+            if verbose:
+                print(f"{cut} level={level:g}: MI {baseline:.3f} -> {mi:.3f} bits")
+    return LayerwiseResult(
+        benchmark=benchmark_name, baseline_mi=baseline_mi, points=points
+    )

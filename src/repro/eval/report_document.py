@@ -1,0 +1,135 @@
+"""Render the measured results directory into a markdown report.
+
+The benchmark suite writes one CSV per artefact under ``results/``; this
+module turns that directory into a self-contained markdown document — the
+mechanised counterpart of EXPERIMENTS.md, regenerated from whatever was
+actually measured (``python -m repro report``).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+#: Known artefacts in presentation order: (csv stem prefix, section title).
+_SECTIONS: tuple[tuple[str, str], ...] = (
+    ("table1", "Table 1 — Shredder summary"),
+    ("figure3", "Figure 3 — accuracy-privacy trade-off"),
+    ("figure4", "Figure 4 — training dynamics"),
+    ("figure5", "Figure 5 — in-vivo vs ex-vivo privacy by cut"),
+    ("figure6", "Figure 6 — cutting-point costs"),
+    ("scenarios", "Section 2.4 — training scenarios"),
+    ("ablation", "Ablations"),
+    ("attack", "Operational attacks"),
+    ("energy", "Device energy model"),
+)
+
+#: Truncate figure-4-style long series to this many rows in the report.
+_MAX_ROWS = 12
+
+
+@dataclass(frozen=True)
+class CsvTable:
+    """One parsed results CSV."""
+
+    name: str
+    header: list[str]
+    rows: list[list[str]]
+
+    @property
+    def truncated(self) -> bool:
+        return len(self.rows) > _MAX_ROWS
+
+
+def load_results(results_dir: str | Path) -> list[CsvTable]:
+    """Parse every CSV in a results directory, sorted by name."""
+    directory = Path(results_dir)
+    if not directory.is_dir():
+        raise ConfigurationError(f"no results directory at {directory}")
+    tables = []
+    for path in sorted(directory.glob("*.csv")):
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                continue  # empty file — nothing to report
+            rows = [row for row in reader if row]
+        tables.append(CsvTable(name=path.stem, header=header, rows=rows))
+    if not tables:
+        raise ConfigurationError(f"no result CSVs under {directory}")
+    return tables
+
+
+def _format_cell(value: str) -> str:
+    """Shorten float cells for readability; pass everything else through."""
+    try:
+        number = float(value)
+    except ValueError:
+        return value
+    if number != number:  # NaN
+        return "nan"
+    if number == int(number) and abs(number) < 1e6:
+        return str(int(number))
+    return f"{number:.4g}"
+
+
+def _markdown_table(table: CsvTable) -> str:
+    lines = [
+        "| " + " | ".join(table.header) + " |",
+        "|" + "|".join("---" for _ in table.header) + "|",
+    ]
+    for row in table.rows[:_MAX_ROWS]:
+        lines.append("| " + " | ".join(_format_cell(cell) for cell in row) + " |")
+    if table.truncated:
+        lines.append(
+            f"| … | {len(table.rows) - _MAX_ROWS} more rows in "
+            f"`results/{table.name}.csv` |"
+            + " |" * max(0, len(table.header) - 2)
+        )
+    return "\n".join(lines)
+
+
+def _section_for(name: str) -> str:
+    for prefix, title in _SECTIONS:
+        if name.startswith(prefix):
+            return title
+    return "Other results"
+
+
+def render_report(results_dir: str | Path, title: str = "Measured results") -> str:
+    """Build the full markdown document from a results directory."""
+    tables = load_results(results_dir)
+    sections: dict[str, list[CsvTable]] = {}
+    for table in tables:
+        sections.setdefault(_section_for(table.name), []).append(table)
+    parts = [f"# {title}", ""]
+    parts.append(
+        f"Generated from {len(tables)} result file(s) under "
+        f"`{Path(results_dir)}`. Regenerate any table with the benchmark "
+        "listed in DESIGN.md §4."
+    )
+    for _, section_title in _SECTIONS + (("", "Other results"),):
+        if section_title not in sections:
+            continue
+        parts.append("")
+        parts.append(f"## {section_title}")
+        for table in sections.pop(section_title):
+            parts.append("")
+            parts.append(f"### `{table.name}`")
+            parts.append("")
+            parts.append(_markdown_table(table))
+    return "\n".join(parts) + "\n"
+
+
+def write_report(
+    results_dir: str | Path, output: str | Path, title: str = "Measured results"
+) -> Path:
+    """Render and write the report; returns the output path."""
+    output = Path(output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(render_report(results_dir, title=title))
+    return output

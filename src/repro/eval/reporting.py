@@ -1,0 +1,62 @@
+"""ASCII-table and CSV reporting for experiment outputs.
+
+Every benchmark prints the same rows/series the paper reports, via these
+formatters, and can optionally persist them as CSV for later inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    columns = [[str(h)] + [_fmt(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(_fmt(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> Path:
+    """Persist rows as CSV (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def format_series(
+    name: str, xs: Sequence[float], ys: Sequence[float], x_label: str, y_label: str
+) -> str:
+    """Render an (x, y) series the way the paper's figures tabulate them."""
+    rows = [(f"{x:.4g}", f"{y:.4g}") for x, y in zip(xs, ys)]
+    return format_table([x_label, y_label], rows, title=name)

@@ -1,0 +1,182 @@
+"""The three noise-training scenarios of paper §2.4.
+
+The paper describes how the initial in-vivo privacy, the desired level,
+and λ interact, yielding three qualitatively different trajectories:
+
+1. **hold** — initialise *at* the target and tune λ so privacy stays
+   (approximately) constant while accuracy recovers;
+2. **overshoot** — initialise well *above* the target with λ ≈ 0: privacy
+   drifts down as accuracy recovers, but from so high that the endpoint is
+   still above the target;
+3. **rise** — initialise *below* the target with an active λ: privacy
+   climbs to the target (where the schedule decays λ) while accuracy
+   recovers — the Figure 4 dynamic.
+
+``run_scenarios`` trains all three from the same backbone and reports the
+trajectory shape of each, so the §2.4 narrative becomes a checkable
+artefact rather than prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import Config
+from repro.core import ConstantLambda, DecayOnTarget, NoiseTrainingResult
+from repro.errors import ConfigurationError
+from repro.eval.experiments import BenchmarkConfig, build_pipeline, load_benchmark
+from repro.eval.reporting import format_table
+from repro.models import PretrainedBundle
+
+#: Scenario names in paper order.
+SCENARIO_NAMES = ("hold", "overshoot", "rise")
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One §2.4 scenario's trajectory summary.
+
+    Attributes:
+        scenario: ``hold`` / ``overshoot`` / ``rise``.
+        initial_privacy: In-vivo privacy at the first iteration.
+        final_privacy: In-vivo privacy at the last iteration.
+        final_accuracy: Noisy accuracy at the end of training.
+        accuracy_gain: Final minus first measured accuracy.
+        result: The full training result (curves included).
+    """
+
+    scenario: str
+    initial_privacy: float
+    final_privacy: float
+    final_accuracy: float
+    accuracy_gain: float
+    result: NoiseTrainingResult
+
+    @property
+    def privacy_drift(self) -> float:
+        """Signed privacy change over training."""
+        return self.final_privacy - self.initial_privacy
+
+
+@dataclass
+class ScenarioSuite:
+    """All three scenarios for one network."""
+
+    benchmark: str
+    target_in_vivo: float
+    outcomes: list[ScenarioOutcome]
+
+    def by_name(self, scenario: str) -> ScenarioOutcome:
+        for outcome in self.outcomes:
+            if outcome.scenario == scenario:
+                return outcome
+        raise KeyError(scenario)
+
+    def format(self) -> str:
+        rows = [
+            (
+                o.scenario,
+                f"{o.initial_privacy:.3f}",
+                f"{o.final_privacy:.3f}",
+                f"{o.privacy_drift:+.3f}",
+                f"{o.final_accuracy:.3f}",
+                f"{o.accuracy_gain:+.3f}",
+            )
+            for o in self.outcomes
+        ]
+        return format_table(
+            [
+                "scenario",
+                "initial 1/SNR",
+                "final 1/SNR",
+                "privacy drift",
+                "final accuracy",
+                "accuracy gain",
+            ],
+            rows,
+            title=(
+                f"Section 2.4 scenarios ({self.benchmark}, "
+                f"target 1/SNR {self.target_in_vivo:g})"
+            ),
+        )
+
+
+def run_scenarios(
+    benchmark_name: str,
+    config: Config,
+    iterations: int | None = None,
+    overshoot_factor: float = 3.0,
+    rise_factor: float = 0.3,
+    verbose: bool = False,
+    bundle: PretrainedBundle | None = None,
+    benchmark: BenchmarkConfig | None = None,
+) -> ScenarioSuite:
+    """Train the three §2.4 scenarios for one network.
+
+    Args:
+        benchmark_name: Network to run.
+        config: Seed/scale configuration.
+        iterations: Noise-training steps per scenario.
+        overshoot_factor: Initial privacy multiple of the target for the
+            overshoot scenario (must exceed 1).
+        rise_factor: Initial privacy fraction of the target for the rise
+            scenario (must fall below 1).
+        verbose: Print one line per scenario.
+    """
+    if overshoot_factor <= 1.0:
+        raise ConfigurationError(
+            f"overshoot factor must exceed 1, got {overshoot_factor}"
+        )
+    if not 0.0 < rise_factor < 1.0:
+        raise ConfigurationError(f"rise factor must be in (0, 1), got {rise_factor}")
+    if bundle is None or benchmark is None:
+        bundle, benchmark = load_benchmark(benchmark_name, config, verbose=verbose)
+    iters = iterations or config.scale.noise_iterations
+    target = benchmark.target_in_vivo
+
+    # Scenario 1 (hold): start at the target with the decay-on-target
+    # schedule active from step one — λ decays immediately, freezing the
+    # privacy level while cross entropy recovers.
+    hold_pipe = build_pipeline(bundle, benchmark, config, init_in_vivo=target)
+    # Scenario 2 (overshoot): start far above the target, λ = 0 — train
+    # until accuracy is regained, accepting the privacy drift downward.
+    overshoot_pipe = build_pipeline(
+        bundle,
+        benchmark,
+        config,
+        lambda_coeff=0.0,
+        init_in_vivo=overshoot_factor * target,
+    )
+    overshoot_pipe.trainer.schedule = ConstantLambda(0.0)
+    # Scenario 3 (rise): start below the target with λ active — privacy
+    # climbs to the target, then the schedule decays λ (Figure 4).
+    rise_pipe = build_pipeline(
+        bundle, benchmark, config, init_in_vivo=rise_factor * target
+    )
+
+    outcomes = []
+    for name, pipeline in (
+        ("hold", hold_pipe),
+        ("overshoot", overshoot_pipe),
+        ("rise", rise_pipe),
+    ):
+        result = pipeline.train_noise(iters, seed_tag=name)
+        history = result.history
+        outcome = ScenarioOutcome(
+            scenario=name,
+            initial_privacy=history.in_vivo_privacies[0],
+            final_privacy=history.in_vivo_privacies[-1],
+            final_accuracy=result.final_accuracy,
+            accuracy_gain=history.accuracies[-1] - history.accuracies[0],
+            result=result,
+        )
+        outcomes.append(outcome)
+        if verbose:
+            print(
+                f"{name}: privacy {outcome.initial_privacy:.3f} -> "
+                f"{outcome.final_privacy:.3f}, accuracy "
+                f"{outcome.final_accuracy:.3f} ({outcome.accuracy_gain:+.3f})"
+            )
+    return ScenarioSuite(
+        benchmark=benchmark_name, target_in_vivo=target, outcomes=outcomes
+    )

@@ -1,0 +1,108 @@
+"""Table 1 — the paper's summary of Shredder on all four benchmarks.
+
+For each network: original vs shredded mutual information, MI loss %,
+accuracy loss %, the noise/model parameter ratio, and noise-training
+epochs, plus the GMean summary row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import Config
+from repro.core import ShredderReport
+from repro.eval.experiments import benchmark_names, build_pipeline, load_benchmark
+from repro.eval.reporting import format_table
+
+
+@dataclass
+class Table1Row:
+    """One measured benchmark column of Table 1 (plus paper references)."""
+
+    benchmark: str
+    report: ShredderReport
+    paper_mi_loss_percent: float
+    paper_accuracy_loss_percent: float
+
+
+@dataclass
+class Table1Result:
+    """All rows plus the GMean summary."""
+
+    rows: list[Table1Row]
+
+    def gmean_mi_loss(self) -> float:
+        values = [max(row.report.mi_loss_percent, 1e-6) for row in self.rows]
+        return float(np.exp(np.mean(np.log(values))))
+
+    def mean_accuracy_loss(self) -> float:
+        return float(np.mean([row.report.accuracy_loss_percent for row in self.rows]))
+
+    def format(self) -> str:
+        """Render the table in the paper's row layout."""
+        headers = ["Benchmark"] + [row.benchmark for row in self.rows] + ["GMean"]
+        reports = [row.report for row in self.rows]
+        body = [
+            ["Original Mutual Information (bits)"]
+            + [f"{r.original_mi_bits:.2f}" for r in reports]
+            + ["-"],
+            ["Shredded Mutual Information (bits)"]
+            + [f"{r.shredded_mi_bits:.2f}" for r in reports]
+            + ["-"],
+            ["Mutual Information Loss (%)"]
+            + [f"{r.mi_loss_percent:.2f}" for r in reports]
+            + [f"{self.gmean_mi_loss():.2f}"],
+            ["Accuracy Loss (%)"]
+            + [f"{r.accuracy_loss_percent:.2f}" for r in reports]
+            + [f"{self.mean_accuracy_loss():.2f}"],
+            ["Learnable Params over Model Size (%)"]
+            + [f"{r.params_ratio_percent:.2f}" for r in reports]
+            + ["-"],
+            ["Number of Epochs of Training"]
+            + [f"{r.epochs:.2f}" for r in reports]
+            + ["-"],
+        ]
+        return format_table(headers, body, title="Table 1: Shredder summary")
+
+
+def run_table1(
+    config: Config,
+    benchmarks: list[str] | None = None,
+    iterations: int | None = None,
+    verbose: bool = False,
+) -> Table1Result:
+    """Measure the Table 1 quantities for the requested benchmarks.
+
+    Args:
+        config: Seed/scale configuration.
+        benchmarks: Benchmark subset (defaults to all four networks).
+        iterations: Noise-training iterations per member (defaults to the
+            scale's setting).
+        verbose: Print rows as they are produced.
+    """
+    rows: list[Table1Row] = []
+    for name in benchmarks or benchmark_names():
+        bundle, benchmark = load_benchmark(name, config, verbose=verbose)
+        pipeline = build_pipeline(bundle, benchmark, config)
+        iters = iterations or config.scale.noise_iterations
+        collection = pipeline.collect(benchmark.n_members, iters)
+        epochs = iters * config.scale.batch_size / len(pipeline.trainer.train_labels)
+        report = pipeline.report(collection, epochs=epochs)
+        rows.append(
+            Table1Row(
+                benchmark=name,
+                report=report,
+                paper_mi_loss_percent=benchmark.paper.mi_loss_percent,
+                paper_accuracy_loss_percent=benchmark.paper.accuracy_loss_percent,
+            )
+        )
+        if verbose:
+            print(
+                f"{name}: MI {report.original_mi_bits:.2f} -> "
+                f"{report.shredded_mi_bits:.2f} bits "
+                f"({report.mi_loss_percent:.1f}% loss), accuracy loss "
+                f"{report.accuracy_loss_percent:.2f}%"
+            )
+    return Table1Result(rows=rows)

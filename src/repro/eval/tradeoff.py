@@ -1,0 +1,102 @@
+"""Figure 3 — the accuracy-privacy trade-off.
+
+For one network cut at its last convolution, sweep the noise level (the
+target in-vivo privacy, which sets the Laplace init and λ-decay target) and
+record, per operating point, the accuracy loss and the bits of mutual
+information lost relative to the no-noise activation.  The "Zero Leakage"
+line is the original MI — losing that much information would leak nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import Config
+from repro.eval.experiments import build_pipeline, load_benchmark
+from repro.eval.reporting import format_table
+from repro.privacy import information_loss_bits
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One operating point of Figure 3.
+
+    Attributes:
+        target_in_vivo: The swept noise level (1/SNR target).
+        accuracy_loss_percent: Accuracy sacrificed at this point.
+        information_loss_bits: MI stripped from the activation.
+        shredded_mi_bits: Remaining leakage.
+    """
+
+    target_in_vivo: float
+    accuracy_loss_percent: float
+    information_loss_bits: float
+    shredded_mi_bits: float
+
+
+@dataclass
+class TradeoffCurve:
+    """The Figure 3 panel for one benchmark network."""
+
+    benchmark: str
+    zero_leakage_bits: float
+    points: list[TradeoffPoint]
+
+    def format(self) -> str:
+        rows = [
+            (
+                f"{p.target_in_vivo:.3g}",
+                f"{p.accuracy_loss_percent:.2f}",
+                f"{p.information_loss_bits:.3f}",
+                f"{p.shredded_mi_bits:.3f}",
+            )
+            for p in sorted(self.points, key=lambda p: p.accuracy_loss_percent)
+        ]
+        table = format_table(
+            ["noise level (1/SNR)", "accuracy loss (%)", "info loss (bits)", "remaining MI (bits)"],
+            rows,
+            title=f"Figure 3 ({self.benchmark}): accuracy-privacy trade-off",
+        )
+        return table + f"\nZero Leakage line: {self.zero_leakage_bits:.3f} bits"
+
+
+#: Default sweep of in-vivo privacy targets (noise levels).
+DEFAULT_LEVELS = (0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+def run_tradeoff(
+    benchmark_name: str,
+    config: Config,
+    levels: tuple[float, ...] = DEFAULT_LEVELS,
+    iterations: int | None = None,
+    n_members: int = 6,
+    verbose: bool = False,
+) -> TradeoffCurve:
+    """Sweep noise levels and measure the Figure 3 curve for one network."""
+    bundle, benchmark = load_benchmark(benchmark_name, config, verbose=verbose)
+    iters = iterations or config.scale.noise_iterations
+    points: list[TradeoffPoint] = []
+    zero_leakage = None
+    for level in levels:
+        pipeline = build_pipeline(bundle, benchmark, config, target_in_vivo=level)
+        if zero_leakage is None:
+            zero_leakage = pipeline.measure_leakage(None).mi_bits
+        collection = pipeline.collect(n_members, iters)
+        clean = pipeline.clean_accuracy()
+        noisy = pipeline.noisy_accuracy(collection)
+        shredded = pipeline.measure_leakage(collection).mi_bits
+        point = TradeoffPoint(
+            target_in_vivo=level,
+            accuracy_loss_percent=100.0 * (clean - noisy),
+            information_loss_bits=information_loss_bits(zero_leakage, shredded),
+            shredded_mi_bits=shredded,
+        )
+        points.append(point)
+        if verbose:
+            print(
+                f"level={level:g}: acc loss {point.accuracy_loss_percent:.2f}%, "
+                f"info loss {point.information_loss_bits:.3f} bits"
+            )
+    return TradeoffCurve(
+        benchmark=benchmark_name, zero_leakage_bits=zero_leakage, points=points
+    )

@@ -1,0 +1,39 @@
+"""``repro.models`` — the four benchmark backbones, splittable at any conv.
+
+LeNet (MNIST surrogate), CifarNet, SvhnNet (conv0..conv6), AlexNet
+(ImageNet surrogate), plus training (:mod:`repro.models.train`) and a
+pretrained cache (:mod:`repro.models.zoo`).
+"""
+
+from repro.models.alexnet import build_alexnet
+from repro.models.base import CutPoint, SplittableModel
+from repro.models.cifar_net import build_cifar_net
+from repro.models.lenet import build_lenet
+from repro.models.svhn_net import build_svhn_net
+from repro.models.train import TrainHistory, evaluate_accuracy, fit
+from repro.models.zoo import (
+    MODEL_DATASETS,
+    PretrainedBundle,
+    build_model,
+    default_width,
+    get_pretrained,
+    model_names,
+)
+
+__all__ = [
+    "CutPoint",
+    "MODEL_DATASETS",
+    "PretrainedBundle",
+    "SplittableModel",
+    "TrainHistory",
+    "build_alexnet",
+    "build_cifar_net",
+    "build_lenet",
+    "build_model",
+    "build_svhn_net",
+    "default_width",
+    "evaluate_accuracy",
+    "fit",
+    "get_pretrained",
+    "model_names",
+]

@@ -1,0 +1,66 @@
+"""AlexNet for the ImageNet surrogate (paper benchmark 4).
+
+The classic five-conv AlexNet topology — including local response
+normalisation after the first two convs — scaled to the 64x64 surrogate
+input.  The paper cuts AlexNet at its last convolution (``conv4`` here),
+i.e. the boundary between the ``features`` and ``classifier`` sections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SplittableModel, _BlockBuilder
+from repro.nn import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    ReLU,
+)
+
+
+def build_alexnet(
+    rng: np.random.Generator, width: float = 1.0, num_classes: int = 20
+) -> SplittableModel:
+    """Construct AlexNet (3x64x64 input)."""
+    c0 = max(4, int(round(48 * width)))
+    c1 = max(8, int(round(128 * width)))
+    c2 = max(8, int(round(192 * width)))
+    c3 = max(8, int(round(192 * width)))
+    c4 = max(8, int(round(128 * width)))
+    h0 = max(16, int(round(512 * width)))
+    h1 = max(16, int(round(256 * width)))
+
+    b = _BlockBuilder()
+    b.add("conv0", Conv2d(3, c0, 7, stride=2, padding=3, rng=rng))
+    b.add("relu0", ReLU())
+    b.add("lrn0", LocalResponseNorm(size=5))
+    b.add("pool0", MaxPool2d(3, 2))  # -> c0 x 15 x 15
+    b.end_conv_block()
+    b.add("conv1", Conv2d(c0, c1, 5, padding=2, rng=rng))
+    b.add("relu1", ReLU())
+    b.add("lrn1", LocalResponseNorm(size=5))
+    b.add("pool1", MaxPool2d(3, 2))  # -> c1 x 7 x 7
+    b.end_conv_block()
+    b.add("conv2", Conv2d(c1, c2, 3, padding=1, rng=rng))
+    b.add("relu2", ReLU())  # -> c2 x 7 x 7
+    b.end_conv_block()
+    b.add("conv3", Conv2d(c2, c3, 3, padding=1, rng=rng))
+    b.add("relu3", ReLU())  # -> c3 x 7 x 7
+    b.end_conv_block()
+    b.add("conv4", Conv2d(c3, c4, 3, padding=1, rng=rng))
+    b.add("relu4", ReLU())
+    b.add("pool4", MaxPool2d(3, 2))  # -> c4 x 3 x 3
+    b.end_conv_block()
+    b.add("flatten", Flatten())
+    b.add("drop0", Dropout(0.5, rng=rng))
+    b.add("fc0", Linear(c4 * 3 * 3, h0, rng=rng))
+    b.add("relu_fc0", ReLU())
+    b.add("drop1", Dropout(0.5, rng=rng))
+    b.add("fc1", Linear(h0, h1, rng=rng))
+    b.add("relu_fc1", ReLU())
+    b.add("head", Linear(h1, num_classes, rng=rng))
+    return b.build("alexnet", (3, 64, 64), num_classes)

@@ -1,0 +1,161 @@
+"""Splittable model base class.
+
+Shredder partitions a pre-trained network at a *cutting point* ``layer_c``:
+layers ``[0 .. layer_c]`` run on the edge (the *local* network ``L(x, θ₁)``)
+and the rest run on the cloud (the *remote* network ``R(a', θ₂)``) — paper
+§2.1.  :class:`SplittableModel` represents the backbone as one flat named
+:class:`~repro.nn.layers.container.Sequential` and records, for every conv
+layer, the index where that conv *block* (conv + nonlinearity + pooling /
+normalisation) ends.  Splitting at a cut shares the underlying modules, so
+no weights are copied and the composition is exactly the original network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn import Sequential, Tensor, no_grad
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class CutPoint:
+    """A named position at which the network can be split.
+
+    Attributes:
+        name: Cut name, e.g. ``"conv2"``.
+        conv_index: Ordinal of the conv layer (0-based), as used by the
+            paper's figures ("Conv Layer 0, 2, 4, 6").
+        end_index: Index (inclusive) of the last Sequential layer belonging
+            to this conv block; the local network is ``layers[: end_index+1]``.
+    """
+
+    name: str
+    conv_index: int
+    end_index: int
+
+
+class SplittableModel(Module):
+    """A classifier backbone with named conv cut points.
+
+    Args:
+        name: Model name (``lenet``, ``cifar``, ``svhn``, ``alexnet``).
+        net: Flat named Sequential containing the whole network.
+        cut_points: Orderered cut points (shallow to deep).
+        input_shape: CHW input shape the model expects.
+        num_classes: Output classes.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        net: Sequential,
+        cut_points: list[CutPoint],
+        input_shape: tuple[int, int, int],
+        num_classes: int,
+    ) -> None:
+        super().__init__()
+        if not cut_points:
+            raise ModelError("a splittable model needs at least one cut point")
+        self.model_name = name
+        self.net = net
+        self.input_shape = input_shape
+        self.num_classes = num_classes
+        self._cuts = {cp.name: cp for cp in cut_points}
+        self._cut_order = [cp.name for cp in cut_points]
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+    # ------------------------------------------------------------------
+    # Cut points
+    # ------------------------------------------------------------------
+    def cut_names(self) -> list[str]:
+        """Cut names from shallowest to deepest conv."""
+        return list(self._cut_order)
+
+    def cut_point(self, name: str) -> CutPoint:
+        """Look up a cut point by name."""
+        if name not in self._cuts:
+            raise ModelError(
+                f"{self.model_name} has no cut point {name!r}; "
+                f"available: {self._cut_order}"
+            )
+        return self._cuts[name]
+
+    def last_conv_cut(self) -> str:
+        """The deepest conv cut — the paper's default cutting point."""
+        return self._cut_order[-1]
+
+    def split(self, cut: str) -> tuple[Sequential, Sequential]:
+        """Split into (local, remote) networks sharing this model's weights.
+
+        The local network computes the activation ``a = L(x, θ₁)`` on the
+        edge; the remote network computes ``R(a', θ₂)`` on the cloud.
+        """
+        point = self.cut_point(cut)
+        total = len(self.net)
+        local = self.net.slice(0, point.end_index + 1)
+        remote = self.net.slice(point.end_index + 1, total)
+        return local, remote
+
+    def activation_shape(self, cut: str, batch: int = 1) -> tuple[int, ...]:
+        """Shape of the activation communicated at ``cut`` (via a dry run)."""
+        local, _ = self.split(cut)
+        probe = Tensor(np.zeros((batch, *self.input_shape), dtype=np.float32))
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                out = local(probe)
+        finally:
+            self.train(was_training)
+        return out.shape
+
+    def __repr__(self) -> str:
+        return (
+            f"SplittableModel({self.model_name}, cuts={self._cut_order}, "
+            f"classes={self.num_classes})"
+        )
+
+
+class _BlockBuilder:
+    """Accumulates named layers and conv cut points for a model definition."""
+
+    def __init__(self) -> None:
+        self.layers: list[tuple[str, Module]] = []
+        self.cut_points: list[CutPoint] = []
+        self._conv_count = 0
+
+    def add(self, name: str, module: Module) -> None:
+        """Append a plain (non-cut) layer."""
+        self.layers.append((name, module))
+
+    def end_conv_block(self) -> None:
+        """Mark the end of the current conv block as a cut point."""
+        index = len(self.layers) - 1
+        name = f"conv{self._conv_count}"
+        self.cut_points.append(
+            CutPoint(name=name, conv_index=self._conv_count, end_index=index)
+        )
+        self._conv_count += 1
+
+    def build(
+        self,
+        model_name: str,
+        input_shape: tuple[int, int, int],
+        num_classes: int,
+    ) -> SplittableModel:
+        return SplittableModel(
+            name=model_name,
+            net=Sequential(*self.layers),
+            cut_points=self.cut_points,
+            input_shape=input_shape,
+            num_classes=num_classes,
+        )

@@ -1,0 +1,55 @@
+"""CIFAR-10 network for the object surrogate (paper benchmark 2).
+
+A compact VGG-style network with batch normalisation; five conv blocks
+(``conv0``..``conv4``) with the paper's cut at the last one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SplittableModel, _BlockBuilder
+from repro.nn import BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU
+
+
+def build_cifar_net(
+    rng: np.random.Generator, width: float = 1.0, num_classes: int = 10
+) -> SplittableModel:
+    """Construct the CIFAR network (3x32x32 input)."""
+    c1 = max(4, int(round(32 * width)))
+    c2 = max(4, int(round(32 * width)))
+    c3 = max(8, int(round(64 * width)))
+    c4 = max(8, int(round(64 * width)))
+    c5 = max(8, int(round(128 * width)))
+    hidden = max(16, int(round(256 * width)))
+
+    b = _BlockBuilder()
+    b.add("conv0", Conv2d(3, c1, 3, padding=1, rng=rng))
+    b.add("bn0", BatchNorm2d(c1))
+    b.add("relu0", ReLU())  # -> c1 x 32 x 32
+    b.end_conv_block()
+    b.add("conv1", Conv2d(c1, c2, 3, padding=1, rng=rng))
+    b.add("bn1", BatchNorm2d(c2))
+    b.add("relu1", ReLU())
+    b.add("pool1", MaxPool2d(2))  # -> c2 x 16 x 16
+    b.end_conv_block()
+    b.add("conv2", Conv2d(c2, c3, 3, padding=1, rng=rng))
+    b.add("bn2", BatchNorm2d(c3))
+    b.add("relu2", ReLU())  # -> c3 x 16 x 16
+    b.end_conv_block()
+    b.add("conv3", Conv2d(c3, c4, 3, padding=1, rng=rng))
+    b.add("bn3", BatchNorm2d(c4))
+    b.add("relu3", ReLU())
+    b.add("pool3", MaxPool2d(2))  # -> c4 x 8 x 8
+    b.end_conv_block()
+    b.add("conv4", Conv2d(c4, c5, 3, padding=1, rng=rng))
+    b.add("bn4", BatchNorm2d(c5))
+    b.add("relu4", ReLU())
+    b.add("pool4", MaxPool2d(2))  # -> c5 x 4 x 4
+    b.end_conv_block()
+    b.add("flatten", Flatten())
+    b.add("fc0", Linear(c5 * 4 * 4, hidden, rng=rng))
+    b.add("relu_fc0", ReLU())
+    b.add("drop_fc0", Dropout(0.3, rng=rng))
+    b.add("head", Linear(hidden, num_classes, rng=rng))
+    return b.build("cifar", (3, 32, 32), num_classes)

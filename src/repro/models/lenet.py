@@ -1,0 +1,48 @@
+"""LeNet for the MNIST surrogate (paper benchmark 1).
+
+Three conv blocks (``conv0``..``conv2``) matching the cut points of the
+paper's Figures 5b and 6b, where LeNet exposes Conv Layers 0, 1, 2 and
+Shredder's chosen cut is ``conv2`` — the last convolution, whose output is
+the "features" section boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SplittableModel, _BlockBuilder
+from repro.nn import Conv2d, Flatten, Linear, MaxPool2d, ReLU
+
+
+def build_lenet(
+    rng: np.random.Generator, width: float = 1.0, num_classes: int = 10
+) -> SplittableModel:
+    """Construct LeNet (1x28x28 input).
+
+    Args:
+        rng: Weight-initialisation randomness.
+        width: Channel width multiplier (tests use < 1 for speed).
+        num_classes: Output classes.
+    """
+    c1 = max(2, int(round(6 * width)))
+    c2 = max(4, int(round(16 * width)))
+    c3 = max(8, int(round(120 * width)))
+    hidden = max(8, int(round(84 * width)))
+
+    b = _BlockBuilder()
+    b.add("conv0", Conv2d(1, c1, 5, padding=2, rng=rng))
+    b.add("relu0", ReLU())
+    b.add("pool0", MaxPool2d(2))  # -> c1 x 14 x 14
+    b.end_conv_block()
+    b.add("conv1", Conv2d(c1, c2, 5, rng=rng))
+    b.add("relu1", ReLU())
+    b.add("pool1", MaxPool2d(2))  # -> c2 x 5 x 5
+    b.end_conv_block()
+    b.add("conv2", Conv2d(c2, c3, 5, rng=rng))
+    b.add("relu2", ReLU())  # -> c3 x 1 x 1 (the C5 layer)
+    b.end_conv_block()
+    b.add("flatten", Flatten())
+    b.add("fc0", Linear(c3, hidden, rng=rng))
+    b.add("relu_fc0", ReLU())
+    b.add("head", Linear(hidden, num_classes, rng=rng))
+    return b.build("lenet", (1, 28, 28), num_classes)

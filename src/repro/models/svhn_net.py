@@ -1,0 +1,64 @@
+"""SVHN network for the street-number surrogate (paper benchmark 3).
+
+Seven conv blocks ``conv0``..``conv6`` so the layer-wise experiments can
+probe Conv Layers 0, 2, 4, 6 exactly as in the paper's Figures 5a and 6a.
+``conv6`` is a 1x1 bottleneck whose output is *significantly smaller* than
+the preceding layers — the property §3.4 uses to argue it is the obvious
+cutting point (it slashes communication cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SplittableModel, _BlockBuilder
+from repro.nn import BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU
+
+
+def build_svhn_net(
+    rng: np.random.Generator, width: float = 1.0, num_classes: int = 10
+) -> SplittableModel:
+    """Construct the SVHN network (3x32x32 input)."""
+    c0 = max(4, int(round(24 * width)))
+    c2 = max(8, int(round(48 * width)))
+    c4 = max(8, int(round(64 * width)))
+    c6 = max(4, int(round(32 * width)))
+    hidden = max(16, int(round(128 * width)))
+
+    b = _BlockBuilder()
+    b.add("conv0", Conv2d(3, c0, 3, padding=1, rng=rng))
+    b.add("bn0", BatchNorm2d(c0))
+    b.add("relu0", ReLU())  # -> c0 x 32 x 32
+    b.end_conv_block()
+    b.add("conv1", Conv2d(c0, c0, 3, padding=1, rng=rng))
+    b.add("bn1", BatchNorm2d(c0))
+    b.add("relu1", ReLU())
+    b.add("pool1", MaxPool2d(2))  # -> c0 x 16 x 16
+    b.end_conv_block()
+    b.add("conv2", Conv2d(c0, c2, 3, padding=1, rng=rng))
+    b.add("bn2", BatchNorm2d(c2))
+    b.add("relu2", ReLU())  # -> c2 x 16 x 16
+    b.end_conv_block()
+    b.add("conv3", Conv2d(c2, c2, 3, padding=1, rng=rng))
+    b.add("bn3", BatchNorm2d(c2))
+    b.add("relu3", ReLU())
+    b.add("pool3", MaxPool2d(2))  # -> c2 x 8 x 8
+    b.end_conv_block()
+    b.add("conv4", Conv2d(c2, c4, 3, padding=1, rng=rng))
+    b.add("bn4", BatchNorm2d(c4))
+    b.add("relu4", ReLU())  # -> c4 x 8 x 8
+    b.end_conv_block()
+    b.add("conv5", Conv2d(c4, c4, 3, padding=1, rng=rng))
+    b.add("bn5", BatchNorm2d(c4))
+    b.add("relu5", ReLU())
+    b.add("pool5", MaxPool2d(2))  # -> c4 x 4 x 4
+    b.end_conv_block()
+    b.add("conv6", Conv2d(c4, c6, 1, rng=rng))
+    b.add("bn6", BatchNorm2d(c6))
+    b.add("relu6", ReLU())  # -> c6 x 4 x 4 (small bottleneck output)
+    b.end_conv_block()
+    b.add("flatten", Flatten())
+    b.add("fc0", Linear(c6 * 4 * 4, hidden, rng=rng))
+    b.add("relu_fc0", ReLU())
+    b.add("head", Linear(hidden, num_classes, rng=rng))
+    return b.build("svhn", (3, 32, 32), num_classes)

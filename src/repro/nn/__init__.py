@@ -1,0 +1,81 @@
+"""``repro.nn`` — the from-scratch deep-learning substrate.
+
+A compact PyTorch-like stack on numpy: reverse-mode autograd
+(:mod:`repro.nn.tensor`), NN kernels (:mod:`repro.nn.functional`), layers
+(:mod:`repro.nn.layers`), optimisers (:mod:`repro.nn.optim`), data pipeline
+(:mod:`repro.nn.data`) and serialization (:mod:`repro.nn.serialization`).
+"""
+
+from repro.nn import functional
+from repro.nn.data import DataLoader, Dataset, Subset, TensorDataset, random_split
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.gradcheck import GradCheckResult, gradcheck, gradcheck_all
+from repro.nn.loss import CrossEntropyLoss, MSELoss
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR, clip_grad_norm
+from repro.nn.serialization import (
+    load_module,
+    load_state_dict,
+    save_module,
+    save_state_dict,
+)
+from repro.nn.tensor import Tensor, as_tensor, concatenate, no_grad, ones, stack, zeros
+
+__all__ = [
+    "Adam",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "CosineAnnealingLR",
+    "CrossEntropyLoss",
+    "DataLoader",
+    "Dataset",
+    "Dropout",
+    "Flatten",
+    "GradCheckResult",
+    "GlobalAvgPool2d",
+    "Linear",
+    "LocalResponseNorm",
+    "MSELoss",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "StepLR",
+    "Subset",
+    "Tanh",
+    "Tensor",
+    "TensorDataset",
+    "as_tensor",
+    "clip_grad_norm",
+    "concatenate",
+    "functional",
+    "gradcheck",
+    "gradcheck_all",
+    "load_module",
+    "load_state_dict",
+    "no_grad",
+    "ones",
+    "random_split",
+    "save_module",
+    "save_state_dict",
+    "stack",
+    "zeros",
+]

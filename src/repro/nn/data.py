@@ -1,0 +1,141 @@
+"""Dataset and DataLoader abstractions.
+
+A :class:`Dataset` yields ``(image, label)`` pairs as numpy arrays; the
+:class:`DataLoader` batches and (optionally) reshuffles them each epoch with
+its own RNG so that experiments are reproducible independent of global
+random state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+class Dataset:
+    """Abstract indexable dataset."""
+
+    def __len__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """In-memory dataset over pre-materialised arrays.
+
+    Args:
+        images: ``(N, ...)`` array of inputs.
+        labels: ``(N,)`` array of integer labels.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images)
+        labels = np.asarray(labels)
+        if len(images) != len(labels):
+            raise DatasetError(
+                f"images ({len(images)}) and labels ({len(labels)}) disagree"
+            )
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.images[index], int(self.labels[index])
+
+
+class Subset(Dataset):
+    """View of a dataset restricted to the given indices."""
+
+    def __init__(self, dataset: Dataset, indices: Sequence[int]) -> None:
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.dataset[self.indices[index]]
+
+
+def random_split(
+    dataset: Dataset, fractions: Sequence[float], rng: np.random.Generator
+) -> list[Subset]:
+    """Split a dataset into disjoint random subsets by fraction.
+
+    Args:
+        dataset: Source dataset.
+        fractions: Positive fractions summing to at most 1.0.
+        rng: Randomness for the permutation.
+    """
+    if any(f <= 0 for f in fractions):
+        raise DatasetError("all split fractions must be positive")
+    if sum(fractions) > 1.0 + 1e-9:
+        raise DatasetError(f"fractions sum to {sum(fractions)} > 1")
+    n = len(dataset)
+    perm = rng.permutation(n)
+    subsets: list[Subset] = []
+    start = 0
+    for i, fraction in enumerate(fractions):
+        if i == len(fractions) - 1 and abs(sum(fractions) - 1.0) < 1e-9:
+            stop = n
+        else:
+            stop = start + int(round(fraction * n))
+        subsets.append(Subset(dataset, perm[start:stop].tolist()))
+        start = stop
+    return subsets
+
+
+class DataLoader:
+    """Batched iterator over a dataset.
+
+    Args:
+        dataset: Source dataset.
+        batch_size: Samples per batch.
+        shuffle: Whether to reshuffle at the start of each epoch.
+        rng: Randomness used for shuffling.
+        drop_last: Drop the trailing partial batch.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise DatasetError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng or np.random.default_rng()
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                return
+            images = []
+            labels = []
+            for i in indices:
+                image, label = self.dataset[int(i)]
+                images.append(image)
+                labels.append(label)
+            yield np.stack(images), np.asarray(labels, dtype=np.int64)

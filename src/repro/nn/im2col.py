@@ -1,0 +1,110 @@
+"""Window extraction (im2col) and its adjoint (col2im) for convolutions.
+
+Convolution and pooling are implemented by lowering the input into a window
+tensor of shape ``(N, C, KH, KW, OH, OW)`` using stride tricks, turning the
+convolution itself into a batched matrix multiply.  ``col2im`` is the exact
+adjoint used by the backward pass: it scatters window gradients back into the
+(padded) input, correctly accumulating where windows overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.errors import ShapeError
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a conv/pool with the given geometry."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"non-positive output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def pad_nchw(x: np.ndarray, padding: tuple[int, int]) -> np.ndarray:
+    """Zero-pad the two trailing spatial dims of an NCHW array."""
+    ph, pw = padding
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+
+def extract_windows(
+    x: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> np.ndarray:
+    """Return a strided view of all sliding windows.
+
+    Args:
+        x: Input array of shape ``(N, C, H, W)``.
+        kernel: ``(KH, KW)`` window size.
+        stride: ``(SH, SW)`` window step.
+        padding: ``(PH, PW)`` zero padding applied first.
+
+    Returns:
+        A **read-only view** of shape ``(N, C, KH, KW, OH, OW)``.  Callers
+        must copy (e.g. via ``reshape``) before mutating.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"expected NCHW input, got shape {x.shape}")
+    kh, kw = kernel
+    sh, sw = stride
+    xp = pad_nchw(x, padding)
+    n, c, h, w = xp.shape
+    oh = conv_output_size(x.shape[2], kh, sh, padding[0])
+    ow = conv_output_size(x.shape[3], kw, sw, padding[1])
+    sn, sc, sy, sx = xp.strides
+    shape = (n, c, kh, kw, oh, ow)
+    strides = (sn, sc, sy, sx, sy * sh, sx * sw)
+    return as_strided(xp, shape=shape, strides=strides, writeable=False)
+
+
+def fold_windows(
+    window_grads: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`extract_windows` (a.k.a. ``col2im``).
+
+    Args:
+        window_grads: Gradient w.r.t. the window tensor,
+            shape ``(N, C, KH, KW, OH, OW)``.
+        input_shape: Shape of the original (unpadded) input.
+        kernel / stride / padding: Same geometry as the forward call.
+
+    Returns:
+        Gradient w.r.t. the original input, shape ``input_shape``.
+    """
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    oh, ow = window_grads.shape[4], window_grads.shape[5]
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=window_grads.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            padded[:, :, i : i + sh * oh : sh, j : j + sw * ow : sw] += window_grads[
+                :, :, i, j, :, :
+            ]
+    if ph == 0 and pw == 0:
+        return padded
+    return padded[:, :, ph : ph + h, pw : pw + w]
+
+
+def _pair(value: int | tuple[int, int]) -> tuple[int, int]:
+    """Normalise an int-or-pair geometry argument."""
+    if isinstance(value, int):
+        return (value, value)
+    pair = tuple(int(v) for v in value)
+    if len(pair) != 2:
+        raise ShapeError(f"expected an int or a pair, got {value!r}")
+    return pair

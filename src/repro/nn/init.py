@@ -1,0 +1,65 @@
+"""Weight initialisation schemes.
+
+The backbone networks use Kaiming/Xavier initialisation; Shredder's noise
+tensors are initialised from a Laplace distribution whose location ``mu`` and
+scale ``b`` are hyper-parameters (paper §2.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute fan-in/fan-out for linear (2-D) and conv (4-D) weights."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        c_out, c_in, kh, kw = shape
+        receptive = kh * kw
+        return c_in * receptive, c_out * receptive
+    raise ConfigurationError(f"cannot infer fan for weight shape {shape}")
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-uniform init, appropriate before ReLU nonlinearities."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform init, appropriate before tanh/sigmoid."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform_bias(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """PyTorch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    bound = 1.0 / math.sqrt(max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def laplace(
+    shape: tuple[int, ...],
+    rng: np.random.Generator,
+    loc: float = 0.0,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """Laplace(mu, b) sample — Shredder's noise-tensor initialiser.
+
+    Args:
+        shape: Output shape (matches the activation at the cut point).
+        rng: Source of randomness.
+        loc: Location parameter ``mu``.
+        scale: Scale parameter ``b`` (must be positive).
+    """
+    if scale <= 0:
+        raise ConfigurationError(f"Laplace scale must be positive, got {scale}")
+    return rng.laplace(loc=loc, scale=scale, size=shape).astype(np.float32)

@@ -1,0 +1,26 @@
+"""Layer library."""
+
+from repro.nn.layers.activation import ReLU, Sigmoid, Tanh
+from repro.nn.layers.container import Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d, LocalResponseNorm
+from repro.nn.layers.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Linear",
+    "LocalResponseNorm",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+]

@@ -1,0 +1,65 @@
+"""Container modules."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class Sequential(Module):
+    """Run child modules in order.
+
+    Children can be provided positionally (auto-named ``"0"``, ``"1"``, ...)
+    or as ``(name, module)`` pairs, which is what the model zoo uses so that
+    cut points can be referred to by layer name (``conv0``, ``relu0``, ...).
+    """
+
+    def __init__(self, *layers) -> None:
+        super().__init__()
+        self._order: list[str] = []
+        for index, layer in enumerate(layers):
+            if isinstance(layer, tuple):
+                name, module = layer
+            else:
+                name, module = str(index), layer
+            self.add(name, module)
+
+    def add(self, name: str, module: Module) -> None:
+        """Append a named child module."""
+        if name in self._modules:
+            raise ValueError(f"duplicate layer name {name!r}")
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+        self._order.append(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+    def layer_names(self) -> list[str]:
+        return list(self._order)
+
+    def layers(self) -> list[Module]:
+        return [self._modules[name] for name in self._order]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers())
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int | str) -> Module:
+        if isinstance(index, str):
+            return self._modules[index]
+        return self._modules[self._order[index]]
+
+    def slice(self, start: int, stop: int) -> "Sequential":
+        """Return a new Sequential sharing the child modules in [start, stop)."""
+        return Sequential(*[(name, self._modules[name]) for name in self._order[start:stop]])
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={self._modules[n]!r}" for n in self._order)
+        return f"Sequential({inner})"

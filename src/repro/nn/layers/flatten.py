@@ -1,0 +1,16 @@
+"""Flatten layer."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch dimension."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.flatten_batch()
+
+    def __repr__(self) -> str:
+        return "Flatten()"

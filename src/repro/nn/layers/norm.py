@@ -1,0 +1,63 @@
+"""Normalisation layers: BatchNorm2d and LocalResponseNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over NCHW channels with running statistics.
+
+    Args:
+        num_features: Channel count ``C``.
+        momentum: Running-statistics update rate.
+        eps: Numerical stabiliser inside the square root.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32), name="gamma")
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
+        self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class LocalResponseNorm(Module):
+    """AlexNet-style cross-channel local response normalisation."""
+
+    def __init__(
+        self, size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 2.0
+    ) -> None:
+        super().__init__()
+        self.size = size
+        self.alpha = alpha
+        self.beta = beta
+        self.k = k
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.local_response_norm(x, self.size, self.alpha, self.beta, self.k)
+
+    def __repr__(self) -> str:
+        return f"LocalResponseNorm(size={self.size})"

@@ -1,0 +1,57 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.im2col import _pair
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class MaxPool2d(Module):
+    """Max pooling; ``stride`` defaults to the kernel size."""
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None = None,
+        padding: int | tuple[int, int] = 0,
+    ) -> None:
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = self.kernel_size if stride is None else _pair(stride)
+        self.padding = _pair(padding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class AvgPool2d(Module):
+    """Average pooling; ``stride`` defaults to the kernel size."""
+
+    def __init__(
+        self,
+        kernel_size: int | tuple[int, int],
+        stride: int | tuple[int, int] | None = None,
+        padding: int | tuple[int, int] = 0,
+    ) -> None:
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = self.kernel_size if stride is None else _pair(stride)
+        self.padding = _pair(padding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2d(k={self.kernel_size}, s={self.stride})"
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, yielding ``(N, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.mean(axis=(2, 3))

@@ -1,0 +1,29 @@
+"""Loss modules wrapping the functional losses."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy from logits and integer labels."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:  # type: ignore[override]
+        return F.cross_entropy(logits, targets)
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return self.forward(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, prediction: Tensor, target: Tensor) -> Tensor:  # type: ignore[override]
+        return F.mse_loss(prediction, target)
+
+    def __call__(self, prediction: Tensor, target: Tensor) -> Tensor:
+        return self.forward(prediction, target)

@@ -1,0 +1,177 @@
+"""Module and Parameter abstractions (the ``torch.nn.Module`` substitute).
+
+A :class:`Module` owns :class:`Parameter` leaves and/or child modules, knows
+how to enumerate them by dotted name, can switch between train and eval
+behaviour, and can export/import its state as plain numpy arrays.  Buffers
+(non-trainable state such as BatchNorm running statistics) participate in
+``state_dict`` but not in gradient updates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor flagged as trainable and registered by its owning module."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter`, buffer arrays (via
+    :meth:`register_buffer`), and child :class:`Module` instances as
+    attributes; registration is automatic through ``__setattr__``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state that should persist in state_dict."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name in self._buffers:
+            yield f"{prefix}{name}", getattr(self, name)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    def children(self) -> list["Module"]:
+        return list(self._modules.values())
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Modes and gradients
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def freeze(self) -> "Module":
+        """Disable gradients for every parameter (used for the backbone).
+
+        Shredder never updates network weights — only the noise tensor is
+        trainable (paper §1, §2.1).  Freezing the backbone both enforces that
+        and skips useless gradient work.
+        """
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def unfreeze(self) -> "Module":
+        for param in self.parameters():
+            param.requires_grad = True
+        return self
+
+    # ------------------------------------------------------------------
+    # State dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        state: OrderedDict[str, np.ndarray] = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            state[name] = np.asarray(buffer).copy()
+        return state
+
+    def load_state_dict(self, state: dict, strict: bool = True) -> None:
+        """Load arrays into parameters and buffers by dotted name.
+
+        Args:
+            state: Mapping of dotted names to arrays.
+            strict: When true, missing or unexpected keys raise
+                :class:`SerializationError`.
+        """
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        expected = set(own_params) | set(own_buffers)
+        provided = set(state)
+        if strict and expected != provided:
+            missing = sorted(expected - provided)
+            unexpected = sorted(provided - expected)
+            raise SerializationError(
+                f"state dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, array in state.items():
+            if name in own_params:
+                target = own_params[name]
+                if target.shape != array.shape:
+                    raise SerializationError(
+                        f"shape mismatch for {name!r}: "
+                        f"model={target.shape}, file={array.shape}"
+                    )
+                target.data[...] = array
+            elif name in own_buffers:
+                buffer = own_buffers[name]
+                if buffer.shape != array.shape:
+                    raise SerializationError(
+                        f"shape mismatch for buffer {name!r}: "
+                        f"model={buffer.shape}, file={array.shape}"
+                    )
+                buffer[...] = array
+
+    # ------------------------------------------------------------------
+    # Calling
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    def __repr__(self) -> str:
+        children = ", ".join(self._modules)
+        return f"{type(self).__name__}({children})"

@@ -1,0 +1,41 @@
+"""State-dict persistence as ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.nn.module import Module
+
+
+def save_state_dict(state: dict, path: str | Path) -> Path:
+    """Write a mapping of names to arrays as a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})
+    # ``np.savez`` appends .npz when missing; normalise the returned path.
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def load_state_dict(path: str | Path) -> dict:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    path = Path(path)
+    if not path.exists():
+        raise SerializationError(f"no state dict at {path}")
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def save_module(module: Module, path: str | Path) -> Path:
+    """Persist a module's parameters and buffers."""
+    return save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str | Path, strict: bool = True) -> Module:
+    """Restore a module's parameters and buffers in place."""
+    module.load_state_dict(load_state_dict(path), strict=strict)
+    return module

@@ -1,0 +1,114 @@
+"""Binned (histogram / plug-in) mutual-information estimation.
+
+A cross-check for the kNN estimators: quantise each continuous dimension
+into equal-probability bins and compute the discrete plug-in MI, optionally
+with the Miller-Madow bias correction.  Binned estimators are crude in high
+dimensions, so this module is used on the PCA-reduced representations the
+leakage pipeline already produces, and mainly to *validate* the kNN numbers
+(same ordering, same large-vs-small separation) rather than to replace
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimatorError
+
+
+def quantile_bin(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Map 1-D values to equal-probability bin indices in ``[0, n_bins)``.
+
+    Equal-probability (quantile) binning keeps every bin populated, which
+    stabilises plug-in entropy estimates compared to equal-width bins on
+    heavy-tailed data.
+    """
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if n_bins < 2:
+        raise EstimatorError(f"need at least 2 bins, got {n_bins}")
+    if len(values) == 0:
+        raise EstimatorError("cannot bin an empty array")
+    edges = np.quantile(values, np.linspace(0.0, 1.0, n_bins + 1)[1:-1])
+    return np.searchsorted(edges, values, side="right")
+
+
+def joint_code(binned: np.ndarray, n_bins: int) -> np.ndarray:
+    """Collapse per-dimension bin indices ``(N, d)`` to one code per row."""
+    binned = np.asarray(binned)
+    if binned.ndim == 1:
+        binned = binned[:, None]
+    codes = np.zeros(len(binned), dtype=np.int64)
+    for column in range(binned.shape[1]):
+        codes = codes * n_bins + binned[:, column]
+    return codes
+
+
+def plugin_entropy_bits(codes: np.ndarray, miller_madow: bool = True) -> float:
+    """Plug-in entropy of discrete codes, in bits.
+
+    Args:
+        codes: Integer code per sample.
+        miller_madow: Apply the ``(m − 1) / (2N ln 2)`` bias correction,
+            where ``m`` is the number of occupied bins.
+    """
+    codes = np.asarray(codes).reshape(-1)
+    n = len(codes)
+    if n == 0:
+        raise EstimatorError("cannot estimate entropy from zero samples")
+    _, counts = np.unique(codes, return_counts=True)
+    p = counts / n
+    entropy = float(-(p * np.log2(p)).sum())
+    if miller_madow:
+        entropy += (len(counts) - 1) / (2.0 * n * np.log(2.0))
+    return entropy
+
+
+def binned_mutual_information(
+    x: np.ndarray,
+    y: np.ndarray,
+    n_bins: int = 8,
+    max_dims: int = 3,
+    miller_madow: bool = True,
+) -> float:
+    """Binned plug-in estimate of I(X;Y) in bits.
+
+    Each side keeps its first ``max_dims`` columns (callers pass
+    PCA-reduced data, so these are the highest-variance directions), each
+    column is quantile-binned, and MI is computed between the joint codes:
+    ``I = H(X) + H(Y) − H(X, Y)``.
+
+    Args:
+        x: ``(N, dx)`` samples.
+        y: ``(N, dy)`` samples, paired with ``x``.
+        n_bins: Bins per dimension.
+        max_dims: Columns kept per side (bin count grows as
+            ``n_bins**dims`` — keep this small).
+        miller_madow: Bias-correct each entropy term.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.ndim == 1:
+        x = x[:, None]
+    if y.ndim == 1:
+        y = y[:, None]
+    if len(x) != len(y):
+        raise EstimatorError(f"paired samples required; got {len(x)} vs {len(y)}")
+    if max_dims < 1:
+        raise EstimatorError(f"max_dims must be positive, got {max_dims}")
+    x = x[:, :max_dims]
+    y = y[:, :max_dims]
+    x_binned = np.column_stack(
+        [quantile_bin(x[:, j], n_bins) for j in range(x.shape[1])]
+    )
+    y_binned = np.column_stack(
+        [quantile_bin(y[:, j], n_bins) for j in range(y.shape[1])]
+    )
+    x_codes = joint_code(x_binned, n_bins)
+    y_codes = joint_code(y_binned, n_bins)
+    pair_codes = x_codes * (int(n_bins) ** y.shape[1]) + y_codes
+    mi = (
+        plugin_entropy_bits(x_codes, miller_madow)
+        + plugin_entropy_bits(y_codes, miller_madow)
+        - plugin_entropy_bits(pair_codes, miller_madow)
+    )
+    return max(mi, 0.0)

@@ -1,0 +1,76 @@
+"""Closed-form Gaussian-channel information quantities.
+
+The paper justifies using 1/SNR as the *in vivo* (training-time) privacy
+proxy by the known relationship between SNR and mutual information in noisy
+channels (Guo, Shamai & Verdu, 2005).  These closed forms provide ground
+truth for validating the kNN estimators and for the SNR↔MI ablation (E9 in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import EstimatorError
+
+
+def awgn_capacity_bits(snr: float) -> float:
+    """Shannon capacity of a scalar AWGN channel, ``0.5 log2(1 + SNR)``.
+
+    For ``Y = X + N`` with Gaussian signal power ``S`` and noise power
+    ``σ²``, ``I(X;Y) = 0.5 log2(1 + S/σ²)`` — monotone increasing in SNR,
+    which is exactly the property that makes 1/SNR a usable privacy proxy.
+    """
+    if snr < 0:
+        raise EstimatorError(f"SNR must be non-negative, got {snr}")
+    return 0.5 * math.log2(1.0 + snr)
+
+
+def awgn_vector_mi_bits(signal_variances: np.ndarray, noise_variance: float) -> float:
+    """MI of independent parallel AWGN channels (bits, summed over dims)."""
+    signal_variances = np.asarray(signal_variances, dtype=np.float64)
+    if noise_variance <= 0:
+        raise EstimatorError("noise variance must be positive")
+    if (signal_variances < 0).any():
+        raise EstimatorError("signal variances must be non-negative")
+    return float(0.5 * np.log2(1.0 + signal_variances / noise_variance).sum())
+
+
+def correlated_gaussian_mi_bits(rho: float) -> float:
+    """MI between two unit Gaussians with correlation ``rho``, in bits."""
+    if not -1.0 < rho < 1.0:
+        raise EstimatorError(f"correlation must be in (-1, 1), got {rho}")
+    return -0.5 * math.log2(1.0 - rho * rho)
+
+
+def multivariate_gaussian_mi_bits(
+    covariance: np.ndarray, dim_x: int
+) -> float:
+    """MI between the first ``dim_x`` and remaining dims of a joint Gaussian.
+
+    ``I(X;Y) = 0.5 log2( det Σ_x det Σ_y / det Σ )``.
+    """
+    covariance = np.asarray(covariance, dtype=np.float64)
+    d = covariance.shape[0]
+    if covariance.shape != (d, d) or not 0 < dim_x < d:
+        raise EstimatorError("invalid covariance partition")
+    sign_x, logdet_x = np.linalg.slogdet(covariance[:dim_x, :dim_x])
+    sign_y, logdet_y = np.linalg.slogdet(covariance[dim_x:, dim_x:])
+    sign_j, logdet_j = np.linalg.slogdet(covariance)
+    if min(sign_x, sign_y, sign_j) <= 0:
+        raise EstimatorError("covariance must be positive definite")
+    return 0.5 * (logdet_x + logdet_y - logdet_j) / math.log(2.0)
+
+
+def snr_to_in_vivo_privacy(snr: float) -> float:
+    """The paper's in vivo privacy: the reverse of SNR (1/SNR)."""
+    if snr <= 0:
+        raise EstimatorError(f"SNR must be positive, got {snr}")
+    return 1.0 / snr
+
+
+def mi_to_ex_vivo_privacy(mi_bits: float, floor: float = 1e-9) -> float:
+    """The paper's ex vivo privacy: the reverse of MI (1/MI)."""
+    return 1.0 / max(mi_bits, floor)

@@ -1,0 +1,74 @@
+"""Dimensionality reduction ahead of kNN MI estimation.
+
+kNN information estimators are unusable in the raw pixel/activation space
+(thousands of dimensions, tiny sample counts), so — like every practical MI
+measurement pipeline — we project both variables to a small number of
+principal components first, then estimate MI in the reduced space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimatorError
+
+
+class PCAReducer:
+    """Principal component projection fitted by SVD.
+
+    Args:
+        n_components: Output dimensionality.
+        whiten: Scale components to unit variance — recommended before
+            kNN estimation so all dimensions contribute comparably.
+    """
+
+    def __init__(self, n_components: int, whiten: bool = True) -> None:
+        if n_components < 1:
+            raise EstimatorError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.whiten = whiten
+        self.mean_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.scales_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "PCAReducer":
+        """Fit the projection on ``(N, D)`` data (rows = samples)."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise EstimatorError(f"expected (N, D) data, got shape {data.shape}")
+        n, d = data.shape
+        if n < 2:
+            raise EstimatorError("need at least 2 samples to fit PCA")
+        k = min(self.n_components, d, n - 1)
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        # Economy SVD; components are right singular vectors.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self.components_ = vt[:k]
+        variance = (singular_values[:k] ** 2) / max(n - 1, 1)
+        self.explained_variance_ = variance
+        self.scales_ = np.sqrt(np.maximum(variance, 1e-12))
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project ``(N, D)`` data onto the fitted components."""
+        if self.components_ is None:
+            raise EstimatorError("PCAReducer must be fitted before transform")
+        data = np.asarray(data, dtype=np.float64)
+        projected = (data - self.mean_) @ self.components_.T
+        if self.whiten:
+            projected = projected / self.scales_
+        return projected
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` then project it."""
+        return self.fit(data).transform(data)
+
+
+def flatten_batch(array: np.ndarray) -> np.ndarray:
+    """Flatten any (N, ...) batch into (N, D) for the estimators."""
+    array = np.asarray(array)
+    if array.ndim < 2:
+        raise EstimatorError(f"expected a batch, got shape {array.shape}")
+    return array.reshape(len(array), -1)

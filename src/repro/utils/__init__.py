@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from repro.utils.summary import activation_statistics, model_summary
+
+__all__ = ["activation_statistics", "model_summary"]

@@ -1,0 +1,64 @@
+"""Model summary printer (the ``torchsummary`` nicety).
+
+Walks a :class:`~repro.models.base.SplittableModel` layer by layer and
+tabulates output shapes, parameter counts, per-layer MACs, and which layers
+are cut points — the quickest way to see where a network can be split and
+what each choice would cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.edge.costs import profile_network
+from repro.eval.reporting import format_table
+from repro.models.base import SplittableModel
+
+
+def model_summary(model: SplittableModel) -> str:
+    """Render a per-layer summary table for a splittable model."""
+    profile = profile_network(model)
+    cut_ends = {
+        model.cut_point(name).end_index: name for name in model.cut_names()
+    }
+    rows = []
+    total_params = 0
+    total_macs = 0
+    for index, (name, cost) in enumerate(zip(model.net.layer_names(), profile)):
+        module = model.net[name]
+        params = module.num_parameters()
+        total_params += params
+        total_macs += cost.macs
+        rows.append(
+            (
+                name,
+                type(module).__name__,
+                f"{cost.output_elements}",
+                f"{params}",
+                f"{cost.macs}",
+                f"cut:{cut_ends[index]}" if index in cut_ends else "",
+            )
+        )
+    rows.append(("total", "", "", f"{total_params}", f"{total_macs}", ""))
+    header = (
+        f"{model.model_name}: input={model.input_shape}, "
+        f"classes={model.num_classes}"
+    )
+    return format_table(
+        ["layer", "type", "out elems", "params", "MACs", ""],
+        rows,
+        title=header,
+    )
+
+
+def activation_statistics(activations: np.ndarray) -> dict[str, float]:
+    """Quick numeric profile of an activation batch (for diagnostics)."""
+    activations = np.asarray(activations, dtype=np.float64)
+    return {
+        "mean": float(activations.mean()),
+        "std": float(activations.std()),
+        "min": float(activations.min()),
+        "max": float(activations.max()),
+        "power": float(np.mean(activations**2)),
+        "sparsity": float((activations == 0).mean()),
+    }

@@ -1,0 +1,65 @@
+"""Tests for attack metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    InferenceAttackReport,
+    ReconstructionReport,
+    mean_squared_error,
+    peak_signal_to_noise_ratio,
+)
+from repro.errors import EstimatorError
+
+
+class TestMSE:
+    def test_zero_for_identical(self, rng):
+        x = rng.standard_normal((4, 3))
+        assert mean_squared_error(x, x.copy()) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error(np.zeros(4), np.full(4, 2.0)) == pytest.approx(4.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EstimatorError):
+            mean_squared_error(np.zeros(3), np.zeros(4))
+
+
+class TestPSNR:
+    def test_infinite_for_perfect(self):
+        x = np.ones((2, 2))
+        assert peak_signal_to_noise_ratio(x, x) == float("inf")
+
+    def test_known_value(self):
+        # MSE 0.01 at range 1 -> 20 dB.
+        truth = np.zeros(100)
+        estimate = np.full(100, 0.1)
+        assert peak_signal_to_noise_ratio(truth, estimate) == pytest.approx(20.0)
+
+    def test_better_reconstruction_higher_psnr(self, rng):
+        truth = rng.random((8, 8))
+        close = truth + 0.01 * rng.standard_normal((8, 8))
+        far = truth + 0.3 * rng.standard_normal((8, 8))
+        assert peak_signal_to_noise_ratio(truth, close) > peak_signal_to_noise_ratio(
+            truth, far
+        )
+
+
+class TestReports:
+    def test_reconstruction_advantage(self):
+        report = ReconstructionReport(mse=0.25, psnr_db=6.0, baseline_mse=1.0)
+        assert report.advantage == pytest.approx(0.75)
+
+    def test_no_advantage_when_matching_baseline(self):
+        report = ReconstructionReport(mse=1.0, psnr_db=0.0, baseline_mse=1.0)
+        assert report.advantage == pytest.approx(0.0)
+
+    def test_zero_baseline_guard(self):
+        report = ReconstructionReport(mse=1.0, psnr_db=0.0, baseline_mse=0.0)
+        assert report.advantage == 0.0
+
+    def test_inference_advantage(self):
+        report = InferenceAttackReport(accuracy=0.7, chance=0.1)
+        assert report.advantage == pytest.approx(0.6)

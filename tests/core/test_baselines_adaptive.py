@@ -1,0 +1,177 @@
+"""Tests for the noise baselines and the adaptive operating-point search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NoiseCollection,
+    OperatingPointSearch,
+    accuracy_budget_evaluator,
+    activation_sensitivity,
+    laplace_mechanism_noise,
+    matched_variance_noise,
+    require_converged,
+)
+from repro.errors import ConfigurationError, TrainingError
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self, rng):
+        noise = laplace_mechanism_noise((20000,), sensitivity=2.0, epsilon=0.5, rng=rng)
+        # Laplace(0, b): std = sqrt(2) b with b = 4.
+        assert noise.std() == pytest.approx(np.sqrt(2) * 4.0, rel=0.05)
+
+    def test_smaller_epsilon_noisier(self, rng):
+        strong = laplace_mechanism_noise((5000,), 1.0, 0.1, rng)
+        weak = laplace_mechanism_noise((5000,), 1.0, 10.0, rng)
+        assert strong.std() > weak.std() * 10
+
+    @pytest.mark.parametrize("kwargs", [dict(sensitivity=0.0, epsilon=1.0), dict(sensitivity=1.0, epsilon=0.0)])
+    def test_validation(self, rng, kwargs):
+        with pytest.raises(ConfigurationError):
+            laplace_mechanism_noise((4,), rng=rng, **kwargs)
+
+    def test_sensitivity_is_range(self):
+        assert activation_sensitivity(np.array([-1.0, 0.0, 3.0])) == pytest.approx(4.0)
+
+    def test_sensitivity_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            activation_sensitivity(np.array([]))
+
+
+class TestMatchedVariance:
+    @pytest.fixture()
+    def collection(self, rng):
+        collection = NoiseCollection((4, 3, 3))
+        for _ in range(5):
+            collection.add(
+                rng.laplace(0, 2.0, size=(4, 3, 3)).astype(np.float32), 0.9, 0.5
+            )
+        return collection
+
+    def test_variance_matched(self, collection, rng):
+        stacked = np.stack([s.tensor for s in collection.samples])
+        fresh = matched_variance_noise(collection, 500, rng)
+        assert fresh.std() == pytest.approx(stacked.std(), rel=0.1)
+
+    def test_gaussian_family(self, collection, rng):
+        fresh = matched_variance_noise(collection, 500, rng, family="gaussian")
+        stacked = np.stack([s.tensor for s in collection.samples])
+        assert fresh.std() == pytest.approx(stacked.std(), rel=0.1)
+
+    def test_shape(self, collection, rng):
+        assert matched_variance_noise(collection, 7, rng).shape == (7, 4, 3, 3)
+
+    def test_unknown_family(self, collection, rng):
+        with pytest.raises(ConfigurationError):
+            matched_variance_noise(collection, 3, rng, family="cauchy")
+
+
+class TestOperatingPointSearch:
+    @staticmethod
+    def make_evaluator(knee: float):
+        """Accuracy loss grows linearly past a knee; privacy = level."""
+
+        def evaluate(level: float) -> tuple[float, float]:
+            loss = max(0.0, (level - knee) * 10.0)
+            return loss, level
+
+        return evaluate
+
+    def test_finds_level_near_budget_boundary(self):
+        # loss = 10*(level-1) -> budget 2% is crossed at level 1.2.
+        search = OperatingPointSearch(
+            self.make_evaluator(knee=1.0),
+            max_accuracy_loss_percent=2.0,
+            low=0.1,
+            high=4.0,
+            iterations=8,
+        )
+        result = search.run()
+        assert result.best is not None
+        assert result.best.level == pytest.approx(1.2, abs=0.1)
+
+    def test_budget_infeasible_reports_none(self):
+        search = OperatingPointSearch(
+            lambda level: (50.0, level), max_accuracy_loss_percent=1.0
+        )
+        result = search.run()
+        assert result.best is None
+        assert len(result.probes) == 1
+
+    def test_whole_bracket_affordable_short_circuits(self):
+        search = OperatingPointSearch(
+            lambda level: (0.0, level), max_accuracy_loss_percent=5.0,
+            low=0.1, high=2.0, iterations=6,
+        )
+        result = search.run()
+        assert result.best is not None
+        assert result.best.level == pytest.approx(2.0)
+        assert len(result.probes) == 2  # low + high only
+
+    def test_probes_recorded(self):
+        search = OperatingPointSearch(
+            self.make_evaluator(1.0), 2.0, iterations=3
+        )
+        result = search.run()
+        assert len(result.probes) == 5  # low, high, 3 bisections
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_accuracy_loss_percent=0.0),
+            dict(max_accuracy_loss_percent=1.0, low=2.0, high=1.0),
+            dict(max_accuracy_loss_percent=1.0, iterations=0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OperatingPointSearch(lambda level: (0.0, level), **kwargs)
+
+    def test_end_to_end_on_lenet(self, lenet_bundle):
+        from repro.config import TINY, Config
+        from repro.eval import build_pipeline, get_benchmark
+
+        config = Config(scale=TINY)
+        benchmark = get_benchmark("lenet")
+
+        def factory(level: float):
+            return build_pipeline(bundle=lenet_bundle, benchmark=benchmark,
+                                  config=config, target_in_vivo=level)
+
+        search = OperatingPointSearch(
+            accuracy_budget_evaluator(factory, iterations=120, n_members=2),
+            max_accuracy_loss_percent=8.0,
+            low=0.05,
+            high=2.0,
+            iterations=2,
+        )
+        result = search.run()
+        assert result.probes, "search evaluated nothing"
+        if result.best is not None:
+            assert result.best.accuracy_loss_percent <= 8.0
+
+
+class TestRequireConverged:
+    def test_passes_good_run(self):
+        from repro.core.trainer import NoiseTrainingHistory, NoiseTrainingResult
+
+        result = NoiseTrainingResult(
+            noise=np.zeros((1, 2)), history=NoiseTrainingHistory(),
+            final_in_vivo_privacy=0.5, final_accuracy=0.9, signal_power=1.0,
+            epochs=1.0,
+        )
+        require_converged(result, minimum_accuracy=0.8)
+
+    def test_raises_on_bad_run(self):
+        from repro.core.trainer import NoiseTrainingHistory, NoiseTrainingResult
+
+        result = NoiseTrainingResult(
+            noise=np.zeros((1, 2)), history=NoiseTrainingHistory(),
+            final_in_vivo_privacy=0.5, final_accuracy=0.4, signal_power=1.0,
+            epochs=1.0,
+        )
+        with pytest.raises(TrainingError):
+            require_converged(result, minimum_accuracy=0.8)

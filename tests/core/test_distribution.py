@@ -1,0 +1,179 @@
+"""Tests for the parametric noise-distribution fit (§2.5, parametric reading)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FittedNoiseDistribution, NoiseCollection
+from repro.errors import ConfigurationError, TrainingError
+
+
+def make_collection(rng, n_members=6, shape=(2, 3, 3), loc=1.5, scale=0.4):
+    collection = NoiseCollection(shape)
+    for _ in range(n_members):
+        tensor = rng.laplace(loc, scale, size=shape).astype(np.float32)
+        collection.add(tensor, accuracy=0.9, in_vivo_privacy=0.5)
+    return collection
+
+
+@pytest.fixture()
+def collection(rng):
+    return make_collection(rng)
+
+
+class TestFit:
+    def test_laplace_fit_shape(self, collection):
+        fit = FittedNoiseDistribution.fit(collection)
+        assert fit.shape == (2, 3, 3)
+        assert fit.family == "laplace"
+        assert fit.n_members == 6
+
+    def test_gaussian_fit_shape(self, collection):
+        fit = FittedNoiseDistribution.fit(collection, family="gaussian")
+        assert fit.family == "gaussian"
+        assert fit.scale.shape == (2, 3, 3)
+
+    def test_fit_recovers_location(self, rng):
+        collection = make_collection(rng, n_members=200, loc=2.0, scale=0.1)
+        fit = FittedNoiseDistribution.fit(collection)
+        assert abs(float(fit.location.mean()) - 2.0) < 0.1
+
+    def test_fit_recovers_scale(self, rng):
+        collection = make_collection(rng, n_members=400, loc=0.0, scale=0.5)
+        fit = FittedNoiseDistribution.fit(collection)
+        assert abs(float(fit.scale.mean()) - 0.5) < 0.1
+
+    def test_gaussian_fit_matches_moments(self, rng):
+        shape = (4, 4)
+        collection = NoiseCollection(shape)
+        stacked = rng.normal(1.0, 2.0, size=(300, *shape)).astype(np.float32)
+        for member in stacked:
+            collection.add(member, 0.9, 0.5)
+        fit = FittedNoiseDistribution.fit(collection, family="gaussian")
+        np.testing.assert_allclose(fit.location, stacked.mean(axis=0), atol=1e-4)
+        np.testing.assert_allclose(fit.scale, stacked.std(axis=0), atol=1e-4)
+
+    def test_single_member_rejected(self, rng):
+        collection = make_collection(rng, n_members=1)
+        with pytest.raises(TrainingError):
+            FittedNoiseDistribution.fit(collection)
+
+    def test_unknown_family_rejected(self, collection):
+        with pytest.raises(ConfigurationError):
+            FittedNoiseDistribution.fit(collection, family="cauchy")
+
+    def test_constructor_validates_shapes(self):
+        with pytest.raises(ConfigurationError):
+            FittedNoiseDistribution(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_constructor_rejects_negative_scale(self):
+        with pytest.raises(ConfigurationError):
+            FittedNoiseDistribution(np.zeros((2, 2)), -np.ones((2, 2)))
+
+
+class TestSampling:
+    def test_sample_shape(self, collection):
+        fit = FittedNoiseDistribution.fit(collection)
+        draw = fit.sample(np.random.default_rng(0))
+        assert draw.shape == (1, 2, 3, 3)
+        assert draw.dtype == np.float32
+
+    def test_sample_batch_shape(self, collection):
+        fit = FittedNoiseDistribution.fit(collection)
+        draws = fit.sample_batch(np.random.default_rng(0), 16)
+        assert draws.shape == (16, 2, 3, 3)
+
+    def test_samples_are_fresh(self, collection):
+        """Fresh draws should not coincide with any stored member."""
+        fit = FittedNoiseDistribution.fit(collection)
+        draws = fit.sample_batch(np.random.default_rng(0), 8)
+        members = [s.tensor for s in collection.samples]
+        for i in range(8):
+            assert not any(np.array_equal(draws[i], m) for m in members)
+
+    def test_zero_scale_degenerates_to_location(self):
+        location = np.full((2, 2), 3.0, dtype=np.float32)
+        fit = FittedNoiseDistribution(location, np.zeros((2, 2)))
+        draws = fit.sample_batch(np.random.default_rng(0), 4)
+        np.testing.assert_allclose(draws, 3.0, atol=1e-5)
+
+    def test_nonpositive_count_rejected(self, collection):
+        fit = FittedNoiseDistribution.fit(collection)
+        with pytest.raises(ConfigurationError):
+            fit.sample_batch(np.random.default_rng(0), 0)
+
+    def test_sampled_spread_tracks_fit_scale(self, rng):
+        collection = make_collection(rng, n_members=100, loc=0.0, scale=1.0)
+        fit = FittedNoiseDistribution.fit(collection)
+        draws = fit.sample_batch(np.random.default_rng(1), 2000)
+        implied_std = float(np.sqrt(fit.element_variance().mean()))
+        assert abs(draws.std() - implied_std) / implied_std < 0.15
+
+
+class TestStatistics:
+    def test_element_variance_laplace(self):
+        fit = FittedNoiseDistribution(np.zeros((2,)), np.full((2,), 2.0))
+        np.testing.assert_allclose(fit.element_variance(), 8.0)
+
+    def test_element_variance_gaussian(self):
+        fit = FittedNoiseDistribution(
+            np.zeros((2,)), np.full((2,), 2.0), family="gaussian"
+        )
+        np.testing.assert_allclose(fit.element_variance(), 4.0)
+
+    def test_summary_fields(self, collection):
+        summary = FittedNoiseDistribution.fit(collection).summary()
+        assert summary.family == "laplace"
+        assert summary.n_members == 6
+        assert summary.mean_scale > 0
+        assert summary.mean_abs_location > 0
+
+
+class TestPersistence:
+    def test_roundtrip(self, collection, tmp_path):
+        fit = FittedNoiseDistribution.fit(collection, family="gaussian")
+        path = fit.save(tmp_path / "fit.npz")
+        loaded = FittedNoiseDistribution.load(path)
+        np.testing.assert_allclose(loaded.location, fit.location)
+        np.testing.assert_allclose(loaded.scale, fit.scale)
+        assert loaded.family == "gaussian"
+        assert loaded.n_members == fit.n_members
+
+    def test_load_missing_path(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FittedNoiseDistribution.load(tmp_path / "absent.npz")
+
+    def test_save_appends_npz_suffix(self, collection, tmp_path):
+        fit = FittedNoiseDistribution.fit(collection)
+        path = fit.save(tmp_path / "fit")
+        assert path.name.endswith(".npz")
+
+
+class TestProperties:
+    @given(
+        loc=st.floats(-3.0, 3.0),
+        scale=st.floats(0.05, 2.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fit_location_bounded_by_member_range(self, loc, scale, seed):
+        rng = np.random.default_rng(seed)
+        collection = make_collection(rng, n_members=5, shape=(3, 3), loc=loc, scale=scale)
+        fit = FittedNoiseDistribution.fit(collection)
+        stacked = np.stack([s.tensor for s in collection.samples])
+        assert np.all(fit.location >= stacked.min(axis=0) - 1e-6)
+        assert np.all(fit.location <= stacked.max(axis=0) + 1e-6)
+        assert np.all(fit.scale >= 0)
+
+    @given(seed=st.integers(0, 2**16), family=st.sampled_from(["laplace", "gaussian"]))
+    @settings(max_examples=20, deadline=None)
+    def test_sampling_is_deterministic_per_seed(self, seed, family):
+        rng = np.random.default_rng(7)
+        collection = make_collection(rng, n_members=4, shape=(2, 2))
+        fit = FittedNoiseDistribution.fit(collection, family=family)
+        a = fit.sample_batch(np.random.default_rng(seed), 3)
+        b = fit.sample_batch(np.random.default_rng(seed), 3)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,82 @@
+"""Tests for the trainable noise tensor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseTensor
+from repro.errors import ConfigurationError
+
+
+class TestLaplaceInit:
+    def test_shape_has_broadcast_dim(self, rng):
+        noise = NoiseTensor.from_laplace((4, 5, 5), rng)
+        assert noise.shape == (1, 4, 5, 5)
+
+    def test_location_parameter(self, rng):
+        noise = NoiseTensor.from_laplace((64, 8, 8), rng, loc=3.0, scale=0.5)
+        assert noise.numpy().mean() == pytest.approx(3.0, abs=0.1)
+
+    def test_scale_parameter_controls_spread(self, rng):
+        small = NoiseTensor.from_laplace((64, 8, 8), rng, scale=0.5)
+        large = NoiseTensor.from_laplace((64, 8, 8), rng, scale=4.0)
+        assert large.numpy().std() > small.numpy().std() * 3
+
+    def test_laplace_variance(self, rng):
+        # Var[Laplace(0, b)] = 2 b^2.
+        b = 1.5
+        noise = NoiseTensor.from_laplace((32, 16, 16), rng, scale=b)
+        assert noise.variance() == pytest.approx(2 * b * b, rel=0.1)
+
+    def test_requires_grad(self, rng):
+        assert NoiseTensor.from_laplace((2, 3, 3), rng).requires_grad
+
+    def test_invalid_shape(self, rng):
+        with pytest.raises(ConfigurationError):
+            NoiseTensor.from_laplace((0, 3, 3), rng)
+
+    def test_invalid_scale(self, rng):
+        with pytest.raises(ConfigurationError):
+            NoiseTensor.from_laplace((2, 3, 3), rng, scale=0.0)
+
+
+class TestFromArray:
+    def test_adds_batch_dim(self):
+        noise = NoiseTensor.from_array(np.zeros((2, 3, 3)))
+        assert noise.shape == (1, 2, 3, 3)
+
+    def test_keeps_existing_batch_dim(self):
+        noise = NoiseTensor.from_array(np.zeros((1, 2, 3, 3)))
+        assert noise.shape == (1, 2, 3, 3)
+
+    def test_per_sample_strips_batch(self):
+        noise = NoiseTensor.from_array(np.ones((2, 3, 3)))
+        assert noise.per_sample.shape == (2, 3, 3)
+
+
+class TestStatistics:
+    def test_magnitude_l1(self):
+        noise = NoiseTensor.from_array(np.array([[1.0, -2.0], [0.5, 0.0]]))
+        assert noise.magnitude_l1() == pytest.approx(3.5)
+
+    def test_variance_zero_for_constant(self):
+        assert NoiseTensor.from_array(np.full((4, 4), 2.0)).variance() == 0.0
+
+    def test_broadcast_addition_over_batch(self, rng):
+        from repro.nn import Tensor
+
+        noise = NoiseTensor.from_laplace((2, 3, 3), rng)
+        batch = Tensor(np.zeros((5, 2, 3, 3), dtype=np.float32))
+        out = batch + noise
+        assert out.shape == (5, 2, 3, 3)
+        np.testing.assert_allclose(out.numpy()[0], noise.per_sample)
+        np.testing.assert_allclose(out.numpy()[4], noise.per_sample)
+
+    def test_gradient_sums_over_batch(self, rng):
+        from repro.nn import Tensor
+
+        noise = NoiseTensor.from_laplace((1, 2, 2), rng)
+        batch = Tensor(np.ones((7, 1, 2, 2), dtype=np.float32))
+        (batch + noise).sum().backward()
+        np.testing.assert_allclose(noise.grad, np.full((1, 1, 2, 2), 7.0))

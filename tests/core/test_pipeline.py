@@ -1,0 +1,97 @@
+"""Integration tests for the end-to-end Shredder pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TINY, Config
+from repro.core import NoiseCollection, ShredderPipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline(lenet_bundle):
+    return ShredderPipeline(
+        lenet_bundle,
+        lambda_coeff=1e-3,
+        init_scale=1.0,
+        config=Config(scale=TINY),
+    )
+
+
+@pytest.fixture(scope="module")
+def report(pipeline):
+    return pipeline.run(iterations=200, n_members=4)
+
+
+class TestReportConsistency:
+    def test_headline_tradeoff(self, report):
+        # The paper's claim at tiny scale: large MI loss, small accuracy loss.
+        assert report.mi_loss_percent > 20.0
+        assert report.accuracy_loss_percent < 15.0
+
+    def test_accuracy_loss_consistent(self, report):
+        assert report.accuracy_loss_percent == pytest.approx(
+            100.0 * (report.clean_accuracy - report.noisy_accuracy), abs=1e-9
+        )
+
+    def test_mi_loss_consistent(self, report):
+        expected = 100.0 * (
+            (report.original_mi_bits - report.shredded_mi_bits)
+            / report.original_mi_bits
+        )
+        assert report.mi_loss_percent == pytest.approx(expected, rel=1e-6)
+
+    def test_params_ratio_small(self, report):
+        # Table 1: the noise tensor is a tiny fraction of the model.
+        assert 0 < report.params_ratio_percent < 5.0
+
+    def test_metadata(self, report, lenet_bundle):
+        assert report.model_name == "lenet"
+        assert report.cut == lenet_bundle.model.last_conv_cut()
+        assert report.epochs > 0
+
+    def test_shredded_mi_below_original(self, report):
+        assert report.shredded_mi_bits < report.original_mi_bits
+
+
+class TestPipelinePieces:
+    def test_new_noise_deterministic_by_tag(self, pipeline):
+        a = pipeline.new_noise(seed_tag=1)
+        b = pipeline.new_noise(seed_tag=1)
+        c = pipeline.new_noise(seed_tag=2)
+        np.testing.assert_array_equal(a.numpy(), b.numpy())
+        assert not np.array_equal(a.numpy(), c.numpy())
+
+    def test_collect_members_differ(self, pipeline):
+        collection = pipeline.collect(n_members=2, iterations=30)
+        assert len(collection) == 2
+        assert not np.array_equal(
+            collection.samples[0].tensor, collection.samples[1].tensor
+        )
+
+    def test_clean_accuracy_matches_bundle(self, pipeline, lenet_bundle):
+        assert pipeline.clean_accuracy() == pytest.approx(
+            lenet_bundle.test_accuracy, abs=0.02
+        )
+
+    def test_fixed_noise_leaves_mi_unchanged(self, pipeline, rng):
+        # Constant-shift invariance measured through the pipeline API.
+        fixed = rng.laplace(0, 2, size=(1, *pipeline.split.activation_shape)).astype(
+            np.float32
+        )
+        original = pipeline.measure_leakage(None).mi_bits
+        shifted = pipeline.measure_leakage(fixed).mi_bits
+        assert shifted == pytest.approx(original, abs=0.2)
+
+    def test_collection_reduces_mi(self, pipeline, report):
+        collection = pipeline.collect(n_members=3, iterations=100)
+        original = pipeline.measure_leakage(None).mi_bits
+        sampled = pipeline.measure_leakage(collection).mi_bits
+        assert sampled < original
+
+    def test_noisy_accuracy_with_collection(self, pipeline):
+        collection = pipeline.collect(n_members=2, iterations=100)
+        accuracy = pipeline.noisy_accuracy(collection)
+        assert 0.0 <= accuracy <= 1.0
+        assert accuracy > 0.3  # far above chance after recovery training

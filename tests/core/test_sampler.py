@@ -1,0 +1,138 @@
+"""Tests for the noise collection (paper §2.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseCollection, NoiseSample, collect_noise_distribution
+from repro.errors import ConfigurationError, TrainingError
+
+
+@pytest.fixture()
+def collection(rng):
+    collection = NoiseCollection((2, 3, 3))
+    for i in range(4):
+        collection.add(
+            rng.laplace(0, 1 + i, size=(2, 3, 3)).astype(np.float32),
+            accuracy=0.9 - 0.01 * i,
+            in_vivo_privacy=0.5 + 0.05 * i,
+        )
+    return collection
+
+
+class TestBuilding:
+    def test_length(self, collection):
+        assert len(collection) == 4
+
+    def test_add_strips_batch_dim(self, rng):
+        c = NoiseCollection((2, 2, 2))
+        c.add(np.zeros((1, 2, 2, 2)), 0.9, 0.5)
+        assert c.samples[0].tensor.shape == (2, 2, 2)
+
+    def test_wrong_shape_rejected(self, rng):
+        c = NoiseCollection((2, 2, 2))
+        with pytest.raises(ConfigurationError):
+            c.add(np.zeros((3, 2, 2)), 0.9, 0.5)
+
+    def test_add_copies(self, rng):
+        c = NoiseCollection((2, 2))
+        source = np.ones((2, 2), dtype=np.float32)
+        c.add(source, 0.9, 0.5)
+        source[...] = 7.0
+        np.testing.assert_allclose(c.samples[0].tensor, 1.0)
+
+
+class TestSampling:
+    def test_sample_returns_member_with_batch_dim(self, collection):
+        draw = collection.sample(np.random.default_rng(0))
+        assert draw.shape == (1, 2, 3, 3)
+        members = [s.tensor for s in collection.samples]
+        assert any(np.array_equal(draw[0], m) for m in members)
+
+    def test_sample_batch_shape(self, collection):
+        draws = collection.sample_batch(np.random.default_rng(0), 10)
+        assert draws.shape == (10, 2, 3, 3)
+
+    def test_sample_batch_uses_multiple_members(self, collection):
+        draws = collection.sample_batch(np.random.default_rng(0), 50)
+        unique = {draws[i].tobytes() for i in range(50)}
+        assert len(unique) > 1
+
+    def test_sampling_deterministic_given_rng(self, collection):
+        a = collection.sample_batch(np.random.default_rng(7), 5)
+        b = collection.sample_batch(np.random.default_rng(7), 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_collection_rejects_sampling(self):
+        empty = NoiseCollection((2, 2))
+        with pytest.raises(TrainingError):
+            empty.sample(np.random.default_rng(0))
+        with pytest.raises(TrainingError):
+            empty.sample_batch(np.random.default_rng(0), 3)
+
+    def test_elementwise_sampling_shape(self, collection):
+        draw = collection.sample_elementwise(np.random.default_rng(0))
+        assert draw.shape == (1, 2, 3, 3)
+
+    def test_elementwise_needs_two_members(self):
+        c = NoiseCollection((2, 2))
+        c.add(np.zeros((2, 2)), 0.9, 0.5)
+        with pytest.raises(TrainingError):
+            c.sample_elementwise(np.random.default_rng(0))
+
+    def test_elementwise_values_come_from_members(self, collection):
+        draw = collection.sample_elementwise(np.random.default_rng(0))[0]
+        stacked = np.stack([s.tensor for s in collection.samples])
+        for index in np.ndindex(*draw.shape):
+            member_values = stacked[(slice(None),) + index]
+            assert draw[index] in member_values
+
+
+class TestStatistics:
+    def test_mean_accuracy(self, collection):
+        assert collection.mean_accuracy() == pytest.approx(0.885)
+
+    def test_mean_privacy(self, collection):
+        assert collection.mean_in_vivo_privacy() == pytest.approx(0.575)
+
+    def test_empty_statistics_rejected(self):
+        with pytest.raises(TrainingError):
+            NoiseCollection((2,)).mean_accuracy()
+
+
+class TestPersistence:
+    def test_roundtrip(self, collection, tmp_path):
+        path = collection.save(tmp_path / "noise.npz")
+        loaded = NoiseCollection.load(path)
+        assert len(loaded) == len(collection)
+        np.testing.assert_allclose(
+            loaded.samples[0].tensor, collection.samples[0].tensor
+        )
+        assert loaded.samples[2].accuracy == pytest.approx(0.88)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            NoiseCollection.load(tmp_path / "missing.npz")
+
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(TrainingError):
+            NoiseCollection((2,)).save(tmp_path / "x.npz")
+
+
+class TestCollectHelper:
+    def test_builds_n_members(self, rng):
+        def train_one(index: int) -> NoiseSample:
+            return NoiseSample(
+                tensor=np.full((1, 2, 2), float(index), dtype=np.float32),
+                accuracy=0.9,
+                in_vivo_privacy=0.4,
+            )
+
+        collection = collect_noise_distribution(train_one, n_members=3)
+        assert len(collection) == 3
+        np.testing.assert_allclose(collection.samples[2].tensor, 2.0)
+
+    def test_requires_positive_members(self):
+        with pytest.raises(ConfigurationError):
+            collect_noise_distribution(lambda i: None, n_members=0)

@@ -1,0 +1,65 @@
+"""Tests for λ schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ConstantLambda, DecayOnTarget
+from repro.errors import ConfigurationError
+
+
+class TestConstantLambda:
+    def test_always_same(self):
+        schedule = ConstantLambda(0.01)
+        assert schedule.coefficient(0, 0.0) == 0.01
+        assert schedule.coefficient(1000, 99.0) == 0.01
+
+    def test_zero_allowed(self):
+        assert ConstantLambda(0.0).coefficient(5, 1.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLambda(-1.0)
+
+
+class TestDecayOnTarget:
+    def test_holds_base_below_target(self):
+        schedule = DecayOnTarget(base=0.01, target=0.5, decay=0.5)
+        assert schedule.coefficient(0, 0.1) == 0.01
+        assert schedule.coefficient(1, 0.49) == 0.01
+        assert schedule.reached_at_step is None
+
+    def test_decays_once_target_reached(self):
+        schedule = DecayOnTarget(base=0.01, target=0.5, decay=0.5)
+        assert schedule.coefficient(10, 0.6) == pytest.approx(0.005)
+        assert schedule.reached_at_step == 10
+
+    def test_keeps_decaying_while_above_target(self):
+        schedule = DecayOnTarget(base=0.01, target=0.5, decay=0.5)
+        schedule.coefficient(1, 0.6)
+        schedule.coefficient(2, 0.7)
+        assert schedule.coefficient(3, 0.8) == pytest.approx(0.00125)
+
+    def test_stops_decaying_below_target_again(self):
+        schedule = DecayOnTarget(base=0.01, target=0.5, decay=0.5)
+        schedule.coefficient(1, 0.6)
+        assert schedule.coefficient(2, 0.3) == pytest.approx(0.005)
+
+    def test_floor(self):
+        schedule = DecayOnTarget(base=0.01, target=0.5, decay=0.1, floor=0.004)
+        schedule.coefficient(1, 0.9)
+        schedule.coefficient(2, 0.9)
+        assert schedule.coefficient(3, 0.9) == pytest.approx(0.004)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base=-0.1, target=0.5),
+            dict(base=0.1, target=0.0),
+            dict(base=0.1, target=0.5, decay=0.0),
+            dict(base=0.1, target=0.5, decay=1.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DecayOnTarget(**kwargs)

@@ -1,0 +1,114 @@
+"""Tests for the noise trainer — the paper's core algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantLambda,
+    DecayOnTarget,
+    NoiseTensor,
+    NoiseTrainer,
+    ShredderLoss,
+    SplitInferenceModel,
+)
+from repro.errors import TrainingError
+
+
+@pytest.fixture()
+def trainer(lenet_bundle):
+    split = SplitInferenceModel(lenet_bundle.model)
+    return NoiseTrainer(
+        split,
+        lenet_bundle.train_set,
+        lenet_bundle.test_set,
+        loss=ShredderLoss(1e-3),
+        lr=1e-2,
+        batch_size=32,
+        eval_every=25,
+        rng=np.random.default_rng(0),
+    )
+
+
+def fresh_noise(trainer, scale=1.0, seed=0):
+    return NoiseTensor.from_laplace(
+        trainer.split.activation_shape, np.random.default_rng(seed), scale=scale
+    )
+
+
+class TestTrainingDynamics:
+    def test_accuracy_recovers_during_training(self, trainer):
+        result = trainer.train(fresh_noise(trainer, scale=2.0), iterations=150)
+        assert result.history.accuracies[-1] > result.history.accuracies[0] + 0.1
+
+    def test_cross_entropy_decreases(self, trainer):
+        result = trainer.train(fresh_noise(trainer, scale=2.0), iterations=150)
+        first = np.mean(result.history.cross_entropies[:10])
+        last = np.mean(result.history.cross_entropies[-10:])
+        assert last < first
+
+    def test_lambda_zero_baseline_loses_privacy(self, trainer):
+        # Figure 4 (black lines): regular (privacy-agnostic) training drives
+        # in vivo privacy *down* as cross entropy is minimised.
+        trainer.schedule = ConstantLambda(0.0)
+        result = trainer.train(fresh_noise(trainer, scale=2.0), iterations=200)
+        assert result.history.in_vivo_privacies[-1] < result.history.in_vivo_privacies[0]
+
+    def test_large_lambda_grows_privacy(self, trainer):
+        # Figure 4 (orange lines): Shredder's loss pushes in vivo privacy up.
+        trainer.schedule = ConstantLambda(5e-2)
+        result = trainer.train(fresh_noise(trainer, scale=0.5), iterations=200)
+        assert result.history.in_vivo_privacies[-1] > result.history.in_vivo_privacies[0]
+
+    def test_decay_on_target_stabilises_privacy(self, trainer):
+        trainer.schedule = DecayOnTarget(base=5e-2, target=0.6, decay=0.3)
+        result = trainer.train(fresh_noise(trainer, scale=0.5), iterations=250)
+        assert trainer.schedule.reached_at_step is not None
+        # λ was decayed after the target was hit.
+        assert result.history.lambdas[-1] < 5e-2
+
+    def test_epochs_accounting(self, trainer):
+        result = trainer.train(fresh_noise(trainer), iterations=100)
+        expected = 100 * trainer.batch_size / len(trainer.train_labels)
+        assert result.epochs == pytest.approx(expected)
+
+    def test_history_lengths(self, trainer):
+        result = trainer.train(fresh_noise(trainer), iterations=60)
+        h = result.history
+        assert len(h.iterations) == len(h.losses) == len(h.in_vivo_privacies) == 60
+        assert len(h.accuracies) == len(h.accuracy_iterations)
+        assert h.accuracy_iterations[-1] == 59
+
+    def test_result_noise_is_a_copy(self, trainer):
+        noise = fresh_noise(trainer)
+        result = trainer.train(noise, iterations=10)
+        noise.data[...] = 0.0
+        assert np.abs(result.noise).sum() > 0
+
+
+class TestValidation:
+    def test_zero_iterations_rejected(self, trainer):
+        with pytest.raises(TrainingError):
+            trainer.train(fresh_noise(trainer), iterations=0)
+
+    def test_wrong_noise_shape_rejected(self, trainer):
+        bad = NoiseTensor.from_array(np.zeros((3, 2, 2), dtype=np.float32))
+        with pytest.raises(TrainingError):
+            trainer.train(bad, iterations=10)
+
+    def test_signal_power_positive(self, trainer):
+        assert trainer.signal_power > 0
+
+    def test_backbone_left_frozen(self, trainer, lenet_bundle):
+        trainer.train(fresh_noise(trainer), iterations=20)
+        assert all(not p.requires_grad for p in lenet_bundle.model.parameters())
+
+    def test_weights_unchanged_by_noise_training(self, trainer, lenet_bundle):
+        before = {
+            name: param.numpy().copy()
+            for name, param in lenet_bundle.model.named_parameters()
+        }
+        trainer.train(fresh_noise(trainer), iterations=30)
+        for name, param in lenet_bundle.model.named_parameters():
+            np.testing.assert_array_equal(param.numpy(), before[name]), name

@@ -1,0 +1,147 @@
+"""Tests for the rendering primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import render
+from repro.datasets.glyphs import all_digit_glyphs, digit_glyph
+from repro.errors import DatasetError
+
+
+class TestGlyphs:
+    def test_all_digits_present(self):
+        glyphs = all_digit_glyphs()
+        assert glyphs.shape == (10, 7, 5)
+
+    def test_glyphs_are_binary(self):
+        glyphs = all_digit_glyphs()
+        assert set(np.unique(glyphs)) <= {0.0, 1.0}
+
+    def test_glyphs_distinct(self):
+        glyphs = all_digit_glyphs()
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.array_equal(glyphs[i], glyphs[j]), (i, j)
+
+    def test_unknown_digit_raises(self):
+        with pytest.raises(DatasetError):
+            digit_glyph(10)
+
+
+class TestMasks:
+    def test_disk_mask_centre_inside(self):
+        mask = render.disk_mask(16, (8, 8), 4)
+        assert mask[8, 8]
+        assert not mask[0, 0]
+
+    def test_disk_area_approximates_circle(self):
+        mask = render.disk_mask(64, (32, 32), 10)
+        assert mask.sum() == pytest.approx(np.pi * 100, rel=0.1)
+
+    def test_ring_has_hole(self):
+        mask = render.ring_mask(32, (16, 16), 10, 3)
+        assert not mask[16, 16]
+        assert mask[16, 16 + 9]
+
+    def test_rect_mask_dimensions(self):
+        mask = render.rect_mask(16, 2, 3, 4, 5)
+        assert mask.sum() == 4 * 5
+
+    def test_rect_mask_clips_at_border(self):
+        mask = render.rect_mask(8, 6, 6, 5, 5)
+        assert mask.sum() == 4  # 2x2 survives
+
+    def test_triangle_points_up(self):
+        mask = render.triangle_mask(32, (16, 16), 8)
+        # Apex row should be narrower than base row.
+        apex_width = mask[9].sum()
+        base_width = mask[23].sum()
+        assert base_width > apex_width
+
+    def test_cross_mask_arms(self):
+        mask = render.cross_mask(32, (16, 16), 10, 2)
+        assert mask[16, 6] and mask[6, 16]
+        assert not mask[6, 6]
+
+    def test_stripes_alternate(self):
+        mask = render.stripes_mask(16, 4, 0, vertical=True)
+        assert mask[:, 0].all()
+        assert not mask[:, 2].any()
+
+    def test_stripes_invalid_period(self):
+        with pytest.raises(DatasetError):
+            render.stripes_mask(16, 1, 0, vertical=False)
+
+    def test_checker_alternates(self):
+        mask = render.checker_mask(8, 2, 0)
+        assert mask[0, 0] != mask[0, 2]
+        assert mask[0, 0] != mask[2, 0]
+
+    def test_checker_invalid_cell(self):
+        with pytest.raises(DatasetError):
+            render.checker_mask(8, 0, 0)
+
+    def test_radial_gradient_peak_at_centre(self):
+        grad = render.radial_gradient(16, (8, 8), 8)
+        assert grad[8, 8] == pytest.approx(1.0)
+        assert grad[0, 0] < grad[8, 8]
+
+    def test_linear_gradient_range(self):
+        grad = render.linear_gradient(16, 0.3)
+        assert grad.min() == pytest.approx(0.0, abs=1e-6)
+        assert grad.max() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestCompositing:
+    def test_colorize_shape(self):
+        out = render.colorize(np.ones((4, 4)), np.array([1.0, 0.5, 0.0]))
+        assert out.shape == (3, 4, 4)
+        np.testing.assert_allclose(out[1], 0.5)
+
+    def test_composite_full_alpha_replaces(self):
+        base = np.zeros((3, 2, 2), dtype=np.float32)
+        over = np.ones((3, 2, 2), dtype=np.float32)
+        out = render.composite_over(base, over, np.ones((2, 2), dtype=np.float32))
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_composite_zero_alpha_keeps_base(self):
+        base = np.full((3, 2, 2), 0.3, dtype=np.float32)
+        over = np.ones((3, 2, 2), dtype=np.float32)
+        out = render.composite_over(base, over, np.zeros((2, 2), dtype=np.float32))
+        np.testing.assert_allclose(out, 0.3)
+
+
+class TestGlyphPasting:
+    def test_paste_glyph_within_bounds(self, rng):
+        canvas = render.blank_canvas(1, 28)[0]
+        out = render.paste_glyph(canvas, digit_glyph(3), 3.0, 15.0, (2.0, -1.0))
+        assert out.shape == (28, 28)
+        assert out.max() > 0.5
+
+    def test_paste_glyph_extreme_scale_clipped(self, rng):
+        canvas = render.blank_canvas(1, 16)[0]
+        out = render.paste_glyph(canvas, digit_glyph(8), 5.0, 45.0, (0.0, 0.0))
+        assert out.shape == (16, 16)
+
+    def test_paste_does_not_mutate_input(self):
+        canvas = render.blank_canvas(1, 28)[0]
+        render.paste_glyph(canvas, digit_glyph(1), 2.5, 0.0, (0.0, 0.0))
+        assert canvas.max() == 0.0
+
+
+class TestNoiseAndBlur:
+    def test_sensor_noise_clipped(self, rng):
+        image = np.full((3, 8, 8), 0.99, dtype=np.float32)
+        noisy = render.add_sensor_noise(image, rng, sigma=0.5)
+        assert noisy.max() <= 1.0 and noisy.min() >= 0.0
+
+    def test_blur_2d_and_3d(self, rng):
+        assert render.blur(np.ones((8, 8), dtype=np.float32), 1.0).shape == (8, 8)
+        assert render.blur(np.ones((3, 8, 8), dtype=np.float32), 1.0).shape == (3, 8, 8)
+
+    def test_random_color_has_strong_channel(self, rng):
+        for _ in range(10):
+            color = render.random_color(rng)
+            assert color.max() >= 0.7

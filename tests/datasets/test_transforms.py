@@ -1,0 +1,70 @@
+"""Tests for dataset transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SynthDigits,
+    channel_statistics,
+    normalize,
+    normalized_pair,
+    random_horizontal_flip,
+)
+from repro.errors import DatasetError
+
+
+class TestChannelStatistics:
+    def test_values(self, rng):
+        images = rng.standard_normal((10, 3, 4, 4)).astype(np.float32) * 2 + 1
+        mean, std = channel_statistics(images)
+        np.testing.assert_allclose(mean, images.mean(axis=(0, 2, 3)), rtol=1e-5)
+        np.testing.assert_allclose(std, images.std(axis=(0, 2, 3)), rtol=1e-5)
+
+    def test_requires_nchw(self):
+        with pytest.raises(DatasetError):
+            channel_statistics(np.zeros((3, 4, 4)))
+
+    def test_zero_variance_guard(self):
+        images = np.ones((5, 2, 3, 3), dtype=np.float32)
+        _, std = channel_statistics(images)
+        assert (std > 0).all()
+
+
+class TestNormalize:
+    def test_standardises(self, rng):
+        images = rng.standard_normal((20, 2, 4, 4)).astype(np.float32) * 3 + 5
+        mean, std = channel_statistics(images)
+        out = normalize(images, mean, std)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-4)
+
+    def test_normalized_pair_uses_train_stats(self):
+        ds = SynthDigits(train_samples=30, test_samples=10, seed=0)
+        train, test, mean, std = normalized_pair(ds.train_set(), ds.test_set())
+        np.testing.assert_allclose(train.images.mean(), 0.0, atol=1e-4)
+        # Test set is normalised with train statistics, so only approximately 0.
+        assert abs(test.images.mean()) < 0.5
+        np.testing.assert_array_equal(train.labels, ds.train_set().labels)
+
+
+class TestFlip:
+    def test_flip_reverses_columns(self):
+        images = np.zeros((1, 1, 2, 3), dtype=np.float32)
+        images[0, 0, 0] = [1.0, 2.0, 3.0]
+        rng = np.random.default_rng(0)
+        # probability 1 -> always flipped
+        out = random_horizontal_flip(images, rng, probability=1.0)
+        np.testing.assert_allclose(out[0, 0, 0], [3.0, 2.0, 1.0])
+
+    def test_probability_zero_identity(self, rng):
+        images = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        out = random_horizontal_flip(images, rng, probability=0.0)
+        np.testing.assert_array_equal(out, images)
+
+    def test_input_not_mutated(self, rng):
+        images = rng.standard_normal((4, 1, 3, 3)).astype(np.float32)
+        snapshot = images.copy()
+        random_horizontal_flip(images, rng, probability=1.0)
+        np.testing.assert_array_equal(images, snapshot)

@@ -1,0 +1,92 @@
+"""Tests for the analytic cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edge import cut_cost, cut_costs, layer_macs, profile_network
+from repro.errors import ModelError
+from repro.models import build_model
+from repro.nn import Conv2d, Linear, MaxPool2d, ReLU
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    return build_model("lenet", np.random.default_rng(0), width=0.5).eval()
+
+
+@pytest.fixture(scope="module")
+def svhn():
+    return build_model("svhn", np.random.default_rng(0), width=0.5).eval()
+
+
+class TestLayerMacs:
+    def test_conv_macs(self):
+        conv = Conv2d(3, 8, 3, rng=np.random.default_rng(0))
+        # out 8x6x6 from 8x8 input: 6*6*8*3*3*3
+        macs = layer_macs(conv, (1, 3, 8, 8), (1, 8, 6, 6))
+        assert macs == 6 * 6 * 8 * 3 * 3 * 3
+
+    def test_linear_macs(self):
+        fc = Linear(128, 10, rng=np.random.default_rng(0))
+        assert layer_macs(fc, (1, 128), (1, 10)) == 1280
+
+    def test_pool_and_relu_free(self):
+        assert layer_macs(MaxPool2d(2), (1, 3, 8, 8), (1, 3, 4, 4)) == 0
+        assert layer_macs(ReLU(), (1, 3, 8, 8), (1, 3, 8, 8)) == 0
+
+
+class TestProfileNetwork:
+    def test_one_entry_per_layer(self, lenet):
+        profile = profile_network(lenet)
+        assert [c.name for c in profile] == lenet.net.layer_names()
+
+    def test_bytes_are_four_per_element(self, lenet):
+        for cost in profile_network(lenet):
+            assert cost.output_bytes == 4 * cost.output_elements
+
+    def test_conv_layers_dominate(self, lenet):
+        profile = {c.name: c for c in profile_network(lenet)}
+        conv_macs = sum(c.macs for n, c in profile.items() if n.startswith("conv"))
+        total = sum(c.macs for c in profile.values())
+        assert conv_macs / total > 0.5
+
+    def test_profile_leaves_model_mode(self, lenet):
+        lenet.train()
+        profile_network(lenet)
+        assert lenet.training
+        lenet.eval()
+
+
+class TestCutCosts:
+    def test_computation_monotone_in_depth(self, svhn):
+        # Paper §3.4: computation is cumulative, hence monotone.
+        costs = cut_costs(svhn)
+        kilomacs = [c.kilomacs for c in costs]
+        assert kilomacs == sorted(kilomacs)
+
+    def test_communication_not_monotone_for_svhn(self, svhn):
+        # Paper §3.4: communication is "not typically monotonic".
+        megabytes = [c.megabytes for c in cut_costs(svhn)]
+        assert megabytes != sorted(megabytes)
+        assert megabytes != sorted(megabytes, reverse=True)
+
+    def test_svhn_conv6_cheapest_communication(self, svhn):
+        costs = {c.cut: c for c in cut_costs(svhn)}
+        assert costs["conv6"].megabytes == min(c.megabytes for c in costs.values())
+
+    def test_product_is_product(self, lenet):
+        for cost in cut_costs(lenet):
+            assert cost.product == pytest.approx(cost.kilomacs * cost.megabytes)
+
+    def test_conv_indices_match_names(self, svhn):
+        for cost in cut_costs(svhn):
+            assert cost.cut == f"conv{cost.conv_index}"
+
+    def test_single_cut_lookup(self, lenet):
+        assert cut_cost(lenet, "conv1").cut == "conv1"
+
+    def test_unknown_cut(self, lenet):
+        with pytest.raises(ModelError):
+            cut_cost(lenet, "conv9")

@@ -1,0 +1,168 @@
+"""Tests for the edge/cloud runtime and the cutting-point planner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseCollection, SplitInferenceModel
+from repro.edge import Channel, CuttingPointPlanner, EdgeDevice, InferenceSession
+from repro.errors import ConfigurationError, ModelError
+from repro.models import build_model
+
+
+@pytest.fixture()
+def noise_collection(lenet_bundle, rng):
+    split = SplitInferenceModel(lenet_bundle.model)
+    collection = NoiseCollection(split.activation_shape)
+    for _ in range(3):
+        collection.add(
+            rng.laplace(0, 0.05, size=split.activation_shape).astype(np.float32),
+            accuracy=0.8,
+            in_vivo_privacy=0.1,
+        )
+    return collection
+
+
+@pytest.fixture()
+def session(lenet_bundle, noise_collection):
+    return InferenceSession(
+        lenet_bundle.model,
+        cut=lenet_bundle.model.last_conv_cut(),
+        mean=np.zeros(1, dtype=np.float32),  # bundle data is already normalised
+        std=np.ones(1, dtype=np.float32),
+        noise=noise_collection,
+        channel=Channel(bandwidth_mbps=50.0, latency_ms=5.0),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestEdgeDevice:
+    def test_normalisation_applied(self, lenet_bundle, rng):
+        local, _ = lenet_bundle.model.split("conv0")
+        device = EdgeDevice(local, mean=np.array([0.5]), std=np.array([2.0]))
+        images = rng.random((2, 1, 28, 28)).astype(np.float32)
+        normalized = device.normalize(images)
+        np.testing.assert_allclose(normalized, (images - 0.5) / 2.0, rtol=1e-6)
+
+    def test_invalid_std_rejected(self, lenet_bundle):
+        local, _ = lenet_bundle.model.split("conv0")
+        with pytest.raises(ConfigurationError):
+            EdgeDevice(local, mean=np.zeros(1), std=np.zeros(1))
+
+    def test_request_ids_increment(self, lenet_bundle, rng):
+        local, _ = lenet_bundle.model.split("conv0")
+        device = EdgeDevice(local, np.zeros(1), np.ones(1))
+        images = rng.random((1, 1, 28, 28)).astype(np.float32)
+        assert device.process(images).request_id == 0
+        assert device.process(images).request_id == 1
+
+    def test_noise_injected_when_present(self, lenet_bundle, noise_collection, rng):
+        local, _ = lenet_bundle.model.split(lenet_bundle.model.last_conv_cut())
+        images = rng.random((2, 1, 28, 28)).astype(np.float32)
+        quiet = EdgeDevice(local, np.zeros(1), np.ones(1))
+        noisy = EdgeDevice(
+            local, np.zeros(1), np.ones(1), noise_collection, np.random.default_rng(0)
+        )
+        assert not np.allclose(
+            quiet.process(images).tensor, noisy.process(images).tensor
+        )
+
+
+class TestInferenceSession:
+    def test_end_to_end_accuracy_reasonable(self, lenet_bundle, session):
+        images = lenet_bundle.test_set.images[:64]
+        labels = lenet_bundle.test_set.labels[:64]
+        predictions = session.classify(images)
+        accuracy = (predictions == labels).mean()
+        # Tiny noise collection: accuracy should be close to the clean one.
+        assert accuracy > lenet_bundle.test_accuracy - 0.15
+
+    def test_report_accounting(self, lenet_bundle, session):
+        images = lenet_bundle.test_set.images[:8]
+        session.infer(images)
+        session.infer(images)
+        report = session.report()
+        assert report.requests == 2
+        assert report.uplink_bytes > 0
+        assert report.downlink_bytes > 0
+        assert report.simulated_seconds > 0
+        assert report.edge_kilomacs_per_sample > 0
+
+    def test_uplink_smaller_at_deeper_cut(self, lenet_bundle, noise_collection):
+        # LeNet conv2 output (C5) is far smaller than conv0's.
+        images = lenet_bundle.test_set.images[:4]
+        sizes = {}
+        for cut in ["conv0", "conv2"]:
+            session = InferenceSession(
+                lenet_bundle.model, cut, np.zeros(1), np.ones(1),
+                channel=Channel(),
+            )
+            session.infer(images)
+            sizes[cut] = session.report().uplink_bytes
+        assert sizes["conv2"] < sizes["conv0"]
+
+    def test_noisy_channel_still_delivers(self, lenet_bundle):
+        session = InferenceSession(
+            lenet_bundle.model,
+            "conv2",
+            np.zeros(1),
+            np.ones(1),
+            channel=Channel(drop_rate=0.3, max_retries=20, rng=np.random.default_rng(1)),
+        )
+        logits = session.infer(lenet_bundle.test_set.images[:4])
+        assert logits.shape == (4, 10)
+
+
+class TestCuttingPointPlanner:
+    @pytest.fixture()
+    def svhn(self):
+        return build_model("svhn", np.random.default_rng(0), width=0.5).eval()
+
+    def test_recommends_dominant_cut(self, svhn):
+        # Deeper = more private here; conv6 is also the cheapest, so it
+        # dominates everything — the paper's SVHN conclusion.
+        privacy = {f"conv{i}": 0.01 * (i + 1) for i in range(7)}
+        planner = CuttingPointPlanner(svhn, privacy)
+        assert planner.recommend().cut == "conv6"
+
+    def test_pareto_frontier_filters_dominated(self, svhn):
+        privacy = {f"conv{i}": 0.01 * (i + 1) for i in range(7)}
+        planner = CuttingPointPlanner(svhn, privacy)
+        frontier = planner.pareto_frontier()
+        assert {c.cut for c in frontier} <= set(privacy)
+        # conv6 must be on the frontier (cheapest & most private).
+        assert "conv6" in {c.cut for c in frontier}
+
+    def test_budget_constrains_choice(self, svhn):
+        from repro.edge import cut_costs
+
+        costs = {c.cut: c for c in cut_costs(svhn)}
+        # Give the most private label to an expensive shallow cut.
+        privacy = {"conv0": 0.9, "conv6": 0.5}
+        planner = CuttingPointPlanner(svhn, privacy)
+        unconstrained = planner.recommend()
+        assert unconstrained.cut == "conv0"
+        tight = planner.recommend(cost_budget=costs["conv6"].product * 1.01)
+        assert tight.cut == "conv6"
+
+    def test_budget_infeasible(self, svhn):
+        planner = CuttingPointPlanner(svhn, {"conv0": 0.5})
+        with pytest.raises(ModelError):
+            planner.recommend(cost_budget=1e-12)
+
+    def test_unknown_cut_rejected(self, svhn):
+        with pytest.raises(ModelError):
+            CuttingPointPlanner(svhn, {"conv42": 0.5})
+
+    def test_empty_privacy_rejected(self, svhn):
+        with pytest.raises(ModelError):
+            CuttingPointPlanner(svhn, {})
+
+    def test_ranked_order(self, svhn):
+        privacy = {"conv0": 0.1, "conv3": 0.5, "conv6": 0.5}
+        ranked = CuttingPointPlanner(svhn, privacy).ranked()
+        assert ranked[0].ex_vivo_privacy == 0.5
+        assert ranked[-1].cut == "conv0"
+        # Equal privacy: cheaper first.
+        assert ranked[0].cost.product <= ranked[1].cost.product

@@ -1,0 +1,132 @@
+"""Tests for the device energy/latency model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edge import (
+    EMBEDDED_GPU,
+    MICROCONTROLLER,
+    MOBILE_CPU,
+    PROFILES,
+    DeviceProfile,
+    battery_inferences,
+    cheapest_cut,
+    cut_costs,
+    energy_table,
+    estimate_cut,
+)
+from repro.errors import ConfigurationError
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def lenet():
+    return build_model("lenet", np.random.default_rng(0), width=0.5)
+
+
+class TestProfiles:
+    def test_builtin_profiles_registered(self):
+        assert set(PROFILES) == {"microcontroller", "mobile_cpu", "embedded_gpu"}
+
+    def test_device_classes_ordered_by_compute_efficiency(self):
+        assert (
+            MICROCONTROLLER.energy_per_mac_pj
+            > MOBILE_CPU.energy_per_mac_pj
+            > EMBEDDED_GPU.energy_per_mac_pj
+        )
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("bad", 0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            DeviceProfile("bad", 1.0, 1.0, 1.0, 1.0, radio_overhead_ms=-1.0)
+
+
+class TestEstimates:
+    def test_table_covers_every_cut(self, lenet):
+        table = energy_table(lenet, MOBILE_CPU)
+        assert [e.cut for e in table] == [c.cut for c in cut_costs(lenet)]
+
+    def test_energy_components_positive(self, lenet):
+        for estimate in energy_table(lenet, MICROCONTROLLER):
+            assert estimate.compute_energy_mj > 0
+            assert estimate.radio_energy_mj > 0
+            assert estimate.total_energy_mj == pytest.approx(
+                estimate.compute_energy_mj + estimate.radio_energy_mj
+            )
+
+    def test_compute_energy_monotone_in_depth(self, lenet):
+        """Deeper cuts run more layers on the edge."""
+        energies = [e.compute_energy_mj for e in energy_table(lenet, MOBILE_CPU)]
+        assert energies == sorted(energies)
+
+    def test_latency_includes_radio_overhead(self, lenet):
+        estimate = energy_table(lenet, MICROCONTROLLER)[0]
+        assert estimate.radio_latency_ms > MICROCONTROLLER.radio_overhead_ms
+
+    def test_faster_device_lower_compute_latency(self, lenet):
+        cost = cut_costs(lenet)[-1]
+        slow = estimate_cut(cost, MICROCONTROLLER)
+        fast = estimate_cut(cost, EMBEDDED_GPU)
+        assert fast.compute_latency_ms < slow.compute_latency_ms
+
+    def test_estimate_units_closed_form(self):
+        """1 MMAC at 1 pJ/MAC = 1e6 pJ = 1e-3 mJ, checked end to end."""
+        from repro.edge.costs import CutCost
+
+        cost = CutCost(
+            cut="c", conv_index=0, kilomacs=1e3, megabytes=1e-6, product=1e-3
+        )
+        profile = DeviceProfile("unit", 1.0, 1.0, 1000.0, 8.0, radio_overhead_ms=0.0)
+        estimate = estimate_cut(cost, profile)
+        assert estimate.compute_energy_mj == pytest.approx(1e-3)
+        assert estimate.radio_energy_mj == pytest.approx(1e-6)
+        assert estimate.compute_latency_ms == pytest.approx(1.0)
+        assert estimate.radio_latency_ms == pytest.approx(1e-3)
+
+
+class TestSelection:
+    def test_cheapest_cut_energy(self, lenet):
+        best = cheapest_cut(lenet, MICROCONTROLLER, metric="energy")
+        table = energy_table(lenet, MICROCONTROLLER)
+        assert best.total_energy_mj == min(e.total_energy_mj for e in table)
+
+    def test_cheapest_cut_latency(self, lenet):
+        best = cheapest_cut(lenet, MICROCONTROLLER, metric="latency")
+        table = energy_table(lenet, MICROCONTROLLER)
+        assert best.total_latency_ms == min(e.total_latency_ms for e in table)
+
+    def test_unknown_metric(self, lenet):
+        with pytest.raises(ConfigurationError):
+            cheapest_cut(lenet, MOBILE_CPU, metric="karma")
+
+    def test_radio_bound_device_prefers_smaller_payload(self, lenet):
+        """On a radio-dominated device, the cut with the smallest output
+        should beat the shallowest cut."""
+        radio_bound = DeviceProfile(
+            name="radio_bound",
+            energy_per_mac_pj=0.01,
+            radio_energy_per_byte_nj=10000.0,
+            compute_rate_mmacs=1e5,
+            uplink_mbps=0.1,
+        )
+        best = cheapest_cut(lenet, radio_bound, metric="energy")
+        costs = {c.cut: c for c in cut_costs(lenet)}
+        smallest = min(costs.values(), key=lambda c: c.megabytes)
+        assert best.cut == smallest.cut
+
+
+class TestBattery:
+    def test_battery_inferences(self, lenet):
+        estimate = energy_table(lenet, MICROCONTROLLER)[0]
+        count = battery_inferences(estimate, battery_joules=3600.0)
+        assert count > 0
+        # Doubling the battery doubles the count (integer truncation aside).
+        assert battery_inferences(estimate, 7200.0) >= 2 * count - 1
+
+    def test_invalid_battery(self, lenet):
+        estimate = energy_table(lenet, MOBILE_CPU)[0]
+        with pytest.raises(ConfigurationError):
+            battery_inferences(estimate, 0.0)

@@ -1,0 +1,110 @@
+"""Tests for the wire protocol and the simulated channel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edge import (
+    ActivationMessage,
+    Channel,
+    PredictionMessage,
+    decode_activation,
+    decode_prediction,
+    encode_activation,
+    encode_prediction,
+)
+from repro.edge.protocol import decode_tensor, encode_tensor
+from repro.errors import ChannelError, ConfigurationError
+
+
+class TestProtocol:
+    def test_roundtrip_float32(self, rng):
+        tensor = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        request_id, decoded = decode_tensor(encode_tensor(7, tensor))
+        assert request_id == 7
+        np.testing.assert_array_equal(decoded, tensor)
+
+    def test_roundtrip_int64(self):
+        tensor = np.arange(10, dtype=np.int64)
+        _, decoded = decode_tensor(encode_tensor(0, tensor))
+        np.testing.assert_array_equal(decoded, tensor)
+
+    def test_activation_message_roundtrip(self, rng):
+        message = ActivationMessage(3, rng.standard_normal((1, 2, 2)).astype(np.float32))
+        decoded = decode_activation(encode_activation(message))
+        assert decoded.request_id == 3
+        np.testing.assert_array_equal(decoded.tensor, message.tensor)
+
+    def test_prediction_message_roundtrip(self, rng):
+        message = PredictionMessage(9, rng.standard_normal((4, 10)).astype(np.float32))
+        decoded = decode_prediction(encode_prediction(message))
+        assert decoded.request_id == 9
+        np.testing.assert_array_equal(decoded.logits, message.logits)
+
+    def test_bad_magic_rejected(self, rng):
+        blob = encode_tensor(0, np.zeros(3, dtype=np.float32))
+        with pytest.raises(ChannelError):
+            decode_tensor(b"XXXX" + blob[4:])
+
+    def test_corruption_detected(self, rng):
+        blob = bytearray(encode_tensor(0, rng.standard_normal(8).astype(np.float32)))
+        blob[-10] ^= 0xFF  # flip payload bits
+        with pytest.raises(ChannelError):
+            decode_tensor(bytes(blob))
+
+    def test_truncation_detected(self, rng):
+        blob = encode_tensor(0, rng.standard_normal(8).astype(np.float32))
+        with pytest.raises(ChannelError):
+            decode_tensor(blob[: len(blob) // 2])
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(ChannelError):
+            encode_tensor(0, np.zeros(3, dtype=np.complex64))
+
+    def test_decoded_tensor_is_writable(self, rng):
+        _, decoded = decode_tensor(encode_tensor(0, np.zeros(3, dtype=np.float32)))
+        decoded[0] = 1.0  # frombuffer views are read-only; we must copy
+
+
+class TestChannel:
+    def test_transfer_time_formula(self):
+        channel = Channel(bandwidth_mbps=8.0, latency_ms=5.0)
+        # 1000 bytes = 8000 bits over 8 Mbps = 1 ms, plus 5 ms latency.
+        assert channel.transfer_seconds(1000) == pytest.approx(0.006)
+
+    def test_transmit_accumulates_stats(self):
+        channel = Channel(bandwidth_mbps=100.0, latency_ms=1.0)
+        channel.transmit(b"x" * 100)
+        channel.transmit(b"y" * 200)
+        assert channel.stats.messages == 2
+        assert channel.stats.bytes_sent == 300
+        assert channel.stats.simulated_seconds > 0
+
+    def test_transparent_payload(self):
+        channel = Channel()
+        assert channel.transmit(b"hello") == b"hello"
+
+    def test_drops_are_retried(self):
+        channel = Channel(drop_rate=0.5, max_retries=50, rng=np.random.default_rng(0))
+        for _ in range(20):
+            assert channel.transmit(b"data") == b"data"
+        assert channel.stats.drops > 0
+
+    def test_gives_up_after_max_retries(self):
+        channel = Channel(drop_rate=0.999, max_retries=2, rng=np.random.default_rng(0))
+        with pytest.raises(ChannelError):
+            for _ in range(100):
+                channel.transmit(b"data")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(bandwidth_mbps=0.0),
+            dict(latency_ms=-1.0),
+            dict(drop_rate=1.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Channel(**kwargs)

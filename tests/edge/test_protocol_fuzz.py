@@ -1,0 +1,136 @@
+"""Robustness tests for the wire protocol: corruption, truncation, fuzz.
+
+The channel between edge and cloud is the system's attack/failure surface;
+the decoder must reject every malformed frame with :class:`ChannelError`
+rather than crash or silently mis-parse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge import decode_activation, encode_activation
+from repro.edge.protocol import ActivationMessage, decode_tensor, encode_tensor
+from repro.errors import ChannelError
+
+
+def frame(request_id=7, shape=(2, 3, 4), seed=0):
+    rng = np.random.default_rng(seed)
+    tensor = rng.normal(size=shape).astype(np.float32)
+    return tensor, encode_tensor(request_id, tensor)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "shape", [(1,), (4, 4), (2, 3, 4), (1, 2, 3, 4, 5)]
+    )
+    def test_shapes(self, shape):
+        tensor, blob = frame(shape=shape)
+        request_id, decoded = decode_tensor(blob)
+        assert request_id == 7
+        np.testing.assert_array_equal(decoded, tensor)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int64])
+    def test_dtypes(self, dtype):
+        tensor = np.arange(12, dtype=dtype).reshape(3, 4)
+        _, decoded = decode_tensor(encode_tensor(1, tensor))
+        assert decoded.dtype == dtype
+        np.testing.assert_array_equal(decoded, tensor)
+
+    def test_decoded_tensor_is_writable_copy(self):
+        tensor, blob = frame()
+        _, decoded = decode_tensor(blob)
+        decoded[0, 0, 0] = 99.0  # must not raise (frombuffer is read-only)
+
+
+class TestCorruption:
+    def test_payload_bitflip_detected(self):
+        _, blob = frame()
+        corrupted = bytearray(blob)
+        corrupted[len(blob) // 2] ^= 0xFF
+        with pytest.raises(ChannelError, match="checksum|magic|truncated|dtype"):
+            decode_tensor(bytes(corrupted))
+
+    def test_bad_magic_rejected(self):
+        _, blob = frame()
+        with pytest.raises(ChannelError, match="magic"):
+            decode_tensor(b"XXXX" + blob[4:])
+
+    def test_truncated_header(self):
+        _, blob = frame()
+        with pytest.raises(ChannelError, match="truncated"):
+            decode_tensor(blob[:6])
+
+    def test_truncated_payload(self):
+        _, blob = frame()
+        with pytest.raises(ChannelError):
+            decode_tensor(blob[: len(blob) - 10])
+
+    def test_empty_blob(self):
+        with pytest.raises(ChannelError):
+            decode_tensor(b"")
+
+    def test_truncated_checksum(self):
+        _, blob = frame()
+        with pytest.raises(ChannelError, match="checksum"):
+            decode_tensor(blob[:-2])
+
+    def test_oversized_ndim_rejected(self):
+        _, blob = frame()
+        corrupted = bytearray(blob)
+        corrupted[13] = 200  # ndim byte in the <4sQBB header
+        with pytest.raises(ChannelError, match="dimensions"):
+            decode_tensor(bytes(corrupted))
+
+    def test_unknown_dtype_code(self):
+        _, blob = frame()
+        corrupted = bytearray(blob)
+        corrupted[12] = 250  # dtype code byte in the <4sQBB header
+        with pytest.raises(ChannelError):
+            decode_tensor(bytes(corrupted))
+
+
+class TestFuzz:
+    @given(junk=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=150, deadline=None)
+    def test_random_bytes_never_crash(self, junk):
+        """Arbitrary garbage either decodes (vanishingly unlikely) or
+        raises ChannelError — never any other exception."""
+        try:
+            decode_tensor(junk)
+        except ChannelError:
+            pass
+
+    @given(
+        seed=st.integers(0, 2**16),
+        flip=st.integers(0, 10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_single_bitflip_never_crashes(self, seed, flip):
+        _, blob = frame(seed=seed)
+        corrupted = bytearray(blob)
+        position = flip % len(corrupted)
+        corrupted[position] ^= 1 << (flip % 8)
+        try:
+            request_id, decoded = decode_tensor(bytes(corrupted))
+        except ChannelError:
+            return
+        # A surviving flip must have hit the request id (not the payload,
+        # which the CRC covers, and not the structural fields).
+        original_id, original = decode_tensor(blob)
+        np.testing.assert_array_equal(decoded, original)
+        assert request_id != original_id
+
+    @given(request_id=st.integers(0, 2**63 - 1), seed=st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_request_id_round_trip(self, request_id, seed):
+        rng = np.random.default_rng(seed)
+        message = ActivationMessage(
+            request_id=request_id,
+            tensor=rng.normal(size=(2, 2)).astype(np.float32),
+        )
+        decoded = decode_activation(encode_activation(message))
+        assert decoded.request_id == request_id

@@ -1,0 +1,148 @@
+"""Tests for the wire quantisation codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge import (
+    QuantizationParams,
+    calibrate,
+    compress_activation,
+    dequantize,
+    quantization_error,
+    quantize,
+    wire_bytes,
+)
+from repro.errors import ChannelError, ConfigurationError
+
+
+class TestParams:
+    def test_levels(self):
+        assert QuantizationParams(0.1, 0, 8).levels == 256
+
+    def test_bytes_per_element(self):
+        assert QuantizationParams(0.1, 0, 8).bytes_per_element == 1
+        assert QuantizationParams(0.1, 0, 12).bytes_per_element == 2
+
+    def test_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationParams(0.1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            QuantizationParams(0.1, 0, 17)
+
+    def test_bad_scale(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationParams(0.0, 0, 8)
+
+    def test_bad_zero_point(self):
+        with pytest.raises(ConfigurationError):
+            QuantizationParams(0.1, 256, 8)
+
+
+class TestCalibrate:
+    def test_covers_full_range(self, rng):
+        tensor = rng.uniform(-3.0, 5.0, size=(4, 8, 8))
+        params = calibrate(tensor, bits=8)
+        codes = quantize(tensor, params)
+        decoded = dequantize(codes, params)
+        step = params.scale
+        assert np.abs(decoded - tensor).max() <= step / 2 + 1e-6
+
+    def test_percentile_clips_outliers(self, rng):
+        tensor = np.concatenate([rng.normal(size=10000), [1000.0]])
+        clipped = calibrate(tensor, bits=8, percentile=99.0)
+        full = calibrate(tensor, bits=8)
+        assert clipped.scale < full.scale
+
+    def test_constant_tensor(self):
+        params = calibrate(np.full((4, 4), 2.0), bits=8)
+        round_trip = dequantize(quantize(np.full((4, 4), 2.0), params), params)
+        np.testing.assert_allclose(round_trip, 2.0, atol=1e-4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrate(np.array([]))
+
+    def test_bad_percentile(self, rng):
+        with pytest.raises(ConfigurationError):
+            calibrate(rng.normal(size=8), percentile=0.0)
+
+
+class TestRoundTrip:
+    def test_error_bounded_by_half_step(self, rng):
+        tensor = rng.normal(size=(2, 3, 5)).astype(np.float32)
+        params = calibrate(tensor, bits=8)
+        error = quantization_error(tensor, params)
+        assert error <= params.scale  # RMS well under one step
+
+    def test_more_bits_less_error(self, rng):
+        tensor = rng.normal(size=(512,))
+        coarse = quantization_error(tensor, calibrate(tensor, bits=4))
+        fine = quantization_error(tensor, calibrate(tensor, bits=10))
+        assert fine < coarse
+
+    def test_codes_within_range(self, rng):
+        tensor = rng.normal(size=(64,))
+        params = calibrate(tensor, bits=6)
+        codes = quantize(tensor, params)
+        assert codes.min() >= 0
+        assert codes.max() < params.levels
+
+    def test_out_of_range_values_clip(self, rng):
+        tensor = rng.normal(size=(64,))
+        params = calibrate(tensor, bits=8)
+        codes = quantize(tensor * 100.0, params)
+        assert codes.max() == params.levels - 1
+
+    def test_dequantize_rejects_bad_codes(self):
+        params = QuantizationParams(0.1, 0, 4)
+        with pytest.raises(ChannelError):
+            dequantize(np.array([16]), params)
+
+
+class TestWireSize:
+    def test_wire_bytes_8bit(self):
+        params = QuantizationParams(0.1, 0, 8)
+        assert wire_bytes((16, 4, 4), params) == 256
+
+    def test_compression_ratio_vs_float32(self):
+        params = QuantizationParams(0.1, 0, 8)
+        float_bytes = 16 * 4 * 4 * 4
+        assert float_bytes / wire_bytes((16, 4, 4), params) == 4.0
+
+    def test_compress_activation(self, rng):
+        activation = rng.normal(size=(2, 4, 4, 4)).astype(np.float32)
+        params = calibrate(activation, bits=8)
+        packet = compress_activation(activation, params)
+        assert packet.payload_bytes == 2 * 4 * 4 * 4
+        restored = packet.dequantized()
+        assert restored.shape == activation.shape
+        assert np.abs(restored - activation).max() <= params.scale
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        bits=st.integers(3, 12),
+        span=st.floats(0.5, 50.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_error_below_one_step(self, seed, bits, span):
+        rng = np.random.default_rng(seed)
+        tensor = rng.uniform(-span, span, size=(64,))
+        params = calibrate(tensor, bits=bits)
+        decoded = dequantize(quantize(tensor, params), params)
+        assert np.abs(decoded - tensor).max() <= params.scale / 2 + 1e-9 * span
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_quantize_is_idempotent(self, seed):
+        rng = np.random.default_rng(seed)
+        tensor = rng.normal(size=(32,))
+        params = calibrate(tensor, bits=8)
+        once = dequantize(quantize(tensor, params), params)
+        twice = dequantize(quantize(once, params), params)
+        np.testing.assert_allclose(once, twice, atol=1e-6)

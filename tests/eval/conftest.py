@@ -1,0 +1,21 @@
+"""Shared fixtures for the eval-harness tests.
+
+The harness functions call ``get_pretrained`` internally, so these tests
+share one zoo cache for the whole session — the LeNet backbone trains once
+and every subsequent harness call loads it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def _zoo_cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("eval_zoo_cache")
+
+
+@pytest.fixture(autouse=True)
+def _shared_zoo_cache(_zoo_cache_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(_zoo_cache_dir))
+    yield

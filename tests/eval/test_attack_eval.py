@@ -1,0 +1,54 @@
+"""Tests for the attack-suite experiment (extension E10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TINY, Config
+from repro.eval import run_attack_suite
+
+
+@pytest.fixture(scope="module")
+def suite(_zoo_cache_dir):
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = str(_zoo_cache_dir)
+    return run_attack_suite(
+        "lenet", Config(scale=TINY), iterations=200, n_members=3, attack_epochs=15
+    )
+
+
+class TestAttackSuite:
+    def test_three_conditions(self, suite):
+        assert {o.condition for o in suite.outcomes} == {
+            "clean",
+            "shredder",
+            "matched_laplace",
+        }
+
+    def test_clean_channel_attackable(self, suite):
+        clean = suite.by_condition("clean")
+        assert clean.linear_advantage > 0.05
+        assert clean.label_attack_advantage > 0.1
+
+    def test_shredder_blunts_reconstruction(self, suite):
+        assert (
+            suite.by_condition("shredder").linear_advantage
+            < suite.by_condition("clean").linear_advantage
+        )
+
+    def test_asymmetric_tradeoff_vs_matched_noise(self, suite):
+        # Learning the noise preserves more task accuracy than fresh noise
+        # of the same magnitude (Figure 1's asymmetry, operationalised).
+        assert (
+            suite.by_condition("shredder").task_accuracy
+            > suite.by_condition("matched_laplace").task_accuracy
+        )
+
+    def test_unknown_condition_raises(self, suite):
+        with pytest.raises(KeyError):
+            suite.by_condition("quantum")
+
+    def test_format_runs(self, suite):
+        text = suite.format()
+        assert "Attack suite" in text and "shredder" in text

@@ -1,0 +1,93 @@
+"""Tests for the benchmark configs and pipeline builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TINY, Config
+from repro.errors import ConfigurationError
+from repro.eval import (
+    BENCHMARKS,
+    benchmark_names,
+    build_pipeline,
+    derive_init_scale,
+    get_benchmark,
+    load_benchmark,
+)
+
+
+class TestRegistry:
+    def test_all_four_networks(self):
+        assert benchmark_names() == ["lenet", "cifar", "svhn", "alexnet"]
+        assert set(BENCHMARKS) == set(benchmark_names())
+
+    def test_lambda_shrinks_with_network_size(self):
+        # Paper §2.4: bigger networks get smaller λ.
+        assert BENCHMARKS["lenet"].lambda_coeff > BENCHMARKS["alexnet"].lambda_coeff
+
+    def test_paper_numbers_recorded(self):
+        paper = get_benchmark("lenet").paper
+        assert paper.original_mi == pytest.approx(301.84)
+        assert paper.mi_loss_percent == pytest.approx(93.74)
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError):
+            get_benchmark("resnet")
+
+    def test_case_insensitive(self):
+        assert get_benchmark("LeNet").model == "lenet"
+
+
+class TestDeriveInitScale:
+    def test_variance_hits_target(self):
+        # Var[Laplace(0, b)] = 2 b² must equal target · E[a²].
+        b = derive_init_scale(0.5, 8.0)
+        assert 2 * b * b == pytest.approx(0.5 * 8.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            derive_init_scale(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            derive_init_scale(0.5, 0.0)
+
+
+class TestBuildPipeline:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        config = Config(scale=TINY)
+        bundle, benchmark = load_benchmark("lenet", config)
+        return config, bundle, benchmark
+
+    @staticmethod
+    def _mean_realised_in_vivo(pipeline, draws: int = 20) -> float:
+        # LeNet's conv2 noise tensor has only ~60 elements, so a single
+        # draw's sample variance is noisy; average over seeds.
+        values = [
+            pipeline.new_noise(seed_tag=i).variance() / pipeline.trainer.signal_power
+            for i in range(draws)
+        ]
+        return float(sum(values) / len(values))
+
+    def test_initial_in_vivo_matches_target(self, loaded):
+        config, bundle, benchmark = loaded
+        pipeline = build_pipeline(bundle, benchmark, config, target_in_vivo=0.7)
+        assert self._mean_realised_in_vivo(pipeline) == pytest.approx(0.7, rel=0.2)
+
+    def test_init_in_vivo_override(self, loaded):
+        config, bundle, benchmark = loaded
+        pipeline = build_pipeline(
+            bundle, benchmark, config, target_in_vivo=0.8, init_in_vivo=0.2
+        )
+        assert self._mean_realised_in_vivo(pipeline) == pytest.approx(0.2, rel=0.2)
+
+    def test_lambda_zero_gets_constant_schedule(self, loaded):
+        from repro.core import ConstantLambda
+
+        config, bundle, benchmark = loaded
+        pipeline = build_pipeline(bundle, benchmark, config, lambda_coeff=0.0)
+        assert isinstance(pipeline.trainer.schedule, ConstantLambda)
+
+    def test_cut_override(self, loaded):
+        config, bundle, benchmark = loaded
+        pipeline = build_pipeline(bundle, benchmark, config, cut="conv0")
+        assert pipeline.split.cut == "conv0"

@@ -1,0 +1,182 @@
+"""Integration tests for the Table 1 / Figure 3-6 harness (tiny scale).
+
+These assert the *shape* of every paper artefact on the LeNet benchmark:
+who wins, what rises, what the planner picks — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TINY, Config
+from repro.eval import (
+    run_cutpoints,
+    run_layerwise,
+    run_table1,
+    run_tradeoff,
+    run_training_curves,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return Config(scale=TINY)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self, _zoo_cache_dir):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(_zoo_cache_dir)
+        return run_table1(Config(scale=TINY), benchmarks=["lenet"], iterations=300)
+
+    def test_row_present(self, result):
+        assert [row.benchmark for row in result.rows] == ["lenet"]
+
+    def test_mi_loss_substantial(self, result):
+        # Paper headline: large MI loss at small accuracy loss.
+        assert result.rows[0].report.mi_loss_percent > 30.0
+
+    def test_accuracy_loss_modest(self, result):
+        assert result.rows[0].report.accuracy_loss_percent < 12.0
+
+    def test_gmean_matches_row(self, result):
+        assert result.gmean_mi_loss() == pytest.approx(
+            result.rows[0].report.mi_loss_percent, rel=1e-6
+        )
+
+    def test_format_contains_paper_rows(self, result):
+        text = result.format()
+        assert "Original Mutual Information" in text
+        assert "Accuracy Loss" in text
+        assert "GMean" in text
+
+    def test_params_ratio_tiny(self, result):
+        assert result.rows[0].report.params_ratio_percent < 5.0
+
+
+class TestTradeoff:
+    @pytest.fixture(scope="class")
+    def curve(self, _zoo_cache_dir):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(_zoo_cache_dir)
+        return run_tradeoff(
+            "lenet",
+            Config(scale=TINY),
+            levels=(0.1, 0.5, 1.5),
+            iterations=150,
+            n_members=3,
+        )
+
+    def test_zero_leakage_positive(self, curve):
+        assert curve.zero_leakage_bits > 0
+
+    def test_information_loss_monotone_in_noise(self, curve):
+        losses = [p.information_loss_bits for p in curve.points]
+        assert losses[0] < losses[-1]
+
+    def test_info_loss_bounded_by_zero_leakage(self, curve):
+        for point in curve.points:
+            assert point.information_loss_bits <= curve.zero_leakage_bits + 0.1
+
+    def test_format_mentions_zero_leakage(self, curve):
+        assert "Zero Leakage" in curve.format()
+
+
+class TestTrainingCurves:
+    @pytest.fixture(scope="class")
+    def curves(self, _zoo_cache_dir):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(_zoo_cache_dir)
+        return run_training_curves("lenet", Config(scale=TINY), iterations=300)
+
+    def test_shredder_privacy_rises(self, curves):
+        history = curves.shredder.history.in_vivo_privacies
+        assert history[-1] > history[0] * 1.3
+
+    def test_regular_privacy_falls(self, curves):
+        history = curves.regular.history.in_vivo_privacies
+        assert history[-1] < history[0]
+
+    def test_regular_accuracy_recovers_at_least_as_fast(self, curves):
+        # Paper: "The accuracy, however, increases at a higher pace for
+        # regular training, compared to Shredder."
+        assert (
+            curves.regular.history.accuracies[-1]
+            >= curves.shredder.history.accuracies[-1] - 0.03
+        )
+
+    def test_both_accuracies_improve(self, curves):
+        for result in (curves.shredder, curves.regular):
+            assert result.history.accuracies[-1] > result.history.accuracies[0]
+
+    def test_format_runs(self, curves):
+        assert "Figure 4a" in curves.format()
+
+
+class TestLayerwise:
+    @pytest.fixture(scope="class")
+    def result(self, _zoo_cache_dir):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(_zoo_cache_dir)
+        return run_layerwise(
+            "lenet", Config(scale=TINY), levels=(0.1, 2.0), trained=False
+        )
+
+    def test_paper_cuts_probed(self, result):
+        assert {p.cut for p in result.points} == {"conv0", "conv1", "conv2"}
+
+    def test_deeper_layers_lower_baseline_mi(self, result):
+        # Paper §3.3: MI decreases monotonically with depth.
+        assert (
+            result.baseline_mi["conv0"]
+            > result.baseline_mi["conv1"]
+            > result.baseline_mi["conv2"]
+        )
+
+    def test_more_noise_more_ex_vivo_privacy(self, result):
+        for cut in ("conv0", "conv1", "conv2"):
+            series = result.series(cut)
+            assert series[-1].ex_vivo >= series[0].ex_vivo
+
+    def test_realised_in_vivo_matches_request(self, result):
+        for point in result.points:
+            assert point.in_vivo == pytest.approx(
+                0.1 if point.in_vivo < 0.5 else 2.0, rel=0.4
+            )
+
+    def test_info_loss_fraction_valid(self, result):
+        for point in result.points:
+            fraction = result.information_loss_fraction(point)
+            assert -0.3 <= fraction <= 1.0
+
+    def test_format_runs(self, result):
+        assert "Figure 5" in result.format()
+
+
+class TestCutpoints:
+    @pytest.fixture(scope="class")
+    def analysis(self, _zoo_cache_dir):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(_zoo_cache_dir)
+        return run_cutpoints("lenet", Config(scale=TINY), trained=False)
+
+    def test_recommends_conv2_for_lenet(self, analysis):
+        # The paper chooses Conv2 for LeNet (§3.4, Figure 6b).
+        assert analysis.recommended.cut == "conv2"
+
+    def test_all_cuts_analysed(self, analysis):
+        assert {c.cut for c in analysis.candidates} == {"conv0", "conv1", "conv2"}
+
+    def test_ex_vivo_increases_with_depth(self, analysis):
+        by_cut = {c.cut: c.ex_vivo_privacy for c in analysis.candidates}
+        assert by_cut["conv2"] > by_cut["conv0"]
+
+    def test_format_marks_choice(self, analysis):
+        assert "Shredder's cutting point" in analysis.format()

@@ -1,0 +1,103 @@
+"""Tests for the results-to-markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.eval import CsvTable, load_results, render_report, write_report
+from repro.eval.report_document import _format_cell, _markdown_table
+
+
+@pytest.fixture()
+def results_dir(tmp_path):
+    (tmp_path / "table1_lenet.csv").write_text(
+        "benchmark,mi_loss_percent\nlenet,72.11696\n"
+    )
+    (tmp_path / "figure6_svhn.csv").write_text(
+        "cut,product\nconv0,16.3\nconv6,4.8\n"
+    )
+    (tmp_path / "misc_extra.csv").write_text("k,v\na,1\n")
+    return tmp_path
+
+
+class TestLoad:
+    def test_loads_all_csvs(self, results_dir):
+        tables = load_results(results_dir)
+        assert {t.name for t in tables} == {
+            "table1_lenet",
+            "figure6_svhn",
+            "misc_extra",
+        }
+
+    def test_header_and_rows(self, results_dir):
+        table = next(
+            t for t in load_results(results_dir) if t.name == "figure6_svhn"
+        )
+        assert table.header == ["cut", "product"]
+        assert len(table.rows) == 2
+
+    def test_empty_file_skipped(self, results_dir):
+        (results_dir / "empty.csv").write_text("")
+        names = {t.name for t in load_results(results_dir)}
+        assert "empty" not in names
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_results(tmp_path / "absent")
+
+    def test_no_csvs(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_results(tmp_path)
+
+
+class TestRender:
+    def test_sections_present(self, results_dir):
+        report = render_report(results_dir)
+        assert "## Table 1 — Shredder summary" in report
+        assert "## Figure 6 — cutting-point costs" in report
+        assert "## Other results" in report
+
+    def test_tables_rendered(self, results_dir):
+        report = render_report(results_dir)
+        assert "| cut | product |" in report
+        assert "| conv6 | 4.8 |" in report
+
+    def test_custom_title(self, results_dir):
+        assert render_report(results_dir, title="My run").startswith("# My run")
+
+    def test_long_series_truncated(self, tmp_path):
+        rows = "\n".join(f"{i},{i * 0.1}" for i in range(50))
+        (tmp_path / "figure4_lenet.csv").write_text(f"iteration,privacy\n{rows}\n")
+        report = render_report(tmp_path)
+        assert "more rows in" in report
+        assert report.count("\n| ") < 25
+
+    def test_write_report(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "out" / "report.md")
+        assert out.exists()
+        assert out.read_text().startswith("# Measured results")
+
+
+class TestFormatting:
+    def test_float_cells_shortened(self):
+        assert _format_cell("72.11696822295806") == "72.12"
+        assert _format_cell("0.0001234567") == "0.0001235"
+
+    def test_integers_stay_integers(self):
+        assert _format_cell("12.0") == "12"
+        assert _format_cell("240") == "240"
+
+    def test_strings_pass_through(self):
+        assert _format_cell("conv6") == "conv6"
+
+    def test_nan_handled(self):
+        assert _format_cell("nan") == "nan"
+
+    def test_markdown_table_shape(self):
+        table = CsvTable("t", ["a", "b"], [["1", "2"], ["3", "4"]])
+        text = _markdown_table(table)
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert len(lines) == 4

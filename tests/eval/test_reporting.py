@@ -1,0 +1,45 @@
+"""Tests for the ASCII/CSV reporting helpers."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.eval import format_series, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_contains_all_cells(self):
+        out = format_table(["a", "b"], [[1, 2], [3, 4]])
+        for token in ["a", "b", "1", "2", "3", "4"]:
+            assert token in out
+
+    def test_title_first_line(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        out = format_table(["name", "v"], [["a", 1], ["longer", 2]])
+        lines = out.splitlines()
+        pipes = [line.index("|") for line in lines if "|" in line]
+        assert len(set(pipes)) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456], [1234567.0], [0.0]])
+        assert "0.123" in out
+        assert "1.23e+06" in out
+
+    def test_format_series(self):
+        out = format_series("s", [0, 1], [0.5, 0.7], "it", "acc")
+        assert "s" in out and "it" in out and "0.7" in out
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parents(self, tmp_path):
+        path = write_csv(tmp_path / "x" / "y" / "out.csv", ["a"], [[1]])
+        assert path.exists()

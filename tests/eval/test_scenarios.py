@@ -1,0 +1,86 @@
+"""Tests for the §2.4 training-scenario harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import TINY, Config
+from repro.errors import ConfigurationError
+from repro.eval import SCENARIO_NAMES, run_scenarios
+from repro.eval.experiments import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def suite(lenet_bundle):
+    config = Config(scale=TINY)
+    return run_scenarios(
+        "lenet",
+        config,
+        iterations=250,
+        bundle=lenet_bundle,
+        benchmark=get_benchmark("lenet"),
+    )
+
+
+class TestSuiteShape:
+    def test_all_scenarios_present(self, suite):
+        assert [o.scenario for o in suite.outcomes] == list(SCENARIO_NAMES)
+
+    def test_by_name(self, suite):
+        assert suite.by_name("hold").scenario == "hold"
+        with pytest.raises(KeyError):
+            suite.by_name("sideways")
+
+    def test_format_contains_all_rows(self, suite):
+        text = suite.format()
+        for name in SCENARIO_NAMES:
+            assert name in text
+
+
+class TestTrajectories:
+    def test_hold_starts_near_target(self, suite):
+        hold = suite.by_name("hold")
+        assert hold.initial_privacy == pytest.approx(suite.target_in_vivo, rel=0.35)
+
+    def test_overshoot_starts_high_and_drifts_down(self, suite):
+        overshoot = suite.by_name("overshoot")
+        assert overshoot.initial_privacy > 2.0 * suite.target_in_vivo
+        assert overshoot.privacy_drift < 0
+
+    def test_overshoot_endpoint_still_private(self, suite):
+        """Paper: 'even after decreasing it is still desirable'."""
+        overshoot = suite.by_name("overshoot")
+        assert overshoot.final_privacy > 0.5 * suite.target_in_vivo
+
+    def test_rise_starts_low_and_climbs(self, suite):
+        rise = suite.by_name("rise")
+        assert rise.initial_privacy < 0.5 * suite.target_in_vivo
+        assert rise.privacy_drift > 0
+
+    def test_all_scenarios_keep_usable_accuracy(self, suite, lenet_bundle):
+        for outcome in suite.outcomes:
+            assert outcome.final_accuracy > lenet_bundle.test_accuracy - 0.25
+
+
+class TestValidation:
+    def test_bad_overshoot_factor(self, lenet_bundle):
+        config = Config(scale=TINY)
+        with pytest.raises(ConfigurationError):
+            run_scenarios(
+                "lenet",
+                config,
+                overshoot_factor=1.0,
+                bundle=lenet_bundle,
+                benchmark=get_benchmark("lenet"),
+            )
+
+    def test_bad_rise_factor(self, lenet_bundle):
+        config = Config(scale=TINY)
+        with pytest.raises(ConfigurationError):
+            run_scenarios(
+                "lenet",
+                config,
+                rise_factor=1.5,
+                bundle=lenet_bundle,
+                benchmark=get_benchmark("lenet"),
+            )

@@ -1,0 +1,45 @@
+"""Shared numerical helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def tensor64(array, requires_grad: bool = True) -> Tensor:
+    """Create a float64 tensor (for tight numeric gradient checks)."""
+    return Tensor(np.asarray(array, dtype=np.float64), requires_grad=requires_grad)
+
+
+def numeric_gradient(
+    f: Callable[[], Tensor], x: Tensor, eps: float = 1e-5
+) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` w.r.t. ``x.data``."""
+    grad = np.zeros_like(x.data, dtype=np.float64)
+    flat = x.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        hi = f().item()
+        flat[i] = original - eps
+        lo = f().item()
+        flat[i] = original
+        grad_flat[i] = (hi - lo) / (2.0 * eps)
+    return grad
+
+
+def assert_gradcheck(
+    f: Callable[[], Tensor], x: Tensor, tol: float = 1e-6, eps: float = 1e-5
+) -> None:
+    """Assert the analytic gradient of ``f`` w.r.t. ``x`` matches numerics."""
+    x.zero_grad()
+    loss = f()
+    loss.backward()
+    assert x.grad is not None, "no gradient reached the input"
+    numeric = numeric_gradient(f, x, eps=eps)
+    error = np.abs(numeric - x.grad).max()
+    assert error < tol, f"gradcheck failed: max error {error:.3e} >= {tol:.0e}"

@@ -1,0 +1,87 @@
+"""Integration tests for the deployment extensions.
+
+Fitted-distribution sampling and wire quantisation, exercised through the
+real pipeline on a trained tiny LeNet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TINY, Config
+from repro.core import FittedNoiseDistribution
+from repro.edge import calibrate, dequantize, quantize, wire_bytes
+from repro.eval import build_pipeline, get_benchmark
+
+
+@pytest.fixture(scope="module")
+def system(lenet_bundle):
+    config = Config(scale=TINY)
+    benchmark = get_benchmark("lenet")
+    pipeline = build_pipeline(lenet_bundle, benchmark, config)
+    collection = pipeline.collect(4, iterations=250)
+    return config, pipeline, collection
+
+
+class TestFittedDistributionThroughPipeline:
+    def test_fit_shape_matches_cut(self, system):
+        _, pipeline, collection = system
+        fitted = FittedNoiseDistribution.fit(collection)
+        assert fitted.shape == pipeline.split.activation_shape
+
+    def test_noisy_accuracy_accepts_fitted(self, system):
+        _, pipeline, collection = system
+        fitted = FittedNoiseDistribution.fit(collection)
+        accuracy = pipeline.noisy_accuracy(fitted)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_measure_leakage_accepts_fitted(self, system):
+        _, pipeline, collection = system
+        fitted = FittedNoiseDistribution.fit(collection)
+        original = pipeline.measure_leakage(None)
+        shredded = pipeline.measure_leakage(fitted)
+        # Fresh per-inference draws realise a noisy channel: leakage must
+        # drop relative to the clean activation.
+        assert shredded.mi_bits < original.mi_bits
+
+    def test_fitted_location_tracks_members(self, system):
+        _, _, collection = system
+        fitted = FittedNoiseDistribution.fit(collection)
+        stacked = np.stack([s.tensor for s in collection.samples])
+        assert np.all(fitted.location >= stacked.min(axis=0) - 1e-6)
+        assert np.all(fitted.location <= stacked.max(axis=0) + 1e-6)
+
+
+class TestQuantizedWireThroughPipeline:
+    def test_int8_wire_accuracy_close_to_float(self, system):
+        config, pipeline, collection = system
+        rng = np.random.default_rng(config.child_seed("quant-int8"))
+        activations = pipeline.trainer.eval_activations
+        labels = pipeline.trainer.eval_labels
+        noisy = activations + collection.sample_batch(rng, len(activations))
+        params = calibrate(noisy, bits=8, percentile=99.9)
+        decoded = dequantize(quantize(noisy, params), params)
+        float_acc = pipeline.split.accuracy_from_activations(noisy, labels)
+        wire_acc = pipeline.split.accuracy_from_activations(decoded, labels)
+        assert abs(wire_acc - float_acc) < 0.03
+
+    def test_int8_wire_is_4x_smaller(self, system):
+        _, pipeline, collection = system
+        shape = pipeline.split.activation_shape
+        params = calibrate(np.zeros((1, *shape)) + 1.0, bits=8)
+        assert wire_bytes(shape, params) * 4 == int(np.prod(shape)) * 4
+
+    def test_round_trip_error_below_noise_floor(self, system):
+        config, pipeline, collection = system
+        rng = np.random.default_rng(config.child_seed("quant-floor"))
+        activations = pipeline.trainer.eval_activations
+        noisy = activations + collection.sample_batch(rng, len(activations))
+        params = calibrate(noisy, bits=8, percentile=99.9)
+        decoded = dequantize(quantize(noisy, params), params)
+        quant_rms = float(np.sqrt(np.mean((decoded - noisy) ** 2)))
+        noise_rms = float(
+            np.sqrt(np.mean(np.stack([s.tensor for s in collection.samples]) ** 2))
+        )
+        # Quantisation distortion is far below the injected noise itself.
+        assert quant_rms < 0.1 * noise_rms

@@ -1,0 +1,73 @@
+"""Whole-system integration tests: backbone -> noise -> deployment -> MI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TINY, Config
+from repro.core import NoiseCollection
+from repro.edge import Channel, InferenceSession
+from repro.eval import build_pipeline, get_benchmark
+from repro.privacy import estimate_leakage
+
+
+@pytest.fixture(scope="module")
+def system(lenet_bundle):
+    """One trained Shredder system shared by the module."""
+    config = Config(scale=TINY)
+    benchmark = get_benchmark("lenet")
+    pipeline = build_pipeline(lenet_bundle, benchmark, config)
+    collection = pipeline.collect(4, iterations=300)
+    return config, pipeline, collection
+
+
+class TestFullStory:
+    def test_accuracy_survives_deployment(self, lenet_bundle, system):
+        config, pipeline, collection = system
+        session = InferenceSession(
+            lenet_bundle.model,
+            cut=pipeline.split.cut,
+            mean=np.zeros(1, dtype=np.float32),
+            std=np.ones(1, dtype=np.float32),
+            noise=collection,
+            channel=Channel(rng=np.random.default_rng(0)),
+            rng=np.random.default_rng(0),
+        )
+        images = lenet_bundle.test_set.images
+        labels = lenet_bundle.test_set.labels
+        predictions = session.classify(images)
+        accuracy = (predictions == labels).mean()
+        assert accuracy > lenet_bundle.test_accuracy - 0.15
+
+    def test_wire_leaks_less_information(self, lenet_bundle, system):
+        config, pipeline, collection = system
+        activations = pipeline.trainer.eval_activations
+        rng = np.random.default_rng(0)
+        noisy = activations + collection.sample_batch(rng, len(activations))
+        images = lenet_bundle.test_set.images
+        clean_mi = estimate_leakage(images, activations, n_components=6).mi_bits
+        wire_mi = estimate_leakage(images, noisy, n_components=6).mi_bits
+        assert wire_mi < clean_mi * 0.8
+
+    def test_collection_roundtrips_through_disk(self, system, tmp_path):
+        _, pipeline, collection = system
+        path = collection.save(tmp_path / "noise.npz")
+        loaded = NoiseCollection.load(path)
+        assert len(loaded) == len(collection)
+        acc_before = pipeline.noisy_accuracy(collection)
+        acc_after = pipeline.noisy_accuracy(loaded)
+        assert acc_after == pytest.approx(acc_before, abs=1e-6)
+
+    def test_members_meet_quality_bar(self, system):
+        _, pipeline, collection = system
+        clean = pipeline.clean_accuracy()
+        for sample in collection.samples:
+            assert sample.accuracy > clean - 0.25
+            assert sample.in_vivo_privacy > 0.05
+
+    def test_report_tradeoff_shape(self, system):
+        _, pipeline, collection = system
+        report = pipeline.report(collection)
+        assert report.mi_loss_percent > 20.0
+        assert report.accuracy_loss_percent < 15.0

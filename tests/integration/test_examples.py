@@ -1,0 +1,48 @@
+"""The example scripts must at least compile; the fast ones must run."""
+
+from __future__ import annotations
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize(
+    "script,args",
+    [
+        ("quickstart.py", ["tiny"]),
+        ("cutting_point_selection.py", ["lenet", "tiny"]),
+    ],
+)
+def test_example_runs(tmp_path, script, args):
+    path = Path(__file__).parents[2] / "examples" / script
+    result = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={
+            "PATH": "/usr/bin:/bin",
+            "REPRO_CACHE_DIR": str(tmp_path),
+            "REPRO_SCALE": "tiny",
+            "HOME": str(tmp_path),
+        },
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

@@ -1,0 +1,96 @@
+"""Architecture tests for the four backbones."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import build_model, model_names
+from repro.nn import Tensor
+
+EXPECTED_CUTS = {
+    "lenet": ["conv0", "conv1", "conv2"],
+    "cifar": ["conv0", "conv1", "conv2", "conv3", "conv4"],
+    "svhn": ["conv0", "conv1", "conv2", "conv3", "conv4", "conv5", "conv6"],
+    "alexnet": ["conv0", "conv1", "conv2", "conv3", "conv4"],
+}
+
+EXPECTED_INPUTS = {
+    "lenet": (1, 28, 28),
+    "cifar": (3, 32, 32),
+    "svhn": (3, 32, 32),
+    "alexnet": (3, 64, 64),
+}
+
+
+def tiny_model(name: str):
+    return build_model(name, np.random.default_rng(0), width=0.25)
+
+
+class TestRegistry:
+    def test_model_names(self):
+        assert model_names() == ["alexnet", "cifar", "lenet", "svhn"]
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelError):
+            build_model("resnet", np.random.default_rng(0))
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_CUTS))
+class TestPerModel:
+    def test_cut_names(self, name):
+        assert tiny_model(name).cut_names() == EXPECTED_CUTS[name]
+
+    def test_input_shape(self, name):
+        assert tiny_model(name).input_shape == EXPECTED_INPUTS[name]
+
+    def test_forward_shape(self, name):
+        model = tiny_model(name).eval()
+        x = Tensor(np.zeros((2, *model.input_shape), dtype=np.float32))
+        assert model(x).shape == (2, model.num_classes)
+
+    def test_last_conv_cut_is_deepest(self, name):
+        model = tiny_model(name)
+        assert model.last_conv_cut() == EXPECTED_CUTS[name][-1]
+
+    def test_activation_shapes_defined_at_every_cut(self, name):
+        model = tiny_model(name).eval()
+        for cut in model.cut_names():
+            shape = model.activation_shape(cut)
+            assert len(shape) == 4 and shape[0] == 1
+            assert all(dim > 0 for dim in shape)
+
+    def test_deeper_cuts_do_not_grow_spatially(self, name):
+        model = tiny_model(name).eval()
+        sizes = [model.activation_shape(cut)[2] for cut in model.cut_names()]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_width_scales_parameters(self, name):
+        small = build_model(name, np.random.default_rng(0), width=0.25)
+        large = build_model(name, np.random.default_rng(0), width=0.5)
+        assert large.num_parameters() > small.num_parameters()
+
+
+class TestAlexNetSpecifics:
+    def test_twenty_classes(self):
+        assert tiny_model("alexnet").num_classes == 20
+
+    def test_has_lrn_layers(self):
+        model = tiny_model("alexnet")
+        names = model.net.layer_names()
+        assert "lrn0" in names and "lrn1" in names
+
+
+class TestSvhnSpecifics:
+    def test_conv6_output_smaller_than_predecessors(self):
+        # The property section 3.4 exploits: conv6's bottleneck output is
+        # much smaller, making it the natural cutting point.
+        model = tiny_model("svhn").eval()
+        sizes = {
+            cut: int(np.prod(model.activation_shape(cut)[1:]))
+            for cut in model.cut_names()
+        }
+        assert sizes["conv6"] < sizes["conv5"]
+        assert sizes["conv6"] < sizes["conv4"]
+        assert sizes["conv6"] <= min(sizes.values())

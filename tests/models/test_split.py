@@ -1,0 +1,70 @@
+"""Tests for model splitting — the core of the edge/cloud partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import build_model
+from repro.nn import Tensor, no_grad
+
+
+@pytest.fixture()
+def lenet():
+    return build_model("lenet", np.random.default_rng(0), width=0.25).eval()
+
+
+class TestSplit:
+    def test_split_composition_equals_full_forward(self, lenet, rng):
+        # R(L(x)) must equal f(x) exactly — Shredder never alters the model.
+        x = Tensor(rng.standard_normal((3, 1, 28, 28)).astype(np.float32))
+        with no_grad():
+            full = lenet(x).numpy()
+            for cut in lenet.cut_names():
+                local, remote = lenet.split(cut)
+                composed = remote(local(x)).numpy()
+                np.testing.assert_allclose(composed, full, rtol=1e-5, atol=1e-6)
+
+    def test_split_partitions_all_layers(self, lenet):
+        local, remote = lenet.split("conv1")
+        assert len(local) + len(remote) == len(lenet.net)
+
+    def test_split_shares_weights(self, lenet):
+        local, _ = lenet.split("conv0")
+        assert local["conv0"].weight is lenet.net["conv0"].weight
+
+    def test_local_ends_at_block_boundary(self, lenet):
+        local, _ = lenet.split("conv0")
+        assert local.layer_names()[-1] == "pool0"
+
+    def test_unknown_cut_raises(self, lenet):
+        with pytest.raises(ModelError):
+            lenet.split("conv99")
+
+    def test_cut_point_metadata(self, lenet):
+        point = lenet.cut_point("conv1")
+        assert point.conv_index == 1
+        assert point.name == "conv1"
+
+    def test_activation_shape_batch_dimension(self, lenet):
+        assert lenet.activation_shape("conv0", batch=5)[0] == 5
+
+    def test_activation_shape_restores_training_mode(self, lenet):
+        lenet.train()
+        lenet.activation_shape("conv0")
+        assert lenet.training
+        lenet.eval()
+
+    def test_remote_accepts_noisy_activation(self, lenet, rng):
+        # Injecting additive noise between the halves must flow through.
+        x = Tensor(rng.standard_normal((2, 1, 28, 28)).astype(np.float32))
+        local, remote = lenet.split("conv2")
+        with no_grad():
+            activation = local(x)
+            noise = Tensor(
+                rng.laplace(0, 1.0, size=activation.shape).astype(np.float32)
+            )
+            out = remote(activation + noise)
+        assert out.shape == (2, 10)
+        assert np.isfinite(out.numpy()).all()

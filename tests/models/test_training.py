@@ -1,0 +1,160 @@
+"""Tests for backbone training and the pretrained zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TINY, Config
+from repro.datasets import SynthDigits, normalized_pair
+from repro.errors import TrainingError
+from repro.models import build_model, evaluate_accuracy, fit, get_pretrained
+from repro.models.zoo import MODEL_DATASETS, _cache_path, default_width
+from repro.nn import TensorDataset
+
+
+@pytest.fixture()
+def digit_splits():
+    ds = SynthDigits(train_samples=120, test_samples=40, seed=5)
+    train, test, _, _ = normalized_pair(ds.train_set(), ds.test_set())
+    return train, test
+
+
+class TestFit:
+    def test_loss_decreases(self, digit_splits):
+        train, test = digit_splits
+        model = build_model("lenet", np.random.default_rng(0), width=0.5)
+        history = fit(
+            model, train, test, epochs=4, batch_size=32,
+            rng=np.random.default_rng(1), lr=2e-3,
+        )
+        assert history.losses[-1] < history.losses[0]
+
+    def test_history_lengths(self, digit_splits):
+        train, test = digit_splits
+        model = build_model("lenet", np.random.default_rng(0), width=0.25)
+        history = fit(
+            model, train, test, epochs=3, batch_size=32,
+            rng=np.random.default_rng(1),
+        )
+        assert len(history.losses) == 3
+        assert len(history.test_accuracies) == 3
+
+    def test_sgd_optimizer(self, digit_splits):
+        train, test = digit_splits
+        model = build_model("lenet", np.random.default_rng(0), width=0.25)
+        history = fit(
+            model, train, test, epochs=2, batch_size=32,
+            rng=np.random.default_rng(1), optimizer="sgd", lr=0.01,
+        )
+        assert len(history.losses) == 2
+
+    def test_unknown_optimizer(self, digit_splits):
+        train, test = digit_splits
+        model = build_model("lenet", np.random.default_rng(0), width=0.25)
+        with pytest.raises(TrainingError):
+            fit(model, train, test, epochs=1, batch_size=32,
+                rng=np.random.default_rng(1), optimizer="rmsprop")
+
+    def test_final_test_accuracy_property(self, digit_splits):
+        train, test = digit_splits
+        model = build_model("lenet", np.random.default_rng(0), width=0.25)
+        history = fit(model, train, test, epochs=1, batch_size=32,
+                      rng=np.random.default_rng(1))
+        assert history.final_test_accuracy == history.test_accuracies[-1]
+
+    def test_empty_history_raises(self):
+        from repro.models.train import TrainHistory
+
+        with pytest.raises(TrainingError):
+            TrainHistory().final_test_accuracy
+
+
+class TestEvaluateAccuracy:
+    def test_perfect_model_scores_one(self, rng):
+        # A dataset the model trivially solves: label == argmax pixel block.
+        images = np.zeros((20, 1, 2, 2), dtype=np.float32)
+        labels = rng.integers(0, 2, size=20)
+        images[np.arange(20), 0, 0, labels] = 1.0
+
+        class Probe:
+            training = False
+
+            def train(self, mode=True):
+                return self
+
+            def eval(self):
+                return self
+
+            def __call__(self, x):
+                from repro.nn import Tensor
+
+                return Tensor(x.numpy()[:, 0, 0, :])
+
+        accuracy = evaluate_accuracy(Probe(), TensorDataset(images, labels))
+        assert accuracy == 1.0
+
+    def test_empty_dataset_raises(self, lenet_bundle):
+        empty = TensorDataset(np.zeros((0, 1, 28, 28), dtype=np.float32), np.zeros(0))
+        with pytest.raises(TrainingError):
+            evaluate_accuracy(lenet_bundle.model, empty)
+
+    def test_eval_restores_training_mode(self, digit_splits, lenet_bundle):
+        model = lenet_bundle.model
+        model.train()
+        evaluate_accuracy(model, digit_splits[1], batch_size=16)
+        assert model.training
+        model.eval()
+
+
+class TestZoo:
+    def test_pretrained_lenet_beats_chance_strongly(self, lenet_bundle):
+        assert lenet_bundle.test_accuracy > 0.6
+
+    def test_backbone_is_frozen_and_eval(self, lenet_bundle):
+        model = lenet_bundle.model
+        assert not model.training
+        assert all(not p.requires_grad for p in model.parameters())
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = Config(scale=TINY.scaled(0.2))
+        first = get_pretrained("lenet", config)
+        assert first.history is not None  # trained fresh
+        second = get_pretrained("lenet", config)
+        assert second.history is None  # loaded from cache
+        np.testing.assert_allclose(
+            first.model.net["conv0"].weight.numpy(),
+            second.model.net["conv0"].weight.numpy(),
+        )
+
+    def test_force_retrain_ignores_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        config = Config(scale=TINY.scaled(0.2))
+        get_pretrained("lenet", config)
+        again = get_pretrained("lenet", config, force_retrain=True)
+        assert again.history is not None
+
+    def test_cache_path_distinguishes_width(self):
+        config = Config(scale=TINY)
+        a = _cache_path("lenet", config.scale, config.seed, 0.25, 6)
+        b = _cache_path("lenet", config.scale, config.seed, 0.5, 6)
+        assert a != b
+
+    def test_cache_path_distinguishes_epochs(self):
+        config = Config(scale=TINY)
+        a = _cache_path("lenet", config.scale, config.seed, 0.5, 6)
+        b = _cache_path("lenet", config.scale, config.seed, 0.5, 12)
+        assert a != b
+
+    def test_default_width_known_scales(self):
+        assert default_width(TINY) == 0.5
+        assert default_width(TINY.scaled(0.5)) == 0.5  # derived scales inherit
+
+    def test_model_dataset_mapping_complete(self):
+        assert set(MODEL_DATASETS) == {"lenet", "cifar", "svhn", "alexnet"}
+
+    def test_bundle_normalisation_stats_finite(self, lenet_bundle):
+        assert np.isfinite(lenet_bundle.mean).all()
+        assert np.isfinite(lenet_bundle.std).all()
+        assert (lenet_bundle.std > 0).all()

@@ -1,0 +1,99 @@
+"""Tests for Dataset / DataLoader."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.nn import DataLoader, Subset, TensorDataset, random_split
+
+
+@pytest.fixture()
+def dataset(rng):
+    images = rng.standard_normal((20, 1, 4, 4)).astype(np.float32)
+    labels = rng.integers(0, 3, size=20)
+    return TensorDataset(images, labels)
+
+
+class TestTensorDataset:
+    def test_len_and_getitem(self, dataset):
+        assert len(dataset) == 20
+        image, label = dataset[3]
+        assert image.shape == (1, 4, 4)
+        assert isinstance(label, int)
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            TensorDataset(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestSubset:
+    def test_indexing_remaps(self, dataset):
+        subset = Subset(dataset, [5, 7])
+        np.testing.assert_allclose(subset[0][0], dataset[5][0])
+        assert len(subset) == 2
+
+
+class TestRandomSplit:
+    def test_disjoint_and_exhaustive(self, dataset, rng):
+        train, test = random_split(dataset, [0.8, 0.2], rng)
+        indices = set(train.indices) | set(test.indices)
+        assert len(train) + len(test) == 20
+        assert indices == set(range(20))
+
+    def test_partial_split_allowed(self, dataset, rng):
+        (train,) = random_split(dataset, [0.5], rng)
+        assert len(train) == 10
+
+    def test_overcommitted_fractions_rejected(self, dataset, rng):
+        with pytest.raises(DatasetError):
+            random_split(dataset, [0.8, 0.4], rng)
+
+    def test_nonpositive_fraction_rejected(self, dataset, rng):
+        with pytest.raises(DatasetError):
+            random_split(dataset, [0.5, -0.1], rng)
+
+    def test_deterministic_given_rng(self, dataset):
+        a, _ = random_split(dataset, [0.5, 0.5], np.random.default_rng(3))
+        b, _ = random_split(dataset, [0.5, 0.5], np.random.default_rng(3))
+        assert a.indices == b.indices
+
+
+class TestDataLoader:
+    def test_batch_shapes(self, dataset):
+        loader = DataLoader(dataset, batch_size=8)
+        images, labels = next(iter(loader))
+        assert images.shape == (8, 1, 4, 4)
+        assert labels.shape == (8,)
+        assert labels.dtype == np.int64
+
+    def test_covers_all_samples(self, dataset):
+        loader = DataLoader(dataset, batch_size=8)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 20
+
+    def test_len_matches_iteration(self, dataset):
+        loader = DataLoader(dataset, batch_size=8)
+        assert len(loader) == len(list(loader)) == 3
+
+    def test_drop_last(self, dataset):
+        loader = DataLoader(dataset, batch_size=8, drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 2
+        assert all(len(labels) == 8 for _, labels in batches)
+
+    def test_shuffle_changes_order_between_epochs(self, dataset):
+        loader = DataLoader(dataset, batch_size=20, shuffle=True, rng=np.random.default_rng(0))
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self, dataset):
+        loader = DataLoader(dataset, batch_size=20)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, dataset.labels)
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(DatasetError):
+            DataLoader(dataset, batch_size=0)

@@ -1,0 +1,108 @@
+"""Tests for the public gradient-checking utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GradientError
+from repro.nn import Conv2d, Linear, ReLU, Sequential, Tensor, gradcheck, gradcheck_all
+from repro.nn.gradcheck import analytic_gradient, numeric_gradient
+
+
+def param(values) -> Tensor:
+    return Tensor(np.asarray(values, dtype=np.float64), requires_grad=True)
+
+
+class TestGradcheck:
+    def test_square_sum(self):
+        x = param([[1.0, -2.0, 3.0]])
+        result = gradcheck(lambda t: (t * t).sum(), x)
+        assert result.passed
+        assert result.max_abs_error < 1e-4
+
+    def test_affine_chain(self):
+        x = param([[0.5, -1.5], [2.0, 0.25]])
+        result = gradcheck(lambda t: ((t * 3.0 + 1.0) * t).sum(), x)
+        assert result.passed
+
+    def test_broken_gradient_detected(self):
+        """A wrong backward must fail the check."""
+        x = param([1.0, 2.0, 3.0])
+
+        def wrong(t: Tensor) -> Tensor:
+            out = (t * t).sum()
+            # Sabotage: double the analytic gradient via an extra use whose
+            # numeric effect we cancel by subtracting constant data.
+            return out + (t.detach() * t).sum() - (t.detach() * t.detach()).sum()
+
+        result = gradcheck(wrong, x)
+        assert not result.passed
+
+    def test_requires_grad_enforced(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(GradientError):
+            gradcheck(lambda t: (t * t).sum(), x)
+
+    def test_nonscalar_objective_rejected(self):
+        x = param([1.0, 2.0])
+        with pytest.raises(GradientError):
+            gradcheck(lambda t: t * t, x)
+
+    def test_unused_parameter_rejected(self):
+        x = param([1.0])
+        with pytest.raises(GradientError):
+            gradcheck(lambda t: Tensor(np.zeros(1), requires_grad=True).sum(), x)
+
+    def test_bad_eps(self):
+        x = param([1.0])
+        with pytest.raises(GradientError):
+            numeric_gradient(lambda: (x * x).sum(), x, eps=0.0)
+
+
+class TestGradcheckAll:
+    def test_linear_layer_parameters(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        # Promote to float64 for finite-difference precision.
+        for p in layer.parameters():
+            p.data = p.data.astype(np.float64)
+        x = Tensor(rng.normal(size=(5, 4)))
+
+        results = gradcheck_all(
+            lambda: (layer(x) * layer(x)).sum(), list(layer.parameters())
+        )
+        assert all(r.passed for r in results.values())
+
+    def test_conv_relu_stack(self, rng):
+        model = Sequential(Conv2d(1, 2, 3, rng=rng), ReLU())
+        for p in model.parameters():
+            p.data = p.data.astype(np.float64)
+        x = Tensor(rng.normal(size=(2, 1, 6, 6)))
+        results = gradcheck_all(lambda: model(x).sum(), list(model.parameters()))
+        assert all(r.passed for r in results.values())
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(GradientError):
+            gradcheck_all(lambda: Tensor(np.zeros(1)), [])
+
+
+class TestNumericGradient:
+    def test_matches_closed_form(self):
+        x = param([2.0, -3.0])
+        grad = numeric_gradient(lambda: (x * x * x).sum(), x)
+        np.testing.assert_allclose(grad, 3.0 * x.data**2, rtol=1e-5)
+
+    def test_restores_parameter(self):
+        x = param([1.0, 2.0])
+        before = x.data.copy()
+        numeric_gradient(lambda: (x * x).sum(), x)
+        np.testing.assert_array_equal(x.data, before)
+
+    def test_analytic_matches_numeric_on_mixed_graph(self):
+        x = param([[0.3, 0.7]])
+        objective = lambda: ((x * 2.0).sum() * (x * x).sum())  # noqa: E731
+        np.testing.assert_allclose(
+            analytic_gradient(objective, x),
+            numeric_gradient(objective, x),
+            rtol=1e-4,
+        )

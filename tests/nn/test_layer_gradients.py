@@ -1,0 +1,182 @@
+"""Systematic gradient verification of every layer via the public
+``gradcheck`` utility — analytic backward vs central differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    LocalResponseNorm,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    gradcheck,
+    gradcheck_all,
+)
+
+
+def promote(module):
+    """Cast a module's parameters to float64 for tight numeric checks."""
+    for parameter in module.parameters():
+        parameter.data = parameter.data.astype(np.float64)
+    return module
+
+
+def feed(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    # Offset from zero so ReLU/pool kinks don't sit on the FD step.
+    return Tensor(rng.normal(0.3, 1.0, size=shape), requires_grad=True)
+
+
+class TestInputGradients:
+    """d(output)/d(input) for each layer, input as the checked parameter."""
+
+    def test_linear(self, rng):
+        layer = promote(Linear(5, 4, rng=rng))
+        x = feed((3, 5))
+        assert gradcheck(lambda t: layer(t).sum(), x).passed
+
+    def test_conv2d(self, rng):
+        layer = promote(Conv2d(2, 3, 3, padding=1, rng=rng))
+        x = feed((2, 2, 5, 5))
+        assert gradcheck(lambda t: (layer(t) * layer(t)).sum(), x).passed
+
+    def test_conv2d_strided(self, rng):
+        layer = promote(Conv2d(1, 2, 3, stride=2, rng=rng))
+        x = feed((1, 1, 7, 7))
+        assert gradcheck(lambda t: layer(t).sum(), x).passed
+
+    def test_maxpool(self):
+        layer = MaxPool2d(2, 2)
+        x = feed((2, 1, 4, 4))
+        assert gradcheck(lambda t: (layer(t) * layer(t)).sum(), x).passed
+
+    def test_avgpool(self):
+        layer = AvgPool2d(2, 2)
+        x = feed((2, 1, 4, 4))
+        assert gradcheck(lambda t: (layer(t) * layer(t)).sum(), x).passed
+
+    def test_relu(self):
+        x = feed((4, 6))
+        assert gradcheck(lambda t: (ReLU()(t) * ReLU()(t)).sum(), x).passed
+
+    def test_tanh(self):
+        x = feed((4, 6))
+        assert gradcheck(lambda t: Tanh()(t).sum(), x).passed
+
+    def test_sigmoid(self):
+        x = feed((4, 6))
+        assert gradcheck(lambda t: (Sigmoid()(t) * Sigmoid()(t)).sum(), x).passed
+
+    def test_flatten(self):
+        x = feed((2, 3, 2, 2))
+        assert gradcheck(lambda t: (Flatten()(t) * Flatten()(t)).sum(), x).passed
+
+    def test_local_response_norm(self):
+        layer = LocalResponseNorm(size=3)
+        x = feed((2, 4, 3, 3))
+        assert gradcheck(lambda t: (layer(t) * layer(t)).sum(), x).passed
+
+    def test_batchnorm_train_mode(self, rng):
+        layer = promote(BatchNorm2d(3))
+        layer.train()
+        x = feed((4, 3, 2, 2))
+        assert gradcheck(lambda t: (layer(t) * layer(t)).sum(), x).passed
+
+    def test_batchnorm_eval_mode(self, rng):
+        layer = promote(BatchNorm2d(3))
+        layer.train()
+        warm = feed((8, 3, 2, 2), seed=3)
+        layer(warm)  # populate running statistics
+        layer.eval()
+        x = feed((4, 3, 2, 2))
+        assert gradcheck(lambda t: (layer(t) * layer(t)).sum(), x).passed
+
+
+class TestParameterGradients:
+    """d(output)/d(weights) for the parameterised layers."""
+
+    def test_linear_parameters(self, rng):
+        layer = promote(Linear(4, 3, rng=rng))
+        x = Tensor(np.random.default_rng(1).normal(size=(6, 4)))
+        results = gradcheck_all(
+            lambda: (layer(x) * layer(x)).sum(), list(layer.parameters())
+        )
+        assert all(r.passed for r in results.values())
+
+    def test_conv_parameters(self, rng):
+        layer = promote(Conv2d(2, 2, 3, padding=1, rng=rng))
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 2, 4, 4)))
+        results = gradcheck_all(
+            lambda: (layer(x) * layer(x)).sum(), list(layer.parameters())
+        )
+        assert all(r.passed for r in results.values())
+
+    def test_batchnorm_parameters(self, rng):
+        layer = promote(BatchNorm2d(2))
+        layer.train()
+        x = Tensor(np.random.default_rng(3).normal(size=(5, 2, 3, 3)))
+        results = gradcheck_all(
+            lambda: (layer(x) * layer(x)).sum(), list(layer.parameters())
+        )
+        assert all(r.passed for r in results.values())
+
+    def test_deep_stack_end_to_end(self, rng):
+        model = promote(
+            Sequential(
+                Conv2d(1, 2, 3, rng=rng),
+                ReLU(),
+                MaxPool2d(2, 2),
+                Flatten(),
+                Linear(2 * 2 * 2, 3, rng=rng),
+            )
+        )
+        x = Tensor(np.random.default_rng(4).normal(0.3, 1.0, size=(2, 1, 6, 6)))
+        results = gradcheck_all(
+            lambda: (model(x) * model(x)).sum(), list(model.parameters())
+        )
+        assert all(r.passed for r in results.values())
+
+
+class TestNoisePathGradient:
+    """The paper's central derivative: d loss / d noise through R only."""
+
+    def test_additive_noise_gradient(self, rng):
+        remote = promote(
+            Sequential(Flatten(), Linear(8, 4, rng=rng), ReLU(), Linear(4, 3, rng=rng))
+        )
+        activations = Tensor(np.random.default_rng(5).normal(size=(3, 2, 2, 2)))
+        noise = Tensor(
+            np.random.default_rng(6).normal(size=(1, 2, 2, 2)), requires_grad=True
+        )
+        result = gradcheck(
+            lambda n: (remote(activations + n) * remote(activations + n)).sum(),
+            noise,
+        )
+        assert result.passed
+
+    def test_noise_gradient_ignores_local_half(self, rng):
+        """∂y/∂n must not involve L(x): gradients w.r.t. the cached
+        activations and the noise coincide element-wise up to the batch
+        sum (paper §2.1)."""
+        remote = promote(Sequential(Flatten(), Linear(4, 2, rng=rng)))
+        activations = Tensor(
+            np.random.default_rng(7).normal(size=(4, 1, 2, 2)), requires_grad=True
+        )
+        noise = Tensor(np.zeros((1, 1, 2, 2)), requires_grad=True)
+        out = remote(activations + noise).sum()
+        out.backward()
+        np.testing.assert_allclose(
+            noise.grad.reshape(-1),
+            activations.grad.sum(axis=0).reshape(-1),
+            rtol=1e-10,
+        )

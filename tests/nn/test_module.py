@@ -1,0 +1,113 @@
+"""Tests for Module/Parameter registration and state dicts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.nn import Linear, Module, Parameter, ReLU, Sequential, Tensor
+
+
+class TinyBlock(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = Linear(2, 2, rng=np.random.default_rng(0))
+        self.scale = Parameter(np.ones(1))
+        self.register_buffer("calls", np.zeros(1))
+
+    def forward(self, x):
+        self.calls += 1
+        return self.fc(x) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        block = TinyBlock()
+        names = dict(block.named_parameters())
+        assert set(names) == {"fc.weight", "fc.bias", "scale"}
+
+    def test_buffers_discovered(self):
+        assert dict(TinyBlock().named_buffers()).keys() == {"calls"}
+
+    def test_num_parameters(self):
+        assert TinyBlock().num_parameters() == 2 * 2 + 2 + 1
+
+    def test_children(self):
+        block = TinyBlock()
+        assert block.children() == [block.fc]
+
+    def test_named_modules_includes_self(self):
+        block = TinyBlock()
+        names = [name for name, _ in block.named_modules()]
+        assert "" in names and "fc" in names
+
+
+class TestModes:
+    def test_freeze_unfreeze(self):
+        block = TinyBlock()
+        block.freeze()
+        assert all(not p.requires_grad for p in block.parameters())
+        block.unfreeze()
+        assert all(p.requires_grad for p in block.parameters())
+
+    def test_frozen_backbone_receives_no_grad(self):
+        block = TinyBlock().freeze()
+        out = block(Tensor(np.ones((1, 2))))
+        assert not out.requires_grad
+
+    def test_zero_grad_clears(self):
+        block = TinyBlock()
+        out = block(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert block.fc.weight.grad is not None
+        block.zero_grad()
+        assert block.fc.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = TinyBlock(), TinyBlock()
+        a.scale.data[...] = 5.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b.scale.numpy(), [5.0])
+
+    def test_state_dict_copies(self):
+        block = TinyBlock()
+        state = block.state_dict()
+        state["scale"][...] = 99.0
+        np.testing.assert_allclose(block.scale.numpy(), [1.0])
+
+    def test_strict_missing_key_raises(self):
+        block = TinyBlock()
+        state = block.state_dict()
+        del state["scale"]
+        with pytest.raises(SerializationError):
+            block.load_state_dict(state)
+
+    def test_strict_unexpected_key_raises(self):
+        block = TinyBlock()
+        state = block.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(SerializationError):
+            block.load_state_dict(state)
+
+    def test_non_strict_ignores_extras(self):
+        block = TinyBlock()
+        state = block.state_dict()
+        state["bogus"] = np.zeros(1)
+        block.load_state_dict(state, strict=False)
+
+    def test_shape_mismatch_raises(self):
+        block = TinyBlock()
+        state = block.state_dict()
+        state["scale"] = np.zeros(7)
+        with pytest.raises(SerializationError):
+            block.load_state_dict(state)
+
+    def test_nested_sequential_names(self):
+        model = Sequential(
+            ("features", Sequential(("fc", Linear(2, 2, rng=np.random.default_rng(0))))),
+            ("act", ReLU()),
+        )
+        assert "features.fc.weight" in model.state_dict()

@@ -1,0 +1,129 @@
+"""Tests for optimisers and schedulers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import SGD, Adam, CosineAnnealingLR, StepLR, Tensor, clip_grad_norm
+from repro.nn.module import Parameter
+
+
+def quadratic_descent(optimizer_factory, steps: int = 200) -> float:
+    """Minimise ||p - target||^2 and return the final distance."""
+    target = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+    p = Parameter(np.zeros(3, dtype=np.float32))
+    opt = optimizer_factory([p])
+    for _ in range(steps):
+        loss = ((p - Tensor(target)) ** 2).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return float(np.abs(p.numpy() - target).max())
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(lambda ps: SGD(ps, lr=0.1)) < 1e-3
+
+    def test_momentum_converges(self):
+        assert quadratic_descent(lambda ps: SGD(ps, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_weight_decay_shrinks_params(self):
+        p = Parameter(np.ones(4, dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        loss = (p * 0.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert (p.numpy() < 1.0).all()
+
+    def test_skips_params_without_grad(self):
+        p = Parameter(np.ones(2, dtype=np.float32))
+        SGD([p], lr=0.1).step()  # p.grad is None; must not crash
+        np.testing.assert_allclose(p.numpy(), 1.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(lambda ps: Adam(ps, lr=0.1), steps=400) < 1e-2
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction the first Adam step is ~lr * sign(grad).
+        p = Parameter(np.zeros(3, dtype=np.float32))
+        opt = Adam([p], lr=0.01)
+        loss = (p * Tensor(np.array([1.0, -1.0, 2.0], dtype=np.float32))).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        np.testing.assert_allclose(np.abs(p.numpy()), 0.01, rtol=1e-3)
+
+    def test_weight_decay_applied(self):
+        p = Parameter(np.ones(2, dtype=np.float32))
+        opt = Adam([p], lr=0.01, weight_decay=1.0)
+        loss = (p * 0.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert (p.numpy() < 1.0).all()
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.0, abs=1e-8)
+
+    def test_cosine_monotone_decrease(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=8)
+        previous = opt.lr
+        for _ in range(8):
+            sched.step()
+            assert opt.lr <= previous + 1e-12
+            previous = opt.lr
+
+    def test_invalid_step_size(self):
+        opt = SGD([Parameter(np.ones(1))], lr=1.0)
+        with pytest.raises(ConfigurationError):
+            StepLR(opt, step_size=0)
+
+
+class TestClipGradNorm:
+    def test_norm_reported(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 3.0, dtype=np.float32)
+        norm = clip_grad_norm([p], max_norm=100.0)
+        assert norm == pytest.approx(6.0)
+        np.testing.assert_allclose(p.grad, 3.0)  # under the cap: untouched
+
+    def test_clipping_scales_down(self):
+        p = Parameter(np.zeros(4, dtype=np.float32))
+        p.grad = np.full(4, 3.0, dtype=np.float32)
+        clip_grad_norm([p], max_norm=1.0)
+        total = float(np.sqrt((p.grad**2).sum()))
+        assert total == pytest.approx(1.0, rel=1e-5)
+
+    def test_none_grads_ignored(self):
+        p = Parameter(np.zeros(2, dtype=np.float32))
+        assert clip_grad_norm([p], max_norm=1.0) == 0.0

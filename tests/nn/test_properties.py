@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for the autograd engine.
+
+These check algebraic identities of the Tensor ops and the linearity /
+adjointness structure the backward passes rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import functional as F
+from repro.nn.im2col import extract_windows, fold_windows
+from repro.nn.tensor import Tensor, unbroadcast
+
+FLOATS = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def arrays(shape) -> st.SearchStrategy[np.ndarray]:
+    return hnp.arrays(np.float64, shape, elements=FLOATS)
+
+
+@st.composite
+def matching_pairs(draw):
+    shape = draw(hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4))
+    return draw(arrays(shape)), draw(arrays(shape))
+
+
+class TestAlgebraicIdentities:
+    @given(matching_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_add_commutes(self, pair):
+        a, b = pair
+        lhs = (Tensor(a) + Tensor(b)).numpy()
+        rhs = (Tensor(b) + Tensor(a)).numpy()
+        np.testing.assert_allclose(lhs, rhs)
+
+    @given(matching_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_mul_matches_numpy(self, pair):
+        a, b = pair
+        np.testing.assert_allclose((Tensor(a) * Tensor(b)).numpy(), a * b)
+
+    @given(arrays((3, 4)))
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, a):
+        np.testing.assert_allclose((-(-Tensor(a))).numpy(), a)
+
+    @given(arrays((2, 5)))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_of_parts_equals_total(self, a):
+        t = Tensor(a)
+        np.testing.assert_allclose(
+            t.sum(axis=0).sum().item(), t.sum().item(), rtol=1e-6, atol=1e-6
+        )
+
+    @given(arrays((4, 3)))
+    @settings(max_examples=40, deadline=None)
+    def test_relu_idempotent(self, a):
+        t = Tensor(a)
+        np.testing.assert_allclose(t.relu().relu().numpy(), t.relu().numpy())
+
+    @given(arrays((4, 3)))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_invariant_to_shift(self, a):
+        p1 = F.softmax(Tensor(a)).numpy()
+        p2 = F.softmax(Tensor(a + 3.0)).numpy()
+        np.testing.assert_allclose(p1, p2, atol=1e-6)
+
+
+class TestGradientLinearity:
+    @given(arrays((3, 3)))
+    @settings(max_examples=25, deadline=None)
+    def test_backward_scales_linearly_with_seed(self, a):
+        # d(c*f)/dx == c * df/dx, exercised through the seed gradient.
+        x1 = Tensor(a, requires_grad=True)
+        (x1 * x1).sum().backward()
+        x2 = Tensor(a, requires_grad=True)
+        ((x2 * x2).sum() * 3.0).backward()
+        np.testing.assert_allclose(x2.grad, 3.0 * x1.grad, rtol=1e-6, atol=1e-6)
+
+    @given(matching_pairs())
+    @settings(max_examples=25, deadline=None)
+    def test_grad_of_sum_is_sum_of_grads(self, pair):
+        a, b = pair
+        x = Tensor(a, requires_grad=True)
+        y = Tensor(b, requires_grad=True)
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, b, rtol=1e-6, atol=1e-6)
+        np.testing.assert_allclose(y.grad, a, rtol=1e-6, atol=1e-6)
+
+
+class TestUnbroadcast:
+    @given(arrays((4, 3)))
+    @settings(max_examples=25, deadline=None)
+    def test_unbroadcast_preserves_total_mass(self, grad):
+        reduced = unbroadcast(grad, (3,))
+        np.testing.assert_allclose(reduced.sum(), grad.sum(), rtol=1e-6)
+
+    @given(arrays((2, 3, 4)))
+    @settings(max_examples=25, deadline=None)
+    def test_unbroadcast_identity_when_shapes_match(self, grad):
+        np.testing.assert_allclose(unbroadcast(grad, (2, 3, 4)), grad)
+
+
+class TestWindowAdjointness:
+    @given(
+        arrays((1, 2, 6, 6)),
+        st.sampled_from([(2, 1), (2, 2), (3, 1), (3, 2)]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_fold_is_adjoint(self, x, geometry):
+        kernel, stride = geometry
+        windows = extract_windows(x, (kernel, kernel), (stride, stride), (0, 0))
+        rng = np.random.default_rng(0)
+        y = rng.standard_normal(windows.shape)
+        lhs = float((windows * y).sum())
+        folded = fold_windows(y, x.shape, (kernel, kernel), (stride, stride), (0, 0))
+        rhs = float((x * folded).sum())
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-8, atol=1e-8)
+
+    @given(arrays((1, 1, 5, 5)))
+    @settings(max_examples=25, deadline=None)
+    def test_conv_linearity_in_input(self, x):
+        w = np.ones((1, 1, 3, 3))
+        out1 = F.conv2d(Tensor(2.0 * x), Tensor(w)).numpy()
+        out2 = 2.0 * F.conv2d(Tensor(x), Tensor(w)).numpy()
+        np.testing.assert_allclose(out1, out2, rtol=1e-6, atol=1e-6)

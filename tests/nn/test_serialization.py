@@ -1,0 +1,62 @@
+"""Tests for npz state-dict persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.nn import (
+    Linear,
+    Sequential,
+    load_module,
+    load_state_dict,
+    save_module,
+    save_state_dict,
+)
+
+
+def make_model(seed: int = 0) -> Sequential:
+    return Sequential(("fc", Linear(4, 2, rng=np.random.default_rng(seed))))
+
+
+class TestStateDictIO:
+    def test_roundtrip(self, tmp_path):
+        state = {"a": np.arange(4.0), "b.c": np.ones((2, 2))}
+        path = save_state_dict(state, tmp_path / "state.npz")
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"a", "b.c"}
+        np.testing.assert_allclose(loaded["a"], state["a"])
+
+    def test_extension_appended(self, tmp_path):
+        path = save_state_dict({"x": np.zeros(1)}, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_state_dict(tmp_path / "nope.npz")
+
+    def test_parent_dirs_created(self, tmp_path):
+        path = save_state_dict({"x": np.zeros(1)}, tmp_path / "deep" / "dir" / "w.npz")
+        assert path.exists()
+
+
+class TestModuleIO:
+    def test_module_roundtrip(self, tmp_path):
+        source = make_model(seed=1)
+        target = make_model(seed=2)
+        path = save_module(source, tmp_path / "model.npz")
+        load_module(target, path)
+        np.testing.assert_allclose(
+            target["fc"].weight.numpy(), source["fc"].weight.numpy()
+        )
+
+    def test_loaded_model_same_outputs(self, tmp_path, rng):
+        from repro.nn import Tensor
+
+        source = make_model(seed=1)
+        target = make_model(seed=2)
+        load_module(target, save_module(source, tmp_path / "m.npz"))
+        x = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+        np.testing.assert_allclose(source(x).numpy(), target(x).numpy(), rtol=1e-6)

@@ -1,0 +1,160 @@
+"""Tests for the binned MI estimator and its building blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimatorError
+from repro.privacy import (
+    binned_mutual_information,
+    joint_code,
+    plugin_entropy_bits,
+    quantile_bin,
+)
+
+
+class TestQuantileBin:
+    def test_output_range(self, rng):
+        values = rng.normal(size=500)
+        binned = quantile_bin(values, 8)
+        assert binned.min() >= 0
+        assert binned.max() <= 7
+
+    def test_equal_probability_occupancy(self, rng):
+        values = rng.normal(size=8000)
+        binned = quantile_bin(values, 8)
+        _, counts = np.unique(binned, return_counts=True)
+        assert len(counts) == 8
+        # Quantile bins should be close to uniformly occupied.
+        assert counts.min() > 0.8 * len(values) / 8
+
+    def test_monotone(self, rng):
+        values = np.sort(rng.normal(size=100))
+        binned = quantile_bin(values, 4)
+        assert np.all(np.diff(binned) >= 0)
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(EstimatorError):
+            quantile_bin(np.arange(10.0), 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimatorError):
+            quantile_bin(np.array([]), 4)
+
+
+class TestJointCode:
+    def test_bijective_on_grid(self):
+        grid = np.array([[i, j] for i in range(4) for j in range(4)])
+        codes = joint_code(grid, 4)
+        assert len(np.unique(codes)) == 16
+
+    def test_one_dimensional_passthrough(self):
+        codes = joint_code(np.array([0, 1, 2, 3]), 4)
+        np.testing.assert_array_equal(codes, [0, 1, 2, 3])
+
+
+class TestPluginEntropy:
+    def test_uniform_entropy(self):
+        codes = np.repeat(np.arange(8), 100)
+        entropy = plugin_entropy_bits(codes, miller_madow=False)
+        assert entropy == pytest.approx(3.0, abs=1e-9)
+
+    def test_degenerate_entropy_zero(self):
+        assert plugin_entropy_bits(np.zeros(50), miller_madow=False) == 0.0
+
+    def test_miller_madow_increases_estimate(self, rng):
+        codes = rng.integers(0, 16, size=100)
+        plain = plugin_entropy_bits(codes, miller_madow=False)
+        corrected = plugin_entropy_bits(codes, miller_madow=True)
+        assert corrected > plain
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimatorError):
+            plugin_entropy_bits(np.array([]))
+
+
+class TestBinnedMI:
+    def test_identical_variables_high_mi(self, rng):
+        x = rng.normal(size=(600, 1))
+        mi = binned_mutual_information(x, x, n_bins=8, max_dims=1)
+        # I(X;X) = H(X) ≈ log2(8) = 3 bits after equal-probability binning.
+        assert mi > 2.0
+
+    def test_independent_variables_low_mi(self, rng):
+        x = rng.normal(size=(800, 1))
+        y = rng.normal(size=(800, 1))
+        mi = binned_mutual_information(x, y, n_bins=6, max_dims=1)
+        assert mi < 0.25
+
+    def test_tracks_correlation_strength(self, rng):
+        n = 1500
+        x = rng.normal(size=(n, 1))
+        noise = rng.normal(size=(n, 1))
+        weak = binned_mutual_information(x, x + 3.0 * noise, n_bins=6, max_dims=1)
+        strong = binned_mutual_information(x, x + 0.3 * noise, n_bins=6, max_dims=1)
+        assert strong > weak
+
+    def test_nonnegative(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = rng.normal(size=(100, 3))
+        assert binned_mutual_information(x, y) >= 0.0
+
+    def test_multidim_uses_leading_columns(self, rng):
+        n = 700
+        x = rng.normal(size=(n, 4))
+        y = np.concatenate([x[:, :2], rng.normal(size=(n, 2))], axis=1)
+        mi = binned_mutual_information(x, y, n_bins=4, max_dims=2)
+        assert mi > 0.4
+
+    def test_mismatched_lengths_rejected(self, rng):
+        with pytest.raises(EstimatorError):
+            binned_mutual_information(rng.normal(size=(10, 2)), rng.normal(size=(9, 2)))
+
+    def test_bad_max_dims_rejected(self, rng):
+        with pytest.raises(EstimatorError):
+            binned_mutual_information(
+                rng.normal(size=(50, 2)), rng.normal(size=(50, 2)), max_dims=0
+            )
+
+    def test_agrees_with_ksg_ordering(self, rng):
+        """Binned and KSG estimators must order noisy channels the same way."""
+        from repro.privacy import ksg_mutual_information
+
+        n = 900
+        x = rng.normal(size=(n, 2))
+        clean = x + 0.1 * rng.normal(size=(n, 2))
+        noisy = x + 2.0 * rng.normal(size=(n, 2))
+        binned_clean = binned_mutual_information(x, clean, n_bins=6, max_dims=2)
+        binned_noisy = binned_mutual_information(x, noisy, n_bins=6, max_dims=2)
+        ksg_clean = ksg_mutual_information(x, clean)
+        ksg_noisy = ksg_mutual_information(x, noisy)
+        assert binned_clean > binned_noisy
+        assert ksg_clean > ksg_noisy
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(0, 2**16),
+        n_bins=st.integers(2, 10),
+        n=st.integers(64, 256),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_binning_is_permutation_covariant(self, seed, n_bins, n):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=n)
+        perm = rng.permutation(n)
+        binned = quantile_bin(values, n_bins)
+        np.testing.assert_array_equal(quantile_bin(values[perm], n_bins), binned[perm])
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_mi_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(200, 2))
+        y = x + rng.normal(size=(200, 2))
+        forward = binned_mutual_information(x, y, n_bins=4, max_dims=2)
+        backward = binned_mutual_information(y, x, n_bins=4, max_dims=2)
+        assert forward == pytest.approx(backward, abs=1e-9)

@@ -1,0 +1,110 @@
+"""Tests for the subsampling MI confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimatorError
+from repro.privacy import MIInterval, subsampled_mi_interval
+
+
+@pytest.fixture()
+def correlated_pair(rng):
+    n = 220
+    x = rng.normal(size=(n, 3)).astype(np.float32)
+    y = (x + 0.5 * rng.normal(size=(n, 3))).astype(np.float32)
+    return x, y
+
+
+class TestInterval:
+    def test_basic_fields(self, correlated_pair):
+        x, y = correlated_pair
+        interval = subsampled_mi_interval(
+            x, y, n_replicates=6, n_components=3, rng=np.random.default_rng(0)
+        )
+        assert interval.low <= interval.high
+        assert len(interval.replicates) == 6
+        assert interval.subsample_size < len(x)
+        assert interval.width >= 0.0
+
+    def test_point_estimate_positive_for_correlated(self, correlated_pair):
+        x, y = correlated_pair
+        interval = subsampled_mi_interval(
+            x, y, n_replicates=5, n_components=3, rng=np.random.default_rng(0)
+        )
+        assert interval.mi_bits > 0.5
+
+    def test_interval_separates_strong_from_independent(self, rng):
+        n = 220
+        x = rng.normal(size=(n, 3))
+        strong = subsampled_mi_interval(
+            x,
+            x + 0.2 * rng.normal(size=(n, 3)),
+            n_replicates=6,
+            n_components=3,
+            rng=np.random.default_rng(0),
+        )
+        independent = subsampled_mi_interval(
+            x,
+            rng.normal(size=(n, 3)),
+            n_replicates=6,
+            n_components=3,
+            rng=np.random.default_rng(0),
+        )
+        assert strong.low > independent.high
+
+    def test_contains(self):
+        interval = MIInterval(1.0, 0.5, 1.5, (0.6, 1.4), 100)
+        assert interval.contains(1.0)
+        assert not interval.contains(2.0)
+
+    def test_confidence_narrows_interval(self, correlated_pair):
+        x, y = correlated_pair
+        wide = subsampled_mi_interval(
+            x, y, n_replicates=8, confidence=0.95, n_components=3,
+            rng=np.random.default_rng(3),
+        )
+        narrow = subsampled_mi_interval(
+            x, y, n_replicates=8, confidence=0.5, n_components=3,
+            rng=np.random.default_rng(3),
+        )
+        assert narrow.width <= wide.width + 1e-12
+
+    def test_deterministic_given_rng(self, correlated_pair):
+        x, y = correlated_pair
+        a = subsampled_mi_interval(
+            x, y, n_replicates=4, n_components=3, rng=np.random.default_rng(5)
+        )
+        b = subsampled_mi_interval(
+            x, y, n_replicates=4, n_components=3, rng=np.random.default_rng(5)
+        )
+        assert a == b
+
+
+class TestValidation:
+    def test_bad_fraction(self, correlated_pair):
+        x, y = correlated_pair
+        with pytest.raises(EstimatorError):
+            subsampled_mi_interval(x, y, subsample_fraction=1.5)
+
+    def test_bad_confidence(self, correlated_pair):
+        x, y = correlated_pair
+        with pytest.raises(EstimatorError):
+            subsampled_mi_interval(x, y, confidence=0.0)
+
+    def test_too_few_replicates(self, correlated_pair):
+        x, y = correlated_pair
+        with pytest.raises(EstimatorError):
+            subsampled_mi_interval(x, y, n_replicates=1)
+
+    def test_unpaired_batches(self, rng):
+        with pytest.raises(EstimatorError):
+            subsampled_mi_interval(
+                rng.normal(size=(50, 2)), rng.normal(size=(49, 2))
+            )
+
+    def test_tiny_sample_rejected(self, rng):
+        x = rng.normal(size=(8, 2))
+        with pytest.raises(EstimatorError):
+            subsampled_mi_interval(x, x, subsample_fraction=0.9)

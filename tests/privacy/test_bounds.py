@@ -1,0 +1,150 @@
+"""Tests for the analytic SNR↔MI bounds (§2.3's theoretical backbone)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EstimatorError
+from repro.privacy import (
+    awgn_capacity_bits,
+    gaussian_channel_bracket,
+    gaussian_entropy_bits,
+    ksg_mutual_information,
+    laplace_channel_bracket,
+    laplace_entropy_bits,
+    max_entropy_upper_bound_bits,
+    saddle_point_lower_bound_bits,
+    snr_privacy_curve,
+)
+
+
+class TestEntropies:
+    def test_laplace_entropy_closed_form(self):
+        assert laplace_entropy_bits(1.0) == pytest.approx(
+            math.log2(2.0 * math.e)
+        )
+
+    def test_gaussian_entropy_closed_form(self):
+        expected = 0.5 * math.log2(2.0 * math.pi * math.e)
+        assert gaussian_entropy_bits(1.0) == pytest.approx(expected)
+
+    def test_laplace_vs_gaussian_at_equal_variance(self):
+        """Gaussian is max-entropy at fixed variance: h_G >= h_L."""
+        scale = 0.7
+        std = math.sqrt(2.0) * scale  # equal variance
+        assert gaussian_entropy_bits(std) >= laplace_entropy_bits(scale)
+
+    def test_invalid_scale(self):
+        with pytest.raises(EstimatorError):
+            laplace_entropy_bits(0.0)
+        with pytest.raises(EstimatorError):
+            gaussian_entropy_bits(-1.0)
+
+
+class TestSaddlePoint:
+    def test_matches_awgn_capacity(self):
+        assert saddle_point_lower_bound_bits(3.0) == pytest.approx(
+            awgn_capacity_bits(3.0)
+        )
+
+    def test_scales_with_dims(self):
+        assert saddle_point_lower_bound_bits(1.0, dims=4) == pytest.approx(
+            4 * saddle_point_lower_bound_bits(1.0)
+        )
+
+    def test_zero_snr_zero_leakage(self):
+        assert saddle_point_lower_bound_bits(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(EstimatorError):
+            saddle_point_lower_bound_bits(-1.0)
+        with pytest.raises(EstimatorError):
+            saddle_point_lower_bound_bits(1.0, dims=0)
+
+
+class TestBrackets:
+    def test_gaussian_bracket_is_tight(self):
+        """For Gaussian noise both bounds coincide at the AWGN formula."""
+        bracket = gaussian_channel_bracket(signal_power=4.0, noise_std=1.0)
+        assert bracket.lower_bits == pytest.approx(awgn_capacity_bits(4.0))
+        assert bracket.upper_bits == pytest.approx(bracket.lower_bits, abs=1e-9)
+
+    def test_laplace_bracket_ordering(self):
+        bracket = laplace_channel_bracket(signal_power=4.0, noise_scale=1.0)
+        assert bracket.lower_bits <= bracket.upper_bits
+        assert bracket.snr == pytest.approx(4.0 / 2.0)
+
+    def test_bracket_monotone_in_noise(self):
+        quiet = laplace_channel_bracket(4.0, noise_scale=0.5)
+        loud = laplace_channel_bracket(4.0, noise_scale=2.0)
+        assert loud.lower_bits < quiet.lower_bits
+        assert loud.upper_bits < quiet.upper_bits
+
+    def test_contains(self):
+        bracket = laplace_channel_bracket(4.0, noise_scale=1.0)
+        middle = 0.5 * (bracket.lower_bits + bracket.upper_bits)
+        assert bracket.contains(middle)
+        assert not bracket.contains(bracket.upper_bits + 1.0)
+        assert bracket.contains(bracket.upper_bits + 0.5, slack=0.6)
+
+    def test_validation(self):
+        with pytest.raises(EstimatorError):
+            laplace_channel_bracket(1.0, noise_scale=0.0)
+        with pytest.raises(EstimatorError):
+            gaussian_channel_bracket(1.0, noise_std=0.0)
+        with pytest.raises(EstimatorError):
+            max_entropy_upper_bound_bits(0.0, 1.0, 1.0)
+
+
+class TestEmpiricalAgreement:
+    """The measured KSG MI of synthetic channels must respect the bracket."""
+
+    @pytest.mark.parametrize("noise_scale", [0.5, 1.0, 2.0])
+    def test_laplace_channel_within_bracket(self, noise_scale):
+        rng = np.random.default_rng(42)
+        n = 1200
+        signal = rng.normal(0.0, 2.0, size=(n, 1))
+        noise = rng.laplace(0.0, noise_scale, size=(n, 1))
+        measured = ksg_mutual_information(signal, signal + noise, k=4)
+        bracket = laplace_channel_bracket(4.0, noise_scale)
+        # kNN estimates carry bias at finite N; allow modest slack.
+        assert bracket.contains(measured, slack=0.3)
+
+    def test_gaussian_channel_matches_awgn(self):
+        rng = np.random.default_rng(7)
+        n = 1500
+        signal = rng.normal(0.0, 1.0, size=(n, 1))
+        noise = rng.normal(0.0, 1.0, size=(n, 1))
+        measured = ksg_mutual_information(signal, signal + noise, k=4)
+        assert measured == pytest.approx(awgn_capacity_bits(1.0), abs=0.15)
+
+
+class TestCurve:
+    def test_curve_monotone(self):
+        in_vivo, ex_vivo = snr_privacy_curve(np.array([0.5, 1.0, 2.0, 4.0]))
+        # Higher SNR -> lower in-vivo privacy and lower ex-vivo privacy.
+        assert np.all(np.diff(in_vivo) < 0)
+        assert np.all(np.diff(ex_vivo) < 0)
+
+    def test_curve_coordinates(self):
+        in_vivo, ex_vivo = snr_privacy_curve(np.array([1.0]))
+        assert in_vivo[0] == pytest.approx(1.0)
+        assert ex_vivo[0] == pytest.approx(1.0 / awgn_capacity_bits(1.0))
+
+    def test_curve_validation(self):
+        with pytest.raises(EstimatorError):
+            snr_privacy_curve(np.array([0.0, 1.0]))
+
+    @given(snr=st.floats(0.05, 50.0), dims=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_bracket_ordering_property(self, snr, dims):
+        signal_power = 2.0
+        scale = math.sqrt(signal_power / (2.0 * snr))
+        bracket = laplace_channel_bracket(signal_power, scale, dims=dims)
+        assert 0.0 <= bracket.lower_bits <= bracket.upper_bits
+        assert bracket.snr == pytest.approx(snr, rel=1e-9)

@@ -1,0 +1,105 @@
+"""Tests for the entropy estimators against closed forms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimatorError
+from repro.privacy import gaussian_entropy, histogram_entropy, kl_entropy, unit_ball_log_volume
+
+
+class TestGaussianEntropy:
+    def test_unit_gaussian_1d(self):
+        # H = 0.5 log2(2 pi e) ≈ 2.047 bits
+        assert gaussian_entropy(np.array([[1.0]])) == pytest.approx(2.0471, abs=1e-3)
+
+    def test_scaling_adds_log_sigma(self):
+        h1 = gaussian_entropy(np.array([[1.0]]))
+        h2 = gaussian_entropy(np.array([[4.0]]))
+        assert h2 - h1 == pytest.approx(1.0, abs=1e-9)  # log2(sigma ratio)=1
+
+    def test_independent_dims_add(self):
+        h_joint = gaussian_entropy(np.diag([1.0, 4.0]))
+        h_sum = gaussian_entropy(np.array([[1.0]])) + gaussian_entropy(np.array([[4.0]]))
+        assert h_joint == pytest.approx(h_sum, abs=1e-9)
+
+    def test_non_positive_definite_rejected(self):
+        with pytest.raises(EstimatorError):
+            gaussian_entropy(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(EstimatorError):
+            gaussian_entropy(np.ones((2, 3)))
+
+
+class TestUnitBallVolume:
+    def test_known_dimensions(self):
+        assert math.exp(unit_ball_log_volume(1)) == pytest.approx(2.0)
+        assert math.exp(unit_ball_log_volume(2)) == pytest.approx(math.pi)
+        assert math.exp(unit_ball_log_volume(3)) == pytest.approx(4.0 / 3.0 * math.pi)
+
+
+class TestKLEntropy:
+    @pytest.mark.parametrize("sigma", [0.5, 1.0, 3.0])
+    def test_matches_gaussian_1d(self, sigma):
+        rng = np.random.default_rng(42)
+        samples = rng.normal(0, sigma, size=4000)
+        expected = gaussian_entropy(np.array([[sigma**2]]))
+        assert kl_entropy(samples, k=3) == pytest.approx(expected, abs=0.1)
+
+    def test_matches_gaussian_multivariate(self):
+        rng = np.random.default_rng(1)
+        cov = np.array([[2.0, 0.3], [0.3, 0.5]])
+        samples = rng.multivariate_normal([0, 0], cov, size=4000)
+        assert kl_entropy(samples, k=3) == pytest.approx(gaussian_entropy(cov), abs=0.15)
+
+    def test_uniform_entropy(self):
+        # H(U[0, w]) = log2 w bits.
+        rng = np.random.default_rng(2)
+        samples = rng.uniform(0.0, 8.0, size=5000)
+        assert kl_entropy(samples, k=3) == pytest.approx(3.0, abs=0.15)
+
+    def test_wider_distribution_has_higher_entropy(self):
+        rng = np.random.default_rng(3)
+        narrow = kl_entropy(rng.normal(0, 0.5, size=1000))
+        wide = kl_entropy(rng.normal(0, 5.0, size=1000))
+        assert wide > narrow
+
+    def test_duplicate_samples_handled(self):
+        samples = np.concatenate([np.zeros(50), np.ones(50)])
+        value = kl_entropy(samples, k=3)
+        assert np.isfinite(value)
+
+    def test_too_few_samples(self):
+        with pytest.raises(EstimatorError):
+            kl_entropy(np.zeros(3), k=3)
+
+    def test_invalid_k(self):
+        with pytest.raises(EstimatorError):
+            kl_entropy(np.random.default_rng(0).normal(size=50), k=0)
+
+    def test_1d_input_promoted(self):
+        rng = np.random.default_rng(4)
+        flat = rng.normal(size=500)
+        assert kl_entropy(flat) == pytest.approx(kl_entropy(flat[:, None]))
+
+
+class TestHistogramEntropy:
+    def test_approximates_gaussian(self):
+        rng = np.random.default_rng(5)
+        samples = rng.normal(0, 1, size=20000)
+        assert histogram_entropy(samples, bins=32) == pytest.approx(2.047, abs=0.2)
+
+    def test_invalid_bins(self):
+        with pytest.raises(EstimatorError):
+            histogram_entropy(np.random.default_rng(0).normal(size=100), bins=1)
+
+    def test_agrees_with_knn_in_order_of_magnitude(self):
+        rng = np.random.default_rng(6)
+        samples = rng.normal(0, 2, size=10000)
+        knn = kl_entropy(samples)
+        hist = histogram_entropy(samples, bins=40)
+        assert abs(knn - hist) < 0.5

@@ -1,0 +1,168 @@
+"""Tests for the MI estimators against closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimatorError
+from repro.privacy import (
+    awgn_capacity_bits,
+    awgn_vector_mi_bits,
+    correlated_gaussian_mi_bits,
+    discrete_mutual_information,
+    entropy_sum_mi,
+    ksg_mutual_information,
+    mi_to_ex_vivo_privacy,
+    multivariate_gaussian_mi_bits,
+    snr_to_in_vivo_privacy,
+)
+
+
+def correlated_pairs(rho: float, n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    cov = np.array([[1.0, rho], [rho, 1.0]])
+    xy = rng.multivariate_normal([0, 0], cov, size=n)
+    return xy[:, :1], xy[:, 1:]
+
+
+class TestKSG:
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.9])
+    def test_matches_gaussian_closed_form(self, rho):
+        x, y = correlated_pairs(rho, 1500)
+        expected = correlated_gaussian_mi_bits(rho)
+        assert ksg_mutual_information(x, y, k=4) == pytest.approx(expected, abs=0.12)
+
+    def test_independent_variables_near_zero(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(800, 2))
+        y = rng.normal(size=(800, 2))
+        assert ksg_mutual_information(x, y) < 0.1
+
+    def test_deterministic_relation_large(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(500, 1))
+        y = x + 1e-4 * rng.normal(size=(500, 1))
+        assert ksg_mutual_information(x, y) > 3.0
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(3)
+        for seed in range(5):
+            x = np.random.default_rng(seed).normal(size=(100, 1))
+            y = np.random.default_rng(seed + 50).normal(size=(100, 1))
+            assert ksg_mutual_information(x, y) >= 0.0
+
+    def test_symmetry(self):
+        x, y = correlated_pairs(0.7, 600)
+        forward = ksg_mutual_information(x, y, k=3)
+        backward = ksg_mutual_information(y, x, k=3)
+        assert forward == pytest.approx(backward, abs=0.05)
+
+    def test_unpaired_lengths_rejected(self):
+        with pytest.raises(EstimatorError):
+            ksg_mutual_information(np.zeros((10, 1)), np.zeros((11, 1)))
+
+    def test_invalid_k(self):
+        x, y = correlated_pairs(0.5, 50)
+        with pytest.raises(EstimatorError):
+            ksg_mutual_information(x, y, k=50)
+
+    def test_invariance_to_marginal_scaling(self):
+        # MI is invariant under invertible per-variable transforms.
+        x, y = correlated_pairs(0.8, 1200)
+        base = ksg_mutual_information(x, y, k=4)
+        scaled = ksg_mutual_information(x * 100.0, y * 0.01, k=4)
+        assert scaled == pytest.approx(base, abs=0.1)
+
+
+class TestEntropySumMI:
+    @pytest.mark.parametrize("rho", [0.4, 0.8])
+    def test_matches_gaussian_closed_form(self, rho):
+        x, y = correlated_pairs(rho, 1500)
+        expected = correlated_gaussian_mi_bits(rho)
+        assert entropy_sum_mi(x, y, k=4) == pytest.approx(expected, abs=0.15)
+
+    def test_agrees_with_ksg(self):
+        x, y = correlated_pairs(0.6, 1200)
+        a = ksg_mutual_information(x, y, k=4)
+        b = entropy_sum_mi(x, y, k=4)
+        assert a == pytest.approx(b, abs=0.15)
+
+    def test_non_negative_clamp(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(60, 3))
+        y = rng.normal(size=(60, 3))
+        assert entropy_sum_mi(x, y) >= 0.0
+
+
+class TestDiscreteMI:
+    def test_identical_labels(self):
+        labels = np.array([0, 1, 2, 3] * 25)
+        assert discrete_mutual_information(labels, labels) == pytest.approx(2.0)
+
+    def test_independent_labels(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert discrete_mutual_information(a, b) < 0.01
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimatorError):
+            discrete_mutual_information(np.array([]), np.array([]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(EstimatorError):
+            discrete_mutual_information(np.zeros(3), np.zeros(4))
+
+
+class TestGaussianChannel:
+    def test_capacity_zero_at_zero_snr(self):
+        assert awgn_capacity_bits(0.0) == 0.0
+
+    def test_capacity_monotone_in_snr(self):
+        snrs = [0.1, 1.0, 10.0, 100.0]
+        caps = [awgn_capacity_bits(s) for s in snrs]
+        assert caps == sorted(caps)
+
+    def test_capacity_value(self):
+        assert awgn_capacity_bits(3.0) == pytest.approx(1.0)  # 0.5 log2 4
+
+    def test_vector_channel_sums(self):
+        mi = awgn_vector_mi_bits(np.array([3.0, 3.0]), 1.0)
+        assert mi == pytest.approx(2.0)
+
+    def test_vector_channel_validation(self):
+        with pytest.raises(EstimatorError):
+            awgn_vector_mi_bits(np.array([1.0]), 0.0)
+
+    def test_multivariate_partition_matches_pairwise(self):
+        rho = 0.6
+        cov = np.array([[1.0, rho], [rho, 1.0]])
+        assert multivariate_gaussian_mi_bits(cov, 1) == pytest.approx(
+            correlated_gaussian_mi_bits(rho)
+        )
+
+    def test_ksg_matches_awgn_capacity(self):
+        # I(X; X+N) for unit signal, sigma^2 noise — the exact setting the
+        # paper's in-vivo/ex-vivo proxy argument relies on.
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(2000, 1))
+        noise_var = 0.5
+        y = x + rng.normal(0, np.sqrt(noise_var), size=(2000, 1))
+        expected = awgn_capacity_bits(1.0 / noise_var)
+        assert ksg_mutual_information(x, y, k=4) == pytest.approx(expected, abs=0.15)
+
+
+class TestPrivacyNotions:
+    def test_in_vivo_is_reciprocal_snr(self):
+        assert snr_to_in_vivo_privacy(4.0) == 0.25
+
+    def test_in_vivo_rejects_nonpositive(self):
+        with pytest.raises(EstimatorError):
+            snr_to_in_vivo_privacy(0.0)
+
+    def test_ex_vivo_is_reciprocal_mi(self):
+        assert mi_to_ex_vivo_privacy(10.0) == pytest.approx(0.1)
+
+    def test_ex_vivo_floored_at_zero_mi(self):
+        assert np.isfinite(mi_to_ex_vivo_privacy(0.0))

@@ -1,0 +1,87 @@
+"""Property-based tests (hypothesis) for the privacy estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    awgn_capacity_bits,
+    correlated_gaussian_mi_bits,
+    gaussian_entropy,
+    kl_entropy,
+    ksg_mutual_information,
+    mi_to_ex_vivo_privacy,
+)
+
+
+class TestClosedFormProperties:
+    @given(st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_nonnegative(self, snr):
+        assert awgn_capacity_bits(snr) >= 0.0
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_strictly_increasing(self, snr):
+        assert awgn_capacity_bits(snr * 1.5) > awgn_capacity_bits(snr)
+
+    @given(st.floats(min_value=-0.99, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_gaussian_mi_symmetric_in_rho(self, rho):
+        assert correlated_gaussian_mi_bits(rho) == correlated_gaussian_mi_bits(-rho)
+
+    @given(st.floats(min_value=0.0, max_value=0.98))
+    @settings(max_examples=50, deadline=None)
+    def test_gaussian_mi_increasing_in_abs_rho(self, rho):
+        assert correlated_gaussian_mi_bits(rho + 0.01) > correlated_gaussian_mi_bits(rho)
+
+    @given(st.floats(min_value=0.05, max_value=50.0))
+    @settings(max_examples=50, deadline=None)
+    def test_entropy_translation_invariant_scale_covariant(self, sigma):
+        base = gaussian_entropy(np.array([[1.0]]))
+        scaled = gaussian_entropy(np.array([[sigma**2]]))
+        assert scaled == base + np.log2(sigma) or abs(
+            scaled - (base + np.log2(sigma))
+        ) < 1e-9
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_ex_vivo_privacy_decreasing_in_mi(self, mi):
+        assert mi_to_ex_vivo_privacy(mi * 2) < mi_to_ex_vivo_privacy(mi)
+
+
+class TestEstimatorProperties:
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_kl_entropy_translation_invariance(self, shift):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(size=(400, 2))
+        base = kl_entropy(samples)
+        shifted = kl_entropy(samples + shift)
+        assert abs(base - shifted) < 0.15
+
+    @given(st.floats(min_value=0.3, max_value=5.0))
+    @settings(max_examples=10, deadline=None)
+    def test_noise_never_increases_mi(self, sigma):
+        # Data-processing-style property of the estimate: adding independent
+        # noise must not (significantly) raise measured MI.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(500, 2))
+        y = x + 0.1 * rng.normal(size=x.shape)
+        clean = ksg_mutual_information(x, y, k=4)
+        noisy = ksg_mutual_information(
+            x, y + sigma * rng.normal(size=y.shape), k=4
+        )
+        assert noisy <= clean + 0.1
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_ksg_k_stability(self, k):
+        rng = np.random.default_rng(2)
+        cov = np.array([[1.0, 0.8], [0.8, 1.0]])
+        xy = rng.multivariate_normal([0, 0], cov, size=1000)
+        estimate = ksg_mutual_information(xy[:, :1], xy[:, 1:], k=k)
+        truth = correlated_gaussian_mi_bits(0.8)
+        assert abs(estimate - truth) < 0.25

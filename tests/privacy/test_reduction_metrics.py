@@ -1,0 +1,138 @@
+"""Tests for PCA reduction and the leakage measurement pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EstimatorError
+from repro.privacy import (
+    PCAReducer,
+    estimate_leakage,
+    flatten_batch,
+    information_loss_bits,
+    information_loss_percent,
+)
+
+
+class TestPCAReducer:
+    def test_reduces_dimension(self, rng):
+        data = rng.standard_normal((50, 20))
+        out = PCAReducer(5).fit_transform(data)
+        assert out.shape == (50, 5)
+
+    def test_whitening_unit_variance(self, rng):
+        data = rng.standard_normal((500, 10)) * np.arange(1, 11)
+        out = PCAReducer(4, whiten=True).fit_transform(data)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=0.05)
+
+    def test_components_capped_by_rank(self, rng):
+        data = rng.standard_normal((5, 20))
+        out = PCAReducer(10).fit_transform(data)
+        assert out.shape[1] == 4  # n-1
+
+    def test_first_component_captures_dominant_direction(self, rng):
+        # Data varies along one axis 100x more than the others.
+        base = rng.standard_normal((300, 1)) * 10.0
+        noise = rng.standard_normal((300, 9)) * 0.1
+        data = np.concatenate([base, noise], axis=1)
+        reducer = PCAReducer(2, whiten=False).fit(data)
+        leading = np.abs(reducer.components_[0])
+        assert leading[0] > 0.99
+
+    def test_transform_before_fit_rejected(self, rng):
+        with pytest.raises(EstimatorError):
+            PCAReducer(2).transform(rng.standard_normal((5, 4)))
+
+    def test_invalid_component_count(self):
+        with pytest.raises(EstimatorError):
+            PCAReducer(0)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(EstimatorError):
+            PCAReducer(2).fit(rng.standard_normal(10))
+
+    def test_deterministic(self, rng):
+        data = rng.standard_normal((40, 8))
+        a = PCAReducer(3).fit_transform(data)
+        b = PCAReducer(3).fit_transform(data)
+        np.testing.assert_allclose(a, b)
+
+
+class TestFlattenBatch:
+    def test_flattens_nchw(self, rng):
+        out = flatten_batch(rng.standard_normal((4, 3, 2, 2)))
+        assert out.shape == (4, 12)
+
+    def test_rejects_scalars(self):
+        with pytest.raises(EstimatorError):
+            flatten_batch(np.zeros(5))
+
+
+class TestEstimateLeakage:
+    def test_noise_monotonically_destroys_information(self, rng):
+        x = rng.standard_normal((300, 40))
+        mis = []
+        for sigma in [0.1, 1.0, 10.0]:
+            a = x + sigma * rng.standard_normal(x.shape)
+            mis.append(estimate_leakage(x, a, n_components=6).mi_bits)
+        assert mis[0] > mis[1] > mis[2]
+
+    def test_identity_map_leaks_most(self, rng):
+        x = rng.standard_normal((200, 30))
+        identity = estimate_leakage(x, x.copy(), n_components=5).mi_bits
+        independent = estimate_leakage(
+            x, rng.standard_normal(x.shape), n_components=5
+        ).mi_bits
+        assert identity > independent + 1.0
+
+    def test_result_fields(self, rng):
+        x = rng.standard_normal((100, 20))
+        est = estimate_leakage(x, x + rng.standard_normal(x.shape), n_components=4)
+        assert est.n_samples == 100
+        assert est.estimator == "ksg"
+        assert est.ex_vivo_privacy == pytest.approx(1.0 / est.mi_bits, rel=1e-6)
+
+    def test_subsampling(self, rng):
+        x = rng.standard_normal((300, 10))
+        est = estimate_leakage(
+            x, x + 0.5 * rng.standard_normal(x.shape), n_components=4, max_samples=64, rng=rng
+        )
+        assert est.n_samples == 64
+
+    def test_entropy_sum_estimator_option(self, rng):
+        x = rng.standard_normal((200, 10))
+        a = x + rng.standard_normal(x.shape)
+        ksg = estimate_leakage(x, a, n_components=4, estimator="ksg").mi_bits
+        esum = estimate_leakage(x, a, n_components=4, estimator="entropy_sum").mi_bits
+        assert esum == pytest.approx(ksg, abs=0.7)
+
+    def test_unknown_estimator(self, rng):
+        x = rng.standard_normal((50, 5))
+        with pytest.raises(EstimatorError):
+            estimate_leakage(x, x, estimator="mine")
+
+    def test_unpaired_batches_rejected(self, rng):
+        with pytest.raises(EstimatorError):
+            estimate_leakage(
+                rng.standard_normal((10, 4)), rng.standard_normal((11, 4))
+            )
+
+    def test_accepts_image_shaped_batches(self, rng):
+        x = rng.standard_normal((80, 1, 8, 8))
+        a = rng.standard_normal((80, 4, 4, 4))
+        est = estimate_leakage(x, a, n_components=4)
+        assert np.isfinite(est.mi_bits)
+
+
+class TestInformationLoss:
+    def test_bits(self):
+        assert information_loss_bits(300.0, 18.9) == pytest.approx(281.1)
+
+    def test_percent_table1_lenet(self):
+        # Table 1: LeNet 301.84 -> 18.9 is a 93.74% loss.
+        assert information_loss_percent(301.84, 18.9) == pytest.approx(93.74, abs=0.01)
+
+    def test_percent_requires_positive_original(self):
+        with pytest.raises(EstimatorError):
+            information_loss_percent(0.0, 0.0)

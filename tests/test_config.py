@@ -1,0 +1,78 @@
+"""Tests for the global configuration module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PAPER, SMALL, TINY, Config, ExperimentScale, cache_dir, get_scale
+from repro.errors import ConfigurationError
+
+
+class TestScales:
+    def test_named_scales_ordered(self):
+        assert TINY.train_samples < SMALL.train_samples < PAPER.train_samples
+        assert TINY.mi_samples < SMALL.mi_samples < PAPER.mi_samples
+
+    def test_get_scale_by_name(self):
+        assert get_scale("tiny") is TINY
+        assert get_scale("PAPER") is PAPER
+
+    def test_get_scale_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert get_scale() is TINY
+
+    def test_get_scale_fallback_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale() is SMALL
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("huge")
+
+    def test_scaled_shrinks(self):
+        half = SMALL.scaled(0.5)
+        assert half.train_samples == SMALL.train_samples // 2
+        assert half.mi_components == SMALL.mi_components
+
+    def test_scaled_enforces_minimums(self):
+        tiny = TINY.scaled(0.001)
+        assert tiny.train_samples >= 1
+        assert tiny.mi_samples >= 8
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            TINY.scaled(0.0)
+
+    def test_scales_frozen(self):
+        with pytest.raises(AttributeError):
+            TINY.train_samples = 1  # type: ignore[misc]
+
+
+class TestConfig:
+    def test_child_seed_deterministic(self):
+        config = Config(seed=42)
+        assert config.child_seed("a", 1) == config.child_seed("a", 1)
+
+    def test_child_seed_varies_with_tags(self):
+        config = Config(seed=42)
+        assert config.child_seed("a") != config.child_seed("b")
+        assert config.child_seed("a", 0) != config.child_seed("a", 1)
+
+    def test_child_seed_varies_with_base_seed(self):
+        assert Config(seed=1).child_seed("x") != Config(seed=2).child_seed("x")
+
+    def test_child_seed_in_uint32_range(self):
+        seed = Config(seed=123456789).child_seed("long", "tag", 99)
+        assert 0 <= seed < 2**32
+
+    def test_default_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert Config().scale is TINY
+
+
+class TestCacheDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "zoo"))
+        path = cache_dir()
+        assert path == tmp_path / "zoo"
+        assert path.is_dir()

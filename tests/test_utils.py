@@ -1,0 +1,45 @@
+"""Tests for the summary utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.utils import activation_statistics, model_summary
+
+
+class TestModelSummary:
+    @pytest.fixture(scope="class")
+    def lenet(self):
+        return build_model("lenet", np.random.default_rng(0), width=0.25)
+
+    def test_contains_every_layer(self, lenet):
+        out = model_summary(lenet)
+        for name in lenet.net.layer_names():
+            assert name in out
+
+    def test_marks_cut_points(self, lenet):
+        out = model_summary(lenet)
+        for cut in lenet.cut_names():
+            assert f"cut:{cut}" in out
+
+    def test_total_params_match(self, lenet):
+        out = model_summary(lenet)
+        assert str(lenet.num_parameters()) in out
+
+    def test_title_mentions_model(self, lenet):
+        assert "lenet" in model_summary(lenet)
+
+
+class TestActivationStatistics:
+    def test_keys_and_values(self, rng):
+        activations = rng.standard_normal((8, 4, 4)).astype(np.float32)
+        stats = activation_statistics(activations)
+        assert set(stats) == {"mean", "std", "min", "max", "power", "sparsity"}
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["power"] == pytest.approx(np.mean(activations.astype(np.float64) ** 2))
+
+    def test_sparsity_of_relu_output(self):
+        activations = np.array([0.0, 0.0, 1.0, 2.0])
+        assert activation_statistics(activations)["sparsity"] == pytest.approx(0.5)
