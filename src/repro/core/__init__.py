@@ -9,6 +9,12 @@ primary contribution).
 * :class:`ShredderPipeline` — end-to-end train + measure.
 """
 
+from repro.core.activation_cache import (
+    ActivationCache,
+    clear_activation_cache,
+    get_activation_cache,
+    materialize_activations_cached,
+)
 from repro.core.adaptive import (
     OperatingPointSearch,
     SearchProbe,
@@ -23,14 +29,16 @@ from repro.core.baselines import (
 )
 from repro.core.distribution import DistributionSummary, FittedNoiseDistribution
 from repro.core.loss import LossParts, ShredderLoss
-from repro.core.noise_tensor import NoiseTensor
+from repro.core.noise_tensor import MultiNoiseTensor, NoiseTensor
 from repro.core.pipeline import ShredderPipeline, ShredderReport
 from repro.core.sampler import NoiseCollection, NoiseSample, collect_noise_distribution
 from repro.core.schedules import ConstantLambda, DecayOnTarget, LambdaSchedule
 from repro.core.snr import (
     in_vivo_privacy,
     in_vivo_privacy_from_power,
+    in_vivo_privacy_members,
     noise_variance,
+    noise_variance_members,
     signal_power,
     snr,
 )
@@ -38,10 +46,12 @@ from repro.core.split import SplitInferenceModel
 from repro.core.trainer import NoiseTrainer, NoiseTrainingHistory, NoiseTrainingResult
 
 __all__ = [
+    "ActivationCache",
     "ConstantLambda",
     "DecayOnTarget",
     "DistributionSummary",
     "FittedNoiseDistribution",
+    "MultiNoiseTensor",
     "OperatingPointSearch",
     "SearchProbe",
     "SearchResult",
@@ -62,10 +72,15 @@ __all__ = [
     "ShredderPipeline",
     "ShredderReport",
     "SplitInferenceModel",
+    "clear_activation_cache",
     "collect_noise_distribution",
+    "get_activation_cache",
     "in_vivo_privacy",
     "in_vivo_privacy_from_power",
+    "in_vivo_privacy_members",
+    "materialize_activations_cached",
     "noise_variance",
+    "noise_variance_members",
     "signal_power",
     "snr",
 ]

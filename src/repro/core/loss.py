@@ -12,10 +12,11 @@ noise growth swamps accuracy recovery; too small and privacy stalls.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.core.noise_tensor import NoiseTensor
+from repro.core.noise_tensor import MultiNoiseTensor, NoiseTensor
 from repro.errors import ConfigurationError
 from repro.nn import Tensor
 from repro.nn import functional as F
@@ -52,6 +53,12 @@ class ShredderLoss:
             )
         self.lambda_coeff = float(lambda_coeff)
         self.variant = variant
+        # Per-step constants of :meth:`many`, memoised on the λ vector
+        # (λ only changes when a schedule decays).
+        self._many_lambdas: tuple[float, ...] | None = None
+        self._many_vec: np.ndarray | None = None
+        self._many_coeff: np.ndarray | None = None
+        self._many_rows: np.ndarray | None = None
 
     def __call__(
         self, logits: Tensor, targets: np.ndarray, noise: NoiseTensor
@@ -77,6 +84,136 @@ class ShredderLoss:
             lambda_coeff=self.lambda_coeff,
         )
         return total, parts
+
+    def many(
+        self,
+        logits: Tensor,
+        targets: np.ndarray,
+        noise: MultiNoiseTensor,
+        lambdas: Sequence[float],
+    ) -> tuple[Tensor, list[LossParts]]:
+        """Per-member loss over a member-stacked batch (batched training).
+
+        ``logits`` holds the M members' mini-batches stacked contiguously
+        along the batch axis (member ``m`` owns rows ``m*B .. (m+1)*B``).
+        The total is ``Σ_m CE_m − λ_m Σ|n_m|`` (or the Eq. 2 analogue), so
+        differentiating it gives each member's noise slice exactly the
+        gradient of its own independent loss.
+
+        Args:
+            logits: ``(M*B, classes)`` member-stacked scores.
+            targets: ``(M*B,)`` labels, stacked the same way.
+            noise: The ``(M, *activation_shape)`` noise bank.
+            lambdas: One λ per member (per-member schedules may diverge).
+
+        Returns:
+            The differentiable total plus one :class:`LossParts` per member.
+        """
+        total, cross_entropies, privacy, sign = self.many_arrays(
+            logits, targets, noise, lambdas
+        )
+        ce_values = cross_entropies.tolist()
+        privacy_values = privacy.tolist()
+        parts = [
+            LossParts(
+                total=ce_values[i] + sign * float(lambdas[i]) * privacy_values[i],
+                cross_entropy=ce_values[i],
+                privacy_term=privacy_values[i],
+                lambda_coeff=float(lambdas[i]),
+            )
+            for i in range(noise.n_members)
+        ]
+        return total, parts
+
+    def many_arrays(
+        self,
+        logits: Tensor,
+        targets: np.ndarray,
+        noise: MultiNoiseTensor,
+        lambdas: Sequence[float],
+    ) -> tuple[Tensor, np.ndarray, np.ndarray, float]:
+        """Hot-loop core of :meth:`many`.
+
+        Returns the differentiable total plus the raw per-member
+        cross-entropy and privacy-term arrays (and the privacy sign), so
+        the batched trainer can record history columns without building M
+        :class:`LossParts` objects per step.
+        """
+        m = noise.n_members
+        if len(lambdas) != m:
+            raise ConfigurationError(
+                f"need one lambda per member: {m} members, {len(lambdas)} lambdas"
+            )
+        # The whole loss is ONE fused tape node (values and hand-derived
+        # gradients below) rather than a chain of small tensors: it sits
+        # inside the per-step hot loop, where dispatch overhead on tiny
+        # intermediates is the dominant cost.  λ-derived constants are
+        # memoised — λ only changes when a schedule decays.
+        lambda_key = tuple(float(value) for value in lambdas)
+        member_shape = (m,) + (1,) * (noise.ndim - 1)
+        if lambda_key != self._many_lambdas:
+            if min(lambda_key) < 0:
+                raise ConfigurationError("lambdas must be non-negative")
+            self._many_lambdas = lambda_key
+            self._many_vec = np.asarray(lambda_key, dtype=np.float64)
+            # Matches the tensor-op chain bit for bit: λ is cast to
+            # float32 when it reaches the leaf.
+            self._many_coeff = (-self._many_vec).astype(np.float32).reshape(
+                member_shape
+            )
+        lambda_vec = self._many_vec
+        coeff = self._many_coeff
+
+        n, classes = logits.shape
+        if m < 1 or n % m != 0:
+            raise ConfigurationError(
+                f"batch of {n} does not split into {m} equal member groups"
+            )
+        per_member = n // m
+        # Group-mean cross entropy (same arithmetic as F.cross_entropy,
+        # fused here to share intermediates; the buffers backward needs
+        # stay freshly allocated, z is recycled).
+        z = logits.data - logits.data.max(axis=1, keepdims=True)
+        exp_z = np.exp(z)
+        denom = exp_z.sum(axis=1, keepdims=True)
+        log_probs = np.subtract(z, np.log(denom), out=z)
+        if self._many_rows is None or len(self._many_rows) != n:
+            self._many_rows = np.arange(n)
+        rows = self._many_rows
+        losses = log_probs[rows, targets]
+        cross_entropies = -losses.reshape(m, per_member).mean(axis=1)
+
+        flat = noise.data.reshape(m, -1)
+        if self.variant == "l1":
+            privacy = np.abs(flat, dtype=np.float64).sum(axis=1)
+            reg_value = -float(np.dot(lambda_vec, privacy))
+            grad_noise = coeff * np.sign(noise.data)
+            sign = -1.0
+        else:
+            mean = flat.mean(axis=1, dtype=np.float64)
+            variance = np.square(flat, dtype=np.float64).mean(axis=1) - mean * mean
+            privacy = 1.0 / (variance + 1e-12)
+            reg_value = float(np.dot(lambda_vec, privacy))
+            # d(1/(var+eps))/dn = -(2/K)(n - mean)/(var+eps)^2 per member.
+            k_elements = flat.shape[1]
+            scale = (
+                lambda_vec * (-2.0 / k_elements) * privacy * privacy
+            ).reshape(member_shape)
+            centered = noise.data - mean.astype(np.float32).reshape(member_shape)
+            grad_noise = (scale * centered).astype(np.float32)
+            sign = 1.0
+
+        total_value = float(cross_entropies.sum(dtype=np.float64)) + reg_value
+
+        def backward(grad: np.ndarray) -> None:
+            probs = np.divide(exp_z, denom, out=exp_z)
+            probs[rows, targets] -= 1.0
+            probs *= grad / per_member
+            logits.accumulate_grad(probs)
+            noise.accumulate_grad(grad * grad_noise)
+
+        total = Tensor._make(np.asarray(total_value), (logits, noise), backward)
+        return total, cross_entropies, privacy, sign
 
     def with_lambda(self, lambda_coeff: float) -> "ShredderLoss":
         """A copy with a different ``λ`` (used by the decay schedule)."""

@@ -38,6 +38,7 @@ class NoiseCollection:
     def __init__(self, activation_shape: tuple[int, ...]) -> None:
         self.activation_shape = tuple(activation_shape)
         self._samples: list[NoiseSample] = []
+        self._stacked: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Building
@@ -55,6 +56,19 @@ class NoiseCollection:
         self._samples.append(
             NoiseSample(tensor=tensor.copy(), accuracy=accuracy, in_vivo_privacy=in_vivo_privacy)
         )
+        self._stacked = None  # invalidate the member-stack cache
+
+    def _member_stack(self) -> np.ndarray:
+        """All members as one cached ``(M, *activation_shape)`` array.
+
+        Sampling is a per-inference hot path (one draw per request in the
+        §2.5 deployment story); re-stacking every member tensor on every
+        call made it O(M · tensor) in Python.  The stack is built once and
+        invalidated by :meth:`add`.
+        """
+        if self._stacked is None:
+            self._stacked = np.stack([s.tensor for s in self._samples])
+        return self._stacked
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -85,8 +99,7 @@ class NoiseCollection:
         if not self._samples:
             raise TrainingError("cannot sample from an empty noise collection")
         indices = rng.integers(0, len(self._samples), size=n)
-        stacked = np.stack([self._samples[i].tensor for i in indices])
-        return stacked.astype(np.float32)
+        return self._member_stack()[indices]
 
     def sample_elementwise(self, rng: np.random.Generator) -> np.ndarray:
         """Draw a *new* tensor from the per-element empirical marginals.
@@ -97,11 +110,10 @@ class NoiseCollection:
         """
         if len(self._samples) < 2:
             raise TrainingError("element-wise sampling needs >= 2 members")
-        stacked = np.stack([s.tensor for s in self._samples])
         picks = rng.integers(0, len(self._samples), size=self.activation_shape)
-        flat = stacked.reshape(len(self._samples), -1)
+        flat = self._member_stack().reshape(len(self._samples), -1)
         chosen = flat[picks.reshape(-1), np.arange(flat.shape[1])]
-        return chosen.reshape(self.activation_shape)[None].astype(np.float32)
+        return chosen.reshape(self.activation_shape)[None]
 
     # ------------------------------------------------------------------
     # Statistics

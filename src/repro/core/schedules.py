@@ -18,6 +18,15 @@ class LambdaSchedule:
     def coefficient(self, step: int, in_vivo_privacy: float) -> float:
         raise NotImplementedError  # pragma: no cover - abstract
 
+    def clone(self) -> "LambdaSchedule":
+        """A fresh schedule with any decay state reset.
+
+        Batched collection training gives every member its own schedule
+        clone so one member reaching its privacy target cannot decay λ for
+        the others.
+        """
+        raise NotImplementedError  # pragma: no cover - abstract
+
 
 class ConstantLambda(LambdaSchedule):
     """A fixed λ (λ = 0 gives the privacy-agnostic baseline)."""
@@ -29,6 +38,9 @@ class ConstantLambda(LambdaSchedule):
 
     def coefficient(self, step: int, in_vivo_privacy: float) -> float:
         return self.value
+
+    def clone(self) -> "ConstantLambda":
+        return self  # stateless, safe to share
 
     def __repr__(self) -> str:
         return f"ConstantLambda({self.value})"
@@ -71,6 +83,9 @@ class DecayOnTarget(LambdaSchedule):
                 self.reached_at_step = step
             self._current = max(self._current * self.decay, self.floor)
         return self._current
+
+    def clone(self) -> "DecayOnTarget":
+        return DecayOnTarget(self.base, self.target, self.decay, self.floor)
 
     def __repr__(self) -> str:
         return (

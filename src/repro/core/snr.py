@@ -52,3 +52,30 @@ def in_vivo_privacy_from_power(power: float, noise: np.ndarray) -> float:
     if power <= 0:
         raise EstimatorError(f"signal power must be positive, got {power}")
     return noise_variance(noise) / power
+
+
+def noise_variance_members(noise: np.ndarray) -> np.ndarray:
+    """Per-member ``σ²(n_m)`` over an ``(M, ...)`` noise bank.
+
+    Each entry equals :func:`noise_variance` of the corresponding member
+    slice, so batched training sees exactly the per-member statistics the
+    sequential loop would compute.
+    """
+    noise = np.asarray(noise)
+    if noise.ndim < 2 or noise.size == 0:
+        raise EstimatorError(
+            f"expected a non-empty (M, ...) noise bank, got shape {noise.shape}"
+        )
+    # Two-pass variance, hand-rolled: this runs every training step and
+    # np.var's dispatch overhead dominates on member-sized slices.
+    flat = noise.reshape(noise.shape[0], -1)
+    mean = flat.mean(axis=1, dtype=np.float64)
+    centered = flat - mean[:, None]
+    return np.einsum("ij,ij->i", centered, centered) / flat.shape[1]
+
+
+def in_vivo_privacy_members(power: float, noise: np.ndarray) -> np.ndarray:
+    """Per-member ``σ²(n_m) / E[a²]`` — the batched 1/SNR vector."""
+    if power <= 0:
+        raise EstimatorError(f"signal power must be positive, got {power}")
+    return noise_variance_members(noise) / power

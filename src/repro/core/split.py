@@ -118,6 +118,52 @@ class SplitInferenceModel:
             correct += int((logits.argmax(axis=1) == labels[start:stop]).sum())
         return correct / len(labels)
 
+    def accuracy_from_activations_multi(
+        self,
+        activations: np.ndarray,
+        labels: np.ndarray,
+        member_noise: np.ndarray,
+        batch_size: int = 256,
+    ) -> np.ndarray:
+        """Per-member accuracies under an ``(M, *activation_shape)`` bank.
+
+        Evaluating a noise collection member-by-member costs M full remote
+        passes; here each activation chunk is tiled across all members and
+        pushed through the remote half once, amortising per-op overhead the
+        same way batched training does.
+
+        Args:
+            activations: ``(N, *activation_shape)`` cached activations.
+            labels: ``(N,)`` paired labels.
+            member_noise: ``(M, *activation_shape)`` noise bank.
+            batch_size: Total rows per remote pass (shared by the members).
+
+        Returns:
+            ``(M,)`` array of top-1 accuracies.
+        """
+        if len(activations) != len(labels):
+            raise ModelError("activations and labels must be paired")
+        member_noise = np.asarray(member_noise, dtype=np.float32)
+        if member_noise.ndim < 2 or member_noise.shape[1:] != activations.shape[1:]:
+            raise ModelError(
+                f"noise bank shape {member_noise.shape} does not match "
+                f"activations {activations.shape}"
+            )
+        m = len(member_noise)
+        chunk = max(1, batch_size // m)
+        correct = np.zeros(m, dtype=np.int64)
+        for start in range(0, len(labels), chunk):
+            stop = min(start + chunk, len(labels))
+            rows = stop - start
+            # (M, rows, ...) -> one (M*rows, ...) remote pass.
+            tiled = activations[None, start:stop] + member_noise[:, None]
+            logits = self.predict_from_activations(
+                tiled.reshape(m * rows, *activations.shape[1:])
+            )
+            predictions = logits.argmax(axis=1).reshape(m, rows)
+            correct += (predictions == labels[start:stop]).sum(axis=1)
+        return correct / len(labels)
+
     def __repr__(self) -> str:
         return (
             f"SplitInferenceModel({self.model.model_name}, cut={self.cut}, "

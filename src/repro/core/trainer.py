@@ -6,18 +6,38 @@ trainable tensor at the cut point, and minimise
 and not a function of the noise, its activations are precomputed once and
 the loop only evaluates the remote half — mathematically identical to
 running the full network (``∂L/∂n`` does not involve ``L(x, θ₁)``).
+
+Two training entry points share that machinery:
+
+* :meth:`NoiseTrainer.train` — one noise tensor, the paper's loop.
+* :meth:`NoiseTrainer.train_many` — all M members of a §2.5 noise
+  collection at once.  The remote half is frozen and identical for every
+  member, so the M independent mini-batches are stacked along the batch
+  axis and trained by ONE forward/backward per step.  Per-member batch
+  orders are drawn from the shared RNG in member order — exactly the
+  stream M sequential ``train`` calls would consume — and the summed
+  per-member loss hands each member's noise slice precisely its own
+  gradient, so batched results match sequential training (same seeds)
+  within floating-point tolerance at a fraction of the wall clock.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.core.activation_cache import materialize_activations_cached
 from repro.core.loss import ShredderLoss
-from repro.core.noise_tensor import NoiseTensor
+from repro.core.noise_tensor import MultiNoiseTensor, NoiseTensor
 from repro.core.schedules import ConstantLambda, LambdaSchedule
-from repro.core.snr import in_vivo_privacy_from_power, signal_power
+from repro.core.snr import (
+    in_vivo_privacy_from_power,
+    in_vivo_privacy_members,
+    signal_power,
+)
 from repro.core.split import SplitInferenceModel
 from repro.errors import TrainingError
 from repro.nn import Adam, Dataset, Tensor
@@ -57,8 +77,28 @@ class NoiseTrainingResult:
     epochs: float
 
 
+def _member_noisy_batch(activations: np.ndarray, bank: MultiNoiseTensor) -> Tensor:
+    """Member-stacked noisy activations as one fused tape node.
+
+    Forward: broadcast-add each member's noise slice to its own
+    ``(rows, ...)`` block of the ``(M, rows, ...)`` gathered activations
+    and flatten to ``(M*rows, ...)``.  Backward: the adjoint of the
+    broadcast — sum the incoming gradient over each member's rows — lands
+    directly on the bank.  One tape node instead of a reshape/add/reshape
+    chain; this runs once per training step.
+    """
+    m, rows = activations.shape[:2]
+    shape = bank.activation_shape
+    out = (activations + bank.data[:, None]).reshape(m * rows, *shape)
+
+    def backward(grad: np.ndarray) -> None:
+        bank.accumulate_grad(grad.reshape(m, rows, *shape).sum(axis=1))
+
+    return Tensor._make(out, (bank,), backward)
+
+
 class NoiseTrainer:
-    """Trains one noise tensor for a split model.
+    """Trains noise tensors for a split model.
 
     Args:
         split: The split backbone (weights frozen by the caller).
@@ -95,38 +135,73 @@ class NoiseTrainer:
         # training: BatchNorm uses its running statistics and dropout is
         # inactive, exactly as at deployment time.
         split.model.eval()
-        self.train_activations, self.train_labels = split.materialize_activations(
-            train_set
+        # Materialisation goes through the process-wide activation cache:
+        # repeated pipelines over the same (model, cut, dataset) — λ sweeps,
+        # benchmark suites — skip the local-half forward pass entirely.
+        self.train_activations, self.train_labels = materialize_activations_cached(
+            split, train_set
         )
-        self.eval_activations, self.eval_labels = split.materialize_activations(
-            eval_set
+        self.eval_activations, self.eval_labels = materialize_activations_cached(
+            split, eval_set
         )
         # E[a²] is a constant of the frozen network (paper §2.4: "the
         # numerator in our SNR formulation is constant").
         self.signal_power = signal_power(self.train_activations)
 
+    # ------------------------------------------------------------------
+    # Batch planning
+    # ------------------------------------------------------------------
+    def _batch_plan(self, iterations: int) -> np.ndarray:
+        """Draw one run's mini-batch index sequence from the shared RNG.
+
+        Replicates the lazy shuffled-epoch logic the training loop always
+        used (an initial permutation, re-shuffled whenever a full batch no
+        longer fits), consuming the RNG identically — so M sequential
+        ``train`` calls and one ``train_many(M)`` call see member-for-member
+        identical batches.
+
+        Returns:
+            ``(iterations, batch_size)`` index matrix (row = one step).
+            When ``batch_size > n`` every step is a fresh whole-set
+            permutation and the rows have length ``n`` instead.
+        """
+        n = len(self.train_labels)
+        batch = self.batch_size
+        if batch > n:
+            # Degenerate geometry: the loop re-shuffles every step and the
+            # batch is the whole (permuted) training set.
+            self._rng.permutation(n)  # the unused initial permutation
+            return np.stack([self._rng.permutation(n) for _ in range(iterations)])
+        per_epoch = n // batch
+        epochs = -(-iterations // per_epoch)
+        # One permutation per epoch with the ragged tail discarded — the
+        # exact index stream the lazy loop produces, drawn in one shot.
+        flat = np.concatenate(
+            [self._rng.permutation(n)[: per_epoch * batch] for _ in range(epochs)]
+        )
+        return flat.reshape(-1, batch)[:iterations]
+
+    def _check_noise_shape(self, per_sample_shape: tuple[int, ...]) -> None:
+        if per_sample_shape != self.split.activation_shape:
+            raise TrainingError(
+                f"noise shape {per_sample_shape} does not match the "
+                f"activation shape {self.split.activation_shape} at cut "
+                f"{self.split.cut!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Single-tensor training (paper §2.4)
+    # ------------------------------------------------------------------
     def train(self, noise: NoiseTensor, iterations: int) -> NoiseTrainingResult:
         """Run ``iterations`` Adam steps on ``noise`` and measure curves."""
         if iterations <= 0:
             raise TrainingError(f"iterations must be positive, got {iterations}")
-        if noise.per_sample.shape != self.split.activation_shape:
-            raise TrainingError(
-                f"noise shape {noise.per_sample.shape} does not match the "
-                f"activation shape {self.split.activation_shape} at cut "
-                f"{self.split.cut!r}"
-            )
+        self._check_noise_shape(noise.per_sample.shape)
         optimizer = Adam([noise], lr=self.lr)
         history = NoiseTrainingHistory()
         n = len(self.train_labels)
-        order = self._rng.permutation(n)
-        cursor = 0
-        for step in range(iterations):
-            if cursor + self.batch_size > n:
-                order = self._rng.permutation(n)
-                cursor = 0
-            batch = order[cursor : cursor + self.batch_size]
-            cursor += self.batch_size
-
+        plan = self._batch_plan(iterations)
+        for step, batch in enumerate(plan):
             privacy = in_vivo_privacy_from_power(self.signal_power, noise.data)
             lambda_now = self.schedule.coefficient(step, privacy)
             loss_fn = self.loss.with_lambda(lambda_now)
@@ -164,3 +239,159 @@ class NoiseTrainer:
             signal_power=self.signal_power,
             epochs=iterations * self.batch_size / n,
         )
+
+    # ------------------------------------------------------------------
+    # Batched multi-member training (paper §2.5, one loop for M members)
+    # ------------------------------------------------------------------
+    def train_many(
+        self,
+        noises: Sequence[NoiseTensor] | MultiNoiseTensor,
+        iterations: int,
+    ) -> list[NoiseTrainingResult]:
+        """Train M noise members simultaneously in one batched loop.
+
+        Every step stacks the members' mini-batches into one ``(M*B, ...)``
+        activation batch, adds each member's noise slice to its own rows,
+        runs a single remote forward/backward, and applies one Adam step to
+        the ``(M, ...)`` noise bank.  The summed per-member loss (see
+        :meth:`ShredderLoss.many`) makes each slice's gradient — and hence
+        Adam's elementwise update — identical to what M sequential
+        :meth:`train` calls would produce from the same initialisations,
+        while amortising all per-op overhead M-fold.
+
+        Per-member λ schedules are independent clones of ``self.schedule``,
+        so decay-on-target members trigger individually.
+
+        Args:
+            noises: Per-member initialisations, or a ready-made bank.
+            iterations: Adam steps (each trains every member once).
+
+        Returns:
+            One :class:`NoiseTrainingResult` per member, in input order.
+        """
+        if iterations <= 0:
+            raise TrainingError(f"iterations must be positive, got {iterations}")
+        if isinstance(noises, MultiNoiseTensor):
+            bank = noises
+        else:
+            if len(noises) == 0:
+                raise TrainingError("train_many needs at least one noise member")
+            bank = MultiNoiseTensor.from_members(list(noises))
+        self._check_noise_shape(bank.activation_shape)
+        m = bank.n_members
+        n = len(self.train_labels)
+        batch = self.batch_size
+        schedules = [self.schedule.clone() for _ in range(m)]
+        # Member-major draws replicate the RNG stream of sequential runs;
+        # (iterations, M, rows) so each step is a single 2-D gather.
+        plan_matrix = np.stack(
+            [self._batch_plan(iterations) for _ in range(m)], axis=1
+        )
+
+        optimizer = Adam([bank], lr=self.lr)
+        # History columns are recorded as arrays and unpacked once at the
+        # end: per-member Python bookkeeping inside the step loop would
+        # cost as much as the optimiser step itself.
+        ce_col = np.empty((iterations, m))
+        privacy_col = np.empty((iterations, m))
+        reg_col = np.empty((iterations, m))
+        lambda_col = np.empty((iterations, m))
+        reg_sign = 1.0
+        eval_steps: list[int] = []
+        eval_rows: list[np.ndarray] = []
+        # Constant-λ schedules (the default) do not consume the per-step
+        # privacy, so the history variances can be computed in one
+        # vectorised pass over per-step bank snapshots after the loop.
+        # Snapshots cost (iterations × bank) memory, so large geometries
+        # fall back to the per-step computation.
+        constant_lambda = all(
+            isinstance(schedule, ConstantLambda) for schedule in schedules
+        ) and iterations * bank.data.size <= 32_000_000
+        if constant_lambda:
+            fixed_lambdas = [schedule.value for schedule in schedules]
+            lambda_col[:] = fixed_lambdas
+            bank_snapshots = np.empty((iterations, *bank.data.shape), dtype=np.float32)
+        for step in range(iterations):
+            if constant_lambda:
+                bank_snapshots[step] = bank.data
+                lambdas = fixed_lambdas
+            else:
+                privacies = in_vivo_privacy_members(self.signal_power, bank.data)
+                privacy_col[step] = privacies
+                lambdas = [
+                    schedules[i].coefficient(step, privacies[i]) for i in range(m)
+                ]
+                lambda_col[step] = lambdas
+            indices = plan_matrix[step]
+            noisy = _member_noisy_batch(self.train_activations[indices], bank)
+            logits = self.split.remote(noisy)
+            targets = self.train_labels[indices].reshape(-1)
+            total, cross_entropies, reg_terms, reg_sign = self.loss.many_arrays(
+                logits, targets, bank, lambdas
+            )
+            if not math.isfinite(float(total.data)):
+                raise TrainingError(
+                    f"noise training diverged at iteration {step} "
+                    f"(member losses {cross_entropies + reg_sign * np.asarray(lambdas) * reg_terms})"
+                )
+            optimizer.zero_grad()
+            total.backward()
+            optimizer.step()
+
+            ce_col[step] = cross_entropies
+            reg_col[step] = reg_terms
+            if step % self.eval_every == 0 or step == iterations - 1:
+                # Fewer, fuller remote passes are the whole point of the
+                # multi-member evaluator; cap total rows to bound memory
+                # on wide activations.
+                eval_steps.append(step)
+                eval_rows.append(
+                    self.split.accuracy_from_activations_multi(
+                        self.eval_activations,
+                        self.eval_labels,
+                        bank.data,
+                        batch_size=min(4096, 1024 * m),
+                    )
+                )
+
+        if constant_lambda:
+            # Two-pass variance over every (step, member) snapshot,
+            # chunked so the float64 centering temporary stays small.
+            flat = bank_snapshots.reshape(iterations * m, -1)
+            variances = np.empty(len(flat))
+            rows_per_chunk = max(1, 4_000_000 // max(1, flat.shape[1]))
+            for start in range(0, len(flat), rows_per_chunk):
+                stop = min(start + rows_per_chunk, len(flat))
+                block = flat[start:stop]
+                means = block.mean(axis=1, dtype=np.float64)
+                centered = block - means[:, None]
+                variances[start:stop] = (
+                    np.einsum("ij,ij->i", centered, centered) / flat.shape[1]
+                )
+            privacy_col[:] = (variances / self.signal_power).reshape(iterations, m)
+        totals_col = ce_col + reg_sign * lambda_col * reg_col
+        accuracy_matrix = np.stack(eval_rows)
+        steps = list(range(iterations))
+        final_privacies = in_vivo_privacy_members(self.signal_power, bank.data)
+        results = []
+        for i in range(m):
+            history = NoiseTrainingHistory(
+                iterations=steps.copy(),
+                losses=totals_col[:, i].tolist(),
+                cross_entropies=ce_col[:, i].tolist(),
+                in_vivo_privacies=privacy_col[:, i].tolist(),
+                lambdas=lambda_col[:, i].tolist(),
+                accuracies=accuracy_matrix[:, i].tolist(),
+                accuracy_iterations=eval_steps.copy(),
+            )
+            results.append(
+                NoiseTrainingResult(
+                    noise=bank.member(i).copy(),
+                    history=history,
+                    final_in_vivo_privacy=float(final_privacies[i]),
+                    final_accuracy=history.accuracies[-1],
+                    signal_power=self.signal_power,
+                    epochs=iterations * batch / n,
+                )
+            )
+        return results

@@ -16,7 +16,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import Config
-from repro.core import NoiseCollection, SplitInferenceModel
+from repro.core import (
+    NoiseCollection,
+    SplitInferenceModel,
+    materialize_activations_cached,
+)
 from repro.eval.experiments import build_pipeline, load_benchmark
 from repro.eval.reporting import format_table
 from repro.privacy import estimate_leakage, mi_to_ex_vivo_privacy
@@ -118,7 +122,8 @@ def run_layerwise(
     points: list[LayerPrivacyPoint] = []
     for cut in cuts:
         split = SplitInferenceModel(bundle.model, cut)
-        activations, _ = split.materialize_activations(bundle.test_set)
+        # Cached: trained pipelines below re-materialise the same cut.
+        activations, _ = materialize_activations_cached(split, bundle.test_set)
         images = bundle.test_set.images
         baseline = estimate_leakage(
             images,

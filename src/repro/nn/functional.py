@@ -25,15 +25,31 @@ from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
     """Affine map ``x @ weight.T + bias``.
 
+    Fused into one tape node (the composed transpose/matmul/add chain costs
+    three nodes per call, which dominates small-layer forward passes).
+
     Args:
         x: ``(N, in_features)`` input.
         weight: ``(out_features, in_features)`` weight matrix.
         bias: Optional ``(out_features,)`` bias.
     """
-    out = x.matmul(weight.T)
+    if x.ndim != 2:
+        raise ShapeError(f"linear expects (N, in_features) input, got {x.shape}")
+    out_data = x.data @ weight.data.T
     if bias is not None:
-        out = out + bias
-    return out
+        out_data += bias.data
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x.accumulate_grad(grad @ weight.data)
+        if weight.requires_grad:
+            weight.accumulate_grad(grad.T @ x.data)
+        if bias is not None and bias.requires_grad:
+            bias.accumulate_grad(grad.sum(axis=0))
+
+    return Tensor._make(out_data, parents, backward)
 
 
 def conv2d(
@@ -74,12 +90,23 @@ def conv2d(
         out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
 
     parents = [x, weight] + ([bias] if bias is not None else [])
+    # The im2col matrix is deliberately NOT captured by the closure: keeping
+    # one (N, C*KH*KW, OH*OW) copy per conv alive for the life of the tape
+    # dominates peak training memory.  The backward pass re-derives the
+    # windows as a free strided view of x.data and contracts it directly.
+    del cols, windows
 
     def backward(grad: np.ndarray) -> None:
         g = grad.reshape(n, c_out, oh * ow)
         if weight.requires_grad:
-            grad_w = np.matmul(g, cols.transpose(0, 2, 1)).sum(axis=0)
-            weight.accumulate_grad(grad_w.reshape(weight.shape))
+            windows_view = extract_windows(x.data, (kh, kw), stride, padding)
+            grad_w = np.einsum(
+                "nopq,ncijpq->ocij",
+                grad,
+                windows_view,
+                optimize=True,
+            )
+            weight.accumulate_grad(grad_w)
         if bias is not None and bias.requires_grad:
             bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
         if x.requires_grad:

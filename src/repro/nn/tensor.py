@@ -349,7 +349,8 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
-        out_data = np.where(mask, self.data, 0.0).astype(self.data.dtype)
+        # Single-pass maximum: where()+astype would copy the array twice.
+        out_data = np.maximum(self.data, 0.0)
 
         def backward(grad: np.ndarray) -> None:
             self.accumulate_grad(grad * mask)

@@ -26,6 +26,8 @@ from repro.privacy.entropy import (
     gaussian_entropy,
     histogram_entropy,
     kl_entropy,
+    kl_entropy_reference,
+    kth_neighbor_distances,
     unit_ball_log_volume,
 )
 from repro.privacy.gaussian import (
@@ -46,6 +48,7 @@ from repro.privacy.mutual_information import (
     discrete_mutual_information,
     entropy_sum_mi,
     ksg_mutual_information,
+    ksg_mutual_information_reference,
 )
 from repro.privacy.reduction import PCAReducer, flatten_batch
 
@@ -78,7 +81,10 @@ __all__ = [
     "information_loss_bits",
     "information_loss_percent",
     "kl_entropy",
+    "kl_entropy_reference",
     "ksg_mutual_information",
+    "ksg_mutual_information_reference",
+    "kth_neighbor_distances",
     "mi_to_ex_vivo_privacy",
     "multivariate_gaussian_mi_bits",
     "snr_to_in_vivo_privacy",

@@ -39,6 +39,7 @@ def test_example_runs(tmp_path, script, args):
         timeout=600,
         env={
             "PATH": "/usr/bin:/bin",
+            "PYTHONPATH": str(Path(__file__).parents[2] / "src"),
             "REPRO_CACHE_DIR": str(tmp_path),
             "REPRO_SCALE": "tiny",
             "HOME": str(tmp_path),
