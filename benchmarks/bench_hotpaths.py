@@ -201,8 +201,17 @@ def main() -> int:
         f"{cache['warm_construct_s']*1e3:.0f}ms warm ({cache['speedup']:.0f}x)"
     )
 
-    report = {
-        "meta": {
+    # Merge into the existing report so sections owned by other benchmarks
+    # (e.g. bench_serving.py's "serving") survive a hot-path rerun.
+    report: dict = {}
+    if args.output.exists():
+        try:
+            report = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report.setdefault("meta", {})
+    report["meta"].update(
+        {
             "smoke": args.smoke,
             "scale": config.scale.name,
             "python": platform.python_version(),
@@ -210,11 +219,11 @@ def main() -> int:
             "scipy": scipy.__version__,
             "machine": platform.machine(),
             "fastknn_kernel": _fastknn.available(),
-        },
-        "estimators": estimators,
-        "collect": collect,
-        "activation_cache": cache,
-    }
+        }
+    )
+    report["estimators"] = estimators
+    report["collect"] = collect
+    report["activation_cache"] = cache
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")
 

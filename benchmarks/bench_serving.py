@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Serving-runtime load generator: sequential vs batched requests/sec.
+
+Drives a stream of single-image requests through (a) the retained
+sequential reference path (:class:`repro.edge.InferenceSession`, one wire
+round trip per request) and (b) the batched serving engine
+(:class:`repro.serve.BatchedInferenceSession`) at one or more batching
+windows, plus a quantised-wire variant.  Verifies the parity contract
+(bit-identical logits between sequential and unquantised batched serving
+on the same stream) and records requests/sec into the ``serving`` section
+of ``BENCH_hotpaths.json``.
+
+Run:
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke] [--output PATH]
+
+Exit status is non-zero when the batched engine misses its speedup target:
+>= 3x over sequential at the acceptance window (full run), or simply
+faster than sequential (``--smoke``, used by CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.config import Config, get_scale
+from repro.core import NoiseCollection, SplitInferenceModel
+from repro.edge import Channel, InferenceSession
+from repro.serve import BatchedInferenceSession
+
+
+ACCEPTANCE_WINDOW = 8
+ACCEPTANCE_SPEEDUP = 3.0
+
+
+def build_collection(split: SplitInferenceModel, members: int) -> NoiseCollection:
+    """A synthetic noise collection (serving perf is training-agnostic)."""
+    rng = np.random.default_rng(0)
+    collection = NoiseCollection(split.activation_shape)
+    for _ in range(members):
+        collection.add(
+            rng.laplace(0.0, 0.05, size=split.activation_shape).astype(np.float32),
+            accuracy=0.0,
+            in_vivo_privacy=0.0,
+        )
+    return collection
+
+
+def serve_sequential(make_session, stream) -> tuple[float, list[np.ndarray]]:
+    """Wall seconds and per-request logits for the sequential path."""
+    session = make_session()
+    start = time.perf_counter()
+    logits = [session.infer(images) for images in stream]
+    return time.perf_counter() - start, logits
+
+
+def serve_batched(make_session, stream) -> tuple[float, list[np.ndarray], object]:
+    """Wall seconds, per-request logits, and the session (for metrics)."""
+    session = make_session()
+    start = time.perf_counter()
+    logits = session.infer_stream(stream)
+    return time.perf_counter() - start, logits, session
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpaths.json",
+        help="JSON report to merge the 'serving' section into",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload for CI; gate is 'batched beats sequential'",
+    )
+    parser.add_argument("--requests", type=int, default=None)
+    parser.add_argument(
+        "--windows", type=int, nargs="*", default=None,
+        help="batch windows to measure (default: 8 16 32; smoke: 8)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    from repro.models import get_pretrained
+
+    config = Config(scale=get_scale("tiny" if args.smoke else None))
+    requests = args.requests or (64 if args.smoke else 512)
+    windows = args.windows or ([ACCEPTANCE_WINDOW] if args.smoke else [8, 16, 32])
+    repeats = max(1, args.repeats)
+
+    bundle = get_pretrained("lenet", config)
+    split = SplitInferenceModel(bundle.model)
+    cut = split.cut
+    collection = build_collection(split, members=8)
+    images = bundle.test_set.images
+    stream = [images[i % len(images)][None] for i in range(requests)]
+    mean = np.zeros(1, dtype=np.float32)
+    std = np.ones(1, dtype=np.float32)
+
+    def sequential_session() -> InferenceSession:
+        return InferenceSession(
+            bundle.model, cut, mean, std, noise=collection,
+            channel=Channel(), rng=np.random.default_rng(7),
+        )
+
+    def batched_session(window: int, quantization=None) -> BatchedInferenceSession:
+        return BatchedInferenceSession(
+            bundle.model, cut, mean, std, noise=collection,
+            channel=Channel(), rng=np.random.default_rng(7),
+            batch_window=window, quantization=quantization,
+        )
+
+    # Warm both paths (imports, executor plans, allocator) off the clock.
+    serve_sequential(sequential_session, stream[:8])
+    serve_batched(lambda: batched_session(windows[0]), stream[:8])
+
+    print(f"workload: {requests} single-image lenet requests @ {config.scale.name}")
+    # The workload is deterministic (fresh identically-seeded sessions per
+    # run), so logits are captured from the timed repeats themselves.
+    seq_s = float("inf")
+    for _ in range(repeats):
+        elapsed, seq_logits = serve_sequential(sequential_session, stream)
+        seq_s = min(seq_s, elapsed)
+    seq_rps = requests / seq_s
+    print(f"sequential: {seq_s*1e3:8.1f} ms  {seq_rps:8.0f} req/s")
+
+    serving: dict = {
+        "model": "lenet",
+        "scale": config.scale.name,
+        "requests": requests,
+        "noise_members": len(collection),
+        "sequential": {"seconds": seq_s, "requests_per_second": seq_rps},
+        "windows": {},
+    }
+    gate_ok = True
+    for window in windows:
+        bat_s = float("inf")
+        for _ in range(repeats):
+            elapsed, bat_logits, session = serve_batched(
+                lambda: batched_session(window), stream
+            )
+            bat_s = min(bat_s, elapsed)
+        identical = all(
+            np.array_equal(a, b) for a, b in zip(seq_logits, bat_logits)
+        )
+        speedup = seq_s / bat_s
+        metrics = session.metrics.as_dict()
+        serving["windows"][str(window)] = {
+            "seconds": bat_s,
+            "requests_per_second": requests / bat_s,
+            "speedup": speedup,
+            "bitwise_parity": identical,
+            "mean_occupancy": metrics["mean_occupancy"],
+            "latency_p50_ms": metrics["latency_p50_ms"],
+            "latency_p99_ms": metrics["latency_p99_ms"],
+            "uplink_bytes": metrics["uplink_bytes"],
+        }
+        print(
+            f"batched w{window:<3d} {bat_s*1e3:8.1f} ms  {requests/bat_s:8.0f} req/s "
+            f"({speedup:.2f}x, parity={'OK' if identical else 'FAIL'})"
+        )
+        if not identical:
+            gate_ok = False
+
+    # Quantised wire at the acceptance window (not part of the parity gate:
+    # quantisation is deliberately lossy).
+    from repro.edge import calibrate
+
+    calib = split.activations(images[: min(64, len(images))])
+    calib = calib + collection.sample_batch(np.random.default_rng(1), len(calib))
+    params = calibrate(calib, bits=8)
+    quant_window = windows[0]
+    quant_s = float("inf")
+    for _ in range(repeats):
+        elapsed, quant_logits, quant_session = serve_batched(
+            lambda: batched_session(quant_window, params), stream
+        )
+        quant_s = min(quant_s, elapsed)
+    label_agreement = float(
+        np.mean(
+            np.concatenate([l.argmax(axis=1) for l in quant_logits])
+            == np.concatenate([l.argmax(axis=1) for l in seq_logits])
+        )
+    )
+    serving["quantized"] = {
+        "bits": 8,
+        "window": quant_window,
+        "seconds": quant_s,
+        "requests_per_second": requests / quant_s,
+        "label_agreement_vs_sequential": label_agreement,
+        "uplink_bytes": quant_session.metrics.uplink_bytes,
+        "uplink_ratio_vs_float32": (
+            quant_session.metrics.uplink_bytes
+            / serving["windows"][str(quant_window)]["uplink_bytes"]
+        ),
+    }
+    print(
+        f"quantized w{quant_window} (8-bit): {requests/quant_s:8.0f} req/s, "
+        f"uplink x{serving['quantized']['uplink_ratio_vs_float32']:.2f}, "
+        f"label agreement {label_agreement:.1%}"
+    )
+
+    # Merge into the hot-path report without clobbering other sections.
+    report: dict = {}
+    if args.output.exists():
+        try:
+            report = json.loads(args.output.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report.setdefault("meta", {})
+    report["meta"].update(
+        {
+            "serving_smoke": args.smoke,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        }
+    )
+    report["serving"] = serving
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    acceptance = serving["windows"].get(str(ACCEPTANCE_WINDOW))
+    if acceptance is None:
+        acceptance = serving["windows"][str(windows[0])]
+    if args.smoke:
+        ok = gate_ok and acceptance["speedup"] > 1.0
+        print(
+            f"smoke gate: batched beats sequential "
+            f"({'PASS' if ok else 'FAIL'}, {acceptance['speedup']:.2f}x)"
+        )
+    else:
+        ok = gate_ok and acceptance["speedup"] >= ACCEPTANCE_SPEEDUP
+        print(
+            f"target: >= {ACCEPTANCE_SPEEDUP:.0f}x at window {ACCEPTANCE_WINDOW} "
+            f"({'PASS' if ok else 'FAIL'}, {acceptance['speedup']:.2f}x), "
+            f"bitwise parity ({'PASS' if gate_ok else 'FAIL'})"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,10 @@ Packages:
 * :mod:`repro.privacy` — kNN mutual-information estimators (ITE substitute),
   confidence intervals, and analytic SNR↔MI leakage brackets.
 * :mod:`repro.core` — the Shredder noise-learning framework itself.
-* :mod:`repro.edge` — cost / energy models, wire quantisation, and the
-  simulated edge/cloud deployment.
+* :mod:`repro.edge` — cost / energy models, wire quantisation, the
+  batch-invariant executor, and the simulated edge/cloud deployment.
+* :mod:`repro.serve` — the throughput-oriented serving runtime: request
+  queue, micro-batcher, batched wire frames, per-session metrics.
 * :mod:`repro.attacks` — operational adversaries (reconstruction, label
   inference, re-identification) against the communicated tensors.
 * :mod:`repro.eval` — the harness regenerating Table 1 and Figures 3-6.

@@ -1,0 +1,45 @@
+"""Blocked squared-distance computation shared by the matching attacks.
+
+Both the nearest-neighbour inverter and the re-identification attack
+reduce to the same primitive: squared Euclidean distances between a batch
+of observed activations and a fixed reference set, computed via the
+``||a-b||² = ||a||² + ||b||² - 2ab`` expansion — one GEMM per block of
+observations, so the temporary distance matrix stays flat in the number of
+observations (ROADMAP "attack loops" hot path).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+#: Upper bound on the elements of one observations × reference distance
+#: block.
+BLOCK_ELEMENTS = 4_000_000
+
+
+def distance_block_rows(reference_size: int) -> int:
+    """Observation rows per blocked distance computation."""
+    return max(1, BLOCK_ELEMENTS // max(1, reference_size))
+
+
+def iter_distance_blocks(
+    observed: np.ndarray,
+    reference: np.ndarray,
+    reference_norms: np.ndarray,
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(start_row, distances)`` blocks of the full distance matrix.
+
+    Args:
+        observed: ``(N, D)`` float64 observations.
+        reference: ``(P, D)`` float64 reference set.
+        reference_norms: Precomputed ``(P,)`` squared norms of the rows of
+            ``reference``.
+    """
+    rows = distance_block_rows(len(reference))
+    for start in range(0, len(observed), rows):
+        block = observed[start : start + rows]
+        cross = block @ reference.T
+        block_norms = (block**2).sum(axis=1, keepdims=True)
+        yield start, block_norms + reference_norms[None, :] - 2.0 * cross

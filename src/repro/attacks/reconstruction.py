@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.attacks._matching import iter_distance_blocks
 from repro.attacks.metrics import (
     ReconstructionReport,
     mean_squared_error,
@@ -34,6 +35,10 @@ def _flatten(batch: np.ndarray) -> np.ndarray:
 class NearestNeighbourInverter:
     """Reconstruct inputs by nearest-neighbour search in activation space.
 
+    Candidate matching runs as blocked matrix ops (the ``||a-b||²``
+    expansion) rather than a per-sample Python loop; the loop form is kept
+    as :meth:`reconstruct_reference` for parity testing.
+
     Args:
         corpus_inputs: ``(N, ...)`` attacker-known inputs.
         corpus_activations: ``(N, ...)`` matching observed activations.
@@ -46,21 +51,42 @@ class NearestNeighbourInverter:
             raise ConfigurationError("attack corpus must not be empty")
         self._inputs = np.asarray(corpus_inputs)
         self._activations = _flatten(corpus_activations)
+        self._corpus_norms = (self._activations**2).sum(axis=1)
 
-    def reconstruct(self, activations: np.ndarray) -> np.ndarray:
-        """Best-match inputs for each observed activation."""
-        observed = _flatten(activations)
+    def _check_width(self, observed: np.ndarray) -> None:
         if observed.shape[1] != self._activations.shape[1]:
             raise EstimatorError(
                 f"activation width {observed.shape[1]} does not match the "
                 f"corpus width {self._activations.shape[1]}"
             )
-        # Squared distances via the expansion ||a-b||² = ||a||²+||b||²-2ab.
-        cross = observed @ self._activations.T
-        corpus_norms = (self._activations**2).sum(axis=1)
-        observed_norms = (observed**2).sum(axis=1, keepdims=True)
-        distances = observed_norms + corpus_norms[None, :] - 2.0 * cross
-        best = distances.argmin(axis=1)
+
+    def match_indices(self, activations: np.ndarray) -> np.ndarray:
+        """Corpus index of the nearest activation per observation."""
+        observed = _flatten(activations)
+        self._check_width(observed)
+        best = np.empty(len(observed), dtype=np.int64)
+        for start, distances in iter_distance_blocks(
+            observed, self._activations, self._corpus_norms
+        ):
+            best[start : start + len(distances)] = distances.argmin(axis=1)
+        return best
+
+    def reconstruct(self, activations: np.ndarray) -> np.ndarray:
+        """Best-match inputs for each observed activation."""
+        return self._inputs[self.match_indices(activations)]
+
+    def reconstruct_reference(self, activations: np.ndarray) -> np.ndarray:
+        """Per-sample loop implementation (pre-vectorisation reference).
+
+        Kept for parity tests and benchmarking; computes each observation's
+        distances to the whole corpus one sample at a time.
+        """
+        observed = _flatten(activations)
+        self._check_width(observed)
+        best = np.empty(len(observed), dtype=np.int64)
+        for index, row in enumerate(observed):
+            deltas = self._activations - row[None, :]
+            best[index] = (deltas**2).sum(axis=1).argmin()
         return self._inputs[best]
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.attacks._matching import iter_distance_blocks
 from repro.errors import ConfigurationError, EstimatorError
 
 
@@ -78,8 +79,7 @@ class ReidentificationAttack:
         """Number of candidates."""
         return len(self._pool)
 
-    def rank_candidates(self, observed: np.ndarray) -> np.ndarray:
-        """Candidate indices per observation, nearest first ``(N, P)``."""
+    def _flat_observed(self, observed: np.ndarray) -> np.ndarray:
         observed = np.asarray(observed)
         flat = observed.reshape(len(observed), -1).astype(np.float64)
         if flat.shape[1] != self._pool.shape[1]:
@@ -87,11 +87,39 @@ class ReidentificationAttack:
                 f"activation width {flat.shape[1]} does not match the pool "
                 f"width {self._pool.shape[1]}"
             )
-        cross = flat @ self._pool.T
+        return flat
+
+    def rank_candidates(self, observed: np.ndarray) -> np.ndarray:
+        """Candidate indices per observation, nearest first ``(N, P)``.
+
+        The distance matrix is computed in observation blocks — one GEMM
+        per block via the shared ``||a-b||²`` expansion helper — so memory
+        stays flat in the number of observations while the matching itself
+        is a single matrix op (no per-sample Python loop; see
+        :meth:`rank_candidates_reference` for the retained loop form).
+        """
+        flat = self._flat_observed(observed)
         pool_norms = (self._pool**2).sum(axis=1)
-        observed_norms = (flat**2).sum(axis=1, keepdims=True)
-        distances = observed_norms + pool_norms[None, :] - 2.0 * cross
-        return np.argsort(distances, axis=1, kind="stable")
+        ranking = np.empty((len(flat), self.pool_size), dtype=np.int64)
+        for start, distances in iter_distance_blocks(flat, self._pool, pool_norms):
+            ranking[start : start + len(distances)] = np.argsort(
+                distances, axis=1, kind="stable"
+            )
+        return ranking
+
+    def rank_candidates_reference(self, observed: np.ndarray) -> np.ndarray:
+        """Per-observation loop implementation (pre-vectorisation reference).
+
+        Kept for parity tests and benchmarking.
+        """
+        flat = self._flat_observed(observed)
+        pool_norms = (self._pool**2).sum(axis=1)
+        ranking = np.empty((len(flat), self.pool_size), dtype=np.int64)
+        for index, row in enumerate(flat):
+            cross = self._pool @ row
+            distances = (row @ row) + pool_norms - 2.0 * cross
+            ranking[index] = np.argsort(distances, kind="stable")
+        return ranking
 
     def evaluate(
         self, observed: np.ndarray, true_indices: np.ndarray, k: int = 5

@@ -14,6 +14,7 @@ writing code:
     python -m repro summary --network alexnet
     python -m repro costs  --network svhn
     python -m repro collect --network lenet --out noise.npz
+    python -m repro serve --network lenet --batch-window 8
     python -m repro bounds --signal-power 4.0
     python -m repro report --out results/REPORT.md
 """
@@ -164,6 +165,64 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.edge import Channel
+    from repro.eval import build_pipeline, load_benchmark
+
+    config = _make_config(args)
+    bundle, benchmark = load_benchmark(args.network, config, verbose=True)
+    pipeline = build_pipeline(bundle, benchmark, config)
+    members = args.members or benchmark.n_members
+    print(f"training {members} noise tensors for {args.network} ...")
+    collection = pipeline.collect(members)
+
+    channel = Channel(
+        bandwidth_mbps=args.bandwidth_mbps, latency_ms=args.latency_ms
+    )
+    session = pipeline.deploy(
+        collection,
+        batch_window=args.batch_window,
+        channel=channel,
+        quantize_bits=args.quantize_bits,
+    )
+    images = bundle.test_set.images
+    labels = bundle.test_set.labels
+    requests = min(args.requests, len(images))
+    print(
+        f"serving {requests} single-image requests through the batched "
+        f"runtime (window {args.batch_window}"
+        + (f", {args.quantize_bits}-bit wire" if args.quantize_bits else "")
+        + ") ..."
+    )
+    import time
+
+    start = time.perf_counter()
+    predictions = session.classify_stream(
+        [images[i : i + 1] for i in range(requests)]
+    )
+    batched_elapsed = time.perf_counter() - start
+    accuracy = float(np.mean(np.concatenate(predictions) == labels[:requests]))
+    print()
+    print(session.metrics.format())
+    print(f"accuracy          {accuracy:.1%} (clean backbone {bundle.test_accuracy:.1%})")
+    if args.compare_sequential:
+        sequential = pipeline.deploy(collection, batched=False)
+        start = time.perf_counter()
+        for i in range(requests):
+            sequential.infer(images[i : i + 1])
+        elapsed = time.perf_counter() - start
+        # Same timing boundary on both sides: full wall clock around the
+        # whole request stream (submission to collected predictions).
+        print(
+            f"sequential        {requests / elapsed:.0f} req/s "
+            f"({elapsed * 1e3:.1f} ms wall) -> batched speedup "
+            f"{elapsed / batched_elapsed:.2f}x"
+        )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.eval import render_report, write_report
 
@@ -204,6 +263,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "collect": _cmd_collect,
     "bounds": _cmd_bounds,
     "report": _cmd_report,
+    "serve": _cmd_serve,
 }
 
 
@@ -267,6 +327,34 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument(
         "--fit", choices=["laplace", "gaussian"], default=None,
         help="also fit and save a parametric distribution over the members",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the batched split-inference serving runtime on test traffic",
+    )
+    serve.add_argument("--network", default="lenet")
+    serve.add_argument(
+        "--batch-window", type=int, default=8,
+        help="requests stacked per micro-batch (default 8)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=64,
+        help="single-image requests to serve from the test set",
+    )
+    serve.add_argument(
+        "--members", type=int, default=None,
+        help="noise collection size (default: the benchmark's configured size)",
+    )
+    serve.add_argument(
+        "--quantize-bits", type=int, default=None,
+        help="quantise each stacked uplink payload to this many bits",
+    )
+    serve.add_argument("--bandwidth-mbps", type=float, default=100.0)
+    serve.add_argument("--latency-ms", type=float, default=10.0)
+    serve.add_argument(
+        "--compare-sequential", action="store_true",
+        help="also time the sequential reference path on the same stream",
     )
 
     report = sub.add_parser(

@@ -10,7 +10,10 @@
    which matches member-at-a-time training numerically at a fraction of
    the wall clock,
 5. measure clean/noisy accuracy and the input↔activation mutual
-   information with and without noise (the Table 1 quantities).
+   information with and without noise (the Table 1 quantities),
+6. ``deploy()`` the trained collection as a serving session — by default
+   the batched multi-user runtime of :mod:`repro.serve`, with the
+   sequential Figure 2 path retained as the bit-for-bit reference.
 
 Activations of the frozen local half are materialised through the shared
 :mod:`repro.core.activation_cache`, so repeated pipelines over the same
@@ -20,10 +23,15 @@ Activations of the frozen local half are materialised through the shared
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.config import Config, get_scale
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.edge.channel import Channel
 from repro.core.distribution import FittedNoiseDistribution
 from repro.core.loss import ShredderLoss
 from repro.core.noise_tensor import NoiseTensor
@@ -86,6 +94,10 @@ class ShredderPipeline:
         schedule: Optional λ schedule (decay-on-target etc.).
         lr: Adam learning rate for the noise.
         config: Seed/scale configuration.
+        eval_subset: When set, the trainer's intermediate accuracy probes
+            use a rotating held-out subset of this size instead of the full
+            eval set (final probes stay full-set; see
+            :class:`~repro.core.trainer.NoiseTrainer`).
     """
 
     def __init__(
@@ -98,6 +110,7 @@ class ShredderPipeline:
         schedule: LambdaSchedule | None = None,
         lr: float = 1e-2,
         config: Config | None = None,
+        eval_subset: int | None = None,
     ) -> None:
         self.bundle = bundle
         self.config = config or Config(scale=get_scale())
@@ -115,6 +128,8 @@ class ShredderPipeline:
             lr=lr,
             batch_size=self.config.scale.batch_size,
             rng=np.random.default_rng(self.config.child_seed("noise-batches")),
+            eval_subset=eval_subset,
+            eval_rng=np.random.default_rng(self.config.child_seed("eval-subset")),
         )
 
     # ------------------------------------------------------------------
@@ -270,6 +285,76 @@ class ShredderPipeline:
             model_parameters=model_parameters,
             params_ratio_percent=100.0 * noise_elements / model_parameters,
             epochs=epochs if epochs is not None else 0.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        noise: NoiseCollection | None = None,
+        *,
+        batched: bool = True,
+        batch_window: int = 8,
+        channel: Channel | None = None,
+        quantize_bits: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        """Stand up a serving session for this pipeline's split backbone.
+
+        By default this returns the batched serving runtime
+        (:class:`repro.serve.BatchedInferenceSession`): a request queue and
+        micro-batcher in front of one stacked edge/cloud round trip per
+        ``batch_window`` requests.  ``batched=False`` returns the retained
+        sequential reference path (:class:`repro.edge.InferenceSession`);
+        the two produce bit-identical predictions on the same request
+        stream when given identically seeded generators.
+
+        The bundle's datasets are already normalised, so the device is
+        configured with identity normalisation.
+
+        Args:
+            noise: Trained collection (e.g. from :meth:`collect`); ``None``
+                deploys the privacy-free baseline.
+            batched: Choose the serving runtime or the sequential path.
+            batch_window: Requests stacked per micro-batch.
+            channel: Link model (default: fast clean link).
+            quantize_bits: When set, calibrate an affine quantiser on the
+                held-out (noisy) activations and quantise each stacked
+                uplink payload once (batched sessions only).
+            rng: Noise-sampling randomness; defaults to a config-derived
+                seed so deployments are reproducible.
+        """
+        from repro.edge import InferenceSession, calibrate
+        from repro.serve import BatchedInferenceSession
+
+        channels = self.bundle.model.input_shape[0]
+        mean = np.zeros(channels, dtype=np.float32)
+        std = np.ones(channels, dtype=np.float32)
+        rng = rng or np.random.default_rng(self.config.child_seed("serving"))
+        if not batched:
+            if quantize_bits is not None:
+                raise ConfigurationError(
+                    "quantised payloads are a batched-wire feature; "
+                    "deploy(batched=True) to use quantize_bits"
+                )
+            return InferenceSession(
+                self.bundle.model, self.split.cut, mean, std, noise,
+                channel=channel, rng=rng,
+            )
+        quantization = None
+        if quantize_bits is not None:
+            calibration = self.trainer.eval_activations
+            if noise is not None and len(noise):
+                calibration = calibration + noise.sample_batch(
+                    np.random.default_rng(self.config.child_seed("quant-calib")),
+                    len(calibration),
+                )
+            quantization = calibrate(calibration, bits=quantize_bits)
+        return BatchedInferenceSession(
+            self.bundle.model, self.split.cut, mean, std, noise,
+            channel=channel, rng=rng, batch_window=batch_window,
+            quantization=quantization,
         )
 
     def run(

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -99,6 +99,24 @@ class NoiseCollection:
         if not self._samples:
             raise TrainingError("cannot sample from an empty noise collection")
         indices = rng.integers(0, len(self._samples), size=n)
+        return self._member_stack()[indices]
+
+    def sample_splits(
+        self, rng: np.random.Generator, splits: Sequence[int]
+    ) -> np.ndarray:
+        """Per-request draws for a micro-batch of ``splits`` row counts.
+
+        One vectorised ``rng.integers`` call of ``sum(splits)`` values and
+        one stacked member gather.  NumPy's bounded-integer generation
+        consumes the bit stream element by element, so this draws exactly
+        the indices the equivalent sequence of per-request
+        :meth:`sample_batch` calls would — the serving runtime's parity
+        contract, locked in by ``tests/core/test_sampler.py``.
+        """
+        if not self._samples:
+            raise TrainingError("cannot sample from an empty noise collection")
+        total = int(sum(int(rows) for rows in splits))
+        indices = rng.integers(0, len(self._samples), size=total)
         return self._member_stack()[indices]
 
     def sample_elementwise(self, rng: np.random.Generator) -> np.ndarray:

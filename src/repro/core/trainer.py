@@ -9,6 +9,12 @@ running the full network (``∂L/∂n`` does not involve ``L(x, θ₁)``).
 
 Two training entry points share that machinery:
 
+Intermediate held-out accuracy probes can run on a rotating eval subset
+(``eval_subset``) instead of the full eval set — probing only reads, so the
+trained noise is unchanged while collection training stops paying the
+full-eval-set cost every ``eval_every`` steps (the final probe stays
+full-set).
+
 * :meth:`NoiseTrainer.train` — one noise tensor, the paper's loop.
 * :meth:`NoiseTrainer.train_many` — all M members of a §2.5 noise
   collection at once.  The remote half is frozen and identical for every
@@ -97,6 +103,37 @@ def _member_noisy_batch(activations: np.ndarray, bank: MultiNoiseTensor) -> Tens
     return Tensor._make(out, (bank,), backward)
 
 
+class _StreamingEvalPlan:
+    """Rotating eval-subset index stream for cheap accuracy probes.
+
+    Each probe takes the next ``subset`` indices of a shuffled permutation
+    of the eval set, re-shuffling when exhausted — over many probes the
+    whole set is covered (streaming), while each individual probe costs
+    ``subset / n`` of a full evaluation.  The plan owns its generator so
+    probing never perturbs the training batch stream (which is what keeps
+    subset-eval runs bit-identical in their trained noise to full-eval
+    runs).
+    """
+
+    def __init__(self, n: int, subset: int, rng: np.random.Generator) -> None:
+        if subset < 1:
+            raise TrainingError(f"eval subset must be >= 1, got {subset}")
+        self.n = n
+        self.subset = min(subset, n)
+        self._rng = rng
+        self._order = rng.permutation(n)
+        self._cursor = 0
+
+    def indices(self) -> np.ndarray:
+        """The next probe's eval-set indices."""
+        if self._cursor + self.subset > self.n:
+            self._order = self._rng.permutation(self.n)
+            self._cursor = 0
+        window = self._order[self._cursor : self._cursor + self.subset]
+        self._cursor += self.subset
+        return window
+
+
 class NoiseTrainer:
     """Trains noise tensors for a split model.
 
@@ -110,6 +147,12 @@ class NoiseTrainer:
         batch_size: Mini-batch size over cached activations.
         eval_every: Iterations between held-out accuracy measurements.
         rng: Randomness for batching (noise init happens outside).
+        eval_subset: When set, intermediate ``eval_every`` accuracy probes
+            use a rotating subset of this many held-out samples instead of
+            the full eval set (the final probe always runs on the full set,
+            so ``final_accuracy`` stays unbiased).  Subset probing never
+            touches the batching RNG, so the trained noise is unchanged.
+        eval_rng: Randomness for the subset rotation (fixed default seed).
     """
 
     def __init__(
@@ -123,6 +166,8 @@ class NoiseTrainer:
         batch_size: int = 32,
         eval_every: int = 20,
         rng: np.random.Generator | None = None,
+        eval_subset: int | None = None,
+        eval_rng: np.random.Generator | None = None,
     ) -> None:
         self.split = split
         self.loss = loss
@@ -131,6 +176,9 @@ class NoiseTrainer:
         self.batch_size = batch_size
         self.eval_every = eval_every
         self._rng = rng or np.random.default_rng()
+        self.eval_subset = eval_subset
+        self._eval_rng = eval_rng or np.random.default_rng(0)
+        self._eval_plan: _StreamingEvalPlan | None = None
         # The backbone is frozen *and* in eval mode throughout noise
         # training: BatchNorm uses its running statistics and dropout is
         # inactive, exactly as at deployment time.
@@ -147,6 +195,48 @@ class NoiseTrainer:
         # E[a²] is a constant of the frozen network (paper §2.4: "the
         # numerator in our SNR formulation is constant").
         self.signal_power = signal_power(self.train_activations)
+
+    # ------------------------------------------------------------------
+    # Accuracy probing (streaming subset evaluator)
+    # ------------------------------------------------------------------
+    def _probe_indices(self, final: bool) -> np.ndarray | None:
+        """Eval rows for one accuracy probe (``None`` = whole eval set)."""
+        if (
+            final
+            or self.eval_subset is None
+            or self.eval_subset >= len(self.eval_labels)
+        ):
+            return None
+        if self._eval_plan is None:
+            self._eval_plan = _StreamingEvalPlan(
+                len(self.eval_labels), self.eval_subset, self._eval_rng
+            )
+        return self._eval_plan.indices()
+
+    def _probe_accuracy(self, noise_data: np.ndarray, final: bool) -> float:
+        """One accuracy probe for a single noise tensor."""
+        indices = self._probe_indices(final)
+        if indices is None:
+            return self.split.accuracy_from_activations(
+                self.eval_activations, self.eval_labels, noise_data
+            )
+        return self.split.accuracy_from_activations(
+            self.eval_activations[indices], self.eval_labels[indices], noise_data
+        )
+
+    def _probe_accuracy_multi(
+        self, bank_data: np.ndarray, batch_size: int, final: bool
+    ) -> np.ndarray:
+        """One per-member accuracy probe for a noise bank."""
+        indices = self._probe_indices(final)
+        if indices is None:
+            activations, labels = self.eval_activations, self.eval_labels
+        else:
+            activations = self.eval_activations[indices]
+            labels = self.eval_labels[indices]
+        return self.split.accuracy_from_activations_multi(
+            activations, labels, bank_data, batch_size=batch_size
+        )
 
     # ------------------------------------------------------------------
     # Batch planning
@@ -224,8 +314,8 @@ class NoiseTrainer:
             history.in_vivo_privacies.append(privacy)
             history.lambdas.append(lambda_now)
             if step % self.eval_every == 0 or step == iterations - 1:
-                accuracy = self.split.accuracy_from_activations(
-                    self.eval_activations, self.eval_labels, noise.data
+                accuracy = self._probe_accuracy(
+                    noise.data, final=step == iterations - 1
                 )
                 history.accuracies.append(accuracy)
                 history.accuracy_iterations.append(step)
@@ -346,11 +436,10 @@ class NoiseTrainer:
                 # on wide activations.
                 eval_steps.append(step)
                 eval_rows.append(
-                    self.split.accuracy_from_activations_multi(
-                        self.eval_activations,
-                        self.eval_labels,
+                    self._probe_accuracy_multi(
                         bank.data,
                         batch_size=min(4096, 1024 * m),
+                        final=step == iterations - 1,
                     )
                 )
 

@@ -1,15 +1,24 @@
-"""``repro.edge`` — cost model and simulated edge/cloud deployment.
+"""``repro.edge`` — cost model and the edge/cloud split-inference stack.
 
-Analytic MAC/byte accounting (:mod:`repro.edge.costs`), the §3.4 cutting
-point planner, a binary wire protocol, a simulated channel, and the
-EdgeDevice / CloudServer runtime of Figure 2.
+Analytic MAC/byte accounting with a serving batch-size axis
+(:mod:`repro.edge.costs`), the §3.4 cutting point planner, a binary wire
+protocol with single-request and batched micro-batch frames
+(:mod:`repro.edge.protocol`), affine payload quantisation, a simulated
+channel, the batch-invariant forward executor
+(:mod:`repro.edge.executor`), and the EdgeDevice / CloudServer runtime of
+Figure 2 with both the sequential reference path and the stacked
+``forward_batch`` / ``predict_batch`` paths consumed by the
+throughput-oriented serving engine in :mod:`repro.serve`.
 """
 
 from repro.edge.channel import Channel, ChannelStats
 from repro.edge.costs import (
     BYTES_PER_ELEMENT,
+    BatchedCutCost,
     CutCost,
     LayerCost,
+    batched_cut_cost,
+    batched_cut_costs,
     cut_cost,
     cut_costs,
     layer_macs,
@@ -28,6 +37,7 @@ from repro.edge.energy import (
     energy_table,
     estimate_cut,
 )
+from repro.edge.executor import BatchInvariantExecutor, batch_invariant_linear
 from repro.edge.planner import CutCandidate, CuttingPointPlanner
 from repro.edge.quantization import (
     QuantizationParams,
@@ -41,15 +51,26 @@ from repro.edge.quantization import (
 )
 from repro.edge.protocol import (
     ActivationMessage,
+    BatchActivationMessage,
+    BatchPredictionMessage,
     PredictionMessage,
+    batch_frame_overhead,
     decode_activation,
+    decode_activation_batch,
     decode_prediction,
+    decode_prediction_batch,
     encode_activation,
+    encode_activation_batch,
     encode_prediction,
+    encode_prediction_batch,
 )
 
 __all__ = [
     "ActivationMessage",
+    "BatchActivationMessage",
+    "BatchInvariantExecutor",
+    "BatchPredictionMessage",
+    "BatchedCutCost",
     "BYTES_PER_ELEMENT",
     "Channel",
     "ChannelStats",
@@ -62,6 +83,10 @@ __all__ = [
     "MOBILE_CPU",
     "PROFILES",
     "battery_inferences",
+    "batch_frame_overhead",
+    "batch_invariant_linear",
+    "batched_cut_cost",
+    "batched_cut_costs",
     "cheapest_cut",
     "energy_table",
     "estimate_cut",
@@ -83,9 +108,13 @@ __all__ = [
     "cut_cost",
     "cut_costs",
     "decode_activation",
+    "decode_activation_batch",
     "decode_prediction",
+    "decode_prediction_batch",
     "encode_activation",
+    "encode_activation_batch",
     "encode_prediction",
+    "encode_prediction_batch",
     "layer_macs",
     "profile_network",
 ]

@@ -5,6 +5,13 @@ computation is the cumulative multiply-accumulate (MAC) count of all layers
 the edge device must run, and communication is the byte size of the
 activation tensor shipped to the cloud.  Both are derived exactly from the
 layer geometry — no measurement needed.
+
+The serving runtime adds a **batch-size axis**: a micro-batch of ``B``
+requests ships one batched frame, so the per-frame header is amortised
+``B``-fold and (optionally) the payload shrinks to the quantiser's bytes
+per element.  :func:`batched_cut_costs` evaluates the same Figure 6 product
+at a given batch size; per-sample MACs are unchanged by batching (compute
+scales linearly), so the batch axis moves only the communication term.
 """
 
 from __future__ import annotations
@@ -127,6 +134,96 @@ def cut_costs(model: SplittableModel) -> list[CutCost]:
 def cut_cost(model: SplittableModel, cut: str) -> CutCost:
     """Cost of a single cutting point."""
     for cost in cut_costs(model):
+        if cost.cut == cut:
+            return cost
+    raise ModelError(f"{model.model_name} has no cut point {cut!r}")
+
+
+@dataclass(frozen=True)
+class BatchedCutCost:
+    """Per-sample cost of a cutting point when requests are micro-batched.
+
+    Attributes:
+        cut: Cut-point name.
+        conv_index: Conv ordinal of the cut.
+        batch_size: Requests stacked per wire frame.
+        kilomacs: Per-sample edge computation (flat in the batch size).
+        wire_bytes: Per-sample wire bytes: payload plus the batched frame
+            header amortised across the micro-batch.
+        megabytes: ``wire_bytes`` in MB.
+        product: ``kilomacs × megabytes`` — Figure 6's axis at this batch
+            size.
+    """
+
+    cut: str
+    conv_index: int
+    batch_size: int
+    kilomacs: float
+    wire_bytes: float
+    megabytes: float
+    product: float
+
+
+def batched_cut_costs(
+    model: SplittableModel,
+    batch_size: int = 1,
+    bytes_per_element: float = BYTES_PER_ELEMENT,
+) -> list[BatchedCutCost]:
+    """The Figure 6 cost model evaluated on the batched wire.
+
+    Args:
+        model: The backbone under consideration.
+        batch_size: Requests per micro-batch (>= 1).
+        bytes_per_element: Payload width — ``BYTES_PER_ELEMENT`` for float32
+            frames, or :attr:`QuantizationParams.bytes_per_element
+            <repro.edge.quantization.QuantizationParams.bytes_per_element>`
+            for a quantised wire.
+    """
+    from repro.edge.protocol import batch_frame_overhead
+
+    if batch_size < 1:
+        raise ModelError(f"batch size must be >= 1, got {batch_size}")
+    if bytes_per_element <= 0:
+        raise ModelError(f"bytes per element must be positive, got {bytes_per_element}")
+    # Stacked activation frames are (rows, C, H, W) or (rows, F): the
+    # header rank is the boundary activation's rank with the batch
+    # dimension included, exactly what the wire frame declares.
+    profile = {cost.name: cost for cost in profile_network(model)}
+    order = model.net.layer_names()
+    results: list[BatchedCutCost] = []
+    for base in cut_costs(model):
+        point = model.cut_point(base.cut)
+        boundary = profile[order[point.end_index]]
+        payload = boundary.output_elements * bytes_per_element
+        overhead = batch_frame_overhead(
+            batch_size,
+            ndim=len(model.activation_shape(base.cut)),
+            quantized=bytes_per_element < BYTES_PER_ELEMENT,
+        )
+        wire_bytes = payload + overhead / batch_size
+        megabytes = wire_bytes / 1e6
+        results.append(
+            BatchedCutCost(
+                cut=base.cut,
+                conv_index=base.conv_index,
+                batch_size=batch_size,
+                kilomacs=base.kilomacs,
+                wire_bytes=wire_bytes,
+                megabytes=megabytes,
+                product=base.kilomacs * megabytes,
+            )
+        )
+    return results
+
+
+def batched_cut_cost(
+    model: SplittableModel,
+    cut: str,
+    batch_size: int = 1,
+    bytes_per_element: float = BYTES_PER_ELEMENT,
+) -> BatchedCutCost:
+    """Batched-wire cost of a single cutting point."""
+    for cost in batched_cut_costs(model, batch_size, bytes_per_element):
         if cost.cut == cut:
             return cost
     raise ModelError(f"{model.model_name} has no cut point {cut!r}")

@@ -1,34 +1,53 @@
 """Edge device and cloud server runtimes (Figure 2 made executable).
 
 The :class:`EdgeDevice` owns the local half of the network, the input
-normalisation constants, and the trained :class:`NoiseCollection`; per
-request it computes the activation, samples a noise tensor (§2.5 — no
-training at deployment), adds it, and serialises the result.  The
+normalisation constants, and the trained :class:`NoiseCollection`; the
 :class:`CloudServer` owns the remote half and never sees anything but noisy
-activations.  :class:`InferenceSession` wires the two through a simulated
-:class:`~repro.edge.channel.Channel`.
+activations.  Both expose a single-request path (``process`` / ``handle``,
+the paper's deployment story, retained as the sequential *reference
+implementation*) and a stacked micro-batch path (``forward_batch`` /
+``predict_batch``) used by the throughput-oriented serving runtime in
+:mod:`repro.serve`.
+
+All forwards run through the
+:class:`~repro.edge.executor.BatchInvariantExecutor`, so a request produces
+bit-identical logits whether it is processed alone or stacked into a
+micro-batch — the parity guarantee the batched
+:class:`~repro.serve.BatchedInferenceSession` is tested against.  Noise is
+sampled per request from the §2.5 collection (no training at deployment);
+``forward_batch`` draws each request's members in arrival order from the
+same generator the sequential path would consume, which keeps the two paths
+sample-for-sample identical.
+
+:class:`InferenceSession` wires the two halves through a simulated
+:class:`~repro.edge.channel.Channel`, one request per round trip.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.sampler import NoiseCollection
 from repro.edge.channel import Channel
 from repro.edge.costs import cut_cost
+from repro.edge.executor import BatchInvariantExecutor
 from repro.edge.protocol import (
     ActivationMessage,
+    BatchActivationMessage,
+    BatchPredictionMessage,
     PredictionMessage,
     decode_activation,
     decode_prediction,
     encode_activation,
     encode_prediction,
 )
+from repro.edge.quantization import QuantizationParams, dequantize, quantize
 from repro.errors import ConfigurationError
 from repro.models.base import SplittableModel
-from repro.nn import Sequential, Tensor, no_grad
+from repro.nn import Sequential
 
 
 class EdgeDevice:
@@ -40,6 +59,8 @@ class EdgeDevice:
         noise: Trained noise collection; ``None`` disables noise injection
             (the privacy-free baseline).
         rng: Randomness for per-request noise sampling.
+        quantization: Optional affine code; when set, ``forward_batch``
+            quantises the stacked payload once before transmission.
     """
 
     def __init__(
@@ -49,6 +70,7 @@ class EdgeDevice:
         std: np.ndarray,
         noise: NoiseCollection | None = None,
         rng: np.random.Generator | None = None,
+        quantization: QuantizationParams | None = None,
     ) -> None:
         self.local = local.eval()
         self.mean = np.asarray(mean, dtype=np.float32)
@@ -56,7 +78,9 @@ class EdgeDevice:
         if (self.std <= 0).any():
             raise ConfigurationError("normalisation std must be positive")
         self.noise = noise
+        self.quantization = quantization
         self._rng = rng or np.random.default_rng()
+        self._executor = BatchInvariantExecutor(self.local)
         self._next_request = 0
 
     def normalize(self, images: np.ndarray) -> np.ndarray:
@@ -64,17 +88,75 @@ class EdgeDevice:
         c = images.shape[1]
         return (images - self.mean.reshape(1, c, 1, 1)) / self.std.reshape(1, c, 1, 1)
 
-    def process(self, images: np.ndarray) -> ActivationMessage:
-        """Run the local half and inject sampled noise (one request)."""
-        with no_grad():
-            activation = self.local(Tensor(self.normalize(images))).numpy()
+    def _noisy_activation(self, images: np.ndarray, splits: Sequence[int]) -> np.ndarray:
+        """Local half + per-request noise for a stacked image batch.
+
+        ``splits`` gives the per-request row counts; the collection is
+        sampled once per request *in order*, consuming the generator exactly
+        as the equivalent sequence of single-request calls would.
+        """
+        activation = self._executor(self.normalize(images))
         if self.noise is not None:
-            activation = activation + self.noise.sample_batch(
-                self._rng, len(activation)
-            )
+            if len(splits) == 1:
+                noise = self.noise.sample_batch(self._rng, splits[0])
+            else:
+                noise = self.noise.sample_splits(self._rng, splits)
+            activation = activation + noise
+        return activation
+
+    def process(self, images: np.ndarray) -> ActivationMessage:
+        """Run the local half and inject sampled noise (one request).
+
+        This is the sequential reference path the batched runtime is
+        parity-tested against.
+        """
+        activation = self._noisy_activation(images, [len(images)])
         message = ActivationMessage(request_id=self._next_request, tensor=activation)
         self._next_request += 1
         return message
+
+    def forward_batch(
+        self,
+        batches: Sequence[np.ndarray],
+        request_ids: Sequence[int] | None = None,
+    ) -> BatchActivationMessage:
+        """One stacked pass over a micro-batch of requests.
+
+        Stacks the per-request image batches, normalises and runs the local
+        half once, samples the noise collection per request, and (when a
+        quantiser is configured) quantises the stacked payload once.
+
+        Args:
+            batches: Per-request ``(n_i, C, H, W)`` image batches.
+            request_ids: Ids to stamp on the frame; defaults to the device's
+                running counter (matching what sequential ``process`` calls
+                would have assigned).
+        """
+        if len(batches) == 0:
+            raise ConfigurationError("forward_batch needs at least one request")
+        splits = [len(batch) for batch in batches]
+        if any(rows == 0 for rows in splits):
+            raise ConfigurationError("every request needs at least one image")
+        if request_ids is None:
+            request_ids = range(self._next_request, self._next_request + len(batches))
+            self._next_request += len(batches)
+        elif len(request_ids) != len(batches):
+            raise ConfigurationError("request_ids and batches must pair up")
+        stacked = batches[0] if len(batches) == 1 else np.concatenate(batches)
+        activation = self._noisy_activation(stacked, splits)
+        quantization = self.quantization
+        if quantization is not None:
+            activation = quantize(activation, quantization)
+            if quantization.bits <= 8:
+                # quantize() returns uint16 codes; narrow payloads really
+                # travel as one byte per element.
+                activation = activation.astype(np.uint8)
+        return BatchActivationMessage(
+            request_ids=tuple(int(i) for i in request_ids),
+            splits=tuple(splits),
+            tensor=activation,
+            quantization=quantization,
+        )
 
 
 class CloudServer:
@@ -82,12 +164,29 @@ class CloudServer:
 
     def __init__(self, remote: Sequential) -> None:
         self.remote = remote.eval()
+        self._executor = BatchInvariantExecutor(self.remote)
 
     def handle(self, message: ActivationMessage) -> PredictionMessage:
-        """Compute logits for one activation message."""
-        with no_grad():
-            logits = self.remote(Tensor(message.tensor)).numpy()
+        """Compute logits for one activation message (sequential path)."""
+        logits = self._executor(message.tensor)
         return PredictionMessage(request_id=message.request_id, logits=logits)
+
+    def predict_batch(self, message: BatchActivationMessage) -> BatchPredictionMessage:
+        """One remote pass over a stacked micro-batch.
+
+        Dequantises the payload if needed, runs the remote half once, and
+        returns the stacked logits with the request table preserved so the
+        session can demultiplex them back to request ids.
+        """
+        tensor = message.tensor
+        if message.quantization is not None:
+            tensor = dequantize(tensor, message.quantization)
+        logits = self._executor(tensor)
+        return BatchPredictionMessage(
+            request_ids=message.request_ids,
+            splits=message.splits,
+            logits=logits,
+        )
 
 
 @dataclass
@@ -102,7 +201,12 @@ class SessionReport:
 
 
 class InferenceSession:
-    """End-to-end split inference over a simulated channel.
+    """End-to-end split inference over a simulated channel, one request at
+    a time.
+
+    This is the retained sequential reference implementation; the batched
+    serving engine (:class:`repro.serve.BatchedInferenceSession`) must match
+    it bit-for-bit on the same request stream.
 
     Args:
         model: The full backbone (used for cost bookkeeping).

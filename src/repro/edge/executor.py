@@ -1,0 +1,229 @@
+"""Batch-invariant forward executor for the serving runtime.
+
+The batched serving engine stacks many requests into one forward pass, and
+its contract with the retained sequential path is *bit-for-bit* equality:
+given the same per-request noise draws, a request must produce the same
+logits whether it travelled alone or inside a micro-batch.  Plain BLAS does
+not give that guarantee — a 2-D GEMM picks kernels and blocking by matrix
+geometry, so ``(x @ W.T)[i]`` changes in the last ulp as the batch
+dimension changes.
+
+:class:`BatchInvariantExecutor` compiles a frozen
+:class:`~repro.nn.Sequential` into an inference-only numpy plan in which
+every kernel's per-row arithmetic is independent of the batch geometry:
+
+* **Conv2d** — im2col columns contracted by a *per-sample* stacked
+  ``np.matmul`` (each sample runs the identical ``(C_out, K) @ (K, OH*OW)``
+  GEMM regardless of batch size, which is also how the training-path
+  forward works);
+* **Linear** — the one geometry-sensitive op in the stack, replaced by a
+  row-blocked product: ``np.matmul(x[:, None, :], W.T)`` broadcasts one
+  ``(1, K) @ (K, N)`` GEMM per row (:func:`batch_invariant_linear`);
+* **MaxPool2d** — a window-max reduction over the strided im2col view
+  (no argmax bookkeeping: serving never needs the pooling gradient);
+* **ReLU / Flatten / eval-mode BatchNorm2d / LocalResponseNorm /
+  Dropout** — elementwise / reshape ops, invariant by construction.
+
+Unrecognised layers (and layers left in training mode) fall back to the
+module's normal forward under ``no_grad``.
+
+The plan also reuses per-layer scratch buffers across calls: a serving
+session runs the same geometry every micro-batch, and the im2col and
+output temporaries of a stacked batch are large enough that repeated
+malloc/mmap churn dominated the step overhead.  Buffers are keyed by input
+shape, so irregular (tail) micro-batches still work.  The final output is
+copied out of scratch, making returned arrays safe to hold across calls.
+
+Invariance across the four backbones is enforced by
+``tests/edge/test_executor.py``.  Used by both
+:class:`~repro.edge.device.EdgeDevice` (single-request ``process`` *and*
+stacked ``forward_batch``) and :class:`~repro.edge.device.CloudServer`,
+which is what makes the batched session's parity guarantee hold by
+construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Sequential, Tensor, no_grad
+from repro.nn.im2col import conv_output_size, extract_windows
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.norm import BatchNorm2d, LocalResponseNorm
+from repro.nn.layers.pooling import MaxPool2d
+
+
+def batch_invariant_linear(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None
+) -> np.ndarray:
+    """Row-blocked affine map ``x @ weight.T + bias``.
+
+    Each row is multiplied by the weight matrix in its own broadcast GEMM
+    call, so the result for row ``i`` is a pure function of row ``i`` — the
+    batch geometry cannot perturb it.
+    """
+    out = np.matmul(x[:, None, :], weight.T)[:, 0, :]
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+class BatchInvariantExecutor:
+    """Runs a frozen :class:`~repro.nn.Sequential` with batch-stable math.
+
+    Args:
+        net: The (local or remote) half of a split backbone; callers
+            freeze it and put it in eval mode.
+    """
+
+    def __init__(self, net: Sequential) -> None:
+        self.net = net
+        self._plan = [
+            (index, module, self._handler(module))
+            for index, module in enumerate(net.layers())
+        ]
+        self._scratch: dict[tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Plan construction
+    # ------------------------------------------------------------------
+    def _handler(self, module):
+        if isinstance(module, Conv2d):
+            return self._conv2d
+        if isinstance(module, Linear):
+            return self._linear
+        if isinstance(module, ReLU):
+            return self._relu
+        if isinstance(module, MaxPool2d):
+            return self._max_pool2d
+        if isinstance(module, Flatten):
+            return self._flatten
+        if isinstance(module, Dropout):
+            return self._dropout
+        if isinstance(module, BatchNorm2d):
+            return self._batch_norm2d
+        if isinstance(module, LocalResponseNorm):
+            return self._local_response_norm
+        return None  # fall back to the module's own forward
+
+    def _buffer(self, key: tuple, shape: tuple[int, ...], dtype) -> np.ndarray:
+        """A reusable scratch array for one (layer, role, shape) slot."""
+        slot = (*key, shape, np.dtype(dtype))
+        buffer = self._scratch.get(slot)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=dtype)
+            self._scratch[slot] = buffer
+        return buffer
+
+    def _owns(self, array: np.ndarray) -> bool:
+        base = array.base if array.base is not None else array
+        return any(base is buffer for buffer in self._scratch.values())
+
+    # ------------------------------------------------------------------
+    # Kernels (each per-row invariant to the batch geometry)
+    # ------------------------------------------------------------------
+    def _conv2d(self, index: int, module: Conv2d, x: np.ndarray) -> np.ndarray:
+        n, c_in, h, w = x.shape
+        kh, kw = module.kernel_size
+        stride, padding = module.stride, module.padding
+        oh = conv_output_size(h, kh, stride[0], padding[0])
+        ow = conv_output_size(w, kw, stride[1], padding[1])
+        c_out = module.out_channels
+        windows = extract_windows(x, (kh, kw), stride, padding)
+        cols = self._buffer((index, "cols"), windows.shape, x.dtype)
+        np.copyto(cols, windows)
+        cols3 = cols.reshape(n, c_in * kh * kw, oh * ow)
+        w_mat = module.weight.data.reshape(c_out, c_in * kh * kw)
+        out3 = self._buffer((index, "out"), (n, c_out, oh * ow), x.dtype)
+        # Stacked per-sample GEMM: identical geometry for every sample, so
+        # the result is independent of n (and matches the training path).
+        np.matmul(w_mat, cols3, out=out3)
+        out = out3.reshape(n, c_out, oh, ow)
+        if module.bias is not None:
+            out += module.bias.data.reshape(1, c_out, 1, 1)
+        return out
+
+    def _linear(self, index: int, module: Linear, x: np.ndarray) -> np.ndarray:
+        out3 = self._buffer(
+            (index, "out"), (len(x), 1, module.out_features), x.dtype
+        )
+        np.matmul(x[:, None, :], module.weight.data.T, out=out3)
+        out = out3.reshape(len(x), module.out_features)
+        if module.bias is not None:
+            out += module.bias.data
+        return out
+
+    def _relu(self, index: int, module: ReLU, x: np.ndarray) -> np.ndarray:
+        out = self._buffer((index, "out"), x.shape, x.dtype)
+        return np.maximum(x, 0.0, out=out)
+
+    def _max_pool2d(self, index: int, module: MaxPool2d, x: np.ndarray) -> np.ndarray:
+        windows = extract_windows(x, module.kernel_size, module.stride, module.padding)
+        n, c, kh, kw, oh, ow = windows.shape
+        cols = self._buffer((index, "cols"), windows.shape, x.dtype)
+        np.copyto(cols, windows)
+        out = self._buffer((index, "out"), (n, c, oh, ow), x.dtype)
+        # Per-element window max on a contiguous copy (reducing the strided
+        # view directly is an order of magnitude slower); serving never
+        # needs the argmax the training path keeps for its gradient.
+        return cols.reshape(n, c, kh * kw, oh, ow).max(axis=2, out=out)
+
+    def _flatten(self, index: int, module: Flatten, x: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(x).reshape(len(x), -1)
+
+    def _dropout(self, index: int, module: Dropout, x: np.ndarray) -> np.ndarray:
+        if module.training:  # pragma: no cover - serving nets are eval-mode
+            raise RuntimeError("serving executor requires eval-mode dropout")
+        return x
+
+    def _batch_norm2d(self, index: int, module: BatchNorm2d, x: np.ndarray) -> np.ndarray:
+        c = module.num_features
+        mean = module.running_mean.reshape(1, c, 1, 1)
+        var = module.running_var.reshape(1, c, 1, 1)
+        # Same op order as the training-path functional (eval branch), so
+        # the values match it exactly; elementwise, hence batch-invariant.
+        x_hat = (x - mean) / np.sqrt(var + module.eps)
+        return x_hat * module.gamma.data.reshape(1, c, 1, 1) + module.beta.data.reshape(
+            1, c, 1, 1
+        )
+
+    def _local_response_norm(
+        self, index: int, module: LocalResponseNorm, x: np.ndarray
+    ) -> np.ndarray:
+        n, c, h, w = x.shape
+        size, alpha, beta, k = module.size, module.alpha, module.beta, module.k
+        half = size // 2
+        squared = x * x
+        padded = np.zeros((n, c + size - 1, h, w), dtype=x.dtype)
+        padded[:, half : half + c] = squared
+        window = padded[:, 0:c].copy()
+        # Same accumulation order as the functional implementation.
+        for offset in range(1, size):
+            window += padded[:, offset : offset + c]
+        denom = (window * (alpha / size) + k) ** (-beta)
+        return x * denom
+
+    # ------------------------------------------------------------------
+    # Forward
+    # ------------------------------------------------------------------
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        """Forward a ``(N, ...)`` numpy batch to a numpy output.
+
+        The result is freshly owned (never a view of internal scratch), so
+        callers may hold it across subsequent executor calls.
+        """
+        x = np.ascontiguousarray(batch)
+        for index, module, handler in self._plan:
+            if handler is not None and not (
+                isinstance(module, BatchNorm2d) and module.training
+            ):
+                x = handler(index, module, x)
+            else:
+                with no_grad():
+                    x = module(Tensor(np.ascontiguousarray(x))).numpy()
+        if self._owns(x):
+            x = x.copy()
+        return x

@@ -14,7 +14,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.edge.costs import CutCost, cut_costs
+from repro.edge.costs import (
+    BYTES_PER_ELEMENT,
+    BatchedCutCost,
+    CutCost,
+    batched_cut_costs,
+    cut_costs,
+)
 from repro.errors import ModelError
 from repro.models.base import SplittableModel
 
@@ -25,12 +31,14 @@ class CutCandidate:
 
     Attributes:
         cut: Cut-point name.
-        cost: The §3.4 cost model entry (kMAC, MB, product).
+        cost: The §3.4 cost model entry (kMAC, MB, product) — a
+            :class:`~repro.edge.costs.BatchedCutCost` when the planner was
+            given a serving batch size.
         ex_vivo_privacy: Measured ``1/MI`` at this cut.
     """
 
     cut: str
-    cost: CutCost
+    cost: CutCost | BatchedCutCost
     ex_vivo_privacy: float
 
 
@@ -41,10 +49,29 @@ class CuttingPointPlanner:
         model: The backbone under consideration.
         privacy_by_cut: ``{cut_name: ex vivo privacy}`` measurements (from
             :func:`repro.privacy.metrics.estimate_leakage` at each cut).
+        batch_size: Serving micro-batch size; above 1 the communication
+            term uses the batched wire (amortised frame header), which can
+            shift the Pareto frontier for small activations.
+        bytes_per_element: Wire bytes per activation element (e.g. a
+            quantised payload); only consulted with the batched cost model.
     """
 
-    def __init__(self, model: SplittableModel, privacy_by_cut: dict[str, float]) -> None:
-        costs = {cost.cut: cost for cost in cut_costs(model)}
+    def __init__(
+        self,
+        model: SplittableModel,
+        privacy_by_cut: dict[str, float],
+        batch_size: int = 1,
+        bytes_per_element: float = BYTES_PER_ELEMENT,
+    ) -> None:
+        if batch_size == 1 and bytes_per_element == BYTES_PER_ELEMENT:
+            costs: dict[str, CutCost | BatchedCutCost] = {
+                cost.cut: cost for cost in cut_costs(model)
+            }
+        else:
+            costs = {
+                cost.cut: cost
+                for cost in batched_cut_costs(model, batch_size, bytes_per_element)
+            }
         missing = set(privacy_by_cut) - set(costs)
         if missing:
             raise ModelError(f"unknown cuts in privacy map: {sorted(missing)}")

@@ -1,9 +1,23 @@
 """Wire protocol between the edge device and the cloud service.
 
-A minimal length-prefixed binary format: header (magic, request id, dtype
-code, shape) followed by the raw tensor bytes and a checksum.  The point is
-not the format itself but that the *only* thing crossing the wire is the
-noisy activation — exactly the privacy surface the paper analyses.
+Two frame families share a length-prefixed binary style (header, raw tensor
+bytes, CRC32):
+
+* **Single-request frames** (``SHRD``): one request id and one tensor — the
+  original Figure 2 deployment, retained as the sequential reference path.
+* **Batched frames** (``SHRB``): the serving runtime's unit of transfer.
+  One header carries N request ids and per-request row counts, followed by
+  one contiguous stacked tensor payload — replacing N per-request
+  encode/transmit round trips with a single frame whose header cost is
+  amortised across the micro-batch.  Batched activation frames may carry an
+  8/16-bit affine quantisation code (scale, zero point, bits) so the
+  stacked payload is quantised once on the edge and dequantised once in the
+  cloud (:mod:`repro.edge.quantization`).
+
+The point is not the format itself but that the *only* thing crossing the
+wire is the (noisy, possibly quantised) activation — exactly the privacy
+surface the paper analyses.  Decoders reject malformed frames with
+:class:`~repro.errors.ChannelError`; robustness is fuzz-tested.
 """
 
 from __future__ import annotations
@@ -14,16 +28,54 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.edge.quantization import QuantizationParams
 from repro.errors import ChannelError
 
 _MAGIC = b"SHRD"
-_DTYPES = {0: np.float32, 1: np.float64, 2: np.int64}
-_DTYPE_CODES = {np.dtype(np.float32): 0, np.dtype(np.float64): 1, np.dtype(np.int64): 2}
+_BATCH_MAGIC = b"SHRB"
+_DTYPES = {
+    0: np.float32,
+    1: np.float64,
+    2: np.int64,
+    3: np.uint8,
+    4: np.uint16,
+}
+_DTYPE_CODES = {np.dtype(dtype): code for code, dtype in _DTYPES.items()}
+
+_KIND_ACTIVATION = 0
+_KIND_PREDICTION = 1
+
+# Batched frame layout (little endian):
+#   4s  magic "SHRB"
+#   B   kind (0 activation, 1 prediction)
+#   B   flags (bit 0: quantised payload)
+#   I   n_requests
+#   n_requests * Q   request ids
+#   n_requests * I   per-request row counts
+#   [d H B  quantisation scale / zero point / bits, when flag bit 0]
+#   B   dtype code
+#   B   ndim
+#   ndim * I  shape (shape[0] == sum of row counts)
+#   payload bytes
+#   I   CRC32 of the payload
+_BATCH_FIXED = struct.Struct("<4sBBI")
+_QUANT_STRUCT = struct.Struct("<dHB")
+_TENSOR_HEAD = struct.Struct("<BB")
+
+_STRUCT_CACHE: dict[str, struct.Struct] = {}
+
+
+def _struct(fmt: str) -> struct.Struct:
+    """Compiled struct for a dynamic format (hot path: one per frame)."""
+    cached = _STRUCT_CACHE.get(fmt)
+    if cached is None:
+        cached = _STRUCT_CACHE[fmt] = struct.Struct(fmt)
+    return cached
 
 
 @dataclass(frozen=True)
 class ActivationMessage:
-    """Edge -> cloud: the (noisy) activation for one batch."""
+    """Edge -> cloud: the (noisy) activation for one request."""
 
     request_id: int
     tensor: np.ndarray
@@ -31,18 +83,65 @@ class ActivationMessage:
 
 @dataclass(frozen=True)
 class PredictionMessage:
-    """Cloud -> edge: logits for one batch."""
+    """Cloud -> edge: logits for one request."""
 
     request_id: int
     logits: np.ndarray
 
 
-def encode_tensor(request_id: int, tensor: np.ndarray) -> bytes:
-    """Serialise a tensor message to bytes (header + payload + CRC32)."""
-    tensor = np.ascontiguousarray(tensor)
-    dtype_code = _DTYPE_CODES.get(tensor.dtype)
-    if dtype_code is None:
+@dataclass(frozen=True)
+class BatchActivationMessage:
+    """Edge -> cloud: one micro-batch of stacked (noisy) activations.
+
+    Attributes:
+        request_ids: One id per request in the micro-batch.
+        splits: Rows of ``tensor`` owned by each request, in order.
+        tensor: ``(sum(splits), *activation_shape)`` stacked payload; when
+            ``quantization`` is set these are integer codes.
+        quantization: Affine code parameters when the payload is quantised.
+    """
+
+    request_ids: tuple[int, ...]
+    splits: tuple[int, ...]
+    tensor: np.ndarray
+    quantization: QuantizationParams | None = None
+
+    def __len__(self) -> int:
+        return len(self.request_ids)
+
+
+@dataclass(frozen=True)
+class BatchPredictionMessage:
+    """Cloud -> edge: stacked logits for one micro-batch."""
+
+    request_ids: tuple[int, ...]
+    splits: tuple[int, ...]
+    logits: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.request_ids)
+
+    def split_logits(self) -> list[np.ndarray]:
+        """Demultiplex the stacked logits back to per-request arrays."""
+        views: list[np.ndarray] = []
+        start = 0
+        for rows in self.splits:
+            views.append(self.logits[start : start + rows])
+            start += rows
+        return views
+
+
+def _dtype_code(tensor: np.ndarray) -> int:
+    code = _DTYPE_CODES.get(tensor.dtype)
+    if code is None:
         raise ChannelError(f"unsupported wire dtype {tensor.dtype}")
+    return code
+
+
+def encode_tensor(request_id: int, tensor: np.ndarray) -> bytes:
+    """Serialise a single-request tensor message (header + payload + CRC32)."""
+    tensor = np.ascontiguousarray(tensor)
+    dtype_code = _dtype_code(tensor)
     if tensor.ndim > 8:
         raise ChannelError(f"too many dimensions for the wire format: {tensor.ndim}")
     payload = tensor.tobytes()
@@ -115,3 +214,182 @@ def decode_prediction(blob: bytes) -> PredictionMessage:
     """Deserialise a prediction message."""
     request_id, tensor = decode_tensor(blob)
     return PredictionMessage(request_id=request_id, logits=tensor)
+
+
+# ----------------------------------------------------------------------
+# Batched frames (serving runtime)
+# ----------------------------------------------------------------------
+def batch_frame_overhead(
+    n_requests: int, ndim: int = 4, quantized: bool = False
+) -> int:
+    """Wire bytes of a batched frame beyond the raw tensor payload.
+
+    The cost model uses this to amortise the per-frame header across a
+    micro-batch (``overhead / batch_size`` per request).
+    """
+    if n_requests < 1:
+        raise ChannelError(f"a batched frame needs >= 1 request, got {n_requests}")
+    overhead = _BATCH_FIXED.size + n_requests * (8 + 4)
+    if quantized:
+        overhead += _QUANT_STRUCT.size
+    return overhead + _TENSOR_HEAD.size + ndim * 4 + 4  # dtype/ndim, shape, CRC
+
+
+def _encode_batch(
+    kind: int,
+    request_ids: tuple[int, ...],
+    splits: tuple[int, ...],
+    tensor: np.ndarray,
+    quantization: QuantizationParams | None,
+) -> bytes:
+    if len(request_ids) == 0:
+        raise ChannelError("cannot encode an empty micro-batch")
+    if len(request_ids) != len(splits):
+        raise ChannelError(
+            f"request ids ({len(request_ids)}) and splits ({len(splits)}) "
+            "must pair up"
+        )
+    if any(rows < 1 for rows in splits):
+        raise ChannelError(f"every request needs >= 1 row, got splits {splits}")
+    tensor = np.ascontiguousarray(tensor)
+    if tensor.ndim < 1 or tensor.ndim > 8:
+        raise ChannelError(
+            f"batched payloads must be 1..8-dimensional, got ndim {tensor.ndim}"
+        )
+    if int(sum(splits)) != tensor.shape[0]:
+        raise ChannelError(
+            f"splits sum to {int(sum(splits))} rows but the stacked payload "
+            f"has {tensor.shape[0]}"
+        )
+    dtype_code = _dtype_code(tensor)
+    flags = 1 if quantization is not None else 0
+    parts = [
+        _BATCH_FIXED.pack(_BATCH_MAGIC, kind, flags, len(request_ids)),
+        _struct(f"<{len(request_ids)}Q").pack(*request_ids),
+        _struct(f"<{len(splits)}I").pack(*splits),
+    ]
+    if quantization is not None:
+        parts.append(
+            _QUANT_STRUCT.pack(
+                quantization.scale, quantization.zero_point, quantization.bits
+            )
+        )
+    parts.append(_TENSOR_HEAD.pack(dtype_code, tensor.ndim))
+    parts.append(_struct(f"<{tensor.ndim}I").pack(*tensor.shape))
+    payload = tensor.tobytes()
+    parts.append(payload)
+    parts.append(struct.pack("<I", zlib.crc32(payload)))
+    return b"".join(parts)
+
+
+def _decode_batch(
+    blob: bytes, expected_kind: int
+) -> tuple[tuple[int, ...], tuple[int, ...], np.ndarray, QuantizationParams | None]:
+    if len(blob) < _BATCH_FIXED.size:
+        raise ChannelError("batched frame truncated before header end")
+    magic, kind, flags, n_requests = _BATCH_FIXED.unpack_from(blob)
+    if magic != _BATCH_MAGIC:
+        raise ChannelError(f"bad batch magic {magic!r}")
+    if kind != expected_kind:
+        raise ChannelError(
+            f"unexpected batched frame kind {kind} (expected {expected_kind})"
+        )
+    if flags > 1:
+        raise ChannelError(f"unknown batch flags {flags:#x}")
+    if n_requests < 1:
+        raise ChannelError("batched frame declares zero requests")
+    offset = _BATCH_FIXED.size
+    ids_size = n_requests * 8
+    splits_size = n_requests * 4
+    if len(blob) < offset + ids_size + splits_size:
+        raise ChannelError("batched frame truncated inside the request table")
+    request_ids = _struct(f"<{n_requests}Q").unpack_from(blob, offset)
+    offset += ids_size
+    splits = _struct(f"<{n_requests}I").unpack_from(blob, offset)
+    offset += splits_size
+    if any(rows < 1 for rows in splits):
+        raise ChannelError("batched frame declares an empty request slot")
+    quantization: QuantizationParams | None = None
+    if flags & 1:
+        if len(blob) < offset + _QUANT_STRUCT.size:
+            raise ChannelError("batched frame truncated inside quantisation params")
+        scale, zero_point, bits = _QUANT_STRUCT.unpack_from(blob, offset)
+        offset += _QUANT_STRUCT.size
+        try:
+            quantization = QuantizationParams(
+                scale=scale, zero_point=zero_point, bits=bits
+            )
+        except Exception as exc:  # invalid params are a malformed frame
+            raise ChannelError(f"invalid quantisation params on the wire: {exc}")
+    if len(blob) < offset + _TENSOR_HEAD.size:
+        raise ChannelError("batched frame truncated before the tensor header")
+    dtype_code, ndim = _TENSOR_HEAD.unpack_from(blob, offset)
+    offset += _TENSOR_HEAD.size
+    if dtype_code not in _DTYPES:
+        raise ChannelError(f"unknown dtype code {dtype_code}")
+    if ndim < 1 or ndim > 8:
+        raise ChannelError(f"bad payload rank in batched header: {ndim}")
+    shape_size = ndim * 4
+    if len(blob) < offset + shape_size:
+        raise ChannelError("batched frame truncated inside the shape header")
+    shape = struct.unpack_from(f"<{ndim}I", blob, offset)
+    offset += shape_size
+    if int(sum(splits)) != shape[0]:
+        raise ChannelError(
+            f"batched frame splits sum to {int(sum(splits))} rows but the "
+            f"payload shape declares {shape[0]}"
+        )
+    dtype = np.dtype(_DTYPES[dtype_code])
+    payload_size = int(np.prod(shape)) * dtype.itemsize
+    payload = blob[offset : offset + payload_size]
+    if len(payload) != payload_size:
+        raise ChannelError("batched frame truncated inside payload")
+    crc_bytes = blob[offset + payload_size : offset + payload_size + 4]
+    if len(crc_bytes) != 4:
+        raise ChannelError("batched frame truncated inside the checksum")
+    (expected_crc,) = struct.unpack("<I", crc_bytes)
+    if zlib.crc32(payload) != expected_crc:
+        raise ChannelError("checksum mismatch — batched payload corrupted in transit")
+    # Zero-copy view of the frame bytes (read-only); the serving hot path
+    # only ever reads the stacked payload.
+    tensor = np.frombuffer(payload, dtype=dtype).reshape(shape)
+    return request_ids, splits, tensor, quantization
+
+
+def encode_activation_batch(message: BatchActivationMessage) -> bytes:
+    """Serialise a micro-batch of activations as one frame."""
+    return _encode_batch(
+        _KIND_ACTIVATION,
+        tuple(message.request_ids),
+        tuple(message.splits),
+        message.tensor,
+        message.quantization,
+    )
+
+
+def decode_activation_batch(blob: bytes) -> BatchActivationMessage:
+    """Deserialise a batched activation frame."""
+    request_ids, splits, tensor, quantization = _decode_batch(blob, _KIND_ACTIVATION)
+    return BatchActivationMessage(
+        request_ids=request_ids,
+        splits=splits,
+        tensor=tensor,
+        quantization=quantization,
+    )
+
+
+def encode_prediction_batch(message: BatchPredictionMessage) -> bytes:
+    """Serialise a micro-batch of predictions as one frame."""
+    return _encode_batch(
+        _KIND_PREDICTION,
+        tuple(message.request_ids),
+        tuple(message.splits),
+        message.logits,
+        None,
+    )
+
+
+def decode_prediction_batch(blob: bytes) -> BatchPredictionMessage:
+    """Deserialise a batched prediction frame."""
+    request_ids, splits, logits, _ = _decode_batch(blob, _KIND_PREDICTION)
+    return BatchPredictionMessage(request_ids=request_ids, splits=splits, logits=logits)

@@ -6,7 +6,10 @@ communicated tensor — an 8-bit affine code cuts communication 4× — and
 because Shredder's noisy activations already tolerate large perturbation,
 quantisation error is essentially free accuracy-wise.  This module
 provides the uniform affine quantiser used by the deployment runtime and
-the communication-ablation benchmark.
+the communication-ablation benchmark.  The batched serving engine
+(:mod:`repro.serve`) quantises each micro-batch's *stacked* payload once —
+the code parameters travel in the batched frame header and the cloud side
+dequantises once per frame (see :mod:`repro.edge.protocol`).
 
 Quantisation interacts with privacy in one direction only: it is a
 deterministic, (almost) invertible per-element map, so it cannot *increase*

@@ -50,7 +50,7 @@ from repro.privacy.mutual_information import (
     ksg_mutual_information,
     ksg_mutual_information_reference,
 )
-from repro.privacy.reduction import PCAReducer, flatten_batch
+from repro.privacy.reduction import PCAReducer, flatten_batch, randomized_svd
 
 __all__ = [
     "LeakageEstimate",
@@ -64,6 +64,7 @@ __all__ = [
     "saddle_point_lower_bound_bits",
     "snr_privacy_curve",
     "PCAReducer",
+    "randomized_svd",
     "binned_mutual_information",
     "joint_code",
     "plugin_entropy_bits",

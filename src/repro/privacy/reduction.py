@@ -4,6 +4,14 @@ kNN information estimators are unusable in the raw pixel/activation space
 (thousands of dimensions, tiny sample counts), so — like every practical MI
 measurement pipeline — we project both variables to a small number of
 principal components first, then estimate MI in the reduced space.
+
+At ``paper`` scale the fit matrix is ``(N≈1000, D≈3-12k)`` and the exact
+economy SVD dominates the reduction step while only the top ~16 components
+are kept.  :class:`PCAReducer` therefore switches to a randomized
+range-finder SVD (Halko, Martinsson & Tropp 2011) once the input is large
+enough — ``O(N·D·k)`` instead of ``O(N·D·min(N, D))`` — and keeps the exact
+economy SVD both as the small-input path and as the parity reference the
+seeded randomized path is tested against.
 """
 
 from __future__ import annotations
@@ -11,6 +19,58 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import EstimatorError
+
+#: Elements of the fit matrix above which ``svd="auto"`` goes randomized.
+RANDOMIZED_SVD_MIN_ELEMENTS = 1_000_000
+
+#: Extra random probe directions beyond ``k`` (oversampling parameter p).
+RANDOMIZED_SVD_OVERSAMPLES = 10
+
+#: Power (subspace) iterations; 4 is plenty for PCA spectra with decay.
+RANDOMIZED_SVD_ITERATIONS = 4
+
+
+def randomized_svd(
+    data: np.ndarray,
+    k: int,
+    n_oversamples: int = RANDOMIZED_SVD_OVERSAMPLES,
+    n_iter: int = RANDOMIZED_SVD_ITERATIONS,
+    rng: np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Truncated SVD via a randomized range finder with power iterations.
+
+    Projects ``data`` onto ``k + n_oversamples`` random Gaussian
+    directions, sharpens the captured subspace with QR-stabilised power
+    iterations, and solves the small exact SVD inside it.
+
+    Args:
+        data: ``(N, D)`` matrix.
+        k: Singular triplets to return (``k <= min(N, D)``).
+        n_oversamples: Extra probe directions (improves accuracy).
+        n_iter: Power iterations (improves accuracy for flat spectra).
+        rng: Probe randomness; seeded by callers for reproducibility.
+
+    Returns:
+        ``(U, s, Vt)`` with shapes ``(N, k)``, ``(k,)``, ``(k, D)``.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise EstimatorError(f"expected a matrix, got shape {data.shape}")
+    n, d = data.shape
+    if not 1 <= k <= min(n, d):
+        raise EstimatorError(f"k must be in [1, {min(n, d)}], got {k}")
+    rng = rng or np.random.default_rng(0)
+    width = min(k + max(0, n_oversamples), min(n, d))
+    probes = rng.standard_normal((d, width))
+    sketch = data @ probes
+    q, _ = np.linalg.qr(sketch)
+    for _ in range(max(0, n_iter)):
+        q, _ = np.linalg.qr(data.T @ q)
+        q, _ = np.linalg.qr(data @ q)
+    small = q.T @ data  # (width, D)
+    u_small, singular_values, vt = np.linalg.svd(small, full_matrices=False)
+    u = q @ u_small
+    return u[:, :k], singular_values[:k], vt[:k]
 
 
 class PCAReducer:
@@ -20,17 +80,48 @@ class PCAReducer:
         n_components: Output dimensionality.
         whiten: Scale components to unit variance — recommended before
             kNN estimation so all dimensions contribute comparably.
+        svd: ``"exact"`` (economy SVD), ``"randomized"`` (seeded Halko
+            sketch), or ``"auto"`` (default): randomized once the fit
+            matrix exceeds :data:`RANDOMIZED_SVD_MIN_ELEMENTS` elements and
+            the component count is small relative to the matrix, exact
+            otherwise.
+        rng: Randomness for the randomized path; defaults to a fixed seed
+            so repeated fits of the same data agree.
     """
 
-    def __init__(self, n_components: int, whiten: bool = True) -> None:
+    def __init__(
+        self,
+        n_components: int,
+        whiten: bool = True,
+        svd: str = "auto",
+        rng: np.random.Generator | None = None,
+    ) -> None:
         if n_components < 1:
             raise EstimatorError(f"n_components must be >= 1, got {n_components}")
+        if svd not in ("auto", "exact", "randomized"):
+            raise EstimatorError(
+                f"svd must be 'auto', 'exact', or 'randomized', got {svd!r}"
+            )
         self.n_components = n_components
         self.whiten = whiten
+        self.svd = svd
+        self._rng = rng
         self.mean_: np.ndarray | None = None
         self.components_: np.ndarray | None = None
         self.scales_: np.ndarray | None = None
         self.explained_variance_: np.ndarray | None = None
+
+    def _use_randomized(self, n: int, d: int, k: int) -> bool:
+        if self.svd == "exact":
+            return False
+        if self.svd == "randomized":
+            return True
+        # auto: only worthwhile when the exact SVD is large and the kept
+        # subspace (plus oversampling) is a small fraction of it.
+        return (
+            n * d >= RANDOMIZED_SVD_MIN_ELEMENTS
+            and (k + RANDOMIZED_SVD_OVERSAMPLES) * 4 <= min(n, d)
+        )
 
     def fit(self, data: np.ndarray) -> "PCAReducer":
         """Fit the projection on ``(N, D)`` data (rows = samples)."""
@@ -43,8 +134,12 @@ class PCAReducer:
         k = min(self.n_components, d, n - 1)
         self.mean_ = data.mean(axis=0)
         centered = data - self.mean_
-        # Economy SVD; components are right singular vectors.
-        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        if self._use_randomized(n, d, k):
+            rng = self._rng or np.random.default_rng(0)
+            _, singular_values, vt = randomized_svd(centered, k, rng=rng)
+        else:
+            # Economy SVD; components are right singular vectors.
+            _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
         self.components_ = vt[:k]
         variance = (singular_values[:k] ** 2) / max(n - 1, 1)
         self.explained_variance_ = variance

@@ -1,0 +1,29 @@
+"""``repro.serve`` — the throughput-oriented split-inference serving engine.
+
+The paper's deployment story (§2.5 / Figure 2) is one edge device sending
+one noisy activation at a time.  A multi-user deployment serves many
+concurrent requests, and that is where batching pays: this package adds a
+request queue and micro-batcher (:mod:`repro.serve.queue`), a batched
+session running one stacked local/remote pass and one wire frame per
+micro-batch (:mod:`repro.serve.session`), and per-session metrics —
+latency percentiles, batch occupancy, bytes on the wire
+(:mod:`repro.serve.metrics`).
+
+Batched serving is bit-for-bit equivalent to the retained sequential
+reference path (:class:`repro.edge.InferenceSession`) on the same request
+stream: both run the batch-invariant executor and consume the same noise
+sample stream.  Build a session directly, or via
+:meth:`repro.core.ShredderPipeline.deploy`.
+"""
+
+from repro.serve.metrics import ServingMetrics
+from repro.serve.queue import InferenceRequest, MicroBatcher, RequestQueue
+from repro.serve.session import BatchedInferenceSession
+
+__all__ = [
+    "BatchedInferenceSession",
+    "InferenceRequest",
+    "MicroBatcher",
+    "RequestQueue",
+    "ServingMetrics",
+]

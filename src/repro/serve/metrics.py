@@ -1,0 +1,96 @@
+"""Per-session serving metrics: latency percentiles, occupancy, traffic.
+
+Wall-clock latency is measured from request submission to prediction
+demultiplexing (so it includes queueing delay inside the batching window);
+the simulated channel seconds come from the :class:`~repro.edge.Channel`
+cost model and are reported separately — the two axes a deployment tunes
+against each other when picking a batching window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ServingMetrics:
+    """Accumulated statistics for one serving session.
+
+    Attributes:
+        requests: Completed requests.
+        samples: Total image rows across completed requests.
+        micro_batches: Stacked round trips taken.
+        uplink_bytes / downlink_bytes: Wire traffic.
+        wall_seconds: Wall-clock time spent inside ``step`` calls.
+        simulated_wire_seconds: Channel-model transfer time.
+        latencies: Per-request wall-clock latency (submission to result).
+        occupancies: Requests per micro-batch.
+    """
+
+    requests: int = 0
+    samples: int = 0
+    micro_batches: int = 0
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+    wall_seconds: float = 0.0
+    simulated_wire_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+    occupancies: list[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def latency_percentile(self, q: float) -> float:
+        """Wall-clock latency percentile ``q`` (in seconds)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, q))
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean requests per micro-batch (the batching win)."""
+        if not self.occupancies:
+            return 0.0
+        return float(np.mean(self.occupancies))
+
+    @property
+    def requests_per_second(self) -> float:
+        """Completed requests per wall-clock second of serving work."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests / self.wall_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-friendly summary (used by the serving benchmark)."""
+        return {
+            "requests": self.requests,
+            "samples": self.samples,
+            "micro_batches": self.micro_batches,
+            "mean_occupancy": self.mean_occupancy,
+            "uplink_bytes": self.uplink_bytes,
+            "downlink_bytes": self.downlink_bytes,
+            "wall_seconds": self.wall_seconds,
+            "simulated_wire_seconds": self.simulated_wire_seconds,
+            "requests_per_second": self.requests_per_second,
+            "latency_p50_ms": 1e3 * self.latency_percentile(50),
+            "latency_p90_ms": 1e3 * self.latency_percentile(90),
+            "latency_p99_ms": 1e3 * self.latency_percentile(99),
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        d = self.as_dict()
+        return (
+            f"requests          {d['requests']} ({d['samples']} samples in "
+            f"{d['micro_batches']} micro-batches, "
+            f"occupancy {d['mean_occupancy']:.2f})\n"
+            f"throughput        {d['requests_per_second']:.0f} req/s "
+            f"({d['wall_seconds']*1e3:.1f} ms wall)\n"
+            f"latency           p50 {d['latency_p50_ms']:.2f} ms   "
+            f"p90 {d['latency_p90_ms']:.2f} ms   p99 {d['latency_p99_ms']:.2f} ms\n"
+            f"wire              {d['uplink_bytes']/1e6:.3f} MB up / "
+            f"{d['downlink_bytes']/1e6:.3f} MB down, "
+            f"{d['simulated_wire_seconds']*1e3:.1f} ms simulated"
+        )

@@ -1,0 +1,139 @@
+"""Request queue and micro-batcher for the serving runtime.
+
+Incoming requests (each a small image batch from one user) are appended to
+a FIFO :class:`RequestQueue`; the :class:`MicroBatcher` drains up to
+``batch_window`` pending requests at a time, which the session then pushes
+through one stacked edge/cloud round trip.  FIFO draining preserves arrival
+order, which is what makes the batched engine consume the shared noise
+generator exactly as the sequential reference path would — the foundation
+of the bit-for-bit parity guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class InferenceRequest:
+    """One pending request.
+
+    Attributes:
+        request_id: Session-unique, monotonically increasing id.
+        images: ``(n, C, H, W)`` image batch (single images are stored with
+            the batch dimension restored).
+        submitted_at: Wall-clock submission time (for latency accounting).
+    """
+
+    request_id: int
+    images: np.ndarray
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def rows(self) -> int:
+        """Samples this request contributes to a micro-batch."""
+        return len(self.images)
+
+
+class RequestQueue:
+    """FIFO queue assigning request ids at submission."""
+
+    def __init__(self) -> None:
+        self._pending: deque[InferenceRequest] = deque()
+        self._next_id = 0
+
+    def submit(self, images: np.ndarray) -> int:
+        """Enqueue one request; returns its id.
+
+        A 3-D ``(C, H, W)`` array is treated as a single image.
+        """
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4:
+            raise ConfigurationError(
+                f"requests must be (C, H, W) or (n, C, H, W) images, "
+                f"got shape {images.shape}"
+            )
+        if len(images) == 0:
+            raise ConfigurationError("cannot submit an empty request")
+        request = InferenceRequest(request_id=self._next_id, images=images)
+        self._next_id += 1
+        self._pending.append(request)
+        return request.request_id
+
+    def pop_window(self, max_requests: int) -> list[InferenceRequest]:
+        """Dequeue up to ``max_requests`` requests in arrival order."""
+        if max_requests < 1:
+            raise ConfigurationError(
+                f"window must be >= 1 request, got {max_requests}"
+            )
+        window: list[InferenceRequest] = []
+        while self._pending and len(window) < max_requests:
+            window.append(self._pending.popleft())
+        return window
+
+    def requeue_front(self, requests: list[InferenceRequest]) -> None:
+        """Return already-popped requests to the head of the queue.
+
+        Used by the micro-batcher when a row cap splits a window; the
+        requests re-enter in their original arrival order, preserving FIFO.
+        """
+        for request in reversed(requests):
+            self._pending.appendleft(request)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+
+class MicroBatcher:
+    """Groups pending requests into micro-batches.
+
+    Args:
+        queue: The request source.
+        batch_window: Maximum requests stacked per micro-batch.
+        max_rows: Optional cap on total image rows per micro-batch (bounds
+            the stacked activation's memory for multi-image requests); a
+            single oversized request still ships alone rather than starve.
+    """
+
+    def __init__(
+        self,
+        queue: RequestQueue,
+        batch_window: int = 8,
+        max_rows: int | None = None,
+    ) -> None:
+        if batch_window < 1:
+            raise ConfigurationError(
+                f"batch window must be >= 1, got {batch_window}"
+            )
+        if max_rows is not None and max_rows < 1:
+            raise ConfigurationError(f"max_rows must be >= 1, got {max_rows}")
+        self.queue = queue
+        self.batch_window = batch_window
+        self.max_rows = max_rows
+
+    def next_batch(self) -> list[InferenceRequest]:
+        """The next micro-batch (empty list when the queue is drained)."""
+        window = self.queue.pop_window(self.batch_window)
+        if not window or self.max_rows is None:
+            return window
+        taken: list[InferenceRequest] = []
+        rows = 0
+        for index, request in enumerate(window):
+            if taken and rows + request.rows > self.max_rows:
+                # Put the remainder back in order for the next batch.
+                self.queue.requeue_front(window[index:])
+                break
+            taken.append(request)
+            rows += request.rows
+        return taken

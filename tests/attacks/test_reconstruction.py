@@ -124,3 +124,32 @@ class TestAgainstRealSplitModel:
         )
         assert clean_report.advantage > 0.1
         assert noisy_report.advantage < clean_report.advantage
+
+
+class TestVectorisedMatchingParity:
+    def test_blocked_matches_reference_loop(self, rng):
+        # Well-separated corpus: distance gaps are O(1), far above any
+        # ulp-level difference between GEMM geometries, so the chosen
+        # indices must agree exactly.
+        corpus_inputs = rng.normal(size=(40, 1, 6, 6)).astype(np.float32)
+        corpus_acts = rng.normal(size=(40, 17)).astype(np.float32)
+        inverter = NearestNeighbourInverter(corpus_inputs, corpus_acts)
+        observed = corpus_acts[:15] + rng.normal(0, 0.05, size=(15, 17)).astype(np.float32)
+        np.testing.assert_array_equal(
+            inverter.reconstruct(observed),
+            inverter.reconstruct_reference(observed),
+        )
+
+    def test_blocking_boundaries_do_not_change_matches(self, rng, monkeypatch):
+        from repro.attacks import _matching
+
+        corpus_inputs = rng.normal(size=(10, 4)).astype(np.float32)
+        corpus_acts = rng.normal(size=(10, 8)).astype(np.float32)
+        observed = rng.normal(size=(23, 8)).astype(np.float32)
+        inverter = NearestNeighbourInverter(corpus_inputs, corpus_acts)
+        unblocked = inverter.match_indices(observed)
+        # Force tiny blocks: matches must agree (distance gaps dominate
+        # any blocking-dependent rounding).
+        monkeypatch.setattr(_matching, "BLOCK_ELEMENTS", 16)
+        blocked = inverter.match_indices(observed)
+        np.testing.assert_array_equal(unblocked, blocked)

@@ -141,3 +141,49 @@ class TestProperties:
         report = run_reidentification(pool, pool + shift)
         assert report.top1_rate >= 0.5
         assert report.top1_rate > report.chance_top1
+
+
+def _assert_rankings_equivalent(attack, a, b, observed):
+    """Rankings from two computation paths must order by the same
+    distances: identical where gaps are real, tolerant of ulp-level
+    swaps between near-equal candidates (different GEMM geometries may
+    round differently in the last place)."""
+    if np.array_equal(a, b):
+        return
+    flat = observed.reshape(len(observed), -1).astype(np.float64)
+    for row, (ranked_a, ranked_b) in enumerate(zip(a, b)):
+        distances = ((attack._pool - flat[row][None, :]) ** 2).sum(axis=1)
+        np.testing.assert_allclose(
+            distances[ranked_a], distances[ranked_b], rtol=1e-9, atol=1e-9
+        )
+
+
+class TestVectorisedRankingParity:
+    def test_blocked_matches_reference_loop(self, pool, rng):
+        attack = ReidentificationAttack(pool)
+        observed = pool + rng.normal(0, 0.05, size=pool.shape)
+        _assert_rankings_equivalent(
+            attack,
+            attack.rank_candidates(observed),
+            attack.rank_candidates_reference(observed),
+            observed,
+        )
+
+    def test_blocking_boundaries_do_not_change_ranking(self, pool, rng, monkeypatch):
+        from repro.attacks import _matching
+
+        attack = ReidentificationAttack(pool)
+        observed = pool + rng.normal(0, 0.1, size=pool.shape)
+        unblocked = attack.rank_candidates(observed)
+        monkeypatch.setattr(_matching, "BLOCK_ELEMENTS", 8)
+        blocked = attack.rank_candidates(observed)
+        _assert_rankings_equivalent(attack, unblocked, blocked, observed)
+
+    def test_report_identical_between_paths(self, pool, rng):
+        attack = ReidentificationAttack(pool)
+        observed = pool + rng.normal(0, 0.2, size=pool.shape)
+        fast = attack.evaluate(observed, np.arange(len(pool)), k=3)
+        ranking = attack.rank_candidates_reference(observed)
+        positions = np.argmax(ranking == np.arange(len(pool))[:, None], axis=1)
+        assert fast.top1_rate == pytest.approx(float(np.mean(positions == 0)))
+        assert fast.mean_rank == pytest.approx(float(np.mean(positions + 1)))

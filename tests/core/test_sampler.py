@@ -136,3 +136,33 @@ class TestCollectHelper:
     def test_requires_positive_members(self):
         with pytest.raises(ConfigurationError):
             collect_noise_distribution(lambda i: None, n_members=0)
+
+
+class TestSampleSplits:
+    """The serving runtime's draw-parity contract."""
+
+    @pytest.fixture()
+    def collection(self, rng):
+        collection = NoiseCollection((2, 3))
+        for _ in range(5):
+            collection.add(rng.normal(size=(2, 3)).astype(np.float32), 0.8, 0.1)
+        return collection
+
+    def test_matches_consecutive_sample_batch_calls(self, collection):
+        """One vectorised draw must equal per-request draws — this is what
+        makes batched serving bit-identical to the sequential path."""
+        splits = [1, 3, 2, 1, 4]
+        vectorised = collection.sample_splits(np.random.default_rng(99), splits)
+        rng = np.random.default_rng(99)
+        sequential = np.concatenate(
+            [collection.sample_batch(rng, rows) for rows in splits]
+        )
+        np.testing.assert_array_equal(vectorised, sequential)
+
+    def test_total_rows(self, collection):
+        out = collection.sample_splits(np.random.default_rng(0), [2, 1, 3])
+        assert out.shape == (6, 2, 3)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(TrainingError):
+            NoiseCollection((2,)).sample_splits(np.random.default_rng(0), [1])

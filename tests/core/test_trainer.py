@@ -112,3 +112,71 @@ class TestValidation:
         trainer.train(fresh_noise(trainer), iterations=30)
         for name, param in lenet_bundle.model.named_parameters():
             np.testing.assert_array_equal(param.numpy(), before[name]), name
+
+
+class TestStreamingEvalSubset:
+    def _make_trainer(self, lenet_bundle, eval_subset):
+        split = SplitInferenceModel(lenet_bundle.model)
+        return NoiseTrainer(
+            split,
+            lenet_bundle.train_set,
+            lenet_bundle.test_set,
+            loss=ShredderLoss(1e-3),
+            lr=1e-2,
+            batch_size=32,
+            eval_every=10,
+            rng=np.random.default_rng(0),
+            eval_subset=eval_subset,
+            eval_rng=np.random.default_rng(42),
+        )
+
+    def test_trained_noise_identical_to_full_eval_run(self, lenet_bundle):
+        """Subset probing must not perturb training (it only reads)."""
+        full = self._make_trainer(lenet_bundle, None).train(
+            fresh_noise(self._make_trainer(lenet_bundle, None)), 40
+        )
+        subset = self._make_trainer(lenet_bundle, 16).train(
+            fresh_noise(self._make_trainer(lenet_bundle, 16)), 40
+        )
+        np.testing.assert_array_equal(full.noise, subset.noise)
+
+    def test_final_accuracy_is_full_set(self, lenet_bundle):
+        trainer_full = self._make_trainer(lenet_bundle, None)
+        trainer_sub = self._make_trainer(lenet_bundle, 8)
+        result_full = trainer_full.train(fresh_noise(trainer_full), 21)
+        result_sub = trainer_sub.train(fresh_noise(trainer_sub), 21)
+        assert result_sub.final_accuracy == result_full.final_accuracy
+
+    def test_probe_schedule_unchanged(self, lenet_bundle):
+        trainer = self._make_trainer(lenet_bundle, 8)
+        result = trainer.train(fresh_noise(trainer), 25)
+        assert result.history.accuracy_iterations == [0, 10, 20, 24]
+        assert len(result.history.accuracies) == 4
+
+    def test_subset_probes_rotate_through_eval_set(self, lenet_bundle):
+        from repro.core.trainer import _StreamingEvalPlan
+
+        n = 96
+        plan = _StreamingEvalPlan(n, 8, np.random.default_rng(0))
+        seen = set()
+        for _ in range(n // 8):
+            window = plan.indices()
+            assert len(window) == 8
+            seen.update(window.tolist())
+        # One full rotation covers the whole eval set exactly once.
+        assert len(seen) == n
+
+    def test_train_many_matches_sequential_with_subset(self, lenet_bundle):
+        trainer = self._make_trainer(lenet_bundle, 12)
+        noises = [fresh_noise(trainer, seed=i) for i in range(3)]
+        results = trainer.train_many(noises, 15)
+        assert len(results) == 3
+        for result in results:
+            assert len(result.history.accuracies) == len(
+                result.history.accuracy_iterations
+            )
+
+    def test_invalid_subset_rejected(self, lenet_bundle):
+        trainer = self._make_trainer(lenet_bundle, 0)
+        with pytest.raises(TrainingError):
+            trainer.train(fresh_noise(trainer), 11)

@@ -90,3 +90,73 @@ class TestCutCosts:
     def test_unknown_cut(self, lenet):
         with pytest.raises(ModelError):
             cut_cost(lenet, "conv9")
+
+
+class TestBatchedCosts:
+    def test_batch_one_adds_only_frame_overhead(self, lenet):
+        from repro.edge import batch_frame_overhead, batched_cut_costs
+
+        base = {c.cut: c for c in cut_costs(lenet)}
+        for cost in batched_cut_costs(lenet, batch_size=1):
+            payload = base[cost.cut].megabytes * 1e6
+            assert cost.wire_bytes == pytest.approx(
+                payload + batch_frame_overhead(1, ndim=4)
+            )
+            assert cost.kilomacs == base[cost.cut].kilomacs
+
+    def test_amortisation_decreases_with_batch_size(self, lenet):
+        from repro.edge import batched_cut_costs
+
+        by_batch = {
+            b: {c.cut: c for c in batched_cut_costs(lenet, batch_size=b)}
+            for b in (1, 8, 64)
+        }
+        for cut in by_batch[1]:
+            assert (
+                by_batch[64][cut].wire_bytes
+                < by_batch[8][cut].wire_bytes
+                < by_batch[1][cut].wire_bytes
+            )
+            # kMACs are flat in the batch size.
+            assert by_batch[64][cut].kilomacs == by_batch[1][cut].kilomacs
+
+    def test_quantised_wire_shrinks_payload(self, lenet):
+        from repro.edge import QuantizationParams, batched_cut_cost
+
+        cut = lenet.last_conv_cut()
+        params = QuantizationParams(scale=0.1, zero_point=0, bits=8)
+        fp32 = batched_cut_cost(lenet, cut, batch_size=8)
+        q8 = batched_cut_cost(
+            lenet, cut, batch_size=8, bytes_per_element=params.bytes_per_element
+        )
+        assert q8.wire_bytes < 0.5 * fp32.wire_bytes
+
+    def test_invalid_arguments(self, lenet):
+        from repro.edge import batched_cut_cost, batched_cut_costs
+
+        with pytest.raises(ModelError):
+            batched_cut_costs(lenet, batch_size=0)
+        with pytest.raises(ModelError):
+            batched_cut_costs(lenet, bytes_per_element=0)
+        with pytest.raises(ModelError):
+            batched_cut_cost(lenet, "conv99", batch_size=2)
+
+
+class TestPlannerBatchAxis:
+    def test_batched_planner_uses_amortised_costs(self, lenet):
+        from repro.edge import CuttingPointPlanner, batched_cut_cost
+
+        privacy = {cut: 0.1 for cut in lenet.cut_names()}
+        planner = CuttingPointPlanner(lenet, privacy, batch_size=16)
+        for candidate in planner.candidates:
+            expected = batched_cut_cost(lenet, candidate.cut, batch_size=16)
+            assert candidate.cost.product == pytest.approx(expected.product)
+
+    def test_default_planner_unchanged(self, lenet):
+        from repro.edge import CuttingPointPlanner
+
+        privacy = {cut: 0.1 for cut in lenet.cut_names()}
+        planner = CuttingPointPlanner(lenet, privacy)
+        base = {c.cut: c for c in cut_costs(lenet)}
+        for candidate in planner.candidates:
+            assert candidate.cost.product == base[candidate.cut].product

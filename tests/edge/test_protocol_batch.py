@@ -1,0 +1,193 @@
+"""Batched wire-frame tests: round trips, quantised payloads, corruption.
+
+The batched frame is the serving runtime's unit of transfer; like the
+single-request format it must reject every malformed frame with
+:class:`ChannelError` rather than crash or silently mis-parse, and its
+request table must survive the trip exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge import (
+    BatchActivationMessage,
+    BatchPredictionMessage,
+    QuantizationParams,
+    batch_frame_overhead,
+    decode_activation_batch,
+    decode_prediction_batch,
+    encode_activation_batch,
+    encode_prediction_batch,
+)
+from repro.errors import ChannelError
+
+
+def make_frame(splits=(1, 2, 1), per_sample=(3, 2), dtype=np.float32, seed=0,
+               quantization=None):
+    rng = np.random.default_rng(seed)
+    rows = int(sum(splits))
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        info = np.iinfo(dtype)
+        low = max(info.min, -1000)
+        tensor = rng.integers(low, min(info.max, 1000), size=(rows, *per_sample)).astype(dtype)
+    else:
+        tensor = rng.normal(size=(rows, *per_sample)).astype(dtype)
+    message = BatchActivationMessage(
+        request_ids=tuple(range(10, 10 + len(splits))),
+        splits=tuple(splits),
+        tensor=tensor,
+        quantization=quantization,
+    )
+    return message, encode_activation_batch(message)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "splits,per_sample",
+        [((1,), (4,)), ((1, 1, 1), (2, 3)), ((2, 5, 1), (3, 2, 2)), ((3,), (1, 1, 1, 1))],
+    )
+    def test_shapes_and_splits(self, splits, per_sample):
+        message, blob = make_frame(splits, per_sample)
+        decoded = decode_activation_batch(blob)
+        assert decoded.request_ids == message.request_ids
+        assert decoded.splits == message.splits
+        np.testing.assert_array_equal(decoded.tensor, message.tensor)
+        assert decoded.quantization is None
+
+    @pytest.mark.parametrize(
+        "dtype", [np.float32, np.float64, np.int64, np.uint8, np.uint16]
+    )
+    def test_dtypes(self, dtype):
+        message, blob = make_frame(dtype=dtype)
+        decoded = decode_activation_batch(blob)
+        assert decoded.tensor.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(decoded.tensor, message.tensor)
+
+    def test_quantised_params_travel(self):
+        params = QuantizationParams(scale=0.125, zero_point=31, bits=8)
+        message, blob = make_frame(dtype=np.uint8, quantization=params)
+        decoded = decode_activation_batch(blob)
+        assert decoded.quantization == params
+
+    def test_prediction_frame_and_demux(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(4, 10)).astype(np.float32)
+        message = BatchPredictionMessage(
+            request_ids=(7, 9, 11), splits=(1, 2, 1), logits=logits
+        )
+        decoded = decode_prediction_batch(encode_prediction_batch(message))
+        parts = decoded.split_logits()
+        assert [len(p) for p in parts] == [1, 2, 1]
+        np.testing.assert_array_equal(np.concatenate(parts), logits)
+
+    def test_frame_overhead_is_exact(self):
+        for splits in [(1,), (1, 1, 1, 1), (2, 3)]:
+            for quantization in [None, QuantizationParams(0.1, 0, 8)]:
+                message, blob = make_frame(
+                    splits, (3, 2), dtype=np.uint8 if quantization else np.float32,
+                    quantization=quantization,
+                )
+                payload = message.tensor.nbytes
+                assert len(blob) - payload == batch_frame_overhead(
+                    len(splits), ndim=3, quantized=quantization is not None
+                )
+
+    @given(
+        splits=st.lists(st.integers(1, 4), min_size=1, max_size=6),
+        width=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, splits, width, seed):
+        message, blob = make_frame(tuple(splits), (width,), seed=seed)
+        decoded = decode_activation_batch(blob)
+        assert decoded.request_ids == message.request_ids
+        assert decoded.splits == message.splits
+        np.testing.assert_array_equal(decoded.tensor, message.tensor)
+
+
+class TestEncodeValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ChannelError):
+            encode_activation_batch(
+                BatchActivationMessage((), (), np.zeros((0, 2), np.float32))
+            )
+
+    def test_split_sum_mismatch_rejected(self):
+        with pytest.raises(ChannelError, match="splits"):
+            encode_activation_batch(
+                BatchActivationMessage((1, 2), (1, 2), np.zeros((2, 2), np.float32))
+            )
+
+    def test_zero_row_request_rejected(self):
+        with pytest.raises(ChannelError):
+            encode_activation_batch(
+                BatchActivationMessage((1, 2), (2, 0), np.zeros((2, 2), np.float32))
+            )
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ChannelError, match="dtype"):
+            encode_activation_batch(
+                BatchActivationMessage((1,), (2,), np.zeros((2, 2), np.complex64))
+            )
+
+
+class TestCorruption:
+    def test_payload_bitflip_detected(self):
+        _, blob = make_frame()
+        corrupted = bytearray(blob)
+        corrupted[-10] ^= 0xFF  # inside payload/CRC territory
+        with pytest.raises(ChannelError):
+            decode_activation_batch(bytes(corrupted))
+
+    def test_bad_magic_rejected(self):
+        _, blob = make_frame()
+        with pytest.raises(ChannelError, match="magic"):
+            decode_activation_batch(b"XXXX" + blob[4:])
+
+    def test_kind_mismatch_rejected(self):
+        _, blob = make_frame()
+        with pytest.raises(ChannelError, match="kind"):
+            decode_prediction_batch(blob)
+
+    def test_truncations_rejected_everywhere(self):
+        _, blob = make_frame()
+        for cut in [0, 3, 8, 12, 20, len(blob) - 3, len(blob) - 1]:
+            with pytest.raises(ChannelError):
+                decode_activation_batch(blob[:cut])
+
+    def test_declared_rows_vs_shape_mismatch(self):
+        message, blob = make_frame(splits=(2, 2), per_sample=(3,))
+        corrupted = bytearray(blob)
+        # splits live right after the fixed header + 2 request ids.
+        offset = 10 + 2 * 8
+        corrupted[offset] = 3  # now splits sum to 5, shape says 4 rows
+        with pytest.raises(ChannelError):
+            decode_activation_batch(bytes(corrupted))
+
+    @given(junk=st.binary(min_size=0, max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_random_bytes_never_crash(self, junk):
+        try:
+            decode_activation_batch(junk)
+        except ChannelError:
+            pass
+
+    @given(seed=st.integers(0, 2**16), flip=st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_single_bitflip_never_crashes(self, seed, flip):
+        _, blob = make_frame(seed=seed)
+        corrupted = bytearray(blob)
+        position = flip % len(corrupted)
+        corrupted[position] ^= 1 << (flip % 8)
+        try:
+            decoded = decode_activation_batch(bytes(corrupted))
+        except ChannelError:
+            return
+        # A surviving flip must not have altered the payload (CRC-covered).
+        original = decode_activation_batch(blob)
+        np.testing.assert_array_equal(decoded.tensor, original.tensor)

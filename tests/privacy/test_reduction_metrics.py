@@ -136,3 +136,75 @@ class TestInformationLoss:
     def test_percent_requires_positive_original(self):
         with pytest.raises(EstimatorError):
             information_loss_percent(0.0, 0.0)
+
+
+class TestRandomizedSVD:
+    def _spectrum_data(self, rng, n=60, d=40, k=6):
+        # Well-separated decaying spectrum so the sketch captures the
+        # subspace to near machine precision.
+        u, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        v, _ = np.linalg.qr(rng.standard_normal((d, d)))
+        s = np.zeros((n, d))
+        s[np.arange(min(n, d)), np.arange(min(n, d))] = 10.0 ** -np.arange(min(n, d))
+        return u @ s @ v.T
+
+    def test_seeded_parity_with_exact_svd(self, rng):
+        from repro.privacy import randomized_svd
+
+        data = self._spectrum_data(rng)
+        _, s_exact, vt_exact = np.linalg.svd(data, full_matrices=False)
+        _, s_rand, vt_rand = randomized_svd(
+            data, 5, rng=np.random.default_rng(7)
+        )
+        np.testing.assert_allclose(s_rand, s_exact[:5], rtol=1e-8)
+        # Components agree up to sign.
+        overlap = np.abs(np.sum(vt_rand * vt_exact[:5], axis=1))
+        np.testing.assert_allclose(overlap, 1.0, atol=1e-8)
+
+    def test_reducer_randomized_matches_exact_projection(self, rng):
+        data = self._spectrum_data(rng, n=80, d=50, k=4) + rng.standard_normal((80, 50)) * 1e-9
+        exact = PCAReducer(4, svd="exact").fit(data)
+        randomized = PCAReducer(
+            4, svd="randomized", rng=np.random.default_rng(3)
+        ).fit(data)
+        np.testing.assert_allclose(
+            randomized.explained_variance_, exact.explained_variance_, rtol=1e-6
+        )
+        # Projections agree up to per-component sign.
+        signs = np.sign(
+            np.sum(randomized.components_ * exact.components_, axis=1)
+        )
+        np.testing.assert_allclose(
+            randomized.transform(data) * signs,
+            exact.transform(data),
+            atol=1e-6,
+        )
+
+    def test_randomized_is_seed_deterministic(self, rng):
+        data = rng.standard_normal((40, 30))
+        a = PCAReducer(3, svd="randomized", rng=np.random.default_rng(5)).fit_transform(data)
+        b = PCAReducer(3, svd="randomized", rng=np.random.default_rng(5)).fit_transform(data)
+        np.testing.assert_array_equal(a, b)
+
+    def test_auto_stays_exact_on_small_inputs(self, rng):
+        data = rng.standard_normal((50, 20))
+        auto = PCAReducer(4, svd="auto").fit(data)
+        exact = PCAReducer(4, svd="exact").fit(data)
+        np.testing.assert_array_equal(auto.components_, exact.components_)
+
+    def test_auto_goes_randomized_at_scale(self):
+        from repro.privacy.reduction import PCAReducer as Reducer
+
+        reducer = Reducer(8, svd="auto")
+        assert reducer._use_randomized(n=1000, d=4000, k=8)
+        assert not reducer._use_randomized(n=100, d=50, k=8)
+
+    def test_invalid_arguments(self, rng):
+        from repro.privacy import randomized_svd
+
+        with pytest.raises(EstimatorError):
+            PCAReducer(3, svd="qr")
+        with pytest.raises(EstimatorError):
+            randomized_svd(rng.standard_normal((10, 5)), 9)
+        with pytest.raises(EstimatorError):
+            randomized_svd(rng.standard_normal(10), 2)

@@ -1,0 +1,100 @@
+"""Request queue and micro-batcher unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import MicroBatcher, RequestQueue
+
+
+def image(n=1):
+    return np.zeros((n, 1, 4, 4), dtype=np.float32)
+
+
+class TestRequestQueue:
+    def test_fifo_ids(self):
+        queue = RequestQueue()
+        assert queue.submit(image()) == 0
+        assert queue.submit(image()) == 1
+        window = queue.pop_window(5)
+        assert [r.request_id for r in window] == [0, 1]
+        assert len(queue) == 0
+
+    def test_single_image_gains_batch_dim(self):
+        queue = RequestQueue()
+        queue.submit(np.zeros((1, 4, 4), dtype=np.float32))
+        request = queue.pop_window(1)[0]
+        assert request.images.shape == (1, 1, 4, 4)
+        assert request.rows == 1
+
+    def test_invalid_shapes_rejected(self):
+        queue = RequestQueue()
+        with pytest.raises(ConfigurationError):
+            queue.submit(np.zeros((4, 4), dtype=np.float32))
+        with pytest.raises(ConfigurationError):
+            queue.submit(image(0))
+
+    def test_pop_window_bounds(self):
+        queue = RequestQueue()
+        for _ in range(5):
+            queue.submit(image())
+        assert len(queue.pop_window(3)) == 3
+        assert len(queue.pop_window(3)) == 2
+        assert queue.pop_window(3) == []
+        with pytest.raises(ConfigurationError):
+            queue.pop_window(0)
+
+
+class TestMicroBatcher:
+    def test_window_respected(self):
+        queue = RequestQueue()
+        for _ in range(10):
+            queue.submit(image())
+        batcher = MicroBatcher(queue, batch_window=4)
+        sizes = []
+        while True:
+            batch = batcher.next_batch()
+            if not batch:
+                break
+            sizes.append(len(batch))
+        assert sizes == [4, 4, 2]
+
+    def test_max_rows_caps_multi_image_requests(self):
+        queue = RequestQueue()
+        for rows in (3, 3, 3):
+            queue.submit(image(rows))
+        batcher = MicroBatcher(queue, batch_window=8, max_rows=6)
+        first = batcher.next_batch()
+        assert [r.rows for r in first] == [3, 3]
+        second = batcher.next_batch()
+        assert [r.rows for r in second] == [3]
+
+    def test_oversized_request_still_ships_alone(self):
+        queue = RequestQueue()
+        queue.submit(image(10))
+        queue.submit(image(1))
+        batcher = MicroBatcher(queue, batch_window=4, max_rows=4)
+        first = batcher.next_batch()
+        assert [r.rows for r in first] == [10]
+        assert [r.rows for r in batcher.next_batch()] == [1]
+
+    def test_order_preserved_after_putback(self):
+        queue = RequestQueue()
+        ids = [queue.submit(image(2)) for _ in range(4)]
+        batcher = MicroBatcher(queue, batch_window=4, max_rows=4)
+        seen = []
+        while True:
+            batch = batcher.next_batch()
+            if not batch:
+                break
+            seen.extend(r.request_id for r in batch)
+        assert seen == ids
+
+    def test_invalid_config_rejected(self):
+        queue = RequestQueue()
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(queue, batch_window=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(queue, batch_window=2, max_rows=0)

@@ -1,0 +1,241 @@
+"""Batched serving session tests: the parity contract and accounting.
+
+The acceptance property of the serving runtime: on the same request stream
+with identically seeded noise generators, the batched session produces
+**bit-identical** logits to the retained sequential reference path —
+regardless of batching window or mixed request sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseCollection, ShredderPipeline, SplitInferenceModel
+from repro.edge import Channel, InferenceSession, calibrate, dequantize, quantize
+from repro.errors import ConfigurationError
+from repro.serve import BatchedInferenceSession
+
+
+@pytest.fixture(scope="module")
+def collection(lenet_module_bundle):
+    split = SplitInferenceModel(lenet_module_bundle.model)
+    rng = np.random.default_rng(5)
+    collection = NoiseCollection(split.activation_shape)
+    for _ in range(4):
+        collection.add(
+            rng.laplace(0, 0.05, size=split.activation_shape).astype(np.float32),
+            accuracy=0.8,
+            in_vivo_privacy=0.1,
+        )
+    return collection
+
+
+@pytest.fixture(scope="module")
+def lenet_module_bundle():
+    from repro.config import TINY, Config
+    from repro.models import get_pretrained
+
+    return get_pretrained("lenet", Config(scale=TINY))
+
+
+def _sessions(bundle, collection, seed=11, window=4, quantization=None):
+    cut = bundle.model.last_conv_cut()
+    mean = np.zeros(1, dtype=np.float32)
+    std = np.ones(1, dtype=np.float32)
+    sequential = InferenceSession(
+        bundle.model, cut, mean, std, noise=collection,
+        rng=np.random.default_rng(seed),
+    )
+    batched = BatchedInferenceSession(
+        bundle.model, cut, mean, std, noise=collection,
+        rng=np.random.default_rng(seed), batch_window=window,
+        quantization=quantization,
+    )
+    return sequential, batched
+
+
+def _single_image_stream(bundle, n):
+    images = bundle.test_set.images
+    return [images[i % len(images)][None] for i in range(n)]
+
+
+class TestBitwiseParity:
+    def test_single_image_stream(self, lenet_module_bundle, collection):
+        sequential, batched = _sessions(lenet_module_bundle, collection)
+        stream = _single_image_stream(lenet_module_bundle, 13)
+        expected = [sequential.infer(images) for images in stream]
+        actual = batched.infer_stream(stream)
+        assert len(actual) == len(expected)
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    def test_mixed_request_sizes(self, lenet_module_bundle, collection):
+        sequential, batched = _sessions(lenet_module_bundle, collection, window=3)
+        images = lenet_module_bundle.test_set.images
+        sizes = [1, 3, 2, 1, 5, 1, 2]
+        stream, start = [], 0
+        for size in sizes:
+            stream.append(images[start : start + size])
+            start += size
+        expected = [sequential.infer(batch) for batch in stream]
+        actual = batched.infer_stream(stream)
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("window", [1, 2, 8, 64])
+    def test_any_window_is_equivalent(self, lenet_module_bundle, collection, window):
+        sequential, batched = _sessions(
+            lenet_module_bundle, collection, window=window
+        )
+        stream = _single_image_stream(lenet_module_bundle, 9)
+        expected = np.concatenate([sequential.infer(x) for x in stream])
+        actual = np.concatenate(batched.infer_stream(stream))
+        np.testing.assert_array_equal(expected, actual)
+
+    def test_classify_stream_labels_identical(self, lenet_module_bundle, collection):
+        sequential, batched = _sessions(lenet_module_bundle, collection)
+        stream = _single_image_stream(lenet_module_bundle, 10)
+        expected = np.concatenate([sequential.classify(x) for x in stream])
+        actual = np.concatenate(batched.classify_stream(stream))
+        np.testing.assert_array_equal(expected, actual)
+
+    def test_no_noise_baseline_parity(self, lenet_module_bundle):
+        cut = lenet_module_bundle.model.last_conv_cut()
+        mean, std = np.zeros(1, np.float32), np.ones(1, np.float32)
+        sequential = InferenceSession(lenet_module_bundle.model, cut, mean, std)
+        batched = BatchedInferenceSession(
+            lenet_module_bundle.model, cut, mean, std, batch_window=4
+        )
+        stream = _single_image_stream(lenet_module_bundle, 6)
+        expected = [sequential.infer(x) for x in stream]
+        actual = batched.infer_stream(stream)
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestQuantizedServing:
+    def test_quantized_matches_per_request_quantization(
+        self, lenet_module_bundle, collection
+    ):
+        """Stacked-once quantisation == per-request quantisation (it is an
+        elementwise map), so the quantised engine must equal a hand-built
+        per-request quantise/dequantise reference."""
+        split = SplitInferenceModel(lenet_module_bundle.model)
+        activations = split.activations(lenet_module_bundle.test_set.images[:32])
+        params = calibrate(activations, bits=8)
+        sequential, batched = _sessions(
+            lenet_module_bundle, collection, quantization=params
+        )
+        stream = _single_image_stream(lenet_module_bundle, 7)
+        # Reference: run the sequential device, quantise each request's
+        # activation, dequantise, and push through the server.
+        expected = []
+        for images in stream:
+            message = sequential.device.process(images)
+            wire = dequantize(quantize(message.tensor, params), params)
+            expected.append(
+                sequential.server.handle(
+                    type(message)(request_id=message.request_id, tensor=wire)
+                ).logits
+            )
+        actual = batched.infer_stream(stream)
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    def test_quantized_uplink_smaller(self, lenet_module_bundle, collection):
+        split = SplitInferenceModel(lenet_module_bundle.model)
+        activations = split.activations(lenet_module_bundle.test_set.images[:32])
+        params = calibrate(activations, bits=8)
+        _, float_session = _sessions(lenet_module_bundle, collection)
+        _, quant_session = _sessions(
+            lenet_module_bundle, collection, quantization=params
+        )
+        stream = _single_image_stream(lenet_module_bundle, 8)
+        float_session.infer_stream(stream)
+        quant_session.infer_stream(stream)
+        assert (
+            quant_session.metrics.uplink_bytes
+            < 0.5 * float_session.metrics.uplink_bytes
+        )
+
+
+class TestSessionMechanics:
+    def test_metrics_accounting(self, lenet_module_bundle, collection):
+        _, batched = _sessions(lenet_module_bundle, collection, window=4)
+        stream = _single_image_stream(lenet_module_bundle, 10)
+        batched.infer_stream(stream)
+        metrics = batched.metrics
+        assert metrics.requests == 10
+        assert metrics.samples == 10
+        assert metrics.micro_batches == 3
+        assert metrics.occupancies == [4, 4, 2]
+        assert metrics.uplink_bytes > 0 and metrics.downlink_bytes > 0
+        assert metrics.wall_seconds > 0
+        assert metrics.simulated_wire_seconds > 0
+        assert len(metrics.latencies) == 10
+        assert metrics.latency_percentile(99) >= metrics.latency_percentile(50) > 0
+        assert metrics.requests_per_second > 0
+        report = batched.report()
+        assert report.requests == 10
+        assert report.uplink_bytes == metrics.uplink_bytes
+        as_dict = metrics.as_dict()
+        assert as_dict["mean_occupancy"] == pytest.approx(10 / 3)
+        assert "latency_p99_ms" in metrics.format() or metrics.format()
+
+    def test_submit_step_result_lifecycle(self, lenet_module_bundle, collection):
+        _, batched = _sessions(lenet_module_bundle, collection, window=8)
+        images = lenet_module_bundle.test_set.images
+        first = batched.submit(images[0])
+        second = batched.submit(images[1:3])
+        assert batched.pending == 2
+        completed = batched.step()
+        assert completed == [first, second]
+        assert batched.pending == 0
+        assert batched.result(first).shape == (1, 10)
+        assert batched.result(second).shape == (2, 10)
+        with pytest.raises(ConfigurationError):
+            batched.result(first)  # already collected
+        assert batched.step() == []  # empty queue is a no-op
+
+    def test_lossy_channel_still_delivers(self, lenet_module_bundle, collection):
+        cut = lenet_module_bundle.model.last_conv_cut()
+        batched = BatchedInferenceSession(
+            lenet_module_bundle.model, cut,
+            np.zeros(1, np.float32), np.ones(1, np.float32),
+            noise=collection,
+            channel=Channel(drop_rate=0.3, max_retries=20, rng=np.random.default_rng(1)),
+            rng=np.random.default_rng(0),
+            batch_window=4,
+        )
+        logits = batched.infer_stream(_single_image_stream(lenet_module_bundle, 6))
+        assert np.concatenate(logits).shape == (6, 10)
+
+
+class TestPipelineDeploy:
+    def test_deploy_parity_and_defaults(self, lenet_module_bundle):
+        from repro.config import TINY, Config
+
+        pipeline = ShredderPipeline(lenet_module_bundle, config=Config(scale=TINY))
+        collection = pipeline.collect(2, iterations=10)
+        batched = pipeline.deploy(collection, batch_window=4)
+        sequential = pipeline.deploy(collection, batched=False)
+        assert isinstance(batched, BatchedInferenceSession)
+        assert isinstance(sequential, InferenceSession)
+        stream = _single_image_stream(lenet_module_bundle, 6)
+        expected = [sequential.infer(x) for x in stream]
+        actual = batched.infer_stream(stream)
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    def test_deploy_quantized(self, lenet_module_bundle):
+        from repro.config import TINY, Config
+
+        pipeline = ShredderPipeline(lenet_module_bundle, config=Config(scale=TINY))
+        collection = pipeline.collect(2, iterations=10)
+        session = pipeline.deploy(collection, quantize_bits=8)
+        assert session.device.quantization is not None
+        labels = session.classify_stream(_single_image_stream(lenet_module_bundle, 5))
+        assert np.concatenate(labels).shape == (5,)
+        with pytest.raises(ConfigurationError):
+            pipeline.deploy(collection, batched=False, quantize_bits=8)

@@ -41,11 +41,22 @@ class TestParser:
             "costs",
             "collect",
             "bounds",
+            "serve",
         ],
     )
     def test_all_commands_parse(self, command):
         args = build_parser().parse_args([command])
         assert args.command == command
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--batch-window", "16", "--quantize-bits", "8",
+             "--requests", "32", "--compare-sequential"]
+        )
+        assert args.batch_window == 16
+        assert args.quantize_bits == 8
+        assert args.requests == 32
+        assert args.compare_sequential
 
 
 class TestExecution:
