@@ -15,6 +15,7 @@ writing code:
     python -m repro costs  --network svhn
     python -m repro collect --network lenet --out noise.npz
     python -m repro serve --network lenet --batch-window 8
+    python -m repro serve --network lenet --workers 4 --slo-ms 50
     python -m repro bounds --signal-power 4.0
     python -m repro report --out results/REPORT.md
 """
@@ -178,35 +179,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"training {members} noise tensors for {args.network} ...")
     collection = pipeline.collect(members)
 
+    from repro.serve import ServingEngine
+
     channel = Channel(
-        bandwidth_mbps=args.bandwidth_mbps, latency_ms=args.latency_ms
+        bandwidth_mbps=args.bandwidth_mbps,
+        latency_ms=args.latency_ms,
+        realtime=args.realtime_channel,
     )
     session = pipeline.deploy(
         collection,
         batch_window=args.batch_window,
+        workers=args.workers,
+        batch_timeout=(
+            args.batch_timeout_ms / 1e3
+            if args.batch_timeout_ms is not None
+            else None
+        ),
+        # An SLO implies deadline-aware scheduling (and thus the engine);
+        # otherwise let deploy() decide from the other knobs.
+        deadline_aware=True if args.slo_ms is not None else None,
         channel=channel,
         quantize_bits=args.quantize_bits,
     )
+    engine_mode = isinstance(session, ServingEngine)
     images = bundle.test_set.images
     labels = bundle.test_set.labels
     requests = min(args.requests, len(images))
+    runtime = (
+        f"serving engine ({args.workers} workers)" if engine_mode
+        else "batched runtime"
+    )
     print(
-        f"serving {requests} single-image requests through the batched "
-        f"runtime (window {args.batch_window}"
+        f"serving {requests} single-image requests through the {runtime} "
+        f"(window {args.batch_window}"
+        + (f", SLO {args.slo_ms:g} ms" if args.slo_ms is not None else "")
         + (f", {args.quantize_bits}-bit wire" if args.quantize_bits else "")
         + ") ..."
     )
     import time
 
+    stream = [images[i : i + 1] for i in range(requests)]
     start = time.perf_counter()
-    predictions = session.classify_stream(
-        [images[i : i + 1] for i in range(requests)]
-    )
+    if engine_mode:
+        predictions = session.classify_stream(
+            stream,
+            slo_seconds=(
+                args.slo_ms / 1e3 if args.slo_ms is not None else None
+            ),
+        )
+    else:
+        predictions = session.classify_stream(stream)
     batched_elapsed = time.perf_counter() - start
     accuracy = float(np.mean(np.concatenate(predictions) == labels[:requests]))
     print()
     print(session.metrics.format())
     print(f"accuracy          {accuracy:.1%} (clean backbone {bundle.test_accuracy:.1%})")
+    if engine_mode:
+        session.close()
     if args.compare_sequential:
         sequential = pipeline.deploy(collection, batched=False)
         start = time.perf_counter()
@@ -352,6 +381,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--bandwidth-mbps", type=float, default=100.0)
     serve.add_argument("--latency-ms", type=float, default=10.0)
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="cloud worker threads draining micro-batches concurrently "
+        "(> 1 selects the deadline-aware serving engine)",
+    )
+    serve.add_argument(
+        "--slo-ms", type=float, default=None,
+        help="per-request latency SLO in ms; enables deadline-aware "
+        "window closing and SLO-attainment reporting",
+    )
+    serve.add_argument(
+        "--batch-timeout-ms", type=float, default=None,
+        help="longest the head request waits for its window to fill "
+        "(serving engine only; default 5 ms)",
+    )
+    serve.add_argument(
+        "--realtime-channel", action="store_true",
+        help="sleep the simulated wire time so concurrent workers "
+        "genuinely overlap transfers",
+    )
     serve.add_argument(
         "--compare-sequential", action="store_true",
         help="also time the sequential reference path on the same stream",

@@ -31,7 +31,12 @@ from repro.core.distribution import DistributionSummary, FittedNoiseDistribution
 from repro.core.loss import LossParts, ShredderLoss
 from repro.core.noise_tensor import MultiNoiseTensor, NoiseTensor
 from repro.core.pipeline import ShredderPipeline, ShredderReport
-from repro.core.sampler import NoiseCollection, NoiseSample, collect_noise_distribution
+from repro.core.sampler import (
+    NoiseCollection,
+    NoiseSample,
+    NoiseStream,
+    collect_noise_distribution,
+)
 from repro.core.schedules import ConstantLambda, DecayOnTarget, LambdaSchedule
 from repro.core.snr import (
     in_vivo_privacy,
@@ -63,6 +68,7 @@ __all__ = [
     "LambdaSchedule",
     "LossParts",
     "NoiseCollection",
+    "NoiseStream",
     "NoiseSample",
     "NoiseTensor",
     "NoiseTrainer",

@@ -296,6 +296,9 @@ class ShredderPipeline:
         *,
         batched: bool = True,
         batch_window: int = 8,
+        workers: int = 1,
+        batch_timeout: float | None = None,
+        deadline_aware: bool | None = None,
         channel: Channel | None = None,
         quantize_bits: int | None = None,
         rng: np.random.Generator | None = None,
@@ -305,10 +308,14 @@ class ShredderPipeline:
         By default this returns the batched serving runtime
         (:class:`repro.serve.BatchedInferenceSession`): a request queue and
         micro-batcher in front of one stacked edge/cloud round trip per
-        ``batch_window`` requests.  ``batched=False`` returns the retained
-        sequential reference path (:class:`repro.edge.InferenceSession`);
-        the two produce bit-identical predictions on the same request
-        stream when given identically seeded generators.
+        ``batch_window`` requests.  Asking for more than one cloud worker
+        — or for deadline-aware scheduling (``deadline_aware`` /
+        ``batch_timeout``) — returns the full serving engine
+        (:class:`repro.serve.ServingEngine`) instead.  ``batched=False``
+        returns the retained sequential reference path
+        (:class:`repro.edge.InferenceSession`).  All paths produce
+        bit-identical predictions on the same request stream when given
+        identically seeded generators.
 
         The bundle's datasets are already normalised, so the device is
         configured with identity normalisation.
@@ -316,8 +323,13 @@ class ShredderPipeline:
         Args:
             noise: Trained collection (e.g. from :meth:`collect`); ``None``
                 deploys the privacy-free baseline.
-            batched: Choose the serving runtime or the sequential path.
+            batched: Choose a serving runtime or the sequential path.
             batch_window: Requests stacked per micro-batch.
+            workers: Cloud worker threads; ``> 1`` selects the engine.
+            batch_timeout: Longest the head request waits for its window
+                to fill (engine only; selects the engine when set).
+            deadline_aware: Close windows on request SLO slack (engine
+                only; selects the engine when set).
             channel: Link model (default: fast clean link).
             quantize_bits: When set, calibrate an affine quantiser on the
                 held-out (noisy) activations and quantise each stacked
@@ -326,8 +338,11 @@ class ShredderPipeline:
                 seed so deployments are reproducible.
         """
         from repro.edge import InferenceSession, calibrate
-        from repro.serve import BatchedInferenceSession
+        from repro.serve import BatchedInferenceSession, ServingEngine
 
+        engine_mode = (
+            workers != 1 or batch_timeout is not None or deadline_aware is not None
+        )
         channels = self.bundle.model.input_shape[0]
         mean = np.zeros(channels, dtype=np.float32)
         std = np.ones(channels, dtype=np.float32)
@@ -337,6 +352,11 @@ class ShredderPipeline:
                 raise ConfigurationError(
                     "quantised payloads are a batched-wire feature; "
                     "deploy(batched=True) to use quantize_bits"
+                )
+            if engine_mode:
+                raise ConfigurationError(
+                    "workers / batch_timeout / deadline_aware are serving-"
+                    "engine features; deploy(batched=True) to use them"
                 )
             return InferenceSession(
                 self.bundle.model, self.split.cut, mean, std, noise,
@@ -351,6 +371,15 @@ class ShredderPipeline:
                     len(calibration),
                 )
             quantization = calibrate(calibration, bits=quantize_bits)
+        if engine_mode:
+            return ServingEngine(
+                self.bundle.model, self.split.cut, mean, std, noise,
+                channel=channel, rng=rng,
+                workers=workers, batch_window=batch_window,
+                batch_timeout=0.005 if batch_timeout is None else batch_timeout,
+                deadline_aware=True if deadline_aware is None else deadline_aware,
+                quantization=quantization,
+            )
         return BatchedInferenceSession(
             self.bundle.model, self.split.cut, mean, std, noise,
             channel=channel, rng=rng, batch_window=batch_window,

@@ -9,6 +9,7 @@ request and injected — no training happens in deployment.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
@@ -16,6 +17,72 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, TrainingError
+
+
+class NoiseStream:
+    """Single-owner handle on the noise-sampling generator.
+
+    The parity guarantee of the serving runtime rests on every request's
+    noise members being drawn *in arrival order from one generator*.  The
+    multi-worker engine keeps that true by construction — the dispatcher
+    thread samples noise before micro-batches are handed to cloud workers —
+    and this wrapper makes the handoff explicit rather than accidental: the
+    first thread to draw becomes the owner, and a draw from any other
+    thread raises :class:`~repro.errors.ConfigurationError` instead of
+    silently interleaving the bit stream (which would make multi-worker
+    runs irreproducible).
+
+    ``draws`` counts the rows sampled so far, so callers can audit that the
+    batched path consumed the generator exactly as the sequential reference
+    would (one draw per sample).
+
+    Args:
+        rng: The generator to guard (or a seed; ``None`` seeds from OS
+            entropy).
+    """
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        if isinstance(rng, np.random.Generator):
+            self._rng = rng
+        else:
+            self._rng = np.random.default_rng(rng)
+        self._owner: int | None = None
+        self._guard = threading.Lock()
+        self.draws = 0
+
+    def acquire(self, rows: int = 0) -> np.random.Generator:
+        """The wrapped generator, after asserting calling-thread ownership.
+
+        Args:
+            rows: Samples about to be drawn; accounted in :attr:`draws`.
+        """
+        ident = threading.get_ident()
+        with self._guard:
+            if self._owner is None:
+                self._owner = ident
+            elif self._owner != ident:
+                raise ConfigurationError(
+                    "noise stream drawn from two threads: the dispatcher must "
+                    "be the single generator owner (call release() to hand "
+                    "the stream to a new owner explicitly)"
+                )
+            self.draws += int(rows)
+        return self._rng
+
+    def release(self) -> None:
+        """Explicitly hand the stream over: the next drawing thread owns it."""
+        with self._guard:
+            self._owner = None
+
+
+def _sampling_generator(
+    rng: "np.random.Generator | NoiseStream", rows: int
+) -> np.random.Generator:
+    """Unwrap a :class:`NoiseStream` (enforcing ownership) or pass a bare
+    generator through untouched."""
+    if isinstance(rng, NoiseStream):
+        return rng.acquire(rows)
+    return rng
 
 
 @dataclass(frozen=True)
@@ -80,14 +147,14 @@ class NoiseCollection:
     # ------------------------------------------------------------------
     # Sampling (deployment path)
     # ------------------------------------------------------------------
-    def sample(self, rng: np.random.Generator) -> np.ndarray:
+    def sample(self, rng: "np.random.Generator | NoiseStream") -> np.ndarray:
         """Draw one noise tensor uniformly (with the batch dim restored)."""
         if not self._samples:
             raise TrainingError("cannot sample from an empty noise collection")
-        index = int(rng.integers(0, len(self._samples)))
+        index = int(_sampling_generator(rng, 1).integers(0, len(self._samples)))
         return self._samples[index].tensor[None]
 
-    def sample_batch(self, rng: np.random.Generator, n: int) -> np.ndarray:
+    def sample_batch(self, rng: "np.random.Generator | NoiseStream", n: int) -> np.ndarray:
         """Draw ``n`` independent member tensors, one per inference.
 
         This is the deployment behaviour of §2.5 — and the reason Shredder
@@ -98,11 +165,11 @@ class NoiseCollection:
         """
         if not self._samples:
             raise TrainingError("cannot sample from an empty noise collection")
-        indices = rng.integers(0, len(self._samples), size=n)
+        indices = _sampling_generator(rng, n).integers(0, len(self._samples), size=n)
         return self._member_stack()[indices]
 
     def sample_splits(
-        self, rng: np.random.Generator, splits: Sequence[int]
+        self, rng: "np.random.Generator | NoiseStream", splits: Sequence[int]
     ) -> np.ndarray:
         """Per-request draws for a micro-batch of ``splits`` row counts.
 
@@ -116,7 +183,9 @@ class NoiseCollection:
         if not self._samples:
             raise TrainingError("cannot sample from an empty noise collection")
         total = int(sum(int(rows) for rows in splits))
-        indices = rng.integers(0, len(self._samples), size=total)
+        indices = _sampling_generator(rng, total).integers(
+            0, len(self._samples), size=total
+        )
         return self._member_stack()[indices]
 
     def sample_elementwise(self, rng: np.random.Generator) -> np.ndarray:

@@ -38,7 +38,13 @@ from repro.edge.energy import (
     estimate_cut,
 )
 from repro.edge.executor import BatchInvariantExecutor, batch_invariant_linear
-from repro.edge.planner import CutCandidate, CuttingPointPlanner
+from repro.edge.planner import (
+    CutCandidate,
+    CuttingPointPlanner,
+    WindowPlan,
+    plan_batch_window,
+    predict_window_latency,
+)
 from repro.edge.quantization import (
     QuantizationParams,
     QuantizedActivation,
@@ -116,5 +122,8 @@ __all__ = [
     "encode_prediction",
     "encode_prediction_batch",
     "layer_macs",
+    "plan_batch_window",
+    "predict_window_latency",
     "profile_network",
+    "WindowPlan",
 ]

@@ -2,12 +2,16 @@
 
 Models the communication cost the paper's §3.4 trade-off analysis reasons
 about: transfer time = latency + bytes/bandwidth, with optional random drops
-(retried up to a bound).  Wall-clock time is *simulated*, not slept, so the
-whole deployment story runs instantly in tests and benchmarks.
+(retried up to a bound).  By default wall-clock time is *simulated*, not
+slept, so the whole deployment story runs instantly in tests and
+benchmarks; ``realtime=True`` additionally sleeps the transfer time, which
+is what lets the multi-worker serving engine demonstrate real overlap of
+wire waits (the dominant serving latency) across concurrent micro-batches.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -35,6 +39,9 @@ class Channel:
         drop_rate: Probability a transmission attempt is lost.
         max_retries: Attempts before giving up with :class:`ChannelError`.
         rng: Randomness for drops.
+        realtime: Sleep the simulated transfer time on every transmission
+            (in addition to accounting it), emulating a real link so that
+            concurrent serving workers genuinely overlap wire waits.
     """
 
     def __init__(
@@ -44,6 +51,7 @@ class Channel:
         drop_rate: float = 0.0,
         max_retries: int = 3,
         rng: np.random.Generator | None = None,
+        realtime: bool = False,
     ) -> None:
         if bandwidth_mbps <= 0:
             raise ConfigurationError("bandwidth must be positive")
@@ -55,8 +63,26 @@ class Channel:
         self.latency_ms = latency_ms
         self.drop_rate = drop_rate
         self.max_retries = max_retries
+        self.realtime = realtime
         self._rng = rng or np.random.default_rng()
         self.stats = ChannelStats()
+
+    def clone(self, rng: np.random.Generator | None = None) -> "Channel":
+        """A channel with the same link parameters but fresh statistics.
+
+        The serving engine gives every cloud worker its own clone:
+        :class:`ChannelStats` accumulation is not thread-safe, and separate
+        stats per worker are exactly what per-worker occupancy reporting
+        wants anyway.
+        """
+        return Channel(
+            bandwidth_mbps=self.bandwidth_mbps,
+            latency_ms=self.latency_ms,
+            drop_rate=self.drop_rate,
+            max_retries=self.max_retries,
+            rng=rng or np.random.default_rng(self._rng.integers(0, 2**63)),
+            realtime=self.realtime,
+        )
 
     def transfer_seconds(self, n_bytes: int) -> float:
         """Simulated seconds to move ``n_bytes`` across the link once."""
@@ -77,6 +103,8 @@ class Channel:
             attempts += 1
             elapsed = self.transfer_seconds(len(blob))
             self.stats.simulated_seconds += elapsed
+            if self.realtime:
+                time.sleep(elapsed)
             if self.drop_rate and self._rng.random() < self.drop_rate:
                 self.stats.drops += 1
                 if attempts > self.max_retries:

@@ -30,7 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.sampler import NoiseCollection
+from repro.core.sampler import NoiseCollection, NoiseStream
 from repro.edge.channel import Channel
 from repro.edge.costs import cut_cost
 from repro.edge.executor import BatchInvariantExecutor
@@ -58,7 +58,10 @@ class EdgeDevice:
         mean / std: Input normalisation (matching backbone training).
         noise: Trained noise collection; ``None`` disables noise injection
             (the privacy-free baseline).
-        rng: Randomness for per-request noise sampling.
+        rng: Randomness for per-request noise sampling — a bare generator
+            or an already-owned :class:`~repro.core.sampler.NoiseStream`.
+            The device wraps bare generators in a stream so concurrent
+            serving keeps a single explicit owner of the sample sequence.
         quantization: Optional affine code; when set, ``forward_batch``
             quantises the stacked payload once before transmission.
     """
@@ -69,7 +72,7 @@ class EdgeDevice:
         mean: np.ndarray,
         std: np.ndarray,
         noise: NoiseCollection | None = None,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | NoiseStream | None = None,
         quantization: QuantizationParams | None = None,
     ) -> None:
         self.local = local.eval()
@@ -79,7 +82,7 @@ class EdgeDevice:
             raise ConfigurationError("normalisation std must be positive")
         self.noise = noise
         self.quantization = quantization
-        self._rng = rng or np.random.default_rng()
+        self.noise_stream = rng if isinstance(rng, NoiseStream) else NoiseStream(rng)
         self._executor = BatchInvariantExecutor(self.local)
         self._next_request = 0
 
@@ -98,9 +101,9 @@ class EdgeDevice:
         activation = self._executor(self.normalize(images))
         if self.noise is not None:
             if len(splits) == 1:
-                noise = self.noise.sample_batch(self._rng, splits[0])
+                noise = self.noise.sample_batch(self.noise_stream, splits[0])
             else:
-                noise = self.noise.sample_splits(self._rng, splits)
+                noise = self.noise.sample_splits(self.noise_stream, splits)
             activation = activation + noise
         return activation
 

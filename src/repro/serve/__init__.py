@@ -2,28 +2,58 @@
 
 The paper's deployment story (§2.5 / Figure 2) is one edge device sending
 one noisy activation at a time.  A multi-user deployment serves many
-concurrent requests, and that is where batching pays: this package adds a
-request queue and micro-batcher (:mod:`repro.serve.queue`), a batched
-session running one stacked local/remote pass and one wire frame per
-micro-batch (:mod:`repro.serve.session`), and per-session metrics —
-latency percentiles, batch occupancy, bytes on the wire
-(:mod:`repro.serve.metrics`).
+concurrent requests, and that is where batching pays.  This package grew
+in two steps:
 
-Batched serving is bit-for-bit equivalent to the retained sequential
-reference path (:class:`repro.edge.InferenceSession`) on the same request
-stream: both run the batch-invariant executor and consume the same noise
-sample stream.  Build a session directly, or via
-:meth:`repro.core.ShredderPipeline.deploy`.
+* **PR 2** added the FIFO request queue and micro-batcher
+  (:mod:`repro.serve.queue`), the batched session running one stacked
+  local/remote pass and one wire frame per micro-batch
+  (:mod:`repro.serve.session`), and per-session metrics
+  (:mod:`repro.serve.metrics`).
+* **PR 3** made serving deadline-aware and concurrent: requests carry an
+  optional latency SLO and session id, the
+  :class:`~repro.serve.scheduler.AdaptiveBatcher` closes batching windows
+  on deadline slack instead of fixed counts, and the
+  :class:`~repro.serve.engine.ServingEngine` drains micro-batches through
+  a pool of cloud workers while its dispatcher keeps noise sampling
+  single-owner and releases responses in per-session order.  The
+  scheduling policy also runs under a deterministic virtual clock
+  (:mod:`repro.serve.replay`) for SLO experiments and property tests.
+
+Serving is bit-for-bit equivalent to the retained sequential reference
+path (:class:`repro.edge.InferenceSession`) on the same request stream —
+for every batching window *and* every worker count: all paths run the
+batch-invariant executor and consume the same noise sample stream, whose
+single explicit owner is the dispatcher
+(:class:`~repro.core.sampler.NoiseStream`).  Build a session directly, or
+via :meth:`repro.core.ShredderPipeline.deploy`.
 """
 
-from repro.serve.metrics import ServingMetrics
+from repro.serve.engine import ServingEngine
+from repro.serve.metrics import ServingMetrics, percentile
 from repro.serve.queue import InferenceRequest, MicroBatcher, RequestQueue
+from repro.serve.replay import (
+    ScheduleResult,
+    TimedRequest,
+    VirtualClock,
+    random_trace,
+    simulate_schedule,
+)
+from repro.serve.scheduler import AdaptiveBatcher
 from repro.serve.session import BatchedInferenceSession
 
 __all__ = [
+    "AdaptiveBatcher",
     "BatchedInferenceSession",
     "InferenceRequest",
     "MicroBatcher",
     "RequestQueue",
+    "ScheduleResult",
+    "ServingEngine",
     "ServingMetrics",
+    "TimedRequest",
+    "VirtualClock",
+    "percentile",
+    "random_trace",
+    "simulate_schedule",
 ]

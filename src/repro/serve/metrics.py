@@ -1,17 +1,51 @@
-"""Per-session serving metrics: latency percentiles, occupancy, traffic.
+"""Per-session serving metrics: latency percentiles, SLO attainment,
+queue-age histograms, per-worker occupancy, traffic.
 
-Wall-clock latency is measured from request submission to prediction
-demultiplexing (so it includes queueing delay inside the batching window);
-the simulated channel seconds come from the :class:`~repro.edge.Channel`
-cost model and are reported separately — the two axes a deployment tunes
-against each other when picking a batching window.
+Wall-clock latency is measured from request submission to result delivery
+(so it includes queueing delay inside the batching window *and* any wait
+for per-session ordering); the simulated channel seconds come from the
+:class:`~repro.edge.Channel` cost model and are reported separately — the
+two axes a deployment tunes against each other when picking a batching
+window.  Deadline-aware serving adds a third axis: the fraction of
+SLO-carrying requests delivered inside their deadline
+(:attr:`ServingMetrics.slo_attainment`).
+
+The percentile math is implemented explicitly (:func:`percentile`, linear
+interpolation over the sorted sample — numpy's default method) rather than
+delegated, and is pinned against ``np.percentile`` on adversarial
+distributions by ``tests/serve/test_metrics.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile ``q`` of ``values`` by linear interpolation.
+
+    Matches ``np.percentile``'s default (``linear``) method: the quantile
+    position is ``(q/100) * (n-1)`` over the sorted sample, interpolating
+    between the two bracketing order statistics.  An empty sample returns
+    0.0 (metrics objects start empty).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+    data = np.sort(np.asarray(values, dtype=np.float64))
+    if data.size == 0:
+        return 0.0
+    if data.size == 1:
+        return float(data[0])
+    position = (q / 100.0) * (data.size - 1)
+    low = int(np.floor(position))
+    high = int(np.ceil(position))
+    fraction = position - low
+    return float(data[low] + (data[high] - data[low]) * fraction)
 
 
 @dataclass
@@ -23,10 +57,16 @@ class ServingMetrics:
         samples: Total image rows across completed requests.
         micro_batches: Stacked round trips taken.
         uplink_bytes / downlink_bytes: Wire traffic.
-        wall_seconds: Wall-clock time spent inside ``step`` calls.
+        wall_seconds: Wall-clock (or virtual) time spent serving.
         simulated_wire_seconds: Channel-model transfer time.
-        latencies: Per-request wall-clock latency (submission to result).
+        latencies: Per-request latency (submission to delivery).
         occupancies: Requests per micro-batch.
+        queue_ages: Per-request queueing delay (submission to dispatch);
+            the part of latency the batching window is responsible for.
+        slo_met / slo_total: Deadline bookkeeping over requests that
+            carried an SLO.
+        worker_batches: Micro-batches served per worker id.
+        worker_busy_seconds: Busy time per worker id.
     """
 
     requests: int = 0
@@ -38,15 +78,62 @@ class ServingMetrics:
     simulated_wire_seconds: float = 0.0
     latencies: list[float] = field(default_factory=list)
     occupancies: list[int] = field(default_factory=list)
+    queue_ages: list[float] = field(default_factory=list)
+    slo_met: int = 0
+    slo_total: int = 0
+    worker_batches: dict[int, int] = field(default_factory=dict)
+    worker_busy_seconds: dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_completion(
+        self, latency: float, slo_seconds: float | None = None
+    ) -> None:
+        """Account one delivered request (latency + deadline outcome)."""
+        self.latencies.append(latency)
+        if slo_seconds is not None:
+            self.slo_total += 1
+            if latency <= slo_seconds:
+                self.slo_met += 1
+
+    def record_worker(self, worker_id: int, busy_seconds: float) -> None:
+        """Account one micro-batch served by ``worker_id``."""
+        self.worker_batches[worker_id] = self.worker_batches.get(worker_id, 0) + 1
+        self.worker_busy_seconds[worker_id] = (
+            self.worker_busy_seconds.get(worker_id, 0.0) + busy_seconds
+        )
 
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
     def latency_percentile(self, q: float) -> float:
-        """Wall-clock latency percentile ``q`` (in seconds)."""
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(self.latencies, q))
+        """Latency percentile ``q`` (in seconds)."""
+        return percentile(self.latencies, q)
+
+    def queue_age_percentile(self, q: float) -> float:
+        """Queueing-delay percentile ``q`` (in seconds)."""
+        return percentile(self.queue_ages, q)
+
+    def queue_age_histogram(self, bins: int = 8) -> dict:
+        """Queue-age histogram: ``{"edges": [s...], "counts": [n...]}``."""
+        if bins < 1:
+            raise ConfigurationError(f"need >= 1 histogram bin, got {bins}")
+        if not self.queue_ages:
+            return {"edges": [], "counts": []}
+        counts, edges = np.histogram(np.asarray(self.queue_ages), bins=bins)
+        return {"edges": [float(e) for e in edges], "counts": [int(c) for c in counts]}
+
+    @property
+    def slo_attainment(self) -> float | None:
+        """Fraction of SLO-carrying requests delivered in time.
+
+        ``None`` when no request carried an SLO (attainment is undefined,
+        not perfect).
+        """
+        if self.slo_total == 0:
+            return None
+        return self.slo_met / self.slo_total
 
     @property
     def mean_occupancy(self) -> float:
@@ -57,10 +144,19 @@ class ServingMetrics:
 
     @property
     def requests_per_second(self) -> float:
-        """Completed requests per wall-clock second of serving work."""
+        """Completed requests per second of serving time."""
         if self.wall_seconds <= 0:
             return 0.0
         return self.requests / self.wall_seconds
+
+    def worker_occupancy(self) -> dict[int, float]:
+        """Busy fraction per worker over the session's serving time."""
+        if self.wall_seconds <= 0:
+            return {worker: 0.0 for worker in self.worker_busy_seconds}
+        return {
+            worker: busy / self.wall_seconds
+            for worker, busy in sorted(self.worker_busy_seconds.items())
+        }
 
     def as_dict(self) -> dict:
         """JSON-friendly summary (used by the serving benchmark)."""
@@ -77,20 +173,50 @@ class ServingMetrics:
             "latency_p50_ms": 1e3 * self.latency_percentile(50),
             "latency_p90_ms": 1e3 * self.latency_percentile(90),
             "latency_p99_ms": 1e3 * self.latency_percentile(99),
+            "queue_age_p50_ms": 1e3 * self.queue_age_percentile(50),
+            "queue_age_p90_ms": 1e3 * self.queue_age_percentile(90),
+            "slo_total": self.slo_total,
+            "slo_attainment": self.slo_attainment,
+            "workers": {
+                str(worker): {
+                    "micro_batches": self.worker_batches.get(worker, 0),
+                    "busy_seconds": busy,
+                }
+                for worker, busy in sorted(self.worker_busy_seconds.items())
+            },
         }
 
     def format(self) -> str:
         """Human-readable multi-line summary."""
         d = self.as_dict()
-        return (
+        lines = [
             f"requests          {d['requests']} ({d['samples']} samples in "
             f"{d['micro_batches']} micro-batches, "
-            f"occupancy {d['mean_occupancy']:.2f})\n"
+            f"occupancy {d['mean_occupancy']:.2f})",
             f"throughput        {d['requests_per_second']:.0f} req/s "
-            f"({d['wall_seconds']*1e3:.1f} ms wall)\n"
+            f"({d['wall_seconds']*1e3:.1f} ms wall)",
             f"latency           p50 {d['latency_p50_ms']:.2f} ms   "
-            f"p90 {d['latency_p90_ms']:.2f} ms   p99 {d['latency_p99_ms']:.2f} ms\n"
+            f"p90 {d['latency_p90_ms']:.2f} ms   p99 {d['latency_p99_ms']:.2f} ms",
+            f"queue age         p50 {d['queue_age_p50_ms']:.2f} ms   "
+            f"p90 {d['queue_age_p90_ms']:.2f} ms",
             f"wire              {d['uplink_bytes']/1e6:.3f} MB up / "
             f"{d['downlink_bytes']/1e6:.3f} MB down, "
-            f"{d['simulated_wire_seconds']*1e3:.1f} ms simulated"
-        )
+            f"{d['simulated_wire_seconds']*1e3:.1f} ms simulated",
+        ]
+        if self.slo_total:
+            lines.insert(
+                4,
+                f"SLO attainment    {self.slo_attainment:.1%} "
+                f"({self.slo_met}/{self.slo_total} deadlines met)",
+            )
+        if self.worker_busy_seconds:
+            occupancy = self.worker_occupancy()
+            lines.append(
+                "workers           "
+                + "   ".join(
+                    f"w{worker}: {self.worker_batches.get(worker, 0)} batches "
+                    f"({occupancy[worker]:.0%} busy)"
+                    for worker in sorted(self.worker_busy_seconds)
+                )
+            )
+        return "\n".join(lines)

@@ -7,6 +7,14 @@ through one stacked edge/cloud round trip.  FIFO draining preserves arrival
 order, which is what makes the batched engine consume the shared noise
 generator exactly as the sequential reference path would — the foundation
 of the bit-for-bit parity guarantee.
+
+Requests optionally carry a latency SLO (a deadline relative to
+submission) and a session id; the deadline-aware scheduler
+(:mod:`repro.serve.scheduler`) closes batching windows on deadline slack,
+and the multi-worker engine (:mod:`repro.serve.engine`) preserves response
+ordering *within* a session.  The queue takes an injectable clock so the
+whole scheduling stack can be driven deterministically in virtual time
+(:mod:`repro.serve.replay`) as well as against the wall clock.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from collections import deque
+from typing import Callable, Hashable, Iterator
 
 import numpy as np
 
@@ -28,27 +37,66 @@ class InferenceRequest:
         request_id: Session-unique, monotonically increasing id.
         images: ``(n, C, H, W)`` image batch (single images are stored with
             the batch dimension restored).
-        submitted_at: Wall-clock submission time (for latency accounting).
+        submitted_at: Submission time on the queue's clock (for latency
+            accounting and deadline math).
+        slo_seconds: Optional latency SLO; the request's deadline is
+            ``submitted_at + slo_seconds``.
+        session_id: Optional user-session key; the serving engine releases
+            results of one session in submission order.
     """
 
     request_id: int
     images: np.ndarray
     submitted_at: float = field(default_factory=time.perf_counter)
+    slo_seconds: float | None = None
+    session_id: Hashable | None = None
 
     @property
     def rows(self) -> int:
         """Samples this request contributes to a micro-batch."""
         return len(self.images)
 
+    @property
+    def deadline(self) -> float | None:
+        """Absolute deadline on the queue's clock (``None`` without SLO)."""
+        if self.slo_seconds is None:
+            return None
+        return self.submitted_at + self.slo_seconds
+
+    @property
+    def ordering_key(self) -> Hashable:
+        """Delivery-ordering domain of this request.
+
+        Requests sharing a key are released in submission order; a
+        sessionless request orders only against itself.  The live engine
+        and the virtual-time simulator must gate on the *same* key, which
+        is why it lives here.
+        """
+        if self.session_id is None:
+            return ("solo", self.request_id)
+        return ("session", self.session_id)
+
 
 class RequestQueue:
-    """FIFO queue assigning request ids at submission."""
+    """FIFO queue assigning request ids at submission.
 
-    def __init__(self) -> None:
+    Args:
+        clock: Time source stamped onto requests; defaults to the wall
+            clock, replaced with a virtual clock in scheduling simulations.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
         self._pending: deque[InferenceRequest] = deque()
         self._next_id = 0
+        self._clock = clock or time.perf_counter
 
-    def submit(self, images: np.ndarray) -> int:
+    def submit(
+        self,
+        images: np.ndarray,
+        *,
+        slo_seconds: float | None = None,
+        session_id: Hashable | None = None,
+    ) -> int:
         """Enqueue one request; returns its id.
 
         A 3-D ``(C, H, W)`` array is treated as a single image.
@@ -63,10 +111,24 @@ class RequestQueue:
             )
         if len(images) == 0:
             raise ConfigurationError("cannot submit an empty request")
-        request = InferenceRequest(request_id=self._next_id, images=images)
+        if slo_seconds is not None and slo_seconds <= 0:
+            raise ConfigurationError(
+                f"a latency SLO must be positive, got {slo_seconds}"
+            )
+        request = InferenceRequest(
+            request_id=self._next_id,
+            images=images,
+            submitted_at=self._clock(),
+            slo_seconds=slo_seconds,
+            session_id=session_id,
+        )
         self._next_id += 1
         self._pending.append(request)
         return request.request_id
+
+    def peek(self) -> InferenceRequest | None:
+        """The head request without dequeuing (``None`` when empty)."""
+        return self._pending[0] if self._pending else None
 
     def pop_window(self, max_requests: int) -> list[InferenceRequest]:
         """Dequeue up to ``max_requests`` requests in arrival order."""
@@ -87,6 +149,10 @@ class RequestQueue:
         """
         for request in reversed(requests):
             self._pending.appendleft(request)
+
+    def __iter__(self) -> Iterator[InferenceRequest]:
+        """Pending requests in arrival order (for deadline scans)."""
+        return iter(self._pending)
 
     def __len__(self) -> int:
         return len(self._pending)

@@ -1,0 +1,146 @@
+"""Deadline-aware batching-window policy.
+
+PR 2's :class:`~repro.serve.queue.MicroBatcher` is greedy: it drains
+whatever is pending the moment it is asked.  That maximises occupancy only
+when the caller already holds a backlog; under a live arrival process a
+serving engine must decide *when to stop waiting for more requests*, and
+that decision is the latency/throughput trade-off the ROADMAP names
+("deadline-aware batching windows").
+
+:class:`AdaptiveBatcher` closes the current window at::
+
+    min(earliest deadline - service estimate,   # SLO slack (deadline-aware)
+        head arrival + batch_timeout)           # bounded wait for everyone
+
+or immediately when ``batch_window`` requests are pending (or on an
+explicit ``flush``).  With ``deadline_aware=False`` the SLO term is
+ignored, which is exactly the fixed-window baseline the property suite
+compares against: same timeout, same window, no knowledge of deadlines.
+
+The policy is a pure function of the queue and the caller-supplied ``now``
+— it never reads the wall clock itself — so the identical code path runs
+under the real-time engine (:mod:`repro.serve.engine`) and the
+deterministic virtual-time simulator (:mod:`repro.serve.replay`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.serve.queue import InferenceRequest, MicroBatcher, RequestQueue
+
+
+class AdaptiveBatcher:
+    """Closes micro-batch windows on deadline slack instead of fixed counts.
+
+    Args:
+        queue: The request source.
+        batch_window: Maximum requests stacked per micro-batch.
+        max_rows: Optional cap on total image rows per micro-batch.
+        batch_timeout: Longest the head request may wait for the window to
+            fill, in clock seconds.  Bounds the latency of SLO-free
+            requests and is the only closing rule (besides a full window)
+            for the deadline-unaware baseline.
+        service_estimate: Expected seconds to serve one micro-batch, used
+            as slack when translating a deadline into a close time.  The
+            engine keeps this current with an EWMA of measured batch
+            service times (:meth:`observe_service`); simulations set it
+            from their service model.
+        deadline_aware: ``False`` ignores request SLOs entirely (the
+            fixed-window baseline policy).
+    """
+
+    #: EWMA weight of the newest observed batch service time.
+    SERVICE_EWMA = 0.3
+
+    def __init__(
+        self,
+        queue: RequestQueue,
+        batch_window: int = 8,
+        *,
+        max_rows: int | None = None,
+        batch_timeout: float = 0.005,
+        service_estimate: float = 0.0,
+        deadline_aware: bool = True,
+    ) -> None:
+        if batch_timeout < 0:
+            raise ConfigurationError(
+                f"batch timeout must be >= 0 seconds, got {batch_timeout}"
+            )
+        if service_estimate < 0:
+            raise ConfigurationError(
+                f"service estimate must be >= 0 seconds, got {service_estimate}"
+            )
+        self._inner = MicroBatcher(queue, batch_window, max_rows)
+        self.queue = queue
+        self.batch_window = batch_window
+        self.batch_timeout = batch_timeout
+        self.service_estimate = service_estimate
+        self.deadline_aware = deadline_aware
+
+    # ------------------------------------------------------------------
+    # Policy
+    # ------------------------------------------------------------------
+    def close_time(self) -> float | None:
+        """The clock time at which the pending window must be closed.
+
+        ``None`` when the queue is empty (nothing to close).  When the
+        window is already full the head's own arrival time is returned —
+        a time that is always in the past, i.e. "close now".  Drivers use
+        this to sleep (engine) or jump the virtual clock (simulator) to
+        the next scheduling event.
+        """
+        head = self.queue.peek()
+        if head is None:
+            return None
+        if self._window_full():
+            return head.submitted_at
+        close = head.submitted_at + self.batch_timeout
+        if self.deadline_aware:
+            for request in self.queue:
+                deadline = request.deadline
+                if deadline is not None:
+                    close = min(close, deadline - self.service_estimate)
+        return close
+
+    def _window_full(self) -> bool:
+        """Whether the next batch can admit no further request — by count,
+        or by the row cap (waiting longer cannot grow a rows-full batch)."""
+        if len(self.queue) >= self.batch_window:
+            return True
+        max_rows = self._inner.max_rows
+        if max_rows is None:
+            return False
+        rows = 0
+        for request in self.queue:
+            rows += request.rows
+            if rows >= max_rows:
+                return True
+        return False
+
+    def next_batch(
+        self, now: float, *, flush: bool = False
+    ) -> list[InferenceRequest]:
+        """The next micro-batch, or ``[]`` if the window should stay open.
+
+        Args:
+            now: Current time on the queue's clock.
+            flush: Close the window regardless of slack (stream shutdown /
+                drain — never leaves requests to starve).
+        """
+        close = self.close_time()
+        if close is None:
+            return []
+        if flush or now >= close:
+            return self._inner.next_batch()
+        return []
+
+    def observe_service(self, seconds: float) -> None:
+        """Fold one measured batch service time into the slack estimate."""
+        if seconds < 0:
+            return
+        if self.service_estimate <= 0.0:
+            self.service_estimate = seconds
+        else:
+            self.service_estimate += self.SERVICE_EWMA * (
+                seconds - self.service_estimate
+            )

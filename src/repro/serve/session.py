@@ -88,9 +88,22 @@ class BatchedInferenceSession:
     # ------------------------------------------------------------------
     # Request lifecycle
     # ------------------------------------------------------------------
-    def submit(self, images: np.ndarray) -> int:
-        """Enqueue one request; returns the id to collect the result with."""
-        request_id = self.queue.submit(images)
+    def submit(
+        self,
+        images: np.ndarray,
+        *,
+        slo_seconds: float | None = None,
+        session_id=None,
+    ) -> int:
+        """Enqueue one request; returns the id to collect the result with.
+
+        The FIFO session serves strictly in submission order, so an SLO
+        here only feeds attainment accounting; deadline-aware scheduling
+        is the :class:`~repro.serve.engine.ServingEngine`'s job.
+        """
+        request_id = self.queue.submit(
+            images, slo_seconds=slo_seconds, session_id=session_id
+        )
         return request_id
 
     @property
@@ -110,6 +123,8 @@ class BatchedInferenceSession:
         if not window:
             return []
         start = time.perf_counter()
+        for request in window:
+            self.metrics.queue_ages.append(start - request.submitted_at)
         wire_before = self.channel.stats.simulated_seconds
         message = self.device.forward_batch(
             [request.images for request in window],
@@ -126,7 +141,9 @@ class BatchedInferenceSession:
             window, decoded.request_ids, decoded.split_logits()
         ):
             self._results[request_id] = logits
-            self.metrics.latencies.append(now - request.submitted_at)
+            self.metrics.record_completion(
+                now - request.submitted_at, request.slo_seconds
+            )
             completed.append(request_id)
 
         self.metrics.requests += len(window)

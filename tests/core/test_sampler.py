@@ -166,3 +166,82 @@ class TestSampleSplits:
     def test_empty_collection_rejected(self):
         with pytest.raises(TrainingError):
             NoiseCollection((2,)).sample_splits(np.random.default_rng(0), [1])
+
+
+class TestNoiseStream:
+    """The serving dispatcher's explicit single-owner generator handoff."""
+
+    @pytest.fixture()
+    def collection(self, rng):
+        collection = NoiseCollection((2, 3))
+        for _ in range(5):
+            collection.add(rng.normal(size=(2, 3)).astype(np.float32), 0.8, 0.1)
+        return collection
+
+    def test_stream_draws_match_bare_generator(self, collection):
+        """Wrapping the generator must not change a single draw — the
+        stream is bookkeeping, not a different bit source."""
+        from repro.core import NoiseStream
+
+        bare = collection.sample_splits(np.random.default_rng(42), [2, 1, 3])
+        streamed = collection.sample_splits(
+            NoiseStream(np.random.default_rng(42)), [2, 1, 3]
+        )
+        np.testing.assert_array_equal(bare, streamed)
+
+    def test_draw_accounting(self, collection):
+        from repro.core import NoiseStream
+
+        stream = NoiseStream(np.random.default_rng(0))
+        collection.sample_splits(stream, [2, 1])
+        collection.sample_batch(stream, 4)
+        collection.sample(stream)
+        assert stream.draws == 2 + 1 + 4 + 1
+
+    def test_second_thread_draw_rejected(self, collection):
+        """Concurrent micro-batches must not interleave the bit stream:
+        only the owning (dispatcher) thread may draw."""
+        import threading
+
+        from repro.core import NoiseStream
+
+        stream = NoiseStream(np.random.default_rng(0))
+        collection.sample_batch(stream, 1)  # this thread now owns it
+        failures = []
+
+        def foreign_draw():
+            try:
+                collection.sample_batch(stream, 1)
+            except ConfigurationError as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=foreign_draw)
+        thread.start()
+        thread.join()
+        assert len(failures) == 1
+        assert "single generator owner" in str(failures[0])
+
+    def test_release_hands_ownership_over(self, collection):
+        import threading
+
+        from repro.core import NoiseStream
+
+        stream = NoiseStream(np.random.default_rng(0))
+        collection.sample_batch(stream, 1)
+        stream.release()
+        outcome = []
+
+        def new_owner():
+            outcome.append(collection.sample_batch(stream, 1))
+
+        thread = threading.Thread(target=new_owner)
+        thread.start()
+        thread.join()
+        assert len(outcome) == 1  # the new thread drew without error
+
+    def test_seed_constructor(self):
+        from repro.core import NoiseStream
+
+        a = NoiseStream(7).acquire()
+        b = np.random.default_rng(7)
+        assert a.integers(0, 100) == b.integers(0, 100)

@@ -141,6 +141,51 @@ class TestBatchedCosts:
         with pytest.raises(ModelError):
             batched_cut_cost(lenet, "conv99", batch_size=2)
 
+    def test_frame_overhead_golden_values(self):
+        """The amortised quantity is the frame overhead itself; pin its
+        exact byte layout: 10-byte fixed header, 12 bytes per request
+        (u64 id + u32 rows), 11-byte quant block, 2-byte tensor head,
+        4 bytes per shape dim, 4-byte CRC."""
+        from repro.edge import batch_frame_overhead
+
+        assert batch_frame_overhead(1, ndim=4) == 10 + 12 + 2 + 16 + 4
+        assert batch_frame_overhead(8, ndim=4) == 10 + 96 + 2 + 16 + 4
+        assert batch_frame_overhead(8, ndim=2) == 10 + 96 + 2 + 8 + 4
+        assert (
+            batch_frame_overhead(8, ndim=4, quantized=True)
+            == batch_frame_overhead(8, ndim=4) + 11
+        )
+
+    def test_amortisation_exact_formula(self, lenet):
+        """Golden check: per-request wire bytes == payload + overhead/B
+        for every cut and batch size — nothing else moves."""
+        from repro.edge import batch_frame_overhead, batched_cut_costs
+
+        base = {c.cut: c for c in cut_costs(lenet)}
+        for batch in (1, 2, 4, 8, 16, 64):
+            for cost in batched_cut_costs(lenet, batch_size=batch):
+                payload = base[cost.cut].megabytes * 1e6
+                overhead = batch_frame_overhead(batch, ndim=4)
+                assert cost.wire_bytes == pytest.approx(
+                    payload + overhead / batch
+                )
+                assert cost.product == pytest.approx(
+                    cost.kilomacs * cost.wire_bytes / 1e6
+                )
+
+    def test_amortisation_strictly_monotone_in_batch_size(self, lenet):
+        """The header amortisation must decrease at *every* step of the
+        batch axis, not just at spot-checked sizes."""
+        from repro.edge import batched_cut_costs
+
+        sweep = [
+            {c.cut: c.wire_bytes for c in batched_cut_costs(lenet, batch_size=b)}
+            for b in range(1, 33)
+        ]
+        for cut in sweep[0]:
+            series = [step[cut] for step in sweep]
+            assert all(a > b for a, b in zip(series, series[1:]))
+
 
 class TestPlannerBatchAxis:
     def test_batched_planner_uses_amortised_costs(self, lenet):

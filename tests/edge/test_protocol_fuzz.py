@@ -13,7 +13,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.edge import decode_activation, encode_activation
-from repro.edge.protocol import ActivationMessage, decode_tensor, encode_tensor
+from repro.edge.protocol import (
+    ActivationMessage,
+    BatchActivationMessage,
+    BatchPredictionMessage,
+    decode_activation_batch,
+    decode_prediction_batch,
+    decode_tensor,
+    encode_activation_batch,
+    encode_prediction_batch,
+    encode_tensor,
+)
+from repro.edge.quantization import QuantizationParams
 from repro.errors import ChannelError
 
 
@@ -134,3 +145,206 @@ class TestFuzz:
         )
         decoded = decode_activation(encode_activation(message))
         assert decoded.request_id == request_id
+
+
+# ----------------------------------------------------------------------
+# Batched (SHRB) frames — the serving runtime's unit of transfer
+# ----------------------------------------------------------------------
+def batch_frame(n_requests=3, rows_each=2, seed=0, quantized=False):
+    """An encoded batched activation frame plus its source message."""
+    rng = np.random.default_rng(seed)
+    splits = tuple([rows_each] * n_requests)
+    if quantized:
+        params = QuantizationParams(scale=0.01, zero_point=128, bits=8)
+        tensor = rng.integers(
+            0, 255, size=(sum(splits), 2, 3, 3), dtype=np.uint8
+        )
+    else:
+        params = None
+        tensor = rng.normal(size=(sum(splits), 2, 3, 3)).astype(np.float32)
+    message = BatchActivationMessage(
+        request_ids=tuple(range(10, 10 + n_requests)),
+        splits=splits,
+        tensor=tensor,
+        quantization=params,
+    )
+    return message, encode_activation_batch(message)
+
+
+def _uncovered_ranges(n_requests, quantized):
+    """Byte spans of an SHRB frame the payload CRC does *not* cover and
+    whose values are not structurally validated: the request-id table and
+    (when present) the quantisation parameters.  A bit flip anywhere else
+    must raise; a flip here may decode — with the payload bit-identical
+    and only the metadata changed."""
+    fixed = 4 + 1 + 1 + 4  # magic, kind, flags, n_requests
+    ids = (fixed, fixed + 8 * n_requests)
+    ranges = [ids]
+    if quantized:
+        quant_start = ids[1] + 4 * n_requests  # after the splits table
+        ranges.append((quant_start, quant_start + 11))  # <dHB>
+    return ranges
+
+
+class TestBatchedCorruption:
+    def test_round_trip(self):
+        message, blob = batch_frame()
+        decoded = decode_activation_batch(blob)
+        assert decoded.request_ids == message.request_ids
+        assert decoded.splits == message.splits
+        np.testing.assert_array_equal(decoded.tensor, message.tensor)
+
+    def test_quantized_round_trip(self):
+        message, blob = batch_frame(quantized=True)
+        decoded = decode_activation_batch(blob)
+        assert decoded.quantization == message.quantization
+        np.testing.assert_array_equal(decoded.tensor, message.tensor)
+
+    def test_payload_crc_mismatch_detected(self):
+        _, blob = batch_frame()
+        corrupted = bytearray(blob)
+        corrupted[-20] ^= 0xFF  # deep inside the payload
+        with pytest.raises(ChannelError, match="checksum"):
+            decode_activation_batch(bytes(corrupted))
+
+    def test_checksum_field_corruption_detected(self):
+        _, blob = batch_frame()
+        corrupted = bytearray(blob)
+        corrupted[-1] ^= 0x01
+        with pytest.raises(ChannelError, match="checksum"):
+            decode_activation_batch(bytes(corrupted))
+
+    def test_bad_magic_rejected(self):
+        _, blob = batch_frame()
+        with pytest.raises(ChannelError, match="magic"):
+            decode_activation_batch(b"XXXX" + blob[4:])
+
+    def test_single_frame_magic_rejected_by_batch_decoder(self):
+        """An SHRD frame fed to the SHRB decoder is a typed error, not a
+        mis-parse."""
+        tensor = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ChannelError, match="magic"):
+            decode_activation_batch(encode_tensor(1, tensor))
+
+    def test_kind_cross_decode_rejected(self):
+        """Activation frames must not decode as predictions or vice
+        versa."""
+        _, blob = batch_frame()
+        with pytest.raises(ChannelError, match="kind"):
+            decode_prediction_batch(blob)
+        prediction = encode_prediction_batch(
+            BatchPredictionMessage(
+                request_ids=(1, 2),
+                splits=(1, 1),
+                logits=np.zeros((2, 10), dtype=np.float32),
+            )
+        )
+        with pytest.raises(ChannelError, match="kind"):
+            decode_activation_batch(prediction)
+
+    def test_zero_requests_header_rejected(self):
+        _, blob = batch_frame()
+        corrupted = bytearray(blob)
+        corrupted[6:10] = (0).to_bytes(4, "little")  # n_requests field
+        with pytest.raises(ChannelError, match="zero requests"):
+            decode_activation_batch(bytes(corrupted))
+
+    def test_split_sum_mismatch_rejected(self):
+        _, blob = batch_frame(n_requests=2, rows_each=2)
+        corrupted = bytearray(blob)
+        # First split count lives right after the fixed header + id table.
+        offset = _uncovered_ranges(2, quantized=False)[0][1]
+        corrupted[offset:offset + 4] = (3).to_bytes(4, "little")
+        with pytest.raises(ChannelError, match="splits sum"):
+            decode_activation_batch(bytes(corrupted))
+
+    def test_unknown_flags_rejected(self):
+        _, blob = batch_frame()
+        corrupted = bytearray(blob)
+        corrupted[5] = 0x80
+        with pytest.raises(ChannelError, match="flags"):
+            decode_activation_batch(bytes(corrupted))
+
+    def test_every_truncation_is_a_typed_error(self):
+        """No prefix of a valid frame may decode (or crash): every header,
+        table, payload, and checksum truncation raises ChannelError."""
+        _, blob = batch_frame()
+        for length in range(len(blob)):
+            with pytest.raises(ChannelError):
+                decode_activation_batch(blob[:length])
+
+    def test_empty_batch_encode_rejected(self):
+        with pytest.raises(ChannelError, match="empty"):
+            encode_activation_batch(
+                BatchActivationMessage(
+                    request_ids=(),
+                    splits=(),
+                    tensor=np.zeros((0, 2), dtype=np.float32),
+                )
+            )
+
+    def test_split_row_mismatch_encode_rejected(self):
+        with pytest.raises(ChannelError, match="splits sum"):
+            encode_activation_batch(
+                BatchActivationMessage(
+                    request_ids=(1, 2),
+                    splits=(1, 2),
+                    tensor=np.zeros((2, 2), dtype=np.float32),
+                )
+            )
+
+
+class TestBatchedFuzz:
+    @given(junk=st.binary(min_size=0, max_size=300))
+    @settings(max_examples=150, deadline=None)
+    def test_random_bytes_never_crash(self, junk):
+        try:
+            decode_activation_batch(junk)
+        except ChannelError:
+            pass
+
+    @given(junk=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_shrb_prefixed_garbage_never_crashes(self, junk):
+        """Garbage that passes the magic check must still fail cleanly."""
+        try:
+            decode_activation_batch(b"SHRB" + junk)
+        except ChannelError:
+            pass
+
+    @given(
+        seed=st.integers(0, 2**16),
+        flip=st.integers(0, 100_000),
+        quantized=st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_single_bitflip_never_decodes_garbage(self, seed, flip, quantized):
+        """A flipped bit either raises ChannelError or — only when it hit
+        the request-id table or the quantisation params, which no checksum
+        covers — decodes with the payload bit-identical and only that
+        metadata changed."""
+        message, blob = batch_frame(seed=seed, quantized=quantized)
+        corrupted = bytearray(blob)
+        position = flip % len(corrupted)
+        corrupted[position] ^= 1 << (flip % 8)
+        try:
+            decoded = decode_activation_batch(bytes(corrupted))
+        except ChannelError:
+            return
+        allowed = _uncovered_ranges(len(message.request_ids), quantized)
+        assert any(low <= position < high for low, high in allowed), (
+            f"flip at byte {position} outside the CRC-uncovered metadata "
+            "decoded silently"
+        )
+        np.testing.assert_array_equal(decoded.tensor, message.tensor)
+        assert (
+            decoded.request_ids != message.request_ids
+            or decoded.quantization != message.quantization
+        )
+
+    @given(cut=st.integers(1, 400))
+    @settings(max_examples=80, deadline=None)
+    def test_random_truncation_never_crashes(self, cut):
+        _, blob = batch_frame(n_requests=4, rows_each=3)
+        with pytest.raises(ChannelError):
+            decode_activation_batch(blob[: min(cut, len(blob) - 1)])

@@ -1,0 +1,152 @@
+"""ServingMetrics: percentile math vs numpy, SLO attainment edge cases.
+
+The metrics module implements its percentile explicitly; these tests pin
+it to ``np.percentile`` (default linear interpolation) on adversarial
+distributions — heavy ties, single samples, constant vectors, already
+sorted / reversed, subnormal spreads — and exercise the SLO-attainment
+bookkeeping around its edge cases (no SLOs, all met, all missed, exact
+deadline hits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.serve import ServingMetrics, percentile
+
+ADVERSARIAL = [
+    [0.0],
+    [5.0, 5.0, 5.0, 5.0],
+    [1.0, 1.0, 2.0, 2.0, 2.0, 3.0],
+    [3.0, 2.0, 1.0],
+    list(range(100)),
+    list(range(100))[::-1],
+    [0.1] * 99 + [1e9],
+    [1e-300, 2e-300, 3e-300],
+    [-5.0, -1.0, 0.0, 1.0, 5.0],
+]
+
+
+class TestPercentile:
+    @pytest.mark.parametrize("values", ADVERSARIAL)
+    @pytest.mark.parametrize("q", [0, 1, 25, 50, 75, 90, 99, 100])
+    def test_matches_numpy_on_adversarial_distributions(self, values, q):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q)), rel=1e-12, abs=1e-312
+        )
+
+    @given(
+        values=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50
+        ),
+        q=st.floats(0, 100, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_numpy_everywhere(self, values, q):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q)), rel=1e-9, abs=1e-9
+        )
+
+    def test_empty_sample_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_out_of_range_percentile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101)
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], -0.1)
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0, 37.5, 100):
+            assert percentile([42.0], q) == 42.0
+
+
+class TestSloAttainment:
+    def test_undefined_without_slos(self):
+        metrics = ServingMetrics()
+        metrics.record_completion(0.010)  # best-effort request
+        assert metrics.slo_attainment is None
+        assert metrics.slo_total == 0
+
+    def test_exact_deadline_hit_counts_as_met(self):
+        metrics = ServingMetrics()
+        metrics.record_completion(0.020, slo_seconds=0.020)
+        assert metrics.slo_attainment == 1.0
+
+    def test_mixed_outcomes(self):
+        metrics = ServingMetrics()
+        metrics.record_completion(0.010, slo_seconds=0.020)  # met
+        metrics.record_completion(0.030, slo_seconds=0.020)  # missed
+        metrics.record_completion(0.500)  # best-effort, not counted
+        assert metrics.slo_total == 2
+        assert metrics.slo_attainment == 0.5
+        assert len(metrics.latencies) == 3
+
+    def test_all_missed(self):
+        metrics = ServingMetrics()
+        for _ in range(3):
+            metrics.record_completion(1.0, slo_seconds=0.001)
+        assert metrics.slo_attainment == 0.0
+
+    def test_format_mentions_attainment_only_with_slos(self):
+        metrics = ServingMetrics()
+        metrics.record_completion(0.010)
+        assert "SLO" not in metrics.format()
+        metrics.record_completion(0.010, slo_seconds=0.5)
+        assert "SLO attainment    100.0%" in metrics.format()
+
+
+class TestQueueAgesAndWorkers:
+    def test_queue_age_histogram(self):
+        metrics = ServingMetrics()
+        metrics.queue_ages.extend([0.0, 0.001, 0.002, 0.010])
+        histogram = metrics.queue_age_histogram(bins=4)
+        assert len(histogram["counts"]) == 4
+        assert len(histogram["edges"]) == 5
+        assert sum(histogram["counts"]) == 4
+
+    def test_queue_age_histogram_empty_and_invalid(self):
+        metrics = ServingMetrics()
+        assert metrics.queue_age_histogram() == {"edges": [], "counts": []}
+        with pytest.raises(ConfigurationError):
+            metrics.queue_age_histogram(bins=0)
+
+    def test_queue_age_percentile_vs_numpy(self):
+        metrics = ServingMetrics()
+        metrics.queue_ages.extend([0.004, 0.001, 0.001, 0.100])
+        assert metrics.queue_age_percentile(90) == pytest.approx(
+            float(np.percentile(metrics.queue_ages, 90))
+        )
+
+    def test_worker_occupancy(self):
+        metrics = ServingMetrics()
+        metrics.wall_seconds = 2.0
+        metrics.record_worker(0, 1.0)
+        metrics.record_worker(1, 0.5)
+        metrics.record_worker(0, 0.5)
+        assert metrics.worker_batches == {0: 2, 1: 1}
+        assert metrics.worker_occupancy() == {0: 0.75, 1: 0.25}
+        assert "w0: 2 batches" in metrics.format()
+
+    def test_worker_occupancy_without_wall_time(self):
+        metrics = ServingMetrics()
+        metrics.record_worker(0, 1.0)
+        assert metrics.worker_occupancy() == {0: 0.0}
+
+    def test_as_dict_round_trips_new_fields(self):
+        import json
+
+        metrics = ServingMetrics()
+        metrics.record_completion(0.010, slo_seconds=0.020)
+        metrics.queue_ages.append(0.003)
+        metrics.record_worker(0, 0.004)
+        payload = metrics.as_dict()
+        assert payload["slo_attainment"] == 1.0
+        assert payload["slo_total"] == 1
+        assert payload["queue_age_p50_ms"] == pytest.approx(3.0)
+        assert payload["workers"]["0"]["micro_batches"] == 1
+        json.dumps(payload)  # must stay JSON-serialisable

@@ -98,3 +98,42 @@ class TestMicroBatcher:
             MicroBatcher(queue, batch_window=0)
         with pytest.raises(ConfigurationError):
             MicroBatcher(queue, batch_window=2, max_rows=0)
+
+
+class TestSloAndSessions:
+    def test_slo_and_session_stamped_on_request(self):
+        queue = RequestQueue()
+        queue.submit(image(), slo_seconds=0.05, session_id="user-1")
+        request = queue.peek()
+        assert request.slo_seconds == 0.05
+        assert request.session_id == "user-1"
+        assert request.deadline == pytest.approx(request.submitted_at + 0.05)
+
+    def test_no_slo_means_no_deadline(self):
+        queue = RequestQueue()
+        queue.submit(image())
+        assert queue.peek().deadline is None
+
+    def test_nonpositive_slo_rejected(self):
+        queue = RequestQueue()
+        with pytest.raises(ConfigurationError):
+            queue.submit(image(), slo_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            queue.submit(image(), slo_seconds=-1.0)
+
+    def test_injected_clock_stamps_submission(self):
+        ticks = iter([3.5, 7.25])
+        queue = RequestQueue(clock=lambda: next(ticks))
+        queue.submit(image())
+        queue.submit(image())
+        stamped = [r.submitted_at for r in queue]
+        assert stamped == [3.5, 7.25]
+
+    def test_iteration_is_fifo_and_non_destructive(self):
+        queue = RequestQueue()
+        ids = [queue.submit(image()) for _ in range(3)]
+        assert [r.request_id for r in queue] == ids
+        assert len(queue) == 3
+
+    def test_peek_empty(self):
+        assert RequestQueue().peek() is None
