@@ -129,6 +129,74 @@ def bench_collect(
     }
 
 
+def bench_backbone_backward(smoke: bool, repeats: int) -> dict:
+    """Conv2d weight-gradient contraction: whole-batch einsum (the
+    pre-tiling reference) vs the blocked ``_conv2d_grad_w`` path, plus a
+    full forward+backward step through the lenet backbone."""
+    from repro.nn import Tensor
+    from repro.nn import functional as F
+    from repro.nn.functional import _conv2d_grad_w
+    from repro.nn.im2col import extract_windows
+
+    rng = np.random.default_rng(0)
+    # (n, c_in, h, w, c_out, k, stride, pad) — backbone-representative.
+    shapes = [
+        ("cifar_block", 16 if smoke else 64, 16, 32, 32, 32, 3, 1, 1),
+        ("wide_batch_conv0", 64 if smoke else 256, 1, 28, 28, 3, 5, 1, 2),
+    ]
+    cases = {}
+    for name, n, c_in, h, w, c_out, k, s, p in shapes:
+        x = rng.normal(size=(n, c_in, h, w)).astype(np.float32)
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        grad = rng.normal(size=(n, c_out, oh, ow)).astype(np.float32)
+        grad3 = grad.reshape(n, c_out, oh * ow)
+
+        def einsum_ref():
+            windows = extract_windows(x, (k, k), (s, s), (p, p))
+            return np.einsum("nopq,ncijpq->ocij", grad, windows, optimize=True)
+
+        def blocked():
+            return _conv2d_grad_w(x, grad3, (k, k), (s, s), (p, p))
+
+        ref_s, ref_out = best_of(einsum_ref, repeats)
+        blk_s, blk_out = best_of(blocked, repeats)
+        cases[name] = {
+            "shape": [n, c_in, h, w, c_out, k],
+            "einsum_s": ref_s,
+            "blocked_s": blk_s,
+            "speedup": ref_s / blk_s,
+            "max_abs_diff": float(
+                np.abs(ref_out - blk_out.reshape(ref_out.shape)).max()
+            ),
+        }
+
+    # Full backward through a conv stack for context (tape + all grads).
+    n = 16 if smoke else 64
+    x = Tensor(rng.normal(size=(n, 1, 28, 28)).astype(np.float32))
+    w1 = Tensor(
+        rng.normal(size=(8, 1, 5, 5)).astype(np.float32), requires_grad=True
+    )
+    w2 = Tensor(
+        rng.normal(size=(16, 8, 5, 5)).astype(np.float32), requires_grad=True
+    )
+
+    def step():
+        out = F.conv2d(F.conv2d(x, w1, padding=2), w2)
+        loss = (out * out).mean()
+        w1.zero_grad()
+        w2.zero_grad()
+        loss.backward()
+        return loss
+
+    step_s, _ = best_of(step, repeats)
+    return {
+        "grad_w": cases,
+        "conv_stack_step": {"n": n, "seconds": step_s},
+        "gradw_tile_elements": F.GRADW_TILE_ELEMENTS,
+    }
+
+
 def bench_activation_cache(config: Config) -> dict:
     """Pipeline construction with a cold vs warm activation cache."""
     from repro.models import get_pretrained
@@ -194,6 +262,15 @@ def main() -> int:
         f"({collect['speedup']:.2f}x, max member diff {collect['max_member_noise_diff']:.1e})"
     )
 
+    print("backbone backward (conv2d grad_w) ...")
+    backward = bench_backbone_backward(args.smoke, repeats=args.repeats)
+    for name, case in backward["grad_w"].items():
+        print(
+            f"  {name}: {case['einsum_s']*1e3:.1f}ms einsum -> "
+            f"{case['blocked_s']*1e3:.1f}ms blocked "
+            f"({case['speedup']:.2f}x, |diff|={case['max_abs_diff']:.1e})"
+        )
+
     print("activation cache ...")
     cache = bench_activation_cache(config)
     print(
@@ -223,6 +300,7 @@ def main() -> int:
     )
     report["estimators"] = estimators
     report["collect"] = collect
+    report["backbone_backward"] = backward
     report["activation_cache"] = cache
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -200,6 +200,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline_aware=True if args.slo_ms is not None else None,
         channel=channel,
         quantize_bits=args.quantize_bits,
+        kernel_backend=args.kernel_backend,
     )
     engine_mode = isinstance(session, ServingEngine)
     images = bundle.test_set.images
@@ -209,9 +210,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"serving engine ({args.workers} workers)" if engine_mode
         else "batched runtime"
     )
+    backend = session.device._executor.backend
     print(
         f"serving {requests} single-image requests through the {runtime} "
-        f"(window {args.batch_window}"
+        f"(window {args.batch_window}, {backend} kernels"
         + (f", SLO {args.slo_ms:g} ms" if args.slo_ms is not None else "")
         + (f", {args.quantize_bits}-bit wire" if args.quantize_bits else "")
         + ") ..."
@@ -237,7 +239,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if engine_mode:
         session.close()
     if args.compare_sequential:
-        sequential = pipeline.deploy(collection, batched=False)
+        sequential = pipeline.deploy(
+            collection, batched=False, kernel_backend=args.kernel_backend
+        )
         start = time.perf_counter()
         for i in range(requests):
             sequential.infer(images[i : i + 1])
@@ -404,6 +408,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--compare-sequential", action="store_true",
         help="also time the sequential reference path on the same stream",
+    )
+    serve.add_argument(
+        "--kernel-backend", choices=["auto", "native", "numpy"], default="auto",
+        help="forward-executor kernels: compiled C when available (auto, "
+        "the default), required (native), or pure numpy (numpy); "
+        "REPRO_NO_C_KERNEL=1 disables compiled kernels globally",
     )
 
     report = sub.add_parser(

@@ -301,6 +301,7 @@ class ShredderPipeline:
         deadline_aware: bool | None = None,
         channel: Channel | None = None,
         quantize_bits: int | None = None,
+        kernel_backend: str = "auto",
         rng: np.random.Generator | None = None,
     ):
         """Stand up a serving session for this pipeline's split backbone.
@@ -334,6 +335,12 @@ class ShredderPipeline:
             quantize_bits: When set, calibrate an affine quantiser on the
                 held-out (noisy) activations and quantise each stacked
                 uplink payload once (batched sessions only).
+            kernel_backend: Forward-executor backend for every half of the
+                deployment — ``"auto"`` (compiled C kernels when a system
+                compiler is available; the default), ``"native"``
+                (require them), or ``"numpy"``.  All serving runtimes from
+                one ``deploy`` use the selected backend, keeping batched /
+                sequential parity intact (see :mod:`repro.edge.executor`).
             rng: Noise-sampling randomness; defaults to a config-derived
                 seed so deployments are reproducible.
         """
@@ -360,7 +367,7 @@ class ShredderPipeline:
                 )
             return InferenceSession(
                 self.bundle.model, self.split.cut, mean, std, noise,
-                channel=channel, rng=rng,
+                channel=channel, rng=rng, kernel_backend=kernel_backend,
             )
         quantization = None
         if quantize_bits is not None:
@@ -378,12 +385,12 @@ class ShredderPipeline:
                 workers=workers, batch_window=batch_window,
                 batch_timeout=0.005 if batch_timeout is None else batch_timeout,
                 deadline_aware=True if deadline_aware is None else deadline_aware,
-                quantization=quantization,
+                quantization=quantization, kernel_backend=kernel_backend,
             )
         return BatchedInferenceSession(
             self.bundle.model, self.split.cut, mean, std, noise,
             channel=channel, rng=rng, batch_window=batch_window,
-            quantization=quantization,
+            quantization=quantization, kernel_backend=kernel_backend,
         )
 
     def run(

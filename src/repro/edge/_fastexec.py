@@ -1,0 +1,660 @@
+"""Native inference kernels for the serving executor (optional fast path).
+
+The serving hot path runs a frozen eval-mode :class:`~repro.nn.Sequential`
+over micro-batches of a few stacked requests.  At that scale the numpy
+executor is dominated by per-op dispatch, the im2col materialisation, and
+separate bias/ReLU/pool passes — not by arithmetic.  This module compiles
+(at first use, through :mod:`repro.native`) a small C library that runs a
+whole network *segment* in **one call**: the Python side lowers the layer
+list into a flat int64 op program once per (batch, shape), and the C
+interpreter executes it over ping-pong scratch arenas.
+
+Kernels (all float32 in/out):
+
+* ``conv2d`` — per-sample im2col into a scratch panel, then a
+  register-blocked GEMM (4 output channels x 32 columns per tile, float
+  accumulators) with bias and optional ReLU fused into the tile epilogue.
+  Single-position convs (``OH*OW == 1``) reroute to the dot kernel.
+* ``linear`` — row-blocked dot products (4 output features x 16 fixed
+  lanes per row) with fused bias + optional ReLU.
+* ``maxpool2d`` — window max with the same zero-padding semantics as the
+  numpy path (padding contributes ``0.0`` to the max).
+* ``relu`` — standalone elementwise pass for activations that could not
+  be fused into a producing conv/linear.
+
+Determinism contract (what the serving parity guarantee needs): every
+output element is produced by a *fixed* accumulation schedule — the GEMM
+accumulates over ``k`` sequentially per element, the dot kernel uses a
+fixed 16-lane split of ``k`` reduced in a fixed order — and conv/pool
+kernels loop samples independently.  Results are therefore bit-identical
+no matter how requests are grouped into micro-batches (the
+batch-invariance property), and identical across runs.  The native
+backend is *not* bit-identical to the numpy backend (both are f32-exact
+to ~1e-6 relative of the float64 result); a deployment picks one backend
+at executor construction and every path through it then agrees bitwise.
+
+``REPRO_NO_C_KERNEL=1`` disables the library (callers keep the numpy
+executor); ``REPRO_KERNEL_DIR`` relocates the compiled artifact cache.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro import native
+from repro.nn.im2col import conv_output_size
+
+#: Op codes understood by ``run_program`` (must match the C enum).
+OP_CONV2D = 0
+OP_LINEAR = 1
+OP_RELU = 2
+OP_MAXPOOL2D = 3
+OP_CONV2D_DIRECT = 4
+
+#: Stride-1 convs with output rows in this width range skip im2col and
+#: run the direct kernel (25x less scratch traffic for early conv layers).
+#: Below the minimum the fixed-width tiles waste most of their lanes and
+#: the dot/GEMM path wins; above the maximum the accumulator tile spills.
+DIRECT_CONV_MIN_OW = 8
+DIRECT_CONV_MAX_OW = 64
+
+#: int64 fields per program record (op code + geometry + flags).
+RECORD_FIELDS = 16
+
+_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* im2col: one sample (c_in, h, w) -> (c_in*kh*kw, oh*ow), zero padded */
+/* ------------------------------------------------------------------ */
+static void im2col_sample(const float *restrict x,
+                          int64_t c_in, int64_t h, int64_t w,
+                          int64_t kh, int64_t kw, int64_t sh, int64_t sw,
+                          int64_t ph, int64_t pw, int64_t oh, int64_t ow,
+                          float *restrict cols) {
+    /* Rows are short (tens of floats); inline copy loops beat the call
+       overhead of memcpy/memset at this size. */
+    int64_t m = oh * ow;
+    for (int64_t c = 0; c < c_in; c++) {
+        const float *plane = x + c * h * w;
+        for (int64_t ki = 0; ki < kh; ki++)
+            for (int64_t kj = 0; kj < kw; kj++) {
+                float *row = cols + ((c * kh + ki) * kw + kj) * m;
+                for (int64_t oy = 0; oy < oh; oy++) {
+                    int64_t iy = oy * sh - ph + ki;
+                    float *restrict dst = row + oy * ow;
+                    if (iy < 0 || iy >= h) {
+                        for (int64_t j = 0; j < ow; j++) dst[j] = 0.0f;
+                        continue;
+                    }
+                    const float *src = plane + iy * w;
+                    if (sw == 1) {
+                        int64_t ox0 = pw - kj;
+                        if (ox0 < 0) ox0 = 0;
+                        int64_t ox1 = w + pw - kj;
+                        if (ox1 > ow) ox1 = ow;
+                        const float *restrict s = src - pw + kj;
+                        for (int64_t j = 0; j < ox0; j++) dst[j] = 0.0f;
+                        for (int64_t j = ox0; j < ox1; j++) dst[j] = s[j];
+                        for (int64_t j = ox1; j < ow; j++) dst[j] = 0.0f;
+                    } else {
+                        for (int64_t ox = 0; ox < ow; ox++) {
+                            int64_t ix = ox * sw - pw + kj;
+                            dst[ox] = (ix >= 0 && ix < w) ? src[ix] : 0.0f;
+                        }
+                    }
+                }
+            }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* GEMM out(c_out, m) = wmat(c_out, K) @ cols(K, m), fused bias+ReLU.  */
+/* 4x32 register tiles; every output element accumulates over k in    */
+/* fixed ascending order, so results never depend on tile neighbours. */
+/* ------------------------------------------------------------------ */
+static void gemm_tile(const float *restrict wmat, const float *restrict cols,
+                      const float *restrict bias, int64_t c_out, int64_t K,
+                      int64_t m, int64_t oc, int64_t nr, int64_t jb,
+                      int64_t mb, int relu, float *restrict out) {
+    float acc[4][32] __attribute__((aligned(64)));
+    for (int64_t r = 0; r < 4; r++)
+        memset(acc[r], 0, mb * sizeof(float));
+    const float *w0 = wmat + oc * K;
+    const float *w1 = wmat + (oc + (nr > 1)) * K;
+    const float *w2 = wmat + (oc + 2 * (nr > 2)) * K;
+    const float *w3 = wmat + (oc + 3 * (nr > 3)) * K;
+    if (mb == 32) {
+        for (int64_t k = 0; k < K; k++) {
+            const float *restrict b = cols + k * m + jb;
+            float a0 = w0[k], a1 = w1[k], a2 = w2[k], a3 = w3[k];
+            for (int64_t j = 0; j < 32; j++) {
+                float v = b[j];
+                acc[0][j] += a0 * v;
+                acc[1][j] += a1 * v;
+                acc[2][j] += a2 * v;
+                acc[3][j] += a3 * v;
+            }
+        }
+    } else {
+        for (int64_t k = 0; k < K; k++) {
+            const float *restrict b = cols + k * m + jb;
+            float a0 = w0[k], a1 = w1[k], a2 = w2[k], a3 = w3[k];
+            for (int64_t j = 0; j < mb; j++) {
+                float v = b[j];
+                acc[0][j] += a0 * v;
+                acc[1][j] += a1 * v;
+                acc[2][j] += a2 * v;
+                acc[3][j] += a3 * v;
+            }
+        }
+    }
+    for (int64_t r = 0; r < nr; r++) {
+        float bv = bias ? bias[oc + r] : 0.0f;
+        float *restrict dst = out + (oc + r) * m + jb;
+        const float *restrict a = acc[r];
+        for (int64_t j = 0; j < mb; j++) {
+            float v = a[j] + bv;
+            if (relu && v < 0.0f) v = 0.0f;
+            dst[j] = v;
+        }
+    }
+}
+
+static void gemm_f32(const float *restrict wmat, const float *restrict cols,
+                     const float *restrict bias, int64_t c_out, int64_t K,
+                     int64_t m, int relu, float *restrict out) {
+    for (int64_t jb = 0; jb < m; jb += 32) {
+        int64_t mb = m - jb;
+        if (mb > 32) mb = 32;
+        for (int64_t oc = 0; oc < c_out; oc += 4) {
+            int64_t nr = c_out - oc;
+            if (nr > 4) nr = 4;
+            gemm_tile(wmat, cols, bias, c_out, K, m, oc, nr, jb, mb, relu, out);
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Row dot products: out(n, out_f) = x(n, in_f) @ wmat(out_f, in_f)^T */
+/* 4 output features share each row load; 16 fixed accumulation lanes */
+/* per dot product (lane of term k is k mod 16 — independent of n).   */
+/* ------------------------------------------------------------------ */
+static void linear_rows(const float *restrict x, const float *restrict wmat,
+                        const float *restrict bias, int64_t n, int64_t in_f,
+                        int64_t out_f, int relu, float *restrict out) {
+    for (int64_t i = 0; i < n; i++) {
+        const float *restrict row = x + i * in_f;
+        for (int64_t oc = 0; oc < out_f; oc += 4) {
+            int64_t nr = out_f - oc;
+            if (nr > 4) nr = 4;
+            const float *w0 = wmat + oc * in_f;
+            const float *w1 = wmat + (oc + (nr > 1)) * in_f;
+            const float *w2 = wmat + (oc + 2 * (nr > 2)) * in_f;
+            const float *w3 = wmat + (oc + 3 * (nr > 3)) * in_f;
+            float l0[16] __attribute__((aligned(64))) = {0};
+            float l1[16] __attribute__((aligned(64))) = {0};
+            float l2[16] __attribute__((aligned(64))) = {0};
+            float l3[16] __attribute__((aligned(64))) = {0};
+            int64_t k = 0;
+            for (; k + 16 <= in_f; k += 16)
+                for (int64_t l = 0; l < 16; l++) {
+                    float v = row[k + l];
+                    l0[l] += w0[k + l] * v;
+                    l1[l] += w1[k + l] * v;
+                    l2[l] += w2[k + l] * v;
+                    l3[l] += w3[k + l] * v;
+                }
+            if (k < in_f) {
+                /* Zero-padded tail: the same 16-wide op sequence, so a
+                   term's lane depends only on its k index. */
+                float rb[16] __attribute__((aligned(64))) = {0};
+                float wb0[16] = {0}, wb1[16] = {0}, wb2[16] = {0}, wb3[16] = {0};
+                int64_t rem = in_f - k;
+                memcpy(rb, row + k, rem * sizeof(float));
+                memcpy(wb0, w0 + k, rem * sizeof(float));
+                memcpy(wb1, w1 + k, rem * sizeof(float));
+                memcpy(wb2, w2 + k, rem * sizeof(float));
+                memcpy(wb3, w3 + k, rem * sizeof(float));
+                for (int64_t l = 0; l < 16; l++) {
+                    float v = rb[l];
+                    l0[l] += wb0[l] * v;
+                    l1[l] += wb1[l] * v;
+                    l2[l] += wb2[l] * v;
+                    l3[l] += wb3[l] * v;
+                }
+            }
+            float *lanes[4] = {l0, l1, l2, l3};
+            for (int64_t r = 0; r < nr; r++) {
+                const float *a = lanes[r];
+                float s = 0.0f;
+                for (int64_t l = 0; l < 16; l++) s += a[l];
+                if (bias) s += bias[oc + r];
+                if (relu && s < 0.0f) s = 0.0f;
+                out[i * out_f + oc + r] = s;
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Direct stride-1 conv from a zero-padded plane copy: same ascending */
+/* (c, ki, kj) accumulation per output element as the GEMM path, but  */
+/* no column panel — early layers are scratch-bandwidth bound, not    */
+/* FLOP bound.  Tiles: 4 output channels x 2 output rows x <= 64 cols.*/
+/* ------------------------------------------------------------------ */
+static void conv_direct_sample(const float *restrict xp,
+                               const float *restrict wmat,
+                               const float *restrict bias,
+                               int64_t c_in, int64_t hp, int64_t wp,
+                               int64_t kh, int64_t kw,
+                               int64_t oh, int64_t ow, int64_t c_out,
+                               int relu, float *restrict out) {
+    int64_t K = c_in * kh * kw;
+    for (int64_t oc = 0; oc < c_out; oc += 4) {
+        int64_t nr = c_out - oc;
+        if (nr > 4) nr = 4;
+        const float *w0 = wmat + oc * K;
+        const float *w1 = wmat + (oc + (nr > 1)) * K;
+        const float *w2 = wmat + (oc + 2 * (nr > 2)) * K;
+        const float *w3 = wmat + (oc + 3 * (nr > 3)) * K;
+        for (int64_t oy = 0; oy < oh; oy += 2) {
+            int64_t tr = oh - oy < 2 ? oh - oy : 2;
+            float acc[4][2][64] __attribute__((aligned(64)));
+            if (ow <= 32) {
+                /* Fixed-width tile: lanes j >= ow compute garbage from the
+                   scratch slack and are never stored; valid lanes are
+                   untouched by them (independent accumulator chains). */
+                for (int64_t r = 0; r < 4; r++)
+                    for (int64_t t = 0; t < 2; t++)
+                        for (int64_t j = 0; j < 32; j++) acc[r][t][j] = 0.0f;
+                int64_t k = 0;
+                for (int64_t c = 0; c < c_in; c++)
+                    for (int64_t ki = 0; ki < kh; ki++)
+                        for (int64_t kj = 0; kj < kw; kj++, k++) {
+                            float a0 = w0[k], a1 = w1[k], a2 = w2[k], a3 = w3[k];
+                            const float *restrict b0 =
+                                xp + (c * hp + oy + ki) * wp + kj;
+                            const float *restrict b1 = b0 + wp;
+                            for (int64_t j = 0; j < 32; j++) {
+                                float v = b0[j];
+                                acc[0][0][j] += a0 * v;
+                                acc[1][0][j] += a1 * v;
+                                acc[2][0][j] += a2 * v;
+                                acc[3][0][j] += a3 * v;
+                            }
+                            if (tr == 2)
+                                for (int64_t j = 0; j < 32; j++) {
+                                    float v = b1[j];
+                                    acc[0][1][j] += a0 * v;
+                                    acc[1][1][j] += a1 * v;
+                                    acc[2][1][j] += a2 * v;
+                                    acc[3][1][j] += a3 * v;
+                                }
+                        }
+            } else {
+                for (int64_t r = 0; r < 4; r++)
+                    for (int64_t t = 0; t < 2; t++)
+                        for (int64_t j = 0; j < ow; j++) acc[r][t][j] = 0.0f;
+                int64_t k = 0;
+                for (int64_t c = 0; c < c_in; c++)
+                    for (int64_t ki = 0; ki < kh; ki++)
+                        for (int64_t kj = 0; kj < kw; kj++, k++) {
+                            float a0 = w0[k], a1 = w1[k], a2 = w2[k], a3 = w3[k];
+                            const float *restrict b0 =
+                                xp + (c * hp + oy + ki) * wp + kj;
+                            const float *restrict b1 = b0 + wp;
+                            for (int64_t j = 0; j < ow; j++) {
+                                float v = b0[j];
+                                acc[0][0][j] += a0 * v;
+                                acc[1][0][j] += a1 * v;
+                                acc[2][0][j] += a2 * v;
+                                acc[3][0][j] += a3 * v;
+                            }
+                            if (tr == 2)
+                                for (int64_t j = 0; j < ow; j++) {
+                                    float v = b1[j];
+                                    acc[0][1][j] += a0 * v;
+                                    acc[1][1][j] += a1 * v;
+                                    acc[2][1][j] += a2 * v;
+                                    acc[3][1][j] += a3 * v;
+                                }
+                        }
+            }
+            for (int64_t r = 0; r < nr; r++) {
+                float bv = bias ? bias[oc + r] : 0.0f;
+                for (int64_t t = 0; t < tr; t++) {
+                    float *restrict dst = out + ((oc + r) * oh + oy + t) * ow;
+                    const float *restrict a = acc[r][t];
+                    for (int64_t j = 0; j < ow; j++) {
+                        float v = a[j] + bv;
+                        if (relu && v < 0.0f) v = 0.0f;
+                        dst[j] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+static void pad_plane_copy(const float *restrict x, int64_t c_in, int64_t h,
+                           int64_t w, int64_t ph, int64_t pw,
+                           float *restrict xp) {
+    int64_t hp = h + 2 * ph, wp = w + 2 * pw;
+    if (ph == 0 && pw == 0) {
+        for (int64_t j = 0; j < c_in * h * w; j++) xp[j] = x[j];
+        return;
+    }
+    for (int64_t j = 0; j < c_in * hp * wp; j++) xp[j] = 0.0f;
+    for (int64_t c = 0; c < c_in; c++)
+        for (int64_t y = 0; y < h; y++) {
+            float *restrict dst = xp + (c * hp + y + ph) * wp + pw;
+            const float *restrict src = x + (c * h + y) * w;
+            for (int64_t j = 0; j < w; j++) dst[j] = src[j];
+        }
+}
+
+/* ------------------------------------------------------------------ */
+/* Max pooling with zero padding contributing to the max (matching    */
+/* the numpy executor's padded-window reduction).                     */
+/* ------------------------------------------------------------------ */
+static void maxpool_planes(const float *restrict x, int64_t planes,
+                           int64_t h, int64_t w, int64_t kh, int64_t kw,
+                           int64_t sh, int64_t sw, int64_t ph, int64_t pw,
+                           int64_t oh, int64_t ow, float *restrict out) {
+    if (ph == 0 && pw == 0 && kh == 2 && kw == 2 && sh == 2 && sw == 2 &&
+        2 * oh <= h && 2 * ow <= w) {
+        /* The overwhelmingly common serving shape: branch-free 2x2/2. */
+        for (int64_t p = 0; p < planes; p++) {
+            const float *plane = x + p * h * w;
+            float *restrict dst = out + p * oh * ow;
+            for (int64_t oy = 0; oy < oh; oy++) {
+                const float *restrict r0 = plane + 2 * oy * w;
+                const float *restrict r1 = r0 + w;
+                float *restrict d = dst + oy * ow;
+                for (int64_t ox = 0; ox < ow; ox++) {
+                    float a = r0[2 * ox], b = r0[2 * ox + 1];
+                    float c = r1[2 * ox], e = r1[2 * ox + 1];
+                    float m0 = a > b ? a : b;
+                    float m1 = c > e ? c : e;
+                    d[ox] = m0 > m1 ? m0 : m1;
+                }
+            }
+        }
+        return;
+    }
+    for (int64_t p = 0; p < planes; p++) {
+        const float *plane = x + p * h * w;
+        float *dst = out + p * oh * ow;
+        for (int64_t oy = 0; oy < oh; oy++) {
+            int64_t iy0 = oy * sh - ph;
+            for (int64_t ox = 0; ox < ow; ox++) {
+                int64_t ix0 = ox * sw - pw;
+                float best = -INFINITY;
+                if (iy0 >= 0 && ix0 >= 0 && iy0 + kh <= h && ix0 + kw <= w) {
+                    /* Fully in bounds: no per-tap branches. */
+                    for (int64_t ki = 0; ki < kh; ki++) {
+                        const float *restrict src = plane + (iy0 + ki) * w + ix0;
+                        for (int64_t kj = 0; kj < kw; kj++) {
+                            float v = src[kj];
+                            if (v > best) best = v;
+                        }
+                    }
+                } else {
+                    for (int64_t ki = 0; ki < kh; ki++) {
+                        int64_t iy = iy0 + ki;
+                        const float *src = plane + iy * w;
+                        for (int64_t kj = 0; kj < kw; kj++) {
+                            int64_t ix = ix0 + kj;
+                            float v = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                                          ? src[ix]
+                                          : 0.0f;
+                            if (v > best) best = v;
+                        }
+                    }
+                }
+                dst[oy * ow + ox] = best;
+            }
+        }
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* Program interpreter: one record per op, RECORD_FIELDS int64 each.  */
+/* Fields: [op, relu, c_in, h, w, c_out, kh, kw, sh, sw, ph, pw, oh,  */
+/*          ow, weight_index, bias_index]                             */
+/* ------------------------------------------------------------------ */
+#define REC 16
+
+void run_program(const int64_t *restrict prog, int64_t n_ops, int64_t n,
+                 const float *restrict input, float *restrict output,
+                 float *restrict arena_a, float *restrict arena_b,
+                 float *restrict cols, const float **restrict weights) {
+    const float *src = input;
+    float *arenas[2] = {arena_a, arena_b};
+    int which = 0;
+    for (int64_t op = 0; op < n_ops; op++) {
+        const int64_t *r = prog + op * REC;
+        int64_t kind = r[0];
+        int relu = (int)r[1];
+        int64_t c_in = r[2], h = r[3], w = r[4], c_out = r[5];
+        int64_t kh = r[6], kw = r[7], sh = r[8], sw = r[9];
+        int64_t ph = r[10], pw = r[11], oh = r[12], ow = r[13];
+        const float *wmat = r[14] >= 0 ? weights[r[14]] : 0;
+        const float *bias = r[15] >= 0 ? weights[r[15]] : 0;
+        float *dst = (op == n_ops - 1) ? output : arenas[which];
+        which ^= 1;
+        if (kind == 0) { /* conv2d via im2col + GEMM */
+            int64_t m = oh * ow, K = c_in * kh * kw;
+            for (int64_t s = 0; s < n; s++) {
+                const float *xs = src + s * c_in * h * w;
+                float *os = dst + s * c_out * m;
+                im2col_sample(xs, c_in, h, w, kh, kw, sh, sw, ph, pw, oh, ow,
+                              cols);
+                if (m == 1)
+                    linear_rows(cols, wmat, bias, 1, K, c_out, relu, os);
+                else
+                    gemm_f32(wmat, cols, bias, c_out, K, m, relu, os);
+            }
+        } else if (kind == 4) { /* conv2d, direct stride-1 kernel */
+            int64_t hp = h + 2 * ph, wp = w + 2 * pw;
+            for (int64_t s = 0; s < n; s++) {
+                pad_plane_copy(src + s * c_in * h * w, c_in, h, w, ph, pw,
+                               cols);
+                conv_direct_sample(cols, wmat, bias, c_in, hp, wp, kh, kw,
+                                   oh, ow, c_out, relu,
+                                   dst + s * c_out * oh * ow);
+            }
+        } else if (kind == 1) { /* linear: c_in = in_f, c_out = out_f */
+            linear_rows(src, wmat, bias, n, c_in, c_out, relu, dst);
+        } else if (kind == 2) { /* standalone relu over c_in elems/sample */
+            int64_t total = n * c_in;
+            for (int64_t j = 0; j < total; j++) {
+                float v = src[j];
+                dst[j] = v > 0.0f ? v : 0.0f;
+            }
+        } else { /* maxpool2d over n*c_in planes */
+            maxpool_planes(src, n * c_in, h, w, kh, kw, sh, sw, ph, pw, oh,
+                           ow, dst);
+        }
+        src = dst;
+    }
+}
+"""
+
+
+def _configure(lib: ctypes.CDLL) -> None:
+    lib.run_program.argtypes = [
+        ctypes.c_void_p,  # prog
+        ctypes.c_int64,   # n_ops
+        ctypes.c_int64,   # n (batch rows)
+        ctypes.c_void_p,  # input
+        ctypes.c_void_p,  # output
+        ctypes.c_void_p,  # arena_a
+        ctypes.c_void_p,  # arena_b
+        ctypes.c_void_p,  # cols scratch
+        ctypes.c_void_p,  # weights pointer table
+    ]
+    lib.run_program.restype = None
+
+
+_MODULE = native.KernelModule("fastexec", _SOURCE, _configure)
+
+
+def available() -> bool:
+    """Whether the compiled executor kernels can be used in this process."""
+    return _MODULE.available()
+
+
+def load() -> ctypes.CDLL | None:
+    """The configured library (``None`` when unavailable or disabled)."""
+    return _MODULE.load()
+
+
+class CompiledProgram:
+    """One network segment lowered to a flat op program for a fixed
+    ``(batch, input_shape)``.
+
+    The executor hands over a list of *steps* — ``("conv", module, relu)``,
+    ``("linear", module, relu)``, ``("maxpool", module)``, ``("relu",)`` —
+    and this class resolves the geometry, builds the int64 record array,
+    the weight pointer table, and the ping-pong scratch arenas, and caches
+    the argument list so a call is one dict hit plus one ctypes call.
+
+    Weight/bias pointers reference the modules' live float32 arrays (a
+    reshape view for conv filters), so in-place weight updates stay
+    visible; rebinding a parameter to a new array does not.  Serving nets
+    are frozen, which is the contract this backend is built for.
+    """
+
+    def __init__(
+        self, steps: list[tuple], n: int, input_shape: tuple[int, ...]
+    ) -> None:
+        lib = load()
+        if lib is None:  # pragma: no cover - callers check available()
+            raise RuntimeError("fastexec kernel unavailable")
+        self._run = lib.run_program
+        self.n = n
+        # Strong references keep the weight arrays alive behind the raw
+        # pointers in the table.
+        self._weight_arrays: list[np.ndarray] = []
+        records: list[tuple] = []
+        shape = tuple(input_shape)
+        arena_elems = 0
+        cols_elems = 1
+
+        def _index(array: np.ndarray | None) -> int:
+            if array is None:
+                return -1
+            if array.dtype != np.float32 or not array.flags.c_contiguous:
+                raise TypeError("native kernels need contiguous float32 weights")
+            self._weight_arrays.append(array)
+            return len(self._weight_arrays) - 1
+
+        for step in steps:
+            kind = step[0]
+            if kind == "conv":
+                module, relu = step[1], step[2]
+                c_in, h, w = shape
+                kh, kw = module.kernel_size
+                sh, sw = module.stride
+                ph, pw = module.padding
+                oh = conv_output_size(h, kh, sh, ph)
+                ow = conv_output_size(w, kw, sw, pw)
+                c_out = module.out_channels
+                weight = module.weight.data.reshape(c_out, c_in * kh * kw)
+                if not weight.flags.c_contiguous:
+                    weight = np.ascontiguousarray(weight)
+                bias = None if module.bias is None else module.bias.data
+                direct = (
+                    sh == 1 and sw == 1
+                    and DIRECT_CONV_MIN_OW <= ow <= DIRECT_CONV_MAX_OW
+                )
+                records.append(
+                    (OP_CONV2D_DIRECT if direct else OP_CONV2D, int(relu),
+                     c_in, h, w, c_out, kh, kw, sh, sw,
+                     ph, pw, oh, ow, _index(weight), _index(bias))
+                )
+                if direct:
+                    # +64 slack floats: the fixed-width direct tile loads
+                    # (never stores) up to 31 lanes past a row's end.
+                    cols_elems = max(
+                        cols_elems, c_in * (h + 2 * ph) * (w + 2 * pw) + 64
+                    )
+                else:
+                    cols_elems = max(cols_elems, c_in * kh * kw * oh * ow)
+                shape = (c_out, oh, ow)
+            elif kind == "linear":
+                module, relu = step[1], step[2]
+                in_f = int(np.prod(shape))
+                if in_f != module.in_features:
+                    raise ValueError(
+                        f"linear expects {module.in_features} features, "
+                        f"segment carries {in_f}"
+                    )
+                bias = None if module.bias is None else module.bias.data
+                records.append(
+                    (OP_LINEAR, int(relu), in_f, 0, 0, module.out_features,
+                     0, 0, 0, 0, 0, 0, 0, 0,
+                     _index(module.weight.data), _index(bias))
+                )
+                shape = (module.out_features,)
+            elif kind == "relu":
+                elems = int(np.prod(shape))
+                records.append(
+                    (OP_RELU, 0, elems, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, -1, -1)
+                )
+            elif kind == "maxpool":
+                module = step[1]
+                c, h, w = shape
+                kh, kw = module.kernel_size
+                sh, sw = module.stride
+                ph, pw = module.padding
+                oh = conv_output_size(h, kh, sh, ph)
+                ow = conv_output_size(w, kw, sw, pw)
+                records.append(
+                    (OP_MAXPOOL2D, 0, c, h, w, 0, kh, kw, sh, sw, ph, pw,
+                     oh, ow, -1, -1)
+                )
+                shape = (c, oh, ow)
+            else:  # pragma: no cover - executor controls the step kinds
+                raise ValueError(f"unknown native step {kind!r}")
+            arena_elems = max(arena_elems, int(np.prod(shape)))
+
+        self.out_shape = shape
+        self._records = np.asarray(records, dtype=np.int64)
+        if self._records.shape[1] != RECORD_FIELDS:  # pragma: no cover
+            raise AssertionError("program record width drifted from the C side")
+        table = (ctypes.c_void_p * max(1, len(self._weight_arrays)))()
+        for index, array in enumerate(self._weight_arrays):
+            table[index] = array.ctypes.data
+        self._weight_table = table
+        self._arena_a = np.empty(n * arena_elems, dtype=np.float32)
+        self._arena_b = np.empty(n * arena_elems, dtype=np.float32)
+        # Zero-filled so the direct-conv over-read slack never sees
+        # uninitialised (potentially denormal) memory.
+        self._cols = np.zeros(cols_elems, dtype=np.float32)
+        self._args = [
+            self._records.ctypes.data,
+            len(self._records),
+            n,
+            0,  # input pointer, set per call
+            0,  # output pointer, set per call
+            self._arena_a.ctypes.data,
+            self._arena_b.ctypes.data,
+            self._cols.ctypes.data,
+            ctypes.addressof(self._weight_table),
+        ]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Run the segment on ``x``; returns a fresh float32 output array."""
+        out = np.empty((self.n, *self.out_shape), dtype=np.float32)
+        args = self._args
+        args[3] = x.ctypes.data
+        args[4] = out.ctypes.data
+        self._run(*args)
+        return out

@@ -64,6 +64,10 @@ class EdgeDevice:
             serving keeps a single explicit owner of the sample sequence.
         quantization: Optional affine code; when set, ``forward_batch``
             quantises the stacked payload once before transmission.
+        kernel_backend: Forward-executor backend (``"auto"`` / ``"native"``
+            / ``"numpy"``); every device and server of one deployment must
+            use the same value or the bit-parity guarantee breaks (see
+            :mod:`repro.edge.executor`).
     """
 
     def __init__(
@@ -74,6 +78,7 @@ class EdgeDevice:
         noise: NoiseCollection | None = None,
         rng: np.random.Generator | NoiseStream | None = None,
         quantization: QuantizationParams | None = None,
+        kernel_backend: str = "auto",
     ) -> None:
         self.local = local.eval()
         self.mean = np.asarray(mean, dtype=np.float32)
@@ -83,7 +88,7 @@ class EdgeDevice:
         self.noise = noise
         self.quantization = quantization
         self.noise_stream = rng if isinstance(rng, NoiseStream) else NoiseStream(rng)
-        self._executor = BatchInvariantExecutor(self.local)
+        self._executor = BatchInvariantExecutor(self.local, kernel_backend)
         self._next_request = 0
 
     def normalize(self, images: np.ndarray) -> np.ndarray:
@@ -163,11 +168,17 @@ class EdgeDevice:
 
 
 class CloudServer:
-    """The provider-side half: computes predictions from noisy activations."""
+    """The provider-side half: computes predictions from noisy activations.
 
-    def __init__(self, remote: Sequential) -> None:
+    Args:
+        remote: Remote network ``R(a, θ₂)``.
+        kernel_backend: Forward-executor backend; must match the edge
+            device's (the engine threads one value through both).
+    """
+
+    def __init__(self, remote: Sequential, kernel_backend: str = "auto") -> None:
         self.remote = remote.eval()
-        self._executor = BatchInvariantExecutor(self.remote)
+        self._executor = BatchInvariantExecutor(self.remote, kernel_backend)
 
     def handle(self, message: ActivationMessage) -> PredictionMessage:
         """Compute logits for one activation message (sequential path)."""
@@ -218,6 +229,7 @@ class InferenceSession:
         noise: Noise collection for the edge device (optional).
         channel: Link model; default is a fast clean link.
         rng: Noise-sampling randomness.
+        kernel_backend: Forward-executor backend for both halves.
     """
 
     def __init__(
@@ -229,10 +241,12 @@ class InferenceSession:
         noise: NoiseCollection | None = None,
         channel: Channel | None = None,
         rng: np.random.Generator | None = None,
+        kernel_backend: str = "auto",
     ) -> None:
         local, remote = model.split(cut)
-        self.device = EdgeDevice(local, mean, std, noise, rng)
-        self.server = CloudServer(remote)
+        self.device = EdgeDevice(local, mean, std, noise, rng,
+                                 kernel_backend=kernel_backend)
+        self.server = CloudServer(remote, kernel_backend)
         self.channel = channel or Channel()
         self.cut = cut
         self._edge_cost = cut_cost(model, cut)

@@ -9,8 +9,47 @@ geometry, so ``(x @ W.T)[i]`` changes in the last ulp as the batch
 dimension changes.
 
 :class:`BatchInvariantExecutor` compiles a frozen
-:class:`~repro.nn.Sequential` into an inference-only numpy plan in which
-every kernel's per-row arithmetic is independent of the batch geometry:
+:class:`~repro.nn.Sequential` into an inference-only plan in which every
+kernel's per-row arithmetic is independent of the batch geometry.  Two
+interchangeable backends provide the kernels:
+
+Native kernels (``kernel_backend="native"`` / the ``"auto"`` default)
+=====================================================================
+
+When a system C compiler is available, supported layer runs — Conv2d,
+Linear, ReLU, MaxPool2d, Flatten, eval-mode Dropout — are lowered to a
+flat op program executed by the compiled :mod:`repro.edge._fastexec`
+library in **one C call per segment**: per-sample im2col + register-blocked
+conv GEMM, row-blocked linear dot products, fused bias+ReLU epilogues, and
+the eval-mode maxpool reduction, over reusable ping-pong scratch arenas.
+Unsupported layers (eval-mode BatchNorm2d, LocalResponseNorm, anything in
+training mode or unrecognised) split the program into segments and run
+between them via the numpy handlers below.
+
+*Backend selection* happens **once, at executor construction**:
+``"auto"`` picks the native backend when the kernel compiles (and the
+input is float32), else numpy; ``"native"`` requires it (raising
+:class:`~repro.errors.ConfigurationError` otherwise); ``"numpy"`` forces
+the pure-numpy plan.  Every executor a deployment creates — the edge
+device's, each cloud worker's — must use the same backend, which the
+device/engine constructors guarantee by threading one ``kernel_backend``
+value through.
+
+*Determinism contract*: both backends produce results that are a pure
+function of the input row — per-sample conv GEMMs, row-blocked linear
+products, fixed accumulation schedules — so batched and sequential serving
+agree bitwise *within* a backend.  The two backends are **not** bitwise
+identical to each other (both are float32-exact to ~1e-6 relative of the
+float64 result); mixing backends across the edge/cloud halves of one
+deployment is therefore a parity bug, not a correctness bug.
+
+*Environment*: ``REPRO_NO_C_KERNEL=1`` disables the native kernels
+process-wide (``"auto"`` falls back to numpy, ``"native"`` raises);
+``REPRO_KERNEL_DIR`` relocates the compiled-artifact cache (see
+:mod:`repro.native`).
+
+Numpy kernels (``kernel_backend="numpy"``)
+==========================================
 
 * **Conv2d** — im2col columns contracted by a *per-sample* stacked
   ``np.matmul`` (each sample runs the identical ``(C_out, K) @ (K, OH*OW)``
@@ -27,15 +66,18 @@ every kernel's per-row arithmetic is independent of the batch geometry:
 Unrecognised layers (and layers left in training mode) fall back to the
 module's normal forward under ``no_grad``.
 
-The plan also reuses per-layer scratch buffers across calls: a serving
-session runs the same geometry every micro-batch, and the im2col and
-output temporaries of a stacked batch are large enough that repeated
-malloc/mmap churn dominated the step overhead.  Buffers are keyed by input
-shape, so irregular (tail) micro-batches still work.  The final output is
-copied out of scratch, making returned arrays safe to hold across calls.
+Both backends reuse scratch across calls: a serving session runs the same
+geometry every micro-batch, and repeated malloc/mmap churn dominated the
+step overhead before buffers were cached by input shape.  Irregular (tail)
+micro-batches still work — they simply key new scratch.  Call
+:meth:`BatchInvariantExecutor.warm` with the planned batch shape at deploy
+time to pre-size everything off the latency path (the serving engine does
+this with the planner's chosen window).  The final output is always
+freshly owned, safe to hold across calls.
 
-Invariance across the four backbones is enforced by
-``tests/edge/test_executor.py``.  Used by both
+Invariance across the four backbones and both backends is enforced by
+``tests/edge/test_executor.py`` and the kernel-vs-numpy differential fuzz
+suite in ``tests/edge/test_native_kernels.py``.  Used by both
 :class:`~repro.edge.device.EdgeDevice` (single-request ``process`` *and*
 stacked ``forward_batch``) and :class:`~repro.edge.device.CloudServer`,
 which is what makes the batched session's parity guarantee hold by
@@ -46,6 +88,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.edge import _fastexec
+from repro.errors import ConfigurationError
 from repro.nn import Linear, Sequential, Tensor, no_grad
 from repro.nn.im2col import conv_output_size, extract_windows
 from repro.nn.layers.activation import ReLU
@@ -54,6 +98,8 @@ from repro.nn.layers.dropout import Dropout
 from repro.nn.layers.flatten import Flatten
 from repro.nn.layers.norm import BatchNorm2d, LocalResponseNorm
 from repro.nn.layers.pooling import MaxPool2d
+
+KERNEL_BACKENDS = ("auto", "native", "numpy")
 
 
 def batch_invariant_linear(
@@ -77,15 +123,37 @@ class BatchInvariantExecutor:
     Args:
         net: The (local or remote) half of a split backbone; callers
             freeze it and put it in eval mode.
+        kernel_backend: ``"auto"`` (native C kernels when available, the
+            default), ``"native"`` (require them), or ``"numpy"`` (force
+            the pure-numpy plan).  See the module docstring for the
+            selection and determinism contract.
     """
 
-    def __init__(self, net: Sequential) -> None:
+    def __init__(self, net: Sequential, kernel_backend: str = "auto") -> None:
+        if kernel_backend not in KERNEL_BACKENDS:
+            raise ConfigurationError(
+                f"kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {kernel_backend!r}"
+            )
+        if kernel_backend == "native" and not _fastexec.available():
+            raise ConfigurationError(
+                "native kernel backend requested but the compiled kernels "
+                "are unavailable (no C compiler, or REPRO_NO_C_KERNEL=1)"
+            )
         self.net = net
+        self.backend = (
+            "native"
+            if kernel_backend != "numpy" and _fastexec.available()
+            else "numpy"
+        )
         self._plan = [
             (index, module, self._handler(module))
             for index, module in enumerate(net.layers())
         ]
         self._scratch: dict[tuple, np.ndarray] = {}
+        self._segments = self._build_segments() if self.backend == "native" else None
+        # (n, input_shape) -> list of per-segment callables.
+        self._programs: dict[tuple, list] = {}
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -108,6 +176,85 @@ class BatchInvariantExecutor:
         if isinstance(module, LocalResponseNorm):
             return self._local_response_norm
         return None  # fall back to the module's own forward
+
+    def _native_capable(self, module) -> bool:
+        """Whether the native program can absorb this layer."""
+        if isinstance(module, (Conv2d, Linear, ReLU, MaxPool2d, Flatten)):
+            return True
+        # Eval-mode dropout is the identity; training mode must keep the
+        # numpy handler so it raises exactly like the numpy backend.
+        return isinstance(module, Dropout) and not module.training
+
+    def _build_segments(self) -> list[tuple]:
+        """Split the layer list into native-program and python runs.
+
+        Returns ``("native", steps)`` / ``("python", plan_rows)`` tuples.
+        Native steps fuse a ReLU into a directly-preceding Conv2d/Linear.
+        """
+        segments: list[tuple] = []
+        native_steps: list[tuple] = []
+        python_rows: list[tuple] = []
+
+        def flush_native():
+            nonlocal native_steps
+            if native_steps:
+                segments.append(("native", native_steps))
+                native_steps = []
+
+        def flush_python():
+            nonlocal python_rows
+            if python_rows:
+                segments.append(("python", python_rows))
+                python_rows = []
+
+        for index, module, handler in self._plan:
+            if not self._native_capable(module):
+                flush_native()
+                python_rows.append((index, module, handler))
+                continue
+            flush_python()
+            if isinstance(module, Conv2d):
+                native_steps.append(["conv", module, False])
+            elif isinstance(module, Linear):
+                native_steps.append(["linear", module, False])
+            elif isinstance(module, ReLU):
+                if native_steps and native_steps[-1][0] in ("conv", "linear") \
+                        and not native_steps[-1][2]:
+                    native_steps[-1][2] = True  # fuse into the producer
+                else:
+                    native_steps.append(["relu"])
+            elif isinstance(module, MaxPool2d):
+                native_steps.append(["maxpool", module])
+            elif isinstance(module, Flatten):
+                native_steps.append(["flatten"])
+            # eval-mode Dropout: identity, emit nothing
+        flush_native()
+        flush_python()
+        return segments
+
+    def _program(
+        self, segment_index: int, steps: list, n: int, shape: tuple[int, ...]
+    ) -> "_fastexec.CompiledProgram":
+        """The compiled program for one native segment at one geometry."""
+        key = (segment_index, n, shape)
+        program = self._programs.get(key)
+        if program is None:
+            program = _fastexec.CompiledProgram(
+                [tuple(step) for step in steps if step[0] != "flatten"], n, shape
+            )
+            self._programs[key] = program
+        return program
+
+    def _run_python_rows(self, rows: list, x: np.ndarray) -> np.ndarray:
+        for index, module, handler in rows:
+            if handler is not None and not (
+                isinstance(module, BatchNorm2d) and module.training
+            ):
+                x = handler(index, module, x)
+            else:
+                with no_grad():
+                    x = module(Tensor(np.ascontiguousarray(x))).numpy()
+        return x
 
     def _buffer(self, key: tuple, shape: tuple[int, ...], dtype) -> np.ndarray:
         """A reusable scratch array for one (layer, role, shape) slot."""
@@ -209,6 +356,20 @@ class BatchInvariantExecutor:
     # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
+    def warm(self, batch_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Pre-size every buffer for a batch shape; returns the out shape.
+
+        One throwaway forward allocates the native program (or numpy
+        scratch) for ``batch_shape`` off the latency path, so the first
+        real micro-batch pays no compilation or allocation jitter.  The
+        serving engine calls this at deploy time with the planner's
+        chosen window.
+        """
+        return self(np.zeros(batch_shape, dtype=np.float32)).shape
+
+    def _numpy_forward(self, x: np.ndarray) -> np.ndarray:
+        return self._run_python_rows(self._plan, x)
+
     def __call__(self, batch: np.ndarray) -> np.ndarray:
         """Forward a ``(N, ...)`` numpy batch to a numpy output.
 
@@ -216,14 +377,36 @@ class BatchInvariantExecutor:
         callers may hold it across subsequent executor calls.
         """
         x = np.ascontiguousarray(batch)
-        for index, module, handler in self._plan:
-            if handler is not None and not (
-                isinstance(module, BatchNorm2d) and module.training
-            ):
-                x = handler(index, module, x)
-            else:
-                with no_grad():
-                    x = module(Tensor(np.ascontiguousarray(x))).numpy()
+        if self.backend == "native" and x.dtype == np.float32:
+            for segment_index, (kind, body) in enumerate(self._segments):
+                if kind == "python":
+                    x = self._run_python_rows(body, x)
+                    continue
+                if all(step[0] == "flatten" for step in body):
+                    x = np.ascontiguousarray(x).reshape(len(x), -1)
+                    continue
+                if x.dtype != np.float32:
+                    # A python-fallback layer changed the dtype mid-chain;
+                    # replay the whole batch on the numpy plan rather than
+                    # silently casting.
+                    return self._finish(
+                        self._numpy_forward(np.ascontiguousarray(batch))
+                    )
+                if not x.flags.c_contiguous:
+                    x = np.ascontiguousarray(x)
+                program = self._program(segment_index, body, len(x), x.shape[1:])
+                x = program(x)
+                if len(program.out_shape) > 1 and any(
+                    step[0] == "flatten" for step in body
+                ):
+                    # Flatten was the segment's last layer: the reshape is
+                    # free, the program just never saw a consumer for it.
+                    x = x.reshape(len(x), -1)
+        else:
+            x = self._numpy_forward(x)
+        return self._finish(x)
+
+    def _finish(self, x: np.ndarray) -> np.ndarray:
         if self._owns(x):
             x = x.copy()
         return x

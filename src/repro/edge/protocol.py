@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from math import prod as _product
 from dataclasses import dataclass
 
 import numpy as np
@@ -178,7 +179,7 @@ def decode_tensor(blob: bytes) -> tuple[int, np.ndarray]:
         raise ChannelError("message truncated inside the shape header")
     shape = struct.unpack(f"<{ndim}I", blob[fixed : fixed + shape_size])
     dtype = np.dtype(_DTYPES[dtype_code])
-    count = int(np.prod(shape)) if ndim else 1
+    count = _product(shape) if ndim else 1
     payload_size = count * dtype.itemsize
     start = fixed + shape_size
     payload = blob[start : start + payload_size]
@@ -340,7 +341,7 @@ def _decode_batch(
             f"payload shape declares {shape[0]}"
         )
     dtype = np.dtype(_DTYPES[dtype_code])
-    payload_size = int(np.prod(shape)) * dtype.itemsize
+    payload_size = _product(shape) * dtype.itemsize
     payload = blob[offset : offset + payload_size]
     if len(payload) != payload_size:
         raise ChannelError("batched frame truncated inside payload")

@@ -10,6 +10,8 @@ which is the derivative Shredder's optimisation needs (paper eq. in §2.1).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.errors import ShapeError
@@ -20,6 +22,91 @@ from repro.nn.im2col import (
     fold_windows,
 )
 from repro.nn.tensor import Tensor, as_tensor, is_grad_enabled
+
+#: Elements per materialised im2col tile in the blocked conv2d weight
+#: gradient (~8 MB of float32).  Above :data:`GRADW_WHOLE_BATCH_ELEMENTS`
+#: the contraction walks the batch in tiles of
+#: ``ceil(GRADW_TILE_ELEMENTS / (K * OH * OW))`` samples, bounding the
+#: transient copy a whole-batch contraction would materialise at once.
+GRADW_TILE_ELEMENTS = 1 << 21
+
+#: Whole-batch window tensors up to this many elements (~16 MB float32)
+#: contract in one BLAS-backed einsum — at small scale one big GEMM beats
+#: tile accumulation; past it, bounded tiles win on memory always and on
+#: time for the wide shallow layers that dominate backbone pre-training.
+GRADW_WHOLE_BATCH_ELEMENTS = 4 << 20
+
+#: Worker threads for the tiled weight-gradient contraction.  BLAS holds
+#: the GIL released, so tiles genuinely overlap on multi-core hosts;
+#: partial sums are reduced in tile order, and the einsum/tiled path
+#: choice depends only on the batch geometry, keeping the result bitwise
+#: independent of the thread count.
+GRADW_THREADS_ENV_VAR = "REPRO_GRADW_THREADS"
+
+
+def _conv2d_grad_w(
+    x_data: np.ndarray,
+    grad3: np.ndarray,
+    kernel: tuple[int, int],
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+) -> np.ndarray:
+    """Blocked ``grad_w`` contraction: ``sum_n g_n @ cols_n^T``.
+
+    Args:
+        x_data: ``(N, C_in, H, W)`` forward input.
+        grad3: ``(N, C_out, OH*OW)`` output gradient.
+        kernel / stride / padding: Conv geometry.
+
+    Returns:
+        ``(C_out, C_in*KH*KW)`` weight gradient (caller reshapes).
+
+    Small batches contract in one BLAS einsum over the free strided window
+    view.  Past :data:`GRADW_WHOLE_BATCH_ELEMENTS` the im2col panel is
+    instead copied tile-by-tile into a bounded buffer for one
+    ``tensordot`` each — peak transient memory is
+    :data:`GRADW_TILE_ELEMENTS` floats instead of the whole batch's
+    windows.  Set ``REPRO_GRADW_THREADS`` to contract tiles concurrently;
+    the per-tile partials are accumulated in ascending tile order either
+    way, so results are bitwise independent of the thread count.
+    """
+    n = len(x_data)
+    kh, kw = kernel
+    c_in = x_data.shape[1]
+    m = grad3.shape[2]
+    per_sample = c_in * kh * kw * m
+    # The path choice depends only on the geometry — never on the thread
+    # count — so gradients are bitwise identical for any REPRO_GRADW_THREADS.
+    if n * per_sample <= GRADW_WHOLE_BATCH_ELEMENTS:
+        windows = extract_windows(x_data, kernel, stride, padding)
+        grad4 = grad3.reshape(n, grad3.shape[1], windows.shape[4], windows.shape[5])
+        grad_w = np.einsum("nopq,ncijpq->ocij", grad4, windows, optimize=True)
+        return grad_w.reshape(grad3.shape[1], c_in * kh * kw)
+    tile = max(1, GRADW_TILE_ELEMENTS // max(1, per_sample))
+    threads = int(os.environ.get(GRADW_THREADS_ENV_VAR, "1") or "1")
+
+    def contract(start: int) -> np.ndarray:
+        windows = extract_windows(
+            x_data[start : start + tile], kernel, stride, padding
+        )
+        nt = windows.shape[0]
+        cols = windows.reshape(nt, c_in * kh * kw, m)  # copies the view
+        return np.tensordot(
+            grad3[start : start + tile], cols, axes=([0, 2], [0, 2])
+        )
+
+    starts = range(0, n, tile)
+    if threads > 1 and len(starts) > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            partials = list(pool.map(contract, starts))
+    else:
+        partials = [contract(start) for start in starts]
+    grad_w = partials[0]
+    for partial in partials[1:]:
+        grad_w += partial
+    return grad_w
 
 
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
@@ -99,14 +186,8 @@ def conv2d(
     def backward(grad: np.ndarray) -> None:
         g = grad.reshape(n, c_out, oh * ow)
         if weight.requires_grad:
-            windows_view = extract_windows(x.data, (kh, kw), stride, padding)
-            grad_w = np.einsum(
-                "nopq,ncijpq->ocij",
-                grad,
-                windows_view,
-                optimize=True,
-            )
-            weight.accumulate_grad(grad_w)
+            grad_w = _conv2d_grad_w(x.data, g, (kh, kw), stride, padding)
+            weight.accumulate_grad(grad_w.reshape(c_out, c_in, kh, kw))
         if bias is not None and bias.requires_grad:
             bias.accumulate_grad(grad.sum(axis=(0, 2, 3)))
         if x.requires_grad:

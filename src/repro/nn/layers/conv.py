@@ -14,6 +14,13 @@ from repro.nn.tensor import Tensor
 class Conv2d(Module):
     """2-D cross-correlation with optional bias.
 
+    Forward lowers to im2col + batched matmul; the weight-gradient
+    contraction in the backward pass is *tiled* over the batch
+    (:func:`repro.nn.functional._conv2d_grad_w`), bounding the transient
+    im2col copy and contracting tiles concurrently when
+    ``REPRO_GRADW_THREADS`` is set — results are bitwise independent of
+    the thread count.
+
     Args:
         in_channels / out_channels: Channel counts.
         kernel_size / stride / padding: Geometry (int or pair).

@@ -8,9 +8,9 @@ samples in 8-16 dimensions) tree traversal is slow: the k-NN radius covers
 a large fraction of the data, so every query degenerates to a near-linear
 scan with heavy per-node overhead.
 
-This module compiles a small C kernel (at first use, with the system C
-compiler) that computes the exact same quantities with a cache-blocked
-brute-force sweep:
+This module compiles a small C kernel (at first use, through the shared
+:mod:`repro.native` build pipeline) that computes the exact same
+quantities with a cache-blocked brute-force sweep:
 
 * points are stored transposed (one contiguous vector per dimension),
 * a block of ``QB`` query rows shares every per-dimension pass, so each
@@ -26,22 +26,21 @@ Scratch memory is ``O(QB * N)`` — flat in ``N`` relative to the matrices a
 naive vectorised implementation would build.
 
 When no C compiler is available (or ``REPRO_NO_C_KERNEL=1`` is set) the
-callers fall back to the vectorised scipy code paths.
+callers fall back to the vectorised scipy code paths.  Compilation,
+artifact caching (``REPRO_KERNEL_DIR``), and loading are shared with the
+serving executor kernels via :mod:`repro.native`.
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import subprocess
-import tempfile
-from pathlib import Path
 
 import numpy as np
 
-_DISABLE_ENV_VAR = "REPRO_NO_C_KERNEL"
-_DIR_ENV_VAR = "REPRO_KERNEL_DIR"
+from repro import native
+
+_DISABLE_ENV_VAR = native.DISABLE_ENV_VAR
+_DIR_ENV_VAR = native.DIR_ENV_VAR
 
 #: Query rows processed together by the blocked kernels (C macro QB).
 QUERY_BLOCK = 8
@@ -164,84 +163,8 @@ void euclidean_knn_radius(const double *xt, int64_t n, int64_t d, int64_t k,
 _DOUBLE_P = ctypes.POINTER(ctypes.c_double)
 _INT64_P = ctypes.POINTER(ctypes.c_int64)
 
-_lib: ctypes.CDLL | None = None
-_load_attempted = False
 
-
-def _kernel_dir() -> Path:
-    configured = os.environ.get(_DIR_ENV_VAR)
-    if configured:
-        return Path(configured)
-    return Path(tempfile.gettempdir()) / f"repro-fastknn-{os.getuid()}"
-
-
-def _compiler() -> str | None:
-    for candidate in ("cc", "gcc", "clang"):
-        try:
-            subprocess.run(
-                [candidate, "--version"], capture_output=True, check=True
-            )
-            return candidate
-        except (OSError, subprocess.CalledProcessError):
-            continue
-    return None
-
-
-def _is_private_to_us(path: Path) -> bool:
-    """Owned by this uid and not writable by group/other.
-
-    The kernel directory lives under a shared tmpdir by default; loading
-    a ``.so`` someone else could have planted there would hand them code
-    execution in this process, so anything not exclusively ours is
-    treated as absent.
-    """
-    try:
-        info = path.stat()
-    except OSError:
-        return False
-    return info.st_uid == os.getuid() and not (info.st_mode & 0o022)
-
-
-def _build() -> ctypes.CDLL | None:
-    directory = _kernel_dir()
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    library = directory / f"fastknn-{digest}.so"
-    if not (library.exists() and _is_private_to_us(directory) and _is_private_to_us(library)):
-        compiler = _compiler()
-        if compiler is None:
-            return None
-        directory.mkdir(parents=True, exist_ok=True, mode=0o700)
-        if not _is_private_to_us(directory):
-            return None
-        source = directory / f"fastknn-{digest}.c"
-        source.write_text(_SOURCE)
-        staging = directory / f"fastknn-{digest}-{os.getpid()}.so.tmp"
-        try:
-            subprocess.run(
-                [compiler, "-O3", "-march=native", "-shared", "-fPIC",
-                 "-o", str(staging), str(source)],
-                capture_output=True,
-                check=True,
-            )
-        except subprocess.CalledProcessError:
-            try:
-                # Retry without -march=native for compilers/targets that
-                # reject it; the blocked layout is the main win anyway.
-                subprocess.run(
-                    [compiler, "-O3", "-shared", "-fPIC",
-                     "-o", str(staging), str(source)],
-                    capture_output=True,
-                    check=True,
-                )
-            except (OSError, subprocess.CalledProcessError):
-                return None
-        except OSError:
-            return None
-        os.replace(staging, library)
-    try:
-        lib = ctypes.CDLL(str(library))
-    except OSError:
-        return None
+def _configure(lib: ctypes.CDLL) -> None:
     lib.ksg_counts.argtypes = [
         _DOUBLE_P, _DOUBLE_P,
         ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
@@ -255,22 +178,18 @@ def _build() -> ctypes.CDLL | None:
         _DOUBLE_P, _DOUBLE_P,
     ]
     lib.euclidean_knn_radius.restype = None
-    return lib
+
+
+_MODULE = native.KernelModule("fastknn", _SOURCE, _configure)
 
 
 def _load() -> ctypes.CDLL | None:
-    global _lib, _load_attempted
-    if os.environ.get(_DISABLE_ENV_VAR):
-        return None
-    if not _load_attempted:
-        _load_attempted = True
-        _lib = _build()
-    return _lib
+    return _MODULE.load()
 
 
 def available() -> bool:
     """Whether the compiled kernel can be used in this process."""
-    return _load() is not None
+    return _MODULE.available()
 
 
 def _transposed(samples: np.ndarray) -> np.ndarray:

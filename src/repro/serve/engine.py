@@ -111,6 +111,11 @@ class ServingEngine:
         deadline_aware: Close windows on SLO slack (default); ``False``
             gives the fixed-window baseline policy.
         quantization: Optional affine code for the stacked uplink payload.
+        kernel_backend: Forward-executor backend (``"auto"`` / ``"native"``
+            / ``"numpy"``), selected **once here** and applied to the edge
+            device and every cloud worker, so batched and sequential paths
+            always run the same kernels (the bit-parity contract; see
+            :mod:`repro.edge.executor`).
         clock: Time source for queueing/deadline decisions and latency
             accounting; defaults to the wall clock.  Workers always
             measure their busy time on the wall clock.
@@ -132,13 +137,15 @@ class ServingEngine:
         batch_timeout: float = 0.005,
         deadline_aware: bool = True,
         quantization: QuantizationParams | None = None,
+        kernel_backend: str = "auto",
         clock: Callable[[], float] | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"need >= 1 cloud worker, got {workers}")
         local, remote = model.split(cut)
         self.noise_stream = rng if isinstance(rng, NoiseStream) else NoiseStream(rng)
-        self.device = EdgeDevice(local, mean, std, noise, self.noise_stream, quantization)
+        self.device = EdgeDevice(local, mean, std, noise, self.noise_stream,
+                                 quantization, kernel_backend=kernel_backend)
         self.workers = workers
         self.cut = cut
         self.batch_window = batch_window
@@ -154,11 +161,26 @@ class ServingEngine:
         prototype = channel or Channel()
         self._contexts: SimpleQueue[_WorkerContext] = SimpleQueue()
         self._worker_channels: list[Channel] = []
-        for worker_id in range(workers):
+        # Pre-size every executor for every batch geometry the planner's
+        # window can produce (deadline-aware closing ships partial
+        # windows, so sizes 1..batch_window all occur): scratch buffers
+        # and compiled native programs exist before the first request
+        # arrives, keeping allocation/lowering jitter out of the serving
+        # latency percentiles.  Multi-row requests beyond the window
+        # still lower lazily on first sight.
+        activation_shapes = [
+            self.device._executor.warm((rows, *model.input_shape))
+            for rows in range(1, batch_window + 1)
+        ]
+        servers = [CloudServer(remote, kernel_backend) for _ in range(workers)]
+        for server in servers:
+            for shape in activation_shapes:
+                server._executor.warm(shape)
+        for worker_id, server in enumerate(servers):
             worker_channel = prototype.clone()
             self._worker_channels.append(worker_channel)
             self._contexts.put(
-                _WorkerContext(worker_id, CloudServer(remote), worker_channel)
+                _WorkerContext(worker_id, server, worker_channel)
             )
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="shredder-cloud"

@@ -57,6 +57,9 @@ class BatchedInferenceSession:
         max_rows: Optional cap on image rows per micro-batch.
         quantization: Optional affine code; quantises each stacked uplink
             payload once.
+        kernel_backend: Forward-executor backend, selected once here and
+            shared by the edge and cloud halves (bit-parity requires one
+            backend per deployment; see :mod:`repro.edge.executor`).
     """
 
     def __init__(
@@ -71,10 +74,12 @@ class BatchedInferenceSession:
         batch_window: int = 8,
         max_rows: int | None = None,
         quantization: QuantizationParams | None = None,
+        kernel_backend: str = "auto",
     ) -> None:
         local, remote = model.split(cut)
-        self.device = EdgeDevice(local, mean, std, noise, rng, quantization)
-        self.server = CloudServer(remote)
+        self.device = EdgeDevice(local, mean, std, noise, rng, quantization,
+                                 kernel_backend=kernel_backend)
+        self.server = CloudServer(remote, kernel_backend)
         self.channel = channel or Channel()
         self.cut = cut
         self.batch_window = batch_window
@@ -84,6 +89,13 @@ class BatchedInferenceSession:
         self._results: dict[int, np.ndarray] = {}
         self._submitted: dict[int, float] = {}
         self.metrics = ServingMetrics()
+        # Pre-size executor scratch (and compile native programs) for the
+        # planner's chosen window so the first micro-batch pays no
+        # allocation or compilation jitter in its latency percentiles.
+        activation = self.device._executor.warm(
+            (batch_window, *model.input_shape)
+        )
+        self.server._executor.warm(activation)
 
     # ------------------------------------------------------------------
     # Request lifecycle

@@ -1,0 +1,297 @@
+"""Differential fuzz suite for the compiled serving kernels.
+
+The native executor backend (:mod:`repro.edge._fastexec`) must agree with
+the pure-numpy executor to float32 precision on *any* layer geometry, and
+must be bitwise batch-invariant and deterministic on its own.  These
+tests sweep randomized shapes/strides/paddings/batch geometries through
+both backends and compare:
+
+* conv / linear / maxpool networks, element-close across backends
+  (float64-referenced tolerance);
+* bitwise equality of stacked vs per-request execution under the native
+  backend (the serving parity foundation);
+* bitwise run-to-run determinism, including across freshly-built
+  executors;
+* the pure-numpy fallback is always available and selected when the
+  native kernels are disabled.
+
+Shared-infrastructure checks for :mod:`repro.native` (source-hash caching,
+``REPRO_KERNEL_DIR``) ride along at the bottom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import native
+from repro.edge import _fastexec
+from repro.edge.executor import BatchInvariantExecutor
+from repro.errors import ConfigurationError
+from repro.nn import Linear, Sequential
+from repro.nn.im2col import conv_output_size
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.pooling import MaxPool2d
+
+requires_kernel = pytest.mark.skipif(
+    not _fastexec.available(), reason="no C compiler for the native kernels"
+)
+
+#: Tolerance for native-vs-numpy agreement: both are float32 pipelines
+#: with different (fixed) accumulation orders, so they straddle the
+#: float64 result by a few ulps each.
+ATOL, RTOL = 2e-4, 2e-4
+
+
+def _fuzz_conv_geometry(rng):
+    """One random conv (+optional pool) geometry that stays positive."""
+    c_in = int(rng.integers(1, 5))
+    kh, kw = int(rng.integers(1, 5)), int(rng.integers(1, 5))
+    sh, sw = int(rng.integers(1, 3)), int(rng.integers(1, 3))
+    ph, pw = int(rng.integers(0, 3)), int(rng.integers(0, 3))
+    h = int(rng.integers(max(1, kh - 2 * ph), 20) + kh)
+    w = int(rng.integers(max(1, kw - 2 * pw), 40) + kw)
+    c_out = int(rng.integers(1, 10))
+    return c_in, h, w, c_out, (kh, kw), (sh, sw), (ph, pw)
+
+
+def _executor_pair(net):
+    return (
+        BatchInvariantExecutor(net, kernel_backend="native"),
+        BatchInvariantExecutor(net, kernel_backend="numpy"),
+    )
+
+
+@requires_kernel
+class TestConvFuzz:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_conv_relu_matches_numpy(self, seed):
+        rng = np.random.default_rng(seed)
+        c_in, h, w, c_out, kernel, stride, padding = _fuzz_conv_geometry(rng)
+        net = Sequential(
+            ("conv", Conv2d(c_in, c_out, kernel, stride, padding, rng=rng)),
+            ("relu", ReLU()),
+        ).eval()
+        n = int(rng.integers(1, 7))
+        x = rng.normal(size=(n, c_in, h, w)).astype(np.float32)
+        native_ex, numpy_ex = _executor_pair(net)
+        np.testing.assert_allclose(
+            native_ex(x), numpy_ex(x), atol=ATOL, rtol=RTOL
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_conv_batch_invariance_bitwise(self, seed):
+        """Any split of a batch reproduces the stacked result exactly."""
+        rng = np.random.default_rng(100 + seed)
+        c_in, h, w, c_out, kernel, stride, padding = _fuzz_conv_geometry(rng)
+        net = Sequential(
+            ("conv", Conv2d(c_in, c_out, kernel, stride, padding, rng=rng)),
+        ).eval()
+        executor = BatchInvariantExecutor(net, kernel_backend="native")
+        n = int(rng.integers(2, 9))
+        x = rng.normal(size=(n, c_in, h, w)).astype(np.float32)
+        stacked = executor(x)
+        # Random chunking of the same rows.
+        cuts = sorted(
+            set(rng.integers(1, n, size=min(3, n - 1)).tolist()) | {0, n}
+        )
+        chunked = np.concatenate(
+            [executor(x[a:b]) for a, b in zip(cuts, cuts[1:])]
+        )
+        np.testing.assert_array_equal(stacked, chunked)
+
+    def test_direct_and_gemm_paths_both_exercised(self):
+        """The fuzzed ranges cover both conv lowerings (fixed geometries)."""
+        rng = np.random.default_rng(0)
+        # ow = 28 -> direct kernel; ow = 4 (stride 2) -> im2col GEMM.
+        for geometry, expected in (
+            (dict(h=28, w=28, stride=1, padding=2), _fastexec.OP_CONV2D_DIRECT),
+            (dict(h=11, w=11, stride=2, padding=0), _fastexec.OP_CONV2D),
+        ):
+            net = Sequential(
+                ("conv", Conv2d(2, 3, 5, geometry["stride"],
+                                geometry["padding"], rng=rng)),
+            ).eval()
+            executor = BatchInvariantExecutor(net, kernel_backend="native")
+            x = rng.normal(
+                size=(2, 2, geometry["h"], geometry["w"])
+            ).astype(np.float32)
+            numpy_out = BatchInvariantExecutor(net, kernel_backend="numpy")(x)
+            np.testing.assert_allclose(executor(x), numpy_out, atol=ATOL, rtol=RTOL)
+            program = next(iter(executor._programs.values()))
+            assert program._records[0, 0] == expected
+
+    def test_single_position_conv_uses_dot_kernel(self):
+        """OH*OW == 1 convs reroute to the lane-blocked dot kernel."""
+        rng = np.random.default_rng(3)
+        net = Sequential(
+            ("conv", Conv2d(8, 60, 5, 1, 0, rng=rng)),
+            ("relu", ReLU()),
+        ).eval()
+        x = rng.normal(size=(5, 8, 5, 5)).astype(np.float32)
+        native_ex, numpy_ex = _executor_pair(net)
+        assert native_ex(x).shape == (5, 60, 1, 1)
+        np.testing.assert_allclose(native_ex(x), numpy_ex(x), atol=ATOL, rtol=RTOL)
+
+
+@requires_kernel
+class TestPoolLinearFuzz:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_maxpool_matches_numpy(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        c = int(rng.integers(1, 6))
+        kh, kw = int(rng.integers(1, 4)), int(rng.integers(1, 4))
+        sh, sw = int(rng.integers(1, 4)), int(rng.integers(1, 4))
+        ph, pw = int(rng.integers(0, (kh // 2) + 1)), int(rng.integers(0, (kw // 2) + 1))
+        h = int(rng.integers(kh, 20))
+        w = int(rng.integers(kw, 20))
+        net = Sequential(
+            ("pool", MaxPool2d((kh, kw), (sh, sw), (ph, pw))),
+        ).eval()
+        n = int(rng.integers(1, 6))
+        x = rng.normal(size=(n, c, h, w)).astype(np.float32)
+        native_ex, numpy_ex = _executor_pair(net)
+        # Max of identical floats: bitwise equality across backends.
+        np.testing.assert_array_equal(native_ex(x), numpy_ex(x))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_linear_stack_matches_numpy(self, seed):
+        rng = np.random.default_rng(300 + seed)
+        sizes = [int(rng.integers(1, 70)) for _ in range(3)]
+        net = Sequential(
+            ("fc0", Linear(sizes[0], sizes[1], rng=rng)),
+            ("relu", ReLU()),
+            ("fc1", Linear(sizes[1], sizes[2], rng=rng)),
+        ).eval()
+        n = int(rng.integers(1, 9))
+        x = rng.normal(size=(n, sizes[0])).astype(np.float32)
+        native_ex, numpy_ex = _executor_pair(net)
+        np.testing.assert_allclose(native_ex(x), numpy_ex(x), atol=ATOL, rtol=RTOL)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_backbone_like_stack(self, seed):
+        """conv-relu-pool-conv-relu-flatten-linear, random geometry."""
+        rng = np.random.default_rng(400 + seed)
+        c_in = int(rng.integers(1, 4))
+        c_mid = int(rng.integers(2, 8))
+        h = w = int(rng.integers(12, 30))
+        net_layers = [
+            ("conv0", Conv2d(c_in, c_mid, 3, 1, 1, rng=rng)),
+            ("relu0", ReLU()),
+            ("pool0", MaxPool2d(2)),
+            ("conv1", Conv2d(c_mid, c_mid + 2, 3, 1, 0, rng=rng)),
+            ("relu1", ReLU()),
+            ("flat", Flatten()),
+        ]
+        oh = conv_output_size(h, 3, 1, 1) // 2
+        oh = conv_output_size(oh, 3, 1, 0)
+        features = (c_mid + 2) * oh * oh
+        net_layers.append(("head", Linear(features, 10, rng=rng)))
+        net = Sequential(*net_layers).eval()
+        n = int(rng.integers(1, 6))
+        x = rng.normal(size=(n, c_in, h, w)).astype(np.float32)
+        native_ex, numpy_ex = _executor_pair(net)
+        np.testing.assert_allclose(native_ex(x), numpy_ex(x), atol=ATOL, rtol=RTOL)
+        singles = np.concatenate([native_ex(x[i : i + 1]) for i in range(n)])
+        np.testing.assert_array_equal(native_ex(x), singles)
+
+
+@requires_kernel
+class TestDeterminism:
+    def test_fresh_executors_agree_bitwise(self):
+        rng = np.random.default_rng(7)
+        net = Sequential(
+            ("conv", Conv2d(2, 4, 3, 1, 1, rng=rng)),
+            ("relu", ReLU()),
+            ("pool", MaxPool2d(2)),
+        ).eval()
+        x = rng.normal(size=(4, 2, 12, 12)).astype(np.float32)
+        first = BatchInvariantExecutor(net, kernel_backend="native")(x)
+        second = BatchInvariantExecutor(net, kernel_backend="native")(x)
+        np.testing.assert_array_equal(first, second)
+
+    def test_results_survive_later_calls(self):
+        rng = np.random.default_rng(8)
+        net = Sequential(("conv", Conv2d(1, 3, 3, 1, 1, rng=rng))).eval()
+        executor = BatchInvariantExecutor(net, kernel_backend="native")
+        a = rng.normal(size=(2, 1, 10, 10)).astype(np.float32)
+        b = rng.normal(size=(2, 1, 10, 10)).astype(np.float32)
+        first = executor(a)
+        snapshot = first.copy()
+        executor(b)
+        np.testing.assert_array_equal(first, snapshot)
+
+    def test_warm_precompiles_programs(self):
+        rng = np.random.default_rng(9)
+        net = Sequential(("conv", Conv2d(1, 3, 3, 1, 1, rng=rng))).eval()
+        executor = BatchInvariantExecutor(net, kernel_backend="native")
+        assert not executor._programs
+        out_shape = executor.warm((8, 1, 10, 10))
+        assert out_shape == (8, 3, 10, 10)
+        assert executor._programs  # program exists before the first batch
+
+    def test_float64_input_falls_back_to_numpy_plan(self):
+        rng = np.random.default_rng(10)
+        net = Sequential(("fc", Linear(6, 4, rng=rng))).eval()
+        executor = BatchInvariantExecutor(net, kernel_backend="native")
+        x64 = rng.normal(size=(3, 6))
+        numpy_ex = BatchInvariantExecutor(net, kernel_backend="numpy")
+        np.testing.assert_array_equal(executor(x64), numpy_ex(x64))
+        assert executor(x64).dtype == np.float64
+
+
+class TestBackendSelection:
+    def test_invalid_backend_rejected(self):
+        net = Sequential(("fc", Linear(3, 2, rng=np.random.default_rng(0)))).eval()
+        with pytest.raises(ConfigurationError):
+            BatchInvariantExecutor(net, kernel_backend="cuda")
+
+    def test_numpy_backend_forced(self):
+        net = Sequential(("fc", Linear(3, 2, rng=np.random.default_rng(0)))).eval()
+        executor = BatchInvariantExecutor(net, kernel_backend="numpy")
+        assert executor.backend == "numpy"
+
+    def test_disable_env_forces_numpy_auto(self, monkeypatch):
+        monkeypatch.setenv(native.DISABLE_ENV_VAR, "1")
+        net = Sequential(("fc", Linear(3, 2, rng=np.random.default_rng(0)))).eval()
+        executor = BatchInvariantExecutor(net, kernel_backend="auto")
+        assert executor.backend == "numpy"
+        with pytest.raises(ConfigurationError):
+            BatchInvariantExecutor(net, kernel_backend="native")
+
+    @requires_kernel
+    def test_auto_picks_native_when_available(self):
+        net = Sequential(("fc", Linear(3, 2, rng=np.random.default_rng(0)))).eval()
+        assert BatchInvariantExecutor(net).backend == "native"
+
+
+class TestSharedBuildPipeline:
+    def test_source_digest_keys_artifacts(self):
+        assert native.source_digest("int main;") != native.source_digest("int main2;")
+
+    def test_kernel_dir_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(native.DIR_ENV_VAR, str(tmp_path / "kcache"))
+        assert native.kernel_dir() == tmp_path / "kcache"
+
+    @requires_kernel
+    def test_build_caches_artifact_on_disk(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(native.DIR_ENV_VAR, str(tmp_path / "kcache"))
+        source = "int add_one(int x) { return x + 1; }\n"
+        lib = native.build_library("testkernel", source)
+        assert lib is not None
+        artifact = (
+            tmp_path / "kcache"
+            / f"testkernel-{native.source_digest(source)}.so"
+        )
+        assert artifact.exists()
+        assert lib.add_one(41) == 42
+        # Second load comes from the cache (same digest, no recompile).
+        assert native.build_library("testkernel", source) is not None
+
+    def test_fastknn_shares_the_pipeline(self):
+        from repro.privacy import _fastknn
+
+        assert _fastknn._DISABLE_ENV_VAR == native.DISABLE_ENV_VAR
+        assert _fastknn._DIR_ENV_VAR == native.DIR_ENV_VAR

@@ -22,7 +22,7 @@ import pytest
 
 from repro.config import TINY, Config
 from repro.core import NoiseCollection, ShredderPipeline, SplitInferenceModel
-from repro.edge import Channel, InferenceSession
+from repro.edge import Channel, InferenceSession, _fastexec
 from repro.edge.protocol import decode_activation_batch
 from repro.errors import ConfigurationError
 from repro.serve import ServingEngine
@@ -31,6 +31,9 @@ _ENV_SEED = os.environ.get("REPRO_SERVE_SEED")
 _ENV_WORKERS = int(os.environ.get("REPRO_SERVE_WORKERS", "0"))
 STREAM_SEEDS = [11, 23, 57] + ([1000 + int(_ENV_SEED)] if _ENV_SEED else [])
 WORKER_COUNTS = sorted({1, 4} | ({_ENV_WORKERS} if _ENV_WORKERS else set()))
+# The parity matrix runs with the executor kernels forced on AND forced
+# off: scheduling correctness must not depend on which backend computes.
+KERNEL_BACKENDS = ["numpy"] + (["native"] if _fastexec.available() else [])
 
 
 @pytest.fixture(scope="module")
@@ -81,8 +84,9 @@ def _engine(bundle, collection, *, seed=11, workers=1, window=4, **kwargs):
 class TestBitwiseParity:
     @pytest.mark.parametrize("stream_seed", STREAM_SEEDS)
     @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("kernel_backend", KERNEL_BACKENDS)
     def test_randomized_stream_matches_sequential(
-        self, bundle, collection, stream_seed, workers
+        self, bundle, collection, stream_seed, workers, kernel_backend
     ):
         stream, slos, sessions = _random_stream(
             bundle, np.random.default_rng(stream_seed), 11
@@ -91,10 +95,13 @@ class TestBitwiseParity:
         mean, std = np.zeros(1, np.float32), np.ones(1, np.float32)
         sequential = InferenceSession(
             bundle.model, cut, mean, std, noise=collection,
-            rng=np.random.default_rng(7),
+            rng=np.random.default_rng(7), kernel_backend=kernel_backend,
         )
         expected = [sequential.infer(images) for images in stream]
-        with _engine(bundle, collection, seed=7, workers=workers) as engine:
+        with _engine(
+            bundle, collection, seed=7, workers=workers,
+            kernel_backend=kernel_backend,
+        ) as engine:
             actual = engine.infer_stream(
                 stream, slo_seconds=slos, session_ids=sessions
             )
