@@ -23,7 +23,12 @@ multi-worker engine:
 * ``serving_multiworker`` — real wall-clock throughput of the
   :class:`repro.serve.ServingEngine` at 1 vs 4 cloud workers over a
   ``realtime`` channel (simulated wire time actually slept), with
-  bit-parity against the sequential reference.
+  bit-parity against the sequential reference;
+* ``serving_multimodel`` — the multi-deployment control plane: aggregate
+  req/s of 3 deployments sharing one worker pool
+  (:class:`repro.serve.ControlPlane`) vs the same 3 deployments as
+  isolated single-worker engines driven concurrently, with per-deployment
+  bit-parity and the cross-user mixing index.
 
 Run:
     PYTHONPATH=src python benchmarks/bench_serving.py [--smoke] [--output PATH]
@@ -31,7 +36,8 @@ Run:
 Exit status is non-zero when a gate fails: batched >= 3x sequential at the
 acceptance window (full run; simply faster under ``--smoke``), deadline-
 aware attainment >= fixed-window attainment, multi-worker >= 1.5x
-single-worker throughput at window 8, or (when a C compiler is present)
+single-worker throughput at window 8, shared-pool multi-model aggregate
+>= 0.9x the isolated-engines aggregate, or (when a C compiler is present)
 kernel-on serving throughput below kernel-off at window 8 (>= 2x required
 in a full run, with unanimous label agreement).
 """
@@ -73,6 +79,12 @@ ACCEPTANCE_WINDOW = 8
 ACCEPTANCE_SPEEDUP = 1.5
 MULTIWORKER_SPEEDUP = 1.5
 MULTIWORKER_WORKERS = 4
+#: Deployments on the shared control plane, and the gate: a shared pool
+#: of N workers must deliver >= this fraction of N isolated one-worker
+#: engines' aggregate throughput (sharing may cost a little dispatcher
+#: serialisation; it must not collapse).
+MULTIMODEL_DEPLOYMENTS = 3
+MULTIMODEL_RATIO = 0.9
 #: Serving throughput the native kernel backend must deliver over the
 #: numpy executor at the acceptance window (full run; smoke only requires
 #: "faster").
@@ -438,6 +450,148 @@ def main() -> int:
         f"{'PASS' if mw_ok else 'FAIL'})"
     )
 
+    # ------------------------------------------------------------------
+    # Multi-model control plane: 3 deployments sharing one worker pool vs
+    # the same 3 deployments as isolated single-worker engines driven
+    # concurrently.  Equal resources (3 cloud worker threads total), equal
+    # work, realtime channel so wire waits genuinely overlap.
+    # ------------------------------------------------------------------
+    import threading
+
+    from repro.serve import ControlPlane
+
+    mm_per_deployment = 48 if args.smoke else 96
+    mm_names = [f"dep{i}" for i in range(MULTIMODEL_DEPLOYMENTS)]
+    mm_collections = {
+        name: build_collection(split, members=4)
+        for name in mm_names
+    }
+    mm_stream = stream[:mm_per_deployment]
+    mm_total = mm_per_deployment * MULTIMODEL_DEPLOYMENTS
+
+    def mm_channel() -> Channel:
+        return Channel(latency_ms=3.0, realtime=True)
+
+    def mm_rng(name: str) -> np.random.Generator:
+        return np.random.default_rng(900 + mm_names.index(name))
+
+    # Per-deployment sequential references for the parity check.
+    mm_expected = {}
+    for name in mm_names:
+        reference = InferenceSession(
+            bundle.model, cut, mean, std, noise=mm_collections[name],
+            channel=Channel(), rng=mm_rng(name),
+        )
+        mm_expected[name] = [reference.infer(images) for images in mm_stream]
+
+    shared_best = float("inf")
+    shared_metrics: dict = {}
+    shared_parity = True
+    for _ in range(repeats):
+        plane = ControlPlane(workers=MULTIMODEL_DEPLOYMENTS, channel=mm_channel())
+        for name in mm_names:
+            plane.register(
+                name, bundle.model, cut, noise=mm_collections[name],
+                rng=mm_rng(name), batch_window=ACCEPTANCE_WINDOW,
+                batch_timeout=0.0,
+            )
+        handles: dict[str, list] = {name: [] for name in mm_names}
+        begin = time.perf_counter()
+        for index in range(mm_per_deployment):
+            for name in mm_names:
+                handles[name].append(
+                    plane.submit(
+                        mm_stream[index], deployment=name,
+                        session_id=f"{name}-user-{index % 4}",
+                    )
+                )
+        plane.drain()
+        elapsed = time.perf_counter() - begin
+        logits = {
+            name: [plane.result(handle) for handle in handles[name]]
+            for name in mm_names
+        }
+        if elapsed < shared_best:
+            shared_best = elapsed
+            shared_metrics = {
+                name: metrics.as_dict()
+                for name, metrics in plane.metrics_by_deployment().items()
+            }
+            shared_parity = all(
+                np.array_equal(a, b)
+                for name in mm_names
+                for a, b in zip(mm_expected[name], logits[name])
+            )
+        plane.close()
+
+    isolated_best = float("inf")
+    for _ in range(repeats):
+        engines = {
+            name: ServingEngine(
+                bundle.model, cut, mean, std, noise=mm_collections[name],
+                channel=mm_channel(), rng=mm_rng(name),
+                workers=1, batch_window=ACCEPTANCE_WINDOW, batch_timeout=0.0,
+            )
+            for name in mm_names
+        }
+        threads = [
+            threading.Thread(
+                target=engines[name].infer_stream,
+                args=(mm_stream,),
+                kwargs={"session_ids": [
+                    f"{name}-user-{i % 4}" for i in range(mm_per_deployment)
+                ]},
+            )
+            for name in mm_names
+        ]
+        begin = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        isolated_best = min(isolated_best, time.perf_counter() - begin)
+        for engine in engines.values():
+            engine.close()
+
+    mm_shared_rps = mm_total / shared_best
+    mm_isolated_rps = mm_total / isolated_best
+    mm_ratio = mm_shared_rps / mm_isolated_rps
+    mm_ok = shared_parity and mm_ratio >= MULTIMODEL_RATIO
+    serving["serving_multimodel"] = {
+        "deployments": MULTIMODEL_DEPLOYMENTS,
+        "requests_per_deployment": mm_per_deployment,
+        "window": ACCEPTANCE_WINDOW,
+        "channel_latency_ms": 3.0,
+        "shared_pool": {
+            "workers": MULTIMODEL_DEPLOYMENTS,
+            "seconds": shared_best,
+            "aggregate_requests_per_second": mm_shared_rps,
+            "per_deployment": {
+                name: {
+                    "requests_per_second": metrics["requests_per_second"],
+                    "mean_occupancy": metrics["mean_occupancy"],
+                    "mixing_index": metrics["mixing_index"],
+                }
+                for name, metrics in shared_metrics.items()
+            },
+        },
+        "isolated_engines": {
+            "workers_each": 1,
+            "seconds": isolated_best,
+            "aggregate_requests_per_second": mm_isolated_rps,
+        },
+        "shared_over_isolated": mm_ratio,
+        "bitwise_parity": shared_parity,
+        "gate_ratio_target": MULTIMODEL_RATIO,
+    }
+    print(
+        f"multi-model:    shared pool {mm_shared_rps:8.0f} req/s vs "
+        f"{MULTIMODEL_DEPLOYMENTS} isolated engines {mm_isolated_rps:8.0f} "
+        f"req/s ({mm_ratio:.2f}x, target >= {MULTIMODEL_RATIO:.1f}x, "
+        f"parity={'OK' if shared_parity else 'FAIL'}, "
+        f"{'PASS' if mm_ok else 'FAIL'})"
+    )
+
     # Merge into the hot-path report without clobbering other sections.
     report: dict = {}
     if args.output.exists():
@@ -462,13 +616,16 @@ def main() -> int:
     if acceptance is None:
         acceptance = serving["windows"][str(windows[0])]
     if args.smoke:
-        ok = gate_ok and acceptance["speedup"] > 1.0 and slo_ok and mw_ok and kb_ok
+        ok = (gate_ok and acceptance["speedup"] > 1.0 and slo_ok and mw_ok
+              and mm_ok and kb_ok)
         print(
             f"smoke gate: batched beats sequential "
             f"({'PASS' if acceptance['speedup'] > 1.0 else 'FAIL'}, "
             f"{acceptance['speedup']:.2f}x), SLO attainment >= fixed "
             f"({'PASS' if slo_ok else 'FAIL'}), multi-worker >= "
             f"{MULTIWORKER_SPEEDUP:.1f}x ({'PASS' if mw_ok else 'FAIL'}), "
+            f"multi-model shared >= {MULTIMODEL_RATIO:.1f}x isolated "
+            f"({'PASS' if mm_ok else 'FAIL'}), "
             f"kernel-on >= kernel-off ({'PASS' if kb_ok else 'FAIL'})"
         )
     else:
@@ -477,6 +634,7 @@ def main() -> int:
             and acceptance["speedup"] >= ACCEPTANCE_SPEEDUP
             and slo_ok
             and mw_ok
+            and mm_ok
             and kb_ok
         )
         print(
@@ -486,6 +644,8 @@ def main() -> int:
             f"({'PASS' if gate_ok else 'FAIL'}), SLO attainment >= fixed "
             f"({'PASS' if slo_ok else 'FAIL'}), multi-worker >= "
             f"{MULTIWORKER_SPEEDUP:.1f}x ({'PASS' if mw_ok else 'FAIL'}), "
+            f"multi-model shared >= {MULTIMODEL_RATIO:.1f}x isolated "
+            f"({'PASS' if mm_ok else 'FAIL'}), "
             f"native kernels >= {KERNEL_BACKEND_SPEEDUP:.1f}x "
             f"({'PASS' if kb_ok else 'FAIL'})"
         )

@@ -16,6 +16,7 @@ writing code:
     python -m repro collect --network lenet --out noise.npz
     python -m repro serve --network lenet --batch-window 8
     python -m repro serve --network lenet --workers 4 --slo-ms 50
+    python -m repro serve --deployment a=lenet --deployment b=svhn --workers 4
     python -m repro bounds --signal-power 4.0
     python -m repro report --out results/REPORT.md
 """
@@ -166,11 +167,111 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_multi(args: argparse.Namespace) -> int:
+    """Multi-deployment control-plane serving (``--deployment name=net:cut``)."""
+    import time
+
+    import numpy as np
+
+    from repro.edge import Channel
+    from repro.errors import ConfigurationError
+    from repro.eval import build_pipeline, load_benchmark
+    from repro.serve import ControlPlane
+
+    config = _make_config(args)
+    parsed: list[tuple[str, str, str | None]] = []
+    for raw in args.deployment:
+        name, sep, rest = raw.partition("=")
+        if not sep or not name or not rest:
+            raise ConfigurationError(
+                f"--deployment wants NAME=NETWORK[:CUT], got {raw!r}"
+            )
+        network, _, cut = rest.partition(":")
+        parsed.append((name, network, cut or None))
+    channel = Channel(
+        bandwidth_mbps=args.bandwidth_mbps,
+        latency_ms=args.latency_ms,
+        realtime=args.realtime_channel,
+    )
+    plane = ControlPlane(
+        workers=args.workers,
+        channel=channel,
+        kernel_backend=args.kernel_backend,
+    )
+    traffic: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, network, cut in parsed:
+        bundle, benchmark = load_benchmark(network, config, verbose=True)
+        pipeline = build_pipeline(bundle, benchmark, config, cut=cut)
+        members = args.members or benchmark.n_members
+        print(f"[{name}] training {members} noise tensors for {network} ...")
+        collection = pipeline.collect(members)
+        plane.register(
+            name,
+            bundle.model,
+            pipeline.split.cut,
+            noise=collection,
+            rng=np.random.default_rng(config.child_seed("serving", name)),
+            batch_window=args.batch_window,
+            batch_timeout=(
+                args.batch_timeout_ms / 1e3
+                if args.batch_timeout_ms is not None
+                else 0.005
+            ),
+            isolate_sessions=args.batch_policy == "isolate",
+        )
+        traffic[name] = (bundle.test_set.images, bundle.test_set.labels)
+    requests = {
+        name: min(args.requests, len(images))
+        for name, (images, _) in traffic.items()
+    }
+    print(
+        f"serving {sum(requests.values())} single-image requests across "
+        f"{len(parsed)} deployments on {args.workers} shared workers "
+        f"(window {args.batch_window}, {args.batch_policy} batches) ..."
+    )
+    slo = args.slo_ms / 1e3 if args.slo_ms is not None else None
+    handles: dict[str, list] = {name: [] for name in traffic}
+    start = time.perf_counter()
+    # Round-robin interleave the tenants' request streams, 4 sessions each.
+    for index in range(max(requests.values())):
+        for name, (images, _) in traffic.items():
+            if index >= requests[name]:
+                continue
+            handles[name].append(
+                plane.submit(
+                    images[index : index + 1],
+                    deployment=name,
+                    slo_seconds=slo,
+                    session_id=f"{name}-user-{index % 4}",
+                )
+            )
+    plane.drain()
+    elapsed = time.perf_counter() - start
+    plane.close()
+    for name, (_, labels) in traffic.items():
+        predictions = np.concatenate(
+            [plane.result(handle).argmax(axis=1) for handle in handles[name]]
+        )
+        accuracy = float(np.mean(predictions == labels[: requests[name]]))
+        print(f"\n=== deployment {name} ===")
+        print(plane.metrics_by_deployment()[name].format())
+        print(f"accuracy          {accuracy:.1%}")
+    total = sum(requests.values())
+    print(
+        f"\naggregate         {total} requests in {elapsed*1e3:.1f} ms "
+        f"({total/elapsed:.0f} req/s across the shared pool)"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.edge import Channel
     from repro.eval import build_pipeline, load_benchmark
+
+    if args.deployment:
+        return _cmd_serve_multi(args)
 
     config = _make_config(args)
     bundle, benchmark = load_benchmark(args.network, config, verbose=True)
@@ -198,6 +299,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # An SLO implies deadline-aware scheduling (and thus the engine);
         # otherwise let deploy() decide from the other knobs.
         deadline_aware=True if args.slo_ms is not None else None,
+        isolate_sessions=args.batch_policy == "isolate",
         channel=channel,
         quantize_bits=args.quantize_bits,
         kernel_backend=args.kernel_backend,
@@ -414,6 +516,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="forward-executor kernels: compiled C when available (auto, "
         "the default), required (native), or pure numpy (numpy); "
         "REPRO_NO_C_KERNEL=1 disables compiled kernels globally",
+    )
+    serve.add_argument(
+        "--deployment", action="append", default=None, metavar="NAME=NET[:CUT]",
+        help="serve a named deployment on the multi-model control plane "
+        "(repeatable, e.g. --deployment a=lenet --deployment b=svhn:conv6); "
+        "all deployments share the --workers cloud pool",
+    )
+    serve.add_argument(
+        "--batch-policy", choices=["mixed", "isolate"], default="mixed",
+        help="micro-batch composition: 'mixed' stacks any sessions together "
+        "(maximal occupancy), 'isolate' never mixes two sessions in one "
+        "batch (cross-user mixing index reads 0)",
     )
 
     report = sub.add_parser(

@@ -13,7 +13,9 @@
    information with and without noise (the Table 1 quantities),
 6. ``deploy()`` the trained collection as a serving session — by default
    the batched multi-user runtime of :mod:`repro.serve`, with the
-   sequential Figure 2 path retained as the bit-for-bit reference.
+   sequential Figure 2 path retained as the bit-for-bit reference — or
+   ``deploy_many()`` several named deployments onto one shared-pool
+   serving control plane (:class:`repro.serve.ControlPlane`).
 
 Activations of the frozen local half are materialised through the shared
 :mod:`repro.core.activation_cache`, so repeated pipelines over the same
@@ -299,6 +301,7 @@ class ShredderPipeline:
         workers: int = 1,
         batch_timeout: float | None = None,
         deadline_aware: bool | None = None,
+        isolate_sessions: bool = False,
         channel: Channel | None = None,
         quantize_bits: int | None = None,
         kernel_backend: str = "auto",
@@ -331,6 +334,9 @@ class ShredderPipeline:
                 to fill (engine only; selects the engine when set).
             deadline_aware: Close windows on request SLO slack (engine
                 only; selects the engine when set).
+            isolate_sessions: Batch-composition policy: ``True`` never
+                mixes two sessions in one micro-batch (the mixing index
+                reads 0); default ``False`` (``mixed``).
             channel: Link model (default: fast clean link).
             quantize_bits: When set, calibrate an affine quantiser on the
                 held-out (noisy) activations and quantise each stacked
@@ -385,13 +391,125 @@ class ShredderPipeline:
                 workers=workers, batch_window=batch_window,
                 batch_timeout=0.005 if batch_timeout is None else batch_timeout,
                 deadline_aware=True if deadline_aware is None else deadline_aware,
+                isolate_sessions=isolate_sessions,
                 quantization=quantization, kernel_backend=kernel_backend,
             )
         return BatchedInferenceSession(
             self.bundle.model, self.split.cut, mean, std, noise,
             channel=channel, rng=rng, batch_window=batch_window,
             quantization=quantization, kernel_backend=kernel_backend,
+            isolate_sessions=isolate_sessions,
         )
+
+    def deploy_many(
+        self,
+        deployments: dict,
+        *,
+        workers: int = 2,
+        channel: Channel | None = None,
+        kernel_backend: str = "auto",
+        fault_injector=None,
+        clock=None,
+    ):
+        """Stand up one multi-deployment serving control plane.
+
+        Each entry of ``deployments`` becomes a named tenant on a shared
+        cloud worker pool (:class:`repro.serve.ControlPlane`): its own
+        noise collection, cut, batching window/policy, single-owner noise
+        stream, and metrics — while every worker thread serves
+        micro-batches from any of them through a per-deployment executor
+        cache pre-warmed at registration.
+
+        Args:
+            deployments: ``{name: spec}`` where ``spec`` is a
+                :class:`repro.serve.DeploymentSpec`, a plain dict of its
+                fields, a bare :class:`~repro.core.sampler.NoiseCollection`
+                (all other knobs defaulted), or ``None`` (privacy-free
+                baseline deployment).  A spec's ``batch_window=None`` asks
+                the planner for the largest window meeting the spec's
+                ``target_slo_seconds`` at its ``arrival_rate_rps``
+                (per-deployment planner windows).
+            workers: Cloud worker threads shared by every deployment.
+            channel: Link prototype cloned per (worker, deployment).
+            kernel_backend: Default executor backend (specs may override;
+                one backend per deployment, as in :meth:`deploy`).
+            fault_injector: Optional crash-injection hook (see
+                :class:`repro.serve.ControlPlane`).
+            clock: Time source for scheduling/latency accounting.
+
+        Returns:
+            The control plane with every deployment registered; route
+            requests with ``plane.submit(images, deployment=name, ...)``.
+        """
+        from repro.edge import calibrate
+        from repro.serve import ControlPlane, DeploymentSpec
+
+        if not deployments:
+            raise ConfigurationError("deploy_many needs at least one deployment")
+        plane = ControlPlane(
+            workers=workers,
+            channel=channel,
+            kernel_backend=kernel_backend,
+            fault_injector=fault_injector,
+            clock=clock,
+        )
+        try:
+            for name, raw in deployments.items():
+                if raw is None or isinstance(raw, NoiseCollection):
+                    spec = DeploymentSpec(noise=raw)
+                elif isinstance(raw, DeploymentSpec):
+                    spec = raw
+                elif isinstance(raw, dict):
+                    spec = DeploymentSpec(**raw)
+                else:
+                    raise ConfigurationError(
+                        f"deployment {name!r}: expected a DeploymentSpec, "
+                        f"dict, NoiseCollection, or None, got {type(raw).__name__}"
+                    )
+                model = spec.model or self.bundle.model
+                cut = spec.cut or self.split.cut
+                quantization = None
+                if spec.quantize_bits is not None:
+                    if spec.model is not None or cut != self.split.cut:
+                        raise ConfigurationError(
+                            f"deployment {name!r}: quantize_bits calibrates "
+                            "on this pipeline's held-out activations, so it "
+                            "requires the pipeline's own model and cut"
+                        )
+                    calibration = self.trainer.eval_activations
+                    if spec.noise is not None and len(spec.noise):
+                        calibration = calibration + spec.noise.sample_batch(
+                            np.random.default_rng(
+                                self.config.child_seed("quant-calib", name)
+                            ),
+                            len(calibration),
+                        )
+                    quantization = calibrate(calibration, bits=spec.quantize_bits)
+                rng = spec.rng or np.random.default_rng(
+                    self.config.child_seed("serving", name)
+                )
+                plane.register(
+                    name,
+                    model,
+                    cut,
+                    noise=spec.noise,
+                    rng=rng,
+                    batch_window=spec.batch_window,
+                    max_rows=spec.max_rows,
+                    batch_timeout=spec.batch_timeout,
+                    deadline_aware=spec.deadline_aware,
+                    isolate_sessions=spec.isolate_sessions,
+                    quantization=quantization,
+                    kernel_backend=spec.kernel_backend,
+                    target_slo_seconds=spec.target_slo_seconds,
+                    arrival_rate_rps=spec.arrival_rate_rps,
+                    service_seconds_per_sample=spec.service_seconds_per_sample,
+                )
+        except BaseException:
+            # Never leak the worker pool when a late registration fails.
+            plane.close()
+            raise
+        return plane
 
     def run(
         self, iterations: int | None = None, n_members: int = 4

@@ -16,7 +16,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, TrainingError
+from repro.errors import ConfigurationError, NoiseOwnershipError, TrainingError
 
 
 class NoiseStream:
@@ -28,9 +28,10 @@ class NoiseStream:
     thread samples noise before micro-batches are handed to cloud workers —
     and this wrapper makes the handoff explicit rather than accidental: the
     first thread to draw becomes the owner, and a draw from any other
-    thread raises :class:`~repro.errors.ConfigurationError` instead of
-    silently interleaving the bit stream (which would make multi-worker
-    runs irreproducible).
+    thread raises :class:`~repro.errors.NoiseOwnershipError` (a
+    :class:`~repro.errors.ConfigurationError` subclass) instead of silently
+    interleaving the bit stream (which would make multi-worker runs
+    irreproducible).
 
     ``draws`` counts the rows sampled so far, so callers can audit that the
     batched path consumed the generator exactly as the sequential reference
@@ -61,7 +62,7 @@ class NoiseStream:
             if self._owner is None:
                 self._owner = ident
             elif self._owner != ident:
-                raise ConfigurationError(
+                raise NoiseOwnershipError(
                     "noise stream drawn from two threads: the dispatcher must "
                     "be the single generator owner (call release() to hand "
                     "the stream to a new owner explicitly)"

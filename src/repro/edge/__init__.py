@@ -43,6 +43,7 @@ from repro.edge.planner import (
     CuttingPointPlanner,
     WindowPlan,
     plan_batch_window,
+    plan_deployment_windows,
     predict_window_latency,
 )
 from repro.edge.quantization import (
@@ -123,6 +124,7 @@ __all__ = [
     "encode_prediction_batch",
     "layer_macs",
     "plan_batch_window",
+    "plan_deployment_windows",
     "predict_window_latency",
     "profile_network",
     "WindowPlan",

@@ -11,12 +11,13 @@ wire waits (the dominant serving latency) across concurrent micro-batches.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ChannelError, ConfigurationError
+from repro.errors import ChannelError, ChannelOwnershipError, ConfigurationError
 
 
 @dataclass
@@ -66,6 +67,10 @@ class Channel:
         self.realtime = realtime
         self._rng = rng or np.random.default_rng()
         self.stats = ChannelStats()
+        # Stats accumulation and the drop generator are not thread-safe;
+        # concurrent use is a sharing bug (each worker must hold its own
+        # clone), surfaced as a typed error instead of corrupt accounting.
+        self._busy = threading.Lock()
 
     def clone(self, rng: np.random.Generator | None = None) -> "Channel":
         """A channel with the same link parameters but fresh statistics.
@@ -74,15 +79,28 @@ class Channel:
         :class:`ChannelStats` accumulation is not thread-safe, and separate
         stats per worker are exactly what per-worker occupancy reporting
         wants anyway.
+
+        Raises:
+            ChannelOwnershipError: When the channel is mid-transmission on
+                another thread (cloning would race the drop generator).
         """
-        return Channel(
-            bandwidth_mbps=self.bandwidth_mbps,
-            latency_ms=self.latency_ms,
-            drop_rate=self.drop_rate,
-            max_retries=self.max_retries,
-            rng=rng or np.random.default_rng(self._rng.integers(0, 2**63)),
-            realtime=self.realtime,
-        )
+        if not self._busy.acquire(blocking=False):
+            raise ChannelOwnershipError(
+                "cannot clone a channel while another thread is "
+                "transmitting on it; clone from the owning thread (e.g. at "
+                "deployment registration) instead"
+            )
+        try:
+            return Channel(
+                bandwidth_mbps=self.bandwidth_mbps,
+                latency_ms=self.latency_ms,
+                drop_rate=self.drop_rate,
+                max_retries=self.max_retries,
+                rng=rng or np.random.default_rng(self._rng.integers(0, 2**63)),
+                realtime=self.realtime,
+            )
+        finally:
+            self._busy.release()
 
     def transfer_seconds(self, n_bytes: int) -> float:
         """Simulated seconds to move ``n_bytes`` across the link once."""
@@ -97,23 +115,34 @@ class Channel:
 
         Raises:
             ChannelError: When every retry is dropped.
+            ChannelOwnershipError: When another thread is already
+                transmitting on this channel (share a clone per worker,
+                never the channel itself).
         """
-        attempts = 0
-        while True:
-            attempts += 1
-            elapsed = self.transfer_seconds(len(blob))
-            self.stats.simulated_seconds += elapsed
-            if self.realtime:
-                time.sleep(elapsed)
-            if self.drop_rate and self._rng.random() < self.drop_rate:
-                self.stats.drops += 1
-                if attempts > self.max_retries:
-                    raise ChannelError(
-                        f"message lost after {attempts} attempts "
-                        f"(drop rate {self.drop_rate})"
-                    )
-                continue
-            self.stats.messages += 1
-            self.stats.bytes_sent += len(blob)
-            self.stats.per_message_seconds.append(elapsed)
-            return blob
+        if not self._busy.acquire(blocking=False):
+            raise ChannelOwnershipError(
+                "channel used from two threads at once; every concurrent "
+                "worker must transmit over its own clone()"
+            )
+        try:
+            attempts = 0
+            while True:
+                attempts += 1
+                elapsed = self.transfer_seconds(len(blob))
+                self.stats.simulated_seconds += elapsed
+                if self.realtime:
+                    time.sleep(elapsed)
+                if self.drop_rate and self._rng.random() < self.drop_rate:
+                    self.stats.drops += 1
+                    if attempts > self.max_retries:
+                        raise ChannelError(
+                            f"message lost after {attempts} attempts "
+                            f"(drop rate {self.drop_rate})"
+                        )
+                    continue
+                self.stats.messages += 1
+                self.stats.bytes_sent += len(blob)
+                self.stats.per_message_seconds.append(elapsed)
+                return blob
+        finally:
+            self._busy.release()

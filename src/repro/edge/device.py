@@ -96,6 +96,16 @@ class EdgeDevice:
         c = images.shape[1]
         return (images - self.mean.reshape(1, c, 1, 1)) / self.std.reshape(1, c, 1, 1)
 
+    def warm(self, batch_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Pre-size executor scratch (and compile native programs) for one
+        input batch geometry; returns the activation shape it produces.
+
+        Serving runtimes call this at deployment time for every batch size
+        their window can form, so the first request pays no allocation or
+        kernel-lowering jitter.
+        """
+        return self._executor.warm(batch_shape)
+
     def _noisy_activation(self, images: np.ndarray, splits: Sequence[int]) -> np.ndarray:
         """Local half + per-request noise for a stacked image batch.
 
@@ -179,6 +189,10 @@ class CloudServer:
     def __init__(self, remote: Sequential, kernel_backend: str = "auto") -> None:
         self.remote = remote.eval()
         self._executor = BatchInvariantExecutor(self.remote, kernel_backend)
+
+    def warm(self, activation_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Pre-size executor scratch for one stacked activation geometry."""
+        return self._executor.warm(activation_shape)
 
     def handle(self, message: ActivationMessage) -> PredictionMessage:
         """Compute logits for one activation message (sequential path)."""

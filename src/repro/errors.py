@@ -46,3 +46,42 @@ class TrainingError(ReproError, RuntimeError):
 
 class ChannelError(ReproError, RuntimeError):
     """The simulated edge-cloud channel rejected a message."""
+
+
+class NoiseOwnershipError(ConfigurationError):
+    """A :class:`~repro.core.sampler.NoiseStream` was drawn from a thread
+    that does not own it.
+
+    The serving dispatcher must be the single generator owner; any other
+    thread drawing would silently interleave the noise bit stream and break
+    the bit-parity contract.  Subclasses :class:`ConfigurationError` so
+    pre-existing handlers keep working.
+    """
+
+
+class ChannelOwnershipError(ChannelError):
+    """A :class:`~repro.edge.channel.Channel` was used from two threads at
+    once.
+
+    Channel statistics (and the drop generator) are not thread-safe; every
+    concurrent user must hold its own :meth:`~repro.edge.channel.Channel.clone`.
+    """
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A cloud worker died while servicing a micro-batch.
+
+    Raised inside the worker (by the fault-injection hook or by the pool
+    when no live worker context remains) and caught by the dispatcher,
+    which requeues the in-flight batch onto the surviving workers
+    exactly-once.  Carries the crashed ``worker_id`` when known.
+    """
+
+    def __init__(self, message: str, worker_id: int | None = None) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+
+
+class ServingFaultError(ReproError, RuntimeError):
+    """The serving control plane cannot recover from worker failures
+    (e.g. every worker has crashed while batches were still in flight)."""

@@ -20,15 +20,40 @@ in two steps:
   scheduling policy also runs under a deterministic virtual clock
   (:mod:`repro.serve.replay`) for SLO experiments and property tests.
 
+* **PR 5** turned the single-pipeline engine into a **multi-deployment
+  control plane** (:mod:`repro.serve.controlplane`): a
+  :class:`~repro.serve.controlplane.DeploymentRegistry` hosts N named
+  ``(model, cut, noise collection)`` deployments — each with its own
+  noise stream, batching window/policy, and metrics — behind a
+  :class:`~repro.serve.controlplane.Router` and one **shared** cloud
+  worker pool with per-deployment executor caches, worker **crash
+  recovery** (fault-injected deaths requeue the in-flight batch on the
+  survivors exactly-once), an explicit batch-composition policy
+  (``isolate_sessions`` vs ``mixed``, measured by the metrics'
+  cross-user ``mixing_index``), and an asyncio front door
+  (:class:`~repro.serve.aio.AsyncServingClient`).  The
+  :class:`~repro.serve.engine.ServingEngine` is now the single-deployment
+  facade over that plane.
+
 Serving is bit-for-bit equivalent to the retained sequential reference
 path (:class:`repro.edge.InferenceSession`) on the same request stream —
-for every batching window *and* every worker count: all paths run the
-batch-invariant executor and consume the same noise sample stream, whose
-single explicit owner is the dispatcher
-(:class:`~repro.core.sampler.NoiseStream`).  Build a session directly, or
-via :meth:`repro.core.ShredderPipeline.deploy`.
+for every batching window *and* every worker count, per deployment: all
+paths run the batch-invariant executor and consume the same noise sample
+stream, whose single explicit owner is the dispatcher
+(:class:`~repro.core.sampler.NoiseStream`).  Build a session directly,
+via :meth:`repro.core.ShredderPipeline.deploy`, or stand up several
+tenants at once with :meth:`repro.core.ShredderPipeline.deploy_many`.
 """
 
+from repro.serve.aio import AsyncServingClient
+from repro.serve.controlplane import (
+    ControlPlane,
+    Deployment,
+    DeploymentRegistry,
+    DeploymentSpec,
+    RequestHandle,
+    Router,
+)
 from repro.serve.engine import ServingEngine
 from repro.serve.metrics import ServingMetrics, percentile
 from repro.serve.queue import InferenceRequest, MicroBatcher, RequestQueue
@@ -44,10 +69,17 @@ from repro.serve.session import BatchedInferenceSession
 
 __all__ = [
     "AdaptiveBatcher",
+    "AsyncServingClient",
     "BatchedInferenceSession",
+    "ControlPlane",
+    "Deployment",
+    "DeploymentRegistry",
+    "DeploymentSpec",
     "InferenceRequest",
     "MicroBatcher",
+    "RequestHandle",
     "RequestQueue",
+    "Router",
     "ScheduleResult",
     "ServingEngine",
     "ServingMetrics",

@@ -1,0 +1,851 @@
+"""Multi-deployment serving control plane.
+
+PR 3's :class:`~repro.serve.engine.ServingEngine` hosts exactly one
+``(model, cut, noise collection)`` tuple per process.  The deployment
+story of the paper — one cloud endpoint serving *many* edge users — wants
+several of those tuples behind one front door, sharing the expensive part
+(the cloud worker pool) while keeping everything privacy-critical
+(noise streams, batch composition, ordering) strictly per deployment.
+This module is that control plane, in four pieces:
+
+* :class:`DeploymentRegistry` — holds N named :class:`Deployment`\\ s, each
+  its own split model, noise collection and single-owner
+  :class:`~repro.core.sampler.NoiseStream`, per-deployment
+  :class:`~repro.serve.scheduler.AdaptiveBatcher` (window, timeout,
+  deadline policy, batch-composition policy) and
+  :class:`~repro.serve.metrics.ServingMetrics`.  Registration pre-warms a
+  per-worker executor cache keyed by deployment, so the first request of
+  any deployment pays no allocation or kernel-lowering jitter.
+* :class:`Router` — tags each request with its deployment and feeds the
+  per-deployment batcher; results are addressed by
+  :class:`RequestHandle` ``(deployment, request_id)``.
+* a **shared worker pool** — ``workers`` cloud threads execute encoded
+  micro-batches from *any* deployment (each worker context holds one
+  :class:`~repro.edge.device.CloudServer` + channel clone per deployment).
+* **crash recovery** — a worker that dies mid-batch (via the
+  ``fault_injector`` hook) is detected by the dispatcher, its in-flight
+  batch is requeued to the surviving workers exactly once per crash, and
+  bit parity + per-session ordering still hold, because the edge half
+  (noise draws included) already happened on the dispatcher before the
+  batch ever reached a worker: re-executing the pure cloud half on the
+  same uplink bytes is deterministic.
+
+Batch composition is an explicit, measurable policy rather than an
+accident: micro-batches never span deployments (each deployment has its
+own batcher), and within a deployment the ``isolate_sessions`` knob picks
+between ``mixed`` batches (maximal occupancy) and single-session batches.
+Either way :attr:`ServingMetrics.mixing_index` reports the realised
+cross-user mixing — the fraction of batch rows a request shared its
+stacked activation with that belong to other sessions.
+
+The single-deployment :class:`~repro.serve.engine.ServingEngine` is now a
+thin facade over this class (one deployment named ``"default"``), and the
+asyncio front-end (:mod:`repro.serve.aio`) drives either from an event
+loop.  Parity, ordering, and noise-draw accounting are pinned per
+deployment by ``tests/serve/test_controlplane.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from queue import Empty, SimpleQueue
+from threading import Lock
+from typing import Callable, Hashable, Iterator, NamedTuple
+
+import numpy as np
+
+from repro.core.sampler import NoiseCollection, NoiseStream
+from repro.edge.channel import Channel
+from repro.edge.costs import cut_cost
+from repro.edge.device import CloudServer, EdgeDevice, SessionReport
+from repro.edge.planner import plan_batch_window
+from repro.edge.protocol import (
+    BatchPredictionMessage,
+    decode_activation_batch,
+    decode_prediction_batch,
+    encode_activation_batch,
+    encode_prediction_batch,
+)
+from repro.edge.quantization import QuantizationParams
+from repro.errors import ConfigurationError, ServingFaultError, WorkerCrashError
+from repro.models.base import SplittableModel
+from repro.serve.metrics import ServingMetrics
+from repro.serve.queue import InferenceRequest, RequestQueue
+from repro.serve.scheduler import AdaptiveBatcher
+
+
+class RequestHandle(NamedTuple):
+    """Addresses one request in the control plane."""
+
+    deployment: str
+    request_id: int
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Declarative description of one deployment for ``deploy_many``.
+
+    ``None`` fields fall back to the pipeline's (or the plane's) defaults.
+
+    Attributes:
+        noise: Trained collection; ``None`` serves the privacy-free
+            baseline.
+        cut: Cut-point name (default: the pipeline's cut).
+        model: Backbone override (default: the pipeline's bundle model).
+        batch_window: Requests per micro-batch; ``None`` asks the planner
+            to choose from ``target_slo_seconds`` / ``arrival_rate_rps``.
+        max_rows: Optional cap on stacked image rows per micro-batch.
+        batch_timeout: Longest the head request waits for its window.
+        deadline_aware: Close windows on SLO slack (default) or fixed.
+        isolate_sessions: Batch-composition policy (``True`` = one session
+            per micro-batch; ``False`` = ``mixed``).
+        quantize_bits: Affine-quantise the stacked uplink payload
+            (pipeline deployments only — calibration needs the pipeline's
+            held-out activations).
+        kernel_backend: Executor backend override (default: the plane's).
+        target_slo_seconds / arrival_rate_rps / service_seconds_per_sample:
+            Planner inputs used when ``batch_window`` is ``None``.
+        rng: Noise-sampling randomness (default: a config-derived seed).
+    """
+
+    noise: NoiseCollection | None = None
+    cut: str | None = None
+    model: SplittableModel | None = None
+    batch_window: int | None = 8
+    max_rows: int | None = None
+    batch_timeout: float = 0.005
+    deadline_aware: bool = True
+    isolate_sessions: bool = False
+    quantize_bits: int | None = None
+    kernel_backend: str | None = None
+    target_slo_seconds: float | None = None
+    arrival_rate_rps: float | None = None
+    service_seconds_per_sample: float = 0.0
+    rng: np.random.Generator | None = None
+
+
+@dataclass
+class Deployment:
+    """Runtime state of one registered deployment (control-plane private).
+
+    Everything privacy- or ordering-relevant is per deployment: the edge
+    device (and through it the single-owner noise stream), the batcher and
+    its policy knobs, the metrics, and the session-ordering gate.
+    """
+
+    name: str
+    model: SplittableModel
+    cut: str
+    device: EdgeDevice
+    remote: object  # the remote Sequential; workers build servers from it
+    queue: RequestQueue
+    batcher: AdaptiveBatcher
+    metrics: ServingMetrics
+    batch_window: int
+    kernel_backend: str
+    edge_kilomacs: float
+    activation_shapes: list[tuple[int, ...]]
+    channels: list[Channel] = field(default_factory=list)
+    computed: dict[int, np.ndarray] = field(default_factory=dict)
+    deliverable: dict[int, np.ndarray] = field(default_factory=dict)
+    session_waiting: dict[Hashable, deque[InferenceRequest]] = field(
+        default_factory=dict
+    )
+    span_start: float | None = None
+
+    @property
+    def noise_stream(self) -> NoiseStream:
+        """The deployment's single-owner noise-sampling stream."""
+        return self.device.noise_stream
+
+
+class DeploymentRegistry:
+    """Named deployments of one control plane (insertion-ordered)."""
+
+    def __init__(self) -> None:
+        self._deployments: dict[str, Deployment] = {}
+
+    def add(self, deployment: Deployment) -> None:
+        if deployment.name in self._deployments:
+            raise ConfigurationError(
+                f"deployment {deployment.name!r} is already registered"
+            )
+        self._deployments[deployment.name] = deployment
+
+    def get(self, name: str) -> Deployment:
+        try:
+            return self._deployments[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown deployment {name!r} (registered: "
+                f"{sorted(self._deployments) or 'none'})"
+            ) from None
+
+    def names(self) -> list[str]:
+        return list(self._deployments)
+
+    def __iter__(self) -> Iterator[Deployment]:
+        return iter(self._deployments.values())
+
+    def __len__(self) -> int:
+        return len(self._deployments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._deployments
+
+
+class Router:
+    """Tags requests with their deployment and feeds per-deployment queues.
+
+    The router is deliberately dumb: deployment choice is explicit (the
+    request names its tenant), and everything order-sensitive happens in
+    the per-deployment FIFO queue it forwards to — which is what keeps
+    noise draws in per-deployment arrival order no matter how tenants
+    interleave.
+    """
+
+    def __init__(self, registry: DeploymentRegistry) -> None:
+        self._registry = registry
+
+    def resolve(self, deployment: str | None) -> Deployment:
+        """Map an optional deployment name to a deployment.
+
+        ``None`` routes to the only registered deployment; with several
+        registered, the request must name one.
+        """
+        if deployment is not None:
+            return self._registry.get(deployment)
+        if len(self._registry) == 1:
+            return next(iter(self._registry))
+        raise ConfigurationError(
+            f"plane hosts {len(self._registry)} deployments; requests must "
+            f"name one of {self._registry.names()}"
+        )
+
+    def route(
+        self,
+        images: np.ndarray,
+        *,
+        deployment: str | None = None,
+        slo_seconds: float | None = None,
+        session_id: Hashable | None = None,
+    ) -> RequestHandle:
+        """Enqueue one request on its deployment's queue."""
+        target = self.resolve(deployment)
+        request_id = target.queue.submit(
+            images, slo_seconds=slo_seconds, session_id=session_id
+        )
+        return RequestHandle(target.name, request_id)
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One encoded micro-batch bound for the shared worker pool."""
+
+    deployment: str
+    uplink: bytes
+    request_ids: tuple[int, ...]
+
+
+@dataclass
+class _WorkerContext:
+    """One cloud worker's private runtime: per-deployment executors and
+    channel clones.  Checked out of the shared pool for one micro-batch at
+    a time; a crashed worker's context is never returned."""
+
+    worker_id: int
+    servers: dict[str, CloudServer]
+    channels: dict[str, Channel]
+    alive: bool = True
+
+
+@dataclass
+class _ServiceResult:
+    """What a worker hands back to the collector for one micro-batch."""
+
+    worker_id: int
+    decoded: BatchPredictionMessage
+    downlink_bytes: int
+    wire_seconds: float
+    busy_seconds: float
+
+
+@dataclass
+class _Flight:
+    """One dispatched micro-batch awaiting a worker."""
+
+    seq: int
+    deployment: str
+    window: list[InferenceRequest]
+    task: _Task
+    future: Future
+    uplink_bytes: int
+    attempts: int = 1
+
+
+class ControlPlane:
+    """Multi-deployment serving over one shared cloud worker pool.
+
+    The caller's thread is the **dispatcher**: it forms per-deployment
+    micro-batches, runs each deployment's edge half (noise draws in
+    arrival order on that deployment's single-owner stream), and hands
+    encoded uplink frames to the shared pool.  Workers execute batches
+    from any deployment through their per-deployment executor cache;
+    the dispatcher collects completions in whatever order they land and
+    releases results under each deployment's per-session ordering gate.
+
+    Args:
+        workers: Cloud worker threads shared by every deployment.
+        channel: Link prototype; each (worker, deployment) pair serves
+            over its own clone.  Default: fast clean link.
+        kernel_backend: Default executor backend for deployments that do
+            not override it.
+        fault_injector: Crash-injection hook for fault-tolerance testing:
+            called as ``hook(worker_id, task)`` before a worker services a
+            batch; returning ``True`` kills that worker (its context
+            leaves the pool) and the dispatcher requeues the batch on the
+            survivors.  ``None`` disables injection.
+        clock: Time source for queueing/deadline decisions and latency
+            accounting; defaults to the wall clock.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        channel: Channel | None = None,
+        kernel_backend: str = "auto",
+        fault_injector: Callable[[int, _Task], bool] | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"need >= 1 cloud worker, got {workers}")
+        self.workers = workers
+        self.kernel_backend = kernel_backend
+        self.registry = DeploymentRegistry()
+        self.router = Router(self.registry)
+        self._channel_prototype = channel or Channel()
+        self._fault_injector = fault_injector
+        self._clock = clock or time.perf_counter
+        self._contexts: SimpleQueue[_WorkerContext] = SimpleQueue()
+        self._alive = workers
+        self._alive_guard = Lock()
+        for worker_id in range(workers):
+            self._contexts.put(_WorkerContext(worker_id, {}, {}))
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shredder-cloud"
+        )
+        self._flights: deque[_Flight] = deque()
+        self._next_seq = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        model: SplittableModel,
+        cut: str,
+        *,
+        mean: np.ndarray | None = None,
+        std: np.ndarray | None = None,
+        noise: NoiseCollection | None = None,
+        rng: np.random.Generator | NoiseStream | None = None,
+        batch_window: int | None = 8,
+        max_rows: int | None = None,
+        batch_timeout: float = 0.005,
+        deadline_aware: bool = True,
+        isolate_sessions: bool = False,
+        quantization: QuantizationParams | None = None,
+        kernel_backend: str | None = None,
+        channel: Channel | None = None,
+        target_slo_seconds: float | None = None,
+        arrival_rate_rps: float | None = None,
+        service_seconds_per_sample: float = 0.0,
+    ) -> Deployment:
+        """Register one named deployment and pre-warm every worker for it.
+
+        A ``batch_window`` of ``None`` asks the planner for the largest
+        window meeting ``target_slo_seconds`` at ``arrival_rate_rps``
+        (:func:`repro.edge.planner.plan_batch_window`), so each deployment
+        can run its own planner-chosen window.
+
+        Registration must happen while no micro-batch is in flight (it
+        re-equips every live worker context).
+        """
+        if self._closed:
+            raise ConfigurationError("serving control plane is closed")
+        if name in self.registry:
+            raise ConfigurationError(
+                f"deployment {name!r} is already registered"
+            )
+        if self._flights:
+            raise ConfigurationError(
+                "cannot register a deployment while micro-batches are in "
+                "flight; drain first"
+            )
+        channels_count = model.input_shape[0]
+        if mean is None:
+            mean = np.zeros(channels_count, dtype=np.float32)
+        if std is None:
+            std = np.ones(channels_count, dtype=np.float32)
+        backend = kernel_backend or self.kernel_backend
+        prototype = channel or self._channel_prototype
+        if batch_window is None:
+            if target_slo_seconds is None or arrival_rate_rps is None:
+                raise ConfigurationError(
+                    f"deployment {name!r}: batch_window=None needs "
+                    "target_slo_seconds and arrival_rate_rps for the planner"
+                )
+            batch_window = plan_batch_window(
+                model,
+                cut,
+                target_slo_seconds=target_slo_seconds,
+                arrival_rate_rps=arrival_rate_rps,
+                service_seconds_per_sample=service_seconds_per_sample,
+                channel=prototype,
+            ).window
+        local, remote = model.split(cut)
+        stream = rng if isinstance(rng, NoiseStream) else NoiseStream(rng)
+        device = EdgeDevice(
+            local, mean, std, noise, stream, quantization,
+            kernel_backend=backend,
+        )
+        queue = RequestQueue(clock=self._clock)
+        batcher = AdaptiveBatcher(
+            queue,
+            batch_window,
+            max_rows=max_rows,
+            batch_timeout=batch_timeout,
+            deadline_aware=deadline_aware,
+            isolate_sessions=isolate_sessions,
+        )
+        # Pre-size the edge executor for every batch geometry the window
+        # can produce (partial windows ship under deadline-aware closing,
+        # so sizes 1..batch_window all occur).
+        activation_shapes = [
+            device.warm((rows, *model.input_shape))
+            for rows in range(1, batch_window + 1)
+        ]
+        deployment = Deployment(
+            name=name,
+            model=model,
+            cut=cut,
+            device=device,
+            remote=remote,
+            queue=queue,
+            batcher=batcher,
+            metrics=ServingMetrics(),
+            batch_window=batch_window,
+            kernel_backend=backend,
+            edge_kilomacs=cut_cost(model, cut).kilomacs,
+            activation_shapes=activation_shapes,
+        )
+        # Equip every live worker context with this deployment's executor
+        # and channel clone, pre-warmed.  Contexts are all parked in the
+        # pool (no flights in flight), so draining them is race-free.
+        # The registry entry is added only once every context is equipped
+        # — a mid-warm failure (e.g. kernel_backend="native" without a
+        # compiler) must not leave a routable deployment that would
+        # KeyError inside the workers.
+        contexts = [self._checkout_context() for _ in range(self.alive_workers)]
+        try:
+            for context in contexts:
+                server = CloudServer(remote, backend)
+                for shape in activation_shapes:
+                    server.warm(shape)
+                context.servers[name] = server
+                worker_channel = prototype.clone()
+                context.channels[name] = worker_channel
+                deployment.channels.append(worker_channel)
+            self.registry.add(deployment)
+        except BaseException:
+            for context in contexts:
+                context.servers.pop(name, None)
+                context.channels.pop(name, None)
+            raise
+        finally:
+            for context in contexts:
+                self._contexts.put(context)
+        return deployment
+
+    def _checkout_context(self) -> _WorkerContext:
+        try:
+            return self._contexts.get(timeout=1.0)
+        except Empty:  # pragma: no cover - registration-while-busy guard
+            raise ConfigurationError(
+                "worker contexts unavailable during registration; is the "
+                "plane serving traffic concurrently?"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Request lifecycle (dispatcher thread)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        images: np.ndarray,
+        *,
+        deployment: str | None = None,
+        slo_seconds: float | None = None,
+        session_id: Hashable | None = None,
+    ) -> RequestHandle:
+        """Enqueue one request; returns the handle to collect it with."""
+        return self.router.route(
+            images,
+            deployment=deployment,
+            slo_seconds=slo_seconds,
+            session_id=session_id,
+        )
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting in any deployment's queue."""
+        return sum(len(deployment.queue) for deployment in self.registry)
+
+    @property
+    def in_flight(self) -> int:
+        """Micro-batches dispatched to workers and not yet collected."""
+        return len(self._flights)
+
+    @property
+    def alive_workers(self) -> int:
+        """Workers that have not crashed."""
+        with self._alive_guard:
+            return self._alive
+
+    def pump_handles(self, *, flush: bool = False) -> list[RequestHandle]:
+        """One dispatcher turn: dispatch ready windows of every
+        deployment, collect finished batches, and return the handles that
+        became deliverable (per-session submission order within each
+        deployment's sessions)."""
+        self._dispatch_ready(flush=flush)
+        return self._collect(block=False)
+
+    def pump(self, *, flush: bool = False) -> list[RequestHandle]:
+        """Alias of :meth:`pump_handles` (the single-deployment engine
+        overrides this to return bare request ids)."""
+        return self.pump_handles(flush=flush)
+
+    def next_action_time(self) -> float | None:
+        """Earliest instant any deployment's window must close (``None``
+        when every queue is empty)."""
+        closes = [
+            close
+            for deployment in self.registry
+            if (close := deployment.batcher.close_time()) is not None
+        ]
+        return min(closes) if closes else None
+
+    def drain_handles(self) -> list[RequestHandle]:
+        """Flush every queue, wait for every worker, deliver everything."""
+        delivered: list[RequestHandle] = []
+        while self.pending or self._flights:
+            self._dispatch_ready(flush=True)
+            delivered.extend(self._collect(block=bool(self._flights)))
+        return delivered
+
+    def drain(self) -> list[RequestHandle]:
+        """Alias of :meth:`drain_handles` (see :meth:`pump`)."""
+        return self.drain_handles()
+
+    def result_for(self, handle: RequestHandle) -> np.ndarray:
+        """Collect (and release) the logits of a delivered request."""
+        deployment = self.registry.get(handle.deployment)
+        if handle.request_id not in deployment.deliverable:
+            raise ConfigurationError(
+                f"request {handle.request_id} of deployment "
+                f"{handle.deployment!r} has no deliverable result (still "
+                "queued or in flight, gated behind an earlier request of "
+                "its session, unknown, or already collected)"
+            )
+        return deployment.deliverable.pop(handle.request_id)
+
+    def result(self, handle: RequestHandle) -> np.ndarray:
+        """Alias of :meth:`result_for` (see :meth:`pump`)."""
+        return self.result_for(handle)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def metrics_by_deployment(self) -> dict[str, ServingMetrics]:
+        """Each deployment's metrics object, by name."""
+        return {
+            deployment.name: deployment.metrics for deployment in self.registry
+        }
+
+    def report_for(self, deployment: str) -> SessionReport:
+        """Sequential-session-compatible accounting for one deployment."""
+        target = self.registry.get(deployment)
+        return SessionReport(
+            requests=target.metrics.requests,
+            uplink_bytes=target.metrics.uplink_bytes,
+            downlink_bytes=target.metrics.downlink_bytes,
+            simulated_seconds=sum(
+                channel.stats.simulated_seconds for channel in target.channels
+            ),
+            edge_kilomacs_per_sample=target.edge_kilomacs,
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatch (dispatcher thread only)
+    # ------------------------------------------------------------------
+    def _dispatch_ready(self, *, flush: bool) -> None:
+        if self._closed:
+            raise ConfigurationError("serving engine is closed")
+        for deployment in self.registry:
+            now = self._clock()
+            while True:
+                window = deployment.batcher.next_batch(now, flush=flush)
+                if not window:
+                    break
+                self._dispatch(deployment, window, now)
+
+    def _dispatch(
+        self,
+        deployment: Deployment,
+        window: list[InferenceRequest],
+        now: float,
+    ) -> None:
+        if deployment.span_start is None:
+            deployment.span_start = now
+        for request in window:
+            deployment.metrics.queue_ages.append(now - request.submitted_at)
+            deployment.session_waiting.setdefault(
+                request.ordering_key, deque()
+            ).append(request)
+        deployment.metrics.record_mixing(
+            [request.ordering_key for request in window],
+            [request.rows for request in window],
+        )
+        # Edge half on the dispatcher: the deployment's noise stream has
+        # exactly one owner, and draws happen in arrival order — the
+        # parity contract, per deployment.
+        message = deployment.device.forward_batch(
+            [request.images for request in window],
+            [request.request_id for request in window],
+        )
+        uplink = encode_activation_batch(message)
+        task = _Task(
+            deployment.name,
+            uplink,
+            tuple(request.request_id for request in window),
+        )
+        future = self._pool.submit(self._execute, task)
+        self._flights.append(
+            _Flight(self._next_seq, deployment.name, window, task, future,
+                    len(uplink))
+        )
+        self._next_seq += 1
+
+    # ------------------------------------------------------------------
+    # Cloud half (worker threads)
+    # ------------------------------------------------------------------
+    def _execute(self, task: _Task) -> _ServiceResult:
+        context = self._acquire_context()
+        started = time.perf_counter()
+        try:
+            if self._fault_injector is not None and self._fault_injector(
+                context.worker_id, task
+            ):
+                self._kill_context(context)
+                raise WorkerCrashError(
+                    f"worker {context.worker_id} crashed servicing a "
+                    f"micro-batch of deployment {task.deployment!r}",
+                    worker_id=context.worker_id,
+                )
+            channel = context.channels[task.deployment]
+            server = context.servers[task.deployment]
+            wire_before = channel.stats.simulated_seconds
+            delivered = decode_activation_batch(channel.transmit(task.uplink))
+            response = server.predict_batch(delivered)
+            downlink = channel.transmit(encode_prediction_batch(response))
+            decoded = decode_prediction_batch(downlink)
+            return _ServiceResult(
+                worker_id=context.worker_id,
+                decoded=decoded,
+                downlink_bytes=len(downlink),
+                wire_seconds=channel.stats.simulated_seconds - wire_before,
+                busy_seconds=time.perf_counter() - started,
+            )
+        finally:
+            if context.alive:
+                self._contexts.put(context)
+
+    def _acquire_context(self) -> _WorkerContext:
+        """Check a live worker context out of the pool.
+
+        Raises :class:`~repro.errors.WorkerCrashError` instead of blocking
+        forever when every worker has crashed while this task queued.
+        """
+        while True:
+            try:
+                return self._contexts.get(timeout=0.05)
+            except Empty:
+                if self.alive_workers == 0:
+                    raise WorkerCrashError(
+                        "no surviving worker context to service the batch"
+                    ) from None
+
+    def _kill_context(self, context: _WorkerContext) -> None:
+        context.alive = False
+        with self._alive_guard:
+            self._alive -= 1
+
+    # ------------------------------------------------------------------
+    # Collection + crash recovery (dispatcher thread only)
+    # ------------------------------------------------------------------
+    def _collect(self, *, block: bool) -> list[RequestHandle]:
+        delivered: list[RequestHandle] = []
+        while self._flights:
+            ready = [f for f in self._flights if f.future.done()]
+            if not ready:
+                if not block:
+                    break
+                # Wait for the oldest flight; workers race, so a newer one
+                # may well finish first — the next loop pass absorbs it.
+                flight = self._flights[0]
+                try:
+                    flight.future.result()
+                except WorkerCrashError:
+                    self._recover(flight)
+                except BaseException:
+                    self._discard_flight(flight)
+                    raise
+                continue
+            for flight in ready:
+                self._flights.remove(flight)
+                try:
+                    result = flight.future.result()
+                except WorkerCrashError:
+                    self._recover(flight)
+                    continue
+                except BaseException:
+                    self._discard_flight(flight)
+                    raise
+                self._absorb(flight, result, delivered)
+            if not block:
+                break
+        return delivered
+
+    def _recover(self, flight: _Flight) -> None:
+        """Requeue a crash-interrupted micro-batch exactly once.
+
+        The crashed attempt produced no result (a worker dies *before*
+        shipping its downlink), so re-executing the cloud half on the same
+        uplink bytes completes the batch exactly once; noise was drawn on
+        the dispatcher long before, so the retried logits are bit-identical
+        to an undisturbed run.  When no worker survives, the flight is
+        discarded and :class:`~repro.errors.ServingFaultError` surfaces.
+        """
+        if flight in self._flights:
+            self._flights.remove(flight)
+        if self.alive_workers == 0:
+            self._discard_flight(flight)
+            raise ServingFaultError(
+                f"every cloud worker has crashed; micro-batch of deployment "
+                f"{flight.deployment!r} (requests {list(flight.task.request_ids)}) "
+                "cannot be recovered"
+            )
+        flight.attempts += 1
+        self.registry.get(flight.deployment).metrics.requeued_batches += 1
+        flight.future = self._pool.submit(self._execute, flight.task)
+        self._flights.append(flight)
+
+    def _discard_flight(self, flight: _Flight) -> None:
+        """Drop a failed micro-batch without wedging the engine.
+
+        The flight's requests are lost (the worker error propagates to the
+        caller), but they must not stay in the session-ordering gate or
+        the flight deque — later requests of the same sessions, and later
+        ``pump``/``drain`` calls, keep working.
+        """
+        if flight in self._flights:
+            self._flights.remove(flight)
+        deployment = self.registry.get(flight.deployment)
+        for request in flight.window:
+            waiting = deployment.session_waiting.get(request.ordering_key)
+            if waiting is None:
+                continue
+            try:
+                waiting.remove(request)
+            except ValueError:
+                pass
+            if not waiting:
+                del deployment.session_waiting[request.ordering_key]
+
+    def _absorb(
+        self,
+        flight: _Flight,
+        result: _ServiceResult,
+        delivered: list[RequestHandle],
+    ) -> None:
+        deployment = self.registry.get(flight.deployment)
+        now = self._clock()
+        for request, logits in zip(
+            flight.window, result.decoded.split_logits()
+        ):
+            deployment.computed[request.request_id] = logits
+        metrics = deployment.metrics
+        metrics.requests += len(flight.window)
+        metrics.samples += sum(request.rows for request in flight.window)
+        metrics.micro_batches += 1
+        metrics.occupancies.append(len(flight.window))
+        metrics.uplink_bytes += flight.uplink_bytes
+        metrics.downlink_bytes += result.downlink_bytes
+        metrics.simulated_wire_seconds += result.wire_seconds
+        metrics.record_worker(result.worker_id, result.busy_seconds)
+        deployment.batcher.observe_service(result.busy_seconds)
+        for request in flight.window:
+            self._release_session(
+                deployment, request.ordering_key, now, delivered
+            )
+
+    def _release_session(
+        self,
+        deployment: Deployment,
+        key: Hashable,
+        now: float,
+        delivered: list[RequestHandle],
+    ) -> None:
+        waiting = deployment.session_waiting.get(key)
+        while waiting and waiting[0].request_id in deployment.computed:
+            request = waiting.popleft()
+            logits = deployment.computed.pop(request.request_id)
+            deployment.deliverable[request.request_id] = logits
+            deployment.metrics.record_completion(
+                now - request.submitted_at, request.slo_seconds
+            )
+            delivered.append(RequestHandle(deployment.name, request.request_id))
+            if deployment.span_start is not None:
+                deployment.metrics.wall_seconds = now - deployment.span_start
+        if waiting is not None and not waiting:
+            del deployment.session_waiting[key]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the shared worker pool down (idempotent).
+
+        The pool join runs under ``try/finally`` so the threads are
+        reaped even if cancelling the in-flight futures raises — shutdown
+        must never leak worker threads on an exception path.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for flight in list(self._flights):
+                flight.future.cancel()
+        finally:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ControlPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,22 +1,17 @@
 """Deadline-aware, multi-worker split-inference serving engine.
 
-This grows PR 2's single-threaded FIFO micro-batcher into a serving
-topology with three moving parts:
-
-* the **dispatcher** (the caller's thread) forms micro-batches with the
-  deadline-aware :class:`~repro.serve.scheduler.AdaptiveBatcher`, runs the
-  *edge* half — local forward, per-request noise draws, frame encoding —
-  and hands encoded uplink frames to the pool;
-* a pool of **cloud workers** (``workers`` threads, each with its own
-  :class:`~repro.edge.device.CloudServer` over the shared remote weights
-  and its own :class:`~repro.edge.channel.Channel` clone) transmits,
-  decodes, runs the remote half, and ships the downlink frame — concurrent
-  micro-batches overlap their wire waits and (on multi-core hosts) their
-  remote compute;
-* the dispatcher **collector** demultiplexes finished batches in whatever
-  order workers complete them and releases results under a per-session
-  ordering gate: within one ``session_id``, responses always become
-  available in submission order.
+Since the control-plane refactor this module is the **single-deployment
+facade** over :class:`~repro.serve.controlplane.ControlPlane`: a
+:class:`ServingEngine` is a control plane hosting exactly one deployment
+(named :attr:`ServingEngine.DEFAULT_DEPLOYMENT`), with the PR 3 request
+API preserved — integer request ids, ``submit``/``pump``/``drain``/
+``result``, ``infer_stream`` — plus direct access to the deployment's
+device, noise stream, queue, batcher, and metrics.  The actual serving
+topology (dispatcher-owned edge half and noise draws, shared cloud worker
+pool, per-session ordered release, crash recovery) lives in
+:mod:`repro.serve.controlplane`; multi-model serving registers more
+deployments on a :class:`~repro.serve.controlplane.ControlPlane` directly
+(or via :meth:`repro.core.ShredderPipeline.deploy_many`).
 
 Reproducibility under concurrency is *by construction*, not by luck: the
 dispatcher is the single owner of the noise-sampling generator
@@ -31,66 +26,27 @@ worker count.
 
 from __future__ import annotations
 
-import time
-from collections import deque
-from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
-from queue import SimpleQueue
+import threading
 from typing import Callable, Hashable, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.sampler import NoiseCollection, NoiseStream
 from repro.edge.channel import Channel
-from repro.edge.costs import cut_cost
-from repro.edge.device import CloudServer, EdgeDevice, SessionReport
-from repro.edge.protocol import (
-    BatchPredictionMessage,
-    decode_activation_batch,
-    decode_prediction_batch,
-    encode_activation_batch,
-    encode_prediction_batch,
-)
+from repro.edge.device import SessionReport
 from repro.edge.quantization import QuantizationParams
 from repro.errors import ConfigurationError
 from repro.models.base import SplittableModel
-from repro.serve.metrics import ServingMetrics
-from repro.serve.queue import InferenceRequest, RequestQueue
-from repro.serve.scheduler import AdaptiveBatcher
+from repro.serve.controlplane import (
+    ControlPlane,
+    RequestHandle,
+    _ServiceResult,
+    _Task,
+)
 
 
-@dataclass
-class _WorkerContext:
-    """One cloud worker's private runtime (executor scratch + channel)."""
-
-    worker_id: int
-    server: CloudServer
-    channel: Channel
-
-
-@dataclass
-class _ServiceResult:
-    """What a worker hands back to the collector for one micro-batch."""
-
-    worker_id: int
-    decoded: BatchPredictionMessage
-    downlink_bytes: int
-    wire_seconds: float
-    busy_seconds: float
-
-
-@dataclass
-class _Flight:
-    """One dispatched micro-batch awaiting its worker."""
-
-    seq: int
-    window: list[InferenceRequest]
-    future: Future
-    uplink_bytes: int
-
-
-class ServingEngine:
-    """Deadline-aware multi-worker serving over a split backbone.
+class ServingEngine(ControlPlane):
+    """Deadline-aware multi-worker serving over one split backbone.
 
     Args:
         model: The full backbone (used for splitting and cost bookkeeping).
@@ -110,16 +66,25 @@ class ServingEngine:
             fill (seconds on ``clock``).
         deadline_aware: Close windows on SLO slack (default); ``False``
             gives the fixed-window baseline policy.
+        isolate_sessions: Batch-composition policy: ``True`` closes every
+            micro-batch at the first session boundary so batches never mix
+            users (the metrics' mixing index reads 0); default ``False``
+            (``mixed``).
         quantization: Optional affine code for the stacked uplink payload.
         kernel_backend: Forward-executor backend (``"auto"`` / ``"native"``
             / ``"numpy"``), selected **once here** and applied to the edge
             device and every cloud worker, so batched and sequential paths
             always run the same kernels (the bit-parity contract; see
             :mod:`repro.edge.executor`).
+        fault_injector: Optional crash-injection hook (see
+            :class:`~repro.serve.controlplane.ControlPlane`).
         clock: Time source for queueing/deadline decisions and latency
             accounting; defaults to the wall clock.  Workers always
             measure their busy time on the wall clock.
     """
+
+    #: Name of the engine's sole deployment on the underlying plane.
+    DEFAULT_DEPLOYMENT = "default"
 
     def __init__(
         self,
@@ -136,67 +101,51 @@ class ServingEngine:
         max_rows: int | None = None,
         batch_timeout: float = 0.005,
         deadline_aware: bool = True,
+        isolate_sessions: bool = False,
         quantization: QuantizationParams | None = None,
         kernel_backend: str = "auto",
+        fault_injector: Callable[[int, _Task], bool] | None = None,
         clock: Callable[[], float] | None = None,
     ) -> None:
-        if workers < 1:
-            raise ConfigurationError(f"need >= 1 cloud worker, got {workers}")
-        local, remote = model.split(cut)
-        self.noise_stream = rng if isinstance(rng, NoiseStream) else NoiseStream(rng)
-        self.device = EdgeDevice(local, mean, std, noise, self.noise_stream,
-                                 quantization, kernel_backend=kernel_backend)
-        self.workers = workers
-        self.cut = cut
-        self.batch_window = batch_window
-        self._clock = clock or time.perf_counter
-        self.queue = RequestQueue(clock=self._clock)
-        self.batcher = AdaptiveBatcher(
-            self.queue,
-            batch_window,
+        super().__init__(
+            workers=workers,
+            channel=channel,
+            kernel_backend=kernel_backend,
+            fault_injector=fault_injector,
+            clock=clock,
+        )
+        deployment = self.register(
+            self.DEFAULT_DEPLOYMENT,
+            model,
+            cut,
+            mean=mean,
+            std=std,
+            noise=noise,
+            rng=rng,
+            batch_window=batch_window,
             max_rows=max_rows,
             batch_timeout=batch_timeout,
             deadline_aware=deadline_aware,
+            isolate_sessions=isolate_sessions,
+            quantization=quantization,
+            kernel_backend=kernel_backend,
         )
-        prototype = channel or Channel()
-        self._contexts: SimpleQueue[_WorkerContext] = SimpleQueue()
-        self._worker_channels: list[Channel] = []
-        # Pre-size every executor for every batch geometry the planner's
-        # window can produce (deadline-aware closing ships partial
-        # windows, so sizes 1..batch_window all occur): scratch buffers
-        # and compiled native programs exist before the first request
-        # arrives, keeping allocation/lowering jitter out of the serving
-        # latency percentiles.  Multi-row requests beyond the window
-        # still lower lazily on first sight.
-        activation_shapes = [
-            self.device._executor.warm((rows, *model.input_shape))
-            for rows in range(1, batch_window + 1)
-        ]
-        servers = [CloudServer(remote, kernel_backend) for _ in range(workers)]
-        for server in servers:
-            for shape in activation_shapes:
-                server._executor.warm(shape)
-        for worker_id, server in enumerate(servers):
-            worker_channel = prototype.clone()
-            self._worker_channels.append(worker_channel)
-            self._contexts.put(
-                _WorkerContext(worker_id, server, worker_channel)
-            )
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="shredder-cloud"
-        )
-        self._edge_cost = cut_cost(model, cut)
-        self._flights: deque[_Flight] = deque()
-        self._next_seq = 0
-        self._computed: dict[int, np.ndarray] = {}
-        self._deliverable: dict[int, np.ndarray] = {}
-        self._session_waiting: dict[Hashable, deque[InferenceRequest]] = {}
-        self.metrics = ServingMetrics()
-        self._span_start: float | None = None
-        self._closed = False
+        self._deployment = deployment
+        self.cut = cut
+        self.batch_window = batch_window
+        self.device = deployment.device
+        self.noise_stream = deployment.noise_stream
+        self.queue = deployment.queue
+        self.batcher = deployment.batcher
+        self.metrics = deployment.metrics
+        # The legacy worker-side hook (`_service_batch(uplink)`) needs the
+        # current task when a subclass delegates back to the base
+        # implementation; each worker thread services one batch at a time,
+        # so a thread-local hands it across the override boundary.
+        self._task_local = threading.local()
 
     # ------------------------------------------------------------------
-    # Request lifecycle
+    # Request lifecycle (integer-id facade over the plane's handles)
     # ------------------------------------------------------------------
     def submit(
         self,
@@ -206,19 +155,12 @@ class ServingEngine:
         session_id: Hashable | None = None,
     ) -> int:
         """Enqueue one request; returns the id to collect the result with."""
-        return self.queue.submit(
-            images, slo_seconds=slo_seconds, session_id=session_id
-        )
-
-    @property
-    def pending(self) -> int:
-        """Requests waiting in the queue (not yet dispatched)."""
-        return len(self.queue)
-
-    @property
-    def in_flight(self) -> int:
-        """Micro-batches dispatched to workers and not yet collected."""
-        return len(self._flights)
+        return self.router.route(
+            images,
+            deployment=self.DEFAULT_DEPLOYMENT,
+            slo_seconds=slo_seconds,
+            session_id=session_id,
+        ).request_id
 
     def pump(self, *, flush: bool = False) -> list[int]:
         """One dispatcher turn: dispatch ready windows, collect finished
@@ -232,17 +174,7 @@ class ServingEngine:
             flush: Close partial windows immediately instead of waiting
                 out deadline slack / the batching timeout.
         """
-        self._dispatch_ready(flush=flush)
-        return self._collect(block=False)
-
-    def next_action_time(self) -> float | None:
-        """When the scheduler next needs this engine pumped (queue's clock).
-
-        ``None`` when the queue is empty; a serving loop sleeps (or a
-        virtual-time driver jumps) to this instant before calling
-        :meth:`pump` again.
-        """
-        return self.batcher.close_time()
+        return [handle.request_id for handle in self.pump_handles(flush=flush)]
 
     def drain(self) -> list[int]:
         """Flush the queue, wait for every worker, deliver everything.
@@ -251,11 +183,7 @@ class ServingEngine:
         tracks the serving span (first dispatch to latest delivery) for
         both this and the :meth:`pump`-driven path.
         """
-        delivered: list[int] = []
-        while self.queue or self._flights:
-            self._dispatch_ready(flush=True)
-            delivered.extend(self._collect(block=bool(self._flights)))
-        return delivered
+        return [handle.request_id for handle in self.drain_handles()]
 
     def result(self, request_id: int) -> np.ndarray:
         """Collect (and release) the logits of a delivered request.
@@ -264,13 +192,13 @@ class ServingEngine:
         request of its session has been delivered — the per-session
         ordering contract.
         """
-        if request_id not in self._deliverable:
+        if request_id not in self._deployment.deliverable:
             raise ConfigurationError(
                 f"request {request_id} has no deliverable result (still "
                 "queued or in flight, gated behind an earlier request of "
                 "its session, unknown, or already collected)"
             )
-        return self._deliverable.pop(request_id)
+        return self._deployment.deliverable.pop(request_id)
 
     # ------------------------------------------------------------------
     # Stream convenience API
@@ -327,172 +255,38 @@ class ServingEngine:
         ]
 
     # ------------------------------------------------------------------
-    # Dispatch (dispatcher thread only)
+    # Cloud half (worker threads) — legacy hook preserved for subclasses
     # ------------------------------------------------------------------
-    def _dispatch_ready(self, *, flush: bool) -> None:
-        if self._closed:
-            raise ConfigurationError("serving engine is closed")
-        now = self._clock()
-        while True:
-            window = self.batcher.next_batch(now, flush=flush)
-            if not window:
-                return
-            self._dispatch(window, now)
-
-    def _dispatch(self, window: list[InferenceRequest], now: float) -> None:
-        if self._span_start is None:
-            self._span_start = now
-        for request in window:
-            self.metrics.queue_ages.append(now - request.submitted_at)
-            self._session_waiting.setdefault(
-                request.ordering_key, deque()
-            ).append(request)
-        # Edge half in the dispatcher: the noise stream has exactly one
-        # owner, and draws happen in arrival order — the parity contract.
-        message = self.device.forward_batch(
-            [request.images for request in window],
-            [request.request_id for request in window],
-        )
-        uplink = encode_activation_batch(message)
-        future = self._pool.submit(self._service_batch, uplink)
-        self._flights.append(_Flight(self._next_seq, window, future, len(uplink)))
-        self._next_seq += 1
-
-    # ------------------------------------------------------------------
-    # Cloud half (worker threads)
-    # ------------------------------------------------------------------
-    def _service_batch(self, uplink: bytes) -> _ServiceResult:
-        context = self._contexts.get()
-        started = time.perf_counter()
-        wire_before = context.channel.stats.simulated_seconds
+    def _execute(self, task: _Task) -> _ServiceResult:
+        self._task_local.task = task
         try:
-            delivered = decode_activation_batch(context.channel.transmit(uplink))
-            response = context.server.predict_batch(delivered)
-            downlink = context.channel.transmit(encode_prediction_batch(response))
-            decoded = decode_prediction_batch(downlink)
-            return _ServiceResult(
-                worker_id=context.worker_id,
-                decoded=decoded,
-                downlink_bytes=len(downlink),
-                wire_seconds=context.channel.stats.simulated_seconds - wire_before,
-                busy_seconds=time.perf_counter() - started,
-            )
+            return self._service_batch(task.uplink)
         finally:
-            self._contexts.put(context)
+            self._task_local.task = None
 
-    # ------------------------------------------------------------------
-    # Collection (dispatcher thread only)
-    # ------------------------------------------------------------------
-    def _collect(self, *, block: bool) -> list[int]:
-        delivered: list[int] = []
-        while self._flights:
-            ready = [f for f in self._flights if f.future.done()]
-            if not ready:
-                if not block:
-                    break
-                # Wait for the oldest flight; workers race, so a newer one
-                # may well finish first — the next loop pass absorbs it.
-                flight = self._flights[0]
-                try:
-                    flight.future.result()
-                except BaseException:
-                    self._discard_flight(flight)
-                    raise
-                continue
-            for flight in ready:
-                self._flights.remove(flight)
-                try:
-                    result = flight.future.result()
-                except BaseException:
-                    self._discard_flight(flight)
-                    raise
-                self._absorb(flight, result, delivered)
-            if not block:
-                break
-        return delivered
+    def _service_batch(self, uplink: bytes) -> _ServiceResult:
+        """Service one encoded micro-batch on a worker thread.
 
-    def _discard_flight(self, flight: _Flight) -> None:
-        """Drop a failed micro-batch without wedging the engine.
-
-        The flight's requests are lost (the worker error propagates to the
-        caller), but they must not stay in the session-ordering gate or
-        the flight deque — later requests of the same sessions, and later
-        ``pump``/``drain`` calls, keep working.
+        Subclasses (tests, fault harnesses) may override this to observe
+        or perturb the cloud half; calling ``super()._service_batch(uplink)``
+        runs the real context checkout + transmit + remote forward.
         """
-        if flight in self._flights:
-            self._flights.remove(flight)
-        for request in flight.window:
-            waiting = self._session_waiting.get(request.ordering_key)
-            if waiting is None:
-                continue
-            try:
-                waiting.remove(request)
-            except ValueError:
-                pass
-            if not waiting:
-                del self._session_waiting[request.ordering_key]
-
-    def _absorb(
-        self, flight: _Flight, result: _ServiceResult, delivered: list[int]
-    ) -> None:
-        now = self._clock()
-        for request, logits in zip(
-            flight.window, result.decoded.split_logits()
-        ):
-            self._computed[request.request_id] = logits
-        self.metrics.requests += len(flight.window)
-        self.metrics.samples += sum(request.rows for request in flight.window)
-        self.metrics.micro_batches += 1
-        self.metrics.occupancies.append(len(flight.window))
-        self.metrics.uplink_bytes += flight.uplink_bytes
-        self.metrics.downlink_bytes += result.downlink_bytes
-        self.metrics.simulated_wire_seconds += result.wire_seconds
-        self.metrics.record_worker(result.worker_id, result.busy_seconds)
-        self.batcher.observe_service(result.busy_seconds)
-        for request in flight.window:
-            self._release_session(request.ordering_key, now, delivered)
-
-    def _release_session(
-        self, key: Hashable, now: float, delivered: list[int]
-    ) -> None:
-        waiting = self._session_waiting.get(key)
-        while waiting and waiting[0].request_id in self._computed:
-            request = waiting.popleft()
-            logits = self._computed.pop(request.request_id)
-            self._deliverable[request.request_id] = logits
-            self.metrics.record_completion(
-                now - request.submitted_at, request.slo_seconds
+        task = getattr(self._task_local, "task", None)
+        if task is None or task.uplink is not uplink:
+            # A subclass re-encoded the frame (or the hook is driven
+            # outside a worker turn): rebuild the task around these bytes.
+            deployment = (
+                task.deployment if task is not None else self.DEFAULT_DEPLOYMENT
             )
-            delivered.append(request.request_id)
-            if self._span_start is not None:
-                self.metrics.wall_seconds = now - self._span_start
-        if waiting is not None and not waiting:
-            del self._session_waiting[key]
+            task = _Task(deployment, uplink, ())
+        return ControlPlane._execute(self, task)
 
     # ------------------------------------------------------------------
-    # Accounting / lifecycle
+    # Accounting
     # ------------------------------------------------------------------
     def report(self) -> SessionReport:
         """Sequential-session-compatible traffic/compute accounting."""
-        return SessionReport(
-            requests=self.metrics.requests,
-            uplink_bytes=self.metrics.uplink_bytes,
-            downlink_bytes=self.metrics.downlink_bytes,
-            simulated_seconds=sum(
-                channel.stats.simulated_seconds
-                for channel in self._worker_channels
-            ),
-            edge_kilomacs_per_sample=self._edge_cost.kilomacs,
-        )
-
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if not self._closed:
-            self._closed = True
-            self._pool.shutdown(wait=True)
+        return self.report_for(self.DEFAULT_DEPLOYMENT)
 
     def __enter__(self) -> "ServingEngine":
         return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()

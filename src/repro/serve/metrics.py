@@ -67,6 +67,13 @@ class ServingMetrics:
             carried an SLO.
         worker_batches: Micro-batches served per worker id.
         worker_busy_seconds: Busy time per worker id.
+        mixing_fractions: Per dispatched request, the fraction of its
+            micro-batch's rows that belong to *other* sessions — the
+            cross-user mixing surface of shared micro-batches (deployments
+            never share a batch, so cross-deployment mixing is
+            structurally zero).  Recorded at dispatch time.
+        requeued_batches: Micro-batches requeued onto surviving workers
+            after a worker crash (exactly-once recovery).
     """
 
     requests: int = 0
@@ -83,6 +90,8 @@ class ServingMetrics:
     slo_total: int = 0
     worker_batches: dict[int, int] = field(default_factory=dict)
     worker_busy_seconds: dict[int, float] = field(default_factory=dict)
+    mixing_fractions: list[float] = field(default_factory=list)
+    requeued_batches: int = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -103,6 +112,28 @@ class ServingMetrics:
         self.worker_busy_seconds[worker_id] = (
             self.worker_busy_seconds.get(worker_id, 0.0) + busy_seconds
         )
+
+    def record_mixing(
+        self, request_keys: Sequence, request_rows: Sequence[int]
+    ) -> None:
+        """Account cross-user mixing for one dispatched micro-batch.
+
+        Args:
+            request_keys: One ordering key per request in the batch.
+            request_rows: Image rows each request contributes.
+
+        Every request records ``other_rows / total_rows`` — the fraction
+        of the stacked activation it shared a batch with that belongs to
+        *other* sessions.  A single-session batch records 0.0 per request.
+        """
+        total = int(sum(request_rows))
+        if total == 0:
+            return
+        own: dict = {}
+        for key, rows in zip(request_keys, request_rows):
+            own[key] = own.get(key, 0) + int(rows)
+        for key in request_keys:
+            self.mixing_fractions.append((total - own[key]) / total)
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -134,6 +165,21 @@ class ServingMetrics:
         if self.slo_total == 0:
             return None
         return self.slo_met / self.slo_total
+
+    @property
+    def mixing_index(self) -> float:
+        """Mean cross-user mixing over dispatched requests.
+
+        0.0 under the ``isolate_sessions`` batch policy (no batch ever
+        carries two sessions) and whenever traffic is single-session; up
+        to ``(window-1)/window`` when every batch row belongs to a
+        different user.  This is the measurable knob the shuffling-privacy
+        analyses ask for: how much of the stacked activation a request
+        travels with belongs to someone else.
+        """
+        if not self.mixing_fractions:
+            return 0.0
+        return float(np.mean(self.mixing_fractions))
 
     @property
     def mean_occupancy(self) -> float:
@@ -177,6 +223,8 @@ class ServingMetrics:
             "queue_age_p90_ms": 1e3 * self.queue_age_percentile(90),
             "slo_total": self.slo_total,
             "slo_attainment": self.slo_attainment,
+            "mixing_index": self.mixing_index,
+            "requeued_batches": self.requeued_batches,
             "workers": {
                 str(worker): {
                     "micro_batches": self.worker_batches.get(worker, 0),
@@ -208,6 +256,16 @@ class ServingMetrics:
                 4,
                 f"SLO attainment    {self.slo_attainment:.1%} "
                 f"({self.slo_met}/{self.slo_total} deadlines met)",
+            )
+        if self.mixing_fractions:
+            lines.append(
+                f"cross-user mix    {self.mixing_index:.1%} of batch rows "
+                "from other sessions (mean per request)"
+            )
+        if self.requeued_batches:
+            lines.append(
+                f"crash recovery    {self.requeued_batches} micro-batches "
+                "requeued after worker loss"
             )
         if self.worker_busy_seconds:
             occupancy = self.worker_occupancy()

@@ -170,6 +170,17 @@ class MicroBatcher:
         max_rows: Optional cap on total image rows per micro-batch (bounds
             the stacked activation's memory for multi-image requests); a
             single oversized request still ships alone rather than starve.
+        isolate_sessions: Batch-composition policy.  ``False`` (the
+            ``mixed`` policy) stacks any pending requests together —
+            maximal occupancy, but one micro-batch mixes activations of
+            independent users, the cross-user surface the shuffling
+            analyses warn about.  ``True`` closes every micro-batch at the
+            first session boundary, so a batch only ever carries one
+            session's requests (sessionless requests each form their own
+            batch).  Both policies drain the queue as a FIFO *prefix*, so
+            noise draws stay in arrival order and bit parity is unaffected
+            — only batch composition (and therefore occupancy/throughput
+            and the mixing index) changes.
     """
 
     def __init__(
@@ -177,6 +188,7 @@ class MicroBatcher:
         queue: RequestQueue,
         batch_window: int = 8,
         max_rows: int | None = None,
+        isolate_sessions: bool = False,
     ) -> None:
         if batch_window < 1:
             raise ConfigurationError(
@@ -187,16 +199,21 @@ class MicroBatcher:
         self.queue = queue
         self.batch_window = batch_window
         self.max_rows = max_rows
+        self.isolate_sessions = isolate_sessions
 
     def next_batch(self) -> list[InferenceRequest]:
         """The next micro-batch (empty list when the queue is drained)."""
         window = self.queue.pop_window(self.batch_window)
-        if not window or self.max_rows is None:
+        if not window or (self.max_rows is None and not self.isolate_sessions):
             return window
         taken: list[InferenceRequest] = []
         rows = 0
+        head_key = window[0].ordering_key
         for index, request in enumerate(window):
-            if taken and rows + request.rows > self.max_rows:
+            if taken and (
+                (self.isolate_sessions and request.ordering_key != head_key)
+                or (self.max_rows is not None and rows + request.rows > self.max_rows)
+            ):
                 # Put the remainder back in order for the next batch.
                 self.queue.requeue_front(window[index:])
                 break

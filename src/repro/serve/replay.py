@@ -140,13 +140,17 @@ def simulate_schedule(
     service_model: Callable[[list[InferenceRequest]], float] | None = None,
     service_estimate: float | None = None,
     max_rows: int | None = None,
+    isolate_sessions: bool = False,
 ) -> ScheduleResult:
     """Replay ``trace`` through the batching policy in virtual time.
 
     Args:
         trace: Timed requests (sorted internally by arrival).
-        batch_window / batch_timeout / deadline_aware / max_rows: The
-            policy knobs, exactly as on the live engine.
+        batch_window / batch_timeout / deadline_aware / max_rows /
+            isolate_sessions: The policy knobs, exactly as on the live
+            engine (``isolate_sessions`` caps batches at session
+            boundaries; the result metrics' ``mixing_index`` then reads
+            zero).
         workers: Parallel servers; a formed batch starts on the earliest
             free one (batches are formed by the policy regardless of
             worker availability, mirroring the engine's dispatch queue).
@@ -179,6 +183,7 @@ def simulate_schedule(
         batch_timeout=batch_timeout,
         service_estimate=service_estimate,
         deadline_aware=deadline_aware,
+        isolate_sessions=isolate_sessions,
     )
 
     arrivals = sorted(trace, key=lambda request: request.arrival)
@@ -203,6 +208,10 @@ def simulate_schedule(
         formed = clock.now
         for request in window:
             metrics.queue_ages.append(formed - request.submitted_at)
+        metrics.record_mixing(
+            [request.ordering_key for request in window],
+            [request.rows for request in window],
+        )
         worker = int(np.argmin(worker_free))
         start = max(formed, worker_free[worker])
         service = float(service_model(window))

@@ -47,6 +47,10 @@ class AdaptiveBatcher:
             from their service model.
         deadline_aware: ``False`` ignores request SLOs entirely (the
             fixed-window baseline policy).
+        isolate_sessions: Batch-composition policy (see
+            :class:`~repro.serve.queue.MicroBatcher`): ``True`` closes
+            every micro-batch at the first session boundary so batches
+            never mix users.
     """
 
     #: EWMA weight of the newest observed batch service time.
@@ -61,6 +65,7 @@ class AdaptiveBatcher:
         batch_timeout: float = 0.005,
         service_estimate: float = 0.0,
         deadline_aware: bool = True,
+        isolate_sessions: bool = False,
     ) -> None:
         if batch_timeout < 0:
             raise ConfigurationError(
@@ -70,12 +75,13 @@ class AdaptiveBatcher:
             raise ConfigurationError(
                 f"service estimate must be >= 0 seconds, got {service_estimate}"
             )
-        self._inner = MicroBatcher(queue, batch_window, max_rows)
+        self._inner = MicroBatcher(queue, batch_window, max_rows, isolate_sessions)
         self.queue = queue
         self.batch_window = batch_window
         self.batch_timeout = batch_timeout
         self.service_estimate = service_estimate
         self.deadline_aware = deadline_aware
+        self.isolate_sessions = isolate_sessions
 
     # ------------------------------------------------------------------
     # Policy
@@ -104,9 +110,19 @@ class AdaptiveBatcher:
 
     def _window_full(self) -> bool:
         """Whether the next batch can admit no further request — by count,
-        or by the row cap (waiting longer cannot grow a rows-full batch)."""
+        by a session boundary (isolation policy: the FIFO prefix is capped
+        the moment a different session queues behind the head run, so
+        waiting cannot grow the batch), or by the row cap (waiting longer
+        cannot grow a rows-full batch)."""
         if len(self.queue) >= self.batch_window:
             return True
+        if self.isolate_sessions:
+            head_key = None
+            for request in self.queue:
+                if head_key is None:
+                    head_key = request.ordering_key
+                elif request.ordering_key != head_key:
+                    return True
         max_rows = self._inner.max_rows
         if max_rows is None:
             return False

@@ -60,6 +60,9 @@ class BatchedInferenceSession:
         kernel_backend: Forward-executor backend, selected once here and
             shared by the edge and cloud halves (bit-parity requires one
             backend per deployment; see :mod:`repro.edge.executor`).
+        isolate_sessions: Batch-composition policy (see
+            :class:`~repro.serve.queue.MicroBatcher`): ``True`` never
+            mixes two sessions in one micro-batch.
     """
 
     def __init__(
@@ -75,6 +78,7 @@ class BatchedInferenceSession:
         max_rows: int | None = None,
         quantization: QuantizationParams | None = None,
         kernel_backend: str = "auto",
+        isolate_sessions: bool = False,
     ) -> None:
         local, remote = model.split(cut)
         self.device = EdgeDevice(local, mean, std, noise, rng, quantization,
@@ -84,7 +88,9 @@ class BatchedInferenceSession:
         self.cut = cut
         self.batch_window = batch_window
         self.queue = RequestQueue()
-        self.batcher = MicroBatcher(self.queue, batch_window, max_rows)
+        self.batcher = MicroBatcher(
+            self.queue, batch_window, max_rows, isolate_sessions
+        )
         self._edge_cost = cut_cost(model, cut)
         self._results: dict[int, np.ndarray] = {}
         self._submitted: dict[int, float] = {}
@@ -92,10 +98,8 @@ class BatchedInferenceSession:
         # Pre-size executor scratch (and compile native programs) for the
         # planner's chosen window so the first micro-batch pays no
         # allocation or compilation jitter in its latency percentiles.
-        activation = self.device._executor.warm(
-            (batch_window, *model.input_shape)
-        )
-        self.server._executor.warm(activation)
+        activation = self.device.warm((batch_window, *model.input_shape))
+        self.server.warm(activation)
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -137,6 +141,10 @@ class BatchedInferenceSession:
         start = time.perf_counter()
         for request in window:
             self.metrics.queue_ages.append(start - request.submitted_at)
+        self.metrics.record_mixing(
+            [request.ordering_key for request in window],
+            [request.rows for request in window],
+        )
         wire_before = self.channel.stats.simulated_seconds
         message = self.device.forward_batch(
             [request.images for request in window],

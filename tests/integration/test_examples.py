@@ -29,6 +29,7 @@ def test_examples_exist():
         ("quickstart.py", ["tiny"]),
         ("cutting_point_selection.py", ["lenet", "tiny"]),
         ("batched_serving.py", ["tiny"]),
+        ("multi_model_serving.py", ["tiny"]),
     ],
 )
 def test_example_runs(tmp_path, script, args):

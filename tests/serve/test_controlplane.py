@@ -1,0 +1,540 @@
+"""Multi-deployment serving control plane: routing, parity, crash
+recovery, and the batch-composition policy.
+
+The acceptance properties, per deployment, on interleaved multi-tenant
+streams across worker counts:
+
+* **bit parity** — every deployment's logits are bit-identical to that
+  deployment's own sequential reference path
+  (:class:`repro.edge.InferenceSession` with the same seed), no matter
+  how tenants interleave or how many shared workers race;
+* **ordering** — within one (deployment, session), responses deliver in
+  submission order;
+* **exactly-once under crash** — a worker killed mid-batch (deterministic
+  fault injection) loses capacity, not requests: the in-flight batch is
+  requeued to the survivors, completes exactly once, and parity/ordering
+  still hold;
+* **noise-draw accounting** — each deployment's single-owner stream is
+  consumed exactly once per sample of that deployment.
+
+The CI ``serve-stress`` job re-runs this module across the same
+seed × worker matrix as the engine suite (``REPRO_SERVE_SEED`` /
+``REPRO_SERVE_WORKERS``), plus a fault leg (``REPRO_SERVE_FAULT=1``:
+every parity run also crashes one worker) and a multi-deployment leg
+(``REPRO_SERVE_DEPLOYMENTS=3``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import TINY, Config
+from repro.core import NoiseCollection, ShredderPipeline, SplitInferenceModel
+from repro.edge import Channel, InferenceSession, plan_deployment_windows
+from repro.errors import (
+    ConfigurationError,
+    ServingFaultError,
+)
+from repro.serve import ControlPlane, DeploymentSpec, RequestHandle
+
+_ENV_SEED = os.environ.get("REPRO_SERVE_SEED")
+_ENV_WORKERS = int(os.environ.get("REPRO_SERVE_WORKERS", "0"))
+STREAM_SEEDS = [31, 77] + ([2000 + int(_ENV_SEED)] if _ENV_SEED else [])
+WORKER_COUNTS = sorted({1, 2, 4} | ({_ENV_WORKERS} if _ENV_WORKERS else set()))
+#: CI legs: REPRO_SERVE_DEPLOYMENTS=3 widens the tenant matrix;
+#: REPRO_SERVE_FAULT=1 injects a worker crash into every parity run.
+N_DEPLOYMENTS = int(os.environ.get("REPRO_SERVE_DEPLOYMENTS", "2"))
+FAULT_LEG = os.environ.get("REPRO_SERVE_FAULT") == "1"
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    from repro.models import get_pretrained
+
+    return get_pretrained("lenet", Config(scale=TINY))
+
+
+@pytest.fixture(scope="module")
+def collections(bundle):
+    """One distinct noise collection per deployment (the third tenant is
+    the privacy-free baseline: ``None``)."""
+    split = SplitInferenceModel(bundle.model)
+    built = []
+    for seed in (5, 17):
+        rng = np.random.default_rng(seed)
+        collection = NoiseCollection(split.activation_shape)
+        for _ in range(3):
+            collection.add(
+                rng.laplace(0, 0.05, size=split.activation_shape).astype(
+                    np.float32
+                ),
+                accuracy=0.8,
+                in_vivo_privacy=0.1,
+            )
+        built.append(collection)
+    return built + [None]
+
+
+def _noise_for(collections, index):
+    return collections[index % len(collections)]
+
+
+def _make_plane(
+    bundle,
+    collections,
+    *,
+    n_deployments=None,
+    workers=1,
+    window=4,
+    isolate_sessions=False,
+    fault_injector=None,
+    channel=None,
+):
+    plane = ControlPlane(
+        workers=workers, channel=channel, fault_injector=fault_injector
+    )
+    cut = bundle.model.last_conv_cut()
+    for index in range(n_deployments or N_DEPLOYMENTS):
+        plane.register(
+            f"dep{index}",
+            bundle.model,
+            cut,
+            noise=_noise_for(collections, index),
+            rng=np.random.default_rng(100 + index),
+            batch_window=window,
+            batch_timeout=0.0,
+            isolate_sessions=isolate_sessions,
+        )
+    return plane
+
+
+def _interleaved_plan(bundle, rng, n_requests, n_deployments):
+    """A randomized multi-tenant request plan: (deployment, images, slo,
+    session) in one global arrival order."""
+    images = bundle.test_set.images
+    plan = []
+    cursor = 0
+    for _ in range(n_requests):
+        deployment = f"dep{int(rng.integers(0, n_deployments))}"
+        size = int(rng.integers(1, 4))
+        start = cursor % (len(images) - 1)
+        plan.append(
+            (
+                deployment,
+                images[start : start + 1].repeat(size, axis=0),
+                [None, 0.050, 0.200][int(rng.integers(0, 3))],
+                f"user-{int(rng.integers(0, 3))}",
+            )
+        )
+        cursor += size
+    return plan
+
+
+def _sequential_reference(bundle, collections, plan, n_deployments):
+    """Each deployment's own sequential reference on its sub-stream."""
+    cut = bundle.model.last_conv_cut()
+    mean, std = np.zeros(1, np.float32), np.ones(1, np.float32)
+    sessions = {
+        f"dep{index}": InferenceSession(
+            bundle.model, cut, mean, std,
+            noise=_noise_for(collections, index),
+            rng=np.random.default_rng(100 + index),
+        )
+        for index in range(n_deployments)
+    }
+    return [sessions[deployment].infer(images) for deployment, images, _, _ in plan]
+
+
+def _one_shot_fault(target_deployment="dep0", target_request=0):
+    """Kill the (first) worker that picks up the batch holding one
+    specific request — the ISSUE's deterministic crash scenario."""
+    crashed: list[int] = []
+
+    def injector(worker_id, task):
+        if (
+            not crashed
+            and task.deployment == target_deployment
+            and target_request in task.request_ids
+        ):
+            crashed.append(worker_id)
+            return True
+        return False
+
+    injector.crashed = crashed
+    return injector
+
+
+class TestRoutingAndRegistry:
+    def test_duplicate_registration_rejected(self, bundle, collections):
+        with _make_plane(bundle, collections, n_deployments=1) as plane:
+            with pytest.raises(ConfigurationError, match="already registered"):
+                plane.register(
+                    "dep0", bundle.model, bundle.model.last_conv_cut()
+                )
+
+    def test_unknown_deployment_rejected(self, bundle, collections):
+        with _make_plane(bundle, collections, n_deployments=1) as plane:
+            with pytest.raises(ConfigurationError, match="unknown deployment"):
+                plane.submit(bundle.test_set.images[:1], deployment="nope")
+
+    def test_default_routing_needs_single_deployment(self, bundle, collections):
+        images = bundle.test_set.images[:1]
+        with _make_plane(bundle, collections, n_deployments=1) as plane:
+            handle = plane.submit(images)  # sole deployment: routes there
+            assert handle == RequestHandle("dep0", 0)
+        with _make_plane(bundle, collections, n_deployments=2) as plane:
+            with pytest.raises(ConfigurationError, match="must\\s+name"):
+                plane.submit(images)
+
+    def test_per_deployment_request_ids(self, bundle, collections):
+        images = bundle.test_set.images[:1]
+        with _make_plane(bundle, collections, n_deployments=2) as plane:
+            assert plane.submit(images, deployment="dep0").request_id == 0
+            assert plane.submit(images, deployment="dep1").request_id == 0
+            assert plane.submit(images, deployment="dep0").request_id == 1
+            plane.drain()
+
+    def test_failed_registration_rolls_back(self, bundle, collections):
+        """A mid-warm failure must not leave a half-equipped, routable
+        deployment behind (workers would KeyError on its batches)."""
+
+        class ExplodingChannel(Channel):
+            def clone(self, rng=None):
+                raise RuntimeError("no link for you")
+
+        with _make_plane(bundle, collections, n_deployments=1) as plane:
+            cut = bundle.model.last_conv_cut()
+            with pytest.raises(RuntimeError, match="no link"):
+                plane.register(
+                    "broken", bundle.model, cut, channel=ExplodingChannel()
+                )
+            assert "broken" not in plane.registry
+            # The pool is intact: the same name registers cleanly and the
+            # original deployment still serves.
+            plane.register("broken", bundle.model, cut)
+            a = plane.submit(bundle.test_set.images[:1], deployment="dep0")
+            b = plane.submit(bundle.test_set.images[:1], deployment="broken")
+            plane.drain()
+            assert plane.result(a).shape == (1, 10)
+            assert plane.result(b).shape == (1, 10)
+
+    def test_registration_during_flight_rejected(self, bundle, collections):
+        channel = Channel(latency_ms=30.0, realtime=True)
+        with _make_plane(
+            bundle, collections, n_deployments=1, channel=channel
+        ) as plane:
+            plane.submit(bundle.test_set.images[:1], deployment="dep0")
+            plane.pump(flush=True)  # dispatches; the wire sleep keeps it in flight
+            assert plane.in_flight == 1
+            with pytest.raises(ConfigurationError, match="in\\s+flight"):
+                plane.register(
+                    "late", bundle.model, bundle.model.last_conv_cut()
+                )
+            plane.drain()
+
+
+class TestMultiDeploymentParity:
+    @pytest.mark.parametrize("stream_seed", STREAM_SEEDS)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_interleaved_streams_match_sequential(
+        self, bundle, collections, stream_seed, workers
+    ):
+        n_deployments = N_DEPLOYMENTS
+        plan = _interleaved_plan(
+            bundle, np.random.default_rng(stream_seed), 14, n_deployments
+        )
+        expected = _sequential_reference(bundle, collections, plan, n_deployments)
+        # The optional fault leg crashes one worker mid-run; recovery must
+        # keep the run indistinguishable (needs a survivor to requeue to).
+        injector = (
+            _one_shot_fault() if FAULT_LEG and workers > 1 else None
+        )
+        with _make_plane(
+            bundle,
+            collections,
+            n_deployments=n_deployments,
+            workers=workers,
+            fault_injector=injector,
+        ) as plane:
+            handles = [
+                plane.submit(
+                    images,
+                    deployment=deployment,
+                    slo_seconds=slo,
+                    session_id=session,
+                )
+                for deployment, images, slo, session in plan
+            ]
+            delivered = plane.drain()
+            assert sorted(delivered) == sorted(handles)  # exactly once
+            actual = [plane.result(handle) for handle in handles]
+        assert len(actual) == len(expected)
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_deterministic_across_runs(self, bundle, collections, workers):
+        plan = _interleaved_plan(
+            bundle, np.random.default_rng(9), 10, N_DEPLOYMENTS
+        )
+        outputs = []
+        for _ in range(2):
+            with _make_plane(
+                bundle, collections, workers=workers
+            ) as plane:
+                handles = [
+                    plane.submit(
+                        images, deployment=dep, slo_seconds=slo, session_id=sid
+                    )
+                    for dep, images, slo, sid in plan
+                ]
+                plane.drain()
+                outputs.append([plane.result(h) for h in handles])
+        for a, b in zip(*outputs):
+            np.testing.assert_array_equal(a, b)
+
+    def test_noise_draws_accounted_per_deployment(self, bundle, collections):
+        plan = _interleaved_plan(
+            bundle, np.random.default_rng(12), 12, N_DEPLOYMENTS
+        )
+        with _make_plane(bundle, collections, workers=4) as plane:
+            for dep, images, slo, sid in plan:
+                plane.submit(
+                    images, deployment=dep, slo_seconds=slo, session_id=sid
+                )
+            plane.drain()
+            for deployment in plane.registry:
+                expected_rows = sum(
+                    len(images) for dep, images, _, _ in plan
+                    if dep == deployment.name
+                )
+                if deployment.device.noise is None:
+                    assert deployment.noise_stream.draws == 0
+                else:
+                    assert deployment.noise_stream.draws == expected_rows
+
+    def test_per_session_ordering_within_each_deployment(
+        self, bundle, collections
+    ):
+        plan = _interleaved_plan(
+            bundle, np.random.default_rng(21), 16, N_DEPLOYMENTS
+        )
+        with _make_plane(bundle, collections, workers=4, window=2) as plane:
+            submitted: dict[tuple, list] = {}
+            for dep, images, slo, sid in plan:
+                handle = plane.submit(
+                    images, deployment=dep, slo_seconds=slo, session_id=sid
+                )
+                submitted.setdefault((dep, sid), []).append(handle)
+            delivered = plane.drain()
+            for handles in submitted.values():
+                order = [delivered.index(handle) for handle in handles]
+                assert order == sorted(order)
+            for handle in [h for hs in submitted.values() for h in hs]:
+                plane.result(handle)
+
+
+class TestCrashRecovery:
+    def test_crash_requeues_exactly_once_with_parity(self, bundle, collections):
+        """Kill the worker holding request 0's batch: the batch lands on
+        the survivor, completes exactly once, in order, bit-identical."""
+        n_deployments = 2
+        plan = _interleaved_plan(
+            bundle, np.random.default_rng(3), 12, n_deployments
+        )
+        # Guarantee request 0 of dep0 exists regardless of the random plan.
+        plan[0] = ("dep0", bundle.test_set.images[:1], None, "user-0")
+        expected = _sequential_reference(bundle, collections, plan, n_deployments)
+        injector = _one_shot_fault("dep0", 0)
+        with _make_plane(
+            bundle,
+            collections,
+            n_deployments=n_deployments,
+            workers=2,
+            fault_injector=injector,
+        ) as plane:
+            handles = [
+                plane.submit(images, deployment=dep, slo_seconds=slo, session_id=sid)
+                for dep, images, slo, sid in plan
+            ]
+            delivered = plane.drain()
+            # The crash actually happened, capacity shrank, and the batch
+            # was requeued exactly once.
+            assert len(injector.crashed) == 1
+            assert plane.alive_workers == 1
+            assert (
+                plane.metrics_by_deployment()["dep0"].requeued_batches == 1
+            )
+            # Exactly-once delivery, per-session order intact.
+            assert sorted(delivered) == sorted(handles)
+            per_session: dict[tuple, list] = {}
+            for (dep, _, _, sid), handle in zip(plan, handles):
+                per_session.setdefault((dep, sid), []).append(handle)
+            for session_handles in per_session.values():
+                order = [delivered.index(h) for h in session_handles]
+                assert order == sorted(order)
+            actual = [plane.result(handle) for handle in handles]
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    def test_total_worker_loss_surfaces_fault(self, bundle, collections):
+        with _make_plane(
+            bundle,
+            collections,
+            n_deployments=1,
+            workers=1,
+            fault_injector=lambda worker_id, task: True,
+        ) as plane:
+            plane.submit(bundle.test_set.images[:1], deployment="dep0")
+            with pytest.raises(ServingFaultError, match="every cloud worker"):
+                plane.drain()
+            assert plane.alive_workers == 0
+            assert plane.in_flight == 0
+
+    def test_serving_continues_after_recovery(self, bundle, collections):
+        """Post-crash, the shrunken pool keeps serving new traffic."""
+        injector = _one_shot_fault("dep0", 0)
+        images = bundle.test_set.images
+        with _make_plane(
+            bundle, collections, n_deployments=2, workers=3,
+            fault_injector=injector,
+        ) as plane:
+            first = [
+                plane.submit(images[i : i + 1], deployment=f"dep{i % 2}",
+                             session_id="S")
+                for i in range(4)
+            ]
+            plane.drain()
+            assert plane.alive_workers == 2
+            second = [
+                plane.submit(images[i : i + 1], deployment=f"dep{i % 2}",
+                             session_id="S")
+                for i in range(4)
+            ]
+            plane.drain()
+            for handle in first + second:
+                assert plane.result(handle).shape == (1, 10)
+
+
+class TestBatchCompositionPolicy:
+    def _submit_alternating(self, plane, images, n=4):
+        return [
+            plane.submit(
+                images[i : i + 1], deployment="dep0",
+                session_id="AB"[i % 2],
+            )
+            for i in range(n)
+        ]
+
+    def test_mixed_policy_reports_mixing_index(self, bundle, collections):
+        with _make_plane(
+            bundle, collections, n_deployments=1, window=4
+        ) as plane:
+            handles = self._submit_alternating(plane, bundle.test_set.images)
+            plane.drain()
+            metrics = plane.metrics_by_deployment()["dep0"]
+            # One window of 4 alternating single-row sessions: every
+            # request shared its batch half-and-half with the other user.
+            assert metrics.micro_batches == 1
+            assert metrics.mixing_index == pytest.approx(0.5)
+            for handle in handles:
+                plane.result(handle)
+
+    def test_isolated_policy_never_mixes(self, bundle, collections):
+        with _make_plane(
+            bundle, collections, n_deployments=1, window=4,
+            isolate_sessions=True,
+        ) as plane:
+            handles = self._submit_alternating(plane, bundle.test_set.images)
+            plane.drain()
+            metrics = plane.metrics_by_deployment()["dep0"]
+            assert metrics.micro_batches == 4  # one per session boundary
+            assert metrics.mixing_index == 0.0
+            for handle in handles:
+                plane.result(handle)
+
+    def test_isolation_preserves_parity(self, bundle, collections):
+        """Isolation changes batch composition, never content: the FIFO
+        prefix rule keeps noise draws in arrival order."""
+        plan = _interleaved_plan(bundle, np.random.default_rng(6), 10, 1)
+        expected = _sequential_reference(bundle, collections, plan, 1)
+        with _make_plane(
+            bundle, collections, n_deployments=1, workers=2,
+            isolate_sessions=True,
+        ) as plane:
+            handles = [
+                plane.submit(images, deployment=dep, slo_seconds=slo,
+                             session_id=sid)
+                for dep, images, slo, sid in plan
+            ]
+            plane.drain()
+            actual = [plane.result(h) for h in handles]
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestDeployMany:
+    def test_pipeline_deploy_many(self, bundle):
+        pipeline = ShredderPipeline(bundle, config=Config(scale=TINY))
+        collection = pipeline.collect(2, iterations=10)
+        plane = pipeline.deploy_many(
+            {
+                "shredded": collection,
+                "baseline": None,
+                "planned": DeploymentSpec(
+                    noise=collection,
+                    batch_window=None,
+                    target_slo_seconds=0.5,
+                    arrival_rate_rps=200.0,
+                ),
+            },
+            workers=2,
+        )
+        try:
+            assert isinstance(plane, ControlPlane)
+            assert plane.registry.names() == ["shredded", "baseline", "planned"]
+            assert plane.registry.get("planned").batch_window >= 1
+            images = bundle.test_set.images
+            handles = [
+                plane.submit(
+                    images[i : i + 1],
+                    deployment=name,
+                    session_id=f"user-{i % 2}",
+                )
+                for i, name in enumerate(
+                    ["shredded", "baseline", "planned"] * 3
+                )
+            ]
+            plane.drain()
+            for handle in handles:
+                assert plane.result(handle).shape == (1, 10)
+            report = plane.report_for("shredded")
+            assert report.requests == 3
+            assert report.uplink_bytes > 0
+        finally:
+            plane.close()
+
+    def test_deploy_many_rejects_bad_spec(self, bundle):
+        pipeline = ShredderPipeline(bundle, config=Config(scale=TINY))
+        with pytest.raises(ConfigurationError):
+            pipeline.deploy_many({})
+        with pytest.raises(ConfigurationError, match="DeploymentSpec"):
+            pipeline.deploy_many({"x": 42})
+
+    def test_planner_windows_per_deployment(self, bundle):
+        cut = bundle.model.last_conv_cut()
+        plans = plan_deployment_windows(
+            {
+                "tight": {"target_slo_seconds": 0.030, "arrival_rate_rps": 500.0},
+                "loose": {"target_slo_seconds": 0.500, "arrival_rate_rps": 500.0},
+            },
+            model=bundle.model,
+            cut=cut,
+            service_seconds_per_sample=1e-4,
+        )
+        assert set(plans) == {"tight", "loose"}
+        assert plans["tight"].window <= plans["loose"].window
+        assert plans["loose"].feasible

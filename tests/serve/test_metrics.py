@@ -150,3 +150,40 @@ class TestQueueAgesAndWorkers:
         assert payload["queue_age_p50_ms"] == pytest.approx(3.0)
         assert payload["workers"]["0"]["micro_batches"] == 1
         json.dumps(payload)  # must stay JSON-serialisable
+
+
+class TestMixingIndex:
+    def test_single_session_batch_is_zero(self):
+        metrics = ServingMetrics()
+        metrics.record_mixing(["A", "A", "A"], [1, 1, 1])
+        assert metrics.mixing_index == 0.0
+        assert metrics.mixing_fractions == [0.0, 0.0, 0.0]
+
+    def test_even_two_session_mix_is_half(self):
+        metrics = ServingMetrics()
+        metrics.record_mixing(["A", "B", "A", "B"], [1, 1, 1, 1])
+        assert metrics.mixing_index == pytest.approx(0.5)
+
+    def test_rows_weight_the_fraction(self):
+        metrics = ServingMetrics()
+        # A carries 3 of 4 rows; B carries 1 of 4.
+        metrics.record_mixing(["A", "B"], [3, 1])
+        assert metrics.mixing_fractions == [pytest.approx(0.25),
+                                            pytest.approx(0.75)]
+        assert metrics.mixing_index == pytest.approx(0.5)
+
+    def test_empty_batch_and_empty_metrics(self):
+        metrics = ServingMetrics()
+        metrics.record_mixing([], [])
+        assert metrics.mixing_index == 0.0
+
+    def test_surfaces_in_dict_and_format(self):
+        metrics = ServingMetrics()
+        metrics.record_mixing(["A", "B"], [1, 1])
+        metrics.requeued_batches = 2
+        payload = metrics.as_dict()
+        assert payload["mixing_index"] == pytest.approx(0.5)
+        assert payload["requeued_batches"] == 2
+        rendered = metrics.format()
+        assert "cross-user mix" in rendered
+        assert "requeued" in rendered
