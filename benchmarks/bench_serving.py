@@ -28,7 +28,16 @@ multi-worker engine:
   req/s of 3 deployments sharing one worker pool
   (:class:`repro.serve.ControlPlane`) vs the same 3 deployments as
   isolated single-worker engines driven concurrently, with per-deployment
-  bit-parity and the cross-user mixing index.
+  bit-parity and the cross-user mixing index;
+* ``serving_chaos`` — the elastic control plane under chaos + overload: a
+  protected SLO tenant and an admission-capped bulk tenant share an
+  auto-healing pool; mid-run the bulk tenant spikes to ~10x its baseline
+  rate while a fault injector kills a worker holding one of its batches.
+  The gates: the protected tenant's admitted-request SLO attainment stays
+  pinned, the bulk overload is rejected *typed* (429-style, counted) —
+  never queued unbounded, silently dropped, or hung — every admitted
+  request is delivered exactly once, the killed worker heals back, and
+  bit parity holds after the heal and across a post-run hot-swap.
 
 Run:
     PYTHONPATH=src python benchmarks/bench_serving.py [--smoke] [--output PATH]
@@ -37,9 +46,11 @@ Exit status is non-zero when a gate fails: batched >= 3x sequential at the
 acceptance window (full run; simply faster under ``--smoke``), deadline-
 aware attainment >= fixed-window attainment, multi-worker >= 1.5x
 single-worker throughput at window 8, shared-pool multi-model aggregate
->= 0.9x the isolated-engines aggregate, or (when a C compiler is present)
-kernel-on serving throughput below kernel-off at window 8 (>= 2x required
-in a full run, with unanimous label agreement).
+>= 0.9x the isolated-engines aggregate, chaos-leg protected attainment
+below its floor (0.95 full, 0.75 smoke) or any other chaos contract
+breach, or (when a C compiler is present) kernel-on serving throughput
+below kernel-off at window 8 (>= 2x required in a full run, with
+unanimous label agreement).
 """
 
 from __future__ import annotations
@@ -89,6 +100,12 @@ MULTIMODEL_RATIO = 0.9
 #: numpy executor at the acceptance window (full run; smoke only requires
 #: "faster").
 KERNEL_BACKEND_SPEEDUP = 2.0
+#: Chaos leg: the protected tenant's latency SLO, and the floor on its
+#: admitted-request SLO attainment while the bulk tenant spikes ~10x and
+#: a worker dies mid-batch (smoke relaxes the floor — tiny CI hosts).
+CHAOS_PROTECTED_SLO = 0.050
+CHAOS_ATTAINMENT_FLOOR = 0.95
+CHAOS_ATTAINMENT_FLOOR_SMOKE = 0.75
 
 
 def build_collection(split: SplitInferenceModel, members: int) -> NoiseCollection:
@@ -592,6 +609,235 @@ def main() -> int:
         f"{'PASS' if mm_ok else 'FAIL'})"
     )
 
+    # ------------------------------------------------------------------
+    # Chaos + overload: a protected SLO tenant and an admission-capped
+    # bulk tenant share an auto-healing elastic pool.  Phase 1 is calm;
+    # phase 2 spikes the bulk tenant ~10x while a fault injector kills a
+    # worker holding one of its micro-batches.  The contract: typed
+    # rejections for the overload, pinned attainment for the protected
+    # tenant's admitted requests, exactly-once delivery for everything
+    # admitted, a healed pool, and bit parity after the heal and across a
+    # post-run hot-swap.
+    # ------------------------------------------------------------------
+    from repro.errors import OverloadError
+
+    chaos_workers = 2 if args.smoke else 3
+    chaos_floor = (
+        CHAOS_ATTAINMENT_FLOOR_SMOKE if args.smoke else CHAOS_ATTAINMENT_FLOOR
+    )
+    # Paced open-loop arrivals (real sleeps against the realtime channel):
+    # the protected tenant offers 200 req/s throughout; the bulk tenant
+    # offers 100 req/s in the calm phase, then spikes 10x to 1000 req/s.
+    chaos_protected_interval = 0.005
+    chaos_bulk_calm_interval = 0.010
+    chaos_bulk_spike_interval = 0.001
+    phase1_protected = 16 if args.smoke else 32
+    phase1_bulk = 8 if args.smoke else 16
+    spike_protected = 16 if args.smoke else 32
+    spike_bulk = (
+        spike_protected
+        * int(chaos_protected_interval / chaos_bulk_spike_interval)
+    )
+
+    chaos_collections = {
+        "protected": build_collection(split, members=4),
+        "bulk": build_collection(split, members=4),
+    }
+
+    killed: list[int] = []
+
+    def chaos_injector(worker_id, task):
+        # One shot: die holding the first bulk micro-batch of the spike.
+        if (
+            not killed
+            and task.deployment == "bulk"
+            and any(rid >= phase1_bulk for rid in task.request_ids)
+        ):
+            killed.append(worker_id)
+            return True
+        return False
+
+    plane = ControlPlane(
+        workers=chaos_workers,
+        max_workers=4,
+        auto_heal=True,
+        channel=Channel(latency_ms=2.0, realtime=True),
+        fault_injector=chaos_injector,
+    )
+    # The protected tenant is latency-critical: fixed window with zero
+    # timeout flushes every pump turn instead of letting the adaptive
+    # batcher ride requests to the edge of their deadline slack.
+    plane.register(
+        "protected", bundle.model, cut,
+        noise=chaos_collections["protected"],
+        rng=np.random.default_rng(700),
+        batch_window=4, batch_timeout=0.0, deadline_aware=False,
+    )
+    plane.register(
+        "bulk", bundle.model, cut,
+        noise=chaos_collections["bulk"],
+        rng=np.random.default_rng(701),
+        batch_window=8, batch_timeout=0.0,
+        max_pending=32,
+        admission_rate_rps=200.0,
+        admission_burst=16.0,
+    )
+    plane.enable_autoscale(min_workers=chaos_workers, max_workers=4)
+
+    admitted: list = []
+    delivered: list = []
+    protected_plan: list = []
+    chaos_rejections = {"protected": 0, "bulk": 0}
+
+    def offer(name, image, slo=None):
+        try:
+            handle = plane.submit(
+                image, deployment=name, slo_seconds=slo, session_id=name
+            )
+        except OverloadError:  # AdmissionError is a subclass: typed 429
+            chaos_rejections[name] += 1
+            return None
+        admitted.append(handle)
+        if name == "protected":
+            protected_plan.append((handle, image))
+        return handle
+
+    # One merged, time-stamped arrival schedule across both phases.
+    phase1_end = phase1_protected * chaos_protected_interval
+    schedule = [
+        (i * chaos_protected_interval, "protected", stream[i % len(stream)])
+        for i in range(phase1_protected + spike_protected)
+    ]
+    schedule += [
+        (i * chaos_bulk_calm_interval, "bulk", stream[(i + 7) % len(stream)])
+        for i in range(phase1_bulk)
+    ]
+    schedule += [
+        (
+            phase1_end + i * chaos_bulk_spike_interval,
+            "bulk",
+            stream[(i + 13) % len(stream)],
+        )
+        for i in range(spike_bulk)
+    ]
+    schedule.sort(key=lambda event: event[0])
+
+    chaos_begin = time.perf_counter()
+    for at, name, image in schedule:
+        wait = at - (time.perf_counter() - chaos_begin)
+        if wait > 0:
+            time.sleep(wait)
+        offer(name, image,
+              slo=CHAOS_PROTECTED_SLO if name == "protected" else None)
+        delivered += plane.pump_handles()
+    delivered += plane.drain()
+    chaos_elapsed = time.perf_counter() - chaos_begin
+
+    zero_lost = sorted(delivered) == sorted(admitted)
+    healed = bool(killed) and plane.pool_metrics.respawned_workers >= 1
+    chaos_metrics = plane.metrics_by_deployment()
+    attainment = chaos_metrics["protected"].slo_attainment
+    bulk_rejected = (
+        chaos_metrics["bulk"].rejected_requests
+        + chaos_metrics["bulk"].shed_requests
+    )
+
+    # Post-heal parity: the protected tenant's full admitted stream must
+    # be bit-identical to its sequential reference — the crash, the heal,
+    # and the autoscaler's resizes must all be invisible in the logits.
+    chaos_reference = InferenceSession(
+        bundle.model, cut, mean, std,
+        noise=chaos_collections["protected"],
+        channel=Channel(), rng=np.random.default_rng(700),
+    )
+    heal_parity = all(
+        np.array_equal(plane.result(handle), chaos_reference.infer(image))
+        for handle, image in protected_plan
+    )
+    for handle in admitted:
+        if handle.deployment == "bulk":
+            plane.result(handle)  # raises if anything was silently lost
+
+    # Post-swap parity: hot-swap the protected tenant's noise stream and
+    # verify the new regime against a fresh reference.
+    plane.swap("protected", rng=np.random.default_rng(4242))
+    swap_handles = [
+        plane.submit(stream[i % len(stream)], deployment="protected",
+                     session_id="post-swap")
+        for i in range(8)
+    ]
+    plane.drain()
+    swap_reference = InferenceSession(
+        bundle.model, cut, mean, std,
+        noise=chaos_collections["protected"],
+        channel=Channel(), rng=np.random.default_rng(4242),
+    )
+    swap_parity = all(
+        np.array_equal(
+            plane.result(handle),
+            swap_reference.infer(stream[i % len(stream)]),
+        )
+        for i, handle in enumerate(swap_handles)
+    )
+    pool_samples = plane.pool_metrics.pool_size_samples
+    autoscale_decisions = len(plane.autoscaler.decisions)
+    respawned = plane.pool_metrics.respawned_workers
+    plane.close()
+
+    chaos_ok = (
+        attainment is not None
+        and attainment >= chaos_floor
+        and bulk_rejected > 0
+        and zero_lost
+        and healed
+        and heal_parity
+        and swap_parity
+    )
+    serving["serving_chaos"] = {
+        "workers": chaos_workers,
+        "max_workers": 4,
+        "protected_slo_seconds": CHAOS_PROTECTED_SLO,
+        "phase1": {"protected": phase1_protected, "bulk": phase1_bulk},
+        "spike": {"protected": spike_protected, "bulk": spike_bulk},
+        "seconds": chaos_elapsed,
+        "admitted": len(admitted),
+        "delivered": len(delivered),
+        "zero_lost": zero_lost,
+        "rejected_typed": {
+            "bulk": bulk_rejected,
+            "protected": (
+                chaos_metrics["protected"].rejected_requests
+                + chaos_metrics["protected"].shed_requests
+            ),
+        },
+        "protected_attainment": attainment,
+        "protected_p90_latency_ms": (
+            1e3 * chaos_metrics["protected"].latency_percentile(90)
+        ),
+        "worker_killed": bool(killed),
+        "respawned_workers": respawned,
+        "pool_size": {
+            "min": min(pool_samples) if pool_samples else None,
+            "max": max(pool_samples) if pool_samples else None,
+        },
+        "autoscale_decisions": autoscale_decisions,
+        "post_heal_parity": heal_parity,
+        "post_swap_parity": swap_parity,
+        "gate_attainment_floor": chaos_floor,
+    }
+    print(
+        f"chaos:          protected attainment "
+        f"{(attainment or 0.0) * 100:5.1f}% (floor {chaos_floor * 100:.0f}%), "
+        f"{bulk_rejected} typed rejections, "
+        f"{'healed' if healed else 'NOT healed'}, "
+        f"pool {min(pool_samples) if pool_samples else '?'}.."
+        f"{max(pool_samples) if pool_samples else '?'} workers, "
+        f"parity heal={'OK' if heal_parity else 'FAIL'} "
+        f"swap={'OK' if swap_parity else 'FAIL'}, "
+        f"lost={'0' if zero_lost else 'SOME'} "
+        f"({'PASS' if chaos_ok else 'FAIL'})"
+    )
+
     # Merge into the hot-path report without clobbering other sections.
     report: dict = {}
     if args.output.exists():
@@ -617,7 +863,7 @@ def main() -> int:
         acceptance = serving["windows"][str(windows[0])]
     if args.smoke:
         ok = (gate_ok and acceptance["speedup"] > 1.0 and slo_ok and mw_ok
-              and mm_ok and kb_ok)
+              and mm_ok and chaos_ok and kb_ok)
         print(
             f"smoke gate: batched beats sequential "
             f"({'PASS' if acceptance['speedup'] > 1.0 else 'FAIL'}, "
@@ -625,7 +871,8 @@ def main() -> int:
             f"({'PASS' if slo_ok else 'FAIL'}), multi-worker >= "
             f"{MULTIWORKER_SPEEDUP:.1f}x ({'PASS' if mw_ok else 'FAIL'}), "
             f"multi-model shared >= {MULTIMODEL_RATIO:.1f}x isolated "
-            f"({'PASS' if mm_ok else 'FAIL'}), "
+            f"({'PASS' if mm_ok else 'FAIL'}), chaos contract "
+            f"({'PASS' if chaos_ok else 'FAIL'}), "
             f"kernel-on >= kernel-off ({'PASS' if kb_ok else 'FAIL'})"
         )
     else:
@@ -635,6 +882,7 @@ def main() -> int:
             and slo_ok
             and mw_ok
             and mm_ok
+            and chaos_ok
             and kb_ok
         )
         print(
@@ -645,7 +893,8 @@ def main() -> int:
             f"({'PASS' if slo_ok else 'FAIL'}), multi-worker >= "
             f"{MULTIWORKER_SPEEDUP:.1f}x ({'PASS' if mw_ok else 'FAIL'}), "
             f"multi-model shared >= {MULTIMODEL_RATIO:.1f}x isolated "
-            f"({'PASS' if mm_ok else 'FAIL'}), "
+            f"({'PASS' if mm_ok else 'FAIL'}), chaos contract "
+            f"({'PASS' if chaos_ok else 'FAIL'}), "
             f"native kernels >= {KERNEL_BACKEND_SPEEDUP:.1f}x "
             f"({'PASS' if kb_ok else 'FAIL'})"
         )

@@ -17,6 +17,10 @@ writing code:
     python -m repro serve --network lenet --batch-window 8
     python -m repro serve --network lenet --workers 4 --slo-ms 50
     python -m repro serve --deployment a=lenet --deployment b=svhn --workers 4
+    python -m repro serve --network lenet --workers 2 --max-pending 32 \\
+        --admission-rate 500
+    python -m repro serve --deployment a=lenet --deployment b=svhn \\
+        --workers 2 --autoscale 1:4 --max-pending 64
     python -m repro bounds --signal-power 4.0
     python -m repro report --out results/REPORT.md
 """
@@ -167,6 +171,30 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_autoscale(
+    raw: str | None, workers: int
+) -> tuple[int, int] | None:
+    """Parse ``--autoscale MIN:MAX`` into validated pool bounds."""
+    if raw is None:
+        return None
+    from repro.errors import ConfigurationError
+
+    low, sep, high = raw.partition(":")
+    try:
+        bounds = (int(low), int(high)) if sep else (-1, -1)
+    except ValueError:
+        bounds = (-1, -1)
+    if not sep or bounds[0] < 1 or bounds[1] < bounds[0]:
+        raise ConfigurationError(
+            f"--autoscale wants MIN:MAX with 1 <= MIN <= MAX, got {raw!r}"
+        )
+    if bounds[1] < workers:
+        raise ConfigurationError(
+            f"--autoscale MAX ({bounds[1]}) must be >= --workers ({workers})"
+        )
+    return bounds
+
+
 def _cmd_serve_multi(args: argparse.Namespace) -> int:
     """Multi-deployment control-plane serving (``--deployment name=net:cut``)."""
     import time
@@ -174,7 +202,7 @@ def _cmd_serve_multi(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.edge import Channel
-    from repro.errors import ConfigurationError
+    from repro.errors import ConfigurationError, OverloadError
     from repro.eval import build_pipeline, load_benchmark
     from repro.serve import ControlPlane
 
@@ -188,6 +216,7 @@ def _cmd_serve_multi(args: argparse.Namespace) -> int:
             )
         network, _, cut = rest.partition(":")
         parsed.append((name, network, cut or None))
+    autoscale = _parse_autoscale(args.autoscale, args.workers)
     channel = Channel(
         bandwidth_mbps=args.bandwidth_mbps,
         latency_ms=args.latency_ms,
@@ -197,7 +226,13 @@ def _cmd_serve_multi(args: argparse.Namespace) -> int:
         workers=args.workers,
         channel=channel,
         kernel_backend=args.kernel_backend,
+        max_workers=autoscale[1] if autoscale else None,
+        auto_heal=bool(autoscale),
     )
+    if autoscale:
+        plane.enable_autoscale(
+            min_workers=autoscale[0], max_workers=autoscale[1]
+        )
     traffic: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for name, network, cut in parsed:
         bundle, benchmark = load_benchmark(network, config, verbose=True)
@@ -218,6 +253,8 @@ def _cmd_serve_multi(args: argparse.Namespace) -> int:
                 else 0.005
             ),
             isolate_sessions=args.batch_policy == "isolate",
+            max_pending=args.max_pending,
+            admission_rate_rps=args.admission_rate,
         )
         traffic[name] = (bundle.test_set.images, bundle.test_set.labels)
     requests = {
@@ -231,36 +268,73 @@ def _cmd_serve_multi(args: argparse.Namespace) -> int:
     )
     slo = args.slo_ms / 1e3 if args.slo_ms is not None else None
     handles: dict[str, list] = {name: [] for name in traffic}
+    admitted: dict[str, list[int]] = {name: [] for name in traffic}
+    rejected: dict[str, int] = {name: 0 for name in traffic}
     start = time.perf_counter()
     # Round-robin interleave the tenants' request streams, 4 sessions each.
     for index in range(max(requests.values())):
         for name, (images, _) in traffic.items():
             if index >= requests[name]:
                 continue
-            handles[name].append(
-                plane.submit(
+            try:
+                handle = plane.submit(
                     images[index : index + 1],
                     deployment=name,
                     slo_seconds=slo,
                     session_id=f"{name}-user-{index % 4}",
                 )
-            )
-    plane.drain()
+            except OverloadError:
+                # Typed 429-style rejection: count it, keep serving.
+                rejected[name] += 1
+            else:
+                handles[name].append(handle)
+                admitted[name].append(index)
+        # One dispatcher turn per round: overlaps edge/cloud work with
+        # submission and steps the autoscaler under live traffic.
+        plane.pump_handles()
+    # Drain through pump turns rather than plane.drain(): the backlog
+    # left by a closed-loop submit burst is exactly where the autoscaler
+    # earns its keep, and pump_handles() is what steps it.
+    while plane.pending or plane.in_flight:
+        if not plane.pump_handles(flush=True):
+            time.sleep(0.0005)
     elapsed = time.perf_counter() - start
     plane.close()
     for name, (_, labels) in traffic.items():
-        predictions = np.concatenate(
-            [plane.result(handle).argmax(axis=1) for handle in handles[name]]
-        )
-        accuracy = float(np.mean(predictions == labels[: requests[name]]))
         print(f"\n=== deployment {name} ===")
         print(plane.metrics_by_deployment()[name].format())
-        print(f"accuracy          {accuracy:.1%}")
-    total = sum(requests.values())
+        if handles[name]:
+            predictions = np.concatenate(
+                [plane.result(handle).argmax(axis=1) for handle in handles[name]]
+            )
+            accuracy = float(
+                np.mean(predictions == labels[admitted[name]])
+            )
+            print(f"accuracy          {accuracy:.1%}")
+        if rejected[name]:
+            print(
+                f"admission         {rejected[name]} of {requests[name]} "
+                "requests rejected (typed OverloadError)"
+            )
+    total = sum(len(ids) for ids in handles.values())
     print(
-        f"\naggregate         {total} requests in {elapsed*1e3:.1f} ms "
-        f"({total/elapsed:.0f} req/s across the shared pool)"
+        f"\naggregate         {total} admitted requests in "
+        f"{elapsed*1e3:.1f} ms ({total/max(elapsed, 1e-9):.0f} req/s "
+        "across the shared pool)"
     )
+    pool = plane.pool_metrics
+    if pool.respawned_workers or pool.pool_size_samples:
+        sizes = pool.pool_size_samples or [plane.target_workers]
+        print(
+            f"pool              {min(sizes)}..{max(sizes)} workers "
+            f"({pool.respawned_workers} respawned"
+            + (
+                f", {len(plane.autoscaler.decisions)} autoscale decisions"
+                if plane.autoscaler is not None
+                else ""
+            )
+            + ")"
+        )
     return 0
 
 
@@ -272,6 +346,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.deployment:
         return _cmd_serve_multi(args)
+    if args.autoscale is not None:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "--autoscale resizes the shared multi-deployment pool; use it "
+            "with --deployment NAME=NET[:CUT]"
+        )
 
     config = _make_config(args)
     bundle, benchmark = load_benchmark(args.network, config, verbose=True)
@@ -303,6 +384,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         channel=channel,
         quantize_bits=args.quantize_bits,
         kernel_backend=args.kernel_backend,
+        max_pending=args.max_pending,
+        admission_rate_rps=args.admission_rate,
     )
     engine_mode = isinstance(session, ServingEngine)
     images = bundle.test_set.images
@@ -324,20 +407,56 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     stream = [images[i : i + 1] for i in range(requests)]
     start = time.perf_counter()
-    if engine_mode:
+    if engine_mode and (
+        args.max_pending is not None or args.admission_rate is not None
+    ):
+        # Admission-gated serving: submissions can be rejected typed;
+        # keep serving admitted requests and report both populations.
+        from repro.errors import OverloadError
+
+        slo = args.slo_ms / 1e3 if args.slo_ms is not None else None
+        ids: list[int] = []
+        admitted_idx: list[int] = []
+        rejected = 0
+        for i, batch in enumerate(stream):
+            try:
+                ids.append(session.submit(batch, slo_seconds=slo))
+            except OverloadError:
+                rejected += 1
+            else:
+                admitted_idx.append(i)
+        session.drain()
+        predictions = [
+            session.result(request_id).argmax(axis=1) for request_id in ids
+        ]
+        label_slice = labels[admitted_idx]
+    elif engine_mode:
         predictions = session.classify_stream(
             stream,
             slo_seconds=(
                 args.slo_ms / 1e3 if args.slo_ms is not None else None
             ),
         )
+        rejected = 0
+        label_slice = labels[:requests]
     else:
         predictions = session.classify_stream(stream)
+        rejected = 0
+        label_slice = labels[:requests]
     batched_elapsed = time.perf_counter() - start
-    accuracy = float(np.mean(np.concatenate(predictions) == labels[:requests]))
     print()
     print(session.metrics.format())
-    print(f"accuracy          {accuracy:.1%} (clean backbone {bundle.test_accuracy:.1%})")
+    if predictions:
+        accuracy = float(np.mean(np.concatenate(predictions) == label_slice))
+        print(
+            f"accuracy          {accuracy:.1%} "
+            f"(clean backbone {bundle.test_accuracy:.1%})"
+        )
+    if rejected:
+        print(
+            f"admission         {rejected} of {requests} requests rejected "
+            "(typed OverloadError)"
+        )
     if engine_mode:
         session.close()
     if args.compare_sequential:
@@ -528,6 +647,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batch composition: 'mixed' stacks any sessions together "
         "(maximal occupancy), 'isolate' never mixes two sessions in one "
         "batch (cross-user mixing index reads 0)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=None,
+        help="admission control: reject new requests (typed 429-style "
+        "AdmissionError) once this many are already queued per deployment; "
+        "admitted requests are never shed later",
+    )
+    serve.add_argument(
+        "--admission-rate", type=float, default=None, metavar="RPS",
+        help="admission control: per-deployment token-bucket rate in "
+        "requests/second (burst = one second's tokens); submissions above "
+        "the sustained rate are rejected typed instead of queued",
+    )
+    serve.add_argument(
+        "--autoscale", default=None, metavar="MIN:MAX",
+        help="elastic pool: autoscale the shared worker pool between MIN "
+        "and MAX workers (grows on backlog/SLO pressure and measured "
+        "demand, shrinks when idle; multi-deployment serving via "
+        "--deployment only)",
     )
 
     report = sub.add_parser(

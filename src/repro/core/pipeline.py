@@ -306,6 +306,8 @@ class ShredderPipeline:
         quantize_bits: int | None = None,
         kernel_backend: str = "auto",
         rng: np.random.Generator | None = None,
+        max_pending: int | None = None,
+        admission_rate_rps: float | None = None,
     ):
         """Stand up a serving session for this pipeline's split backbone.
 
@@ -349,12 +351,20 @@ class ShredderPipeline:
                 sequential parity intact (see :mod:`repro.edge.executor`).
             rng: Noise-sampling randomness; defaults to a config-derived
                 seed so deployments are reproducible.
+            max_pending / admission_rate_rps: Admission-control knobs
+                (engine only; select the engine when set).  Over capacity
+                the engine's ``submit`` raises a typed
+                :class:`~repro.errors.AdmissionError`.
         """
         from repro.edge import InferenceSession, calibrate
         from repro.serve import BatchedInferenceSession, ServingEngine
 
+        admission_mode = max_pending is not None or admission_rate_rps is not None
         engine_mode = (
-            workers != 1 or batch_timeout is not None or deadline_aware is not None
+            workers != 1
+            or batch_timeout is not None
+            or deadline_aware is not None
+            or admission_mode
         )
         channels = self.bundle.model.input_shape[0]
         mean = np.zeros(channels, dtype=np.float32)
@@ -368,8 +378,9 @@ class ShredderPipeline:
                 )
             if engine_mode:
                 raise ConfigurationError(
-                    "workers / batch_timeout / deadline_aware are serving-"
-                    "engine features; deploy(batched=True) to use them"
+                    "workers / batch_timeout / deadline_aware / max_pending "
+                    "/ admission_rate_rps are serving-engine features; "
+                    "deploy(batched=True) to use them"
                 )
             return InferenceSession(
                 self.bundle.model, self.split.cut, mean, std, noise,
@@ -393,6 +404,8 @@ class ShredderPipeline:
                 deadline_aware=True if deadline_aware is None else deadline_aware,
                 isolate_sessions=isolate_sessions,
                 quantization=quantization, kernel_backend=kernel_backend,
+                max_pending=max_pending,
+                admission_rate_rps=admission_rate_rps,
             )
         return BatchedInferenceSession(
             self.bundle.model, self.split.cut, mean, std, noise,
@@ -410,6 +423,8 @@ class ShredderPipeline:
         kernel_backend: str = "auto",
         fault_injector=None,
         clock=None,
+        max_workers: int | None = None,
+        auto_heal: bool = False,
     ):
         """Stand up one multi-deployment serving control plane.
 
@@ -436,6 +451,17 @@ class ShredderPipeline:
             fault_injector: Optional crash-injection hook (see
                 :class:`repro.serve.ControlPlane`).
             clock: Time source for scheduling/latency accounting.
+            max_workers: Elastic pool ceiling for
+                :meth:`~repro.serve.ControlPlane.scale_to` / healing /
+                the autoscaler (default: fixed at ``workers``).
+            auto_heal: Respawn crashed workers automatically during
+                crash recovery.
+
+        Specs may carry admission-control knobs (``max_pending``,
+        ``admission_rate_rps``, ``admission_burst``, ``shed_unmeetable``)
+        — over capacity, submissions to that deployment raise typed
+        :class:`~repro.errors.AdmissionError` /
+        :class:`~repro.errors.OverloadError`.
 
         Returns:
             The control plane with every deployment registered; route
@@ -452,6 +478,8 @@ class ShredderPipeline:
             kernel_backend=kernel_backend,
             fault_injector=fault_injector,
             clock=clock,
+            max_workers=max_workers,
+            auto_heal=auto_heal,
         )
         try:
             for name, raw in deployments.items():
@@ -504,6 +532,10 @@ class ShredderPipeline:
                     target_slo_seconds=spec.target_slo_seconds,
                     arrival_rate_rps=spec.arrival_rate_rps,
                     service_seconds_per_sample=spec.service_seconds_per_sample,
+                    max_pending=spec.max_pending,
+                    admission_rate_rps=spec.admission_rate_rps,
+                    admission_burst=spec.admission_burst,
+                    shed_unmeetable=spec.shed_unmeetable,
                 )
         except BaseException:
             # Never leak the worker pool when a late registration fails.

@@ -85,3 +85,40 @@ class WorkerCrashError(ReproError, RuntimeError):
 class ServingFaultError(ReproError, RuntimeError):
     """The serving control plane cannot recover from worker failures
     (e.g. every worker has crashed while batches were still in flight)."""
+
+
+class OverloadError(ReproError, RuntimeError):
+    """The serving plane explicitly rejected work under overload.
+
+    This is the 429-style contract of the elastic control plane: when a
+    deployment cannot absorb more traffic, submission fails with a typed
+    error *at the front door* instead of silently collapsing every
+    tenant's tail latency.  Raised directly for deadline-based load
+    shedding (the request's SLO is already unmeetable given the current
+    backlog and measured service time), and via the
+    :class:`AdmissionError` subclass for rate/queue-capacity rejections.
+    A request that was admitted is never shed later — admitted means
+    served exactly once, in order, bit-identically.
+    """
+
+
+class AdmissionError(OverloadError):
+    """A request was refused at the admission gate.
+
+    Raised by the per-deployment :class:`~repro.serve.admission.AdmissionController`
+    when the deployment's token bucket is out of tokens (sustained rate
+    above ``admission_rate_rps``) or its pending-queue cap
+    (``max_pending``) is reached.  Subclasses :class:`OverloadError`, so
+    ``except OverloadError`` handles every 429-style rejection.
+    """
+
+
+class DeploymentDrainError(ReproError, RuntimeError):
+    """A deployment drain barrier could not complete.
+
+    Hot-swap, unregister, and pool-mutation operations first drain work
+    to a barrier (queued requests dispatched and every in-flight
+    micro-batch collected).  When that barrier cannot be reached — e.g.
+    a worker wedges past the drain timeout — this error surfaces instead
+    of hanging the control plane.
+    """

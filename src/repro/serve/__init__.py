@@ -35,6 +35,21 @@ in two steps:
   :class:`~repro.serve.engine.ServingEngine` is now the single-deployment
   facade over that plane.
 
+* **PR 6** made the control plane **elastic**: crashed workers heal back
+  (pre-warmed respawns, :meth:`~repro.serve.controlplane.ControlPlane.heal`
+  / ``auto_heal``), deployments hot-swap or unregister under live
+  traffic behind a drain barrier
+  (:meth:`~repro.serve.controlplane.ControlPlane.swap` /
+  :meth:`~repro.serve.controlplane.ControlPlane.unregister`), an
+  :class:`~repro.serve.controlplane.Autoscaler` resizes the pool from
+  the plane's own metrics signals, and per-deployment
+  :class:`~repro.serve.admission.AdmissionController`\\ s (token bucket +
+  queue cap + deadline shedding) reject overload with typed
+  :class:`~repro.errors.AdmissionError` /
+  :class:`~repro.errors.OverloadError` — a 429-style front door; once a
+  request is admitted it is served exactly once, in order,
+  bit-identically.
+
 Serving is bit-for-bit equivalent to the retained sequential reference
 path (:class:`repro.edge.InferenceSession`) on the same request stream —
 for every batching window *and* every worker count, per deployment: all
@@ -45,8 +60,12 @@ via :meth:`repro.core.ShredderPipeline.deploy`, or stand up several
 tenants at once with :meth:`repro.core.ShredderPipeline.deploy_many`.
 """
 
+from repro.errors import AdmissionError, DeploymentDrainError, OverloadError
+from repro.serve.admission import AdmissionController, TokenBucket
 from repro.serve.aio import AsyncServingClient
 from repro.serve.controlplane import (
+    Autoscaler,
+    AutoscaleDecision,
     ControlPlane,
     Deployment,
     DeploymentRegistry,
@@ -69,20 +88,27 @@ from repro.serve.session import BatchedInferenceSession
 
 __all__ = [
     "AdaptiveBatcher",
+    "AdmissionController",
+    "AdmissionError",
     "AsyncServingClient",
+    "AutoscaleDecision",
+    "Autoscaler",
     "BatchedInferenceSession",
     "ControlPlane",
     "Deployment",
+    "DeploymentDrainError",
     "DeploymentRegistry",
     "DeploymentSpec",
     "InferenceRequest",
     "MicroBatcher",
+    "OverloadError",
     "RequestHandle",
     "RequestQueue",
     "Router",
     "ScheduleResult",
     "ServingEngine",
     "ServingMetrics",
+    "TokenBucket",
     "TimedRequest",
     "VirtualClock",
     "percentile",

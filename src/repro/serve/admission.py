@@ -1,0 +1,204 @@
+"""Admission control for the elastic serving control plane.
+
+Under overload a serving system has exactly three honest options: queue
+(and blow every tenant's tail), shed implicitly (silent drops, broken
+clients), or reject explicitly at the front door.  This module implements
+the third — the 429-style contract of the control plane
+(:mod:`repro.serve.controlplane`):
+
+* :class:`TokenBucket` — the classic rate limiter: a bucket of ``burst``
+  tokens refilled continuously at ``rate_rps`` tokens per second.  A
+  request is admitted iff a token is available, so sustained admission
+  can never exceed the configured rate and short bursts up to the bucket
+  capacity are absorbed without rejection.  The bucket is a pure function
+  of the caller-supplied clock (``now``), so the identical code path runs
+  against the wall clock in the live plane and against a deterministic
+  virtual clock in the property-based test suite
+  (``tests/serve/test_admission.py`` pins the never-admits-above-rate and
+  monotone-refill invariants with hypothesis).
+
+* :class:`AdmissionController` — one deployment's admission gate,
+  combining the token bucket with a pending-queue cap (``max_pending``)
+  and optional deadline-based shedding (reject a request whose SLO is
+  already unmeetable given the current backlog and the measured batch
+  service time — the feedforward term the control plane computes from its
+  batcher's service EWMA and the pool size).  Rejections surface as typed
+  :class:`~repro.errors.AdmissionError` (rate / queue capacity) or
+  :class:`~repro.errors.OverloadError` (deadline shed); a request that
+  passes the gate is *admitted* and will be served exactly once, in
+  order, bit-identically — the plane never sheds after admission.
+
+Checks are ordered so that a request rejected by the queue cap or shed on
+its deadline does **not** consume a token: tokens meter admitted work,
+not offered work.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import AdmissionError, ConfigurationError, OverloadError
+
+
+class TokenBucket:
+    """Continuous-refill token bucket.
+
+    Args:
+        rate_rps: Sustained admission rate (tokens added per second).
+        burst: Bucket capacity (maximum tokens; the largest burst admitted
+            without rejection).  Defaults to one second's worth of tokens,
+            but never less than one token.
+        clock: Default time source for calls that do not pass ``now``;
+            defaults to ``time.monotonic``.  Passing explicit ``now``
+            values (as the control plane and the test suite do) makes the
+            bucket fully deterministic.
+
+    The bucket starts full.  Time moving backwards is ignored (refill is
+    monotone): a stale ``now`` neither refunds nor drains tokens.
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if rate_rps <= 0:
+            raise ConfigurationError(
+                f"admission rate must be positive, got {rate_rps}"
+            )
+        if burst is not None and burst < 1:
+            raise ConfigurationError(
+                f"admission burst must be >= 1 token, got {burst}"
+            )
+        self.rate_rps = float(rate_rps)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate_rps)
+        self._clock = clock or time.monotonic
+        self._tokens = self.burst
+        self._updated: float | None = None
+
+    def _refill(self, now: float) -> None:
+        if self._updated is None:
+            self._updated = now
+            return
+        if now <= self._updated:  # monotone: never drain on clock skew
+            return
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._updated) * self.rate_rps
+        )
+        self._updated = now
+
+    def available(self, now: float | None = None) -> float:
+        """Tokens available at ``now`` (refills first)."""
+        self._refill(self._clock() if now is None else now)
+        return self._tokens
+
+    def try_acquire(self, now: float | None = None, tokens: float = 1.0) -> bool:
+        """Admit ``tokens`` worth of work if the bucket allows it.
+
+        Returns ``True`` (and debits the bucket) when at least ``tokens``
+        are available; ``False`` leaves the bucket untouched.
+        """
+        if tokens <= 0:
+            raise ConfigurationError(f"must acquire > 0 tokens, got {tokens}")
+        self._refill(self._clock() if now is None else now)
+        if self._tokens + 1e-12 < tokens:  # float-dust tolerance on refill math
+            return False
+        self._tokens -= tokens
+        return True
+
+
+class AdmissionController:
+    """One deployment's admission gate (queue cap + rate + deadline shed).
+
+    Args:
+        max_pending: Reject (:class:`~repro.errors.AdmissionError`) when
+            this many requests are already queued for the deployment.
+            ``None`` disables the cap.
+        rate_rps: Sustained admission rate enforced by a
+            :class:`TokenBucket`; ``None`` disables rate limiting.
+        burst: Token-bucket capacity (see :class:`TokenBucket`).
+        shed_unmeetable: When ``True``, a request carrying an SLO is shed
+            (:class:`~repro.errors.OverloadError`) if the plane's
+            predicted completion delay already exceeds it — rejecting
+            doomed work at the door keeps the pool for requests that can
+            still meet their deadlines.
+        clock: Default time source for the bucket (overridden by explicit
+            ``now`` arguments).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: int | None = None,
+        rate_rps: float | None = None,
+        burst: float | None = None,
+        shed_unmeetable: bool = False,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        if rate_rps is None and burst is not None:
+            raise ConfigurationError(
+                "admission burst is a token-bucket knob; set rate_rps too"
+            )
+        self.max_pending = max_pending
+        self.shed_unmeetable = bool(shed_unmeetable)
+        self.bucket = (
+            TokenBucket(rate_rps, burst, clock=clock)
+            if rate_rps is not None
+            else None
+        )
+
+    def check(
+        self,
+        *,
+        now: float,
+        pending: int,
+        predicted_delay_seconds: float | None = None,
+        slo_seconds: float | None = None,
+    ) -> None:
+        """Admit one request or raise the matching typed rejection.
+
+        Args:
+            now: Current time on the plane's clock (drives bucket refill).
+            pending: Requests currently queued for the deployment.
+            predicted_delay_seconds: The plane's estimate of this
+                request's completion delay (window close wait + backlog
+                batches over the live pool at the measured service time);
+                ``None`` disables the deadline check for this call.
+            slo_seconds: The request's latency SLO, if it carries one.
+
+        Raises:
+            AdmissionError: Queue cap reached, or the token bucket is out
+                of tokens.
+            OverloadError: ``shed_unmeetable`` is set and the predicted
+                delay already exceeds the request's SLO.
+        """
+        if self.max_pending is not None and pending >= self.max_pending:
+            raise AdmissionError(
+                f"admission refused: {pending} requests already pending "
+                f"(max_pending={self.max_pending}); retry after backlog drains"
+            )
+        if (
+            self.shed_unmeetable
+            and slo_seconds is not None
+            and predicted_delay_seconds is not None
+            and predicted_delay_seconds > slo_seconds
+        ):
+            raise OverloadError(
+                f"request shed: predicted completion delay "
+                f"{predicted_delay_seconds * 1e3:.1f} ms already exceeds the "
+                f"{slo_seconds * 1e3:.1f} ms SLO; serving it would miss its "
+                "deadline and delay admissible work"
+            )
+        if self.bucket is not None and not self.bucket.try_acquire(now):
+            raise AdmissionError(
+                f"admission refused: deployment rate limit "
+                f"({self.bucket.rate_rps:g} req/s, burst "
+                f"{self.bucket.burst:g}) exhausted"
+            )

@@ -30,6 +30,23 @@ The facade must be the plane's first (and only) driver: the dispatcher
 thread becomes the owner of each deployment's noise stream on first
 dispatch.  Wrap a freshly built plane/engine, or ``release()`` its
 streams first.
+
+Two elastic-lifecycle bridges ride on the same dispatcher thread:
+
+* **typed overload rejections** — when a deployment's admission gate
+  refuses a submission, only *that* caller's ``await`` raises the
+  :class:`~repro.errors.AdmissionError` /
+  :class:`~repro.errors.OverloadError` (429-style); every other caller
+  is untouched;
+* **control ops** — :meth:`AsyncServingClient.control` runs an arbitrary
+  plane operation (:meth:`~repro.serve.controlplane.ControlPlane.swap`,
+  :meth:`~repro.serve.controlplane.ControlPlane.unregister`,
+  :meth:`~repro.serve.controlplane.ControlPlane.scale_to`, ...) on the
+  dispatcher thread — the only thread allowed to touch the plane — and
+  returns its result to the awaiting caller.  After each op the client
+  sweeps its outstanding requests: results delivered during a drain
+  barrier resolve immediately, and requests whose deployment was
+  unregistered fail with a typed error instead of hanging.
 """
 
 from __future__ import annotations
@@ -39,7 +56,7 @@ import threading
 import time
 from dataclasses import dataclass
 from queue import Empty, SimpleQueue
-from typing import Hashable
+from typing import Callable, Hashable
 
 import numpy as np
 
@@ -55,6 +72,15 @@ class _Submission:
     deployment: str | None
     slo_seconds: float | None
     session_id: Hashable | None
+    future: asyncio.Future
+    loop: asyncio.AbstractEventLoop
+
+
+@dataclass
+class _ControlOp:
+    """One lifecycle operation bound for the dispatcher thread."""
+
+    fn: Callable[[ControlPlane], object]
     future: asyncio.Future
     loop: asyncio.AbstractEventLoop
 
@@ -101,6 +127,7 @@ class AsyncServingClient:
         self.max_pending = max_pending
         self._poll_interval = poll_interval
         self._inbox: SimpleQueue[_Submission] = SimpleQueue()
+        self._controls: SimpleQueue[_ControlOp] = SimpleQueue()
         self._stop = threading.Event()
         self._closed = False
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -179,6 +206,42 @@ class AsyncServingClient:
         logits = await self.submit(images, **kwargs)
         return logits.argmax(axis=1)
 
+    async def control(self, fn: Callable[[ControlPlane], object]) -> object:
+        """Run one lifecycle operation on the dispatcher thread.
+
+        ``fn(plane)`` executes between serving turns on the only thread
+        allowed to touch the plane, so drain barriers, swaps, pool
+        resizes, and metric reads never race the dispatcher.  Returns
+        ``fn``'s result (or raises its exception) to this caller only.
+
+        Control ops bypass the submission backpressure budget — an
+        operator must be able to shed/resize even when the plane is
+        saturated.
+        """
+        if self._closed:
+            raise ConfigurationError("async serving client is closed")
+        self._bind_loop()
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._controls.put(_ControlOp(fn=fn, future=future, loop=loop))
+        return await future
+
+    async def swap(self, name: str, **kwargs) -> list[RequestHandle]:
+        """Hot-swap a deployment under live traffic (see
+        :meth:`~repro.serve.controlplane.ControlPlane.swap`)."""
+        return await self.control(lambda plane: plane.swap(name, **kwargs))
+
+    async def unregister(self, name: str, **kwargs) -> dict[int, np.ndarray]:
+        """Remove a deployment under live traffic (see
+        :meth:`~repro.serve.controlplane.ControlPlane.unregister`).
+
+        Outstanding ``await``\\ s on the removed deployment resolve if
+        their result was delivered by the drain barrier and fail with a
+        typed :class:`~repro.errors.ConfigurationError` otherwise —
+        never a hang.
+        """
+        return await self.control(lambda plane: plane.unregister(name, **kwargs))
+
     # ------------------------------------------------------------------
     # Dispatcher thread
     # ------------------------------------------------------------------
@@ -186,6 +249,7 @@ class AsyncServingClient:
         pending: dict[RequestHandle, _Submission] = {}
         while True:
             progressed = self._admit(pending)
+            progressed = self._apply_controls(pending) or progressed
             # The whole serving turn sits under one guard: an exception
             # anywhere (worker failure, fault exhaustion, a handle
             # collected behind our back) must fail the waiting callers,
@@ -215,6 +279,7 @@ class AsyncServingClient:
                 self._stop.is_set()
                 and not pending
                 and self._inbox.empty()
+                and self._controls.empty()
                 and not self._plane.pending
                 and not self._plane.in_flight
             ):
@@ -242,6 +307,60 @@ class AsyncServingClient:
                 continue
             pending[handle] = submission
             progressed = True
+
+    def _apply_controls(
+        self, pending: dict[RequestHandle, _Submission]
+    ) -> bool:
+        """Run queued lifecycle ops on the plane (dispatcher thread)."""
+        progressed = False
+        while True:
+            try:
+                op = self._controls.get_nowait()
+            except Empty:
+                return progressed
+            progressed = True
+            outcome = None
+            try:
+                outcome = op.fn(self._plane)
+            except BaseException as exc:  # op failed: fail only its caller
+                self._reject(op, exc)
+            else:
+                self._resolve(op, outcome)
+            self._sweep(
+                pending, outcome if isinstance(outcome, dict) else None
+            )
+
+    def _sweep(
+        self,
+        pending: dict[RequestHandle, _Submission],
+        leftovers: dict | None = None,
+    ) -> None:
+        """Settle outstanding callers a lifecycle op just affected: drain
+        barriers deliver results early; unregister removes the tenant, in
+        which case drained results survive in the op's ``leftovers`` dict
+        and still resolve their callers — anything else fails typed, so
+        no ``await`` ever hangs on a removed deployment."""
+        for handle, submission in list(pending.items()):
+            if handle.deployment not in self._plane.registry:
+                del pending[handle]
+                result = (
+                    None if leftovers is None
+                    else leftovers.get(handle.request_id)
+                )
+                if result is not None:
+                    self._resolve(submission, result)
+                else:
+                    self._reject(
+                        submission,
+                        ConfigurationError(
+                            f"deployment {handle.deployment!r} was "
+                            f"unregistered while request "
+                            f"{handle.request_id} was outstanding"
+                        ),
+                    )
+            elif self._plane.has_result(handle):
+                del pending[handle]
+                self._resolve(submission, self._plane.result_for(handle))
 
     @staticmethod
     def _resolve(submission: _Submission, logits: np.ndarray) -> None:

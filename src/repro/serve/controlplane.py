@@ -43,10 +43,53 @@ thin facade over this class (one deployment named ``"default"``), and the
 asyncio front-end (:mod:`repro.serve.aio`) drives either from an event
 loop.  Parity, ordering, and noise-draw accounting are pinned per
 deployment by ``tests/serve/test_controlplane.py``.
+
+Lifecycle (the elastic layer)
+-----------------------------
+
+The plane's pool and registry are mutable at runtime, under a small set
+of invariant-preserving operations (all dispatcher-thread-only):
+
+* **Healing** — :meth:`ControlPlane.heal` (or ``auto_heal=True``, which
+  heals inside crash recovery) re-spawns crashed worker contexts up to
+  ``target_workers``, each pre-warmed with every registered deployment's
+  :class:`~repro.edge.device.CloudServer` executor cache and a fresh
+  channel clone.  Capacity comes back, and bit parity is untouched:
+  noise was drawn on the dispatcher before dispatch, so which (old or
+  respawned) worker executes the pure cloud half cannot change a bit.
+* **Scaling** — :meth:`ControlPlane.scale_to` grows/shrinks the pool
+  between 1 and ``max_workers`` contexts; :meth:`enable_autoscale`
+  installs an :class:`Autoscaler` that does it automatically from the
+  metrics signals the plane already emits (arrival rates, backlog,
+  service-time EWMA, SLO pressure) with the planner's
+  :func:`~repro.edge.planner.predict_window_latency` wire term as the
+  cold-start feedforward estimate.  Shrinking only retires *parked*
+  contexts — an executing batch always finishes first.
+* **Hot swap / unregister** — :meth:`swap` and :meth:`unregister` first
+  drain the deployment's queue to a barrier
+  (:meth:`drain_deployment` + a full in-flight quiesce, raising
+  :class:`~repro.errors.DeploymentDrainError` on timeout) and then
+  replace the deployment's model/cut/noise (re-equipping every worker)
+  or remove the tenant entirely.  Other deployments keep serving across
+  the barrier.  Parity across a swap point means: requests admitted
+  *before* the swap are bit-identical to a sequential reference over the
+  old ``(model, cut, noise, stream)``, requests admitted *after* to a
+  fresh reference over the new one — the drain barrier guarantees no
+  request straddles the two regimes.
+* **Admission control** — deployments registered with ``max_pending`` /
+  ``admission_rate_rps`` / ``shed_unmeetable`` gate every submission
+  through an :class:`~repro.serve.admission.AdmissionController`; over
+  capacity the submit call raises a typed
+  :class:`~repro.errors.AdmissionError` or
+  :class:`~repro.errors.OverloadError` (429-style) instead of queueing
+  doomed work.  All rejection happens *at the front door*: once a
+  request is admitted it is served exactly once, in order,
+  bit-identically — overload never drops admitted work.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -61,7 +104,7 @@ from repro.core.sampler import NoiseCollection, NoiseStream
 from repro.edge.channel import Channel
 from repro.edge.costs import cut_cost
 from repro.edge.device import CloudServer, EdgeDevice, SessionReport
-from repro.edge.planner import plan_batch_window
+from repro.edge.planner import plan_batch_window, predict_window_latency
 from repro.edge.protocol import (
     BatchPredictionMessage,
     decode_activation_batch,
@@ -70,11 +113,23 @@ from repro.edge.protocol import (
     encode_prediction_batch,
 )
 from repro.edge.quantization import QuantizationParams
-from repro.errors import ConfigurationError, ServingFaultError, WorkerCrashError
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    DeploymentDrainError,
+    OverloadError,
+    ServingFaultError,
+    WorkerCrashError,
+)
 from repro.models.base import SplittableModel
+from repro.serve.admission import AdmissionController
 from repro.serve.metrics import ServingMetrics
 from repro.serve.queue import InferenceRequest, RequestQueue
 from repro.serve.scheduler import AdaptiveBatcher
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``
+#: (``swap(noise=None)`` means *remove* the noise collection).
+_UNSET = object()
 
 
 class RequestHandle(NamedTuple):
@@ -109,6 +164,10 @@ class DeploymentSpec:
         target_slo_seconds / arrival_rate_rps / service_seconds_per_sample:
             Planner inputs used when ``batch_window`` is ``None``.
         rng: Noise-sampling randomness (default: a config-derived seed).
+        max_pending / admission_rate_rps / admission_burst /
+        shed_unmeetable: Admission-control knobs (see
+            :class:`~repro.serve.admission.AdmissionController`); all
+            disabled by default.
     """
 
     noise: NoiseCollection | None = None
@@ -125,6 +184,10 @@ class DeploymentSpec:
     arrival_rate_rps: float | None = None
     service_seconds_per_sample: float = 0.0
     rng: np.random.Generator | None = None
+    max_pending: int | None = None
+    admission_rate_rps: float | None = None
+    admission_burst: float | None = None
+    shed_unmeetable: bool = False
 
 
 @dataclass
@@ -148,6 +211,10 @@ class Deployment:
     kernel_backend: str
     edge_kilomacs: float
     activation_shapes: list[tuple[int, ...]]
+    channel_prototype: Channel
+    admission: AdmissionController | None = None
+    target_slo_seconds: float | None = None
+    window_wire_seconds: float = 0.0
     channels: list[Channel] = field(default_factory=list)
     computed: dict[int, np.ndarray] = field(default_factory=dict)
     deliverable: dict[int, np.ndarray] = field(default_factory=dict)
@@ -184,6 +251,11 @@ class DeploymentRegistry:
                 f"{sorted(self._deployments) or 'none'})"
             ) from None
 
+    def remove(self, name: str) -> Deployment:
+        """Drop a deployment from the registry (it must exist)."""
+        self.get(name)
+        return self._deployments.pop(name)
+
     def names(self) -> list[str]:
         return list(self._deployments)
 
@@ -204,11 +276,22 @@ class Router:
     request names its tenant), and everything order-sensitive happens in
     the per-deployment FIFO queue it forwards to — which is what keeps
     noise draws in per-deployment arrival order no matter how tenants
-    interleave.
+    interleave.  The one policy it applies is the admission gate: the
+    plane's hook runs *before* the request enters the queue, so a
+    rejected request (:class:`~repro.errors.AdmissionError` /
+    :class:`~repro.errors.OverloadError`) never consumes a request id,
+    never draws noise, and never blocks a session.
     """
 
-    def __init__(self, registry: DeploymentRegistry) -> None:
+    def __init__(
+        self,
+        registry: DeploymentRegistry,
+        *,
+        admission: Callable[[Deployment, np.ndarray, float | None], None]
+        | None = None,
+    ) -> None:
         self._registry = registry
+        self._admission = admission
 
     def resolve(self, deployment: str | None) -> Deployment:
         """Map an optional deployment name to a deployment.
@@ -233,8 +316,15 @@ class Router:
         slo_seconds: float | None = None,
         session_id: Hashable | None = None,
     ) -> RequestHandle:
-        """Enqueue one request on its deployment's queue."""
+        """Enqueue one request on its deployment's queue.
+
+        Raises:
+            AdmissionError / OverloadError: The deployment's admission
+                gate refused the request (it was never enqueued).
+        """
         target = self.resolve(deployment)
+        if self._admission is not None:
+            self._admission(target, images, slo_seconds)
         request_id = target.queue.submit(
             images, slo_seconds=slo_seconds, session_id=session_id
         )
@@ -298,7 +388,9 @@ class ControlPlane:
     releases results under each deployment's per-session ordering gate.
 
     Args:
-        workers: Cloud worker threads shared by every deployment.
+        workers: Cloud worker threads shared by every deployment (the
+            initial pool size, and the healing target until
+            :meth:`scale_to` moves it).
         channel: Link prototype; each (worker, deployment) pair serves
             over its own clone.  Default: fast clean link.
         kernel_backend: Default executor backend for deployments that do
@@ -310,6 +402,13 @@ class ControlPlane:
             survivors.  ``None`` disables injection.
         clock: Time source for queueing/deadline decisions and latency
             accounting; defaults to the wall clock.
+        max_workers: Hard ceiling on pool size for :meth:`scale_to` /
+            :meth:`heal` / the autoscaler (the executor is sized for it
+            up front; idle capacity costs nothing).  Default: ``workers``
+            — the pool is fixed-size unless a larger ceiling is granted.
+        auto_heal: Re-spawn crashed workers automatically during crash
+            recovery, restoring the pool to ``target_workers`` (capacity
+            healing, not just exactly-once requeue).
     """
 
     def __init__(
@@ -320,27 +419,42 @@ class ControlPlane:
         kernel_backend: str = "auto",
         fault_injector: Callable[[int, _Task], bool] | None = None,
         clock: Callable[[], float] | None = None,
+        max_workers: int | None = None,
+        auto_heal: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"need >= 1 cloud worker, got {workers}")
+        if max_workers is not None and max_workers < workers:
+            raise ConfigurationError(
+                f"max_workers ({max_workers}) must be >= workers ({workers})"
+            )
         self.workers = workers
+        self.max_workers = max_workers if max_workers is not None else workers
+        self.target_workers = workers
+        self.auto_heal = auto_heal
         self.kernel_backend = kernel_backend
         self.registry = DeploymentRegistry()
-        self.router = Router(self.registry)
+        self.router = Router(self.registry, admission=self._admit_request)
         self._channel_prototype = channel or Channel()
         self._fault_injector = fault_injector
         self._clock = clock or time.perf_counter
         self._contexts: SimpleQueue[_WorkerContext] = SimpleQueue()
-        self._alive = workers
+        self._all_contexts: list[_WorkerContext] = []
+        self._next_worker_id = 0
+        self._alive = 0
         self._alive_guard = Lock()
-        for worker_id in range(workers):
-            self._contexts.put(_WorkerContext(worker_id, {}, {}))
+        #: Pool-level metrics (healing / scaling events); per-deployment
+        #: admission counters live on each deployment's own metrics.
+        self.pool_metrics = ServingMetrics()
+        self._autoscaler: Autoscaler | None = None
         self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="shredder-cloud"
+            max_workers=self.max_workers, thread_name_prefix="shredder-cloud"
         )
         self._flights: deque[_Flight] = deque()
         self._next_seq = 0
         self._closed = False
+        for _ in range(workers):
+            self._spawn()
 
     # ------------------------------------------------------------------
     # Registration
@@ -366,6 +480,10 @@ class ControlPlane:
         target_slo_seconds: float | None = None,
         arrival_rate_rps: float | None = None,
         service_seconds_per_sample: float = 0.0,
+        max_pending: int | None = None,
+        admission_rate_rps: float | None = None,
+        admission_burst: float | None = None,
+        shed_unmeetable: bool = False,
     ) -> Deployment:
         """Register one named deployment and pre-warm every worker for it.
 
@@ -373,6 +491,13 @@ class ControlPlane:
         window meeting ``target_slo_seconds`` at ``arrival_rate_rps``
         (:func:`repro.edge.planner.plan_batch_window`), so each deployment
         can run its own planner-chosen window.
+
+        ``max_pending`` / ``admission_rate_rps`` / ``admission_burst`` /
+        ``shed_unmeetable`` install a per-deployment admission gate
+        (:class:`~repro.serve.admission.AdmissionController`): over
+        capacity, :meth:`submit` raises a typed
+        :class:`~repro.errors.AdmissionError` /
+        :class:`~repro.errors.OverloadError` instead of enqueueing.
 
         Registration must happen while no micro-batch is in flight (it
         re-equips every live worker context).
@@ -431,6 +556,30 @@ class ControlPlane:
             device.warm((rows, *model.input_shape))
             for rows in range(1, batch_window + 1)
         ]
+        admission = None
+        if (
+            max_pending is not None
+            or admission_rate_rps is not None
+            or shed_unmeetable
+        ):
+            admission = AdmissionController(
+                max_pending=max_pending,
+                rate_rps=admission_rate_rps,
+                burst=admission_burst,
+                shed_unmeetable=shed_unmeetable,
+                clock=self._clock,
+            )
+        # One full window's wire time on this deployment's link — the
+        # feedforward term admission shedding and the autoscaler use
+        # before the service-time EWMA has warmed up.
+        window_wire_seconds = predict_window_latency(
+            model,
+            cut,
+            batch_window,
+            arrival_rate_rps=arrival_rate_rps or 1.0,
+            service_seconds_per_sample=service_seconds_per_sample,
+            channel=prototype,
+        )[2]
         deployment = Deployment(
             name=name,
             model=model,
@@ -444,6 +593,10 @@ class ControlPlane:
             kernel_backend=backend,
             edge_kilomacs=cut_cost(model, cut).kilomacs,
             activation_shapes=activation_shapes,
+            channel_prototype=prototype,
+            admission=admission,
+            target_slo_seconds=target_slo_seconds,
+            window_wire_seconds=window_wire_seconds,
         )
         # Equip every live worker context with this deployment's executor
         # and channel clone, pre-warmed.  Contexts are all parked in the
@@ -455,13 +608,7 @@ class ControlPlane:
         contexts = [self._checkout_context() for _ in range(self.alive_workers)]
         try:
             for context in contexts:
-                server = CloudServer(remote, backend)
-                for shape in activation_shapes:
-                    server.warm(shape)
-                context.servers[name] = server
-                worker_channel = prototype.clone()
-                context.channels[name] = worker_channel
-                deployment.channels.append(worker_channel)
+                self._equip(context, deployment)
             self.registry.add(deployment)
         except BaseException:
             for context in contexts:
@@ -472,6 +619,30 @@ class ControlPlane:
             for context in contexts:
                 self._contexts.put(context)
         return deployment
+
+    def _equip(self, context: _WorkerContext, deployment: Deployment) -> None:
+        """Give one worker context a pre-warmed executor + channel clone
+        for ``deployment`` (registration, healing, and pool growth all
+        funnel through here so every context is interchangeable)."""
+        server = CloudServer(deployment.remote, deployment.kernel_backend)
+        for shape in deployment.activation_shapes:
+            server.warm(shape)
+        context.servers[deployment.name] = server
+        worker_channel = deployment.channel_prototype.clone()
+        context.channels[deployment.name] = worker_channel
+        deployment.channels.append(worker_channel)
+
+    def _spawn(self) -> _WorkerContext:
+        """Create, equip, and park one fresh worker context."""
+        context = _WorkerContext(self._next_worker_id, {}, {})
+        self._next_worker_id += 1
+        for deployment in self.registry:
+            self._equip(context, deployment)
+        self._all_contexts.append(context)
+        with self._alive_guard:
+            self._alive += 1
+        self._contexts.put(context)
+        return context
 
     def _checkout_context(self) -> _WorkerContext:
         try:
@@ -493,13 +664,71 @@ class ControlPlane:
         slo_seconds: float | None = None,
         session_id: Hashable | None = None,
     ) -> RequestHandle:
-        """Enqueue one request; returns the handle to collect it with."""
+        """Enqueue one request; returns the handle to collect it with.
+
+        Raises:
+            AdmissionError: The deployment's token bucket or
+                ``max_pending`` cap refused the request.
+            OverloadError: The request's SLO is already unmeetable and
+                the deployment sheds unmeetable work.
+        """
         return self.router.route(
             images,
             deployment=deployment,
             slo_seconds=slo_seconds,
             session_id=session_id,
         )
+
+    def _admit_request(
+        self,
+        deployment: Deployment,
+        images: np.ndarray,
+        slo_seconds: float | None,
+    ) -> None:
+        """The router's admission hook: gate one submission, count the
+        rejection on the deployment's metrics, re-raise typed."""
+        admission = deployment.admission
+        if admission is None:
+            return
+        now = self._clock()
+        predicted = None
+        if admission.shed_unmeetable and slo_seconds is not None:
+            predicted = self._predicted_delay(deployment, now)
+        try:
+            admission.check(
+                now=now,
+                pending=len(deployment.queue),
+                predicted_delay_seconds=predicted,
+                slo_seconds=slo_seconds,
+            )
+        except AdmissionError:
+            deployment.metrics.rejected_requests += 1
+            raise
+        except OverloadError:
+            deployment.metrics.shed_requests += 1
+            raise
+
+    def _predicted_delay(self, deployment: Deployment, now: float) -> float:
+        """Completion-delay estimate for a request admitted right now.
+
+        Window-close wait plus the backlog's batch count spread over the
+        live pool, each batch costing the measured service EWMA — or,
+        before the EWMA warms up, the planner's one-window wire time
+        (:func:`~repro.edge.planner.predict_window_latency` feedforward).
+        """
+        batcher = deployment.batcher
+        close = batcher.close_time()
+        queue_wait = (
+            max(0.0, close - now)
+            if close is not None
+            else batcher.batch_timeout
+        )
+        backlog_batches = math.ceil(
+            (len(deployment.queue) + 1) / max(1, deployment.batch_window)
+        )
+        per_batch = max(batcher.service_estimate, deployment.window_wire_seconds)
+        rounds = math.ceil(backlog_batches / max(1, self.alive_workers))
+        return queue_wait + per_batch * rounds
 
     @property
     def pending(self) -> int:
@@ -522,6 +751,11 @@ class ControlPlane:
         deployment, collect finished batches, and return the handles that
         became deliverable (per-session submission order within each
         deployment's sessions)."""
+        if not self._closed:
+            if self._autoscaler is not None:
+                self._autoscaler.step(self._clock())
+            if self.alive_workers > self.target_workers:
+                self._try_shrink()  # deferred shrink: contexts were busy
         self._dispatch_ready(flush=flush)
         return self._collect(block=False)
 
@@ -567,6 +801,307 @@ class ControlPlane:
     def result(self, handle: RequestHandle) -> np.ndarray:
         """Alias of :meth:`result_for` (see :meth:`pump`)."""
         return self.result_for(handle)
+
+    def has_result(self, handle: RequestHandle) -> bool:
+        """Whether ``handle`` has a deliverable (uncollected) result.
+
+        ``False`` for unknown handles and unregistered deployments — safe
+        to poll across :meth:`unregister`.
+        """
+        if handle.deployment not in self.registry:
+            return False
+        deployment = self.registry.get(handle.deployment)
+        return handle.request_id in deployment.deliverable
+
+    # ------------------------------------------------------------------
+    # Elastic lifecycle (dispatcher thread only)
+    # ------------------------------------------------------------------
+    def heal(self, *, to: int | None = None) -> int:
+        """Re-spawn crashed workers until the pool is back at target.
+
+        Each respawned context is pre-warmed for every registered
+        deployment (executor caches via :meth:`CloudServer.warm`, its own
+        channel clone), so healed capacity serves without cold-start
+        jitter.  Bit parity is untouched: noise draws happened on the
+        dispatcher before dispatch, so the cloud half is pure.
+
+        Args:
+            to: Pool size to restore (default ``target_workers``); capped
+                at ``max_workers``.
+
+        Returns:
+            Number of workers spawned.
+        """
+        if self._closed:
+            raise ConfigurationError("serving control plane is closed")
+        target = min(
+            self.target_workers if to is None else to, self.max_workers
+        )
+        if to is not None:
+            # An explicit restore target becomes the new healing target —
+            # otherwise the deferred-shrink pass would undo it next pump.
+            self.target_workers = max(1, target)
+        spawned = 0
+        while self.alive_workers < target:
+            self._spawn()
+            spawned += 1
+            self.pool_metrics.respawned_workers += 1
+        if spawned:
+            self.pool_metrics.pool_size_samples.append(self.alive_workers)
+        return spawned
+
+    def scale_to(self, n: int) -> int:
+        """Grow or shrink the pool to ``n`` live workers.
+
+        Growth spawns pre-warmed contexts immediately.  Shrinking only
+        retires *parked* contexts — a context executing a micro-batch
+        finishes it first and is retired on a later pump turn (the pool
+        never abandons admitted work).
+
+        Returns:
+            The live worker count after this call (may still exceed ``n``
+            when a shrink is deferred behind in-flight batches).
+        """
+        if self._closed:
+            raise ConfigurationError("serving control plane is closed")
+        if not 1 <= n <= self.max_workers:
+            raise ConfigurationError(
+                f"pool size must be in [1, {self.max_workers}], got {n}"
+            )
+        self.target_workers = n
+        while self.alive_workers < n:
+            self._spawn()
+        self._try_shrink()
+        self.pool_metrics.pool_size_samples.append(self.alive_workers)
+        return self.alive_workers
+
+    def _try_shrink(self) -> None:
+        """Retire parked contexts until the pool matches ``target_workers``
+        (best-effort: busy contexts are retried on later pump turns)."""
+        while self.alive_workers > self.target_workers:
+            try:
+                context = self._contexts.get_nowait()
+            except Empty:
+                return
+            if not context.alive:  # pragma: no cover - defensive
+                continue
+            context.alive = False
+            with self._alive_guard:
+                self._alive -= 1
+            context.servers.clear()
+            context.channels.clear()
+
+    def enable_autoscale(
+        self,
+        *,
+        min_workers: int = 1,
+        max_workers: int | None = None,
+        **policy,
+    ) -> "Autoscaler":
+        """Install an :class:`Autoscaler` stepped on every pump turn.
+
+        Args:
+            min_workers / max_workers: Pool bounds (``max_workers``
+                defaults to the plane's ceiling).
+            **policy: Forwarded to :class:`Autoscaler` (interval,
+                utilisation target, backlog factor, idle steps).
+        """
+        self._autoscaler = Autoscaler(
+            self,
+            min_workers=min_workers,
+            max_workers=(
+                max_workers if max_workers is not None else self.max_workers
+            ),
+            **policy,
+        )
+        return self._autoscaler
+
+    @property
+    def autoscaler(self) -> "Autoscaler | None":
+        """The installed autoscaler, if any."""
+        return self._autoscaler
+
+    def drain_deployment(
+        self, name: str, *, timeout: float = 30.0
+    ) -> list[RequestHandle]:
+        """Drain one deployment to a barrier: flush its queue, collect
+        every micro-batch still in flight (any tenant's — collection is
+        global), and return every handle delivered on the way.
+
+        Other deployments' *queued* requests stay queued; only this
+        deployment's windows are force-closed.
+
+        Raises:
+            DeploymentDrainError: The barrier was not reached within
+                ``timeout`` wall seconds.
+        """
+        deployment = self.registry.get(name)
+        deadline = time.monotonic() + timeout
+        delivered: list[RequestHandle] = []
+        while len(deployment.queue) or any(
+            flight.deployment == name for flight in self._flights
+        ):
+            if time.monotonic() > deadline:
+                raise DeploymentDrainError(
+                    f"deployment {name!r} did not drain within {timeout:.1f}s "
+                    f"({len(deployment.queue)} queued, "
+                    f"{sum(f.deployment == name for f in self._flights)} "
+                    "micro-batches in flight)"
+                )
+            now = self._clock()
+            while True:
+                window = deployment.batcher.next_batch(now, flush=True)
+                if not window:
+                    break
+                self._dispatch(deployment, window, now)
+            delivered.extend(self._collect(block=bool(self._flights)))
+        return delivered
+
+    def _quiesce(self, *, timeout: float = 30.0) -> list[RequestHandle]:
+        """Collect every in-flight micro-batch (no new dispatches) so all
+        worker contexts are parked — the precondition for re-equipping."""
+        deadline = time.monotonic() + timeout
+        delivered: list[RequestHandle] = []
+        while self._flights:
+            if time.monotonic() > deadline:  # pragma: no cover - wedge guard
+                raise DeploymentDrainError(
+                    f"{len(self._flights)} micro-batches still in flight "
+                    f"after {timeout:.1f}s quiesce"
+                )
+            delivered.extend(self._collect(block=True))
+        return delivered
+
+    def swap(
+        self,
+        name: str,
+        *,
+        noise: NoiseCollection | None | object = _UNSET,
+        rng: np.random.Generator | NoiseStream | None = None,
+        model: SplittableModel | None = None,
+        cut: str | None = None,
+        timeout: float = 30.0,
+    ) -> list[RequestHandle]:
+        """Hot-swap a deployment's noise collection (and/or model/cut)
+        under live traffic.
+
+        The deployment is first drained to a barrier (its queued requests
+        dispatch and deliver under the *old* configuration; other tenants
+        keep serving), then every worker context is re-equipped with the
+        new split.  Requests submitted after this call returns are served
+        by the new configuration — bit-identical to a fresh sequential
+        reference over the new ``(model, cut, noise, rng)``; no request
+        ever straddles the swap point.
+
+        Args:
+            noise: New noise collection; omit to keep the current one,
+                pass ``None`` explicitly to remove noise.
+            rng: New noise-sampling stream; omit to let the existing
+                stream continue across the swap (its draw sequence is
+                part of the *old* regime's parity only up to the barrier).
+            model / cut: Optional backbone/cut replacement.  Changing
+                either drops the deployment's uplink quantization (its
+                calibration no longer applies).
+            timeout: Drain-barrier budget in wall seconds.
+
+        Returns:
+            Handles delivered while draining to the barrier.
+
+        Raises:
+            DeploymentDrainError: The drain barrier timed out (the
+                deployment is left un-swapped).
+        """
+        deployment = self.registry.get(name)
+        delivered = self.drain_deployment(name, timeout=timeout)
+        delivered.extend(self._quiesce(timeout=timeout))
+        new_model = model if model is not None else deployment.model
+        new_cut = cut if cut is not None else deployment.cut
+        new_noise = (
+            deployment.device.noise if noise is _UNSET else noise
+        )
+        if rng is None:
+            stream = deployment.device.noise_stream
+        elif isinstance(rng, NoiseStream):
+            stream = rng
+        else:
+            stream = NoiseStream(rng)
+        quantization = (
+            deployment.device.quantization
+            if model is None and cut is None
+            else None
+        )
+        local, remote = new_model.split(new_cut)
+        device = EdgeDevice(
+            local,
+            deployment.device.mean,
+            deployment.device.std,
+            new_noise,
+            stream,
+            quantization,
+            kernel_backend=deployment.kernel_backend,
+        )
+        activation_shapes = [
+            device.warm((rows, *new_model.input_shape))
+            for rows in range(1, deployment.batch_window + 1)
+        ]
+        contexts = [self._checkout_context() for _ in range(self.alive_workers)]
+        saved = [(context, context.servers.get(name)) for context in contexts]
+        try:
+            for context in contexts:
+                server = CloudServer(remote, deployment.kernel_backend)
+                for shape in activation_shapes:
+                    server.warm(shape)
+                # The channel clone survives the swap: same link, and its
+                # accumulated statistics stay with the deployment.
+                context.servers[name] = server
+        except BaseException:
+            for context, old_server in saved:
+                if old_server is not None:
+                    context.servers[name] = old_server
+            raise
+        finally:
+            for context in contexts:
+                self._contexts.put(context)
+        deployment.model = new_model
+        deployment.cut = new_cut
+        deployment.device = device
+        deployment.remote = remote
+        deployment.activation_shapes = activation_shapes
+        deployment.edge_kilomacs = cut_cost(new_model, new_cut).kilomacs
+        return delivered
+
+    def unregister(
+        self, name: str, *, timeout: float = 30.0
+    ) -> dict[int, np.ndarray]:
+        """Remove a deployment under live traffic.
+
+        Drains the tenant to a barrier first (queued and in-flight work
+        delivers), strips its executors/channels from every worker
+        context, and removes it from the registry — other tenants keep
+        serving throughout.  Submissions naming the removed deployment
+        then raise :class:`~repro.errors.ConfigurationError`.
+
+        Returns:
+            The drained tenant's still-uncollected results, by request
+            id (nothing is silently dropped).
+
+        Raises:
+            DeploymentDrainError: The drain barrier timed out (the
+                deployment stays registered).
+        """
+        deployment = self.registry.get(name)
+        self.drain_deployment(name, timeout=timeout)
+        self._quiesce(timeout=timeout)
+        contexts = [self._checkout_context() for _ in range(self.alive_workers)]
+        try:
+            for context in contexts:
+                context.servers.pop(name, None)
+                context.channels.pop(name, None)
+        finally:
+            for context in contexts:
+                self._contexts.put(context)
+        self.registry.remove(name)
+        deployment.noise_stream.release()
+        return dict(deployment.deliverable)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -640,6 +1175,7 @@ class ControlPlane:
                     len(uplink))
         )
         self._next_seq += 1
+        self.pool_metrics.pool_size_samples.append(self.alive_workers)
 
     # ------------------------------------------------------------------
     # Cloud half (worker threads)
@@ -739,10 +1275,14 @@ class ControlPlane:
         uplink bytes completes the batch exactly once; noise was drawn on
         the dispatcher long before, so the retried logits are bit-identical
         to an undisturbed run.  When no worker survives, the flight is
-        discarded and :class:`~repro.errors.ServingFaultError` surfaces.
+        discarded and :class:`~repro.errors.ServingFaultError` surfaces —
+        unless ``auto_heal`` is on, in which case the pool is restored to
+        ``target_workers`` first (so even total worker loss recovers).
         """
         if flight in self._flights:
             self._flights.remove(flight)
+        if self.auto_heal and self.alive_workers < self.target_workers:
+            self.heal()
         if self.alive_workers == 0:
             self._discard_flight(flight)
             raise ServingFaultError(
@@ -831,9 +1371,13 @@ class ControlPlane:
     def close(self) -> None:
         """Shut the shared worker pool down (idempotent).
 
-        The pool join runs under ``try/finally`` so the threads are
-        reaped even if cancelling the in-flight futures raises — shutdown
-        must never leak worker threads on an exception path.
+        The pool join and the context release both run under
+        ``try/finally`` so the threads are reaped and every worker
+        context — alive, crashed, or retired — is drained and stripped
+        of its executors/channels even if cancelling the in-flight
+        futures raises.  Shutdown must never leak worker threads or keep
+        dead contexts (and their executor caches) reachable, including
+        after a fault left killed contexts outside the pool queue.
         """
         if self._closed:
             return
@@ -842,10 +1386,186 @@ class ControlPlane:
             for flight in list(self._flights):
                 flight.future.cancel()
         finally:
-            self._pool.shutdown(wait=True)
+            try:
+                self._pool.shutdown(wait=True)
+            finally:
+                self._release_contexts()
+
+    def _release_contexts(self) -> None:
+        """Drain the context pool and release every context ever spawned
+        (alive and dead alike): drop executors and channel clones so
+        nothing keeps warm caches alive past :meth:`close`."""
+        while True:
+            try:
+                self._contexts.get_nowait()
+            except Empty:
+                break
+        for context in self._all_contexts:
+            context.alive = False
+            context.servers.clear()
+            context.channels.clear()
+        with self._alive_guard:
+            self._alive = 0
 
     def __enter__(self) -> "ControlPlane":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """One pool-resize decision taken by the :class:`Autoscaler`."""
+
+    at: float
+    previous: int
+    target: int
+    reason: str
+
+
+class Autoscaler:
+    """Reactive + feedforward pool sizing from the plane's own signals.
+
+    Stepped by the dispatcher on every pump turn (throttled to
+    ``interval_seconds``), the autoscaler:
+
+    1. **heals** — if the pool is below target (crashes), respawn first;
+    2. **feeds forward** — per-deployment arrival rates (deltas of
+       :attr:`~repro.serve.queue.RequestQueue.submitted`) times the
+       measured batch service EWMA (or, cold, the planner's
+       :func:`~repro.edge.planner.predict_window_latency` wire term)
+       give the demand in busy-seconds/second; the pool grows to
+       ``ceil(demand / target_utilisation)`` when that exceeds it;
+    3. **reacts** — visible backlog (queued batches above
+       ``backlog_factor`` per live worker) or SLO pressure (predicted
+       backlog delay above a deployment's ``target_slo_seconds``) grows
+       the pool by one;
+    4. **decays** — after ``scale_down_idle_steps`` consecutive idle
+       steps (no arrivals, nothing queued or in flight) the pool shrinks
+       by one toward ``min_workers``.
+
+    Every decision is recorded in :attr:`decisions` and applied through
+    :meth:`ControlPlane.scale_to` (shrinks never preempt running
+    batches).
+    """
+
+    def __init__(
+        self,
+        plane: ControlPlane,
+        *,
+        min_workers: int = 1,
+        max_workers: int | None = None,
+        interval_seconds: float = 0.05,
+        target_utilisation: float = 0.7,
+        backlog_factor: float = 2.0,
+        scale_down_idle_steps: int = 4,
+    ) -> None:
+        if min_workers < 1:
+            raise ConfigurationError(
+                f"min_workers must be >= 1, got {min_workers}"
+            )
+        resolved_max = max_workers if max_workers is not None else plane.max_workers
+        if not min_workers <= resolved_max <= plane.max_workers:
+            raise ConfigurationError(
+                f"need min_workers <= max_workers <= plane ceiling "
+                f"({plane.max_workers}), got [{min_workers}, {resolved_max}]"
+            )
+        if not 0.0 < target_utilisation <= 1.0:
+            raise ConfigurationError(
+                f"target_utilisation must be in (0, 1], got {target_utilisation}"
+            )
+        self._plane = plane
+        self.min_workers = min_workers
+        self.max_workers = resolved_max
+        self.interval_seconds = interval_seconds
+        self.target_utilisation = target_utilisation
+        self.backlog_factor = backlog_factor
+        self.scale_down_idle_steps = scale_down_idle_steps
+        self.decisions: list[AutoscaleDecision] = []
+        self._last_step: float | None = None
+        self._last_submitted: dict[str, int] = {}
+        self._idle_steps = 0
+
+    def step(self, now: float) -> int | None:
+        """One control step: heal, then resize if the signals say so.
+
+        Returns the new pool target when a resize happened, else ``None``.
+        """
+        if (
+            self._last_step is not None
+            and now - self._last_step < self.interval_seconds
+        ):
+            return None
+        elapsed = None if self._last_step is None else now - self._last_step
+        self._last_step = now
+        plane = self._plane
+        if plane.alive_workers < plane.target_workers:
+            plane.heal()
+        alive = plane.alive_workers
+        arrivals = 0
+        demand = 0.0
+        backlog_batches = 0
+        slo_pressure = False
+        for deployment in plane.registry:
+            submitted = deployment.queue.submitted
+            before = self._last_submitted.get(deployment.name, submitted)
+            self._last_submitted[deployment.name] = submitted
+            new = submitted - before
+            arrivals += new
+            per_batch = max(
+                deployment.batcher.service_estimate,
+                deployment.window_wire_seconds,
+            )
+            if elapsed and per_batch > 0.0:
+                rate = new / elapsed
+                demand += (rate / max(1, deployment.batch_window)) * per_batch
+            queued_batches = math.ceil(
+                len(deployment.queue) / max(1, deployment.batch_window)
+            )
+            backlog_batches += queued_batches
+            if (
+                deployment.target_slo_seconds is not None
+                and queued_batches
+                and per_batch > 0.0
+            ):
+                predicted = per_batch * math.ceil(queued_batches / max(1, alive))
+                if predicted > deployment.target_slo_seconds:
+                    slo_pressure = True
+        target = alive
+        reason = None
+        feedforward = (
+            math.ceil(demand / self.target_utilisation) if demand > 0.0 else 0
+        )
+        if feedforward > alive:
+            target = min(self.max_workers, feedforward)
+            reason = f"feedforward demand {demand:.2f} busy-s/s"
+        elif (
+            backlog_batches > alive * self.backlog_factor or slo_pressure
+        ) and alive < self.max_workers:
+            target = alive + 1
+            reason = (
+                "SLO pressure"
+                if slo_pressure
+                else f"backlog {backlog_batches} batches over {alive} workers"
+            )
+        if target > alive:
+            self._idle_steps = 0
+        elif arrivals == 0 and plane.pending == 0 and plane.in_flight == 0:
+            self._idle_steps += 1
+            if (
+                self._idle_steps >= self.scale_down_idle_steps
+                and alive > self.min_workers
+            ):
+                target = alive - 1
+                reason = f"idle for {self._idle_steps} steps"
+                self._idle_steps = 0
+        else:
+            self._idle_steps = 0
+        if target == alive or reason is None:
+            return None
+        self.decisions.append(
+            AutoscaleDecision(at=now, previous=alive, target=target, reason=reason)
+        )
+        plane.scale_to(target)
+        return target

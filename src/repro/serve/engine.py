@@ -81,6 +81,14 @@ class ServingEngine(ControlPlane):
         clock: Time source for queueing/deadline decisions and latency
             accounting; defaults to the wall clock.  Workers always
             measure their busy time on the wall clock.
+        max_workers / auto_heal: Elastic pool knobs (see
+            :class:`~repro.serve.controlplane.ControlPlane`).
+        max_pending / admission_rate_rps / admission_burst /
+        shed_unmeetable: Admission-control knobs for the sole deployment
+            (see :class:`~repro.serve.admission.AdmissionController`);
+            over capacity :meth:`submit` raises a typed
+            :class:`~repro.errors.AdmissionError` /
+            :class:`~repro.errors.OverloadError`.
     """
 
     #: Name of the engine's sole deployment on the underlying plane.
@@ -106,6 +114,12 @@ class ServingEngine(ControlPlane):
         kernel_backend: str = "auto",
         fault_injector: Callable[[int, _Task], bool] | None = None,
         clock: Callable[[], float] | None = None,
+        max_workers: int | None = None,
+        auto_heal: bool = False,
+        max_pending: int | None = None,
+        admission_rate_rps: float | None = None,
+        admission_burst: float | None = None,
+        shed_unmeetable: bool = False,
     ) -> None:
         super().__init__(
             workers=workers,
@@ -113,6 +127,8 @@ class ServingEngine(ControlPlane):
             kernel_backend=kernel_backend,
             fault_injector=fault_injector,
             clock=clock,
+            max_workers=max_workers,
+            auto_heal=auto_heal,
         )
         deployment = self.register(
             self.DEFAULT_DEPLOYMENT,
@@ -129,6 +145,10 @@ class ServingEngine(ControlPlane):
             isolate_sessions=isolate_sessions,
             quantization=quantization,
             kernel_backend=kernel_backend,
+            max_pending=max_pending,
+            admission_rate_rps=admission_rate_rps,
+            admission_burst=admission_burst,
+            shed_unmeetable=shed_unmeetable,
         )
         self._deployment = deployment
         self.cut = cut

@@ -74,6 +74,18 @@ class ServingMetrics:
             structurally zero).  Recorded at dispatch time.
         requeued_batches: Micro-batches requeued onto surviving workers
             after a worker crash (exactly-once recovery).
+        rejected_requests: Requests refused at the admission gate
+            (:class:`~repro.errors.AdmissionError`: token bucket empty or
+            ``max_pending`` reached).  Rejected requests never enter the
+            queue and appear in no other counter.
+        shed_requests: Requests shed at submission because their SLO was
+            already unmeetable (:class:`~repro.errors.OverloadError`).
+            Like rejections, shed requests never enter the queue.
+        respawned_workers: Worker contexts re-spawned by healing after a
+            crash (pool-level; tracked on the plane's pool metrics).
+        pool_size_samples: Live-worker-count samples over the session
+            (taken at each dispatch and on every scale/heal event) —
+            the autoscaler's observable trace.
     """
 
     requests: int = 0
@@ -92,6 +104,10 @@ class ServingMetrics:
     worker_busy_seconds: dict[int, float] = field(default_factory=dict)
     mixing_fractions: list[float] = field(default_factory=list)
     requeued_batches: int = 0
+    rejected_requests: int = 0
+    shed_requests: int = 0
+    respawned_workers: int = 0
+    pool_size_samples: list[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Recording
@@ -225,6 +241,19 @@ class ServingMetrics:
             "slo_attainment": self.slo_attainment,
             "mixing_index": self.mixing_index,
             "requeued_batches": self.requeued_batches,
+            "rejected_requests": self.rejected_requests,
+            "shed_requests": self.shed_requests,
+            "respawned_workers": self.respawned_workers,
+            "pool_size": {
+                "samples": len(self.pool_size_samples),
+                "min": min(self.pool_size_samples) if self.pool_size_samples else None,
+                "max": max(self.pool_size_samples) if self.pool_size_samples else None,
+                "mean": (
+                    float(np.mean(self.pool_size_samples))
+                    if self.pool_size_samples
+                    else None
+                ),
+            },
             "workers": {
                 str(worker): {
                     "micro_batches": self.worker_batches.get(worker, 0),
@@ -266,6 +295,23 @@ class ServingMetrics:
             lines.append(
                 f"crash recovery    {self.requeued_batches} micro-batches "
                 "requeued after worker loss"
+            )
+        if self.rejected_requests or self.shed_requests:
+            lines.append(
+                f"admission         {self.rejected_requests} rejected "
+                f"(rate/queue cap), {self.shed_requests} shed "
+                "(unmeetable SLO)"
+            )
+        if self.respawned_workers:
+            lines.append(
+                f"healing           {self.respawned_workers} workers respawned"
+            )
+        if self.pool_size_samples:
+            lines.append(
+                f"pool size         min {min(self.pool_size_samples)}   "
+                f"mean {float(np.mean(self.pool_size_samples)):.1f}   "
+                f"max {max(self.pool_size_samples)} "
+                f"({len(self.pool_size_samples)} samples)"
             )
         if self.worker_busy_seconds:
             occupancy = self.worker_occupancy()

@@ -126,6 +126,11 @@ class RequestQueue:
         self._pending.append(request)
         return request.request_id
 
+    @property
+    def submitted(self) -> int:
+        """Total requests ever submitted (the autoscaler's arrival counter)."""
+        return self._next_id
+
     def peek(self) -> InferenceRequest | None:
         """The head request without dequeuing (``None`` when empty)."""
         return self._pending[0] if self._pending else None

@@ -8,6 +8,11 @@ sequential reference is still bitwise); at most ``max_pending`` requests
 are admitted-but-unfinished (the bounded-queue backpressure); and a
 cancelled caller releases its slot without wedging the dispatcher or any
 other caller.
+
+The elastic PR adds lifecycle bridges: ``await client.swap(...)`` /
+``unregister(...)`` run on the dispatcher thread between serving turns
+(:class:`TestElasticControlOps`), and admission rejections surface as a
+typed :class:`~repro.errors.AdmissionError` on the rejected caller only.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import pytest
 from repro.config import TINY, Config
 from repro.core import NoiseCollection, SplitInferenceModel
 from repro.edge import Channel, InferenceSession
-from repro.errors import ConfigurationError, ServingFaultError
+from repro.errors import AdmissionError, ConfigurationError, ServingFaultError
 from repro.serve import AsyncServingClient, ControlPlane, ServingEngine
 
 
@@ -248,6 +253,132 @@ class TestCancellation:
                     await client.submit(bundle.test_set.images[:1])
 
         asyncio.run(main())
+
+
+class TestElasticControlOps:
+    def test_swap_between_awaits_preserves_parity(self, bundle, collection):
+        """``await client.swap(...)`` runs on the dispatcher thread between
+        serving turns; awaits before it see the old regime, awaits after
+        it see the new one — both bit-identical to their references."""
+        images = bundle.test_set.images
+        cut = bundle.model.last_conv_cut()
+        mean, std = np.zeros(1, np.float32), np.ones(1, np.float32)
+
+        async def main():
+            with _plane(bundle, collection, deployments=1) as plane:
+                async with AsyncServingClient(plane, max_pending=16) as client:
+                    before = await asyncio.gather(
+                        *[
+                            client.submit(images[i : i + 1], deployment="dep0")
+                            for i in range(4)
+                        ]
+                    )
+                    delivered = await client.swap(
+                        "dep0", rng=np.random.default_rng(777)
+                    )
+                    after = await asyncio.gather(
+                        *[
+                            client.submit(images[i : i + 1], deployment="dep0")
+                            for i in range(4, 8)
+                        ]
+                    )
+                    return before, delivered, after
+
+        before, delivered, after = asyncio.run(main())
+        assert delivered == []  # nothing was queued at the barrier
+        reference_old = InferenceSession(
+            bundle.model, cut, mean, std, noise=collection,
+            rng=np.random.default_rng(300),
+        )
+        reference_new = InferenceSession(
+            bundle.model, cut, mean, std, noise=collection,
+            rng=np.random.default_rng(777),
+        )
+        for i, logits in enumerate(before):
+            np.testing.assert_array_equal(
+                logits, reference_old.infer(images[i : i + 1])
+            )
+        for i, logits in enumerate(after, start=4):
+            np.testing.assert_array_equal(
+                logits, reference_new.infer(images[i : i + 1])
+            )
+
+    def test_unregister_never_hangs_awaiting_callers(self, bundle, collection):
+        """Unregistering a tenant with callers in flight resolves every
+        admitted await (the drain barrier serves them) and fails later
+        submissions typed — nobody hangs."""
+        images = bundle.test_set.images
+
+        async def main():
+            channel = Channel(latency_ms=2.0, realtime=True)
+            with _plane(
+                bundle, collection, deployments=2, channel=channel
+            ) as plane:
+                async with AsyncServingClient(plane, max_pending=16) as client:
+                    in_flight = [
+                        asyncio.ensure_future(
+                            client.submit(
+                                images[i : i + 1], deployment=f"dep{i % 2}"
+                            )
+                        )
+                        for i in range(6)
+                    ]
+                    await asyncio.sleep(0)  # let them reach the inbox
+                    await client.unregister("dep0")
+                    results = await asyncio.gather(*in_flight)
+                    assert "dep0" not in plane.registry
+                    with pytest.raises(ConfigurationError,
+                                       match="unknown deployment"):
+                        await client.submit(images[:1], deployment="dep0")
+                    survivor = await client.submit(
+                        images[:1], deployment="dep1"
+                    )
+                    return results, survivor
+
+        results, survivor = asyncio.run(main())
+        assert all(logits.shape == (1, 10) for logits in results)
+        assert survivor.shape == (1, 10)
+
+    def test_admission_rejection_fails_only_that_caller(
+        self, bundle, collection
+    ):
+        """A token-bucket rejection surfaces as a typed AdmissionError on
+        the rejected caller alone; admitted neighbours still complete."""
+        images = bundle.test_set.images
+
+        async def main():
+            plane = ControlPlane(workers=1)
+            plane.register(
+                "dep0",
+                bundle.model,
+                bundle.model.last_conv_cut(),
+                noise=collection,
+                rng=np.random.default_rng(300),
+                batch_window=4,
+                batch_timeout=0.0,
+                admission_rate_rps=1e-6,  # ~one token, ever
+                admission_burst=1.0,
+            )
+            with plane:
+                async with AsyncServingClient(plane) as client:
+                    outcomes = await asyncio.gather(
+                        *[
+                            client.submit(images[i : i + 1], deployment="dep0")
+                            for i in range(3)
+                        ],
+                        return_exceptions=True,
+                    )
+                    rejected = plane.metrics_by_deployment()[
+                        "dep0"
+                    ].rejected_requests
+                    return outcomes, rejected
+
+        outcomes, rejected = asyncio.run(main())
+        served = [o for o in outcomes if isinstance(o, np.ndarray)]
+        refused = [o for o in outcomes if isinstance(o, AdmissionError)]
+        assert len(served) == 1 and served[0].shape == (1, 10)
+        assert len(refused) == 2
+        assert rejected == 2
 
 
 class TestFailurePropagation:

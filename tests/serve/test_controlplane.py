@@ -20,8 +20,14 @@ streams across worker counts:
 The CI ``serve-stress`` job re-runs this module across the same
 seed × worker matrix as the engine suite (``REPRO_SERVE_SEED`` /
 ``REPRO_SERVE_WORKERS``), plus a fault leg (``REPRO_SERVE_FAULT=1``:
-every parity run also crashes one worker) and a multi-deployment leg
-(``REPRO_SERVE_DEPLOYMENTS=3``).
+every parity run also crashes one worker), a multi-deployment leg
+(``REPRO_SERVE_DEPLOYMENTS=3``), and — since the elastic PR — a chaos
+leg (``REPRO_SERVE_CHAOS=1``: every parity run crashes one worker on an
+``auto_heal`` plane and asserts the pool healed back to target, parity
+intact).  :class:`TestElasticLifecycle` covers the elastic surface
+deterministically: heal-then-parity, auto-heal under total loss,
+hot-swap and unregister under live traffic, manual scaling, the
+autoscaler, and context release on close.
 """
 
 from __future__ import annotations
@@ -45,9 +51,12 @@ _ENV_WORKERS = int(os.environ.get("REPRO_SERVE_WORKERS", "0"))
 STREAM_SEEDS = [31, 77] + ([2000 + int(_ENV_SEED)] if _ENV_SEED else [])
 WORKER_COUNTS = sorted({1, 2, 4} | ({_ENV_WORKERS} if _ENV_WORKERS else set()))
 #: CI legs: REPRO_SERVE_DEPLOYMENTS=3 widens the tenant matrix;
-#: REPRO_SERVE_FAULT=1 injects a worker crash into every parity run.
+#: REPRO_SERVE_FAULT=1 injects a worker crash into every parity run;
+#: REPRO_SERVE_CHAOS=1 additionally runs the parity matrix on an
+#: auto-healing plane and asserts the crashed capacity grew back.
 N_DEPLOYMENTS = int(os.environ.get("REPRO_SERVE_DEPLOYMENTS", "2"))
 FAULT_LEG = os.environ.get("REPRO_SERVE_FAULT") == "1"
+CHAOS_LEG = os.environ.get("REPRO_SERVE_CHAOS") == "1"
 
 
 @pytest.fixture(scope="module")
@@ -92,9 +101,11 @@ def _make_plane(
     isolate_sessions=False,
     fault_injector=None,
     channel=None,
+    **plane_kwargs,
 ):
     plane = ControlPlane(
-        workers=workers, channel=channel, fault_injector=fault_injector
+        workers=workers, channel=channel, fault_injector=fault_injector,
+        **plane_kwargs,
     )
     cut = bundle.model.last_conv_cut()
     for index in range(n_deployments or N_DEPLOYMENTS):
@@ -249,8 +260,12 @@ class TestMultiDeploymentParity:
         expected = _sequential_reference(bundle, collections, plan, n_deployments)
         # The optional fault leg crashes one worker mid-run; recovery must
         # keep the run indistinguishable (needs a survivor to requeue to).
+        # The chaos leg does the same on an auto-healing plane, so the
+        # crashed capacity must also grow back by the end of the run.
         injector = (
-            _one_shot_fault() if FAULT_LEG and workers > 1 else None
+            _one_shot_fault()
+            if (FAULT_LEG or CHAOS_LEG) and workers > 1
+            else None
         )
         with _make_plane(
             bundle,
@@ -258,6 +273,7 @@ class TestMultiDeploymentParity:
             n_deployments=n_deployments,
             workers=workers,
             fault_injector=injector,
+            auto_heal=CHAOS_LEG,
         ) as plane:
             handles = [
                 plane.submit(
@@ -270,6 +286,9 @@ class TestMultiDeploymentParity:
             ]
             delivered = plane.drain()
             assert sorted(delivered) == sorted(handles)  # exactly once
+            if CHAOS_LEG and injector is not None and injector.crashed:
+                assert plane.alive_workers == workers
+                assert plane.pool_metrics.respawned_workers >= 1
             actual = [plane.result(handle) for handle in handles]
         assert len(actual) == len(expected)
         for a, b in zip(expected, actual):
@@ -538,3 +557,290 @@ class TestDeployMany:
         assert set(plans) == {"tight", "loose"}
         assert plans["tight"].window <= plans["loose"].window
         assert plans["loose"].feasible
+
+
+class _StepClock:
+    """Hand-advanced clock for deterministic autoscaler/admission tests."""
+
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestElasticLifecycle:
+    """The elastic surface: healing, scaling, hot-swap, unregister — all
+    without ever disturbing bit parity or dropping admitted work."""
+
+    def test_heal_restores_pool_with_parity(self, bundle, collections):
+        """Crash one worker mid-stream, heal, keep serving: the whole
+        stream (before and after the heal) stays bit-identical to the
+        sequential reference — noise streams continue across the heal."""
+        plan = _interleaved_plan(bundle, np.random.default_rng(41), 12, 2)
+        plan[0] = ("dep0", bundle.test_set.images[:1], None, "user-0")
+        expected = _sequential_reference(bundle, collections, plan, 2)
+        injector = _one_shot_fault("dep0", 0)
+        with _make_plane(
+            bundle, collections, n_deployments=2, workers=2,
+            fault_injector=injector,
+        ) as plane:
+            first = [
+                plane.submit(images, deployment=dep, slo_seconds=slo,
+                             session_id=sid)
+                for dep, images, slo, sid in plan[:6]
+            ]
+            plane.drain()
+            assert len(injector.crashed) == 1
+            assert plane.alive_workers == 1
+            spawned = plane.heal()
+            assert spawned == 1
+            assert plane.alive_workers == 2
+            assert plane.pool_metrics.respawned_workers == 1
+            second = [
+                plane.submit(images, deployment=dep, slo_seconds=slo,
+                             session_id=sid)
+                for dep, images, slo, sid in plan[6:]
+            ]
+            plane.drain()
+            actual = [plane.result(h) for h in first + second]
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    def test_auto_heal_recovers_total_worker_loss(self, bundle, collections):
+        """With ``auto_heal``, even the sole worker dying mid-batch is
+        survivable: the pool respawns, the batch requeues, and the result
+        is bit-identical to the undisturbed reference."""
+        plan = _interleaved_plan(bundle, np.random.default_rng(43), 8, 1)
+        plan[0] = ("dep0", bundle.test_set.images[:1], None, "user-0")
+        expected = _sequential_reference(bundle, collections, plan, 1)
+        injector = _one_shot_fault("dep0", 0)
+        with _make_plane(
+            bundle, collections, n_deployments=1, workers=1,
+            fault_injector=injector, auto_heal=True,
+        ) as plane:
+            handles = [
+                plane.submit(images, deployment=dep, slo_seconds=slo,
+                             session_id=sid)
+                for dep, images, slo, sid in plan
+            ]
+            delivered = plane.drain()
+            assert sorted(delivered) == sorted(handles)
+            assert len(injector.crashed) == 1
+            assert plane.alive_workers == 1
+            assert plane.pool_metrics.respawned_workers == 1
+            assert (
+                plane.metrics_by_deployment()["dep0"].requeued_batches == 1
+            )
+            actual = [plane.result(h) for h in handles]
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    def test_hot_swap_preserves_parity_on_both_sides(
+        self, bundle, collections
+    ):
+        """Swap dep0's noise/rng under live traffic: pre-barrier requests
+        serve under the old regime (bit-identical to the old reference),
+        post-swap requests under the new one (bit-identical to a fresh
+        reference), and the untouched tenant never notices."""
+        images = bundle.test_set.images
+        cut = bundle.model.last_conv_cut()
+        mean, std = np.zeros(1, np.float32), np.ones(1, np.float32)
+        phase_a = [
+            (f"dep{i % 2}", images[i : i + 1]) for i in range(6)
+        ]
+        phase_b = [
+            (f"dep{i % 2}", images[6 + i : 7 + i]) for i in range(6)
+        ]
+        with _make_plane(
+            bundle, collections, n_deployments=2, workers=2
+        ) as plane:
+            a_handles = [
+                plane.submit(img, deployment=dep) for dep, img in phase_a
+            ]
+            delivered = plane.swap(
+                "dep0",
+                noise=collections[1],
+                rng=np.random.default_rng(777),
+            )
+            # The drain barrier finished every pre-swap dep0 request
+            # under the old configuration before re-equipping.
+            dep0_a = [h for h in a_handles if h.deployment == "dep0"]
+            assert set(dep0_a) <= set(delivered)
+            plane.drain()  # dep1's phase-A remainder
+            b_handles = [
+                plane.submit(img, deployment=dep) for dep, img in phase_b
+            ]
+            plane.drain()
+
+            reference_old = InferenceSession(
+                bundle.model, cut, mean, std,
+                noise=_noise_for(collections, 0),
+                rng=np.random.default_rng(100),
+            )
+            reference_new = InferenceSession(
+                bundle.model, cut, mean, std,
+                noise=collections[1],
+                rng=np.random.default_rng(777),
+            )
+            reference_dep1 = InferenceSession(
+                bundle.model, cut, mean, std,
+                noise=_noise_for(collections, 1),
+                rng=np.random.default_rng(101),
+            )
+            for (dep, img), handle in zip(phase_a, a_handles):
+                reference = (
+                    reference_old if dep == "dep0" else reference_dep1
+                )
+                np.testing.assert_array_equal(
+                    plane.result(handle), reference.infer(img)
+                )
+            for (dep, img), handle in zip(phase_b, b_handles):
+                reference = (
+                    reference_new if dep == "dep0" else reference_dep1
+                )
+                np.testing.assert_array_equal(
+                    plane.result(handle), reference.infer(img)
+                )
+
+    def test_unregister_returns_leftovers_and_spares_other_tenants(
+        self, bundle, collections
+    ):
+        """Removing a tenant under live traffic drains it first (nothing
+        admitted is dropped — uncollected results come back), then frees
+        its name; the surviving tenant keeps serving bit-identically."""
+        images = bundle.test_set.images
+        cut = bundle.model.last_conv_cut()
+        mean, std = np.zeros(1, np.float32), np.ones(1, np.float32)
+        with _make_plane(
+            bundle, collections, n_deployments=2, workers=2
+        ) as plane:
+            dep0_handles = [
+                plane.submit(images[i : i + 1], deployment="dep0")
+                for i in range(3)
+            ]
+            dep1_handles = [
+                plane.submit(images[i : i + 1], deployment="dep1")
+                for i in range(3)
+            ]
+            leftovers = plane.unregister("dep0")
+            assert set(leftovers) == {h.request_id for h in dep0_handles}
+            assert "dep0" not in plane.registry
+            with pytest.raises(ConfigurationError, match="unknown deployment"):
+                plane.submit(images[:1], deployment="dep0")
+            reference_0 = InferenceSession(
+                bundle.model, cut, mean, std,
+                noise=_noise_for(collections, 0),
+                rng=np.random.default_rng(100),
+            )
+            for i, handle in enumerate(dep0_handles):
+                np.testing.assert_array_equal(
+                    leftovers[handle.request_id],
+                    reference_0.infer(images[i : i + 1]),
+                )
+            # The surviving tenant serves on, parity intact.
+            more = [
+                plane.submit(images[3 + i : 4 + i], deployment="dep1")
+                for i in range(2)
+            ]
+            plane.drain()
+            reference_1 = InferenceSession(
+                bundle.model, cut, mean, std,
+                noise=_noise_for(collections, 1),
+                rng=np.random.default_rng(101),
+            )
+            for i, handle in enumerate(dep1_handles + more):
+                np.testing.assert_array_equal(
+                    plane.result(handle),
+                    reference_1.infer(images[i : i + 1]),
+                )
+
+    def test_scale_to_grows_and_shrinks_within_bounds(
+        self, bundle, collections
+    ):
+        with _make_plane(
+            bundle, collections, n_deployments=1, workers=1, max_workers=4
+        ) as plane:
+            assert plane.scale_to(3) == 3
+            assert plane.alive_workers == 3
+            assert plane.scale_to(1) == 1  # all parked: shrink is immediate
+            assert plane.alive_workers == 1
+            with pytest.raises(ConfigurationError, match="pool size"):
+                plane.scale_to(0)
+            with pytest.raises(ConfigurationError, match="pool size"):
+                plane.scale_to(5)
+            # An explicit heal target overrides the shrink target — the
+            # deferred-shrink pass must not undo it on the next pump.
+            assert plane.heal(to=3) == 2
+            plane.pump_handles()
+            assert plane.alive_workers == 3
+            assert plane.pool_metrics.pool_size_samples
+            assert max(plane.pool_metrics.pool_size_samples) >= 3
+
+    def test_autoscaler_grows_under_backlog_and_decays_when_idle(
+        self, bundle, collections
+    ):
+        clock = _StepClock()
+        plane = ControlPlane(workers=1, max_workers=3, clock=clock)
+        plane.register(
+            "dep0",
+            bundle.model,
+            bundle.model.last_conv_cut(),
+            noise=_noise_for(collections, 0),
+            rng=np.random.default_rng(100),
+            batch_window=2,
+            batch_timeout=0.0,
+        )
+        with plane:
+            scaler = plane.enable_autoscale(
+                min_workers=1, max_workers=3,
+                interval_seconds=0.05, scale_down_idle_steps=2,
+            )
+            assert plane.autoscaler is scaler
+            handles = [
+                plane.submit(bundle.test_set.images[i : i + 1],
+                             deployment="dep0")
+                for i in range(12)
+            ]
+            plane.pump_handles()  # backlog of 6 windows: the pool grows
+            assert plane.alive_workers == 2
+            assert scaler.decisions
+            assert scaler.decisions[0].previous == 1
+            assert scaler.decisions[0].target == 2
+            plane.drain()
+            for handle in handles:
+                assert plane.result(handle).shape == (1, 10)
+            # Idle now: after scale_down_idle_steps quiet control steps
+            # the pool decays back to min_workers.
+            for _ in range(8):
+                clock.advance(0.1)
+                plane.pump_handles()
+            assert plane.alive_workers == 1
+            assert any(d.target < d.previous for d in scaler.decisions)
+            assert max(plane.pool_metrics.pool_size_samples) >= 2
+
+    def test_close_releases_every_context_even_after_crashes(
+        self, bundle, collections
+    ):
+        """Regression for the PR-5 leak: ``close()`` must drain the
+        context pool and strip executors/channels from *every* context
+        ever spawned — including ones killed by a crash."""
+        injector = _one_shot_fault("dep0", 0)
+        plane = _make_plane(
+            bundle, collections, n_deployments=1, workers=2,
+            fault_injector=injector,
+        )
+        plane.submit(bundle.test_set.images[:1], deployment="dep0")
+        plane.drain()
+        assert len(injector.crashed) == 1
+        plane.close()
+        assert plane._contexts.empty()
+        assert plane._all_contexts  # the killed context is still tracked
+        for context in plane._all_contexts:
+            assert not context.alive
+            assert context.servers == {}
+            assert context.channels == {}
+        assert plane.alive_workers == 0

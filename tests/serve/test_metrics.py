@@ -152,6 +152,49 @@ class TestQueueAgesAndWorkers:
         json.dumps(payload)  # must stay JSON-serialisable
 
 
+class TestElasticCounters:
+    def test_empty_metrics_dict_and_format_are_safe(self):
+        """A deployment that never saw traffic (or a freshly-built pool
+        metrics object) must still render and serialise."""
+        import json
+
+        metrics = ServingMetrics()
+        payload = metrics.as_dict()
+        assert payload["rejected_requests"] == 0
+        assert payload["shed_requests"] == 0
+        assert payload["respawned_workers"] == 0
+        assert payload["pool_size"] == {
+            "samples": 0, "min": None, "max": None, "mean": None,
+        }
+        json.dumps(payload)
+        rendered = metrics.format()  # must not raise on empty samples
+        assert "admission" not in rendered
+        assert "healing" not in rendered
+        assert "pool size" not in rendered
+
+    def test_admission_and_healing_surface_in_dict_and_format(self):
+        import json
+
+        metrics = ServingMetrics()
+        metrics.rejected_requests = 3
+        metrics.shed_requests = 1
+        metrics.respawned_workers = 2
+        metrics.pool_size_samples.extend([2, 4, 3])
+        payload = metrics.as_dict()
+        assert payload["rejected_requests"] == 3
+        assert payload["shed_requests"] == 1
+        assert payload["respawned_workers"] == 2
+        assert payload["pool_size"]["samples"] == 3
+        assert payload["pool_size"]["min"] == 2
+        assert payload["pool_size"]["max"] == 4
+        assert payload["pool_size"]["mean"] == pytest.approx(3.0)
+        json.dumps(payload)
+        rendered = metrics.format()
+        assert "admission" in rendered
+        assert "healing" in rendered
+        assert "pool size" in rendered
+
+
 class TestMixingIndex:
     def test_single_session_batch_is_zero(self):
         metrics = ServingMetrics()
