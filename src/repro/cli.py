@@ -21,6 +21,7 @@ writing code:
         --admission-rate 500
     python -m repro serve --deployment a=lenet --deployment b=svhn \\
         --workers 2 --autoscale 1:4 --max-pending 64
+    python -m repro serve --network lenet --shards 4 --trace bursty
     python -m repro bounds --signal-power 4.0
     python -m repro report --out results/REPORT.md
 """
@@ -338,6 +339,108 @@ def _cmd_serve_multi(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """Process-sharded serving driven by the open-loop trace generator."""
+    import time
+
+    import numpy as np
+
+    from repro.eval import build_pipeline, load_benchmark
+    from repro.serve import (
+        ShardSpec,
+        ShardedServingEngine,
+        generate_trace,
+        replay_trace,
+        trace_stats,
+    )
+
+    config = _make_config(args)
+    bundle, benchmark = load_benchmark(args.network, config, verbose=True)
+    pipeline = build_pipeline(bundle, benchmark, config)
+    members = args.members or benchmark.n_members
+    print(f"training {members} noise tensors for {args.network} ...")
+    collection = pipeline.collect(members)
+
+    # The bundle's datasets are already normalised (identity device
+    # normalisation), matching pipeline.deploy().
+    channels = bundle.model.input_shape[0]
+    spec = ShardSpec.capture(
+        bundle.model,
+        pipeline.split.cut,
+        mean=np.zeros(channels, dtype=np.float32),
+        std=np.ones(channels, dtype=np.float32),
+        noise=collection,
+        base_seed=config.seed,
+        workers=args.workers,
+        batch_window=args.batch_window,
+        batch_timeout=(
+            args.batch_timeout_ms / 1e3
+            if args.batch_timeout_ms is not None
+            else 0.0
+        ),
+        kernel_backend=args.kernel_backend,
+        channel={
+            "bandwidth_mbps": args.bandwidth_mbps,
+            "latency_ms": args.latency_ms,
+            "realtime": args.realtime_channel,
+        },
+    )
+    images = bundle.test_set.images
+    labels = bundle.test_set.labels
+    requests = min(args.requests, len(images))
+    trace = generate_trace(
+        requests,
+        shape=args.trace,
+        mean_rate_rps=args.trace_rate,
+        seed=config.seed,
+        n_users=1_000_000,
+        zipf_exponent=1.1,
+    )
+    stats = trace_stats(trace)
+    stream = [images[i : i + 1] for i in range(requests)]
+    print(
+        f"serving {requests} single-image requests from a {args.trace!r} "
+        f"trace ({stats['distinct_sessions']} distinct users, "
+        f"{stats['mean_rate_rps']:.0f} req/s offered) across "
+        f"{args.shards} shards x {args.workers} workers "
+        f"(window {args.batch_window}) ..."
+    )
+    slo = args.slo_ms / 1e3 if args.slo_ms is not None else None
+    ids: list[int] = []
+    with ShardedServingEngine(spec, shards=args.shards) as engine:
+        iterator = iter(stream)
+
+        def submit(event) -> None:
+            ids.append(
+                engine.submit(
+                    next(iterator),
+                    slo_seconds=slo,
+                    session_id=event.session_id,
+                )
+            )
+
+        start = time.perf_counter()
+        replay_trace(trace, submit, on_tick=engine.poll)
+        engine.drain()
+        elapsed = time.perf_counter() - start
+        predictions = [engine.result(request_id).argmax(axis=1) for request_id in ids]
+        merged = engine.metrics()
+        respawned = engine.respawned_shards
+    print()
+    print(merged.format())
+    accuracy = float(np.mean(np.concatenate(predictions) == labels[:requests]))
+    print(
+        f"accuracy          {accuracy:.1%} "
+        f"(clean backbone {bundle.test_accuracy:.1%})"
+    )
+    print(
+        f"sharded           {requests} requests in {elapsed*1e3:.1f} ms "
+        f"({requests/max(elapsed, 1e-9):.0f} req/s across {args.shards} "
+        f"shards, {respawned} respawned)"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -345,7 +448,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.eval import build_pipeline, load_benchmark
 
     if args.deployment:
+        if args.shards is not None:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "--shards runs the single-deployment sharded plane; it "
+                "cannot be combined with --deployment"
+            )
         return _cmd_serve_multi(args)
+    if args.shards is not None:
+        return _cmd_serve_sharded(args)
     if args.autoscale is not None:
         from repro.errors import ConfigurationError
 
@@ -659,6 +771,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission control: per-deployment token-bucket rate in "
         "requests/second (burst = one second's tokens); submissions above "
         "the sustained rate are rejected typed instead of queued",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="serve through N subprocess shards over real sockets "
+        "(deterministic session routing, per-shard noise streams; each "
+        "shard runs --workers cloud worker threads)",
+    )
+    serve.add_argument(
+        "--trace", choices=["poisson", "diurnal", "bursty"], default="poisson",
+        help="arrival shape of the open-loop trace replayed against the "
+        "sharded plane (with --shards; default poisson)",
+    )
+    serve.add_argument(
+        "--trace-rate", type=float, default=2000.0, metavar="RPS",
+        help="mean offered rate of the generated trace (with --shards)",
     )
     serve.add_argument(
         "--autoscale", default=None, metavar="MIN:MAX",

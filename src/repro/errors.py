@@ -87,6 +87,24 @@ class ServingFaultError(ReproError, RuntimeError):
     (e.g. every worker has crashed while batches were still in flight)."""
 
 
+class ShardCrashError(ReproError, RuntimeError):
+    """The peer of a shard socket died mid-conversation.
+
+    Raised by :class:`~repro.serve.transport.SocketTransport` when the
+    connection hits EOF or a reset while a frame is expected — the
+    process-sharded serving plane's signal that a shard subprocess (or
+    the parent) is gone.  The parent catches it, respawns the shard
+    pre-warmed, and replays the shard's admitted request log so nothing
+    admitted is ever silently dropped (the PR 6 healing contract,
+    extended across process boundaries).  Carries the ``shard_id`` when
+    the transport knows which shard it was speaking for.
+    """
+
+    def __init__(self, message: str, shard_id: int | None = None) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
 class OverloadError(ReproError, RuntimeError):
     """The serving plane explicitly rejected work under overload.
 

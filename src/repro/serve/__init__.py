@@ -50,6 +50,22 @@ in two steps:
   request is admitted it is served exactly once, in order,
   bit-identically.
 
+* **PR 7** sharded the plane across worker **processes**
+  (:mod:`repro.serve.shard`): a
+  :class:`~repro.serve.shard.ShardedServingEngine` spawns N shard
+  subprocesses — each a full engine rebuilt from a spawn-safe
+  :class:`~repro.serve.shard.ShardSpec` — and routes requests by
+  deterministic session hashing (:func:`~repro.serve.shard.route_session`),
+  moving SHRB/SHRD frames over **real sockets** through the
+  length-prefixed incremental transport (:mod:`repro.serve.transport`).
+  Each shard is bit-identical to its own sequential reference (per-shard
+  noise stream, :func:`~repro.serve.shard.shard_seed`); a killed shard is
+  respawned pre-warmed and its admitted log replayed exactly-once
+  (duplicates discarded), extending the PR 6 elasticity contract across
+  process boundaries.  The trace harness (:mod:`repro.serve.loadgen`)
+  generates reproducible open-loop arrivals (Poisson / diurnal / bursty)
+  over Zipf-heavy-tailed million-user populations for the sharded benches.
+
 Serving is bit-for-bit equivalent to the retained sequential reference
 path (:class:`repro.edge.InferenceSession`) on the same request stream —
 for every batching window *and* every worker count, per deployment: all
@@ -60,9 +76,21 @@ via :meth:`repro.core.ShredderPipeline.deploy`, or stand up several
 tenants at once with :meth:`repro.core.ShredderPipeline.deploy_many`.
 """
 
-from repro.errors import AdmissionError, DeploymentDrainError, OverloadError
+from repro.errors import (
+    AdmissionError,
+    DeploymentDrainError,
+    OverloadError,
+    ShardCrashError,
+)
 from repro.serve.admission import AdmissionController, TokenBucket
 from repro.serve.aio import AsyncServingClient
+from repro.serve.loadgen import (
+    TRACE_SHAPES,
+    TraceEvent,
+    generate_trace,
+    replay_trace,
+    trace_stats,
+)
 from repro.serve.controlplane import (
     Autoscaler,
     AutoscaleDecision,
@@ -85,6 +113,13 @@ from repro.serve.replay import (
 )
 from repro.serve.scheduler import AdaptiveBatcher
 from repro.serve.session import BatchedInferenceSession
+from repro.serve.shard import (
+    ShardSpec,
+    ShardedServingEngine,
+    route_session,
+    shard_seed,
+)
+from repro.serve.transport import FrameDecoder, SocketTransport, transport_pair
 
 __all__ = [
     "AdaptiveBatcher",
@@ -99,6 +134,7 @@ __all__ = [
     "DeploymentDrainError",
     "DeploymentRegistry",
     "DeploymentSpec",
+    "FrameDecoder",
     "InferenceRequest",
     "MicroBatcher",
     "OverloadError",
@@ -108,10 +144,22 @@ __all__ = [
     "ScheduleResult",
     "ServingEngine",
     "ServingMetrics",
+    "ShardCrashError",
+    "ShardSpec",
+    "ShardedServingEngine",
+    "SocketTransport",
+    "TRACE_SHAPES",
     "TokenBucket",
     "TimedRequest",
+    "TraceEvent",
     "VirtualClock",
+    "generate_trace",
     "percentile",
     "random_trace",
+    "replay_trace",
+    "route_session",
+    "shard_seed",
     "simulate_schedule",
+    "trace_stats",
+    "transport_pair",
 ]

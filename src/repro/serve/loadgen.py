@@ -1,0 +1,251 @@
+"""Trace-driven open-loop load generation for the serving benches.
+
+The closed-loop benches submit request *i+1* when request *i* is done —
+which can never overload anything and hides every queueing effect real
+traffic has.  This module generates **open-loop** arrival traces the way
+production load is actually shaped:
+
+* **Arrival processes** — ``poisson`` (memoryless constant-rate),
+  ``diurnal`` (sinusoidal rate modulation, a day compressed into
+  ``period_seconds``), ``bursty`` (two-state Markov-modulated Poisson:
+  calm base rate with exponentially-distributed bursts at
+  ``burst_factor`` times it).
+* **Population** — per-request users drawn Zipf-heavy-tailed from a
+  population of up to millions of distinct session ids: a few hot users
+  dominate while the long tail keeps the session table churning, which
+  is exactly what stresses deterministic session→shard routing.
+* **Reproducibility** — every trace is a pure function of its seed:
+  same seed, same arrival times, same session ids, same row counts.
+  Benches and the CI gates rely on this.
+
+A trace is just a list of :class:`TraceEvent`; drive it in virtual time
+(ignore the clock, submit in order — capacity measurement) or in wall
+time via :func:`replay_trace` (sleep until each arrival — latency/SLO
+measurement).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Supported arrival shapes (the CLI's ``--trace`` choices).
+TRACE_SHAPES = ("poisson", "diurnal", "bursty")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One open-loop arrival.
+
+    Attributes:
+        arrival: Seconds since trace start.
+        session_id: The issuing user's stable session key.
+        rows: Image rows this request carries.
+        slo_seconds: Optional latency SLO.
+    """
+
+    arrival: float
+    session_id: str
+    rows: int
+    slo_seconds: float | None = None
+
+
+def _zipf_ranks(
+    rng: np.random.Generator, n: int, n_users: int, exponent: float
+) -> np.ndarray:
+    """``n`` user ranks in ``[0, n_users)``, Zipf(``exponent``)-tailed.
+
+    ``rng.zipf`` is unbounded; ranks beyond the population fold back
+    uniformly so the distribution stays heavy-tailed but the id space
+    stays exactly ``n_users`` wide.
+    """
+    ranks = rng.zipf(exponent, size=n) - 1
+    overflow = ranks >= n_users
+    if overflow.any():
+        ranks[overflow] = rng.integers(0, n_users, size=int(overflow.sum()))
+    return ranks
+
+
+def generate_trace(
+    n_requests: int,
+    *,
+    shape: str = "poisson",
+    mean_rate_rps: float = 1000.0,
+    seed: int = 0,
+    n_users: int = 1_000_000,
+    zipf_exponent: float = 1.2,
+    rows_choices: Sequence[int] = (1,),
+    slo_choices: Sequence[float | None] = (None,),
+    burst_factor: float = 8.0,
+    burst_fraction: float = 0.1,
+    period_seconds: float = 1.0,
+    diurnal_depth: float = 0.8,
+) -> list[TraceEvent]:
+    """A reproducible open-loop arrival trace.
+
+    Args:
+        n_requests: Events to generate.
+        shape: ``poisson`` / ``diurnal`` / ``bursty``.
+        mean_rate_rps: Long-run average arrival rate.
+        seed: Sole source of randomness — same seed, same trace.
+        n_users: Distinct session-id population (millions are fine; ids
+            are generated lazily as strings, not materialised up front).
+        zipf_exponent: Tail weight of the per-user request distribution
+            (must be > 1; lower = heavier tail).
+        rows_choices: Per-request row counts, drawn uniformly.
+        slo_choices: Per-request SLOs, drawn uniformly (``None`` entries
+            mean no deadline).
+        burst_factor: ``bursty`` — rate multiplier while a burst is on.
+        burst_fraction: ``bursty`` — long-run fraction of time in-burst.
+        period_seconds: ``diurnal`` — length of one day-cycle.
+        diurnal_depth: ``diurnal`` — modulation depth in ``[0, 1)``
+            (peak rate is ``(1+depth)``, trough ``(1-depth)`` times the
+            mean).
+
+    Returns:
+        Events sorted by arrival time (arrival starts at the first gap).
+    """
+    if n_requests < 1:
+        raise ConfigurationError(f"need >= 1 request, got {n_requests}")
+    if shape not in TRACE_SHAPES:
+        raise ConfigurationError(
+            f"unknown trace shape {shape!r}; options: {list(TRACE_SHAPES)}"
+        )
+    if mean_rate_rps <= 0:
+        raise ConfigurationError(f"rate must be positive, got {mean_rate_rps}")
+    if n_users < 1:
+        raise ConfigurationError(f"need >= 1 user, got {n_users}")
+    if zipf_exponent <= 1.0:
+        raise ConfigurationError(
+            f"zipf exponent must be > 1, got {zipf_exponent}"
+        )
+    if not 0.0 <= diurnal_depth < 1.0:
+        raise ConfigurationError(
+            f"diurnal depth must be in [0, 1), got {diurnal_depth}"
+        )
+    if not rows_choices or any(r < 1 for r in rows_choices):
+        raise ConfigurationError(f"bad rows_choices {rows_choices!r}")
+    rng = np.random.default_rng(seed)
+
+    # Arrival gaps, one draw per request, shaped per process.
+    base_gap = 1.0 / mean_rate_rps
+    gaps = rng.exponential(base_gap, size=n_requests)
+    if shape == "poisson":
+        arrivals = np.cumsum(gaps)
+    elif shape == "diurnal":
+        # Thinning-free modulation: stretch each gap by the inverse
+        # instantaneous rate at the current clock position.
+        arrivals = np.empty(n_requests)
+        clock = 0.0
+        for i in range(n_requests):
+            phase = 2.0 * np.pi * (clock / period_seconds)
+            rate_scale = 1.0 + diurnal_depth * np.sin(phase)
+            clock += gaps[i] / rate_scale
+            arrivals[i] = clock
+    else:  # bursty: two-state Markov-modulated Poisson process
+        if burst_factor <= 1.0:
+            raise ConfigurationError(
+                f"burst factor must be > 1, got {burst_factor}"
+            )
+        if not 0.0 < burst_fraction < 1.0:
+            raise ConfigurationError(
+                f"burst fraction must be in (0, 1), got {burst_fraction}"
+            )
+        # Scale the calm rate so the long-run mean stays mean_rate_rps.
+        calm_rate = mean_rate_rps / (
+            1.0 - burst_fraction + burst_fraction * burst_factor
+        )
+        burst_rate = calm_rate * burst_factor
+        # Dwell times: bursts last ~20 mean gaps; calm periods balance
+        # the requested burst fraction.
+        burst_dwell = 20.0 * base_gap
+        calm_dwell = burst_dwell * (1.0 - burst_fraction) / burst_fraction
+        # Each arrival fires when the integrated (piecewise-constant)
+        # rate accumulates one unit-rate exponential draw.
+        units = gaps * mean_rate_rps
+        arrivals = np.empty(n_requests)
+        clock = 0.0
+        in_burst = False
+        state_left = rng.exponential(calm_dwell)
+        for i in range(n_requests):
+            u = units[i]
+            while True:
+                rate = burst_rate if in_burst else calm_rate
+                if u <= rate * state_left:
+                    step = u / rate
+                    clock += step
+                    state_left -= step
+                    break
+                u -= rate * state_left
+                clock += state_left
+                in_burst = not in_burst
+                state_left = rng.exponential(
+                    burst_dwell if in_burst else calm_dwell
+                )
+            arrivals[i] = clock
+
+    ranks = _zipf_ranks(rng, n_requests, n_users, zipf_exponent)
+    rows = rng.choice(np.asarray(rows_choices, dtype=np.int64), size=n_requests)
+    slo_idx = rng.integers(0, len(slo_choices), size=n_requests)
+    return [
+        TraceEvent(
+            arrival=float(arrivals[i]),
+            session_id=f"u{int(ranks[i])}",
+            rows=int(rows[i]),
+            slo_seconds=slo_choices[int(slo_idx[i])],
+        )
+        for i in range(n_requests)
+    ]
+
+
+def trace_stats(trace: Sequence[TraceEvent]) -> dict:
+    """Summary statistics of a trace (recorded next to bench results)."""
+    if not trace:
+        return {"requests": 0}
+    arrivals = np.array([e.arrival for e in trace])
+    sessions = {e.session_id for e in trace}
+    per_user = np.bincount(
+        np.unique([e.session_id for e in trace], return_inverse=True)[1]
+    )
+    return {
+        "requests": len(trace),
+        "duration_seconds": float(arrivals[-1]),
+        "mean_rate_rps": len(trace) / float(arrivals[-1]) if arrivals[-1] else 0.0,
+        "distinct_sessions": len(sessions),
+        "max_requests_per_user": int(per_user.max()),
+        "rows": int(sum(e.rows for e in trace)),
+    }
+
+
+def replay_trace(
+    trace: Sequence[TraceEvent],
+    submit: Callable[[TraceEvent], None],
+    *,
+    on_tick: Callable[[], None] | None = None,
+    clock: Callable[[], float] = time.perf_counter,
+    sleep: Callable[[float], None] = time.sleep,
+) -> float:
+    """Replay a trace open-loop against the wall clock.
+
+    Sleeps until each event's arrival time, then calls ``submit(event)``
+    regardless of whether earlier requests completed (that is what makes
+    it open-loop).  ``on_tick`` runs after every submission — the place
+    to pump a serving plane.
+
+    Returns:
+        Wall seconds the replay took.
+    """
+    start = clock()
+    for event in trace:
+        wait = event.arrival - (clock() - start)
+        if wait > 0:
+            sleep(wait)
+        submit(event)
+        if on_tick is not None:
+            on_tick()
+    return clock() - start

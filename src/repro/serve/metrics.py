@@ -152,6 +152,132 @@ class ServingMetrics:
             self.mixing_fractions.append((total - own[key]) / total)
 
     # ------------------------------------------------------------------
+    # Aggregation (sharded serving)
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, parts: Sequence["ServingMetrics"]) -> "ServingMetrics":
+        """One coherent view over per-shard metrics.
+
+        The sharded parent holds N independent :class:`ServingMetrics`
+        (one per shard subprocess); this combines them:
+
+        * **Counters** (requests, bytes, SLO tallies, requeues,
+          rejections, respawns, ...) are summed.
+        * **Percentile samples** (latencies, queue ages, mixing
+          fractions) are concatenated — order is irrelevant to the
+          percentile math.
+        * **Occupancy and pool-size samples** are interleaved
+          round-robin across shards, approximating global time order
+          (shards record them concurrently).
+        * **Wall seconds** take the maximum: shards serve concurrently,
+          so the plane's serving span is the slowest shard's span and
+          ``requests_per_second`` reads as aggregate throughput.
+          Simulated wire seconds stay summed (total modelled transfer).
+        * **Per-worker tallies** are namespaced as ``(part, worker)``
+          keys — worker 0 of shard 1 is not worker 0 of shard 2.
+        """
+        merged = cls()
+        for part in parts:
+            merged.requests += part.requests
+            merged.samples += part.samples
+            merged.micro_batches += part.micro_batches
+            merged.uplink_bytes += part.uplink_bytes
+            merged.downlink_bytes += part.downlink_bytes
+            merged.wall_seconds = max(merged.wall_seconds, part.wall_seconds)
+            merged.simulated_wire_seconds += part.simulated_wire_seconds
+            merged.latencies.extend(part.latencies)
+            merged.queue_ages.extend(part.queue_ages)
+            merged.mixing_fractions.extend(part.mixing_fractions)
+            merged.slo_met += part.slo_met
+            merged.slo_total += part.slo_total
+            merged.requeued_batches += part.requeued_batches
+            merged.rejected_requests += part.rejected_requests
+            merged.shed_requests += part.shed_requests
+            merged.respawned_workers += part.respawned_workers
+        for index, part in enumerate(parts):
+            for worker, batches in part.worker_batches.items():
+                merged.worker_batches[(index, worker)] = batches
+            for worker, busy in part.worker_busy_seconds.items():
+                merged.worker_busy_seconds[(index, worker)] = busy
+        for samples, target in (
+            ([part.occupancies for part in parts], merged.occupancies),
+            ([part.pool_size_samples for part in parts], merged.pool_size_samples),
+        ):
+            longest = max((len(s) for s in samples), default=0)
+            for position in range(longest):
+                for shard_samples in samples:
+                    if position < len(shard_samples):
+                        target.append(shard_samples[position])
+        return merged
+
+    # ------------------------------------------------------------------
+    # Wire round-trip (shard subprocess -> parent; raw samples, not the
+    # as_dict() summary, so the parent can merge and re-derive)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """Every raw field as JSON-safe data (no live objects)."""
+        return {
+            "requests": self.requests,
+            "samples": self.samples,
+            "micro_batches": self.micro_batches,
+            "uplink_bytes": self.uplink_bytes,
+            "downlink_bytes": self.downlink_bytes,
+            "wall_seconds": self.wall_seconds,
+            "simulated_wire_seconds": self.simulated_wire_seconds,
+            "latencies": list(self.latencies),
+            "occupancies": list(self.occupancies),
+            "queue_ages": list(self.queue_ages),
+            "slo_met": self.slo_met,
+            "slo_total": self.slo_total,
+            "worker_batches": {str(k): v for k, v in self.worker_batches.items()},
+            "worker_busy_seconds": {
+                str(k): v for k, v in self.worker_busy_seconds.items()
+            },
+            "mixing_fractions": list(self.mixing_fractions),
+            "requeued_batches": self.requeued_batches,
+            "rejected_requests": self.rejected_requests,
+            "shed_requests": self.shed_requests,
+            "respawned_workers": self.respawned_workers,
+            "pool_size_samples": list(self.pool_size_samples),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServingMetrics":
+        """Rebuild a metrics object written by :meth:`to_payload`."""
+
+        def worker_key(key: str):
+            return int(key) if key.lstrip("-").isdigit() else key
+
+        metrics = cls(
+            requests=int(payload["requests"]),
+            samples=int(payload["samples"]),
+            micro_batches=int(payload["micro_batches"]),
+            uplink_bytes=int(payload["uplink_bytes"]),
+            downlink_bytes=int(payload["downlink_bytes"]),
+            wall_seconds=float(payload["wall_seconds"]),
+            simulated_wire_seconds=float(payload["simulated_wire_seconds"]),
+            slo_met=int(payload["slo_met"]),
+            slo_total=int(payload["slo_total"]),
+            requeued_batches=int(payload["requeued_batches"]),
+            rejected_requests=int(payload["rejected_requests"]),
+            shed_requests=int(payload["shed_requests"]),
+            respawned_workers=int(payload["respawned_workers"]),
+        )
+        metrics.latencies = [float(v) for v in payload["latencies"]]
+        metrics.occupancies = [int(v) for v in payload["occupancies"]]
+        metrics.queue_ages = [float(v) for v in payload["queue_ages"]]
+        metrics.mixing_fractions = [float(v) for v in payload["mixing_fractions"]]
+        metrics.pool_size_samples = [int(v) for v in payload["pool_size_samples"]]
+        metrics.worker_batches = {
+            worker_key(k): int(v) for k, v in payload["worker_batches"].items()
+        }
+        metrics.worker_busy_seconds = {
+            worker_key(k): float(v)
+            for k, v in payload["worker_busy_seconds"].items()
+        }
+        return metrics
+
+    # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------
     def latency_percentile(self, q: float) -> float:

@@ -1,0 +1,885 @@
+"""Process-sharded serving: N subprocess shards, each a full control plane.
+
+Every earlier serving layer ran in **one interpreter**: the C kernels
+release the GIL, but the dispatcher's edge half, noise draws, queueing,
+and framing are serialized, so N worker threads never bought N× compute.
+This module shards the plane across worker *processes*: the parent
+spawns N shard subprocesses, each owning a complete
+:class:`~repro.serve.engine.ServingEngine` (executors, noise stream,
+metrics), and routes every request by **deterministic session hashing**
+(:func:`route_session` — a stable CRC32, never Python's salted
+``hash()``).  Activations and logits cross real sockets as the existing
+SHRB/SHRD frames inside the length-prefixed transport
+(:mod:`repro.serve.transport`).
+
+**Parity strategy (ROADMAP item 3).**  One global noise stream cannot
+span processes, so each shard owns its own stream, seeded from
+``(base_seed, shard_index)`` via :func:`shard_seed`.  Routing is
+deterministic and a session never spans shards, so every shard is
+bit-identical to its *own* sequential
+:class:`~repro.edge.InferenceSession` reference run over exactly the
+subsequence of requests routed to it — the property
+``tests/serve/test_sharded_parity.py`` pins for 1/2/4 shards.
+
+**Healing (the PR 6 contract across process boundaries).**  The parent
+keeps a per-shard log of every admitted request.  When a shard dies
+(:class:`~repro.errors.ShardCrashError` from its socket), the parent
+respawns it pre-warmed and replays the **entire** log in original
+admission order: replay reproduces the shard's noise draws bit-exactly,
+results already delivered to the caller are discarded on re-arrival, and
+the remainder completes exactly once, in per-session order.  Admitted
+work is never silently dropped.
+
+**Spawn safety.**  A shard subprocess is bootstrapped from a
+:class:`ShardSpec` of *plain data only* — model name + state-dict
+arrays, cut name, noise member tensors, seeds, and channel parameters.
+No live :class:`~repro.edge.Channel`, executor, socket, or thread ever
+crosses the process boundary, which is what makes the ``spawn`` start
+method (no inherited address space) work identically to ``fork``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import os
+import select
+import socket
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.edge.protocol import (
+    BatchActivationMessage,
+    BatchPredictionMessage,
+    decode_activation_batch,
+    decode_prediction_batch,
+    encode_activation_batch,
+    encode_prediction_batch,
+)
+from repro.errors import ConfigurationError, ShardCrashError
+from repro.serve.metrics import ServingMetrics
+from repro.serve.transport import SocketTransport
+
+# ----------------------------------------------------------------------
+# Message kinds (first byte of every transport frame)
+# ----------------------------------------------------------------------
+_MSG_HELLO = 0  # child -> parent: {"shard": i, "token": t} — engine is warm
+_MSG_SUBMIT = 1  # parent -> child: header + SHRB activation frame
+_MSG_RESULT = 2  # child -> parent: SHRD prediction frame
+_MSG_DRAIN = 3  # parent -> child: flush everything
+_MSG_DRAINED = 4  # child -> parent: queue and flights are empty
+_MSG_METRICS = 5  # parent -> child: send raw metrics
+_MSG_METRICS_REPLY = 6  # child -> parent: ServingMetrics.to_payload() JSON
+_MSG_SHUTDOWN = 7  # parent -> child: close and exit
+
+_HEADER_LEN = struct.Struct("<I")
+
+
+def _pack(kind: int, *parts: bytes) -> bytes:
+    return bytes([kind]) + b"".join(parts)
+
+
+def _pack_json(kind: int, payload: dict) -> bytes:
+    return _pack(kind, json.dumps(payload).encode("utf-8"))
+
+
+def _unpack_json(body: bytes) -> dict:
+    return json.loads(body.decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Deterministic routing and seeding
+# ----------------------------------------------------------------------
+def route_session(session_id: Hashable, n_shards: int) -> int:
+    """The shard owning ``session_id`` — stable across processes and runs.
+
+    Python's built-in ``hash()`` is salted per process, which would make
+    routing (and therefore every shard's noise stream) irreproducible;
+    this uses CRC32 of the id's string form instead.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"need >= 1 shard, got {n_shards}")
+    return zlib.crc32(str(session_id).encode("utf-8")) % n_shards
+
+
+def shard_seed(base_seed: int, shard_index: int) -> int:
+    """The noise seed of shard ``shard_index`` (and of its sequential
+    reference session) — a stable function of the plane's base seed."""
+    return int(
+        np.random.SeedSequence([int(base_seed), int(shard_index)]).generate_state(1)[0]
+    )
+
+
+# ----------------------------------------------------------------------
+# Spawn-safe shard bootstrap
+# ----------------------------------------------------------------------
+@dataclass
+class ShardSpec:
+    """Plain-data recipe a shard subprocess rebuilds its engine from.
+
+    Every field is arrays, strings, or numbers — never a live model,
+    channel, executor, or socket — so the spec pickles identically under
+    ``fork`` and ``spawn``.  Build one with :meth:`capture`.
+    """
+
+    model_name: str
+    width: float
+    model_state: dict[str, np.ndarray]
+    cut: str
+    mean: np.ndarray
+    std: np.ndarray
+    noise_tensors: np.ndarray | None  # (members, *activation_shape)
+    base_seed: int = 7
+    workers: int = 1
+    batch_window: int = 8
+    max_rows: int | None = None
+    batch_timeout: float = 0.0
+    deadline_aware: bool = True
+    isolate_sessions: bool = False
+    quantization: tuple[float, int, int] | None = None
+    kernel_backend: str = "auto"
+    channel: dict = field(default_factory=dict)  # Channel(**channel) kwargs
+
+    _LIVE_TYPES = ("Channel", "NoiseStream", "ServingEngine", "ControlPlane")
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("channel", self.channel),
+            ("quantization", self.quantization),
+        ):
+            if type(value).__name__ in self._LIVE_TYPES:
+                raise ConfigurationError(
+                    f"ShardSpec.{name} must be plain data, got a live "
+                    f"{type(value).__name__}; pass its parameters instead"
+                )
+        if self.channel and not isinstance(self.channel, dict):
+            raise ConfigurationError(
+                "ShardSpec.channel must be a dict of Channel kwargs "
+                f"(got {type(self.channel).__name__})"
+            )
+        if self.workers < 1:
+            raise ConfigurationError(f"need >= 1 worker, got {self.workers}")
+
+    @classmethod
+    def capture(
+        cls,
+        model,
+        cut: str,
+        *,
+        mean: np.ndarray,
+        std: np.ndarray,
+        noise=None,
+        width: float | None = None,
+        base_seed: int = 7,
+        channel: dict | None = None,
+        quantization=None,
+        **knobs,
+    ) -> "ShardSpec":
+        """Serialise a live ``(model, cut, noise)`` deployment to plain data.
+
+        Args:
+            model: A :class:`~repro.models.SplittableModel` (its name and
+                state dict are captured; the live object stays behind).
+            noise: A :class:`~repro.core.NoiseCollection` or ``None``.
+            width: Channel-width multiplier the model was built with;
+                defaults to the current scale's default.
+            channel: ``Channel`` constructor kwargs (never the object).
+            quantization: A ``QuantizationParams`` or ``(scale, zero
+                point, bits)`` tuple.
+            knobs: Remaining :class:`ShardSpec` fields (workers,
+                batch_window, ...).
+        """
+        from repro.config import get_scale
+        from repro.models import default_width
+
+        if width is None:
+            width = default_width(get_scale())
+        state = {k: np.asarray(v).copy() for k, v in model.state_dict().items()}
+        tensors = None
+        if noise is not None:
+            tensors = np.stack([s.tensor for s in noise.samples])
+        if quantization is not None and not isinstance(quantization, tuple):
+            quantization = (
+                float(quantization.scale),
+                int(quantization.zero_point),
+                int(quantization.bits),
+            )
+        return cls(
+            model_name=model.model_name,
+            width=float(width),
+            model_state=state,
+            cut=cut,
+            mean=np.asarray(mean, dtype=np.float32).copy(),
+            std=np.asarray(std, dtype=np.float32).copy(),
+            noise_tensors=tensors,
+            base_seed=base_seed,
+            channel=channel if channel is not None else {},
+            quantization=quantization,
+            **knobs,
+        )
+
+    def build_engine(self, shard_index: int):
+        """Reconstruct this shard's :class:`ServingEngine` (child side)."""
+        from repro.core.sampler import NoiseCollection
+        from repro.edge.channel import Channel
+        from repro.edge.quantization import QuantizationParams
+        from repro.models import build_model
+        from repro.serve.engine import ServingEngine
+
+        model = build_model(
+            self.model_name, np.random.default_rng(0), width=self.width
+        )
+        model.load_state_dict(self.model_state)
+        model.eval()
+        model.freeze()
+        noise = None
+        if self.noise_tensors is not None:
+            noise = NoiseCollection(self.noise_tensors.shape[1:])
+            for tensor in self.noise_tensors:
+                noise.add(tensor, accuracy=0.0, in_vivo_privacy=0.0)
+        quantization = None
+        if self.quantization is not None:
+            scale, zero_point, bits = self.quantization
+            quantization = QuantizationParams(
+                scale=scale, zero_point=zero_point, bits=bits
+            )
+        return ServingEngine(
+            model,
+            self.cut,
+            self.mean,
+            self.std,
+            noise=noise,
+            channel=Channel(**self.channel) if self.channel else None,
+            rng=np.random.default_rng(shard_seed(self.base_seed, shard_index)),
+            workers=self.workers,
+            batch_window=self.batch_window,
+            max_rows=self.max_rows,
+            batch_timeout=self.batch_timeout,
+            deadline_aware=self.deadline_aware,
+            isolate_sessions=self.isolate_sessions,
+            quantization=quantization,
+            kernel_backend=self.kernel_backend,
+        )
+
+    def reference_session(self, shard_index: int, n_shards: int):
+        """The sequential reference this shard must be bit-identical to.
+
+        Also used by tests to compute, for a full request stream, the
+        subsequence shard ``shard_index`` serves (see
+        :func:`route_session`).
+        """
+        from repro.core.sampler import NoiseCollection
+        from repro.edge.device import InferenceSession
+        from repro.models import build_model
+
+        model = build_model(
+            self.model_name, np.random.default_rng(0), width=self.width
+        )
+        model.load_state_dict(self.model_state)
+        model.eval()
+        model.freeze()
+        noise = None
+        if self.noise_tensors is not None:
+            noise = NoiseCollection(self.noise_tensors.shape[1:])
+            for tensor in self.noise_tensors:
+                noise.add(tensor, accuracy=0.0, in_vivo_privacy=0.0)
+        return InferenceSession(
+            model,
+            self.cut,
+            self.mean,
+            self.std,
+            noise=noise,
+            rng=np.random.default_rng(shard_seed(self.base_seed, shard_index)),
+            kernel_backend=self.kernel_backend,
+        )
+
+
+# ----------------------------------------------------------------------
+# Shard subprocess
+# ----------------------------------------------------------------------
+def _shard_main(
+    spec: ShardSpec, shard_index: int, address: tuple[str, int], token: str
+) -> None:
+    """Entry point of one shard subprocess.
+
+    Builds the engine from the spec (slow part: kernel compilation —
+    shared across shards via the ``REPRO_KERNEL_DIR`` artifact cache),
+    connects back to the parent, announces readiness, then serves until
+    shutdown or parent death.
+    """
+    engine = spec.build_engine(shard_index)
+    sock = socket.create_connection(address, timeout=30.0)
+    sock.settimeout(None)
+    transport = SocketTransport(sock, shard_id=shard_index)
+    transport.send(_pack_json(_MSG_HELLO, {"shard": shard_index, "token": token}))
+
+    pending: dict[int, int] = {}  # local id -> global id
+
+    def deliver(local_ids: Iterable[int]) -> None:
+        # One SHRD frame per delivery batch: per-frame overhead amortises
+        # across every result the pump turn produced.
+        local_ids = list(local_ids)
+        if not local_ids:
+            return
+        ids, splits, parts = [], [], []
+        for local_id in local_ids:
+            logits = engine.result(local_id)
+            ids.append(pending.pop(local_id))
+            splits.append(logits.shape[0])
+            parts.append(logits)
+        transport.send(
+            _pack(
+                _MSG_RESULT,
+                encode_prediction_batch(
+                    BatchPredictionMessage(
+                        request_ids=tuple(ids),
+                        splits=tuple(splits),
+                        logits=np.ascontiguousarray(
+                            np.concatenate(parts, axis=0)
+                        ),
+                    )
+                ),
+            )
+        )
+
+    # Engine turns are ~100x the cost of a socket read, so the loop
+    # drains the inbound socket greedily and only runs the engine when
+    # the parent has momentarily stopped streaming (or the admitted
+    # backlog passes the high watermark — submissions must not outrun
+    # serving without bound).  Partial windows are only force-flushed
+    # once the inbound side has been quiet for a grace period: flushing
+    # on every momentary socket gap would dispatch fragment batches,
+    # each paying a full wire round-trip on latency-bound channels.
+    high_watermark = 4 * max(1, spec.batch_window)
+    idle_flush = max(spec.batch_timeout, 0.002)
+    unpumped = 0
+    last_rx = time.monotonic()
+
+    try:
+        while True:
+            frame = transport.try_recv()
+            if frame is None:
+                if pending:
+                    flush = (time.monotonic() - last_rx) >= idle_flush
+                    delivered = engine.pump(flush=flush)
+                    deliver(delivered)
+                    unpumped = 0
+                    # Nothing deliverable means the workers are mid-batch:
+                    # yield briefly instead of spinning the GIL away from
+                    # them.
+                    frame = transport.recv(timeout=0.0 if delivered else 0.0005)
+                else:
+                    frame = transport.recv(timeout=0.05)
+                if frame is None:
+                    continue
+            last_rx = time.monotonic()
+            kind = frame[0]
+            body = frame[1:]
+            if kind == _MSG_SUBMIT:
+                # One SUBMIT frame carries a *batch* of requests (the SHRB
+                # format is n-ary already); submitting them in frame order
+                # preserves the admission order the noise stream depends on.
+                (header_len,) = _HEADER_LEN.unpack_from(body)
+                header = _unpack_json(body[4 : 4 + header_len])
+                uplink = decode_activation_batch(body[4 + header_len :])
+                tensor = np.asarray(uplink.tensor, dtype=np.float32)
+                offset = 0
+                for global_id, rows, session, slo in zip(
+                    uplink.request_ids,
+                    uplink.splits,
+                    header["sessions"],
+                    header["slos"],
+                ):
+                    local_id = engine.submit(
+                        tensor[offset : offset + rows],
+                        slo_seconds=slo,
+                        session_id=session,
+                    )
+                    offset += rows
+                    pending[local_id] = global_id
+                    unpumped += 1
+                if unpumped >= high_watermark:
+                    deliver(engine.pump())
+                    unpumped = 0
+            elif kind == _MSG_DRAIN:
+                deliver(engine.drain())
+                transport.send(_pack_json(_MSG_DRAINED, {"shard": shard_index}))
+            elif kind == _MSG_METRICS:
+                transport.send(
+                    _pack_json(_MSG_METRICS_REPLY, engine.metrics.to_payload())
+                )
+            elif kind == _MSG_SHUTDOWN:
+                break
+            else:
+                raise ConfigurationError(f"unknown shard message kind {kind}")
+    except ShardCrashError:
+        pass  # the parent died; nothing left to serve for
+    finally:
+        engine.close()
+        transport.close()
+
+
+# ----------------------------------------------------------------------
+# Parent
+# ----------------------------------------------------------------------
+@dataclass
+class _Logged:
+    """One admitted request, retained for crash replay."""
+
+    global_id: int
+    images: np.ndarray
+    session_id: Hashable | None
+    slo_seconds: float | None
+
+
+class _Shard:
+    """Parent-side handle on one shard subprocess."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.transport: SocketTransport | None = None
+        self.log: list[_Logged] = []  # admission-ordered, for replay
+        self.staged: list[_Logged] = []  # admitted but not yet on the wire
+        self.outstanding: set[int] = set()
+        self.discard: set[int] = set()  # replayed ids already delivered
+        self.drained = False
+        self.generation = 0  # bumps per (re)spawn; guards nested replays
+        self.metrics_reply: dict | None = None
+
+
+class ShardedServingEngine:
+    """N subprocess shards behind deterministic session routing.
+
+    Args:
+        spec: The spawn-safe deployment recipe every shard builds from.
+        shards: Subprocess count (each runs ``spec.workers`` cloud
+            worker threads internally).
+        start_method: ``fork`` / ``spawn`` / ``forkserver``; ``None``
+            uses the platform default.  Both ``fork`` and ``spawn`` are
+            supported — the spec carries no live state.
+        spawn_timeout: Seconds to wait for a shard to build its engine
+            and report ready.
+        auto_heal: Respawn dead shards and replay their logs (default).
+            When off, a shard death surfaces as
+            :class:`~repro.errors.ShardCrashError`.
+        coalesce: Submissions per shard to stage before sending one
+            multi-request SHRB frame (framing + syscall cost amortise
+            across the batch — the parent's routing hot path).  Staged
+            requests are flushed by reaching the threshold, by
+            :meth:`poll`, or by any control message (drain, metrics,
+            shutdown), so nothing is held indefinitely.  Defaults to the
+            spec's batch window.
+    """
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        *,
+        shards: int = 2,
+        start_method: str | None = None,
+        spawn_timeout: float = 120.0,
+        auto_heal: bool = True,
+        coalesce: int | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"need >= 1 shard, got {shards}")
+        if coalesce is not None and coalesce < 1:
+            raise ConfigurationError(f"need coalesce >= 1, got {coalesce}")
+        self.spec = spec
+        self.n_shards = shards
+        self.auto_heal = auto_heal
+        self.coalesce = coalesce or max(1, spec.batch_window)
+        self.respawned_shards = 0
+        self._spawn_timeout = spawn_timeout
+        self._ctx = multiprocessing.get_context(start_method)
+        self._token = os.urandom(8).hex()
+        self._next_id = itertools.count()
+        self._rr = itertools.count()  # round-robin for sessionless requests
+        self._results: dict[int, np.ndarray] = {}
+        self._closed = False
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.listen(shards)
+        self._address = self._listener.getsockname()
+        self._shards = [_Shard(i) for i in range(shards)]
+        try:
+            for shard in self._shards:
+                self._spawn(shard)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Shard lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, shard: _Shard) -> None:
+        """Start (or restart) one shard and wait until it is warm."""
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(self.spec, shard.index, self._address, self._token),
+            daemon=True,
+        )
+        process.start()
+        deadline = time.monotonic() + self._spawn_timeout
+        self._listener.settimeout(1.0)
+        while True:
+            if time.monotonic() > deadline:
+                process.terminate()
+                raise ShardCrashError(
+                    f"shard {shard.index} did not report ready within "
+                    f"{self._spawn_timeout:.0f}s",
+                    shard_id=shard.index,
+                )
+            if not process.is_alive():
+                raise ShardCrashError(
+                    f"shard {shard.index} died during bootstrap "
+                    f"(exit code {process.exitcode})",
+                    shard_id=shard.index,
+                )
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            transport = SocketTransport(conn, shard_id=shard.index)
+            hello = transport.recv(timeout=self._spawn_timeout)
+            if hello is None or hello[0] != _MSG_HELLO:
+                transport.close()
+                continue
+            meta = _unpack_json(hello[1:])
+            if meta.get("token") != self._token:
+                transport.close()  # not ours
+                continue
+            if meta.get("shard") != shard.index:
+                # A concurrent respawn's connection; shouldn't happen —
+                # spawns are serialized — so treat as a protocol breach.
+                transport.close()
+                raise ShardCrashError(
+                    f"expected shard {shard.index} on the wire, got "
+                    f"{meta.get('shard')}",
+                    shard_id=shard.index,
+                )
+            break
+        conn.setblocking(False)
+        shard.process = process
+        shard.transport = transport
+        shard.drained = False
+        shard.generation += 1
+        shard.metrics_reply = None
+
+    def _heal(self, shard: _Shard) -> None:
+        """Respawn a dead shard pre-warmed and replay its admitted log.
+
+        Replaying the *whole* log in admission order reproduces the
+        shard's noise stream bit-exactly; results the caller already
+        collected re-arrive and are discarded, the rest complete exactly
+        once.
+        """
+        if not self.auto_heal:
+            raise ShardCrashError(
+                f"shard {shard.index} died (auto_heal off)",
+                shard_id=shard.index,
+            )
+        if shard.transport is not None:
+            shard.transport.close()
+        if shard.process is not None:
+            shard.process.join(timeout=5.0)
+            if shard.process.is_alive():
+                shard.process.kill()
+                shard.process.join(timeout=5.0)
+        self._spawn(shard)
+        self.respawned_shards += 1
+        # Anything staged at crash time is already in the log and will go
+        # out with the replay below — sending it twice would desync noise.
+        shard.staged = []
+        # Everything already delivered (whether or not the caller has
+        # collected it) re-arrives during replay and must be dropped.
+        shard.discard = {
+            logged.global_id
+            for logged in shard.log
+            if logged.global_id not in shard.outstanding
+        }
+        generation = shard.generation
+        for start in range(0, len(shard.log), self.coalesce):
+            self._send_batch(shard, shard.log[start : start + self.coalesce])
+            if shard.generation != generation:
+                # The shard died again mid-replay; the nested heal already
+                # replayed the whole log against the newest incarnation —
+                # continuing here would double-submit (and desync noise).
+                return
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def _send_batch(self, shard: _Shard, batch: Sequence[_Logged]) -> None:
+        """One multi-request SUBMIT frame; heals (and aborts) on peer death."""
+        if not batch:
+            return
+        header = json.dumps(
+            {
+                "sessions": [
+                    None if l.session_id is None else str(l.session_id)
+                    for l in batch
+                ],
+                "slos": [l.slo_seconds for l in batch],
+            }
+        ).encode("utf-8")
+        frame = _pack(
+            _MSG_SUBMIT,
+            _HEADER_LEN.pack(len(header)),
+            header,
+            encode_activation_batch(
+                BatchActivationMessage(
+                    request_ids=tuple(l.global_id for l in batch),
+                    splits=tuple(l.images.shape[0] for l in batch),
+                    tensor=np.ascontiguousarray(
+                        np.concatenate([l.images for l in batch], axis=0),
+                        dtype=np.float32,
+                    ),
+                )
+            ),
+        )
+        try:
+            shard.transport.send(frame, on_block=self._absorb_once)
+        except ShardCrashError:
+            self._heal(shard)  # replays the log, including this batch
+
+    def _flush(self, shard: _Shard) -> None:
+        if shard.staged:
+            batch, shard.staged = shard.staged, []
+            self._send_batch(shard, batch)
+
+    def _absorb_once(self, timeout: float = 0.0) -> list[int]:
+        """Drain whatever inbound frames are ready; returns delivered ids."""
+        delivered: list[int] = []
+        live = [s for s in self._shards if s.transport is not None]
+        if not live:
+            return delivered
+        try:
+            ready, _, _ = select.select([s.transport for s in live], [], [], timeout)
+        except (OSError, ValueError):
+            ready = []
+        for transport in ready:
+            shard = self._shards[transport.shard_id]
+            while True:
+                try:
+                    frame = shard.transport.try_recv()
+                except ShardCrashError:
+                    self._heal(shard)
+                    break
+                if frame is None:
+                    break
+                delivered.extend(self._handle(shard, frame))
+        return delivered
+
+    def _handle(self, shard: _Shard, frame: bytes) -> list[int]:
+        kind = frame[0]
+        if kind == _MSG_RESULT:
+            downlink = decode_prediction_batch(frame[1:])
+            delivered: list[int] = []
+            offset = 0
+            for global_id, rows in zip(downlink.request_ids, downlink.splits):
+                logits = downlink.logits[offset : offset + rows]
+                offset += rows
+                if global_id in shard.discard:
+                    shard.discard.remove(global_id)  # replayed duplicate
+                    continue
+                shard.outstanding.discard(global_id)
+                self._results[global_id] = np.array(logits, copy=True)
+                delivered.append(global_id)
+            return delivered
+        if kind == _MSG_DRAINED:
+            shard.drained = True
+            return []
+        if kind == _MSG_METRICS_REPLY:
+            shard.metrics_reply = _unpack_json(frame[1:])
+            return []
+        raise ConfigurationError(f"unknown parent message kind {kind}")
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def route(self, session_id: Hashable | None) -> int:
+        """The shard index a request with ``session_id`` is served by."""
+        if session_id is None:
+            return next(self._rr) % self.n_shards
+        return route_session(session_id, self.n_shards)
+
+    def submit(
+        self,
+        images: np.ndarray,
+        *,
+        slo_seconds: float | None = None,
+        session_id: Hashable | None = None,
+    ) -> int:
+        """Route one request to its shard; returns the global request id."""
+        if self._closed:
+            raise ConfigurationError("sharded engine is closed")
+        global_id = next(self._next_id)
+        shard = self._shards[self.route(session_id)]
+        logged = _Logged(
+            global_id=global_id,
+            images=np.array(images, dtype=np.float32, copy=True),
+            session_id=session_id,
+            slo_seconds=slo_seconds,
+        )
+        shard.log.append(logged)
+        shard.outstanding.add(global_id)
+        shard.staged.append(logged)
+        if len(shard.staged) >= self.coalesce:
+            self._flush(shard)
+            # Results are tiny (one logits row per request); the kernel
+            # socket buffers hold thousands, so draining on the flush
+            # boundary keeps syscalls off the routing hot path.  A full
+            # *outbound* buffer still drains inbound via ``on_block``.
+            self._absorb_once()
+        return global_id
+
+    def poll(self) -> list[int]:
+        """Non-blocking collection; returns newly deliverable ids."""
+        for shard in self._shards:
+            self._flush(shard)
+        return self._absorb_once()
+
+    def drain(self, timeout: float = 300.0) -> list[int]:
+        """Flush every shard and wait for all admitted work to deliver."""
+        if self._closed:
+            raise ConfigurationError("sharded engine is closed")
+        delivered: list[int] = []
+        deadline = time.monotonic() + timeout
+        for shard in self._shards:
+            shard.drained = False
+        # DRAIN barriers are per-incarnation: a shard healed mid-drain has
+        # a fresh engine that never saw the barrier, so track which
+        # generation each DRAIN actually reached and re-send on respawn.
+        drain_sent: dict[int, int] = {}
+        while True:
+            for shard in self._shards:
+                if not shard.drained and drain_sent.get(shard.index) != shard.generation:
+                    self._send_control(shard, _MSG_DRAIN)
+                    drain_sent[shard.index] = shard.generation
+            remaining = [
+                s
+                for s in self._shards
+                if not s.drained or s.outstanding or s.discard
+            ]
+            if not remaining:
+                return delivered
+            if time.monotonic() > deadline:
+                raise ShardCrashError(
+                    f"drain timed out with {sum(len(s.outstanding) for s in remaining)} "
+                    "requests outstanding"
+                )
+            delivered.extend(self._absorb_once(timeout=0.05))
+
+    def _send_control(self, shard: _Shard, kind: int) -> None:
+        # Control messages are ordering barriers: staged submissions must
+        # reach the shard before the drain/metrics request does.
+        self._flush(shard)
+        try:
+            shard.transport.send(_pack(kind), on_block=self._absorb_once)
+        except ShardCrashError:
+            self._heal(shard)
+            shard.drained = False
+            shard.transport.send(_pack(kind), on_block=self._absorb_once)
+
+    def result(self, request_id: int) -> np.ndarray:
+        """Collect (and release) a delivered request's logits."""
+        if request_id not in self._results:
+            raise ConfigurationError(
+                f"request {request_id} has no deliverable result (still in "
+                "flight, unknown, or already collected)"
+            )
+        return self._results.pop(request_id)
+
+    def infer_stream(
+        self,
+        stream: Iterable[np.ndarray] | Sequence[np.ndarray],
+        *,
+        slo_seconds: float | Sequence[float | None] | None = None,
+        session_ids: Sequence[Hashable] | None = None,
+    ) -> list[np.ndarray]:
+        """Submit a whole stream, drain it, return logits in order."""
+        stream = list(stream)
+        if slo_seconds is None or np.isscalar(slo_seconds):
+            slos: list = [slo_seconds] * len(stream)
+        else:
+            slos = list(slo_seconds)
+        if session_ids is None:
+            sessions: list = [None] * len(stream)
+        else:
+            sessions = list(session_ids)
+        ids = [
+            self.submit(images, slo_seconds=slo, session_id=session)
+            for images, slo, session in zip(stream, slos, sessions)
+        ]
+        self.drain()
+        return [self.result(request_id) for request_id in ids]
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics(self, timeout: float = 30.0) -> ServingMetrics:
+        """One merged view over every shard's raw metrics."""
+        for shard in self._shards:
+            shard.metrics_reply = None
+            self._send_control(shard, _MSG_METRICS)
+        deadline = time.monotonic() + timeout
+        while any(s.metrics_reply is None for s in self._shards):
+            if time.monotonic() > deadline:
+                raise ShardCrashError("metrics collection timed out")
+            self._absorb_once(timeout=0.05)
+        return ServingMetrics.merge(
+            [ServingMetrics.from_payload(s.metrics_reply) for s in self._shards]
+        )
+
+    def shard_pids(self) -> list[int]:
+        """Live shard process ids (fault-injection tests kill these)."""
+        return [s.process.pid for s in self._shards if s.process is not None]
+
+    @property
+    def outstanding(self) -> int:
+        """Admitted requests not yet delivered."""
+        return sum(len(s.outstanding) for s in self._shards)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            if shard.transport is not None:
+                try:
+                    shard.transport.send(_pack(_MSG_SHUTDOWN))
+                except ShardCrashError:
+                    pass
+        for shard in self._shards:
+            if shard.process is not None:
+                shard.process.join(timeout=5.0)
+                if shard.process.is_alive():
+                    shard.process.kill()
+                    shard.process.join(timeout=5.0)
+            if shard.transport is not None:
+                shard.transport.close()
+            shard.transport = None
+            shard.process = None
+        self._listener.close()
+
+    def __enter__(self) -> "ShardedServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,274 @@
+"""Real-socket transport for the process-sharded serving plane.
+
+Everything before this module moved bytes through the *simulated*
+:class:`~repro.edge.Channel`; here the fuzz-hardened SHRB/SHRD frames
+finally cross a real kernel socket (``socketpair`` in tests, TCP between
+the sharded parent and its shard subprocesses).  A stream socket has no
+message boundaries, so frames travel length-prefixed::
+
+    4s  magic  "SHRL"
+    I   payload length (bytes)
+    ... payload (opaque — typically one SHRB/SHRD frame, whose own CRC32
+        covers payload integrity)
+
+:class:`FrameDecoder` is deliberately *incremental*: it consumes whatever
+bytes the kernel happened to deliver (one byte at a time in the fuzz
+suite) and yields complete payloads as they materialise, without ever
+blocking, over-reading, or mis-framing across partial reads.  Malformed
+headers raise :class:`~repro.errors.ChannelError` — same typed-error
+contract as the SHRB codec.  A dead peer (EOF / reset) raises
+:class:`~repro.errors.ShardCrashError`, the sharded plane's healing
+trigger.
+
+:class:`SocketTransport` wraps one connected socket with short-write-safe
+sends and incremental receives.  Backpressure is real: a blocking send
+stalls when the peer stops reading (bounded kernel buffers), and the
+non-blocking path hands control to an ``on_block`` callback so the
+sharded parent can drain inbound results while its outbound buffer is
+full instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Callable
+
+from repro.errors import ChannelError, ConfigurationError, ShardCrashError
+
+#: Frame header: magic + payload byte length.
+_HEADER = struct.Struct("<4sI")
+_FRAME_MAGIC = b"SHRL"
+
+#: Refuse absurd frame lengths outright: a corrupted header must fail
+#: typed instead of making the decoder wait forever for bytes that will
+#: never arrive (the "never hangs" fuzz property).
+DEFAULT_MAX_FRAME_BYTES = 1 << 30
+
+#: Receive granularity.  Small enough to exercise partial-frame handling
+#: under load, large enough to amortise syscalls on bulk tensors.
+_RECV_CHUNK = 1 << 16
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """``payload`` wrapped in the length-prefixed wire header."""
+    return _HEADER.pack(_FRAME_MAGIC, len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental length-prefixed frame parser.
+
+    Feed it byte fragments in whatever sizes the socket delivers;
+    complete payloads come out in order.  The decoder never buffers more
+    than one frame beyond the fragment it was handed and never needs to
+    see the whole frame at once.
+
+    Args:
+        max_frame_bytes: Typed-error ceiling on the declared payload
+            length (corrupted headers otherwise turn into unbounded
+            waits).
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise ConfigurationError(
+                f"max_frame_bytes must be positive, got {max_frame_bytes}"
+            )
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+        self._need: int | None = None  # payload length once the header parsed
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data`` and return every frame payload it completed.
+
+        Raises:
+            ChannelError: Bad magic or a declared length beyond
+                ``max_frame_bytes`` — the stream is mis-framed and no
+                further byte can be trusted.
+        """
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if self._need is None:
+                if len(self._buffer) < _HEADER.size:
+                    break
+                magic, length = _HEADER.unpack_from(self._buffer)
+                if magic != _FRAME_MAGIC:
+                    raise ChannelError(
+                        f"bad transport frame magic {bytes(magic)!r}"
+                    )
+                if length > self.max_frame_bytes:
+                    raise ChannelError(
+                        f"transport frame declares {length} bytes "
+                        f"(cap {self.max_frame_bytes}); refusing to wait"
+                    )
+                del self._buffer[: _HEADER.size]
+                self._need = length
+            if len(self._buffer) < self._need:
+                break
+            frames.append(bytes(self._buffer[: self._need]))
+            del self._buffer[: self._need]
+            self._need = None
+        return frames
+
+
+class SocketTransport:
+    """Length-prefixed frames over one connected stream socket.
+
+    Args:
+        sock: A connected ``socket.socket`` (TCP or ``socketpair``).
+        shard_id: Attached to :class:`~repro.errors.ShardCrashError` so
+            the parent knows which peer died.
+        max_frame_bytes: See :class:`FrameDecoder`.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        shard_id: int | None = None,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._sock = sock
+        self.shard_id = shard_id
+        self._decoder = FrameDecoder(max_frame_bytes)
+        self._ready: list[bytes] = []
+        self._closed = False
+        try:
+            # The shard protocol is request/response over small frames;
+            # Nagle coalescing only adds latency.  No-op on AF_UNIX pairs.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self, payload: bytes, *, on_block: Callable[[], None] | None = None
+    ) -> None:
+        """Write one frame, riding out short writes.
+
+        The write loop advances by whatever ``socket.send`` accepted, so
+        partial kernel-buffer acceptance (short writes) never corrupts
+        framing.  When the buffer is *full*:
+
+        * without ``on_block``, a blocking socket simply stalls — that is
+          the backpressure contract (a slow peer slows the sender);
+        * with ``on_block``, the callback runs each time the kernel
+          refuses bytes (the socket must be non-blocking), letting the
+          caller drain its inbound direction instead of deadlocking on a
+          peer that is itself blocked sending to us.
+
+        Raises:
+            ShardCrashError: The peer died mid-write.
+        """
+        frame = memoryview(encode_frame(payload))
+        sent = 0
+        while sent < len(frame):
+            try:
+                sent += self._sock.send(frame[sent:])
+            except (BlockingIOError, InterruptedError, socket.timeout):
+                # Full kernel buffer (or a timeout-mode stall): backpressure,
+                # not peer death — keep retrying, draining inbound if asked.
+                if on_block is not None:
+                    on_block()
+            except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+                raise ShardCrashError(
+                    f"peer died mid-send after {sent} bytes: {exc}",
+                    shard_id=self.shard_id,
+                ) from exc
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def recv(self, timeout: float | None = None) -> bytes | None:
+        """The next frame payload, or ``None`` when ``timeout`` expires.
+
+        Reads are incremental: whatever fragment the kernel delivers is
+        fed to the decoder, and the call returns as soon as one complete
+        frame exists — it never waits for bytes beyond the frame.
+
+        Args:
+            timeout: ``None`` blocks until a frame (or peer death);
+                ``0`` polls.
+
+        Raises:
+            ShardCrashError: EOF or reset from the peer (with any
+                partial frame discarded — a dead shard's half-frame is
+                unusable by construction).
+            ChannelError: The stream is mis-framed (decoder error).
+        """
+        if self._ready:
+            return self._ready.pop(0)
+        self._sock.settimeout(timeout)
+        while True:
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except socket.timeout:
+                return None
+            except (BlockingIOError, InterruptedError):
+                return None
+            except (ConnectionResetError, OSError) as exc:
+                raise ShardCrashError(
+                    f"peer reset the connection: {exc}", shard_id=self.shard_id
+                ) from exc
+            if chunk == b"":
+                raise ShardCrashError(
+                    "peer closed the connection"
+                    + (
+                        f" with {self._decoder.pending_bytes} bytes of a "
+                        "partial frame outstanding"
+                        if self._decoder.pending_bytes
+                        else ""
+                    ),
+                    shard_id=self.shard_id,
+                )
+            frames = self._decoder.feed(chunk)
+            if frames:
+                self._ready.extend(frames[1:])
+                return frames[0]
+
+    def try_recv(self) -> bytes | None:
+        """Non-blocking :meth:`recv` (``None`` when no frame is ready)."""
+        return self.recv(timeout=0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def setblocking(self, flag: bool) -> None:
+        self._sock.setblocking(flag)
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def transport_pair(
+    *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> tuple[SocketTransport, SocketTransport]:
+    """Two connected transports over a real ``socketpair`` (tests)."""
+    left, right = socket.socketpair()
+    return (
+        SocketTransport(left, max_frame_bytes=max_frame_bytes),
+        SocketTransport(right, max_frame_bytes=max_frame_bytes),
+    )

@@ -348,3 +348,163 @@ class TestBatchedFuzz:
         _, blob = batch_frame(n_requests=4, rows_each=3)
         with pytest.raises(ChannelError):
             decode_activation_batch(blob[: min(cut, len(blob) - 1)])
+
+
+# ----------------------------------------------------------------------
+# SHRB frames over a real socket (PR 7, process-sharded serving) —
+# the fuzz surface plus the transport's incremental framing: partial
+# reads, short writes, bitflips and truncation on the wire.  The
+# invariant under every malformation: a typed error or a clean timeout,
+# never a hang, never a mis-framed decode.
+# ----------------------------------------------------------------------
+from repro.serve.transport import FrameDecoder, encode_frame, transport_pair  # noqa: E402
+
+
+def _send_in_fragments(transport, wire: bytes, rng, max_step=16):
+    """Push raw bytes through the socket in random small pieces,
+    emulating pathological kernel segmentation / short writes."""
+    cursor = 0
+    while cursor < len(wire):
+        step = int(rng.integers(1, max_step))
+        transport._sock.sendall(wire[cursor : cursor + step])
+        cursor += step
+
+
+class TestSocketFraming:
+    def test_shrb_round_trip_over_socketpair_with_partial_reads(self):
+        message, blob = batch_frame(n_requests=4, rows_each=3, seed=1)
+        left, right = transport_pair()
+        try:
+            rng = np.random.default_rng(0)
+            _send_in_fragments(left, encode_frame(blob), rng)
+            received = right.recv(timeout=5.0)
+            decoded = decode_activation_batch(received)
+            assert decoded.request_ids == message.request_ids
+            np.testing.assert_array_equal(decoded.tensor, message.tensor)
+        finally:
+            left.close()
+            right.close()
+
+    def test_back_to_back_frames_fragmented_across_boundaries(self):
+        frames = [batch_frame(seed=s)[1] for s in range(4)]
+        wire = b"".join(encode_frame(b) for b in frames)
+        left, right = transport_pair()
+        try:
+            _send_in_fragments(left, wire, np.random.default_rng(1))
+            for blob in frames:
+                assert right.recv(timeout=5.0) == blob
+        finally:
+            left.close()
+            right.close()
+
+    def test_payload_bitflip_on_the_wire_is_caught_by_shrb_crc(self):
+        """The transport frames bytes; integrity is the SHRB CRC's job.
+        A flip inside the payload crosses the socket intact and then
+        fails the typed checksum check at decode time."""
+        _, blob = batch_frame()
+        corrupted = bytearray(blob)
+        corrupted[-20] ^= 0xFF
+        left, right = transport_pair()
+        try:
+            left.send(bytes(corrupted))
+            received = right.recv(timeout=5.0)
+            with pytest.raises(ChannelError, match="checksum"):
+                decode_activation_batch(received)
+        finally:
+            left.close()
+            right.close()
+
+    def test_truncated_frame_then_eof_never_hangs(self):
+        """A peer dying mid-frame must surface as a typed crash error
+        promptly — the decoder must not wait for bytes that will never
+        arrive."""
+        from repro.errors import ShardCrashError
+
+        _, blob = batch_frame()
+        wire = encode_frame(blob)
+        left, right = transport_pair()
+        try:
+            left._sock.sendall(wire[: len(wire) // 2])
+            left.close()
+            with pytest.raises(ShardCrashError, match="partial frame"):
+                right.recv(timeout=5.0)
+        finally:
+            right.close()
+
+    def test_corrupted_length_header_fails_fast_not_hangs(self):
+        """A bitflip in the transport length prefix must raise (bad magic
+        or absurd length) instead of making the reader wait forever."""
+        _, blob = batch_frame()
+        wire = bytearray(encode_frame(blob))
+        left, right = transport_pair(max_frame_bytes=1 << 20)
+        try:
+            wire[6] ^= 0xFF  # high byte of the length field
+            left._sock.sendall(bytes(wire))
+            with pytest.raises(ChannelError):
+                right.recv(timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestSocketFuzz:
+    @given(
+        seed=st.integers(0, 2**16),
+        flip=st.integers(0, 100_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wire_bitflip_never_hangs_or_misframes(self, seed, flip):
+        """Flip one bit anywhere in the framed wire bytes.  Every outcome
+        must be typed: a transport ChannelError (header hit), an SHRB
+        ChannelError (payload hit), or a metadata-only decode in the
+        CRC-uncovered spans — never a hang, crash, or silent mis-frame."""
+        message, blob = batch_frame(seed=seed)
+        wire = bytearray(encode_frame(blob))
+        position = flip % len(wire)
+        wire[position] ^= 1 << (flip % 8)
+        decoder = FrameDecoder(max_frame_bytes=1 << 24)
+        try:
+            frames = decoder.feed(bytes(wire))
+        except ChannelError:
+            return  # corrupted transport header: typed, immediate
+        if not frames:
+            # The flip raised the declared length: the decoder is still
+            # (boundedly) waiting — legal, the socket EOF path turns this
+            # into ShardCrashError.  It must want more than we sent.
+            assert decoder.pending_bytes <= len(wire)
+            return
+        try:
+            decoded = decode_activation_batch(frames[0])
+        except ChannelError:
+            return  # SHRB layer caught it (CRC, magic, tables)
+        allowed = _uncovered_ranges(len(message.request_ids), quantized=False)
+        payload_position = position - 8  # strip the transport header
+        assert any(low <= payload_position < high for low, high in allowed)
+        np.testing.assert_array_equal(decoded.tensor, message.tensor)
+
+    @given(
+        cut=st.integers(1, 500),
+        step_seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_plus_fragmentation_never_yields_a_frame(
+        self, cut, step_seed
+    ):
+        """Any prefix of a framed SHRB message, delivered in arbitrary
+        fragments, either yields nothing (incomplete) or the exact
+        prefix-payload — never a phantom frame."""
+        _, blob = batch_frame(n_requests=3, rows_each=2)
+        wire = encode_frame(blob)
+        prefix = wire[: min(cut, len(wire) - 1)]
+        decoder = FrameDecoder()
+        rng = np.random.default_rng(step_seed)
+        frames = []
+        cursor = 0
+        while cursor < len(prefix):
+            step = int(rng.integers(1, 32))
+            frames.extend(decoder.feed(prefix[cursor : cursor + step]))
+            cursor += step
+        assert frames == []  # the frame never completed
+        assert decoder.pending_bytes == len(prefix) - (
+            8 if len(prefix) >= 8 else len(prefix)
+        ) or len(prefix) < 8

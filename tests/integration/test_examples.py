@@ -30,6 +30,7 @@ def test_examples_exist():
         ("cutting_point_selection.py", ["lenet", "tiny"]),
         ("batched_serving.py", ["tiny"]),
         ("multi_model_serving.py", ["tiny"]),
+        ("sharded_serving.py", ["tiny"]),
     ],
 )
 def test_example_runs(tmp_path, script, args):

@@ -230,3 +230,134 @@ class TestMixingIndex:
         rendered = metrics.format()
         assert "cross-user mix" in rendered
         assert "requeued" in rendered
+
+
+def _loaded_metrics(seed: int, workers: int = 2) -> ServingMetrics:
+    """One shard's worth of realistic metrics content."""
+    rng = np.random.default_rng(seed)
+    metrics = ServingMetrics()
+    n = int(rng.integers(5, 20))
+    metrics.requests = n
+    metrics.samples = 2 * n
+    metrics.micro_batches = max(1, n // 3)
+    metrics.uplink_bytes = int(rng.integers(1000, 100000))
+    metrics.downlink_bytes = int(rng.integers(1000, 100000))
+    metrics.wall_seconds = float(rng.uniform(0.1, 2.0))
+    metrics.simulated_wire_seconds = float(rng.uniform(0.0, 0.5))
+    for _ in range(n):
+        metrics.record_completion(
+            float(rng.uniform(0.001, 0.2)),
+            [None, 0.05, 0.2][int(rng.integers(0, 3))],
+        )
+    metrics.queue_ages = [float(v) for v in rng.uniform(0, 0.05, size=n)]
+    metrics.occupancies = [int(v) for v in rng.integers(1, 5, size=n)]
+    metrics.pool_size_samples = [workers] * (n // 2)
+    for worker in range(workers):
+        metrics.record_worker(worker, float(rng.uniform(0.01, 0.5)))
+    metrics.record_mixing(["A", "B", "A"], [1, 2, 1])
+    metrics.requeued_batches = int(rng.integers(0, 3))
+    metrics.rejected_requests = int(rng.integers(0, 3))
+    metrics.shed_requests = int(rng.integers(0, 2))
+    metrics.respawned_workers = int(rng.integers(0, 2))
+    return metrics
+
+
+class TestMerge:
+    """``ServingMetrics.merge`` vs manual aggregation (PR 7, sharding)."""
+
+    def test_counters_are_summed(self):
+        parts = [_loaded_metrics(s) for s in (0, 1, 2)]
+        merged = ServingMetrics.merge(parts)
+        for counter in (
+            "requests", "samples", "micro_batches", "uplink_bytes",
+            "downlink_bytes", "slo_met", "slo_total", "requeued_batches",
+            "rejected_requests", "shed_requests", "respawned_workers",
+        ):
+            assert getattr(merged, counter) == sum(
+                getattr(p, counter) for p in parts
+            ), counter
+        assert merged.simulated_wire_seconds == pytest.approx(
+            sum(p.simulated_wire_seconds for p in parts)
+        )
+
+    def test_wall_seconds_is_concurrent_max_not_sum(self):
+        parts = [_loaded_metrics(s) for s in (3, 4)]
+        merged = ServingMetrics.merge(parts)
+        assert merged.wall_seconds == max(p.wall_seconds for p in parts)
+        # Aggregate throughput: all shards' requests over the span.
+        assert merged.requests_per_second == pytest.approx(
+            sum(p.requests for p in parts) / max(p.wall_seconds for p in parts)
+        )
+
+    def test_percentile_samples_are_concatenated(self):
+        parts = [_loaded_metrics(s) for s in (5, 6, 7)]
+        merged = ServingMetrics.merge(parts)
+        for samples in ("latencies", "queue_ages", "mixing_fractions"):
+            got = sorted(getattr(merged, samples))
+            want = sorted(sum((getattr(p, samples) for p in parts), []))
+            assert got == pytest.approx(want), samples
+        assert merged.latency_percentile(90) == pytest.approx(
+            percentile(sum((p.latencies for p in parts), []), 90)
+        )
+
+    def test_occupancy_samples_interleave_round_robin(self):
+        a, b = ServingMetrics(), ServingMetrics()
+        a.occupancies = [1, 3, 5]
+        b.occupancies = [2, 4]
+        merged = ServingMetrics.merge([a, b])
+        assert merged.occupancies == [1, 2, 3, 4, 5]
+        a.pool_size_samples = [10]
+        b.pool_size_samples = [20, 30]
+        merged = ServingMetrics.merge([a, b])
+        assert merged.pool_size_samples == [10, 20, 30]
+
+    def test_worker_tallies_are_namespaced_per_part(self):
+        parts = [_loaded_metrics(s, workers=2) for s in (8, 9)]
+        merged = ServingMetrics.merge(parts)
+        assert set(merged.worker_batches) == {
+            (part, worker) for part in range(2) for worker in range(2)
+        }
+        for index, part in enumerate(parts):
+            for worker, batches in part.worker_batches.items():
+                assert merged.worker_batches[(index, worker)] == batches
+        # Derived views still work over tuple keys.
+        assert merged.worker_occupancy()
+        assert "workers" in merged.as_dict()
+        assert merged.format()
+
+    def test_merge_of_empty_and_single(self):
+        empty = ServingMetrics.merge([])
+        assert empty.requests == 0 and empty.requests_per_second == 0.0
+        part = _loaded_metrics(10)
+        merged = ServingMetrics.merge([part])
+        assert merged.requests == part.requests
+        assert merged.latencies == part.latencies
+
+    def test_slo_attainment_matches_manual(self):
+        parts = [_loaded_metrics(s) for s in (11, 12)]
+        merged = ServingMetrics.merge(parts)
+        met = sum(p.slo_met for p in parts)
+        total = sum(p.slo_total for p in parts)
+        assert merged.slo_attainment == pytest.approx(met / total)
+
+
+class TestPayloadRoundTrip:
+    """Shard subprocesses ship raw metrics as JSON; nothing may be lost."""
+
+    def test_round_trip_is_lossless(self):
+        import json
+
+        original = _loaded_metrics(21)
+        payload = json.loads(json.dumps(original.to_payload()))
+        rebuilt = ServingMetrics.from_payload(payload)
+        assert rebuilt == original
+
+    def test_merge_after_round_trip_equals_direct_merge(self):
+        import json
+
+        parts = [_loaded_metrics(s) for s in (22, 23, 24)]
+        shipped = [
+            ServingMetrics.from_payload(json.loads(json.dumps(p.to_payload())))
+            for p in parts
+        ]
+        assert ServingMetrics.merge(shipped) == ServingMetrics.merge(parts)

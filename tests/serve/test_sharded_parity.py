@@ -1,0 +1,295 @@
+"""Bit-parity and fault tests for the process-sharded serving plane (PR 7).
+
+The sharding contract (ROADMAP item 3): requests route to shard
+subprocesses by deterministic session hashing, and every shard is
+**bit-identical** to its own sequential
+:class:`~repro.edge.InferenceSession` reference — the per-shard noise
+stream seeded by :func:`~repro.serve.shard.shard_seed` — run over exactly
+the subsequence of requests routed to it.  On top of parity:
+
+* per-session ordering (results of one session deliver in submit order),
+* spawn-safety (the :class:`~repro.serve.shard.ShardSpec` crossing the
+  process boundary is plain data; ``spawn`` works, not just ``fork``),
+* exactly-once healing: SIGKILL a shard mid-stream and the respawned
+  shard replays its admitted log, duplicates discarded, parity intact
+  (heavier leg behind ``REPRO_SERVE_FAULT=1``, mirroring the PR 5/6
+  fault-matrix convention).
+
+Env knobs (the CI serve-stress matrix): ``REPRO_SERVE_SEED`` adds a
+stream seed, ``REPRO_SERVE_SHARDS`` adds a shard count,
+``REPRO_SERVE_FAULT=1`` enables the kill legs.
+"""
+
+import os
+import pickle
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import TINY, Config
+from repro.core import NoiseCollection, SplitInferenceModel
+from repro.edge import Channel
+from repro.errors import ConfigurationError
+from repro.serve import (
+    ShardSpec,
+    ShardedServingEngine,
+    generate_trace,
+    route_session,
+    shard_seed,
+)
+
+_ENV_SEED = os.environ.get("REPRO_SERVE_SEED")
+_ENV_SHARDS = int(os.environ.get("REPRO_SERVE_SHARDS") or 0)
+_FAULTS = os.environ.get("REPRO_SERVE_FAULT") == "1"
+STREAM_SEEDS = [11, 23] + ([1000 + int(_ENV_SEED)] if _ENV_SEED else [])
+SHARD_COUNTS = sorted({1, 2, 4} | ({_ENV_SHARDS} if _ENV_SHARDS else set()))
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    from repro.models import get_pretrained
+
+    return get_pretrained("lenet", Config(scale=TINY))
+
+
+@pytest.fixture(scope="module")
+def collection(bundle):
+    split = SplitInferenceModel(bundle.model)
+    rng = np.random.default_rng(5)
+    collection = NoiseCollection(split.activation_shape)
+    for _ in range(4):
+        collection.add(
+            rng.laplace(0, 0.05, size=split.activation_shape).astype(np.float32),
+            accuracy=0.8,
+            in_vivo_privacy=0.1,
+        )
+    return collection
+
+
+@pytest.fixture(scope="module")
+def spec(bundle, collection):
+    return ShardSpec.capture(
+        bundle.model,
+        bundle.model.last_conv_cut(),
+        mean=np.zeros(1, np.float32),
+        std=np.ones(1, np.float32),
+        noise=collection,
+        base_seed=7,
+        workers=1,
+        batch_window=4,
+        kernel_backend="numpy",
+    )
+
+
+def _random_stream(bundle, rng, n_requests, n_sessions=6):
+    """Mixed-size request batches over a rotating session population."""
+    images = bundle.test_set.images
+    stream, slos, sessions = [], [], []
+    cursor = 0
+    for _ in range(n_requests):
+        size = int(rng.integers(1, 4))
+        stream.append(
+            images[cursor % len(images) : cursor % len(images) + 1].repeat(size, axis=0)
+        )
+        cursor += size
+        slos.append([None, 0.050, 0.200][int(rng.integers(0, 3))])
+        sessions.append(f"user-{int(rng.integers(0, n_sessions))}")
+    return stream, slos, sessions
+
+
+def _reference_outputs(spec, n_shards, stream, sessions):
+    """Per-shard sequential references over each shard's routed subsequence."""
+    refs = [spec.reference_session(i, n_shards) for i in range(n_shards)]
+    return [
+        refs[route_session(session, n_shards)].infer(images)
+        for images, session in zip(stream, sessions)
+    ]
+
+
+class TestRouting:
+    def test_route_is_deterministic_and_in_range(self):
+        for n in (1, 2, 4, 7):
+            for sid in ["user-0", "u12345", 42, ("tenant", 3)]:
+                first = route_session(sid, n)
+                assert 0 <= first < n
+                assert all(route_session(sid, n) == first for _ in range(5))
+
+    def test_route_spreads_a_million_user_population(self):
+        trace = generate_trace(
+            2000, shape="poisson", mean_rate_rps=1e4, seed=0, n_users=1_000_000
+        )
+        counts = np.bincount(
+            [route_session(e.session_id, 4) for e in trace], minlength=4
+        )
+        assert counts.min() > 0  # no dead shard under heavy-tailed traffic
+
+    def test_shard_seeds_are_distinct_and_stable(self):
+        seeds = [shard_seed(7, i) for i in range(8)]
+        assert len(set(seeds)) == 8
+        assert seeds == [shard_seed(7, i) for i in range(8)]
+
+    def test_bad_shard_count_is_typed(self):
+        with pytest.raises(ConfigurationError):
+            route_session("u0", 0)
+
+
+class TestSpawnSafety:
+    def test_spec_is_plain_data_and_pickles(self, spec):
+        blob = pickle.dumps(spec)
+        clone = pickle.loads(blob)
+        assert clone.model_name == spec.model_name
+        assert clone.cut == spec.cut
+        np.testing.assert_array_equal(
+            clone.noise_tensors, spec.noise_tensors
+        )
+        for value in vars(clone).values():
+            assert not callable(getattr(value, "transmit", None))  # no Channel
+            assert not hasattr(value, "acquire") or isinstance(value, dict)
+
+    def test_spec_rejects_live_channel(self, bundle, collection):
+        with pytest.raises(ConfigurationError, match="plain data|dict"):
+            ShardSpec.capture(
+                bundle.model,
+                bundle.model.last_conv_cut(),
+                mean=np.zeros(1, np.float32),
+                std=np.ones(1, np.float32),
+                noise=collection,
+                channel=Channel(),  # live object, not kwargs
+            )
+
+    def test_spawn_start_method_regression(self, bundle, spec):
+        # `spawn` inherits nothing from the parent address space: the
+        # spec alone must be enough to rebuild a bit-identical engine.
+        stream, slos, sessions = _random_stream(
+            bundle, np.random.default_rng(29), 6
+        )
+        with ShardedServingEngine(spec, shards=2, start_method="spawn") as engine:
+            actual = engine.infer_stream(
+                stream, slo_seconds=slos, session_ids=sessions
+            )
+        expected = _reference_outputs(spec, 2, stream, sessions)
+        for a, b in zip(actual, expected):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestShardedParity:
+    @pytest.mark.parametrize("stream_seed", STREAM_SEEDS)
+    @pytest.mark.parametrize("n_shards", SHARD_COUNTS)
+    def test_randomized_stream_matches_per_shard_references(
+        self, bundle, spec, stream_seed, n_shards
+    ):
+        stream, slos, sessions = _random_stream(
+            bundle, np.random.default_rng(stream_seed), 12
+        )
+        with ShardedServingEngine(
+            spec, shards=n_shards, start_method="fork"
+        ) as engine:
+            actual = engine.infer_stream(
+                stream, slo_seconds=slos, session_ids=sessions
+            )
+        expected = _reference_outputs(spec, n_shards, stream, sessions)
+        assert len(actual) == len(expected)
+        for a, b in zip(actual, expected):
+            np.testing.assert_array_equal(a, b)
+
+    def test_trace_driven_stream_from_loadgen(self, bundle, spec):
+        # The million-user trace harness drives the sharded plane the
+        # same way the bench does: ids from a Zipf population, rows from
+        # the trace, everything reproducible from the seed.
+        trace = generate_trace(
+            16,
+            shape="bursty",
+            mean_rate_rps=500.0,
+            seed=4,
+            n_users=1_000_000,
+            rows_choices=(1, 2),
+        )
+        images = bundle.test_set.images
+        stream = [
+            images[i % len(images) : i % len(images) + 1].repeat(e.rows, axis=0)
+            for i, e in enumerate(trace)
+        ]
+        sessions = [e.session_id for e in trace]
+        with ShardedServingEngine(spec, shards=2, start_method="fork") as engine:
+            actual = engine.infer_stream(stream, session_ids=sessions)
+        expected = _reference_outputs(spec, 2, stream, sessions)
+        for a, b in zip(actual, expected):
+            np.testing.assert_array_equal(a, b)
+
+    def test_per_session_ordering_and_incremental_results(self, bundle, spec):
+        stream, _, sessions = _random_stream(bundle, np.random.default_rng(1), 10)
+        with ShardedServingEngine(spec, shards=2, start_method="fork") as engine:
+            ids = [
+                engine.submit(images, session_id=session)
+                for images, session in zip(stream, sessions)
+            ]
+            engine.drain()
+            assert engine.outstanding == 0
+            actual = [engine.result(request_id) for request_id in ids]
+            with pytest.raises(ConfigurationError):
+                engine.result(ids[0])  # results are collected exactly once
+        expected = _reference_outputs(spec, 2, stream, sessions)
+        for a, b in zip(actual, expected):
+            np.testing.assert_array_equal(a, b)
+
+    def test_merged_metrics_cover_all_shards(self, bundle, spec):
+        stream, _, sessions = _random_stream(bundle, np.random.default_rng(2), 8)
+        with ShardedServingEngine(spec, shards=2, start_method="fork") as engine:
+            engine.infer_stream(stream, session_ids=sessions)
+            merged = engine.metrics()
+        assert merged.requests == len(stream)
+        assert merged.samples == sum(images.shape[0] for images in stream)
+        assert len(merged.latencies) == len(stream)
+        # Worker tallies are namespaced per shard: (shard, worker) keys.
+        assert all(isinstance(key, tuple) for key in merged.worker_batches)
+
+
+@pytest.mark.skipif(not _FAULTS, reason="set REPRO_SERVE_FAULT=1 to run kill legs")
+class TestShardCrashHealing:
+    def test_sigkill_mid_stream_preserves_parity_exactly_once(self, bundle, spec):
+        stream, _, sessions = _random_stream(bundle, np.random.default_rng(13), 18)
+        with ShardedServingEngine(spec, shards=2, start_method="fork") as engine:
+            ids = []
+            for index, (images, session) in enumerate(zip(stream, sessions)):
+                ids.append(engine.submit(images, session_id=session))
+                if index == 8:
+                    os.kill(engine.shard_pids()[0], signal.SIGKILL)
+                    time.sleep(0.05)
+            engine.drain()
+            actual = [engine.result(request_id) for request_id in ids]
+            respawns = engine.respawned_shards
+        assert respawns >= 1
+        expected = _reference_outputs(spec, 2, stream, sessions)
+        for a, b in zip(actual, expected):
+            np.testing.assert_array_equal(a, b)
+
+    def test_kill_during_drain_still_delivers_everything(self, bundle, spec):
+        stream, _, sessions = _random_stream(bundle, np.random.default_rng(17), 12)
+        with ShardedServingEngine(spec, shards=2, start_method="fork") as engine:
+            ids = [
+                engine.submit(images, session_id=session)
+                for images, session in zip(stream, sessions)
+            ]
+            os.kill(engine.shard_pids()[-1], signal.SIGKILL)
+            engine.drain()
+            actual = [engine.result(request_id) for request_id in ids]
+            assert engine.respawned_shards >= 1
+        expected = _reference_outputs(spec, 2, stream, sessions)
+        for a, b in zip(actual, expected):
+            np.testing.assert_array_equal(a, b)
+
+    def test_auto_heal_off_surfaces_typed_error(self, bundle, spec):
+        from repro.errors import ShardCrashError
+
+        stream, _, sessions = _random_stream(bundle, np.random.default_rng(19), 4)
+        with ShardedServingEngine(
+            spec, shards=2, start_method="fork", auto_heal=False
+        ) as engine:
+            for images, session in zip(stream, sessions):
+                engine.submit(images, session_id=session)
+            for pid in engine.shard_pids():
+                os.kill(pid, signal.SIGKILL)
+            with pytest.raises(ShardCrashError):
+                engine.drain(timeout=10.0)

@@ -1,0 +1,207 @@
+"""Unit tests for the length-prefixed socket transport (PR 7).
+
+The sharded serving plane rides on :mod:`repro.serve.transport`; these
+tests pin its framing contract in isolation: incremental decode over
+arbitrary fragmentations, short-write-safe sends, typed errors for
+mis-framed streams, typed :class:`~repro.errors.ShardCrashError` on peer
+death, and non-blocking backpressure via ``on_block``.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelError, ConfigurationError, ShardCrashError
+from repro.serve.transport import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameDecoder,
+    SocketTransport,
+    encode_frame,
+    transport_pair,
+)
+
+
+class TestFrameDecoder:
+    def test_roundtrip_single_frame(self):
+        payload = b"hello, shard"
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(payload)) == [payload]
+        assert decoder.pending_bytes == 0
+
+    def test_empty_payload_is_a_valid_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"")) == [b""]
+
+    def test_byte_at_a_time_never_misframes(self):
+        payloads = [b"a", b"bb" * 100, b"", b"\x00" * 7]
+        wire = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(wire)):
+            out.extend(decoder.feed(wire[i : i + 1]))
+        assert out == payloads
+        assert decoder.pending_bytes == 0
+
+    def test_random_fragmentation(self):
+        rng = np.random.default_rng(3)
+        payloads = [bytes(rng.integers(0, 256, size=int(n), dtype=np.uint8))
+                    for n in rng.integers(0, 200, size=20)]
+        wire = b"".join(encode_frame(p) for p in payloads)
+        for trial in range(10):
+            decoder = FrameDecoder()
+            out = []
+            cursor = 0
+            while cursor < len(wire):
+                step = int(rng.integers(1, 64))
+                out.extend(decoder.feed(wire[cursor : cursor + step]))
+                cursor += step
+            assert out == payloads
+
+    def test_multiple_frames_in_one_feed(self):
+        decoder = FrameDecoder()
+        wire = encode_frame(b"one") + encode_frame(b"two") + encode_frame(b"three")
+        assert decoder.feed(wire) == [b"one", b"two", b"three"]
+
+    def test_bad_magic_raises_typed(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ChannelError, match="magic"):
+            decoder.feed(b"XXXX\x01\x00\x00\x00a")
+
+    def test_oversized_declared_length_fails_fast_not_hangs(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        import struct
+
+        header = struct.pack("<4sI", b"SHRL", 65)
+        with pytest.raises(ChannelError, match="refusing to wait"):
+            decoder.feed(header)
+
+    def test_max_frame_bytes_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrameDecoder(max_frame_bytes=0)
+        assert FrameDecoder().max_frame_bytes == DEFAULT_MAX_FRAME_BYTES
+
+    def test_partial_header_is_not_an_error(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(b"SHR") == []
+        assert decoder.pending_bytes == 3
+        assert decoder.feed(b"L\x01\x00\x00\x00Z") == [b"Z"]
+
+
+class TestSocketTransport:
+    def test_roundtrip_over_socketpair(self):
+        left, right = transport_pair()
+        try:
+            left.send(b"ping")
+            assert right.recv(timeout=5.0) == b"ping"
+            right.send(b"pong")
+            assert left.recv(timeout=5.0) == b"pong"
+        finally:
+            left.close()
+            right.close()
+
+    def test_large_payload_survives_short_writes(self):
+        # Well beyond the kernel socket buffer: the send loop must ride
+        # out short writes while the reader drains concurrently.
+        payload = bytes(np.random.default_rng(0).integers(
+            0, 256, size=4 << 20, dtype=np.uint8))
+        left, right = transport_pair()
+        received = []
+
+        def reader():
+            received.append(right.recv(timeout=30.0))
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            left.send(payload)
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert received == [payload]
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_timeout_returns_none(self):
+        left, right = transport_pair()
+        try:
+            assert right.recv(timeout=0.05) is None
+            assert right.try_recv() is None
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_close_raises_shard_crash(self):
+        left, right = transport_pair()
+        try:
+            left.close()
+            with pytest.raises(ShardCrashError):
+                right.recv(timeout=5.0)
+        finally:
+            right.close()
+
+    def test_peer_death_mid_frame_reports_partial_bytes(self):
+        left, right = transport_pair()
+        try:
+            frame = encode_frame(b"x" * 100)
+            left._sock.sendall(frame[:20])  # half a frame, then death
+            left.close()
+            with pytest.raises(ShardCrashError, match="partial frame"):
+                right.recv(timeout=5.0)
+        finally:
+            right.close()
+
+    def test_send_to_dead_peer_raises_shard_crash_with_shard_id(self):
+        sock_a, sock_b = socket.socketpair()
+        left = SocketTransport(sock_a, shard_id=3)
+        right = SocketTransport(sock_b)
+        right.close()
+        with pytest.raises(ShardCrashError) as excinfo:
+            # One send may land in the (now orphaned) kernel buffer;
+            # keep pushing until the broken pipe surfaces.
+            for _ in range(64):
+                left.send(b"y" * (1 << 16))
+        assert excinfo.value.shard_id == 3
+        left.close()
+
+    def test_on_block_callback_drains_backpressure(self):
+        # Fill the outbound buffer of a non-blocking socket; on_block
+        # must be invoked, and draining the peer lets the send finish.
+        left, right = transport_pair()
+        left.setblocking(False)
+        blocked = {"calls": 0}
+
+        def on_block():
+            blocked["calls"] += 1
+            while right.try_recv() is not None:
+                pass
+
+        payload = b"z" * (1 << 20)
+        try:
+            for _ in range(8):
+                left.send(payload, on_block=on_block)
+            while right.try_recv() is not None:
+                pass
+            assert blocked["calls"] > 0
+        finally:
+            left.close()
+            right.close()
+
+    def test_queued_extra_frames_come_out_in_order(self):
+        left, right = transport_pair()
+        try:
+            for i in range(5):
+                left.send(f"frame-{i}".encode())
+            got = [right.recv(timeout=5.0) for _ in range(5)]
+            assert got == [f"frame-{i}".encode() for i in range(5)]
+        finally:
+            left.close()
+            right.close()
+
+    def test_close_is_idempotent_and_context_managed(self):
+        left, right = transport_pair()
+        with left, right:
+            left.send(b"ok")
+            assert right.recv(timeout=5.0) == b"ok"
+        left.close()  # second close is a no-op
