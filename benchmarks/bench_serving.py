@@ -38,6 +38,15 @@ multi-worker engine:
   never queued unbounded, silently dropped, or hung — every admitted
   request is delivered exactly once, the killed worker heals back, and
   bit parity holds after the heal and across a post-run hot-swap;
+* ``privacy_mixing`` — the shuffling–privacy bridge (PR 8): the same
+  mixed-session stream served with the shuffler off and on (bit parity
+  against the sequential reference required in both legs, shuffling is
+  not allowed to cost more than a bounded throughput fraction), plus the
+  empirical leakage evaluator (:func:`repro.privacy.evaluate_shuffle_leakage`)
+  replaying the wire composition over the tapped cut activations: the
+  positional re-identification attacker must do no better shuffled than
+  unshuffled, with a small mixing-trade-off sweep (window x shards x
+  isolation x shuffle) recorded for the paper plot;
 * ``serving_sharded`` — the process-sharded plane
   (:class:`repro.serve.ShardedServingEngine`): a trace from the open-loop
   load generator (bursty arrivals, a million distinct users, Zipf-heavy
@@ -60,9 +69,11 @@ single-worker throughput at window 8, shared-pool multi-model aggregate
 below its floor (0.95 full, 0.75 smoke) or any other chaos contract
 breach, (when a C compiler is present) kernel-on serving throughput
 below kernel-off at window 8 (>= 2x required in a full run, with
-unanimous label agreement), or the sharded plane below 2x the 4-thread
+unanimous label agreement), the sharded plane below 2x the 4-thread
 engine at 4 shards (full; >= 1x under ``--smoke``) or out of bit-parity
-with its per-shard references.
+with its per-shard references, or the privacy-mixing leg breaking parity,
+leaking more positionally with the shuffler on than off, or paying more
+than the allowed shuffling overhead.
 """
 
 from __future__ import annotations
@@ -136,6 +147,13 @@ SHARDED_WORKERS = 4
 #: users, each paying a real round trip) rather than bound by the tiny
 #: lenet compute.
 SHARDED_CHANNEL_LATENCY_MS = 10.0
+#: Privacy-mixing leg: distinct sessions interleaved round-robin on the
+#: shuffled stream, and the floor on shuffle-on throughput as a fraction
+#: of shuffle-off throughput.  The shuffler is one O(batch) permutation
+#: per micro-batch, so anything below this floor is a real regression,
+#: not host noise.
+PRIVACY_MIXING_SESSIONS = 8
+PRIVACY_MIXING_OVERHEAD_FLOOR = 0.5
 
 
 def build_collection(split: SplitInferenceModel, members: int) -> NoiseCollection:
@@ -986,6 +1004,118 @@ def main() -> int:
         f"{'PASS' if sh_ok else 'FAIL'})"
     )
 
+    # ------------------------------------------------------------------
+    # Privacy–mixing trade-off: serve one mixed-session stream with the
+    # shuffler off and on (parity against the sequential reference must
+    # hold in both legs — shuffling moves rows, never bits), then replay
+    # the same wire composition over the tapped cut activations through
+    # the empirical leakage evaluator.  The positional attacker reads the
+    # micro-batch request table exactly as a curious cloud worker would;
+    # shuffling must push it down to (or below) its unshuffled score.
+    # ------------------------------------------------------------------
+    from repro.privacy import evaluate_shuffle_leakage, sweep_mixing_tradeoff
+
+    pm_requests = 64 if args.smoke else 192
+    pm_stream = stream[:pm_requests]
+    pm_sessions = [
+        f"user-{i % PRIVACY_MIXING_SESSIONS}" for i in range(pm_requests)
+    ]
+    pm_results: dict[str, dict] = {}
+    pm_logits: dict[bool, list] = {}
+    pm_metrics: dict[bool, dict] = {}
+    for shuffled in (False, True):
+        best = float("inf")
+        for _ in range(repeats):
+            engine = ServingEngine(
+                bundle.model, cut, mean, std, noise=collection,
+                channel=Channel(), rng=np.random.default_rng(7),
+                workers=2, batch_window=ACCEPTANCE_WINDOW,
+                batch_timeout=0.0, shuffle=shuffled, shuffle_seed=7,
+            )
+            begin = time.perf_counter()
+            logits = engine.infer_stream(pm_stream, session_ids=pm_sessions)
+            elapsed = time.perf_counter() - begin
+            if elapsed < best:
+                best = elapsed
+                pm_logits[shuffled] = logits
+                metrics = engine.metrics
+                pm_metrics[shuffled] = {
+                    "mixing_index": metrics.mixing_index,
+                    "shuffled_batches": metrics.shuffled_batches,
+                    "anonymity_sets": list(metrics.anonymity_sets),
+                    "epsilon_amplified": metrics.shuffle_amplification(1.0),
+                }
+            engine.close()
+        pm_results["shuffled" if shuffled else "plain"] = {
+            "seconds": best,
+            "requests_per_second": pm_requests / best,
+        }
+    pm_parity = all(
+        np.array_equal(a, b)
+        for a, b in zip(pm_logits[True], pm_logits[False])
+    ) and all(
+        np.array_equal(a, b)
+        for a, b in zip(seq_logits[:pm_requests], pm_logits[True])
+    )
+    pm_ratio = (
+        pm_results["shuffled"]["requests_per_second"]
+        / pm_results["plain"]["requests_per_second"]
+    )
+
+    pm_acts = split.activations(np.concatenate(pm_stream))
+    pm_acts = pm_acts.reshape(pm_requests, -1).astype(np.float64)
+    pm_leak = {
+        label: evaluate_shuffle_leakage(
+            pm_acts, pm_sessions, batch_window=ACCEPTANCE_WINDOW,
+            shuffle=shuffled, shuffle_seed=7, epsilon0=1.0,
+        ).as_dict()
+        for label, shuffled in (("plain", False), ("shuffled", True))
+    }
+    pm_surface = sweep_mixing_tradeoff(
+        pm_acts, pm_sessions,
+        batch_windows=(2, ACCEPTANCE_WINDOW),
+        shard_counts=(1, 2), worker_counts=(1,),
+        isolation_policies=(False, True), shuffle_modes=(False, True),
+        shuffle_seed=7, epsilon0=1.0,
+    )
+    pm_leak_ok = (
+        pm_leak["shuffled"]["positional_accuracy"]
+        <= pm_leak["plain"]["positional_accuracy"]
+        and pm_leak["shuffled"]["session_mi_bits"]
+        <= pm_leak["plain"]["session_mi_bits"]
+        and pm_metrics[True]["shuffled_batches"] > 0
+    )
+    pm_ok = pm_parity and pm_leak_ok and pm_ratio >= PRIVACY_MIXING_OVERHEAD_FLOOR
+    serving["privacy_mixing"] = {
+        "requests": pm_requests,
+        "window": ACCEPTANCE_WINDOW,
+        "sessions": PRIVACY_MIXING_SESSIONS,
+        "workers": 2,
+        "legs": pm_results,
+        "shuffle_overhead_ratio": pm_ratio,
+        "bitwise_parity": pm_parity,
+        "engine_metrics": {
+            "plain": pm_metrics[False],
+            "shuffled": pm_metrics[True],
+        },
+        "leakage": pm_leak,
+        "tradeoff_surface": pm_surface,
+        "gate_overhead_floor": PRIVACY_MIXING_OVERHEAD_FLOOR,
+        "gate_leakage_not_worse": pm_leak_ok,
+    }
+    print(
+        f"privacy-mixing: positional attacker "
+        f"{pm_leak['plain']['positional_accuracy']:.2f} -> "
+        f"{pm_leak['shuffled']['positional_accuracy']:.2f} "
+        f"(chance {pm_leak['shuffled']['positional_chance']:.2f}), session MI "
+        f"{pm_leak['plain']['session_mi_bits']:.2f} -> "
+        f"{pm_leak['shuffled']['session_mi_bits']:.2f} bits, eps 1.0 -> "
+        f"{pm_metrics[True]['epsilon_amplified']:.3f} at anonymity "
+        f"{min(pm_metrics[True]['anonymity_sets'])}, shuffle cost "
+        f"{pm_ratio:.2f}x throughput, parity={'OK' if pm_parity else 'FAIL'} "
+        f"({'PASS' if pm_ok else 'FAIL'})"
+    )
+
     # Merge into the hot-path report without clobbering other sections.
     report: dict = {}
     if args.output.exists():
@@ -1011,7 +1141,7 @@ def main() -> int:
         acceptance = serving["windows"][str(windows[0])]
     if args.smoke:
         ok = (gate_ok and acceptance["speedup"] > 1.0 and slo_ok and mw_ok
-              and mm_ok and chaos_ok and kb_ok and sh_ok)
+              and mm_ok and chaos_ok and kb_ok and sh_ok and pm_ok)
         print(
             f"smoke gate: batched beats sequential "
             f"({'PASS' if acceptance['speedup'] > 1.0 else 'FAIL'}, "
@@ -1022,7 +1152,8 @@ def main() -> int:
             f"({'PASS' if mm_ok else 'FAIL'}), chaos contract "
             f"({'PASS' if chaos_ok else 'FAIL'}), "
             f"kernel-on >= kernel-off ({'PASS' if kb_ok else 'FAIL'}), "
-            f"sharded >= 1x threaded ({'PASS' if sh_ok else 'FAIL'})"
+            f"sharded >= 1x threaded ({'PASS' if sh_ok else 'FAIL'}), "
+            f"privacy-mixing contract ({'PASS' if pm_ok else 'FAIL'})"
         )
     else:
         ok = (
@@ -1034,6 +1165,7 @@ def main() -> int:
             and chaos_ok
             and kb_ok
             and sh_ok
+            and pm_ok
         )
         print(
             f"target: >= {ACCEPTANCE_SPEEDUP:.1f}x at window {ACCEPTANCE_WINDOW} "
@@ -1048,7 +1180,8 @@ def main() -> int:
             f"native kernels >= {KERNEL_BACKEND_SPEEDUP:.1f}x "
             f"({'PASS' if kb_ok else 'FAIL'}), "
             f"sharded-{max(SHARDED_SHARD_COUNTS)} >= {SHARDED_SPEEDUP:.1f}x "
-            f"threaded-{SHARDED_WORKERS} ({'PASS' if sh_ok else 'FAIL'})"
+            f"threaded-{SHARDED_WORKERS} ({'PASS' if sh_ok else 'FAIL'}), "
+            f"privacy-mixing contract ({'PASS' if pm_ok else 'FAIL'})"
         )
     return 0 if ok else 1
 

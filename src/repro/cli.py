@@ -256,6 +256,8 @@ def _cmd_serve_multi(args: argparse.Namespace) -> int:
             isolate_sessions=args.batch_policy == "isolate",
             max_pending=args.max_pending,
             admission_rate_rps=args.admission_rate,
+            shuffle=args.shuffle,
+            shuffle_seed=args.shuffle_seed,
         )
         traffic[name] = (bundle.test_set.images, bundle.test_set.labels)
     requests = {
@@ -379,6 +381,8 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
             else 0.0
         ),
         kernel_backend=args.kernel_backend,
+        shuffle=args.shuffle,
+        shuffle_seed=args.shuffle_seed,
         channel={
             "bandwidth_mbps": args.bandwidth_mbps,
             "latency_ms": args.latency_ms,
@@ -498,6 +502,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         kernel_backend=args.kernel_backend,
         max_pending=args.max_pending,
         admission_rate_rps=args.admission_rate,
+        shuffle=args.shuffle,
+        shuffle_seed=args.shuffle_seed,
     )
     engine_mode = isinstance(session, ServingEngine)
     images = bundle.test_set.images
@@ -759,6 +765,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="micro-batch composition: 'mixed' stacks any sessions together "
         "(maximal occupancy), 'isolate' never mixes two sessions in one "
         "batch (cross-user mixing index reads 0)",
+    )
+    serve.add_argument(
+        "--shuffle", action="store_true",
+        help="permute each micro-batch's rows across sessions before the "
+        "uplink frame is encoded (seeded policy, inverse recorded; "
+        "bit-parity preserved) — the wire frame's request table no longer "
+        "reveals row ownership, and metrics report per-batch anonymity "
+        "sets and the shuffle-amplification bound",
+    )
+    serve.add_argument(
+        "--shuffle-seed", type=int, default=None, metavar="SEED",
+        help="explicit shuffling-policy seed (default 0; with --shards, "
+        "each shard derives its own stream from this base)",
     )
     serve.add_argument(
         "--max-pending", type=int, default=None,

@@ -308,6 +308,8 @@ class ShredderPipeline:
         rng: np.random.Generator | None = None,
         max_pending: int | None = None,
         admission_rate_rps: float | None = None,
+        shuffle: bool = False,
+        shuffle_seed: int | None = None,
     ):
         """Stand up a serving session for this pipeline's split backbone.
 
@@ -355,6 +357,11 @@ class ShredderPipeline:
                 (engine only; select the engine when set).  Over capacity
                 the engine's ``submit`` raises a typed
                 :class:`~repro.errors.AdmissionError`.
+            shuffle / shuffle_seed: Enable the seeded cross-session row
+                shuffling stage (batched sessions only; see
+                :class:`repro.serve.scheduler.Shuffler`).  Parity is
+                preserved — the recorded inverse restores per-request
+                order bit-exactly.
         """
         from repro.edge import InferenceSession, calibrate
         from repro.serve import BatchedInferenceSession, ServingEngine
@@ -375,6 +382,11 @@ class ShredderPipeline:
                 raise ConfigurationError(
                     "quantised payloads are a batched-wire feature; "
                     "deploy(batched=True) to use quantize_bits"
+                )
+            if shuffle:
+                raise ConfigurationError(
+                    "row shuffling is a batched-wire feature; "
+                    "deploy(batched=True) to use shuffle"
                 )
             if engine_mode:
                 raise ConfigurationError(
@@ -406,12 +418,14 @@ class ShredderPipeline:
                 quantization=quantization, kernel_backend=kernel_backend,
                 max_pending=max_pending,
                 admission_rate_rps=admission_rate_rps,
+                shuffle=shuffle, shuffle_seed=shuffle_seed,
             )
         return BatchedInferenceSession(
             self.bundle.model, self.split.cut, mean, std, noise,
             channel=channel, rng=rng, batch_window=batch_window,
             quantization=quantization, kernel_backend=kernel_backend,
             isolate_sessions=isolate_sessions,
+            shuffle=shuffle, shuffle_seed=shuffle_seed,
         )
 
     def deploy_many(
@@ -536,6 +550,8 @@ class ShredderPipeline:
                     admission_rate_rps=spec.admission_rate_rps,
                     admission_burst=spec.admission_burst,
                     shed_unmeetable=spec.shed_unmeetable,
+                    shuffle=spec.shuffle,
+                    shuffle_seed=spec.shuffle_seed,
                 )
         except BaseException:
             # Never leak the worker pool when a late registration fails.

@@ -51,11 +51,25 @@ from repro.privacy.mutual_information import (
     ksg_mutual_information_reference,
 )
 from repro.privacy.reduction import PCAReducer, flatten_batch, randomized_svd
+from repro.privacy.shuffle_eval import (
+    ShuffleLeakageReport,
+    WireBatch,
+    amplified_epsilon,
+    evaluate_shuffle_leakage,
+    sweep_mixing_tradeoff,
+    tap_wire_batches,
+)
 
 __all__ = [
     "LeakageEstimate",
     "LeakageBracket",
     "MIInterval",
+    "ShuffleLeakageReport",
+    "WireBatch",
+    "amplified_epsilon",
+    "evaluate_shuffle_leakage",
+    "sweep_mixing_tradeoff",
+    "tap_wire_batches",
     "gaussian_channel_bracket",
     "gaussian_entropy_bits",
     "laplace_channel_bracket",

@@ -95,8 +95,12 @@ def subsampled_mi_interval(
     point = estimate_leakage(
         inputs, activations, n_components=n_components, k=k, estimator=estimator
     ).mi_bits
+    # One independent jitter seed per replicate: a shared fixed seed would
+    # add identical tie-breaking noise to every resample, correlating the
+    # draws and understating the interval width.
+    jitter_seeds = rng.integers(0, np.iinfo(np.int64).max, size=n_replicates)
     replicates = []
-    for _ in range(n_replicates):
+    for jitter_seed in jitter_seeds:
         keep = rng.choice(n, size=size, replace=False)
         replicates.append(
             estimate_leakage(
@@ -105,6 +109,7 @@ def subsampled_mi_interval(
                 n_components=n_components,
                 k=k,
                 estimator=estimator,
+                jitter_rng=int(jitter_seed),
             ).mi_bits
         )
     tail = (1.0 - confidence) / 2.0

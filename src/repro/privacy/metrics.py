@@ -48,6 +48,7 @@ def estimate_leakage(
     estimator: str = "ksg",
     max_samples: int | None = None,
     rng: np.random.Generator | None = None,
+    jitter_rng: np.random.Generator | int | None = None,
 ) -> LeakageEstimate:
     """Estimate I(input; activation) in bits.
 
@@ -63,6 +64,10 @@ def estimate_leakage(
         estimator: ``"ksg"`` (Kraskov) or ``"entropy_sum"`` (ITE-style).
         max_samples: Random subsample size (None = use all).
         rng: Subsampling randomness.
+        jitter_rng: Seed or generator for the KSG tie-breaking jitter
+            (``None`` keeps the historical fixed seed; resampling loops
+            must pass a distinct value per draw or the replicates share
+            identical jitter).  Ignored by ``"entropy_sum"``.
     """
     x = flatten_batch(inputs)
     a = flatten_batch(activations)
@@ -75,7 +80,7 @@ def estimate_leakage(
     x_reduced = PCAReducer(n_components).fit_transform(x)
     a_reduced = PCAReducer(n_components).fit_transform(a)
     if estimator == "ksg":
-        mi = ksg_mutual_information(x_reduced, a_reduced, k=k)
+        mi = ksg_mutual_information(x_reduced, a_reduced, k=k, jitter_rng=jitter_rng)
     elif estimator == "entropy_sum":
         mi = entropy_sum_mi(x_reduced, a_reduced, k=k)
     else:

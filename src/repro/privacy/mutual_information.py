@@ -67,12 +67,33 @@ def _standardize(samples: np.ndarray) -> np.ndarray:
     return (samples - mean) / np.maximum(std, 1e-12)
 
 
+def _jitter_generator(
+    jitter_rng: np.random.Generator | int | None,
+) -> np.random.Generator:
+    """Resolve the tie-breaking jitter randomness.
+
+    ``None`` keeps the historical fixed seed 0, so single estimator calls
+    stay bitwise identical to every release before the seed was exposed.
+    Resampling loops must pass a distinct seed (or generator) per draw —
+    a shared fixed seed adds *identical* jitter to every replicate, which
+    correlates the draws and understates interval width.
+    """
+    if jitter_rng is None:
+        return np.random.default_rng(0)
+    if isinstance(jitter_rng, np.random.Generator):
+        return jitter_rng
+    return np.random.default_rng(jitter_rng)
+
+
 def _jittered(
-    x: np.ndarray, y: np.ndarray, jitter: float
+    x: np.ndarray,
+    y: np.ndarray,
+    jitter: float,
+    jitter_rng: np.random.Generator | int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     if not jitter:
         return x, y
-    rng = np.random.default_rng(0)
+    rng = _jitter_generator(jitter_rng)
     x = x + rng.normal(0.0, jitter, size=x.shape)
     y = y + rng.normal(0.0, jitter, size=y.shape)
     return x, y
@@ -121,6 +142,7 @@ def ksg_mutual_information(
     jitter: float = 1e-10,
     backend: str = "auto",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    jitter_rng: np.random.Generator | int | None = None,
 ) -> float:
     """KSG estimator (algorithm 1) of I(X;Y) in bits.
 
@@ -136,12 +158,15 @@ def ksg_mutual_information(
             (parallel tree queries).  All backends agree exactly.
         chunk_size: Query-chunk length for the scipy backend, keeping its
             memory flat in ``N``.
+        jitter_rng: Seed or generator for the tie-breaking jitter.
+            ``None`` (the default) keeps the historical fixed seed 0;
+            resampling callers must pass a distinct value per draw.
     """
     x, y = _paired(x, y, k)
     n = len(x)
     if k < 1 or k >= n:
         raise EstimatorError(f"k must be in [1, N); got k={k}, N={n}")
-    x, y = _jittered(x, y, jitter)
+    x, y = _jittered(x, y, jitter, jitter_rng)
     if _resolve_backend(backend, n, k) == "c":
         _, nx, ny = _fastknn.ksg_counts(x, y, k, tol=_RADIUS_TOL)
     else:
@@ -155,18 +180,23 @@ def ksg_mutual_information(
 
 
 def ksg_mutual_information_reference(
-    x: np.ndarray, y: np.ndarray, k: int = 3, jitter: float = 1e-10
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int = 3,
+    jitter: float = 1e-10,
+    jitter_rng: np.random.Generator | int | None = None,
 ) -> float:
     """The pre-vectorisation KSG implementation (per-point Python loop).
 
     Retained verbatim as the parity baseline for the fast backends and as
-    the "before" side of the hot-path benchmark.
+    the "before" side of the hot-path benchmark.  ``jitter_rng`` matches
+    :func:`ksg_mutual_information` so parity checks can pin the jitter.
     """
     x, y = _paired(x, y, k)
     n = len(x)
     if k < 1 or k >= n:
         raise EstimatorError(f"k must be in [1, N); got k={k}, N={n}")
-    x, y = _jittered(x, y, jitter)
+    x, y = _jittered(x, y, jitter, jitter_rng)
     joint = np.concatenate([x, y], axis=1)
     joint_tree = cKDTree(joint)
     distances, _ = joint_tree.query(joint, k=k + 1, p=np.inf)

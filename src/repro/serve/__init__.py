@@ -66,6 +66,26 @@ in two steps:
   generates reproducible open-loop arrivals (Poisson / diurnal / bursty)
   over Zipf-heavy-tailed million-user populations for the sharded benches.
 
+* **PR 8** bridged shuffling and privacy: a
+  :class:`~repro.serve.scheduler.Shuffler` stage permutes the rows of
+  every closed micro-batch **across sessions** under an explicit seeded
+  policy and records the inverse (:class:`~repro.serve.scheduler.BatchPermutation`)
+  so the dispatcher restores per-request order bit-exactly — the wire
+  frame's request table no longer truthfully describes row ownership,
+  which removes the positional side channel an honest-but-curious cloud
+  would use to attribute rows to users.  Enable it per deployment
+  (``register(..., shuffle=True)``, ``deploy(shuffle=True)``,
+  ``repro serve --shuffle``); :class:`~repro.serve.metrics.ServingMetrics`
+  tracks shuffled batches and per-batch **anonymity sets** (distinct
+  sessions mixed together) and reports the closed-form shuffle
+  amplification bound
+  (:meth:`~repro.serve.metrics.ServingMetrics.shuffle_amplification`,
+  backed by :func:`repro.privacy.shuffle_eval.amplified_epsilon`);
+  :mod:`repro.privacy.shuffle_eval` measures the leakage empirically
+  with the repo's real attacks.  ``ServingMetrics.mixing_index`` is now
+  ``None`` when nothing was dispatched (mixing is *undefined*, matching
+  ``slo_attainment``) — a served-but-unmixed stream still reads ``0.0``.
+
 Serving is bit-for-bit equivalent to the retained sequential reference
 path (:class:`repro.edge.InferenceSession`) on the same request stream —
 for every batching window *and* every worker count, per deployment: all
@@ -111,7 +131,7 @@ from repro.serve.replay import (
     random_trace,
     simulate_schedule,
 )
-from repro.serve.scheduler import AdaptiveBatcher
+from repro.serve.scheduler import AdaptiveBatcher, BatchPermutation, Shuffler
 from repro.serve.session import BatchedInferenceSession
 from repro.serve.shard import (
     ShardSpec,
@@ -128,6 +148,7 @@ __all__ = [
     "AsyncServingClient",
     "AutoscaleDecision",
     "Autoscaler",
+    "BatchPermutation",
     "BatchedInferenceSession",
     "ControlPlane",
     "Deployment",
@@ -147,6 +168,7 @@ __all__ = [
     "ShardCrashError",
     "ShardSpec",
     "ShardedServingEngine",
+    "Shuffler",
     "SocketTransport",
     "TRACE_SHAPES",
     "TokenBucket",

@@ -106,6 +106,7 @@ from repro.edge.costs import cut_cost
 from repro.edge.device import CloudServer, EdgeDevice, SessionReport
 from repro.edge.planner import plan_batch_window, predict_window_latency
 from repro.edge.protocol import (
+    BatchActivationMessage,
     BatchPredictionMessage,
     decode_activation_batch,
     decode_prediction_batch,
@@ -125,7 +126,7 @@ from repro.models.base import SplittableModel
 from repro.serve.admission import AdmissionController
 from repro.serve.metrics import ServingMetrics
 from repro.serve.queue import InferenceRequest, RequestQueue
-from repro.serve.scheduler import AdaptiveBatcher
+from repro.serve.scheduler import AdaptiveBatcher, BatchPermutation, Shuffler
 
 #: Sentinel distinguishing "argument omitted" from an explicit ``None``
 #: (``swap(noise=None)`` means *remove* the noise collection).
@@ -168,6 +169,10 @@ class DeploymentSpec:
         shed_unmeetable: Admission-control knobs (see
             :class:`~repro.serve.admission.AdmissionController`); all
             disabled by default.
+        shuffle / shuffle_seed: Enable the seeded cross-session row
+            shuffling stage (:class:`~repro.serve.scheduler.Shuffler`)
+            on closed micro-batches; the inverse permutation is recorded
+            so results restore to per-session order bit-exactly.
     """
 
     noise: NoiseCollection | None = None
@@ -188,6 +193,8 @@ class DeploymentSpec:
     admission_rate_rps: float | None = None
     admission_burst: float | None = None
     shed_unmeetable: bool = False
+    shuffle: bool = False
+    shuffle_seed: int | None = None
 
 
 @dataclass
@@ -213,6 +220,7 @@ class Deployment:
     activation_shapes: list[tuple[int, ...]]
     channel_prototype: Channel
     admission: AdmissionController | None = None
+    shuffler: Shuffler | None = None
     target_slo_seconds: float | None = None
     window_wire_seconds: float = 0.0
     channels: list[Channel] = field(default_factory=list)
@@ -373,6 +381,10 @@ class _Flight:
     task: _Task
     future: Future
     uplink_bytes: int
+    #: Row permutation the shuffler applied to the uplink tensor; crash
+    #: recovery requeues the same (permuted) bytes, so the recorded
+    #: inverse stays valid across any number of attempts.
+    permutation: BatchPermutation | None = None
     attempts: int = 1
 
 
@@ -484,6 +496,8 @@ class ControlPlane:
         admission_rate_rps: float | None = None,
         admission_burst: float | None = None,
         shed_unmeetable: bool = False,
+        shuffle: bool = False,
+        shuffle_seed: int | None = None,
     ) -> Deployment:
         """Register one named deployment and pre-warm every worker for it.
 
@@ -491,6 +505,16 @@ class ControlPlane:
         window meeting ``target_slo_seconds`` at ``arrival_rate_rps``
         (:func:`repro.edge.planner.plan_batch_window`), so each deployment
         can run its own planner-chosen window.
+
+        ``shuffle`` inserts the :class:`~repro.serve.scheduler.Shuffler`
+        stage: every closed micro-batch's stacked rows are permuted
+        across sessions under a seeded policy (``shuffle_seed``, default
+        0) before encoding, and the recorded inverse restores per-request
+        order at collection — bit parity with the sequential reference is
+        preserved while the wire frame's row order stops revealing which
+        session a row belongs to.  Shuffle-amplification accounting
+        (anonymity sets per shuffled batch) lands in the deployment's
+        :class:`~repro.serve.metrics.ServingMetrics`.
 
         ``max_pending`` / ``admission_rate_rps`` / ``admission_burst`` /
         ``shed_unmeetable`` install a per-deployment admission gate
@@ -595,6 +619,11 @@ class ControlPlane:
             activation_shapes=activation_shapes,
             channel_prototype=prototype,
             admission=admission,
+            shuffler=(
+                Shuffler(seed=0 if shuffle_seed is None else shuffle_seed)
+                if shuffle
+                else None
+            ),
             target_slo_seconds=target_slo_seconds,
             window_wire_seconds=window_wire_seconds,
         )
@@ -1163,6 +1192,24 @@ class ControlPlane:
             [request.images for request in window],
             [request.request_id for request in window],
         )
+        # Shuffler stage: permute the stacked rows across sessions after
+        # noise (and any quantisation — both row-local) so the wire
+        # frame's row order carries no session information.  The inverse
+        # rides on the flight; _absorb restores per-request order before
+        # demultiplexing, so parity is untouched.
+        permutation = None
+        if deployment.shuffler is not None:
+            permutation = deployment.shuffler.permute(len(message.tensor))
+            if permutation is not None:
+                message = BatchActivationMessage(
+                    request_ids=message.request_ids,
+                    splits=message.splits,
+                    tensor=permutation.apply(message.tensor),
+                    quantization=message.quantization,
+                )
+                deployment.metrics.record_shuffle(
+                    [request.ordering_key for request in window]
+                )
         uplink = encode_activation_batch(message)
         task = _Task(
             deployment.name,
@@ -1172,7 +1219,7 @@ class ControlPlane:
         future = self._pool.submit(self._execute, task)
         self._flights.append(
             _Flight(self._next_seq, deployment.name, window, task, future,
-                    len(uplink))
+                    len(uplink), permutation=permutation)
         )
         self._next_seq += 1
         self.pool_metrics.pool_size_samples.append(self.alive_workers)
@@ -1325,9 +1372,17 @@ class ControlPlane:
     ) -> None:
         deployment = self.registry.get(flight.deployment)
         now = self._clock()
-        for request, logits in zip(
-            flight.window, result.decoded.split_logits()
-        ):
+        decoded = result.decoded
+        if flight.permutation is not None:
+            # Un-permute the stacked logits with the recorded inverse
+            # before demultiplexing: wire rows come back in shuffle order,
+            # and split_logits slices by the *request-order* splits.
+            decoded = BatchPredictionMessage(
+                request_ids=decoded.request_ids,
+                splits=decoded.splits,
+                logits=flight.permutation.restore(decoded.logits),
+            )
+        for request, logits in zip(flight.window, decoded.split_logits()):
             deployment.computed[request.request_id] = logits
         metrics = deployment.metrics
         metrics.requests += len(flight.window)

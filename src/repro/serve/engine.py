@@ -89,6 +89,10 @@ class ServingEngine(ControlPlane):
             over capacity :meth:`submit` raises a typed
             :class:`~repro.errors.AdmissionError` /
             :class:`~repro.errors.OverloadError`.
+        shuffle / shuffle_seed: Cross-session row shuffling for the sole
+            deployment (see :meth:`ControlPlane.register` and
+            :class:`~repro.serve.scheduler.Shuffler`); parity-preserving
+            by the shuffling contract.
     """
 
     #: Name of the engine's sole deployment on the underlying plane.
@@ -120,6 +124,8 @@ class ServingEngine(ControlPlane):
         admission_rate_rps: float | None = None,
         admission_burst: float | None = None,
         shed_unmeetable: bool = False,
+        shuffle: bool = False,
+        shuffle_seed: int | None = None,
     ) -> None:
         super().__init__(
             workers=workers,
@@ -149,6 +155,8 @@ class ServingEngine(ControlPlane):
             admission_rate_rps=admission_rate_rps,
             admission_burst=admission_burst,
             shed_unmeetable=shed_unmeetable,
+            shuffle=shuffle,
+            shuffle_seed=shuffle_seed,
         )
         self._deployment = deployment
         self.cut = cut

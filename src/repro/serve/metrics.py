@@ -86,6 +86,12 @@ class ServingMetrics:
         pool_size_samples: Live-worker-count samples over the session
             (taken at each dispatch and on every scale/heal event) —
             the autoscaler's observable trace.
+        shuffled_batches: Micro-batches whose wire rows were permuted by
+            the :class:`~repro.serve.scheduler.Shuffler` stage before
+            encoding.
+        anonymity_sets: Distinct sessions per shuffled micro-batch — the
+            ``n`` that enters the shuffle-amplification accounting (a
+            row's position reveals at best "one of n users").
     """
 
     requests: int = 0
@@ -108,6 +114,8 @@ class ServingMetrics:
     shed_requests: int = 0
     respawned_workers: int = 0
     pool_size_samples: list[int] = field(default_factory=list)
+    shuffled_batches: int = 0
+    anonymity_sets: list[int] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Recording
@@ -150,6 +158,20 @@ class ServingMetrics:
             own[key] = own.get(key, 0) + int(rows)
         for key in request_keys:
             self.mixing_fractions.append((total - own[key]) / total)
+
+    def record_shuffle(self, request_keys: Sequence) -> None:
+        """Account one shuffled micro-batch and its anonymity set.
+
+        Args:
+            request_keys: One ordering key per request in the batch.
+
+        The anonymity set is the number of *distinct* sessions whose rows
+        were permuted together: a positional adversary observing the wire
+        can attribute a row to at best "one of n users".  Recorded once
+        per batch the :class:`~repro.serve.scheduler.Shuffler` permuted.
+        """
+        self.shuffled_batches += 1
+        self.anonymity_sets.append(len(set(request_keys)))
 
     # ------------------------------------------------------------------
     # Aggregation (sharded serving)
@@ -194,6 +216,8 @@ class ServingMetrics:
             merged.rejected_requests += part.rejected_requests
             merged.shed_requests += part.shed_requests
             merged.respawned_workers += part.respawned_workers
+            merged.shuffled_batches += part.shuffled_batches
+            merged.anonymity_sets.extend(part.anonymity_sets)
         for index, part in enumerate(parts):
             for worker, batches in part.worker_batches.items():
                 merged.worker_batches[(index, worker)] = batches
@@ -239,6 +263,8 @@ class ServingMetrics:
             "shed_requests": self.shed_requests,
             "respawned_workers": self.respawned_workers,
             "pool_size_samples": list(self.pool_size_samples),
+            "shuffled_batches": self.shuffled_batches,
+            "anonymity_sets": list(self.anonymity_sets),
         }
 
     @classmethod
@@ -262,12 +288,14 @@ class ServingMetrics:
             rejected_requests=int(payload["rejected_requests"]),
             shed_requests=int(payload["shed_requests"]),
             respawned_workers=int(payload["respawned_workers"]),
+            shuffled_batches=int(payload.get("shuffled_batches", 0)),
         )
         metrics.latencies = [float(v) for v in payload["latencies"]]
         metrics.occupancies = [int(v) for v in payload["occupancies"]]
         metrics.queue_ages = [float(v) for v in payload["queue_ages"]]
         metrics.mixing_fractions = [float(v) for v in payload["mixing_fractions"]]
         metrics.pool_size_samples = [int(v) for v in payload["pool_size_samples"]]
+        metrics.anonymity_sets = [int(v) for v in payload.get("anonymity_sets", [])]
         metrics.worker_batches = {
             worker_key(k): int(v) for k, v in payload["worker_batches"].items()
         }
@@ -309,7 +337,7 @@ class ServingMetrics:
         return self.slo_met / self.slo_total
 
     @property
-    def mixing_index(self) -> float:
+    def mixing_index(self) -> float | None:
         """Mean cross-user mixing over dispatched requests.
 
         0.0 under the ``isolate_sessions`` batch policy (no batch ever
@@ -318,10 +346,44 @@ class ServingMetrics:
         different user.  This is the measurable knob the shuffling-privacy
         analyses ask for: how much of the stacked activation a request
         travels with belongs to someone else.
+
+        ``None`` when nothing was dispatched (mixing is undefined, not
+        perfect isolation — matching :attr:`slo_attainment`).  Isolated
+        or single-session dispatches still record 0.0 fractions, so a
+        served-but-unmixed session reads 0.0, never ``None``.
         """
         if not self.mixing_fractions:
-            return 0.0
+            return None
         return float(np.mean(self.mixing_fractions))
+
+    @property
+    def mean_anonymity_set(self) -> float | None:
+        """Mean distinct sessions per shuffled batch (``None`` if no
+        batch was shuffled)."""
+        if not self.anonymity_sets:
+            return None
+        return float(np.mean(self.anonymity_sets))
+
+    def shuffle_amplification(
+        self, epsilon0: float, delta: float = 1e-5
+    ) -> float | None:
+        """Amplified central epsilon from the recorded anonymity sets.
+
+        Evaluates the shuffle-amplification bound (see
+        :func:`repro.privacy.shuffle_eval.amplified_epsilon`) at the
+        *smallest* recorded anonymity set — the conservative choice: the
+        least-mixed shuffled batch bounds what any batch revealed.
+        Returns ``None`` when no batch was shuffled.
+
+        Args:
+            epsilon0: Per-report local epsilon of the on-device noise.
+            delta: Amplification failure probability.
+        """
+        if not self.anonymity_sets:
+            return None
+        from repro.privacy.shuffle_eval import amplified_epsilon
+
+        return amplified_epsilon(epsilon0, min(self.anonymity_sets), delta)
 
     @property
     def mean_occupancy(self) -> float:
@@ -366,6 +428,8 @@ class ServingMetrics:
             "slo_total": self.slo_total,
             "slo_attainment": self.slo_attainment,
             "mixing_index": self.mixing_index,
+            "shuffled_batches": self.shuffled_batches,
+            "mean_anonymity_set": self.mean_anonymity_set,
             "requeued_batches": self.requeued_batches,
             "rejected_requests": self.rejected_requests,
             "shed_requests": self.shed_requests,
@@ -416,6 +480,12 @@ class ServingMetrics:
             lines.append(
                 f"cross-user mix    {self.mixing_index:.1%} of batch rows "
                 "from other sessions (mean per request)"
+            )
+        if self.shuffled_batches:
+            lines.append(
+                f"shuffling         {self.shuffled_batches} micro-batches "
+                f"permuted (mean anonymity set "
+                f"{self.mean_anonymity_set:.1f} sessions)"
             )
         if self.requeued_batches:
             lines.append(

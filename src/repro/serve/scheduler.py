@@ -21,9 +21,25 @@ The policy is a pure function of the queue and the caller-supplied ``now``
 — it never reads the wall clock itself — so the identical code path runs
 under the real-time engine (:mod:`repro.serve.engine`) and the
 deterministic virtual-time simulator (:mod:`repro.serve.replay`).
+
+The module's second stage is the :class:`Shuffler`: once a micro-batch is
+closed, it permutes the *rows* of the stacked (already-noisy) activation
+across sessions under an explicit seeded policy, and records the inverse
+permutation so the dispatcher can restore per-request order bit-exactly
+after the cloud half returns.  Shuffling severs the wire-visible link
+between a row's batch position and the frame's request table — the
+positional side channel a curious cloud or on-path observer would use to
+attribute rows to users — while the row-invariant executor guarantees the
+permute → compute → unpermute round trip is the identity on every
+request's logits (the shuffling contract; see ROADMAP standing
+constraints).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.serve.queue import InferenceRequest, MicroBatcher, RequestQueue
@@ -160,3 +176,92 @@ class AdaptiveBatcher:
             self.service_estimate += self.SERVICE_EWMA * (
                 seconds - self.service_estimate
             )
+
+
+@dataclass(frozen=True)
+class BatchPermutation:
+    """One micro-batch's recorded row permutation and its inverse.
+
+    Attributes:
+        forward: ``wire[i] = plain[forward[i]]`` — the row order that
+            actually went over the wire.
+        inverse: ``plain[j] = wire[inverse[j]]`` — recorded at shuffle
+            time so the dispatcher can restore per-request order without
+            recomputing (or trusting) anything.
+    """
+
+    forward: tuple[int, ...]
+    inverse: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.forward)
+
+    def apply(self, tensor: np.ndarray) -> np.ndarray:
+        """Rows of ``tensor`` in wire order (a fresh contiguous array)."""
+        if len(tensor) != len(self.forward):
+            raise ConfigurationError(
+                f"permutation covers {len(self.forward)} rows, "
+                f"tensor has {len(tensor)}"
+            )
+        return np.ascontiguousarray(tensor[np.asarray(self.forward)])
+
+    def restore(self, tensor: np.ndarray) -> np.ndarray:
+        """Rows of a wire-order ``tensor`` back in plain (request) order."""
+        if len(tensor) != len(self.inverse):
+            raise ConfigurationError(
+                f"permutation covers {len(self.inverse)} rows, "
+                f"tensor has {len(tensor)}"
+            )
+        return np.ascontiguousarray(tensor[np.asarray(self.inverse)])
+
+
+class Shuffler:
+    """Seeded cross-session row shuffling for closed micro-batches.
+
+    The shuffling contract (enforced by the parity suites):
+
+    * the permutation is drawn from an **explicit seeded policy** —
+      batch ``b`` of a shuffler seeded ``s`` uses
+      ``np.random.SeedSequence([s, b])`` — so runs are reproducible and
+      two identically-seeded deployments shuffle identically;
+    * the **inverse is recorded** (:class:`BatchPermutation`) before the
+      frame is encoded, and the dispatcher restores per-request order
+      with it after the cloud half returns;
+    * shuffling happens **after** noise sampling and quantisation, both
+      of which are row-local, and the executor is row-invariant — so
+      per-session logits stay bit-identical to the unshuffled (and to
+      the sequential reference) path.
+
+    The stage permutes at *row* granularity over the whole stacked
+    tensor, so multi-row requests are dispersed too: a wire row's
+    position carries no information about which request — or session —
+    contributed it beyond "one of the batch's sessions" (the anonymity
+    set recorded in :class:`~repro.serve.metrics.ServingMetrics`).
+
+    Args:
+        seed: Policy seed.  The per-batch counter advances on every
+            :meth:`permute` call, including trivially small batches, so
+            batch ``b`` always draws from the same stream position.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.batches = 0
+
+    def permute(self, n_rows: int) -> BatchPermutation | None:
+        """Draw the next batch's permutation; ``None`` if under 2 rows
+        (a single row cannot mix, and recording it would be noise)."""
+        if n_rows < 0:
+            raise ConfigurationError(f"row count must be >= 0, got {n_rows}")
+        counter = self.batches
+        self.batches += 1
+        if n_rows < 2:
+            return None
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, counter]))
+        forward = rng.permutation(n_rows)
+        inverse = np.empty(n_rows, dtype=np.int64)
+        inverse[forward] = np.arange(n_rows)
+        return BatchPermutation(
+            forward=tuple(int(i) for i in forward),
+            inverse=tuple(int(i) for i in inverse),
+        )

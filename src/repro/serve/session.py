@@ -30,6 +30,8 @@ from repro.edge.channel import Channel
 from repro.edge.costs import cut_cost
 from repro.edge.device import CloudServer, EdgeDevice, SessionReport
 from repro.edge.protocol import (
+    BatchActivationMessage,
+    BatchPredictionMessage,
     decode_activation_batch,
     decode_prediction_batch,
     encode_activation_batch,
@@ -40,6 +42,7 @@ from repro.errors import ConfigurationError
 from repro.models.base import SplittableModel
 from repro.serve.metrics import ServingMetrics
 from repro.serve.queue import MicroBatcher, RequestQueue
+from repro.serve.scheduler import Shuffler
 
 
 class BatchedInferenceSession:
@@ -63,6 +66,14 @@ class BatchedInferenceSession:
         isolate_sessions: Batch-composition policy (see
             :class:`~repro.serve.queue.MicroBatcher`): ``True`` never
             mixes two sessions in one micro-batch.
+        shuffle: Permute rows across sessions inside each closed
+            micro-batch (:class:`~repro.serve.scheduler.Shuffler`) before
+            the frame is encoded, restoring order from the recorded
+            inverse after the cloud half returns.  Shuffling happens
+            after noise and quantisation (both row-local) and the
+            executor is row-invariant, so the parity contract above is
+            preserved bit for bit.
+        shuffle_seed: Explicit shuffling-policy seed (default 0).
     """
 
     def __init__(
@@ -79,6 +90,8 @@ class BatchedInferenceSession:
         quantization: QuantizationParams | None = None,
         kernel_backend: str = "auto",
         isolate_sessions: bool = False,
+        shuffle: bool = False,
+        shuffle_seed: int | None = None,
     ) -> None:
         local, remote = model.split(cut)
         self.device = EdgeDevice(local, mean, std, noise, rng, quantization,
@@ -90,6 +103,11 @@ class BatchedInferenceSession:
         self.queue = RequestQueue()
         self.batcher = MicroBatcher(
             self.queue, batch_window, max_rows, isolate_sessions
+        )
+        self.shuffler = (
+            Shuffler(seed=0 if shuffle_seed is None else shuffle_seed)
+            if shuffle
+            else None
         )
         self._edge_cost = cut_cost(model, cut)
         self._results: dict[int, np.ndarray] = {}
@@ -150,11 +168,30 @@ class BatchedInferenceSession:
             [request.images for request in window],
             [request.request_id for request in window],
         )
+        permutation = None
+        if self.shuffler is not None:
+            permutation = self.shuffler.permute(len(message.tensor))
+            if permutation is not None:
+                message = BatchActivationMessage(
+                    request_ids=message.request_ids,
+                    splits=message.splits,
+                    tensor=permutation.apply(message.tensor),
+                    quantization=message.quantization,
+                )
+                self.metrics.record_shuffle(
+                    [request.ordering_key for request in window]
+                )
         uplink = encode_activation_batch(message)
         delivered = decode_activation_batch(self.channel.transmit(uplink))
         response = self.server.predict_batch(delivered)
         downlink = self.channel.transmit(encode_prediction_batch(response))
         decoded = decode_prediction_batch(downlink)
+        if permutation is not None:
+            decoded = BatchPredictionMessage(
+                request_ids=decoded.request_ids,
+                splits=decoded.splits,
+                logits=permutation.restore(decoded.logits),
+            )
         completed: list[int] = []
         now = time.perf_counter()
         for request, request_id, logits in zip(

@@ -102,6 +102,18 @@ def route_session(session_id: Hashable, n_shards: int) -> int:
     Python's built-in ``hash()`` is salted per process, which would make
     routing (and therefore every shard's noise stream) irreproducible;
     this uses CRC32 of the id's string form instead.
+
+    **Canonicalisation contract** (pinned by
+    ``tests/serve/test_sharded_parity.py``): the id is canonicalised
+    through ``str()`` before hashing, i.e. the route is
+    ``zlib.crc32(str(session_id).encode("utf-8")) % n_shards``.  Two ids
+    with equal string forms — ``1`` and ``"1"`` — therefore route to the
+    same shard *by design*: the sharded wire header already serialises
+    session ids as strings (see ``_send_batch``), so a shard cannot
+    distinguish them anyway, and hashing the pre-``str()`` value would
+    let the parent and a replaying/healed shard disagree about session
+    identity.  Callers who need distinct sessions must use ids with
+    distinct string forms.
     """
     if n_shards < 1:
         raise ConfigurationError(f"need >= 1 shard, got {n_shards}")
@@ -144,6 +156,8 @@ class ShardSpec:
     isolate_sessions: bool = False
     quantization: tuple[float, int, int] | None = None
     kernel_backend: str = "auto"
+    shuffle: bool = False
+    shuffle_seed: int | None = None
     channel: dict = field(default_factory=dict)  # Channel(**channel) kwargs
 
     _LIVE_TYPES = ("Channel", "NoiseStream", "ServingEngine", "ControlPlane")
@@ -265,6 +279,8 @@ class ShardSpec:
             isolate_sessions=self.isolate_sessions,
             quantization=quantization,
             kernel_backend=self.kernel_backend,
+            shuffle=self.shuffle,
+            shuffle_seed=self.shuffle_seed,
         )
 
     def reference_session(self, shard_index: int, n_shards: int):

@@ -54,9 +54,13 @@ WORKER_COUNTS = sorted({1, 2, 4} | ({_ENV_WORKERS} if _ENV_WORKERS else set()))
 #: REPRO_SERVE_FAULT=1 injects a worker crash into every parity run;
 #: REPRO_SERVE_CHAOS=1 additionally runs the parity matrix on an
 #: auto-healing plane and asserts the crashed capacity grew back.
+#: REPRO_SERVE_SHUFFLE=1 runs the whole parity matrix with the
+#: cross-session row shuffler on (the shuffling contract: permute →
+#: compute → unpermute must be bit-exact, crashes included).
 N_DEPLOYMENTS = int(os.environ.get("REPRO_SERVE_DEPLOYMENTS", "2"))
 FAULT_LEG = os.environ.get("REPRO_SERVE_FAULT") == "1"
 CHAOS_LEG = os.environ.get("REPRO_SERVE_CHAOS") == "1"
+SHUFFLE_LEG = os.environ.get("REPRO_SERVE_SHUFFLE") == "1"
 
 
 @pytest.fixture(scope="module")
@@ -101,8 +105,11 @@ def _make_plane(
     isolate_sessions=False,
     fault_injector=None,
     channel=None,
+    shuffle=None,
     **plane_kwargs,
 ):
+    if shuffle is None:
+        shuffle = SHUFFLE_LEG
     plane = ControlPlane(
         workers=workers, channel=channel, fault_injector=fault_injector,
         **plane_kwargs,
@@ -118,6 +125,7 @@ def _make_plane(
             batch_window=window,
             batch_timeout=0.0,
             isolate_sessions=isolate_sessions,
+            shuffle=shuffle,
         )
     return plane
 
@@ -492,6 +500,106 @@ class TestBatchCompositionPolicy:
             plane.drain()
             actual = [plane.result(h) for h in handles]
         for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestShuffledServing:
+    """The shuffling contract on the control plane: permuted wire frames,
+    bit-exact restored results — interleaved tenants, racing workers, and
+    crashed workers included."""
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_shuffled_parity_across_workers(self, bundle, collections, workers):
+        plan = _interleaved_plan(
+            bundle, np.random.default_rng(42), 14, N_DEPLOYMENTS
+        )
+        expected = _sequential_reference(bundle, collections, plan, N_DEPLOYMENTS)
+        with _make_plane(
+            bundle, collections, workers=workers, shuffle=True
+        ) as plane:
+            handles = [
+                plane.submit(images, deployment=dep, slo_seconds=slo,
+                             session_id=sid)
+                for dep, images, slo, sid in plan
+            ]
+            plane.drain()
+            shuffled = sum(
+                m.shuffled_batches
+                for m in plane.metrics_by_deployment().values()
+            )
+            assert shuffled > 0  # the stage actually ran
+            actual = [plane.result(h) for h in handles]
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    def test_shuffled_crash_recovery_preserves_parity(self, bundle, collections):
+        """A worker killed mid-shuffled-batch: the *permuted* uplink bytes
+        are requeued on the survivor and the recorded inverse stays valid
+        across attempts — exactly-once, bit-identical."""
+        n_deployments = 2
+        plan = _interleaved_plan(
+            bundle, np.random.default_rng(3), 12, n_deployments
+        )
+        plan[0] = ("dep0", bundle.test_set.images[:1], None, "user-0")
+        expected = _sequential_reference(bundle, collections, plan, n_deployments)
+        injector = _one_shot_fault("dep0", 0)
+        with _make_plane(
+            bundle, collections, n_deployments=n_deployments, workers=2,
+            fault_injector=injector, shuffle=True,
+        ) as plane:
+            handles = [
+                plane.submit(images, deployment=dep, slo_seconds=slo,
+                             session_id=sid)
+                for dep, images, slo, sid in plan
+            ]
+            delivered = plane.drain()
+            assert len(injector.crashed) == 1
+            assert plane.metrics_by_deployment()["dep0"].requeued_batches == 1
+            assert sorted(delivered) == sorted(handles)
+            actual = [plane.result(h) for h in handles]
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
+    def test_anonymity_sets_and_amplification_surface(self, bundle, collections):
+        from repro.privacy.shuffle_eval import amplified_epsilon
+
+        images = bundle.test_set.images
+        with _make_plane(
+            bundle, collections, n_deployments=1, window=4, shuffle=True
+        ) as plane:
+            handles = [
+                plane.submit(images[i : i + 1], deployment="dep0",
+                             session_id=f"user-{i % 4}")
+                for i in range(8)
+            ]
+            plane.drain()
+            metrics = plane.metrics_by_deployment()["dep0"]
+            assert metrics.shuffled_batches == 2
+            assert metrics.anonymity_sets == [4, 4]
+            assert metrics.shuffle_amplification(1.0) == pytest.approx(
+                amplified_epsilon(1.0, 4)
+            )
+            for handle in handles:
+                plane.result(handle)
+
+    def test_explicit_seed_reproduces_the_stream(self, bundle, collections):
+        """Same shuffle seed, same permutation stream: two identically
+        configured planes serve identical bytes end to end."""
+        plan = _interleaved_plan(bundle, np.random.default_rng(8), 10, 1)
+        outputs = []
+        for _ in range(2):
+            plane = _make_plane(
+                bundle, collections, n_deployments=1, workers=2, shuffle=True
+            )
+            with plane:
+                handles = [
+                    plane.submit(images, deployment=dep, slo_seconds=slo,
+                                 session_id=sid)
+                    for dep, images, slo, sid in plan
+                ]
+                plane.drain()
+                outputs.append([plane.result(h) for h in handles])
+        for a, b in zip(*outputs):
             np.testing.assert_array_equal(a, b)
 
 

@@ -215,9 +215,19 @@ class TestMixingIndex:
                                             pytest.approx(0.75)]
         assert metrics.mixing_index == pytest.approx(0.5)
 
-    def test_empty_batch_and_empty_metrics(self):
+    def test_undefined_when_nothing_dispatched(self):
+        """No dispatches means mixing is *undefined*, not perfect
+        isolation — matching ``slo_attainment``'s convention (regression:
+        this used to read 0.0, indistinguishable from a genuinely
+        isolated deployment)."""
         metrics = ServingMetrics()
-        metrics.record_mixing([], [])
+        assert metrics.mixing_index is None
+        metrics.record_mixing([], [])  # empty batch records nothing
+        assert metrics.mixing_index is None
+        assert metrics.as_dict()["mixing_index"] is None
+        assert "cross-user mix" not in metrics.format()
+        # A served-but-unmixed stream still reads 0.0, never None.
+        metrics.record_mixing(["A"], [1])
         assert metrics.mixing_index == 0.0
 
     def test_surfaces_in_dict_and_format(self):
@@ -230,6 +240,46 @@ class TestMixingIndex:
         rendered = metrics.format()
         assert "cross-user mix" in rendered
         assert "requeued" in rendered
+
+
+class TestShuffleAccounting:
+    def test_record_shuffle_counts_distinct_sessions(self):
+        metrics = ServingMetrics()
+        metrics.record_shuffle(["A", "B", "A", "C"])
+        metrics.record_shuffle(["A", "A"])
+        assert metrics.shuffled_batches == 2
+        assert metrics.anonymity_sets == [3, 1]
+        assert metrics.mean_anonymity_set == pytest.approx(2.0)
+
+    def test_empty_metrics_have_no_anonymity(self):
+        metrics = ServingMetrics()
+        assert metrics.mean_anonymity_set is None
+        assert metrics.shuffle_amplification(1.0) is None
+        assert metrics.as_dict()["mean_anonymity_set"] is None
+        assert "shuffling" not in metrics.format()
+
+    def test_amplification_uses_minimum_anonymity_set(self):
+        from repro.privacy.shuffle_eval import amplified_epsilon
+
+        metrics = ServingMetrics()
+        metrics.record_shuffle([f"u{i}" for i in range(64)])
+        metrics.record_shuffle([f"u{i}" for i in range(8)])
+        assert metrics.shuffle_amplification(1.0) == pytest.approx(
+            amplified_epsilon(1.0, 8)
+        )
+        # Amplification never exceeds the local guarantee.
+        assert metrics.shuffle_amplification(0.5) <= 0.5
+
+    def test_surfaces_in_dict_and_format(self):
+        import json
+
+        metrics = ServingMetrics()
+        metrics.record_shuffle(["A", "B"])
+        payload = metrics.as_dict()
+        assert payload["shuffled_batches"] == 1
+        assert payload["mean_anonymity_set"] == pytest.approx(2.0)
+        json.dumps(payload)
+        assert "shuffling" in metrics.format()
 
 
 def _loaded_metrics(seed: int, workers: int = 2) -> ServingMetrics:
@@ -255,6 +305,7 @@ def _loaded_metrics(seed: int, workers: int = 2) -> ServingMetrics:
     for worker in range(workers):
         metrics.record_worker(worker, float(rng.uniform(0.01, 0.5)))
     metrics.record_mixing(["A", "B", "A"], [1, 2, 1])
+    metrics.record_shuffle(["A", "B", "A"])
     metrics.requeued_batches = int(rng.integers(0, 3))
     metrics.rejected_requests = int(rng.integers(0, 3))
     metrics.shed_requests = int(rng.integers(0, 2))
@@ -272,6 +323,7 @@ class TestMerge:
             "requests", "samples", "micro_batches", "uplink_bytes",
             "downlink_bytes", "slo_met", "slo_total", "requeued_batches",
             "rejected_requests", "shed_requests", "respawned_workers",
+            "shuffled_batches",
         ):
             assert getattr(merged, counter) == sum(
                 getattr(p, counter) for p in parts
@@ -292,7 +344,9 @@ class TestMerge:
     def test_percentile_samples_are_concatenated(self):
         parts = [_loaded_metrics(s) for s in (5, 6, 7)]
         merged = ServingMetrics.merge(parts)
-        for samples in ("latencies", "queue_ages", "mixing_fractions"):
+        for samples in (
+            "latencies", "queue_ages", "mixing_fractions", "anonymity_sets"
+        ):
             got = sorted(getattr(merged, samples))
             want = sorted(sum((getattr(p, samples) for p in parts), []))
             assert got == pytest.approx(want), samples

@@ -134,6 +134,78 @@ class TestRouting:
         with pytest.raises(ConfigurationError):
             route_session("u0", 0)
 
+    def test_str_canonicalisation_is_the_contract(self):
+        """Routing hashes ``str(session_id)`` — the documented contract.
+
+        The sharded wire header already serialises session ids as strings
+        (``_send_batch``), so ids with equal string forms are the *same*
+        session on the wire and must route identically; hashing the
+        pre-``str()`` value would let the parent and a healed, replaying
+        shard disagree about session identity.  Pin the behaviour so a
+        refactor cannot silently change where existing populations land.
+        """
+        import zlib
+
+        for n in (1, 2, 4, 7):
+            # Equal string forms route together, whatever the type.
+            assert route_session(1, n) == route_session("1", n)
+            assert route_session(3.5, n) == route_session("3.5", n)
+            assert route_session(None, n) == route_session("None", n)
+            # And the hash is exactly CRC32 of that string form.
+            for sid in ("user-0", 42, ("tenant", 3)):
+                assert route_session(sid, n) == (
+                    zlib.crc32(str(sid).encode("utf-8")) % n
+                )
+        # Frozen sample routes: any change to the canonicalisation or
+        # hash would re-home sessions (and their noise streams) on
+        # existing deployments.
+        assert [route_session(f"user-{i}", 4) for i in range(8)] == [
+            route_session(f"user-{i}", 4) for i in range(8)
+        ]
+        assert route_session("user-0", 4) == zlib.crc32(b"user-0") % 4
+
+
+class TestShuffledShardSpec:
+    def test_spec_carries_shuffle_and_engine_stays_bit_identical(
+        self, bundle, collection
+    ):
+        """A shuffle-on spec builds a shuffle-on engine, and the engine's
+        results are still bit-identical to the shard's sequential
+        reference (the shuffling contract, across the spec boundary)."""
+        from dataclasses import replace
+
+        base = ShardSpec.capture(
+            bundle.model,
+            bundle.model.last_conv_cut(),
+            mean=np.zeros(1, np.float32),
+            std=np.ones(1, np.float32),
+            noise=collection,
+            base_seed=7,
+            batch_window=4,
+            kernel_backend="numpy",
+            shuffle=True,
+            shuffle_seed=9,
+        )
+        spec = replace(base)  # still plain data; dataclass ops work
+        assert spec.shuffle and spec.shuffle_seed == 9
+        stream, _, sessions = _random_stream(
+            bundle, np.random.default_rng(13), 8
+        )
+        expected = _reference_outputs(spec, 1, stream, sessions)
+        engine = spec.build_engine(0)
+        try:
+            ids = [
+                engine.submit(images, session_id=session)
+                for images, session in zip(stream, sessions)
+            ]
+            engine.drain()
+            actual = [engine.result(request_id) for request_id in ids]
+            assert engine.metrics.shuffled_batches > 0
+        finally:
+            engine.close()
+        for a, b in zip(expected, actual):
+            np.testing.assert_array_equal(a, b)
+
 
 class TestSpawnSafety:
     def test_spec_is_plain_data_and_pickles(self, spec):
