@@ -16,6 +16,14 @@ multi-worker engine:
 * ``kernel_backend`` — identical serving work at the acceptance window on
   the compiled native executor vs the pure-numpy executor (the headline
   lever on ``requests_per_second``; native must be >= 2x in a full run);
+* ``executor_ir`` — the executor's op-program rewrite pipeline (fused
+  relu/pool, int8 ingest with the dequant folded into the first conv's
+  epilogue, noise-add epilogue folding) on vs off, on the quantised
+  window-32 device+server compute path at the "conv0" cut where every
+  rewrite fires.  Rewrites-on must be >= 1.15x rewrites-off in a full
+  run (>= 1x under ``--smoke``), the legs must agree to f32 closeness,
+  the uplink must stay one uint8 byte per element, and on the native
+  backend no batch-sized f32 dequantised copy may be materialised;
 * ``serving_slo`` — a jittered mixed-SLO arrival trace replayed through
   the deadline-aware and fixed-window batching policies in virtual time
   (service model calibrated from the measured batched step), comparing
@@ -69,7 +77,9 @@ single-worker throughput at window 8, shared-pool multi-model aggregate
 below its floor (0.95 full, 0.75 smoke) or any other chaos contract
 breach, (when a C compiler is present) kernel-on serving throughput
 below kernel-off at window 8 (>= 2x required in a full run, with
-unanimous label agreement), the sharded plane below 2x the 4-thread
+unanimous label agreement), IR rewrites-on below 1.15x rewrites-off on
+the quantised window-32 compute path (or any of that leg's wire /
+allocation / closeness assertions), the sharded plane below 2x the 4-thread
 engine at 4 shards (full; >= 1x under ``--smoke``) or out of bit-parity
 with its per-shard references, or the privacy-mixing leg breaking parity,
 leaking more positionally with the shuffler on than off, or paying more
@@ -80,6 +90,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -154,6 +165,15 @@ SHARDED_CHANNEL_LATENCY_MS = 10.0
 #: not host noise.
 PRIVACY_MIXING_SESSIONS = 8
 PRIVACY_MIXING_OVERHEAD_FLOOR = 0.5
+#: Executor IR rewrites: throughput the default rewrite pipeline (fused
+#: relu/pool, int8 ingest with the dequant folded into the GEMM
+#: epilogue, noise-add epilogue folding) must deliver over the *same*
+#: executors with rewrites disabled, on the quantised window-32
+#: device+server compute path at the cut where every rewrite fires
+#: (full run; smoke only requires no regression).
+EXECUTOR_IR_SPEEDUP = 1.15
+EXECUTOR_IR_WINDOW = 32
+EXECUTOR_IR_CUT = "conv0"
 
 
 def build_collection(split: SplitInferenceModel, members: int) -> NoiseCollection:
@@ -344,22 +364,29 @@ def main() -> int:
     kernel_section: dict = {"available": _fastexec.available(), "window": kb_window}
     kb_ok = True
     if _fastexec.available():
-        kb_results = {}
+        # The backends alternate inside every repeat (order flipped each
+        # time) so host drift lands on both equally — a block of numpy
+        # repeats followed by a block of native repeats lets a slow
+        # patch of wall-clock skew the ratio either way.
+        kb_best = {"numpy": float("inf"), "native": float("inf")}
         kb_logits = {}
-        for backend in ("numpy", "native"):
-            best = float("inf")
-            for _ in range(repeats):
+        for r in range(repeats):
+            order = ("numpy", "native") if r % 2 == 0 else ("native", "numpy")
+            for backend in order:
                 elapsed, logits, _ = serve_batched(
                     lambda: batched_session(kb_window, kernel_backend=backend),
                     stream,
                 )
-                if elapsed < best:
-                    best = elapsed
+                if elapsed < kb_best[backend]:
+                    kb_best[backend] = elapsed
                     kb_logits[backend] = logits
-            kb_results[backend] = {
+        kb_results = {
+            backend: {
                 "seconds": best,
                 "requests_per_second": requests / best,
             }
+            for backend, best in kb_best.items()
+        }
         kb_speedup = (
             kb_results["numpy"]["seconds"] / kb_results["native"]["seconds"]
         )
@@ -387,6 +414,170 @@ def main() -> int:
     else:
         print("kernel backend: native kernels unavailable (numpy-only run)")
     serving["kernel_backend"] = kernel_section
+
+    # ------------------------------------------------------------------
+    # Executor IR rewrites: the same lowered op-program with the rewrite
+    # pipeline on vs off, on the quantised window-32 device+server
+    # compute path at the "conv0" cut — the cut where every rewrite
+    # fires (fused relu+pool on both halves, int8 ingest with the
+    # dequant folded into the first conv's epilogue on the uplink,
+    # noise-add folded into the local half's epilogue).  The wire and
+    # scheduling layers are measured by the sections above; this leg
+    # isolates exactly what the rewrites touch, and asserts the uplink
+    # stays one byte per element with no f32 dequantised copy ever
+    # materialised on the native backend.
+    # ------------------------------------------------------------------
+    from repro.edge import CloudServer, EdgeDevice, encode_activation_batch
+    from repro.edge.ir import DISABLE_REWRITES_ENV_VAR
+
+    ir_window = EXECUTOR_IR_WINDOW
+    ir_local, ir_remote = bundle.model.split(EXECUTOR_IR_CUT)
+    ir_shape = bundle.model.activation_shape(EXECUTOR_IR_CUT)
+    ir_rng = np.random.default_rng(0)
+    ir_collection = NoiseCollection(ir_shape)
+    for _ in range(len(collection)):
+        ir_collection.add(
+            ir_rng.laplace(0.0, 0.05, size=ir_shape).astype(np.float32),
+            accuracy=0.0,
+            in_vivo_privacy=0.0,
+        )
+    ir_probe = EdgeDevice(ir_local, mean, std, ir_collection,
+                          np.random.default_rng(1))
+    ir_params = calibrate(
+        ir_probe.forward_batch(
+            [images[i][None] for i in range(min(64, len(images)))]
+        ).tensor,
+        bits=8,
+    )
+    ir_inputs = [
+        [images[(b * ir_window + i) % len(images)][None] for i in range(ir_window)]
+        for b in range(max(2, requests // ir_window))
+    ]
+
+    def ir_pair():
+        """One warmed (device, server) pair per rewrite setting.
+
+        Fresh identically-seeded devices (executors snapshot the rewrite
+        selection at construction, and the noise stream must replay
+        identically for the parity check); warm-up is off the clock,
+        matching the serving sections above.
+        """
+        pair = {}
+        for enabled in (True, False):
+            had = os.environ.pop(DISABLE_REWRITES_ENV_VAR, None)
+            try:
+                if not enabled:
+                    os.environ[DISABLE_REWRITES_ENV_VAR] = "1"
+                device = EdgeDevice(ir_local, mean, std, ir_collection,
+                                    np.random.default_rng(7), ir_params)
+                server = CloudServer(ir_remote)
+            finally:
+                os.environ.pop(DISABLE_REWRITES_ENV_VAR, None)
+                if had is not None:
+                    os.environ[DISABLE_REWRITES_ENV_VAR] = had
+            device.warm((ir_window, *images[0].shape))
+            server.warm((ir_window, *ir_shape[1:]), quantization=ir_params)
+            pair[enabled] = (device, server)
+        return pair
+
+    def ir_timed(device, server):
+        start = time.perf_counter()
+        logits = []
+        frame = None
+        for batch in ir_inputs:
+            frame = device.forward_batch(batch)
+            logits.append(server.predict_batch(frame).logits)
+        return time.perf_counter() - start, logits, frame
+
+    # The two legs alternate inside every repeat (on/off back to back,
+    # order flipped each time) so host drift lands on both equally —
+    # best-of-repeats per leg, like every other section.
+    ir_best = {True: float("inf"), False: float("inf")}
+    ir_logits: dict = {True: None, False: None}
+    ir_frame = None
+    ir_on_server = ir_off_server = None
+    for r in range(max(repeats, 5)):
+        legs = ir_pair()
+        for enabled in ((True, False) if r % 2 == 0 else (False, True)):
+            device, server = legs[enabled]
+            elapsed, logits, frame = ir_timed(device, server)
+            if elapsed < ir_best[enabled]:
+                ir_best[enabled], ir_logits[enabled] = elapsed, logits
+            if enabled:
+                ir_frame, ir_on_server = frame, server
+            else:
+                ir_off_server = server
+    ir_on_s, ir_on_logits = ir_best[True], ir_logits[True]
+    ir_off_s, ir_off_logits = ir_best[False], ir_logits[False]
+    ir_speedup = ir_off_s / ir_on_s
+    ir_requests = len(ir_inputs) * ir_window
+    ir_close = all(
+        np.allclose(a, b, atol=2e-4, rtol=2e-4)
+        for a, b in zip(ir_on_logits, ir_off_logits)
+    )
+    ir_agreement = float(
+        np.mean(
+            np.concatenate([l.argmax(axis=1) for l in ir_on_logits])
+            == np.concatenate([l.argmax(axis=1) for l in ir_off_logits])
+        )
+    )
+    # Wire assertion: the quantised uplink frame carries raw uint8 codes,
+    # one byte per activation element.
+    ir_payload_ok = bool(
+        ir_frame.tensor.dtype == np.uint8
+        and ir_frame.tensor.nbytes == ir_frame.tensor.size
+    )
+    # Allocation assertion: with int8 ingest active the native backend
+    # feeds the codes straight into the first conv — zero batch-sized f32
+    # dequantised copies across the whole run (the numpy backend realises
+    # ingest as dequantize-at-the-op by design, so it is exempt).  The
+    # rewrites-off leg must dequantise, or the comparison is vacuous.
+    ir_alloc_ok = (
+        ir_on_server.ingest_dequants == 0 if _fastexec.available() else True
+    )
+    ir_target = 1.0 if args.smoke else EXECUTOR_IR_SPEEDUP
+    ir_ok = (
+        ir_speedup >= ir_target
+        and ir_close
+        and ir_payload_ok
+        and ir_alloc_ok
+        and ir_off_server.ingest_dequants > 0
+    )
+    serving["executor_ir"] = {
+        "cut": EXECUTOR_IR_CUT,
+        "window": ir_window,
+        "bits": 8,
+        "requests": ir_requests,
+        "rewrites_on": {
+            "seconds": ir_on_s,
+            "requests_per_second": ir_requests / ir_on_s,
+            "ingest_dequants": ir_on_server.ingest_dequants,
+        },
+        "rewrites_off": {
+            "seconds": ir_off_s,
+            "requests_per_second": ir_requests / ir_off_s,
+            "ingest_dequants": ir_off_server.ingest_dequants,
+        },
+        "speedup": ir_speedup,
+        "gate_speedup_target": ir_target,
+        "logits_close": ir_close,
+        "label_agreement": ir_agreement,
+        "uplink_frame_bytes": len(encode_activation_batch(ir_frame)),
+        "uplink_bytes_per_element": ir_frame.tensor.nbytes / ir_frame.tensor.size,
+        "uplink_ratio_vs_float32": ir_frame.tensor.nbytes
+        / (ir_frame.tensor.size * 4),
+        "native_kernels": _fastexec.available(),
+    }
+    print(
+        f"executor IR: rewrites-on "
+        f"{ir_requests/ir_on_s:8.0f} req/s vs rewrites-off "
+        f"{ir_requests/ir_off_s:8.0f} req/s "
+        f"({ir_speedup:.2f}x, target {ir_target:.2f}x, "
+        f"parity={'OK' if ir_close else 'FAIL'}, "
+        f"uplink {serving['executor_ir']['uplink_bytes_per_element']:.0f} B/elem, "
+        f"dequant copies {ir_on_server.ingest_dequants}, "
+        f"{'PASS' if ir_ok else 'FAIL'})"
+    )
 
     # ------------------------------------------------------------------
     # Deadline-aware scheduling: SLO attainment vs the fixed-window policy
@@ -1141,7 +1332,7 @@ def main() -> int:
         acceptance = serving["windows"][str(windows[0])]
     if args.smoke:
         ok = (gate_ok and acceptance["speedup"] > 1.0 and slo_ok and mw_ok
-              and mm_ok and chaos_ok and kb_ok and sh_ok and pm_ok)
+              and mm_ok and chaos_ok and kb_ok and ir_ok and sh_ok and pm_ok)
         print(
             f"smoke gate: batched beats sequential "
             f"({'PASS' if acceptance['speedup'] > 1.0 else 'FAIL'}, "
@@ -1152,6 +1343,7 @@ def main() -> int:
             f"({'PASS' if mm_ok else 'FAIL'}), chaos contract "
             f"({'PASS' if chaos_ok else 'FAIL'}), "
             f"kernel-on >= kernel-off ({'PASS' if kb_ok else 'FAIL'}), "
+            f"IR rewrites-on >= rewrites-off ({'PASS' if ir_ok else 'FAIL'}), "
             f"sharded >= 1x threaded ({'PASS' if sh_ok else 'FAIL'}), "
             f"privacy-mixing contract ({'PASS' if pm_ok else 'FAIL'})"
         )
@@ -1164,6 +1356,7 @@ def main() -> int:
             and mm_ok
             and chaos_ok
             and kb_ok
+            and ir_ok
             and sh_ok
             and pm_ok
         )
@@ -1179,6 +1372,8 @@ def main() -> int:
             f"({'PASS' if chaos_ok else 'FAIL'}), "
             f"native kernels >= {KERNEL_BACKEND_SPEEDUP:.1f}x "
             f"({'PASS' if kb_ok else 'FAIL'}), "
+            f"IR rewrites >= {EXECUTOR_IR_SPEEDUP:.2f}x "
+            f"({'PASS' if ir_ok else 'FAIL'}), "
             f"sharded-{max(SHARDED_SHARD_COUNTS)} >= {SHARDED_SPEEDUP:.1f}x "
             f"threaded-{SHARDED_WORKERS} ({'PASS' if sh_ok else 'FAIL'}), "
             f"privacy-mixing contract ({'PASS' if pm_ok else 'FAIL'})"

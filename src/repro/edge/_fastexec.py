@@ -1,40 +1,57 @@
-"""Native inference kernels for the serving executor (optional fast path).
+"""Native IR interpreter for the serving executor (optional fast path).
 
 The serving hot path runs a frozen eval-mode :class:`~repro.nn.Sequential`
 over micro-batches of a few stacked requests.  At that scale the numpy
 executor is dominated by per-op dispatch, the im2col materialisation, and
-separate bias/ReLU/pool passes — not by arithmetic.  This module compiles
-(at first use, through :mod:`repro.native`) a small C library that runs a
-whole network *segment* in **one call**: the Python side lowers the layer
-list into a flat int64 op program once per (batch, shape), and the C
-interpreter executes it over ping-pong scratch arenas.
+separate bias/ReLU/pool/noise passes — not by arithmetic.  This module
+compiles (at first use, through :mod:`repro.native`) a small C library
+that executes a **lowered op program** (:class:`repro.edge.ir.Program`)
+in one call: the shared lowering pass in :mod:`repro.edge.ir` produces
+the typed schedule, :class:`CompiledProgram` translates it into a flat
+int64 record array for a fixed ``(batch, input_shape)``, and the C
+interpreter runs it over ping-pong scratch arenas.  This backend owns no
+lowering or fusion logic of its own — every rewrite decision is made on
+the IR, which the numpy interpreter executes identically.
 
-Kernels (all float32 in/out):
+Kernels (float32 out; input may be f32 or quantised u8/u16 codes):
 
 * ``conv2d`` — per-sample im2col into a scratch panel, then a
   register-blocked GEMM (4 output channels x 32 columns per tile, float
-  accumulators) with bias and optional ReLU fused into the tile epilogue.
-  Single-position convs (``OH*OW == 1``) reroute to the dot kernel.
+  accumulators) with the op epilogue fused into the tile: affine scale
+  (folded dequantisation), bias, optional ReLU, optional per-row extra
+  add.  Single-position convs (``OH*OW == 1``) reroute to the dot kernel.
+* ``conv2d direct`` — stride-1 convs in the :data:`repro.edge.ir` direct
+  eligibility window skip im2col and convolve a zero-padded plane copy
+  (4 output channels x 2 output rows x <= 64 columns per tile); the same
+  epilogue, plus an optional fused eval-mode 2x2/2 max pool reduced
+  in-register over the 2-row tile before anything is stored.
 * ``linear`` — row-blocked dot products (4 output features x 16 fixed
-  lanes per row) with fused bias + optional ReLU.
-* ``maxpool2d`` — window max with the same zero-padding semantics as the
-  numpy path (padding contributes ``0.0`` to the max).
-* ``relu`` — standalone elementwise pass for activations that could not
-  be fused into a producing conv/linear.
+  lanes per row) with the same fused epilogue.
+* ``maxpool2d`` / ``relu`` — standalone passes for ops the rewrite
+  pipeline could not fuse, each absorbing the extra add when flagged.
+
+Quantised ingest: when a record's input dtype is u8/u16, im2col panels
+and padded planes are widened to float *code values* in-register (padding
+carries the zero point, which dequantises to exactly 0.0) and the affine
+dequantisation rides the epilogue as ``out = scale·acc + bias`` — the
+bias having been pre-corrected by ``−scale·zp·Σw`` on the Python side.
+No f32 dequantised copy of the activation ever exists.
 
 Determinism contract (what the serving parity guarantee needs): every
 output element is produced by a *fixed* accumulation schedule — the GEMM
 accumulates over ``k`` sequentially per element, the dot kernel uses a
 fixed 16-lane split of ``k`` reduced in a fixed order — and conv/pool
-kernels loop samples independently.  Results are therefore bit-identical
-no matter how requests are grouped into micro-batches (the
-batch-invariance property), and identical across runs.  The native
-backend is *not* bit-identical to the numpy backend (both are f32-exact
-to ~1e-6 relative of the float64 result); a deployment picks one backend
-at executor construction and every path through it then agrees bitwise.
+kernels loop samples independently.  The epilogue is a fixed op sequence
+(scale, bias, ReLU, pool max, extra add) whose disabled stages are exact
+identities (``1.0f*x == x``), so results are bit-identical no matter how
+requests are grouped into micro-batches (the batch-invariance property),
+and identical across runs.  The native backend is *not* bit-identical to
+the numpy backend (both are f32-exact to ~1e-6 relative of the float64
+result); a deployment picks one backend at executor construction and
+every path through it then agrees bitwise.
 
 ``REPRO_NO_C_KERNEL=1`` disables the library (callers keep the numpy
-executor); ``REPRO_KERNEL_DIR`` relocates the compiled artifact cache.
+interpreter); ``REPRO_KERNEL_DIR`` relocates the compiled artifact cache.
 """
 
 from __future__ import annotations
@@ -44,7 +61,7 @@ import ctypes
 import numpy as np
 
 from repro import native
-from repro.nn.im2col import conv_output_size
+from repro.edge import ir
 
 #: Op codes understood by ``run_program`` (must match the C enum).
 OP_CONV2D = 0
@@ -53,15 +70,16 @@ OP_RELU = 2
 OP_MAXPOOL2D = 3
 OP_CONV2D_DIRECT = 4
 
-#: Stride-1 convs with output rows in this width range skip im2col and
-#: run the direct kernel (25x less scratch traffic for early conv layers).
-#: Below the minimum the fixed-width tiles waste most of their lanes and
-#: the dot/GEMM path wins; above the maximum the accumulator tile spills.
-DIRECT_CONV_MIN_OW = 8
-DIRECT_CONV_MAX_OW = 64
+#: Direct-kernel eligibility window (owned by the IR; re-exported for the
+#: differential tests that pin which lowering a geometry takes).
+DIRECT_CONV_MIN_OW = ir.DIRECT_CONV_MIN_OW
+DIRECT_CONV_MAX_OW = ir.DIRECT_CONV_MAX_OW
 
-#: int64 fields per program record (op code + geometry + flags).
-RECORD_FIELDS = 16
+#: int64 fields per program record (op code + geometry + epilogue flags).
+RECORD_FIELDS = 24
+
+#: Record input-dtype codes (index 16): matches the C interpreter switch.
+_DTYPE_CODES = {"f32": 0, "u8": 1, "u16": 2}
 
 _SOURCE = r"""
 #include <math.h>
@@ -69,58 +87,94 @@ _SOURCE = r"""
 #include <string.h>
 
 /* ------------------------------------------------------------------ */
-/* im2col: one sample (c_in, h, w) -> (c_in*kh*kw, oh*ow), zero padded */
+/* im2col: one sample (c_in, h, w) -> (c_in*kh*kw, oh*ow).  Generated  */
+/* per input dtype; integer codes widen to float in-register and the   */
+/* padding value is the quantiser zero point (0.0f for f32 inputs).    */
 /* ------------------------------------------------------------------ */
-static void im2col_sample(const float *restrict x,
-                          int64_t c_in, int64_t h, int64_t w,
-                          int64_t kh, int64_t kw, int64_t sh, int64_t sw,
-                          int64_t ph, int64_t pw, int64_t oh, int64_t ow,
-                          float *restrict cols) {
-    /* Rows are short (tens of floats); inline copy loops beat the call
-       overhead of memcpy/memset at this size. */
-    int64_t m = oh * ow;
-    for (int64_t c = 0; c < c_in; c++) {
-        const float *plane = x + c * h * w;
-        for (int64_t ki = 0; ki < kh; ki++)
-            for (int64_t kj = 0; kj < kw; kj++) {
-                float *row = cols + ((c * kh + ki) * kw + kj) * m;
-                for (int64_t oy = 0; oy < oh; oy++) {
-                    int64_t iy = oy * sh - ph + ki;
-                    float *restrict dst = row + oy * ow;
-                    if (iy < 0 || iy >= h) {
-                        for (int64_t j = 0; j < ow; j++) dst[j] = 0.0f;
-                        continue;
-                    }
-                    const float *src = plane + iy * w;
-                    if (sw == 1) {
-                        int64_t ox0 = pw - kj;
-                        if (ox0 < 0) ox0 = 0;
-                        int64_t ox1 = w + pw - kj;
-                        if (ox1 > ow) ox1 = ow;
-                        const float *restrict s = src - pw + kj;
-                        for (int64_t j = 0; j < ox0; j++) dst[j] = 0.0f;
-                        for (int64_t j = ox0; j < ox1; j++) dst[j] = s[j];
-                        for (int64_t j = ox1; j < ow; j++) dst[j] = 0.0f;
-                    } else {
-                        for (int64_t ox = 0; ox < ow; ox++) {
-                            int64_t ix = ox * sw - pw + kj;
-                            dst[ox] = (ix >= 0 && ix < w) ? src[ix] : 0.0f;
-                        }
-                    }
-                }
-            }
-    }
+#define DEF_IM2COL(NAME, TYPE)                                             \
+static void NAME(const TYPE *restrict x,                                   \
+                 int64_t c_in, int64_t h, int64_t w,                       \
+                 int64_t kh, int64_t kw, int64_t sh, int64_t sw,           \
+                 int64_t ph, int64_t pw, int64_t oh, int64_t ow,           \
+                 float padv, float *restrict cols) {                       \
+    /* Rows are short (tens of floats); inline copy loops beat the call   \
+       overhead of memcpy/memset at this size. */                          \
+    int64_t m = oh * ow;                                                   \
+    for (int64_t c = 0; c < c_in; c++) {                                   \
+        const TYPE *plane = x + c * h * w;                                 \
+        for (int64_t ki = 0; ki < kh; ki++)                                \
+            for (int64_t kj = 0; kj < kw; kj++) {                          \
+                float *row = cols + ((c * kh + ki) * kw + kj) * m;         \
+                for (int64_t oy = 0; oy < oh; oy++) {                      \
+                    int64_t iy = oy * sh - ph + ki;                        \
+                    float *restrict dst = row + oy * ow;                   \
+                    if (iy < 0 || iy >= h) {                               \
+                        for (int64_t j = 0; j < ow; j++) dst[j] = padv;    \
+                        continue;                                          \
+                    }                                                      \
+                    const TYPE *src = plane + iy * w;                      \
+                    if (sw == 1) {                                         \
+                        int64_t ox0 = pw - kj;                             \
+                        if (ox0 < 0) ox0 = 0;                              \
+                        int64_t ox1 = w + pw - kj;                         \
+                        if (ox1 > ow) ox1 = ow;                            \
+                        const TYPE *restrict s = src - pw + kj;            \
+                        for (int64_t j = 0; j < ox0; j++) dst[j] = padv;   \
+                        for (int64_t j = ox0; j < ox1; j++)                \
+                            dst[j] = (float)s[j];                          \
+                        for (int64_t j = ox1; j < ow; j++) dst[j] = padv;  \
+                    } else {                                               \
+                        for (int64_t ox = 0; ox < ow; ox++) {              \
+                            int64_t ix = ox * sw - pw + kj;                \
+                            dst[ox] = (ix >= 0 && ix < w)                  \
+                                          ? (float)src[ix] : padv;         \
+                        }                                                  \
+                    }                                                      \
+                }                                                          \
+            }                                                              \
+    }                                                                      \
 }
 
+DEF_IM2COL(im2col_f32, float)
+DEF_IM2COL(im2col_u8, uint8_t)
+DEF_IM2COL(im2col_u16, uint16_t)
+
+/* Zero-padded plane copy feeding the direct conv kernel, also generated
+   per input dtype with the zero point as the padding value. */
+#define DEF_PADPLANE(NAME, TYPE)                                           \
+static void NAME(const TYPE *restrict x, int64_t c_in, int64_t h,          \
+                 int64_t w, int64_t ph, int64_t pw, float padv,            \
+                 float *restrict xp) {                                     \
+    int64_t hp = h + 2 * ph, wp = w + 2 * pw;                              \
+    if (ph == 0 && pw == 0) {                                              \
+        for (int64_t j = 0; j < c_in * h * w; j++) xp[j] = (float)x[j];    \
+        return;                                                            \
+    }                                                                      \
+    for (int64_t j = 0; j < c_in * hp * wp; j++) xp[j] = padv;             \
+    for (int64_t c = 0; c < c_in; c++)                                     \
+        for (int64_t y = 0; y < h; y++) {                                  \
+            float *restrict dst = xp + (c * hp + y + ph) * wp + pw;        \
+            const TYPE *restrict src = x + (c * h + y) * w;                \
+            for (int64_t j = 0; j < w; j++) dst[j] = (float)src[j];        \
+        }                                                                  \
+}
+
+DEF_PADPLANE(pad_plane_f32, float)
+DEF_PADPLANE(pad_plane_u8, uint8_t)
+DEF_PADPLANE(pad_plane_u16, uint16_t)
+
 /* ------------------------------------------------------------------ */
-/* GEMM out(c_out, m) = wmat(c_out, K) @ cols(K, m), fused bias+ReLU.  */
-/* 4x32 register tiles; every output element accumulates over k in    */
-/* fixed ascending order, so results never depend on tile neighbours. */
+/* GEMM out(c_out, m) = wmat(c_out, K) @ cols(K, m), epilogue fused:   */
+/* scale (folded dequant), bias, ReLU, extra add.  4x32 register      */
+/* tiles; every output element accumulates over k in fixed ascending   */
+/* order, so results never depend on tile neighbours.  scale == 1.0f   */
+/* is an exact identity, keeping the unquantised path bit-stable.      */
 /* ------------------------------------------------------------------ */
 static void gemm_tile(const float *restrict wmat, const float *restrict cols,
                       const float *restrict bias, int64_t c_out, int64_t K,
                       int64_t m, int64_t oc, int64_t nr, int64_t jb,
-                      int64_t mb, int relu, float *restrict out) {
+                      int64_t mb, int relu, float scale,
+                      const float *restrict extra, float *restrict out) {
     float acc[4][32] __attribute__((aligned(64)));
     for (int64_t r = 0; r < 4; r++)
         memset(acc[r], 0, mb * sizeof(float));
@@ -156,10 +210,12 @@ static void gemm_tile(const float *restrict wmat, const float *restrict cols,
     for (int64_t r = 0; r < nr; r++) {
         float bv = bias ? bias[oc + r] : 0.0f;
         float *restrict dst = out + (oc + r) * m + jb;
+        const float *restrict ex = extra ? extra + (oc + r) * m + jb : 0;
         const float *restrict a = acc[r];
         for (int64_t j = 0; j < mb; j++) {
-            float v = a[j] + bv;
+            float v = scale * a[j] + bv;
             if (relu && v < 0.0f) v = 0.0f;
+            if (ex) v += ex[j];
             dst[j] = v;
         }
     }
@@ -167,14 +223,16 @@ static void gemm_tile(const float *restrict wmat, const float *restrict cols,
 
 static void gemm_f32(const float *restrict wmat, const float *restrict cols,
                      const float *restrict bias, int64_t c_out, int64_t K,
-                     int64_t m, int relu, float *restrict out) {
+                     int64_t m, int relu, float scale,
+                     const float *restrict extra, float *restrict out) {
     for (int64_t jb = 0; jb < m; jb += 32) {
         int64_t mb = m - jb;
         if (mb > 32) mb = 32;
         for (int64_t oc = 0; oc < c_out; oc += 4) {
             int64_t nr = c_out - oc;
             if (nr > 4) nr = 4;
-            gemm_tile(wmat, cols, bias, c_out, K, m, oc, nr, jb, mb, relu, out);
+            gemm_tile(wmat, cols, bias, c_out, K, m, oc, nr, jb, mb, relu,
+                      scale, extra, out);
         }
     }
 }
@@ -183,69 +241,83 @@ static void gemm_f32(const float *restrict wmat, const float *restrict cols,
 /* Row dot products: out(n, out_f) = x(n, in_f) @ wmat(out_f, in_f)^T */
 /* 4 output features share each row load; 16 fixed accumulation lanes */
 /* per dot product (lane of term k is k mod 16 — independent of n).   */
+/* Generated per input dtype for quantised-code ingest.               */
 /* ------------------------------------------------------------------ */
-static void linear_rows(const float *restrict x, const float *restrict wmat,
-                        const float *restrict bias, int64_t n, int64_t in_f,
-                        int64_t out_f, int relu, float *restrict out) {
-    for (int64_t i = 0; i < n; i++) {
-        const float *restrict row = x + i * in_f;
-        for (int64_t oc = 0; oc < out_f; oc += 4) {
-            int64_t nr = out_f - oc;
-            if (nr > 4) nr = 4;
-            const float *w0 = wmat + oc * in_f;
-            const float *w1 = wmat + (oc + (nr > 1)) * in_f;
-            const float *w2 = wmat + (oc + 2 * (nr > 2)) * in_f;
-            const float *w3 = wmat + (oc + 3 * (nr > 3)) * in_f;
-            float l0[16] __attribute__((aligned(64))) = {0};
-            float l1[16] __attribute__((aligned(64))) = {0};
-            float l2[16] __attribute__((aligned(64))) = {0};
-            float l3[16] __attribute__((aligned(64))) = {0};
-            int64_t k = 0;
-            for (; k + 16 <= in_f; k += 16)
-                for (int64_t l = 0; l < 16; l++) {
-                    float v = row[k + l];
-                    l0[l] += w0[k + l] * v;
-                    l1[l] += w1[k + l] * v;
-                    l2[l] += w2[k + l] * v;
-                    l3[l] += w3[k + l] * v;
-                }
-            if (k < in_f) {
-                /* Zero-padded tail: the same 16-wide op sequence, so a
-                   term's lane depends only on its k index. */
-                float rb[16] __attribute__((aligned(64))) = {0};
-                float wb0[16] = {0}, wb1[16] = {0}, wb2[16] = {0}, wb3[16] = {0};
-                int64_t rem = in_f - k;
-                memcpy(rb, row + k, rem * sizeof(float));
-                memcpy(wb0, w0 + k, rem * sizeof(float));
-                memcpy(wb1, w1 + k, rem * sizeof(float));
-                memcpy(wb2, w2 + k, rem * sizeof(float));
-                memcpy(wb3, w3 + k, rem * sizeof(float));
-                for (int64_t l = 0; l < 16; l++) {
-                    float v = rb[l];
-                    l0[l] += wb0[l] * v;
-                    l1[l] += wb1[l] * v;
-                    l2[l] += wb2[l] * v;
-                    l3[l] += wb3[l] * v;
-                }
-            }
-            float *lanes[4] = {l0, l1, l2, l3};
-            for (int64_t r = 0; r < nr; r++) {
-                const float *a = lanes[r];
-                float s = 0.0f;
-                for (int64_t l = 0; l < 16; l++) s += a[l];
-                if (bias) s += bias[oc + r];
-                if (relu && s < 0.0f) s = 0.0f;
-                out[i * out_f + oc + r] = s;
-            }
-        }
-    }
+#define DEF_LINEAR(NAME, TYPE)                                             \
+static void NAME(const TYPE *restrict x, const float *restrict wmat,       \
+                 const float *restrict bias, int64_t n, int64_t in_f,      \
+                 int64_t out_f, int relu, float scale,                     \
+                 const float *restrict extra, float *restrict out) {       \
+    for (int64_t i = 0; i < n; i++) {                                      \
+        const TYPE *restrict row = x + i * in_f;                           \
+        for (int64_t oc = 0; oc < out_f; oc += 4) {                        \
+            int64_t nr = out_f - oc;                                       \
+            if (nr > 4) nr = 4;                                            \
+            const float *w0 = wmat + oc * in_f;                            \
+            const float *w1 = wmat + (oc + (nr > 1)) * in_f;               \
+            const float *w2 = wmat + (oc + 2 * (nr > 2)) * in_f;           \
+            const float *w3 = wmat + (oc + 3 * (nr > 3)) * in_f;           \
+            float l0[16] __attribute__((aligned(64))) = {0};               \
+            float l1[16] __attribute__((aligned(64))) = {0};               \
+            float l2[16] __attribute__((aligned(64))) = {0};               \
+            float l3[16] __attribute__((aligned(64))) = {0};               \
+            int64_t k = 0;                                                 \
+            for (; k + 16 <= in_f; k += 16)                                \
+                for (int64_t l = 0; l < 16; l++) {                         \
+                    float v = (float)row[k + l];                           \
+                    l0[l] += w0[k + l] * v;                                \
+                    l1[l] += w1[k + l] * v;                                \
+                    l2[l] += w2[k + l] * v;                                \
+                    l3[l] += w3[k + l] * v;                                \
+                }                                                          \
+            if (k < in_f) {                                                \
+                /* Zero-padded tail: the same 16-wide op sequence, so a    \
+                   term's lane depends only on its k index. */             \
+                float rb[16] __attribute__((aligned(64))) = {0};           \
+                float wb0[16] = {0}, wb1[16] = {0};                        \
+                float wb2[16] = {0}, wb3[16] = {0};                        \
+                int64_t rem = in_f - k;                                    \
+                for (int64_t l = 0; l < rem; l++)                          \
+                    rb[l] = (float)row[k + l];                             \
+                memcpy(wb0, w0 + k, rem * sizeof(float));                  \
+                memcpy(wb1, w1 + k, rem * sizeof(float));                  \
+                memcpy(wb2, w2 + k, rem * sizeof(float));                  \
+                memcpy(wb3, w3 + k, rem * sizeof(float));                  \
+                for (int64_t l = 0; l < 16; l++) {                         \
+                    float v = rb[l];                                       \
+                    l0[l] += wb0[l] * v;                                   \
+                    l1[l] += wb1[l] * v;                                   \
+                    l2[l] += wb2[l] * v;                                   \
+                    l3[l] += wb3[l] * v;                                   \
+                }                                                          \
+            }                                                              \
+            float *lanes[4] = {l0, l1, l2, l3};                            \
+            for (int64_t r = 0; r < nr; r++) {                             \
+                const float *a = lanes[r];                                 \
+                float s = 0.0f;                                            \
+                for (int64_t l = 0; l < 16; l++) s += a[l];                \
+                s = scale * s + (bias ? bias[oc + r] : 0.0f);              \
+                if (relu && s < 0.0f) s = 0.0f;                            \
+                if (extra) s += extra[i * out_f + oc + r];                 \
+                out[i * out_f + oc + r] = s;                               \
+            }                                                              \
+        }                                                                  \
+    }                                                                      \
 }
+
+DEF_LINEAR(linear_f32, float)
+DEF_LINEAR(linear_u8, uint8_t)
+DEF_LINEAR(linear_u16, uint16_t)
 
 /* ------------------------------------------------------------------ */
 /* Direct stride-1 conv from a zero-padded plane copy: same ascending */
 /* (c, ki, kj) accumulation per output element as the GEMM path, but  */
 /* no column panel — early layers are scratch-bandwidth bound, not    */
 /* FLOP bound.  Tiles: 4 output channels x 2 output rows x <= 64 cols.*/
+/* An optional fused eval-mode 2x2/2 max pool reduces the 2-row tile  */
+/* in-register: each pooled value is the max of the four epilogue     */
+/* values the unfused conv would have stored, in the same compare     */
+/* order the standalone pool uses — so fusion is bitwise neutral.     */
 /* ------------------------------------------------------------------ */
 static void conv_direct_sample(const float *restrict xp,
                                const float *restrict wmat,
@@ -253,7 +325,10 @@ static void conv_direct_sample(const float *restrict xp,
                                int64_t c_in, int64_t hp, int64_t wp,
                                int64_t kh, int64_t kw,
                                int64_t oh, int64_t ow, int64_t c_out,
-                               int relu, float *restrict out) {
+                               int relu, float scale, int pool,
+                               int64_t poh, int64_t pow_,
+                               const float *restrict extra,
+                               float *restrict out) {
     int64_t K = c_in * kh * kw;
     for (int64_t oc = 0; oc < c_out; oc += 4) {
         int64_t nr = c_out - oc;
@@ -265,6 +340,7 @@ static void conv_direct_sample(const float *restrict xp,
         for (int64_t oy = 0; oy < oh; oy += 2) {
             int64_t tr = oh - oy < 2 ? oh - oy : 2;
             float acc[4][2][64] __attribute__((aligned(64)));
+            if (pool && (tr < 2 || oy / 2 >= poh)) continue; /* odd tail row */
             if (ow <= 32) {
                 /* Fixed-width tile: lanes j >= ow compute garbage from the
                    scratch slack and are never stored; valid lanes are
@@ -327,35 +403,48 @@ static void conv_direct_sample(const float *restrict xp,
             }
             for (int64_t r = 0; r < nr; r++) {
                 float bv = bias ? bias[oc + r] : 0.0f;
-                for (int64_t t = 0; t < tr; t++) {
-                    float *restrict dst = out + ((oc + r) * oh + oy + t) * ow;
-                    const float *restrict a = acc[r][t];
-                    for (int64_t j = 0; j < ow; j++) {
-                        float v = a[j] + bv;
-                        if (relu && v < 0.0f) v = 0.0f;
+                if (pool) {
+                    int64_t py = oy / 2;
+                    float *restrict dst = out + ((oc + r) * poh + py) * pow_;
+                    const float *restrict ex =
+                        extra ? extra + ((oc + r) * poh + py) * pow_ : 0;
+                    const float *restrict a0 = acc[r][0];
+                    const float *restrict a1 = acc[r][1];
+                    for (int64_t j = 0; j < pow_; j++) {
+                        float v00 = scale * a0[2 * j] + bv;
+                        float v01 = scale * a0[2 * j + 1] + bv;
+                        float v10 = scale * a1[2 * j] + bv;
+                        float v11 = scale * a1[2 * j + 1] + bv;
+                        if (relu) {
+                            if (v00 < 0.0f) v00 = 0.0f;
+                            if (v01 < 0.0f) v01 = 0.0f;
+                            if (v10 < 0.0f) v10 = 0.0f;
+                            if (v11 < 0.0f) v11 = 0.0f;
+                        }
+                        float m0 = v00 > v01 ? v00 : v01;
+                        float m1 = v10 > v11 ? v10 : v11;
+                        float v = m0 > m1 ? m0 : m1;
+                        if (ex) v += ex[j];
                         dst[j] = v;
+                    }
+                } else {
+                    for (int64_t t = 0; t < tr; t++) {
+                        float *restrict dst =
+                            out + ((oc + r) * oh + oy + t) * ow;
+                        const float *restrict ex =
+                            extra ? extra + ((oc + r) * oh + oy + t) * ow : 0;
+                        const float *restrict a = acc[r][t];
+                        for (int64_t j = 0; j < ow; j++) {
+                            float v = scale * a[j] + bv;
+                            if (relu && v < 0.0f) v = 0.0f;
+                            if (ex) v += ex[j];
+                            dst[j] = v;
+                        }
                     }
                 }
             }
         }
     }
-}
-
-static void pad_plane_copy(const float *restrict x, int64_t c_in, int64_t h,
-                           int64_t w, int64_t ph, int64_t pw,
-                           float *restrict xp) {
-    int64_t hp = h + 2 * ph, wp = w + 2 * pw;
-    if (ph == 0 && pw == 0) {
-        for (int64_t j = 0; j < c_in * h * w; j++) xp[j] = x[j];
-        return;
-    }
-    for (int64_t j = 0; j < c_in * hp * wp; j++) xp[j] = 0.0f;
-    for (int64_t c = 0; c < c_in; c++)
-        for (int64_t y = 0; y < h; y++) {
-            float *restrict dst = xp + (c * hp + y + ph) * wp + pw;
-            const float *restrict src = x + (c * h + y) * w;
-            for (int64_t j = 0; j < w; j++) dst[j] = src[j];
-        }
 }
 
 /* ------------------------------------------------------------------ */
@@ -424,17 +513,24 @@ static void maxpool_planes(const float *restrict x, int64_t planes,
 }
 
 /* ------------------------------------------------------------------ */
-/* Program interpreter: one record per op, RECORD_FIELDS int64 each.  */
+/* Program interpreter: one record per IR op, RECORD_FIELDS int64     */
+/* each, plus one float (the epilogue scale) per record in fscale.    */
 /* Fields: [op, relu, c_in, h, w, c_out, kh, kw, sh, sw, ph, pw, oh,  */
-/*          ow, weight_index, bias_index]                             */
+/*          ow, weight_index, bias_index, in_dtype, add_extra, pool,  */
+/*          pool_oh, pool_ow, pad_value, spare, spare]                */
+/* in_dtype (0=f32, 1=u8, 2=u16) is nonzero only on the first record  */
+/* (quantised-code ingest); extra is the full-batch per-row tensor an */
+/* add_extra op folds into its output write (the noise add).          */
 /* ------------------------------------------------------------------ */
-#define REC 16
+#define REC 24
 
-void run_program(const int64_t *restrict prog, int64_t n_ops, int64_t n,
-                 const float *restrict input, float *restrict output,
+void run_program(const int64_t *restrict prog, const float *restrict fscale,
+                 int64_t n_ops, int64_t n,
+                 const void *restrict input, float *restrict output,
                  float *restrict arena_a, float *restrict arena_b,
-                 float *restrict cols, const float **restrict weights) {
-    const float *src = input;
+                 float *restrict cols, const float **restrict weights,
+                 const float *restrict extra) {
+    const void *src = input;
     float *arenas[2] = {arena_a, arena_b};
     int which = 0;
     for (int64_t op = 0; op < n_ops; op++) {
@@ -446,40 +542,86 @@ void run_program(const int64_t *restrict prog, int64_t n_ops, int64_t n,
         int64_t ph = r[10], pw = r[11], oh = r[12], ow = r[13];
         const float *wmat = r[14] >= 0 ? weights[r[14]] : 0;
         const float *bias = r[15] >= 0 ? weights[r[15]] : 0;
+        int dtype = (int)r[16];
+        const float *ex = r[17] ? extra : 0;
+        int pool = (int)r[18];
+        int64_t poh = r[19], pow_ = r[20];
+        float padv = (float)r[21];
+        float scale = fscale[op];
         float *dst = (op == n_ops - 1) ? output : arenas[which];
         which ^= 1;
         if (kind == 0) { /* conv2d via im2col + GEMM */
             int64_t m = oh * ow, K = c_in * kh * kw;
             for (int64_t s = 0; s < n; s++) {
-                const float *xs = src + s * c_in * h * w;
                 float *os = dst + s * c_out * m;
-                im2col_sample(xs, c_in, h, w, kh, kw, sh, sw, ph, pw, oh, ow,
-                              cols);
-                if (m == 1)
-                    linear_rows(cols, wmat, bias, 1, K, c_out, relu, os);
+                const float *exs = ex ? ex + s * c_out * m : 0;
+                if (dtype == 1)
+                    im2col_u8((const uint8_t *)src + s * c_in * h * w,
+                              c_in, h, w, kh, kw, sh, sw, ph, pw, oh, ow,
+                              padv, cols);
+                else if (dtype == 2)
+                    im2col_u16((const uint16_t *)src + s * c_in * h * w,
+                               c_in, h, w, kh, kw, sh, sw, ph, pw, oh, ow,
+                               padv, cols);
                 else
-                    gemm_f32(wmat, cols, bias, c_out, K, m, relu, os);
+                    im2col_f32((const float *)src + s * c_in * h * w,
+                               c_in, h, w, kh, kw, sh, sw, ph, pw, oh, ow,
+                               0.0f, cols);
+                if (m == 1)
+                    linear_f32(cols, wmat, bias, 1, K, c_out, relu, scale,
+                               exs, os);
+                else
+                    gemm_f32(wmat, cols, bias, c_out, K, m, relu, scale,
+                             exs, os);
             }
         } else if (kind == 4) { /* conv2d, direct stride-1 kernel */
+            int64_t out_es = pool ? c_out * poh * pow_ : c_out * oh * ow;
             int64_t hp = h + 2 * ph, wp = w + 2 * pw;
             for (int64_t s = 0; s < n; s++) {
-                pad_plane_copy(src + s * c_in * h * w, c_in, h, w, ph, pw,
-                               cols);
+                if (dtype == 1)
+                    pad_plane_u8((const uint8_t *)src + s * c_in * h * w,
+                                 c_in, h, w, ph, pw, padv, cols);
+                else if (dtype == 2)
+                    pad_plane_u16((const uint16_t *)src + s * c_in * h * w,
+                                  c_in, h, w, ph, pw, padv, cols);
+                else
+                    pad_plane_f32((const float *)src + s * c_in * h * w,
+                                  c_in, h, w, ph, pw, 0.0f, cols);
                 conv_direct_sample(cols, wmat, bias, c_in, hp, wp, kh, kw,
-                                   oh, ow, c_out, relu,
-                                   dst + s * c_out * oh * ow);
+                                   oh, ow, c_out, relu, scale, pool, poh,
+                                   pow_, ex ? ex + s * out_es : 0,
+                                   dst + s * out_es);
             }
         } else if (kind == 1) { /* linear: c_in = in_f, c_out = out_f */
-            linear_rows(src, wmat, bias, n, c_in, c_out, relu, dst);
+            if (dtype == 1)
+                linear_u8((const uint8_t *)src, wmat, bias, n, c_in, c_out,
+                          relu, scale, ex, dst);
+            else if (dtype == 2)
+                linear_u16((const uint16_t *)src, wmat, bias, n, c_in, c_out,
+                           relu, scale, ex, dst);
+            else
+                linear_f32((const float *)src, wmat, bias, n, c_in, c_out,
+                           relu, scale, ex, dst);
         } else if (kind == 2) { /* standalone relu over c_in elems/sample */
+            const float *restrict sf = (const float *)src;
             int64_t total = n * c_in;
-            for (int64_t j = 0; j < total; j++) {
-                float v = src[j];
-                dst[j] = v > 0.0f ? v : 0.0f;
-            }
+            if (ex)
+                for (int64_t j = 0; j < total; j++) {
+                    float v = sf[j];
+                    dst[j] = (v > 0.0f ? v : 0.0f) + ex[j];
+                }
+            else
+                for (int64_t j = 0; j < total; j++) {
+                    float v = sf[j];
+                    dst[j] = v > 0.0f ? v : 0.0f;
+                }
         } else { /* maxpool2d over n*c_in planes */
-            maxpool_planes(src, n * c_in, h, w, kh, kw, sh, sw, ph, pw, oh,
-                           ow, dst);
+            maxpool_planes((const float *)src, n * c_in, h, w, kh, kw, sh,
+                           sw, ph, pw, oh, ow, dst);
+            if (ex) {
+                int64_t total = n * c_in * oh * ow;
+                for (int64_t j = 0; j < total; j++) dst[j] += ex[j];
+            }
         }
         src = dst;
     }
@@ -489,15 +631,17 @@ void run_program(const int64_t *restrict prog, int64_t n_ops, int64_t n,
 
 def _configure(lib: ctypes.CDLL) -> None:
     lib.run_program.argtypes = [
-        ctypes.c_void_p,  # prog
+        ctypes.c_void_p,  # prog records
+        ctypes.c_void_p,  # fscale (one float per record)
         ctypes.c_int64,   # n_ops
         ctypes.c_int64,   # n (batch rows)
-        ctypes.c_void_p,  # input
+        ctypes.c_void_p,  # input (f32 or quantised codes)
         ctypes.c_void_p,  # output
         ctypes.c_void_p,  # arena_a
         ctypes.c_void_p,  # arena_b
         ctypes.c_void_p,  # cols scratch
         ctypes.c_void_p,  # weights pointer table
+        ctypes.c_void_p,  # extra per-row tensor (folded add), may be NULL
     ]
     lib.run_program.restype = None
 
@@ -515,37 +659,55 @@ def load() -> ctypes.CDLL | None:
     return _MODULE.load()
 
 
+def _fold_dequant_bias(op: ir.IROp) -> np.ndarray:
+    """The dequant-corrected bias: ``bias − scale·zp·Σw`` per output row.
+
+    With code values ``c`` fed straight into the GEMM, the affine
+    dequantisation ``scale·(c − zp)`` distributes to
+    ``scale·Σ(w·c) − scale·zp·Σw + bias`` — the first term is the scale
+    epilogue, the rest is this constant.  Computed in float64 and rounded
+    once, like :func:`repro.edge.quantization.dequantize` rounds once.
+    """
+    rowsum = op.weight.astype(np.float64).sum(axis=1)
+    base = 0.0 if op.bias is None else op.bias.astype(np.float64)
+    correction = base - op.dequant.scale * op.dequant.zero_point * rowsum
+    return np.ascontiguousarray(correction.astype(np.float32))
+
+
 class CompiledProgram:
-    """One network segment lowered to a flat op program for a fixed
-    ``(batch, input_shape)``.
+    """One lowered :class:`~repro.edge.ir.Program` bound to the native
+    interpreter for a fixed ``(batch, input geometry)``.
 
-    The executor hands over a list of *steps* — ``("conv", module, relu)``,
-    ``("linear", module, relu)``, ``("maxpool", module)``, ``("relu",)`` —
-    and this class resolves the geometry, builds the int64 record array,
-    the weight pointer table, and the ping-pong scratch arenas, and caches
-    the argument list so a call is one dict hit plus one ctypes call.
+    Translates the IR ops into the flat int64 record array the C side
+    executes, resolves the buffer plan (:func:`repro.edge.ir.plan_buffers`)
+    into ping-pong arenas and the im2col/plane scratch panel, builds the
+    weight pointer table, and caches the argument list so a call is one
+    dict hit plus one ctypes call.  ``flatten`` ops vanish here — the
+    record stream is compute-only and the output buffer is allocated at
+    the program's (possibly flattened) output spec.
 
-    Weight/bias pointers reference the modules' live float32 arrays (a
-    reshape view for conv filters), so in-place weight updates stay
-    visible; rebinding a parameter to a new array does not.  Serving nets
-    are frozen, which is the contract this backend is built for.
+    Weight/bias pointers reference the IR's live float32 arrays (views of
+    the module parameters), so in-place weight updates stay visible;
+    rebinding a parameter to a new array does not.  Dequant-folding ops
+    are the exception: their corrected bias is a frozen copy.  Serving
+    nets are frozen, which is the contract this backend is built for.
     """
 
-    def __init__(
-        self, steps: list[tuple], n: int, input_shape: tuple[int, ...]
-    ) -> None:
+    def __init__(self, program: ir.Program, n: int) -> None:
         lib = load()
         if lib is None:  # pragma: no cover - callers check available()
             raise RuntimeError("fastexec kernel unavailable")
         self._run = lib.run_program
         self.n = n
+        self.program = program
+        self.out_shape = program.out_spec.shape
+        self.in_dtype = program.in_spec.numpy_dtype
+        self.needs_extra = any(op.add_rows for op in program.ops)
         # Strong references keep the weight arrays alive behind the raw
         # pointers in the table.
         self._weight_arrays: list[np.ndarray] = []
         records: list[tuple] = []
-        shape = tuple(input_shape)
-        arena_elems = 0
-        cols_elems = 1
+        scales: list[float] = []
 
         def _index(array: np.ndarray | None) -> int:
             if array is None:
@@ -555,91 +717,71 @@ class CompiledProgram:
             self._weight_arrays.append(array)
             return len(self._weight_arrays) - 1
 
-        for step in steps:
-            kind = step[0]
-            if kind == "conv":
-                module, relu = step[1], step[2]
-                c_in, h, w = shape
-                kh, kw = module.kernel_size
-                sh, sw = module.stride
-                ph, pw = module.padding
-                oh = conv_output_size(h, kh, sh, ph)
-                ow = conv_output_size(w, kw, sw, pw)
-                c_out = module.out_channels
-                weight = module.weight.data.reshape(c_out, c_in * kh * kw)
-                if not weight.flags.c_contiguous:
-                    weight = np.ascontiguousarray(weight)
-                bias = None if module.bias is None else module.bias.data
-                direct = (
-                    sh == 1 and sw == 1
-                    and DIRECT_CONV_MIN_OW <= ow <= DIRECT_CONV_MAX_OW
-                )
+        for op in program.ops:
+            if op.kind == "flatten":
+                continue  # free reshape; the flat record stream never sees it
+            dtype_code = _DTYPE_CODES[op.in_spec.dtype]
+            add = int(op.add_rows)
+            scale, zero_point, bias = 1.0, 0, op.bias
+            if op.dequant is not None:
+                scale = float(op.dequant.scale)
+                zero_point = int(op.dequant.zero_point)
+                bias = _fold_dequant_bias(op)
+            if op.kind == "conv2d":
+                c_in, h, w = op.in_spec.shape
+                direct = ir.direct_conv_eligible(op)
+                if op.pool and not direct:  # pragma: no cover - rewrite guard
+                    raise AssertionError("fused pool requires the direct kernel")
+                poh, pow_ = (op.out_spec.shape[1:] if op.pool else (0, 0))
                 records.append(
-                    (OP_CONV2D_DIRECT if direct else OP_CONV2D, int(relu),
-                     c_in, h, w, c_out, kh, kw, sh, sw,
-                     ph, pw, oh, ow, _index(weight), _index(bias))
+                    (OP_CONV2D_DIRECT if direct else OP_CONV2D, int(op.relu),
+                     c_in, h, w, op.out_spec.shape[0], *op.kernel, *op.stride,
+                     *op.padding, op.oh, op.ow, _index(op.weight),
+                     _index(bias), dtype_code, add, int(op.pool), poh, pow_,
+                     zero_point, 0, 0)
                 )
-                if direct:
-                    # +64 slack floats: the fixed-width direct tile loads
-                    # (never stores) up to 31 lanes past a row's end.
-                    cols_elems = max(
-                        cols_elems, c_in * (h + 2 * ph) * (w + 2 * pw) + 64
-                    )
-                else:
-                    cols_elems = max(cols_elems, c_in * kh * kw * oh * ow)
-                shape = (c_out, oh, ow)
-            elif kind == "linear":
-                module, relu = step[1], step[2]
-                in_f = int(np.prod(shape))
-                if in_f != module.in_features:
-                    raise ValueError(
-                        f"linear expects {module.in_features} features, "
-                        f"segment carries {in_f}"
-                    )
-                bias = None if module.bias is None else module.bias.data
+            elif op.kind == "linear":
                 records.append(
-                    (OP_LINEAR, int(relu), in_f, 0, 0, module.out_features,
-                     0, 0, 0, 0, 0, 0, 0, 0,
-                     _index(module.weight.data), _index(bias))
+                    (OP_LINEAR, int(op.relu), op.in_spec.elements, 0, 0,
+                     op.out_spec.elements, 0, 0, 0, 0, 0, 0, 0, 0,
+                     _index(op.weight), _index(bias), dtype_code, add,
+                     0, 0, 0, zero_point, 0, 0)
                 )
-                shape = (module.out_features,)
-            elif kind == "relu":
-                elems = int(np.prod(shape))
+            elif op.kind == "relu":
                 records.append(
-                    (OP_RELU, 0, elems, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, -1, -1)
+                    (OP_RELU, 0, op.in_spec.elements, 0, 0, 0, 0, 0, 0, 0,
+                     0, 0, 0, 0, -1, -1, dtype_code, add, 0, 0, 0, 0, 0, 0)
                 )
-            elif kind == "maxpool":
-                module = step[1]
-                c, h, w = shape
-                kh, kw = module.kernel_size
-                sh, sw = module.stride
-                ph, pw = module.padding
-                oh = conv_output_size(h, kh, sh, ph)
-                ow = conv_output_size(w, kw, sw, pw)
+            elif op.kind == "maxpool2d":
+                c, h, w = op.in_spec.shape
                 records.append(
-                    (OP_MAXPOOL2D, 0, c, h, w, 0, kh, kw, sh, sw, ph, pw,
-                     oh, ow, -1, -1)
+                    (OP_MAXPOOL2D, 0, c, h, w, 0, *op.kernel, *op.stride,
+                     *op.padding, op.oh, op.ow, -1, -1, dtype_code, add,
+                     0, 0, 0, 0, 0, 0)
                 )
-                shape = (c, oh, ow)
-            else:  # pragma: no cover - executor controls the step kinds
-                raise ValueError(f"unknown native step {kind!r}")
-            arena_elems = max(arena_elems, int(np.prod(shape)))
+            else:  # pragma: no cover - lowering controls the op kinds
+                raise ValueError(f"IR op {op.kind!r} has no native lowering")
+            scales.append(scale)
 
-        self.out_shape = shape
+        if not records:
+            raise ValueError("cannot compile a program with no compute ops")
+        plan = ir.plan_buffers(program)
         self._records = np.asarray(records, dtype=np.int64)
         if self._records.shape[1] != RECORD_FIELDS:  # pragma: no cover
             raise AssertionError("program record width drifted from the C side")
+        self._scales = np.asarray(scales, dtype=np.float32)
         table = (ctypes.c_void_p * max(1, len(self._weight_arrays)))()
         for index, array in enumerate(self._weight_arrays):
             table[index] = array.ctypes.data
         self._weight_table = table
-        self._arena_a = np.empty(n * arena_elems, dtype=np.float32)
-        self._arena_b = np.empty(n * arena_elems, dtype=np.float32)
+        self._arena_a = np.empty(n * plan.arena_elements, dtype=np.float32)
+        self._arena_b = np.empty(n * plan.arena_elements, dtype=np.float32)
         # Zero-filled so the direct-conv over-read slack never sees
         # uninitialised (potentially denormal) memory.
-        self._cols = np.zeros(cols_elems, dtype=np.float32)
+        self._cols = np.zeros(plan.scratch_elements, dtype=np.float32)
         self._args = [
             self._records.ctypes.data,
+            self._scales.ctypes.data,
             len(self._records),
             n,
             0,  # input pointer, set per call
@@ -648,13 +790,21 @@ class CompiledProgram:
             self._arena_b.ctypes.data,
             self._cols.ctypes.data,
             ctypes.addressof(self._weight_table),
+            0,  # extra pointer, set per call
         ]
 
-    def __call__(self, x: np.ndarray) -> np.ndarray:
-        """Run the segment on ``x``; returns a fresh float32 output array."""
+    def __call__(self, x: np.ndarray, extra: np.ndarray | None = None) -> np.ndarray:
+        """Run the program on ``x``; returns a fresh float32 output array.
+
+        ``extra`` is the full-batch per-row tensor a folded epilogue add
+        consumes (required iff the program was lowered with one).
+        """
+        if self.needs_extra and extra is None:
+            raise ValueError("program folds an epilogue add; extra is required")
         out = np.empty((self.n, *self.out_shape), dtype=np.float32)
         args = self._args
-        args[3] = x.ctypes.data
-        args[4] = out.ctypes.data
+        args[4] = x.ctypes.data
+        args[5] = out.ctypes.data
+        args[10] = 0 if extra is None else extra.ctypes.data
         self._run(*args)
         return out

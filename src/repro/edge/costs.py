@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.models.base import SplittableModel
-from repro.nn import Conv2d, Linear, Tensor, no_grad
+from repro.nn import Tensor, no_grad
 from repro.nn.module import Module
 
 BYTES_PER_ELEMENT = 4  # float32 activations on the wire
@@ -31,18 +31,20 @@ BYTES_PER_ELEMENT = 4  # float32 activations on the wire
 def layer_macs(module: Module, input_shape: tuple[int, ...], output_shape: tuple[int, ...]) -> int:
     """Multiply-accumulate count of one layer for a single sample.
 
-    Convolutions dominate; linear layers count ``in × out``; pooling,
-    normalisation and elementwise layers are counted as zero MACs (their
-    cost is negligible next to the convs, and the paper's cost model is
-    MAC-based).
+    Priced by lowering the layer through the executor IR
+    (:func:`repro.edge.ir.lower_module`) and reading
+    :attr:`~repro.edge.ir.IROp.macs` — the same per-op cost the lowered
+    serving schedules carry, so the planner and the executors can never
+    disagree about what a layer costs.  Convolutions dominate; linear
+    layers count ``in × out``; pooling, normalisation and elementwise
+    layers (anything the IR prices at zero or cannot lower) count zero
+    MACs — their cost is negligible next to the convs, and the paper's
+    cost model is MAC-based.
     """
-    if isinstance(module, Conv2d):
-        _, out_c, out_h, out_w = output_shape
-        kh, kw = module.kernel_size
-        return out_h * out_w * out_c * module.in_channels * kh * kw
-    if isinstance(module, Linear):
-        return module.in_features * module.out_features
-    return 0
+    from repro.edge.ir import lower_module
+
+    op = lower_module(module, tuple(input_shape[1:]))
+    return op.macs if op is not None else 0
 
 
 @dataclass(frozen=True)

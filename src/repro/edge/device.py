@@ -44,7 +44,7 @@ from repro.edge.protocol import (
     encode_activation,
     encode_prediction,
 )
-from repro.edge.quantization import QuantizationParams, dequantize, quantize
+from repro.edge.quantization import QuantizationParams, quantize
 from repro.errors import ConfigurationError
 from repro.models.base import SplittableModel
 from repro.nn import Sequential
@@ -102,25 +102,30 @@ class EdgeDevice:
 
         Serving runtimes call this at deployment time for every batch size
         their window can form, so the first request pays no allocation or
-        kernel-lowering jitter.
+        kernel-lowering jitter.  When the device injects noise, the warmed
+        programs include the noise-add epilogue the real path uses.
         """
-        return self._executor.warm(batch_shape)
+        return self._executor.warm(
+            batch_shape, epilogue_add=self.noise is not None
+        )
 
     def _noisy_activation(self, images: np.ndarray, splits: Sequence[int]) -> np.ndarray:
         """Local half + per-request noise for a stacked image batch.
 
         ``splits`` gives the per-request row counts; the collection is
         sampled once per request *in order*, consuming the generator exactly
-        as the equivalent sequence of single-request calls would.
+        as the equivalent sequence of single-request calls would.  The
+        sampled noise rides the executor's epilogue-add path, so with the
+        ``fold_epilogue_add`` IR rewrite the addition happens inside the
+        last kernel's output write instead of a separate traversal.
         """
-        activation = self._executor(self.normalize(images))
+        noise = None
         if self.noise is not None:
             if len(splits) == 1:
                 noise = self.noise.sample_batch(self.noise_stream, splits[0])
             else:
                 noise = self.noise.sample_splits(self.noise_stream, splits)
-            activation = activation + noise
-        return activation
+        return self._executor(self.normalize(images), epilogue_add=noise)
 
     def process(self, images: np.ndarray) -> ActivationMessage:
         """Run the local half and inject sampled noise (one request).
@@ -190,9 +195,27 @@ class CloudServer:
         self.remote = remote.eval()
         self._executor = BatchInvariantExecutor(self.remote, kernel_backend)
 
-    def warm(self, activation_shape: tuple[int, ...]) -> tuple[int, ...]:
-        """Pre-size executor scratch for one stacked activation geometry."""
-        return self._executor.warm(activation_shape)
+    @property
+    def ingest_dequants(self) -> int:
+        """Batch-sized f32 dequantised copies materialised so far.
+
+        Stays zero on the native backend while the ``int8_ingest`` IR
+        rewrite covers every quantised uplink — the allocation assertion
+        the quantised serving bench makes.
+        """
+        return self._executor.ingest_dequants
+
+    def warm(
+        self,
+        activation_shape: tuple[int, ...],
+        quantization: QuantizationParams | None = None,
+    ) -> tuple[int, ...]:
+        """Pre-size executor scratch for one stacked activation geometry.
+
+        Pass the deployment's ``quantization`` so the warmed programs
+        cover the quantised-ingest path the real uplinks take.
+        """
+        return self._executor.warm(activation_shape, quantization=quantization)
 
     def handle(self, message: ActivationMessage) -> PredictionMessage:
         """Compute logits for one activation message (sequential path)."""
@@ -202,14 +225,17 @@ class CloudServer:
     def predict_batch(self, message: BatchActivationMessage) -> BatchPredictionMessage:
         """One remote pass over a stacked micro-batch.
 
-        Dequantises the payload if needed, runs the remote half once, and
-        returns the stacked logits with the request table preserved so the
-        session can demultiplex them back to request ids.
+        Quantised payloads feed the executor as raw codes: with the
+        ``int8_ingest`` IR rewrite active the codes flow straight into the
+        first GEMM/conv (no f32 dequantised copy is ever materialised);
+        otherwise the executor dequantises internally, exactly like the
+        historical path.  Returns the stacked logits with the request
+        table preserved so the session can demultiplex them back to
+        request ids.
         """
-        tensor = message.tensor
-        if message.quantization is not None:
-            tensor = dequantize(tensor, message.quantization)
-        logits = self._executor(tensor)
+        logits = self._executor(
+            message.tensor, quantization=message.quantization
+        )
         return BatchPredictionMessage(
             request_ids=message.request_ids,
             splits=message.splits,

@@ -10,61 +10,78 @@ dimension changes.
 
 :class:`BatchInvariantExecutor` compiles a frozen
 :class:`~repro.nn.Sequential` into an inference-only plan in which every
-kernel's per-row arithmetic is independent of the batch geometry.  Two
-interchangeable backends provide the kernels:
+kernel's per-row arithmetic is independent of the batch geometry.  The
+layer list is split once by :func:`repro.edge.ir.segment_modules` into IR
+segments (Conv2d, Linear, ReLU, MaxPool2d, Flatten, eval-mode Dropout)
+and python-fallback runs (eval-mode BatchNorm2d, LocalResponseNorm,
+anything in training mode or unrecognised).  Each IR segment is lowered
+**once per input geometry** by :func:`repro.edge.ir.lower` — the single
+lowering + rewrite pipeline shared by every backend — and the resulting
+:class:`~repro.edge.ir.Program` is interpreted by whichever backend the
+executor was constructed with.  Neither backend owns lowering or fusion
+logic of its own.
 
-Native kernels (``kernel_backend="native"`` / the ``"auto"`` default)
+Native backend (``kernel_backend="native"`` / the ``"auto"`` default)
 =====================================================================
 
-When a system C compiler is available, supported layer runs — Conv2d,
-Linear, ReLU, MaxPool2d, Flatten, eval-mode Dropout — are lowered to a
-flat op program executed by the compiled :mod:`repro.edge._fastexec`
-library in **one C call per segment**: per-sample im2col + register-blocked
-conv GEMM, row-blocked linear dot products, fused bias+ReLU epilogues, and
-the eval-mode maxpool reduction, over reusable ping-pong scratch arenas.
-Unsupported layers (eval-mode BatchNorm2d, LocalResponseNorm, anything in
-training mode or unrecognised) split the program into segments and run
-between them via the numpy handlers below.
+When a system C compiler is available, each lowered program runs in **one
+C call per segment** via :class:`repro.edge._fastexec.CompiledProgram`:
+per-sample im2col + register-blocked conv GEMM, a direct (im2col-free)
+kernel for eligible stride-1 convs, row-blocked linear dot products, fused
+scale/bias/ReLU/pool/noise-add epilogues, and quantised-code ingest — all
+over reusable ping-pong scratch arenas.
 
 *Backend selection* happens **once, at executor construction**:
 ``"auto"`` picks the native backend when the kernel compiles (and the
-input is float32), else numpy; ``"native"`` requires it (raising
-:class:`~repro.errors.ConfigurationError` otherwise); ``"numpy"`` forces
-the pure-numpy plan.  Every executor a deployment creates — the edge
-device's, each cloud worker's — must use the same backend, which the
+input is float32 or quantised codes), else numpy; ``"native"`` requires it
+(raising :class:`~repro.errors.ConfigurationError` otherwise); ``"numpy"``
+forces the numpy interpreter.  Every executor a deployment creates — the
+edge device's, each cloud worker's — must use the same backend, which the
 device/engine constructors guarantee by threading one ``kernel_backend``
 value through.
 
 *Determinism contract*: both backends produce results that are a pure
 function of the input row — per-sample conv GEMMs, row-blocked linear
 products, fixed accumulation schedules — so batched and sequential serving
-agree bitwise *within* a backend.  The two backends are **not** bitwise
-identical to each other (both are float32-exact to ~1e-6 relative of the
-float64 result); mixing backends across the edge/cloud halves of one
-deployment is therefore a parity bug, not a correctness bug.
+agree bitwise *within* a backend at a fixed rewrite configuration.  The
+two backends are **not** bitwise identical to each other (both are
+float32-exact to ~1e-6 relative of the float64 result); mixing backends
+across the edge/cloud halves of one deployment is therefore a parity bug,
+not a correctness bug.  IR rewrites may change results only within f32
+round-off (see :mod:`repro.edge.ir`); the configured rewrite set is
+snapshotted at construction, like the backend.
 
 *Environment*: ``REPRO_NO_C_KERNEL=1`` disables the native kernels
 process-wide (``"auto"`` falls back to numpy, ``"native"`` raises);
 ``REPRO_KERNEL_DIR`` relocates the compiled-artifact cache (see
-:mod:`repro.native`).
+:mod:`repro.native`); ``REPRO_NO_IR_REWRITES=1`` /
+``REPRO_IR_REWRITES=a,b`` configure the IR rewrite pipeline for both
+backends (see :mod:`repro.edge.ir`).
 
-Numpy kernels (``kernel_backend="numpy"``)
+Numpy backend (``kernel_backend="numpy"``)
 ==========================================
 
-* **Conv2d** — im2col columns contracted by a *per-sample* stacked
+:class:`_NumpyProgram` interprets the same lowered programs with
+batch-invariant numpy kernels:
+
+* **conv2d** — im2col columns contracted by a *per-sample* stacked
   ``np.matmul`` (each sample runs the identical ``(C_out, K) @ (K, OH*OW)``
   GEMM regardless of batch size, which is also how the training-path
-  forward works);
-* **Linear** — the one geometry-sensitive op in the stack, replaced by a
+  forward works), epilogue ops applied in place on the result;
+* **linear** — the one geometry-sensitive op in the stack, replaced by a
   row-blocked product: ``np.matmul(x[:, None, :], W.T)`` broadcasts one
   ``(1, K) @ (K, N)`` GEMM per row (:func:`batch_invariant_linear`);
-* **MaxPool2d** — a window-max reduction over the strided im2col view
+* **maxpool2d** — a window-max reduction over the strided im2col view
   (no argmax bookkeeping: serving never needs the pooling gradient);
-* **ReLU / Flatten / eval-mode BatchNorm2d / LocalResponseNorm /
-  Dropout** — elementwise / reshape ops, invariant by construction.
+* quantised-code inputs are dequantised at the consuming op via
+  :func:`repro.edge.quantization.dequantize` (numpy GEMMs cannot fold the
+  affine map profitably, so this backend keeps the f32 materialisation
+  and counts it in :attr:`BatchInvariantExecutor.ingest_dequants`).
 
-Unrecognised layers (and layers left in training mode) fall back to the
-module's normal forward under ``no_grad``.
+Python-fallback layers run via per-module handlers (or the module's own
+forward under ``no_grad``), exactly as before.  Non-float32 float inputs
+(e.g. float64 probes) bypass the IR entirely and run the handler chain,
+preserving the input dtype.
 
 Both backends reuse scratch across calls: a serving session runs the same
 geometry every micro-batch, and repeated malloc/mmap churn dominated the
@@ -77,7 +94,8 @@ freshly owned, safe to hold across calls.
 
 Invariance across the four backbones and both backends is enforced by
 ``tests/edge/test_executor.py`` and the kernel-vs-numpy differential fuzz
-suite in ``tests/edge/test_native_kernels.py``.  Used by both
+suite in ``tests/edge/test_native_kernels.py`` (which also toggles every
+IR rewrite on/off).  Used by both
 :class:`~repro.edge.device.EdgeDevice` (single-request ``process`` *and*
 stacked ``forward_batch``) and :class:`~repro.edge.device.CloudServer`,
 which is what makes the batched session's parity guarantee hold by
@@ -88,8 +106,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.edge import _fastexec
-from repro.errors import ConfigurationError
+from repro.edge import _fastexec, ir
+from repro.edge.quantization import QuantizationParams, dequantize
+from repro.errors import ChannelError, ConfigurationError
 from repro.nn import Linear, Sequential, Tensor, no_grad
 from repro.nn.im2col import conv_output_size, extract_windows
 from repro.nn.layers.activation import ReLU
@@ -100,6 +119,9 @@ from repro.nn.layers.norm import BatchNorm2d, LocalResponseNorm
 from repro.nn.layers.pooling import MaxPool2d
 
 KERNEL_BACKENDS = ("auto", "native", "numpy")
+
+#: Dtypes the IR interpreters accept directly (f32 + quantised codes).
+_IR_DTYPES = (np.dtype(np.float32), np.dtype(np.uint8), np.dtype(np.uint16))
 
 
 def batch_invariant_linear(
@@ -117,6 +139,105 @@ def batch_invariant_linear(
     return out
 
 
+class _NumpyProgram:
+    """Numpy interpreter for one lowered :class:`~repro.edge.ir.Program`.
+
+    Walks ``Program.ops`` with the executor's batch-invariant numpy
+    kernels, reusing the executor's shape-keyed scratch buffers.  Fused
+    epilogue flags run the *same* numpy ops the standalone lowering would
+    (an in-place ``np.maximum`` for ReLU, the identical window-max for a
+    fused pool, the identical ``+=`` for a folded add), so toggling
+    rewrites never changes this backend's bits.  A ``dequant`` op
+    dequantises its input here — numpy cannot fold the affine map into a
+    GEMM profitably — which keeps this backend bitwise identical to the
+    historical dequantise-then-run path.
+    """
+
+    def __init__(
+        self,
+        executor: "BatchInvariantExecutor",
+        segment_index: int,
+        program: ir.Program,
+        n: int,
+    ) -> None:
+        self._executor = executor
+        self._segment = segment_index
+        self.program = program
+        self.n = n
+        self.out_shape = program.out_spec.shape
+        self.needs_extra = any(op.add_rows for op in program.ops)
+
+    def _buffer(self, position: int, role: str, shape, dtype) -> np.ndarray:
+        return self._executor._buffer(
+            ("ir", self._segment, position, role), shape, dtype
+        )
+
+    def __call__(self, x: np.ndarray, extra: np.ndarray | None = None) -> np.ndarray:
+        if self.needs_extra and extra is None:
+            raise ValueError("program folds an epilogue add; extra is required")
+        n = self.n
+        for position, op in enumerate(self.program.ops):
+            if op.dequant is not None:
+                # The ingest rewrite marked this op a code consumer; the
+                # numpy backend realises it as dequantise-then-run.
+                x = dequantize(x, op.dequant)
+                self._executor.ingest_dequants += 1
+            if op.kind == "flatten":
+                x = np.ascontiguousarray(x).reshape(n, -1)
+                continue
+            if op.kind == "conv2d":
+                c_out = op.out_spec.shape[0]
+                windows = extract_windows(x, op.kernel, op.stride, op.padding)
+                cols = self._buffer(position, "cols", windows.shape, np.float32)
+                np.copyto(cols, windows)
+                cols3 = cols.reshape(n, -1, op.oh * op.ow)
+                out3 = self._buffer(
+                    position, "out", (n, c_out, op.oh * op.ow), np.float32
+                )
+                # Stacked per-sample GEMM: identical geometry for every
+                # sample, so the result is independent of n.
+                np.matmul(op.weight, cols3, out=out3)
+                out = out3.reshape(n, c_out, op.oh, op.ow)
+                if op.bias is not None:
+                    out += op.bias.reshape(1, c_out, 1, 1)
+                if op.relu:
+                    np.maximum(out, 0.0, out=out)
+                if op.pool:
+                    out = self._pool(position, out, (2, 2), (2, 2), (0, 0))
+                x = out
+            elif op.kind == "linear":
+                out_f = op.out_spec.elements
+                out3 = self._buffer(position, "out", (n, 1, out_f), np.float32)
+                np.matmul(x[:, None, :], op.weight.T, out=out3)
+                out = out3.reshape(n, out_f)
+                if op.bias is not None:
+                    out += op.bias
+                if op.relu:
+                    np.maximum(out, 0.0, out=out)
+                x = out
+            elif op.kind == "relu":
+                out = self._buffer(position, "out", x.shape, np.float32)
+                x = np.maximum(x, 0.0, out=out)
+            elif op.kind == "maxpool2d":
+                x = self._pool(position, x, op.kernel, op.stride, op.padding)
+            else:  # pragma: no cover - lowering controls the op kinds
+                raise ValueError(f"IR op {op.kind!r} has no numpy lowering")
+            if op.add_rows:
+                x = x + extra.reshape(x.shape)
+        return x
+
+    def _pool(self, position, x, kernel, stride, padding) -> np.ndarray:
+        windows = extract_windows(x, kernel, stride, padding)
+        n, c, kh, kw, oh, ow = windows.shape
+        cols = self._buffer(position, "pcols", windows.shape, np.float32)
+        np.copyto(cols, windows)
+        out = self._buffer(position, "pout", (n, c, oh, ow), np.float32)
+        # Per-element window max on a contiguous copy (reducing the strided
+        # view directly is an order of magnitude slower); serving never
+        # needs the argmax the training path keeps for its gradient.
+        return cols.reshape(n, c, kh * kw, oh, ow).max(axis=2, out=out)
+
+
 class BatchInvariantExecutor:
     """Runs a frozen :class:`~repro.nn.Sequential` with batch-stable math.
 
@@ -125,11 +246,26 @@ class BatchInvariantExecutor:
             freeze it and put it in eval mode.
         kernel_backend: ``"auto"`` (native C kernels when available, the
             default), ``"native"`` (require them), or ``"numpy"`` (force
-            the pure-numpy plan).  See the module docstring for the
+            the numpy interpreter).  See the module docstring for the
             selection and determinism contract.
+        ir_rewrites: IR rewrite allowlist for this executor (default: the
+            environment, via :func:`repro.edge.ir.default_rewrites`).
+            Snapshotted once here, like the backend.
+
+    Attributes:
+        ingest_dequants: Number of batch-sized f32 dequantised copies this
+            executor has materialised from quantised inputs.  Stays zero
+            on the native backend when the ``int8_ingest`` rewrite covers
+            every quantised call — the allocation assertion the serving
+            bench makes.
     """
 
-    def __init__(self, net: Sequential, kernel_backend: str = "auto") -> None:
+    def __init__(
+        self,
+        net: Sequential,
+        kernel_backend: str = "auto",
+        ir_rewrites: tuple[str, ...] | None = None,
+    ) -> None:
         if kernel_backend not in KERNEL_BACKENDS:
             raise ConfigurationError(
                 f"kernel_backend must be one of {KERNEL_BACKENDS}, "
@@ -146,14 +282,29 @@ class BatchInvariantExecutor:
             if kernel_backend != "numpy" and _fastexec.available()
             else "numpy"
         )
+        if ir_rewrites is None:
+            self.rewrites = ir.default_rewrites()
+        else:
+            unknown = set(ir_rewrites) - set(ir.ALL_REWRITES)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown IR rewrites: {sorted(unknown)} "
+                    f"(known: {list(ir.ALL_REWRITES)})"
+                )
+            self.rewrites = tuple(
+                name for name in ir.ALL_REWRITES if name in ir_rewrites
+            )
+        self.ingest_dequants = 0
         self._plan = [
             (index, module, self._handler(module))
             for index, module in enumerate(net.layers())
         ]
         self._scratch: dict[tuple, np.ndarray] = {}
-        self._segments = self._build_segments() if self.backend == "native" else None
-        # (n, input_shape) -> list of per-segment callables.
-        self._programs: dict[tuple, list] = {}
+        self._segments = ir.segment_modules(self._plan)
+        # (segment, in_shape, quantization, epilogue_add) -> ir.Program
+        self._lowered: dict[tuple, ir.Program] = {}
+        # (segment, n, in_shape, quantization, epilogue_add) -> interpreter
+        self._programs: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     # Plan construction
@@ -177,73 +328,44 @@ class BatchInvariantExecutor:
             return self._local_response_norm
         return None  # fall back to the module's own forward
 
-    def _native_capable(self, module) -> bool:
-        """Whether the native program can absorb this layer."""
-        if isinstance(module, (Conv2d, Linear, ReLU, MaxPool2d, Flatten)):
-            return True
-        # Eval-mode dropout is the identity; training mode must keep the
-        # numpy handler so it raises exactly like the numpy backend.
-        return isinstance(module, Dropout) and not module.training
-
-    def _build_segments(self) -> list[tuple]:
-        """Split the layer list into native-program and python runs.
-
-        Returns ``("native", steps)`` / ``("python", plan_rows)`` tuples.
-        Native steps fuse a ReLU into a directly-preceding Conv2d/Linear.
-        """
-        segments: list[tuple] = []
-        native_steps: list[tuple] = []
-        python_rows: list[tuple] = []
-
-        def flush_native():
-            nonlocal native_steps
-            if native_steps:
-                segments.append(("native", native_steps))
-                native_steps = []
-
-        def flush_python():
-            nonlocal python_rows
-            if python_rows:
-                segments.append(("python", python_rows))
-                python_rows = []
-
-        for index, module, handler in self._plan:
-            if not self._native_capable(module):
-                flush_native()
-                python_rows.append((index, module, handler))
-                continue
-            flush_python()
-            if isinstance(module, Conv2d):
-                native_steps.append(["conv", module, False])
-            elif isinstance(module, Linear):
-                native_steps.append(["linear", module, False])
-            elif isinstance(module, ReLU):
-                if native_steps and native_steps[-1][0] in ("conv", "linear") \
-                        and not native_steps[-1][2]:
-                    native_steps[-1][2] = True  # fuse into the producer
-                else:
-                    native_steps.append(["relu"])
-            elif isinstance(module, MaxPool2d):
-                native_steps.append(["maxpool", module])
-            elif isinstance(module, Flatten):
-                native_steps.append(["flatten"])
-            # eval-mode Dropout: identity, emit nothing
-        flush_native()
-        flush_python()
-        return segments
-
     def _program(
-        self, segment_index: int, steps: list, n: int, shape: tuple[int, ...]
-    ) -> "_fastexec.CompiledProgram":
-        """The compiled program for one native segment at one geometry."""
-        key = (segment_index, n, shape)
-        program = self._programs.get(key)
+        self,
+        segment_index: int,
+        rows: list,
+        n: int,
+        shape: tuple[int, ...],
+        quantization: QuantizationParams | None,
+        epilogue_add: bool,
+    ):
+        """The (lowered, interpreted) program for one segment geometry.
+
+        Lowering is cached per-sample-geometry; the interpreter binding is
+        additionally cached per batch size.  Both caches key on the
+        quantisation params and the epilogue-add request because the
+        rewrite pipeline's output depends on them.
+        """
+        lowered_key = (segment_index, shape, quantization, epilogue_add)
+        program = self._lowered.get(lowered_key)
         if program is None:
-            program = _fastexec.CompiledProgram(
-                [tuple(step) for step in steps if step[0] != "flatten"], n, shape
+            program = ir.lower(
+                rows,
+                shape,
+                quantization=quantization,
+                epilogue_add=epilogue_add,
+                rewrites=self.rewrites,
             )
-            self._programs[key] = program
-        return program
+            self._lowered[lowered_key] = program
+        key = (segment_index, n, shape, quantization, epilogue_add)
+        interpreter = self._programs.get(key)
+        if interpreter is None and any(
+            op.kind != "flatten" for op in program.ops
+        ):
+            if self.backend == "native":
+                interpreter = _fastexec.CompiledProgram(program, n)
+            else:
+                interpreter = _NumpyProgram(self, segment_index, program, n)
+            self._programs[key] = interpreter
+        return program, interpreter
 
     def _run_python_rows(self, rows: list, x: np.ndarray) -> np.ndarray:
         for index, module, handler in rows:
@@ -354,56 +476,181 @@ class BatchInvariantExecutor:
         return x * denom
 
     # ------------------------------------------------------------------
+    # Quantised-code ingest helpers
+    # ------------------------------------------------------------------
+    def _check_codes(
+        self, x: np.ndarray, params: QuantizationParams
+    ) -> np.ndarray:
+        """Validate code range like :func:`dequantize`, narrow the dtype.
+
+        When every value the carrier dtype can hold is a valid code (u8
+        for 8-bit params, u16 for 16-bit), validation is free by
+        construction and skipped — the serving path after
+        ``forward_batch`` narrowing.
+        """
+        target = np.uint8 if params.bits <= 8 else np.uint16
+        if np.iinfo(x.dtype).max >= params.levels and x.size:
+            if int(x.max()) >= params.levels:
+                raise ChannelError(
+                    f"codes outside [0, {params.levels}) for "
+                    f"{params.bits}-bit params"
+                )
+        if x.dtype != target:
+            x = x.astype(target)
+        return np.ascontiguousarray(x)
+
+    def _dequantize_input(
+        self, x: np.ndarray, params: QuantizationParams
+    ) -> np.ndarray:
+        """The fallback ingest: materialise the f32 batch (and count it)."""
+        self.ingest_dequants += 1
+        return dequantize(x, params)
+
+    # ------------------------------------------------------------------
     # Forward
     # ------------------------------------------------------------------
-    def warm(self, batch_shape: tuple[int, ...]) -> tuple[int, ...]:
+    def warm(
+        self,
+        batch_shape: tuple[int, ...],
+        *,
+        quantization: QuantizationParams | None = None,
+        epilogue_add: bool = False,
+    ) -> tuple[int, ...]:
         """Pre-size every buffer for a batch shape; returns the out shape.
 
-        One throwaway forward allocates the native program (or numpy
-        scratch) for ``batch_shape`` off the latency path, so the first
-        real micro-batch pays no compilation or allocation jitter.  The
-        serving engine calls this at deploy time with the planner's
-        chosen window.
+        Throwaway forwards allocate the lowered programs (and the native
+        library, or numpy scratch) for ``batch_shape`` off the latency
+        path, so the first real micro-batch pays no compilation or
+        allocation jitter.  ``quantization`` warms the quantised-ingest
+        geometry (the input is synthesised at the code dtype);
+        ``epilogue_add`` additionally warms the noise-add epilogue.  The
+        serving engine calls this at deploy time with the planner's chosen
+        window.
         """
-        return self(np.zeros(batch_shape, dtype=np.float32)).shape
+        if quantization is not None:
+            dtype = np.uint8 if quantization.bits <= 8 else np.uint16
+            x = np.full(batch_shape, quantization.zero_point, dtype=dtype)
+        else:
+            x = np.zeros(batch_shape, dtype=np.float32)
+        out = self(x, quantization=quantization)
+        if epilogue_add:
+            out = self(
+                x,
+                quantization=quantization,
+                epilogue_add=np.zeros(out.shape, dtype=np.float32),
+            )
+        return out.shape
 
     def _numpy_forward(self, x: np.ndarray) -> np.ndarray:
         return self._run_python_rows(self._plan, x)
 
-    def __call__(self, batch: np.ndarray) -> np.ndarray:
+    def _replay_numpy(
+        self,
+        batch: np.ndarray,
+        quantization: QuantizationParams | None,
+        extra: np.ndarray | None,
+    ) -> np.ndarray:
+        """Whole-batch handler replay for mid-chain dtype surprises."""
+        x = np.ascontiguousarray(batch)
+        if quantization is not None and x.dtype != np.float32:
+            x = self._dequantize_input(x, quantization)
+        x = self._numpy_forward(x)
+        if extra is not None:
+            x = x + extra.reshape(x.shape)
+        return x
+
+    def __call__(
+        self,
+        batch: np.ndarray,
+        *,
+        quantization: QuantizationParams | None = None,
+        epilogue_add: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Forward a ``(N, ...)`` numpy batch to a numpy output.
+
+        Args:
+            batch: Float32 activations — or, with ``quantization`` set,
+                the raw integer codes of a quantised uplink.  With the
+                ``int8_ingest`` rewrite active the codes feed the first
+                GEMM/conv directly; otherwise they are dequantised first
+                (counted in :attr:`ingest_dequants`).
+            quantization: Affine params of the quantised ``batch``.
+            epilogue_add: Optional per-row float32 tensor, shaped like the
+                output, added to the result (the Shredder noise add).
+                With the ``fold_epilogue_add`` rewrite active the add runs
+                inside the last op's output write.
 
         The result is freshly owned (never a view of internal scratch), so
         callers may hold it across subsequent executor calls.
         """
         x = np.ascontiguousarray(batch)
-        if self.backend == "native" and x.dtype == np.float32:
-            for segment_index, (kind, body) in enumerate(self._segments):
-                if kind == "python":
-                    x = self._run_python_rows(body, x)
-                    continue
-                if all(step[0] == "flatten" for step in body):
-                    x = np.ascontiguousarray(x).reshape(len(x), -1)
-                    continue
-                if x.dtype != np.float32:
-                    # A python-fallback layer changed the dtype mid-chain;
-                    # replay the whole batch on the numpy plan rather than
-                    # silently casting.
-                    return self._finish(
-                        self._numpy_forward(np.ascontiguousarray(batch))
-                    )
-                if not x.flags.c_contiguous:
-                    x = np.ascontiguousarray(x)
-                program = self._program(segment_index, body, len(x), x.shape[1:])
-                x = program(x)
-                if len(program.out_shape) > 1 and any(
-                    step[0] == "flatten" for step in body
-                ):
-                    # Flatten was the segment's last layer: the reshape is
-                    # free, the program just never saw a consumer for it.
-                    x = x.reshape(len(x), -1)
-        else:
-            x = self._numpy_forward(x)
+        extra = epilogue_add
+        if extra is not None:
+            extra = np.ascontiguousarray(np.asarray(extra, dtype=np.float32))
+        if quantization is not None and x.dtype == np.float32:
+            quantization = None  # already dequantised upstream
+        if x.dtype not in _IR_DTYPES or (
+            x.dtype != np.float32 and quantization is None
+        ):
+            # Non-f32 float probes (e.g. float64) keep the historical
+            # handler path and their dtype.
+            out = self._numpy_forward(x)
+            if extra is not None:
+                out = out + extra.reshape(out.shape)
+            return self._finish(out)
+        pending = quantization
+        # The epilogue add belongs to the final segment (when it is an IR
+        # run); everything else leaves `extra` for the post-loop add.
+        fold_index = (
+            len(self._segments) - 1
+            if self._segments and self._segments[-1][0] == "ir"
+            else None
+        )
+        for segment_index, (kind, rows) in enumerate(self._segments):
+            if kind == "python":
+                if pending is not None:
+                    x = self._dequantize_input(x, pending)
+                    pending = None
+                x = self._run_python_rows(rows, x)
+                continue
+            if x.dtype not in _IR_DTYPES or (
+                x.dtype != np.float32 and pending is None
+            ):
+                # A python-fallback layer changed the dtype mid-chain;
+                # replay the whole batch on the handler plan rather than
+                # silently casting.
+                return self._finish(
+                    self._replay_numpy(batch, quantization, extra)
+                )
+            if not x.flags.c_contiguous:
+                x = np.ascontiguousarray(x)
+            want_extra = extra is not None and segment_index == fold_index
+            program, interpreter = self._program(
+                segment_index, rows, len(x), x.shape[1:], pending, want_extra
+            )
+            if program.consumes_codes:
+                x = self._check_codes(x, pending)
+                pending = None
+            elif pending is not None and any(
+                op.kind != "flatten" for op in program.ops
+            ):
+                # Rewrite off (or first op not foldable): dequantise now.
+                # The same lowered program accepts the f32 batch.
+                x = self._dequantize_input(x, pending)
+                pending = None
+            if interpreter is None:
+                # Flatten-only segment: a free reshape (codes included).
+                x = np.ascontiguousarray(x).reshape(len(x), -1)
+                continue
+            if program.extra == ir.EXTRA_FOLDED:
+                x = interpreter(x, extra)
+                extra = None
+            else:
+                x = interpreter(x)
+        if pending is not None:  # pragma: no cover - degenerate empty net
+            x = self._dequantize_input(x, pending)
+        if extra is not None:
+            x = x + extra.reshape(x.shape)
         return self._finish(x)
 
     def _finish(self, x: np.ndarray) -> np.ndarray:

@@ -1,0 +1,698 @@
+"""First-class op-program IR for the serving executor (schedule/lowering split).
+
+Every forward the serving runtime performs — the edge half on the
+dispatcher, the cloud half on each worker, the sequential reference path —
+runs a frozen eval-mode :class:`~repro.nn.Sequential`.  Before this module
+existed the network was lowered three separate times: the numpy executor
+kept a per-module handler plan, :mod:`repro.edge._fastexec` owned an ad-hoc
+flat op program for the compiled C kernels, and quantised uplinks were
+dequantised by :mod:`repro.edge.quantization` before either saw them.
+This module is the **single lowering pass** that replaces all three:
+
+* :func:`segment_modules` splits a layer list into IR-lowerable runs and
+  python-fallback runs (eval-mode BatchNorm2d/LocalResponseNorm, anything
+  in training mode or unrecognised);
+* :func:`lower` turns one run into a :class:`Program` — a typed op list
+  (:class:`IROp`: op kind, per-sample shapes, dtypes, weight references)
+  plus input/output specs — and then applies the **rewrite pipeline**;
+* :func:`plan_buffers` derives the schedule's buffer lifetimes: which
+  ping-pong arena each op writes, how large the arenas and the im2col /
+  padded-plane scratch panel must be.  Backends allocate what the plan
+  says; they do not re-derive shapes.
+
+Both executor backends are *interpreters of the same lowered program*:
+the numpy interpreter (:class:`repro.edge.executor._NumpyProgram`) walks
+``Program.ops`` with batch-invariant numpy kernels, and the native backend
+(:class:`repro.edge._fastexec.CompiledProgram`) translates the same ops
+into the flat int64 record array its C interpreter executes.  There is no
+backend-private lowering path.
+
+Rewrites
+========
+
+A rewrite is a pure function ``Program -> Program`` that may change *how*
+a result is computed but never *what* is computed beyond float32
+round-off.  The pipeline (fixed order, each individually toggleable):
+
+``fuse_relu``
+    Folds a standalone ReLU into the directly preceding Conv2d/Linear
+    epilogue (bitwise-neutral: the same f32 max runs at the output write).
+``fuse_conv_pool``
+    Collapses ``conv → [relu] → maxpool(2x2/2)`` into one fused op when
+    the conv is eligible for the direct (im2col-free) kernel, so the
+    activation is pooled in registers instead of being written out and
+    re-read (bitwise-neutral per backend: conv elements keep their exact
+    accumulation schedule, pooling is a max of identical floats).
+``int8_ingest``
+    When the program's input is a quantised uplink (integer codes) and the
+    first compute op is a Conv2d/Linear, the op consumes the codes
+    directly: codes are widened to f32 in-register (im2col panels and
+    padded planes carry code *values*, padding carries the zero point,
+    which dequantises to exactly 0.0) and the affine dequantisation is
+    folded into the epilogue as ``out = scale·acc + (bias − scale·zp·Σw)``.
+    This removes the batch-sized f32 dequantised copy entirely.  Results
+    are f32-close (not bitwise) to dequantise-then-run.
+``fold_epilogue_add``
+    Folds a trailing per-row tensor addition (the Shredder noise add) into
+    the last op's output write, removing one full traversal of the
+    activation per batch (bitwise-neutral: the same f32 add runs at the
+    output write).
+
+Determinism contract (inherited from PR 4, enforced by the per-rewrite
+differential fuzz in ``tests/edge/test_native_kernels.py``): for any fixed
+rewrite set, each backend remains bitwise batch-invariant and run-to-run
+deterministic; across backends — and across rewrite on/off togglings —
+results are f32-close.  Rewrite decisions depend only on per-sample
+geometry and dtypes, never on the batch size, so the sequential reference
+and every batched path make identical decisions.
+
+Environment
+===========
+
+``REPRO_NO_IR_REWRITES=1`` disables the whole rewrite pipeline (canonical
+lowering only — the fallback path CI pins); ``REPRO_IR_REWRITES=a,b``
+restricts it to a named subset.  Both are snapshotted at executor
+construction, like ``kernel_backend``.  ``REPRO_NO_C_KERNEL=1`` disables
+the native backend as before; the IR (and its rewrites) applies to the
+numpy interpreter too.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.edge.quantization import QuantizationParams
+from repro.errors import ConfigurationError
+from repro.nn import Linear
+from repro.nn.im2col import conv_output_size
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.pooling import MaxPool2d
+
+#: Rewrite names, in pipeline order.
+FUSE_RELU = "fuse_relu"
+FUSE_CONV_POOL = "fuse_conv_pool"
+INT8_INGEST = "int8_ingest"
+FOLD_EPILOGUE_ADD = "fold_epilogue_add"
+ALL_REWRITES = (FUSE_RELU, FUSE_CONV_POOL, INT8_INGEST, FOLD_EPILOGUE_ADD)
+
+#: Kill-switch: any non-empty value disables every IR rewrite.
+DISABLE_REWRITES_ENV_VAR = "REPRO_NO_IR_REWRITES"
+#: Comma-separated allowlist restricting the pipeline to a subset.
+SELECT_REWRITES_ENV_VAR = "REPRO_IR_REWRITES"
+
+#: Stride-1 convs with output rows in this width range are eligible for
+#: the direct (im2col-free) native kernel — and therefore for the fused
+#: conv+pool rewrite, which rides on the direct kernel's 2-row tiles.
+DIRECT_CONV_MIN_OW = 8
+DIRECT_CONV_MAX_OW = 64
+
+#: Integer-code dtypes a program input may carry (quantised uplinks).
+CODE_DTYPES = {8: "u8", 16: "u16"}
+
+
+def default_rewrites() -> tuple[str, ...]:
+    """The rewrite pipeline the environment configures.
+
+    ``REPRO_NO_IR_REWRITES`` (any non-empty value) turns everything off;
+    otherwise ``REPRO_IR_REWRITES`` may name a comma-separated subset.
+    Executors snapshot this once at construction.
+    """
+    if os.environ.get(DISABLE_REWRITES_ENV_VAR):
+        return ()
+    selected = os.environ.get(SELECT_REWRITES_ENV_VAR)
+    if selected is None:
+        return ALL_REWRITES
+    names = tuple(name.strip() for name in selected.split(",") if name.strip())
+    unknown = set(names) - set(ALL_REWRITES)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown IR rewrites in ${SELECT_REWRITES_ENV_VAR}: "
+            f"{sorted(unknown)} (known: {list(ALL_REWRITES)})"
+        )
+    return tuple(name for name in ALL_REWRITES if name in names)
+
+
+# ----------------------------------------------------------------------
+# IR data model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TensorSpec:
+    """Per-sample shape + dtype of a value flowing between ops.
+
+    ``dtype`` is ``"f32"`` for float activations or ``"u8"``/``"u16"``
+    for quantised integer codes (only ever a *program input*; every op
+    output is f32).
+    """
+
+    shape: tuple[int, ...]
+    dtype: str = "f32"
+
+    @property
+    def elements(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        return np.dtype({"f32": np.float32, "u8": np.uint8, "u16": np.uint16}[self.dtype])
+
+
+@dataclass(frozen=True)
+class IROp:
+    """One op of a lowered program.
+
+    Geometry is per-sample; the batch dimension is an interpreter
+    parameter.  Epilogue state (``relu``, ``pool``, ``dequant``,
+    ``add_rows``) is what the rewrite pipeline edits; canonical lowering
+    emits it all unset.
+
+    Attributes:
+        kind: ``"conv2d"`` | ``"linear"`` | ``"relu"`` | ``"maxpool2d"``
+            | ``"flatten"``.
+        in_spec / out_spec: Value specs around this op (``out_spec`` is
+            the *pooled* shape when ``pool`` is set).
+        kernel / stride / padding: Conv or pool window geometry.
+        oh / ow: Conv (pre-pool) or pool output height/width.
+        weight / bias: Parameter references — ``weight`` is the GEMM-ready
+            ``(out_features, K)`` float32 view; live arrays, not copies.
+        relu: Fused ReLU in the output epilogue.
+        pool: Fused eval-mode 2x2/2 max pool after the (relu'd) conv.
+        dequant: When set, the op consumes integer codes of these affine
+            params and folds dequantisation into its epilogue.
+        add_rows: The op adds the program's extra per-row input tensor at
+            its output write (the folded noise add).
+        source: Layer indices (within the original Sequential) this op
+            covers — cost attribution and debugging.
+    """
+
+    kind: str
+    in_spec: TensorSpec
+    out_spec: TensorSpec
+    kernel: tuple[int, int] = (0, 0)
+    stride: tuple[int, int] = (0, 0)
+    padding: tuple[int, int] = (0, 0)
+    oh: int = 0
+    ow: int = 0
+    weight: np.ndarray | None = None
+    bias: np.ndarray | None = None
+    relu: bool = False
+    pool: bool = False
+    dequant: QuantizationParams | None = None
+    add_rows: bool = False
+    source: tuple[int, ...] = ()
+
+    # -- derived ------------------------------------------------------
+    @property
+    def macs(self) -> int:
+        """Per-sample multiply-accumulates of this op (the §3.4 model)."""
+        if self.kind == "conv2d":
+            c_in = self.in_spec.shape[0]
+            c_out = self.out_spec.shape[0]
+            kh, kw = self.kernel
+            # The cost model charges the conv at its own output plane even
+            # when a fused pool discards the odd row/column tail — fusion
+            # must not perturb the planner's Figure 6 products.
+            return self.oh * self.ow * c_out * c_in * kh * kw
+        if self.kind == "linear":
+            return self.in_spec.elements * self.out_spec.elements
+        return 0
+
+
+#: How a program's extra per-row input (the noise add) is applied.
+EXTRA_NONE = "none"          # no extra input
+EXTRA_SEPARATE = "separate"  # interpreter adds it after the last op
+EXTRA_FOLDED = "folded"      # last op absorbs it (fold_epilogue_add)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A lowered (and possibly rewritten) op program for one segment.
+
+    Attributes:
+        ops: The schedule, in execution order.
+        in_spec: Per-sample input value ( ``u8``/``u16`` when the first op
+            ingests quantised codes directly; otherwise callers must hand
+            the interpreter a float32 input).
+        out_spec: Per-sample output value (always f32).
+        extra: :data:`EXTRA_NONE` / :data:`EXTRA_SEPARATE` /
+            :data:`EXTRA_FOLDED` — the epilogue-add operand state.
+        rewrites: The rewrite names that actually changed this program
+            (diagnostics; equality of programs is structural).
+    """
+
+    ops: tuple[IROp, ...]
+    in_spec: TensorSpec
+    out_spec: TensorSpec
+    extra: str = EXTRA_NONE
+    rewrites: tuple[str, ...] = ()
+
+    @property
+    def consumes_codes(self) -> bool:
+        """Whether the interpreter is handed raw quantised codes."""
+        return self.in_spec.dtype != "f32"
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """Buffer lifetimes of a program under ping-pong arena execution.
+
+    Every op reads its predecessor's output and writes the other arena
+    (the last op writes the program output), so exactly two arenas of
+    ``arena_elements`` floats per sample cover all intermediate values;
+    ``scratch_elements`` sizes the shared per-sample im2col / padded-plane
+    panel (with the direct kernel's fixed-width over-read slack included).
+
+    Attributes:
+        arena_elements: Per-sample float32 capacity each arena needs.
+        scratch_elements: Per-sample float32 capacity of the shared panel.
+        slots: Per-op destination: 0/1 for arena A/B, -1 for the program
+            output buffer.
+    """
+
+    arena_elements: int
+    scratch_elements: int
+    slots: tuple[int, ...]
+
+
+def direct_conv_eligible(op: IROp) -> bool:
+    """Whether a conv op can run on the direct (im2col-free) kernel."""
+    return (
+        op.kind == "conv2d"
+        and op.stride == (1, 1)
+        and DIRECT_CONV_MIN_OW <= op.ow <= DIRECT_CONV_MAX_OW
+    )
+
+
+def plan_buffers(program: Program) -> BufferPlan:
+    """Derive arena/scratch sizes and per-op destinations for a program.
+
+    Pure geometry — backends allocate what this says (the numpy
+    interpreter sizes its reusable output buffers from the same specs).
+    """
+    arena = 0
+    scratch = 1
+    slots: list[int] = []
+    which = 0
+    compute_ops = [op for op in program.ops if op.kind != "flatten"]
+    for index, op in enumerate(compute_ops):
+        last = index == len(compute_ops) - 1
+        slots.append(-1 if last else which)
+        which ^= 1
+        if not last:
+            arena = max(arena, op.out_spec.elements)
+        if op.kind == "conv2d":
+            c_in, h, w = op.in_spec.shape
+            kh, kw = op.kernel
+            ph, pw = op.padding
+            if direct_conv_eligible(op):
+                # +64 slack floats: the fixed-width direct tile loads
+                # (never stores) up to 31 lanes past a row's end.
+                scratch = max(scratch, c_in * (h + 2 * ph) * (w + 2 * pw) + 64)
+            else:
+                scratch = max(scratch, c_in * kh * kw * op.oh * op.ow)
+    # Flatten-only programs still need a (degenerate) plan.
+    if not compute_ops:
+        slots = []
+    return BufferPlan(
+        arena_elements=max(arena, 1),
+        scratch_elements=scratch,
+        slots=tuple(slots),
+    )
+
+
+# ----------------------------------------------------------------------
+# Segmentation: which layers the IR can absorb
+# ----------------------------------------------------------------------
+def supported(module) -> bool:
+    """Whether the IR can absorb this layer.
+
+    Eval-mode dropout is the identity; training-mode dropout must stay on
+    the python fallback so it raises exactly like the numpy handlers.
+    """
+    if isinstance(module, (Conv2d, Linear, ReLU, MaxPool2d, Flatten)):
+        return True
+    return isinstance(module, Dropout) and not module.training
+
+
+def segment_modules(rows: list[tuple]) -> list[tuple[str, list[tuple]]]:
+    """Split executor plan rows into ``("ir", rows)`` / ``("python", rows)``.
+
+    ``rows`` are the executor's ``(index, module, handler)`` tuples; the
+    split is purely by :func:`supported`, preserving order.  Lowering of
+    the ``"ir"`` runs happens later, per batch geometry.
+    """
+    segments: list[tuple[str, list[tuple]]] = []
+    current_kind: str | None = None
+    current: list[tuple] = []
+    for row in rows:
+        kind = "ir" if supported(row[1]) else "python"
+        if kind != current_kind and current:
+            segments.append((current_kind, current))
+            current = []
+        current_kind = kind
+        current.append(row)
+    if current:
+        segments.append((current_kind, current))
+    return segments
+
+
+# ----------------------------------------------------------------------
+# Lowering (one pass, shared by every backend)
+# ----------------------------------------------------------------------
+def _lower_canonical(
+    rows: list[tuple], input_shape: tuple[int, ...]
+) -> list[IROp]:
+    """Canonical (rewrite-free) lowering of one IR segment."""
+    ops: list[IROp] = []
+    shape = tuple(int(s) for s in input_shape)
+    for row in rows:
+        index, module = row[0], row[1]
+        in_spec = TensorSpec(shape)
+        if isinstance(module, Conv2d):
+            c_in, h, w = shape
+            if c_in != module.in_channels:
+                raise ConfigurationError(
+                    f"conv expects {module.in_channels} channels, segment "
+                    f"carries {c_in}"
+                )
+            kh, kw = module.kernel_size
+            sh, sw = module.stride
+            ph, pw = module.padding
+            oh = conv_output_size(h, kh, sh, ph)
+            ow = conv_output_size(w, kw, sw, pw)
+            c_out = module.out_channels
+            weight = module.weight.data.reshape(c_out, c_in * kh * kw)
+            if not weight.flags.c_contiguous:
+                weight = np.ascontiguousarray(weight)
+            shape = (c_out, oh, ow)
+            ops.append(
+                IROp(
+                    kind="conv2d",
+                    in_spec=in_spec,
+                    out_spec=TensorSpec(shape),
+                    kernel=(kh, kw),
+                    stride=(sh, sw),
+                    padding=(ph, pw),
+                    oh=oh,
+                    ow=ow,
+                    weight=weight,
+                    bias=None if module.bias is None else module.bias.data,
+                    source=(index,),
+                )
+            )
+        elif isinstance(module, Linear):
+            in_f = int(np.prod(shape))
+            if in_f != module.in_features:
+                raise ConfigurationError(
+                    f"linear expects {module.in_features} features, segment "
+                    f"carries {in_f}"
+                )
+            shape = (module.out_features,)
+            ops.append(
+                IROp(
+                    kind="linear",
+                    in_spec=TensorSpec((in_f,)),
+                    out_spec=TensorSpec(shape),
+                    weight=module.weight.data,
+                    bias=None if module.bias is None else module.bias.data,
+                    source=(index,),
+                )
+            )
+        elif isinstance(module, ReLU):
+            ops.append(
+                IROp(
+                    kind="relu",
+                    in_spec=in_spec,
+                    out_spec=in_spec,
+                    source=(index,),
+                )
+            )
+        elif isinstance(module, MaxPool2d):
+            c, h, w = shape
+            kh, kw = module.kernel_size
+            sh, sw = module.stride
+            ph, pw = module.padding
+            oh = conv_output_size(h, kh, sh, ph)
+            ow = conv_output_size(w, kw, sw, pw)
+            shape = (c, oh, ow)
+            ops.append(
+                IROp(
+                    kind="maxpool2d",
+                    in_spec=in_spec,
+                    out_spec=TensorSpec(shape),
+                    kernel=(kh, kw),
+                    stride=(sh, sw),
+                    padding=(ph, pw),
+                    oh=oh,
+                    ow=ow,
+                    source=(index,),
+                )
+            )
+        elif isinstance(module, Flatten):
+            shape = (int(np.prod(shape)),)
+            ops.append(
+                IROp(
+                    kind="flatten",
+                    in_spec=in_spec,
+                    out_spec=TensorSpec(shape),
+                    source=(index,),
+                )
+            )
+        elif isinstance(module, Dropout) and not module.training:
+            continue  # identity at inference time
+        else:  # pragma: no cover - segment_modules filters these out
+            raise ConfigurationError(f"IR cannot lower {type(module).__name__}")
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Rewrites (pure Program -> Program)
+# ----------------------------------------------------------------------
+def _rewrite_fuse_relu(ops: list[IROp]) -> tuple[list[IROp], bool]:
+    out: list[IROp] = []
+    changed = False
+    for op in ops:
+        if (
+            op.kind == "relu"
+            and out
+            and out[-1].kind in ("conv2d", "linear")
+            and not out[-1].relu
+        ):
+            out[-1] = replace(
+                out[-1], relu=True, source=out[-1].source + op.source
+            )
+            changed = True
+        else:
+            out.append(op)
+    return out, changed
+
+
+def _rewrite_fuse_conv_pool(ops: list[IROp]) -> tuple[list[IROp], bool]:
+    out: list[IROp] = []
+    changed = False
+    for op in ops:
+        if (
+            op.kind == "maxpool2d"
+            and op.kernel == (2, 2)
+            and op.stride == (2, 2)
+            and op.padding == (0, 0)
+            and out
+            and out[-1].kind == "conv2d"
+            and not out[-1].pool
+            and direct_conv_eligible(out[-1])
+            # A degenerate (empty) pool output stays unfused.
+            and out[-1].oh >= 2
+            and out[-1].ow >= 2
+        ):
+            conv = out[-1]
+            out[-1] = replace(
+                conv,
+                pool=True,
+                out_spec=op.out_spec,
+                source=conv.source + op.source,
+            )
+            changed = True
+        else:
+            out.append(op)
+    return out, changed
+
+
+def _rewrite_int8_ingest(
+    ops: list[IROp], quantization: QuantizationParams
+) -> tuple[list[IROp], TensorSpec | None, bool]:
+    """Mark the first compute op as a direct code consumer, if it can be.
+
+    Applies when the program starts with (flattens then) a conv or linear;
+    flattens are free on contiguous memory, so codes flow through them.
+    Returns the (possibly) updated ops, the new program input spec (or
+    ``None`` when the rewrite does not apply), and the changed flag.
+    """
+    code_dtype = CODE_DTYPES[8 if quantization.bits <= 8 else 16]
+    first = None
+    for position, op in enumerate(ops):
+        if op.kind == "flatten":
+            continue
+        first = position
+        break
+    if first is None or ops[first].kind not in ("conv2d", "linear"):
+        return ops, None, False
+    target = ops[first]
+    rewritten = list(ops)
+    rewritten[first] = replace(
+        target,
+        dequant=quantization,
+        in_spec=TensorSpec(target.in_spec.shape, code_dtype),
+    )
+    in_spec = TensorSpec(ops[0].in_spec.shape, dtype=code_dtype)
+    # Flattens ahead of the ingest op also carry the code dtype.
+    for position in range(first):
+        rewritten[position] = replace(
+            rewritten[position],
+            in_spec=TensorSpec(rewritten[position].in_spec.shape, code_dtype),
+            out_spec=TensorSpec(rewritten[position].out_spec.shape, code_dtype),
+        )
+    return rewritten, in_spec, True
+
+
+def _rewrite_fold_epilogue_add(ops: list[IROp]) -> tuple[list[IROp], bool]:
+    """Let the last op absorb the program's extra per-row input."""
+    if not ops:
+        return ops, False
+    # Trailing flattens are free reshapes; the add folds into the last
+    # compute op and the reshape happens on top of it.
+    last = len(ops) - 1
+    while last >= 0 and ops[last].kind == "flatten":
+        last -= 1
+    if last < 0:
+        return ops, False
+    if ops[last].kind not in ("conv2d", "linear", "relu", "maxpool2d"):
+        return ops, False
+    rewritten = list(ops)
+    rewritten[last] = replace(rewritten[last], add_rows=True)
+    return rewritten, True
+
+
+def lower(
+    rows: list[tuple],
+    input_shape: tuple[int, ...],
+    *,
+    quantization: QuantizationParams | None = None,
+    epilogue_add: bool = False,
+    rewrites: tuple[str, ...] | None = None,
+) -> Program:
+    """Lower one IR segment and run the rewrite pipeline over it.
+
+    Args:
+        rows: ``(index, module, ...)`` plan rows of one ``"ir"`` segment.
+        input_shape: Per-sample input shape of the segment.
+        quantization: When the segment input is a quantised uplink, its
+            affine params.  With the ``int8_ingest`` rewrite enabled and a
+            foldable first op the returned program consumes the raw codes
+            (``program.consumes_codes``); otherwise the caller must
+            dequantise before interpreting (the fallback path).
+        epilogue_add: Whether the caller will supply an extra per-row f32
+            tensor to add to the program output (the noise add).  With
+            ``fold_epilogue_add`` enabled and an absorbing last op the add
+            runs inside that op's epilogue; otherwise ``program.extra`` is
+            :data:`EXTRA_SEPARATE` and the interpreter adds it after.
+        rewrites: Rewrite allowlist (default: :func:`default_rewrites`,
+            i.e. the environment).  Order is fixed regardless of the
+            listing order.
+
+    Every decision here depends only on per-sample geometry and dtypes —
+    never the batch size — which is what keeps rewrite choices identical
+    between the sequential reference and any batched path.
+    """
+    if rewrites is None:
+        rewrites = default_rewrites()
+    ops = _lower_canonical(rows, input_shape)
+    applied: list[str] = []
+    if FUSE_RELU in rewrites:
+        ops, changed = _rewrite_fuse_relu(ops)
+        if changed:
+            applied.append(FUSE_RELU)
+    if FUSE_CONV_POOL in rewrites:
+        ops, changed = _rewrite_fuse_conv_pool(ops)
+        if changed:
+            applied.append(FUSE_CONV_POOL)
+    in_spec = TensorSpec(tuple(int(s) for s in input_shape))
+    if quantization is not None and INT8_INGEST in rewrites:
+        ops, code_spec, changed = _rewrite_int8_ingest(ops, quantization)
+        if changed:
+            in_spec = code_spec
+            applied.append(INT8_INGEST)
+    extra = EXTRA_NONE
+    if epilogue_add:
+        extra = EXTRA_SEPARATE
+        if FOLD_EPILOGUE_ADD in rewrites:
+            ops, changed = _rewrite_fold_epilogue_add(ops)
+            if changed:
+                extra = EXTRA_FOLDED
+                applied.append(FOLD_EPILOGUE_ADD)
+    out_spec = ops[-1].out_spec if ops else in_spec
+    if ops and out_spec.dtype != "f32":  # pragma: no cover - codes never
+        raise ConfigurationError("program output must be f32")  # leave a program
+    return Program(
+        ops=tuple(ops),
+        in_spec=in_spec,
+        out_spec=out_spec,
+        extra=extra,
+        rewrites=tuple(applied),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-op cost model (consumed by repro.edge.costs / the planner)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OpCost:
+    """Cost profile of one lowered op (per sample).
+
+    Attributes:
+        kind: Op kind.
+        macs: Multiply-accumulates.
+        output_elements: Elements of the op output.
+        output_bytes: Bytes of the op output at its dtype width.
+        source: Source layer indices.
+    """
+
+    kind: str
+    macs: int
+    output_elements: int
+    output_bytes: int
+    source: tuple[int, ...]
+
+
+def op_cost(op: IROp) -> OpCost:
+    """The §3.4 cost entry for one IR op."""
+    return OpCost(
+        kind=op.kind,
+        macs=op.macs,
+        output_elements=op.out_spec.elements,
+        output_bytes=op.out_spec.elements * op.out_spec.numpy_dtype.itemsize,
+        source=op.source,
+    )
+
+
+def program_costs(program: Program) -> tuple[OpCost, ...]:
+    """Per-op costs of a lowered program, in schedule order."""
+    return tuple(op_cost(op) for op in program.ops)
+
+
+def lower_module(module, input_shape: tuple[int, ...]) -> IROp | None:
+    """Canonically lower a single layer, or ``None`` if the IR can't.
+
+    The cost model uses this to price individual layers from the same
+    lowering pass the executors run, instead of re-deriving MAC formulas
+    per layer type.  Eval-mode dropout lowers to nothing and returns
+    ``None`` too (it is free either way).
+    """
+    if not supported(module):
+        return None
+    ops = _lower_canonical([(0, module)], input_shape)
+    return ops[0] if ops else None

@@ -8,8 +8,14 @@ quantisation error is essentially free accuracy-wise.  This module
 provides the uniform affine quantiser used by the deployment runtime and
 the communication-ablation benchmark.  The batched serving engine
 (:mod:`repro.serve`) quantises each micro-batch's *stacked* payload once —
-the code parameters travel in the batched frame header and the cloud side
-dequantises once per frame (see :mod:`repro.edge.protocol`).
+the code parameters travel in the batched frame header (see
+:mod:`repro.edge.protocol`) and the cloud executor ingests the raw codes
+directly: with the ``int8_ingest`` IR rewrite active
+(:mod:`repro.edge.ir`) the uint8/uint16 codes feed the first conv/GEMM
+as-is, the affine map folded into that op's epilogue, so no f32
+dequantised copy of the payload is ever materialised; with rewrites
+disabled the executor calls :func:`dequantize` internally, exactly like
+the historical path.
 
 Quantisation interacts with privacy in one direction only: it is a
 deterministic, (almost) invertible per-element map, so it cannot *increase*

@@ -655,7 +655,7 @@ class ControlPlane:
         funnel through here so every context is interchangeable)."""
         server = CloudServer(deployment.remote, deployment.kernel_backend)
         for shape in deployment.activation_shapes:
-            server.warm(shape)
+            server.warm(shape, quantization=deployment.device.quantization)
         context.servers[deployment.name] = server
         worker_channel = deployment.channel_prototype.clone()
         context.channels[deployment.name] = worker_channel
@@ -1078,7 +1078,7 @@ class ControlPlane:
             for context in contexts:
                 server = CloudServer(remote, deployment.kernel_backend)
                 for shape in activation_shapes:
-                    server.warm(shape)
+                    server.warm(shape, quantization=quantization)
                 # The channel clone survives the swap: same link, and its
                 # accumulated statistics stay with the deployment.
                 context.servers[name] = server

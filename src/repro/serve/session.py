@@ -117,7 +117,7 @@ class BatchedInferenceSession:
         # planner's chosen window so the first micro-batch pays no
         # allocation or compilation jitter in its latency percentiles.
         activation = self.device.warm((batch_window, *model.input_shape))
-        self.server.warm(activation)
+        self.server.warm(activation, quantization=quantization)
 
     # ------------------------------------------------------------------
     # Request lifecycle

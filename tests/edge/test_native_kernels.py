@@ -13,7 +13,12 @@ both backends and compare:
 * bitwise run-to-run determinism, including across freshly-built
   executors;
 * the pure-numpy fallback is always available and selected when the
-  native kernels are disabled.
+  native kernels are disabled;
+* **per-rewrite axis** (``TestRewriteDifferential``): every IR rewrite
+  toggled on/off — including quantised-code inputs and the noise-add
+  epilogue — must be f32-close across backends and across togglings, and
+  bitwise batch-invariant / run-to-run deterministic within one backend
+  at a fixed toggling.
 
 Shared-infrastructure checks for :mod:`repro.native` (source-hash caching,
 ``REPRO_KERNEL_DIR``) ride along at the bottom.
@@ -25,8 +30,9 @@ import numpy as np
 import pytest
 
 from repro import native
-from repro.edge import _fastexec
+from repro.edge import _fastexec, ir
 from repro.edge.executor import BatchInvariantExecutor
+from repro.edge.quantization import calibrate, quantize
 from repro.errors import ConfigurationError
 from repro.nn import Linear, Sequential
 from repro.nn.im2col import conv_output_size
@@ -240,6 +246,146 @@ class TestDeterminism:
         numpy_ex = BatchInvariantExecutor(net, kernel_backend="numpy")
         np.testing.assert_array_equal(executor(x64), numpy_ex(x64))
         assert executor(x64).dtype == np.float64
+
+
+def _rewrite_net(rng):
+    """A split-backbone-shaped stack on which every rewrite can fire."""
+    c_in = int(rng.integers(1, 4))
+    c_mid = int(rng.integers(3, 8))
+    h = w = int(rng.integers(14, 26))
+    oh = (conv_output_size(h, 3, 1, 1)) // 2
+    oh = conv_output_size(oh, 3, 1, 0)
+    features = (c_mid + 2) * oh * oh
+    return Sequential(
+        ("conv0", Conv2d(c_in, c_mid, 3, 1, 1, rng=rng)),
+        ("relu0", ReLU()),
+        ("pool0", MaxPool2d(2)),
+        ("conv1", Conv2d(c_mid, c_mid + 2, 3, 1, 0, rng=rng)),
+        ("relu1", ReLU()),
+        ("flat", Flatten()),
+        ("head", Linear(features, 10, rng=rng)),
+    ).eval(), (c_in, h, w)
+
+
+def _rewrite_backends():
+    backends = ["numpy"]
+    if _fastexec.available():
+        backends.append("native")
+    return backends
+
+
+class TestRewriteDifferential:
+    """The per-rewrite fuzz axis: each rewrite toggled on/off.
+
+    ``baseline`` is the rewrite-free lowering; each case runs it against
+    the single-rewrite lowering on the same inputs.  Quantised codes (for
+    ``int8_ingest``) and the noise-add epilogue (for
+    ``fold_epilogue_add``) are exercised for *every* rewrite so toggling
+    one never perturbs the others' operands.
+    """
+
+    CASES = [(name, seed) for name in ir.ALL_REWRITES for seed in range(3)]
+
+    def _run(self, executor, x, codes, params, noise):
+        return (
+            executor(x),
+            executor(codes, quantization=params),
+            executor(codes, quantization=params, epilogue_add=noise),
+        )
+
+    @pytest.mark.parametrize("rewrite,seed", CASES)
+    def test_rewrite_toggling_is_f32_close_and_invariant(self, rewrite, seed):
+        rng = np.random.default_rng(1000 + 31 * seed)
+        net, (c_in, h, w) = _rewrite_net(rng)
+        n = int(rng.integers(2, 7))
+        x = rng.normal(size=(n, c_in, h, w)).astype(np.float32)
+        params = calibrate(x, bits=8)
+        codes = quantize(x, params).astype(np.uint8)
+        out_shape = BatchInvariantExecutor(net, "numpy", ir_rewrites=())(
+            x[:1]
+        ).shape[1:]
+        noise = rng.normal(size=(n, *out_shape)).astype(np.float32)
+        per_backend = {}
+        for backend in _rewrite_backends():
+            on = BatchInvariantExecutor(net, backend, ir_rewrites=(rewrite,))
+            off = BatchInvariantExecutor(net, backend, ir_rewrites=())
+            results_on = self._run(on, x, codes, params, noise)
+            results_off = self._run(off, x, codes, params, noise)
+            # Toggling a rewrite only moves results within f32 round-off.
+            for a, b in zip(results_on, results_off):
+                np.testing.assert_allclose(a, b, atol=ATOL, rtol=RTOL)
+            # Bitwise batch invariance at the fixed (on) toggling,
+            # quantised + noise path included.
+            fresh = BatchInvariantExecutor(net, backend, ir_rewrites=(rewrite,))
+            singles = np.concatenate(
+                [
+                    fresh(
+                        codes[i : i + 1],
+                        quantization=params,
+                        epilogue_add=noise[i : i + 1],
+                    )
+                    for i in range(n)
+                ]
+            )
+            np.testing.assert_array_equal(results_on[2], singles)
+            # Bitwise run-to-run determinism across fresh executors.
+            again = BatchInvariantExecutor(net, backend, ir_rewrites=(rewrite,))
+            for a, b in zip(results_on, self._run(again, x, codes, params, noise)):
+                np.testing.assert_array_equal(a, b)
+            per_backend[backend] = results_on
+        if len(per_backend) == 2:
+            for a, b in zip(per_backend["native"], per_backend["numpy"]):
+                np.testing.assert_allclose(a, b, atol=ATOL, rtol=RTOL)
+
+    def test_each_rewrite_actually_fires_on_the_fuzz_net(self):
+        """Guards the axis against vacuity: the fuzz net must trigger
+        every rewrite it claims to toggle."""
+        rng = np.random.default_rng(77)
+        net, (c_in, h, w) = _rewrite_net(rng)
+        rows = [(i, m) for i, m in enumerate(net.layers())]
+        params = calibrate(
+            rng.normal(size=(4, c_in, h, w)).astype(np.float32), bits=8
+        )
+        program = ir.lower(
+            rows,
+            (c_in, h, w),
+            quantization=params,
+            epilogue_add=True,
+            rewrites=ir.ALL_REWRITES,
+        )
+        assert set(program.rewrites) == set(ir.ALL_REWRITES)
+
+    @requires_kernel
+    def test_int8_ingest_skips_the_dequant_copy(self):
+        rng = np.random.default_rng(78)
+        net, (c_in, h, w) = _rewrite_net(rng)
+        x = rng.normal(size=(4, c_in, h, w)).astype(np.float32)
+        params = calibrate(x, bits=8)
+        codes = quantize(x, params).astype(np.uint8)
+        on = BatchInvariantExecutor(net, "native", ir_rewrites=ir.ALL_REWRITES)
+        on(codes, quantization=params)
+        assert on.ingest_dequants == 0
+        off = BatchInvariantExecutor(net, "native", ir_rewrites=())
+        off(codes, quantization=params)
+        assert off.ingest_dequants == 1
+
+    def test_rewrites_env_snapshot_at_construction(self, monkeypatch):
+        net = Sequential(
+            ("fc", Linear(6, 4, rng=np.random.default_rng(0)))
+        ).eval()
+        monkeypatch.setenv(ir.DISABLE_REWRITES_ENV_VAR, "1")
+        executor = BatchInvariantExecutor(net, "numpy")
+        assert executor.rewrites == ()
+        monkeypatch.delenv(ir.DISABLE_REWRITES_ENV_VAR)
+        assert executor.rewrites == ()  # snapshot, not re-read
+        assert BatchInvariantExecutor(net, "numpy").rewrites == ir.ALL_REWRITES
+
+    def test_unknown_ctor_rewrite_rejected(self):
+        net = Sequential(
+            ("fc", Linear(6, 4, rng=np.random.default_rng(0)))
+        ).eval()
+        with pytest.raises(ConfigurationError):
+            BatchInvariantExecutor(net, "numpy", ir_rewrites=("fuse_everything",))
 
 
 class TestBackendSelection:

@@ -215,8 +215,14 @@ class TestQuantizedServing:
         self, lenet_module_bundle, collection
     ):
         """Stacked-once quantisation == per-request quantisation (it is an
-        elementwise map), so the quantised engine must equal a hand-built
-        per-request quantise/dequantise reference."""
+        elementwise map, and the server's quantised-ingest path is batch
+        invariant), so the quantised engine must equal a hand-built
+        per-request quantise/ingest reference **bitwise** — and stay
+        f32-close to a dequantise-then-run reference (the int8-ingest IR
+        rewrite folds the affine map into the first GEMM's epilogue, which
+        reassociates the float math)."""
+        from repro.edge.protocol import BatchActivationMessage
+
         split = SplitInferenceModel(lenet_module_bundle.model)
         activations = split.activations(lenet_module_bundle.test_set.images[:32])
         params = calibrate(activations, bits=8)
@@ -225,19 +231,34 @@ class TestQuantizedServing:
         )
         stream = _single_image_stream(lenet_module_bundle, 7)
         # Reference: run the sequential device, quantise each request's
-        # activation, dequantise, and push through the server.
+        # activation as its own single-request frame, and push the codes
+        # through the quantised server path one request at a time.
         expected = []
+        dequant_reference = []
         for images in stream:
             message = sequential.device.process(images)
-            wire = dequantize(quantize(message.tensor, params), params)
-            expected.append(
+            codes = quantize(message.tensor, params)
+            if params.bits <= 8:
+                codes = codes.astype(np.uint8)
+            frame = BatchActivationMessage(
+                request_ids=(message.request_id,),
+                splits=(len(images),),
+                tensor=codes,
+                quantization=params,
+            )
+            expected.append(batched.server.predict_batch(frame).logits)
+            dequant_reference.append(
                 sequential.server.handle(
-                    type(message)(request_id=message.request_id, tensor=wire)
+                    type(message)(
+                        request_id=message.request_id,
+                        tensor=dequantize(codes, params),
+                    )
                 ).logits
             )
         actual = batched.infer_stream(stream)
-        for a, b in zip(expected, actual):
+        for a, b, c in zip(expected, actual, dequant_reference):
             np.testing.assert_array_equal(a, b)
+            np.testing.assert_allclose(b, c, atol=2e-4, rtol=2e-4)
 
     def test_quantized_uplink_smaller(self, lenet_module_bundle, collection):
         split = SplitInferenceModel(lenet_module_bundle.model)
