@@ -24,6 +24,16 @@ multi-worker engine:
   run (>= 1x under ``--smoke``), the legs must agree to f32 closeness,
   the uplink must stay one uint8 byte per element, and on the native
   backend no batch-sized f32 dequantised copy may be materialised;
+* ``executor_int8w`` — the opt-in ``int8_weights`` rewrite
+  (``weight_bits=8``): per-output-channel int8 weight codes fed straight
+  into the GEMM/conv kernels vs f32 weights, both legs on the same
+  quantised window-32 compute path (so the first conv of the quantised
+  leg is fully integer: u8 activations x i8 weights).  Quantised must be
+  >= 1.2x f32 in a full run (>= 1x under ``--smoke``), argmax label
+  agreement vs the f32 leg must be >= 0.99 (the rewrite is
+  accuracy-affecting, so the gate is label agreement rather than f32
+  closeness), and on the native backend zero f32 dequantised *weight*
+  copies may be materialised (the code planes are the weights);
 * ``serving_slo`` — a jittered mixed-SLO arrival trace replayed through
   the deadline-aware and fixed-window batching policies in virtual time
   (service model calibrated from the measured batched step), comparing
@@ -79,7 +89,9 @@ breach, (when a C compiler is present) kernel-on serving throughput
 below kernel-off at window 8 (>= 2x required in a full run, with
 unanimous label agreement), IR rewrites-on below 1.15x rewrites-off on
 the quantised window-32 compute path (or any of that leg's wire /
-allocation / closeness assertions), the sharded plane below 2x the 4-thread
+allocation / closeness assertions), int8 weights below 1.2x f32 on that
+same path (or label agreement under 0.99, or any native f32 weight copy
+materialised), the sharded plane below 2x the 4-thread
 engine at 4 shards (full; >= 1x under ``--smoke``) or out of bit-parity
 with its per-shard references, or the privacy-mixing leg breaking parity,
 leaking more positionally with the shuffler on than off, or paying more
@@ -174,6 +186,16 @@ PRIVACY_MIXING_OVERHEAD_FLOOR = 0.5
 EXECUTOR_IR_SPEEDUP = 1.15
 EXECUTOR_IR_WINDOW = 32
 EXECUTOR_IR_CUT = "conv0"
+#: Int8 weights (the opt-in ``int8_weights`` rewrite): throughput the
+#: quantised-weight executors (``weight_bits=8``) must deliver over the
+#: f32-weight executors on the *same* quantised window-32 compute path
+#: (full run; smoke only requires no regression), and the floor on
+#: argmax label agreement against the f32 reference leg.  The rewrite is
+#: accuracy-affecting by design, so its gate is label agreement — not
+#: f32 closeness — per the standing IR contract's quantised-weights
+#: carve-out (see ROADMAP.md).
+EXECUTOR_INT8W_SPEEDUP = 1.2
+EXECUTOR_INT8W_AGREEMENT = 0.99
 
 
 def build_collection(split: SplitInferenceModel, members: int) -> NoiseCollection:
@@ -577,6 +599,103 @@ def main() -> int:
         f"uplink {serving['executor_ir']['uplink_bytes_per_element']:.0f} B/elem, "
         f"dequant copies {ir_on_server.ingest_dequants}, "
         f"{'PASS' if ir_ok else 'FAIL'})"
+    )
+
+    # ------------------------------------------------------------------
+    # Int8 weights: the opt-in ``int8_weights`` rewrite (weight_bits=8)
+    # vs f32 weights, both legs on the very same quantised window-32
+    # compute path the section above measures — identical uplink,
+    # identical noise stream, identical rewrite pipeline otherwise.  The
+    # quantised leg's first conv runs fully integer (u8 activation codes
+    # x i8 weight codes, i32 accumulate) and every other conv/GEMM runs
+    # off the int8 code planes, with dequant + zero-point correction
+    # folded into the f64 epilogue.  This is the repo's first
+    # accuracy-affecting rewrite, so the parity gate is argmax label
+    # agreement vs the f32 leg — not f32 closeness — and the allocation
+    # gate is that the native backend materialises zero f32 dequantised
+    # weight copies (the code planes *are* the weights it runs on).
+    # ------------------------------------------------------------------
+    def i8_pair():
+        """One warmed (device, server) pair per weight regime — fresh
+        identically-seeded devices, warm-up off the clock, exactly like
+        ``ir_pair`` above."""
+        pair = {}
+        for quantised in (True, False):
+            bits = 8 if quantised else None
+            device = EdgeDevice(ir_local, mean, std, ir_collection,
+                                np.random.default_rng(7), ir_params,
+                                weight_bits=bits)
+            server = CloudServer(ir_remote, weight_bits=bits)
+            device.warm((ir_window, *images[0].shape))
+            server.warm((ir_window, *ir_shape[1:]), quantization=ir_params)
+            pair[quantised] = (device, server)
+        return pair
+
+    # Legs interleaved inside every repeat with the order flipped, like
+    # the IR section: host drift lands on both regimes equally.
+    i8_best = {True: float("inf"), False: float("inf")}
+    i8_logits: dict = {True: None, False: None}
+    i8_on_device = i8_on_server = None
+    for r in range(max(repeats, 5)):
+        legs = i8_pair()
+        for quantised in ((True, False) if r % 2 == 0 else (False, True)):
+            device, server = legs[quantised]
+            elapsed, logits, _ = ir_timed(device, server)
+            if elapsed < i8_best[quantised]:
+                i8_best[quantised], i8_logits[quantised] = elapsed, logits
+            if quantised:
+                i8_on_device, i8_on_server = device, server
+    i8_on_s, i8_off_s = i8_best[True], i8_best[False]
+    i8_speedup = i8_off_s / i8_on_s
+    i8_agreement = float(
+        np.mean(
+            np.concatenate([l.argmax(axis=1) for l in i8_logits[True]])
+            == np.concatenate([l.argmax(axis=1) for l in i8_logits[False]])
+        )
+    )
+    # Allocation assertion: the native backend must run straight off the
+    # int8 code planes — zero f32-widened weight copies on either half.
+    # (The numpy fallback widens per op by design and is exempt, same as
+    # the ingest assertion above.)
+    i8_weight_dequants = (
+        i8_on_server.weight_dequants + i8_on_device._executor.weight_dequants
+    )
+    i8_alloc_ok = i8_weight_dequants == 0 if _fastexec.available() else True
+    i8_target = 1.0 if args.smoke else EXECUTOR_INT8W_SPEEDUP
+    i8_ok = (
+        i8_speedup >= i8_target
+        and i8_agreement >= EXECUTOR_INT8W_AGREEMENT
+        and i8_alloc_ok
+    )
+    serving["executor_int8w"] = {
+        "cut": EXECUTOR_IR_CUT,
+        "window": ir_window,
+        "activation_bits": 8,
+        "weight_bits": 8,
+        "requests": ir_requests,
+        "int8_weights": {
+            "seconds": i8_on_s,
+            "requests_per_second": ir_requests / i8_on_s,
+            "weight_dequants": i8_weight_dequants,
+        },
+        "f32_weights": {
+            "seconds": i8_off_s,
+            "requests_per_second": ir_requests / i8_off_s,
+        },
+        "speedup": i8_speedup,
+        "gate_speedup_target": i8_target,
+        "label_agreement": i8_agreement,
+        "gate_label_agreement_floor": EXECUTOR_INT8W_AGREEMENT,
+        "native_kernels": _fastexec.available(),
+    }
+    print(
+        f"int8 weights: quantised "
+        f"{ir_requests/i8_on_s:8.0f} req/s vs f32 "
+        f"{ir_requests/i8_off_s:8.0f} req/s "
+        f"({i8_speedup:.2f}x, target {i8_target:.2f}x, label agreement "
+        f"{i8_agreement:.1%} >= {EXECUTOR_INT8W_AGREEMENT:.0%}, "
+        f"weight copies {i8_weight_dequants}, "
+        f"{'PASS' if i8_ok else 'FAIL'})"
     )
 
     # ------------------------------------------------------------------
@@ -1332,7 +1451,8 @@ def main() -> int:
         acceptance = serving["windows"][str(windows[0])]
     if args.smoke:
         ok = (gate_ok and acceptance["speedup"] > 1.0 and slo_ok and mw_ok
-              and mm_ok and chaos_ok and kb_ok and ir_ok and sh_ok and pm_ok)
+              and mm_ok and chaos_ok and kb_ok and ir_ok and i8_ok
+              and sh_ok and pm_ok)
         print(
             f"smoke gate: batched beats sequential "
             f"({'PASS' if acceptance['speedup'] > 1.0 else 'FAIL'}, "
@@ -1344,6 +1464,7 @@ def main() -> int:
             f"({'PASS' if chaos_ok else 'FAIL'}), "
             f"kernel-on >= kernel-off ({'PASS' if kb_ok else 'FAIL'}), "
             f"IR rewrites-on >= rewrites-off ({'PASS' if ir_ok else 'FAIL'}), "
+            f"int8 weights >= f32 ({'PASS' if i8_ok else 'FAIL'}), "
             f"sharded >= 1x threaded ({'PASS' if sh_ok else 'FAIL'}), "
             f"privacy-mixing contract ({'PASS' if pm_ok else 'FAIL'})"
         )
@@ -1357,6 +1478,7 @@ def main() -> int:
             and chaos_ok
             and kb_ok
             and ir_ok
+            and i8_ok
             and sh_ok
             and pm_ok
         )
@@ -1374,6 +1496,8 @@ def main() -> int:
             f"({'PASS' if kb_ok else 'FAIL'}), "
             f"IR rewrites >= {EXECUTOR_IR_SPEEDUP:.2f}x "
             f"({'PASS' if ir_ok else 'FAIL'}), "
+            f"int8 weights >= {EXECUTOR_INT8W_SPEEDUP:.1f}x "
+            f"({'PASS' if i8_ok else 'FAIL'}), "
             f"sharded-{max(SHARDED_SHARD_COUNTS)} >= {SHARDED_SPEEDUP:.1f}x "
             f"threaded-{SHARDED_WORKERS} ({'PASS' if sh_ok else 'FAIL'}), "
             f"privacy-mixing contract ({'PASS' if pm_ok else 'FAIL'})"

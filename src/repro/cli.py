@@ -254,6 +254,7 @@ def _cmd_serve_multi(args: argparse.Namespace) -> int:
                 else 0.005
             ),
             isolate_sessions=args.batch_policy == "isolate",
+            weight_bits=args.weight_bits,
             max_pending=args.max_pending,
             admission_rate_rps=args.admission_rate,
             shuffle=args.shuffle,
@@ -380,6 +381,7 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
             if args.batch_timeout_ms is not None
             else 0.0
         ),
+        weight_bits=args.weight_bits,
         kernel_backend=args.kernel_backend,
         shuffle=args.shuffle,
         shuffle_seed=args.shuffle_seed,
@@ -499,6 +501,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         isolate_sessions=args.batch_policy == "isolate",
         channel=channel,
         quantize_bits=args.quantize_bits,
+        weight_bits=args.weight_bits,
         kernel_backend=args.kernel_backend,
         max_pending=args.max_pending,
         admission_rate_rps=args.admission_rate,
@@ -519,6 +522,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(window {args.batch_window}, {backend} kernels"
         + (f", SLO {args.slo_ms:g} ms" if args.slo_ms is not None else "")
         + (f", {args.quantize_bits}-bit wire" if args.quantize_bits else "")
+        + (f", int{args.weight_bits} weights" if args.weight_bits else "")
         + ") ..."
     )
     import time
@@ -579,7 +583,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         session.close()
     if args.compare_sequential:
         sequential = pipeline.deploy(
-            collection, batched=False, kernel_backend=args.kernel_backend
+            collection, batched=False, kernel_backend=args.kernel_backend,
+            weight_bits=args.weight_bits,
         )
         start = time.perf_counter()
         for i in range(requests):
@@ -721,6 +726,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--quantize-bits", type=int, default=None,
         help="quantise each stacked uplink payload to this many bits",
+    )
+    serve.add_argument(
+        "--weight-bits", type=int, choices=[8], default=None,
+        help="serve on int8-quantised weights (the opt-in int8_weights IR "
+        "rewrite; label-agreement-gated, never on by default); composes "
+        "with --quantize-bits for a fully integer first conv/GEMM",
     )
     serve.add_argument("--bandwidth-mbps", type=float, default=100.0)
     serve.add_argument("--latency-ms", type=float, default=10.0)

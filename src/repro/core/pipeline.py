@@ -304,6 +304,7 @@ class ShredderPipeline:
         isolate_sessions: bool = False,
         channel: Channel | None = None,
         quantize_bits: int | None = None,
+        weight_bits: int | None = None,
         kernel_backend: str = "auto",
         rng: np.random.Generator | None = None,
         max_pending: int | None = None,
@@ -345,6 +346,11 @@ class ShredderPipeline:
             quantize_bits: When set, calibrate an affine quantiser on the
                 held-out (noisy) activations and quantise each stacked
                 uplink payload once (batched sessions only).
+            weight_bits: ``8`` serves every half on int8-quantised
+                weights (the opt-in ``int8_weights`` IR rewrite,
+                label-agreement-gated).  Available on all deploy paths —
+                the sequential reference quantises identically, so
+                parity holds within the weight regime.
             kernel_backend: Forward-executor backend for every half of the
                 deployment — ``"auto"`` (compiled C kernels when a system
                 compiler is available; the default), ``"native"``
@@ -397,6 +403,7 @@ class ShredderPipeline:
             return InferenceSession(
                 self.bundle.model, self.split.cut, mean, std, noise,
                 channel=channel, rng=rng, kernel_backend=kernel_backend,
+                weight_bits=weight_bits,
             )
         quantization = None
         if quantize_bits is not None:
@@ -415,7 +422,8 @@ class ShredderPipeline:
                 batch_timeout=0.005 if batch_timeout is None else batch_timeout,
                 deadline_aware=True if deadline_aware is None else deadline_aware,
                 isolate_sessions=isolate_sessions,
-                quantization=quantization, kernel_backend=kernel_backend,
+                quantization=quantization, weight_bits=weight_bits,
+                kernel_backend=kernel_backend,
                 max_pending=max_pending,
                 admission_rate_rps=admission_rate_rps,
                 shuffle=shuffle, shuffle_seed=shuffle_seed,
@@ -423,7 +431,8 @@ class ShredderPipeline:
         return BatchedInferenceSession(
             self.bundle.model, self.split.cut, mean, std, noise,
             channel=channel, rng=rng, batch_window=batch_window,
-            quantization=quantization, kernel_backend=kernel_backend,
+            quantization=quantization, weight_bits=weight_bits,
+            kernel_backend=kernel_backend,
             isolate_sessions=isolate_sessions,
             shuffle=shuffle, shuffle_seed=shuffle_seed,
         )
@@ -542,6 +551,7 @@ class ShredderPipeline:
                     deadline_aware=spec.deadline_aware,
                     isolate_sessions=spec.isolate_sessions,
                     quantization=quantization,
+                    weight_bits=spec.weight_bits,
                     kernel_backend=spec.kernel_backend,
                     target_slo_seconds=spec.target_slo_seconds,
                     arrival_rate_rps=spec.arrival_rate_rps,

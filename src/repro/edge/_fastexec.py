@@ -22,7 +22,7 @@ Kernels (float32 out; input may be f32 or quantised u8/u16 codes):
   add.  Single-position convs (``OH*OW == 1``) reroute to the dot kernel.
 * ``conv2d direct`` — stride-1 convs in the :data:`repro.edge.ir` direct
   eligibility window skip im2col and convolve a zero-padded plane copy
-  (4 output channels x 2 output rows x <= 64 columns per tile); the same
+  (4 output channels x 2 output rows x <= 128 columns per tile); the same
   epilogue, plus an optional fused eval-mode 2x2/2 max pool reduced
   in-register over the 2-row tile before anything is stored.
 * ``linear`` — row-blocked dot products (4 output features x 16 fixed
@@ -36,6 +36,30 @@ carries the zero point, which dequantises to exactly 0.0) and the affine
 dequantisation rides the epilogue as ``out = scale·acc + bias`` — the
 bias having been pre-corrected by ``−scale·zp·Σw`` on the Python side.
 No f32 dequantised copy of the activation ever exists.
+
+Quantised weights (the opt-in ``int8_weights`` rewrite): a record whose
+op carries int8 weight codes sets its weight-mode field and the GEMM/dot
+kernels read the code plane directly — ``gemm_w8``/``linear_*_w8`` widen
+int8 codes to float in-register against the float (or float-widened
+code) panel (the linear variants convert each 256-term weight chunk once
+per 16-sample block, bit-identical to the per-sample form), while the
+fully integer variants (taken when composed with quantised ingest and
+the reduction depth keeps an i32 accumulator exact — see
+:func:`repro.edge.ir.integer_matmul_eligible`) multiply raw u8
+activation codes against i8 weight codes with exact int32 accumulation:
+``gemm_u8w8``/``linear_u8_i8`` on the im2col/dot path, and — where the
+build host has AVX-512 VNNI — ``conv_vnni_u8i8``, a packed integer
+direct conv that shuffles each padded u8 plane row into sliding 4-byte
+windows (``vpermb``) and accumulates them against broadcast 4-tap weight
+groups (``vpdpbusd``), with an optional record-level re-merge of the
+trailing eval-mode 2x2/2 max pool into its epilogue.  Exact integer
+accumulation makes every such schedule bit-identical, so the kernel
+choice is free.  Either way the per-output-channel dequantisation scale
+(and, composed, the combined activation·weight scale plus zero-point
+row-sum correction) rides the same epilogue as a per-channel scale
+vector.  No f32 dequantised copy of any weight ever exists in this
+backend.  Whole-input convs (no padding, kernel == input plane) lower to
+the batched linear record, skipping the per-sample im2col.
 
 Determinism contract (what the serving parity guarantee needs): every
 output element is produced by a *fixed* accumulation schedule — the GEMM
@@ -88,28 +112,31 @@ _SOURCE = r"""
 
 /* ------------------------------------------------------------------ */
 /* im2col: one sample (c_in, h, w) -> (c_in*kh*kw, oh*ow).  Generated  */
-/* per input dtype; integer codes widen to float in-register and the   */
-/* padding value is the quantiser zero point (0.0f for f32 inputs).    */
+/* per (input dtype, panel dtype); integer codes widen to float in-    */
+/* register on the float panels, stay raw codes on the u8 panel (the   */
+/* fully integer path), and the padding value is the quantiser zero    */
+/* point (0.0f for f32 inputs).                                        */
 /* ------------------------------------------------------------------ */
-#define DEF_IM2COL(NAME, TYPE)                                             \
+#define DEF_IM2COL(NAME, TYPE, OTYPE)                                      \
 static void NAME(const TYPE *restrict x,                                   \
                  int64_t c_in, int64_t h, int64_t w,                       \
                  int64_t kh, int64_t kw, int64_t sh, int64_t sw,           \
                  int64_t ph, int64_t pw, int64_t oh, int64_t ow,           \
-                 float padv, float *restrict cols) {                       \
+                 float padv, OTYPE *restrict cols) {                       \
     /* Rows are short (tens of floats); inline copy loops beat the call   \
        overhead of memcpy/memset at this size. */                          \
     int64_t m = oh * ow;                                                   \
+    OTYPE pv = (OTYPE)padv;                                                \
     for (int64_t c = 0; c < c_in; c++) {                                   \
         const TYPE *plane = x + c * h * w;                                 \
         for (int64_t ki = 0; ki < kh; ki++)                                \
             for (int64_t kj = 0; kj < kw; kj++) {                          \
-                float *row = cols + ((c * kh + ki) * kw + kj) * m;         \
+                OTYPE *row = cols + ((c * kh + ki) * kw + kj) * m;         \
                 for (int64_t oy = 0; oy < oh; oy++) {                      \
                     int64_t iy = oy * sh - ph + ki;                        \
-                    float *restrict dst = row + oy * ow;                   \
+                    OTYPE *restrict dst = row + oy * ow;                   \
                     if (iy < 0 || iy >= h) {                               \
-                        for (int64_t j = 0; j < ow; j++) dst[j] = padv;    \
+                        for (int64_t j = 0; j < ow; j++) dst[j] = pv;      \
                         continue;                                          \
                     }                                                      \
                     const TYPE *src = plane + iy * w;                      \
@@ -119,15 +146,15 @@ static void NAME(const TYPE *restrict x,                                   \
                         int64_t ox1 = w + pw - kj;                         \
                         if (ox1 > ow) ox1 = ow;                            \
                         const TYPE *restrict s = src - pw + kj;            \
-                        for (int64_t j = 0; j < ox0; j++) dst[j] = padv;   \
+                        for (int64_t j = 0; j < ox0; j++) dst[j] = pv;     \
                         for (int64_t j = ox0; j < ox1; j++)                \
-                            dst[j] = (float)s[j];                          \
-                        for (int64_t j = ox1; j < ow; j++) dst[j] = padv;  \
+                            dst[j] = (OTYPE)s[j];                          \
+                        for (int64_t j = ox1; j < ow; j++) dst[j] = pv;    \
                     } else {                                               \
                         for (int64_t ox = 0; ox < ow; ox++) {              \
                             int64_t ix = ox * sw - pw + kj;                \
                             dst[ox] = (ix >= 0 && ix < w)                  \
-                                          ? (float)src[ix] : padv;         \
+                                          ? (OTYPE)src[ix] : pv;           \
                         }                                                  \
                     }                                                      \
                 }                                                          \
@@ -135,9 +162,10 @@ static void NAME(const TYPE *restrict x,                                   \
     }                                                                      \
 }
 
-DEF_IM2COL(im2col_f32, float)
-DEF_IM2COL(im2col_u8, uint8_t)
-DEF_IM2COL(im2col_u16, uint16_t)
+DEF_IM2COL(im2col_f32, float, float)
+DEF_IM2COL(im2col_u8, uint8_t, float)
+DEF_IM2COL(im2col_u16, uint16_t, float)
+DEF_IM2COL(im2col_u8c, uint8_t, uint8_t)
 
 /* Zero-padded plane copy feeding the direct conv kernel, also generated
    per input dtype with the zero point as the padding value. */
@@ -163,79 +191,116 @@ DEF_PADPLANE(pad_plane_f32, float)
 DEF_PADPLANE(pad_plane_u8, uint8_t)
 DEF_PADPLANE(pad_plane_u16, uint16_t)
 
-/* ------------------------------------------------------------------ */
-/* GEMM out(c_out, m) = wmat(c_out, K) @ cols(K, m), epilogue fused:   */
-/* scale (folded dequant), bias, ReLU, extra add.  4x32 register      */
-/* tiles; every output element accumulates over k in fixed ascending   */
-/* order, so results never depend on tile neighbours.  scale == 1.0f   */
-/* is an exact identity, keeping the unquantised path bit-stable.      */
-/* ------------------------------------------------------------------ */
-static void gemm_tile(const float *restrict wmat, const float *restrict cols,
-                      const float *restrict bias, int64_t c_out, int64_t K,
-                      int64_t m, int64_t oc, int64_t nr, int64_t jb,
-                      int64_t mb, int relu, float scale,
-                      const float *restrict extra, float *restrict out) {
-    float acc[4][32] __attribute__((aligned(64)));
-    for (int64_t r = 0; r < 4; r++)
-        memset(acc[r], 0, mb * sizeof(float));
-    const float *w0 = wmat + oc * K;
-    const float *w1 = wmat + (oc + (nr > 1)) * K;
-    const float *w2 = wmat + (oc + 2 * (nr > 2)) * K;
-    const float *w3 = wmat + (oc + 3 * (nr > 3)) * K;
-    if (mb == 32) {
-        for (int64_t k = 0; k < K; k++) {
-            const float *restrict b = cols + k * m + jb;
-            float a0 = w0[k], a1 = w1[k], a2 = w2[k], a3 = w3[k];
-            for (int64_t j = 0; j < 32; j++) {
-                float v = b[j];
-                acc[0][j] += a0 * v;
-                acc[1][j] += a1 * v;
-                acc[2][j] += a2 * v;
-                acc[3][j] += a3 * v;
-            }
-        }
-    } else {
-        for (int64_t k = 0; k < K; k++) {
-            const float *restrict b = cols + k * m + jb;
-            float a0 = w0[k], a1 = w1[k], a2 = w2[k], a3 = w3[k];
-            for (int64_t j = 0; j < mb; j++) {
-                float v = b[j];
-                acc[0][j] += a0 * v;
-                acc[1][j] += a1 * v;
-                acc[2][j] += a2 * v;
-                acc[3][j] += a3 * v;
-            }
-        }
+/* Raw u8 plane copy (no widening) feeding the packed integer direct
+   kernel; the padding byte is the quantiser zero point (which the
+   folded row-sum correction dequantises to exactly 0).  Always copies
+   — even unpadded — so the kernel's 64-byte vector over-reads land in
+   scratch slack, never past the caller's input array. */
+static void pad_plane_u8_raw(const uint8_t *restrict x, int64_t c_in,
+                             int64_t h, int64_t w, int64_t ph, int64_t pw,
+                             uint8_t padv, uint8_t *restrict xp) {
+    int64_t hp = h + 2 * ph, wp = w + 2 * pw;
+    if (ph == 0 && pw == 0) {
+        memcpy(xp, x, (size_t)(c_in * h * w));
+        return;
     }
-    for (int64_t r = 0; r < nr; r++) {
-        float bv = bias ? bias[oc + r] : 0.0f;
-        float *restrict dst = out + (oc + r) * m + jb;
-        const float *restrict ex = extra ? extra + (oc + r) * m + jb : 0;
-        const float *restrict a = acc[r];
-        for (int64_t j = 0; j < mb; j++) {
-            float v = scale * a[j] + bv;
-            if (relu && v < 0.0f) v = 0.0f;
-            if (ex) v += ex[j];
-            dst[j] = v;
-        }
-    }
+    memset(xp, padv, (size_t)(c_in * hp * wp));
+    for (int64_t c = 0; c < c_in; c++)
+        for (int64_t y = 0; y < h; y++)
+            memcpy(xp + (c * hp + y + ph) * wp + pw, x + (c * h + y) * w,
+                   (size_t)w);
 }
 
-static void gemm_f32(const float *restrict wmat, const float *restrict cols,
-                     const float *restrict bias, int64_t c_out, int64_t K,
-                     int64_t m, int relu, float scale,
-                     const float *restrict extra, float *restrict out) {
-    for (int64_t jb = 0; jb < m; jb += 32) {
-        int64_t mb = m - jb;
-        if (mb > 32) mb = 32;
-        for (int64_t oc = 0; oc < c_out; oc += 4) {
-            int64_t nr = c_out - oc;
-            if (nr > 4) nr = 4;
-            gemm_tile(wmat, cols, bias, c_out, K, m, oc, nr, jb, mb, relu,
-                      scale, extra, out);
-        }
-    }
+/* ------------------------------------------------------------------ */
+/* GEMM out(c_out, m) = wmat(c_out, K) @ cols(K, m), epilogue fused:   */
+/* scale (folded dequant — per-channel when cscale is non-NULL, the    */
+/* int8-weight path), bias, ReLU, extra add.  4x32 register tiles;     */
+/* every output element accumulates over k in fixed ascending order,   */
+/* so results never depend on tile neighbours.  scale == 1.0f is an    */
+/* exact identity, keeping the unquantised path bit-stable.  Generated */
+/* per (weight dtype, panel dtype, accumulator): f32xf32->f32 (the     */
+/* historical kernel, arithmetic unchanged), i8-weight x f32-panel     */
+/* (codes widened in-register, f32 accumulation), and the fully        */
+/* integer u8-panel x i8-weight with exact i32 accumulation (adds are  */
+/* associative, so batch invariance holds by arithmetic alone).        */
+/* ------------------------------------------------------------------ */
+#define DEF_GEMM(NAME, WTYPE, BTYPE, ACC)                                  \
+static void NAME##_tile(const WTYPE *restrict wmat,                        \
+                        const BTYPE *restrict cols,                        \
+                        const float *restrict bias,                        \
+                        const float *restrict cscale, int64_t c_out,       \
+                        int64_t K, int64_t m, int64_t oc, int64_t nr,      \
+                        int64_t jb, int64_t mb, int relu, float scale,     \
+                        const float *restrict extra,                       \
+                        float *restrict out) {                             \
+    ACC acc[4][32] __attribute__((aligned(64)));                           \
+    for (int64_t r = 0; r < 4; r++)                                        \
+        memset(acc[r], 0, mb * sizeof(ACC));                               \
+    const WTYPE *w0 = wmat + oc * K;                                       \
+    const WTYPE *w1 = wmat + (oc + (nr > 1)) * K;                          \
+    const WTYPE *w2 = wmat + (oc + 2 * (nr > 2)) * K;                      \
+    const WTYPE *w3 = wmat + (oc + 3 * (nr > 3)) * K;                      \
+    if (mb == 32) {                                                        \
+        for (int64_t k = 0; k < K; k++) {                                  \
+            const BTYPE *restrict b = cols + k * m + jb;                   \
+            ACC a0 = (ACC)w0[k], a1 = (ACC)w1[k];                          \
+            ACC a2 = (ACC)w2[k], a3 = (ACC)w3[k];                          \
+            for (int64_t j = 0; j < 32; j++) {                             \
+                ACC v = (ACC)b[j];                                         \
+                acc[0][j] += a0 * v;                                       \
+                acc[1][j] += a1 * v;                                       \
+                acc[2][j] += a2 * v;                                       \
+                acc[3][j] += a3 * v;                                       \
+            }                                                              \
+        }                                                                  \
+    } else {                                                               \
+        for (int64_t k = 0; k < K; k++) {                                  \
+            const BTYPE *restrict b = cols + k * m + jb;                   \
+            ACC a0 = (ACC)w0[k], a1 = (ACC)w1[k];                          \
+            ACC a2 = (ACC)w2[k], a3 = (ACC)w3[k];                          \
+            for (int64_t j = 0; j < mb; j++) {                             \
+                ACC v = (ACC)b[j];                                         \
+                acc[0][j] += a0 * v;                                       \
+                acc[1][j] += a1 * v;                                       \
+                acc[2][j] += a2 * v;                                       \
+                acc[3][j] += a3 * v;                                       \
+            }                                                              \
+        }                                                                  \
+    }                                                                      \
+    for (int64_t r = 0; r < nr; r++) {                                     \
+        float bv = bias ? bias[oc + r] : 0.0f;                             \
+        float sc = cscale ? cscale[oc + r] : scale;                        \
+        float *restrict dst = out + (oc + r) * m + jb;                     \
+        const float *restrict ex = extra ? extra + (oc + r) * m + jb : 0;  \
+        const ACC *restrict a = acc[r];                                    \
+        for (int64_t j = 0; j < mb; j++) {                                 \
+            float v = sc * (float)a[j] + bv;                               \
+            if (relu && v < 0.0f) v = 0.0f;                                \
+            if (ex) v += ex[j];                                            \
+            dst[j] = v;                                                    \
+        }                                                                  \
+    }                                                                      \
+}                                                                          \
+static void NAME(const WTYPE *restrict wmat, const BTYPE *restrict cols,   \
+                 const float *restrict bias, const float *restrict cscale, \
+                 int64_t c_out, int64_t K, int64_t m, int relu,            \
+                 float scale, const float *restrict extra,                 \
+                 float *restrict out) {                                    \
+    for (int64_t jb = 0; jb < m; jb += 32) {                               \
+        int64_t mb = m - jb;                                               \
+        if (mb > 32) mb = 32;                                              \
+        for (int64_t oc = 0; oc < c_out; oc += 4) {                        \
+            int64_t nr = c_out - oc;                                       \
+            if (nr > 4) nr = 4;                                            \
+            NAME##_tile(wmat, cols, bias, cscale, c_out, K, m, oc, nr,     \
+                        jb, mb, relu, scale, extra, out);                  \
+        }                                                                  \
+    }                                                                      \
 }
+
+DEF_GEMM(gemm_f32, float, float, float)
+DEF_GEMM(gemm_w8, int8_t, float, float)
+DEF_GEMM(gemm_u8w8, int8_t, uint8_t, int32_t)
 
 /* ------------------------------------------------------------------ */
 /* Row dot products: out(n, out_f) = x(n, in_f) @ wmat(out_f, in_f)^T */
@@ -243,20 +308,21 @@ static void gemm_f32(const float *restrict wmat, const float *restrict cols,
 /* per dot product (lane of term k is k mod 16 — independent of n).   */
 /* Generated per input dtype for quantised-code ingest.               */
 /* ------------------------------------------------------------------ */
-#define DEF_LINEAR(NAME, TYPE)                                             \
-static void NAME(const TYPE *restrict x, const float *restrict wmat,       \
-                 const float *restrict bias, int64_t n, int64_t in_f,      \
-                 int64_t out_f, int relu, float scale,                     \
-                 const float *restrict extra, float *restrict out) {       \
+#define DEF_LINEAR(NAME, TYPE, WTYPE)                                      \
+static void NAME(const TYPE *restrict x, const WTYPE *restrict wmat,       \
+                 const float *restrict bias, const float *restrict cscale, \
+                 int64_t n, int64_t in_f, int64_t out_f, int relu,         \
+                 float scale, const float *restrict extra,                 \
+                 float *restrict out) {                                    \
     for (int64_t i = 0; i < n; i++) {                                      \
         const TYPE *restrict row = x + i * in_f;                           \
         for (int64_t oc = 0; oc < out_f; oc += 4) {                        \
             int64_t nr = out_f - oc;                                       \
             if (nr > 4) nr = 4;                                            \
-            const float *w0 = wmat + oc * in_f;                            \
-            const float *w1 = wmat + (oc + (nr > 1)) * in_f;               \
-            const float *w2 = wmat + (oc + 2 * (nr > 2)) * in_f;           \
-            const float *w3 = wmat + (oc + 3 * (nr > 3)) * in_f;           \
+            const WTYPE *w0 = wmat + oc * in_f;                            \
+            const WTYPE *w1 = wmat + (oc + (nr > 1)) * in_f;               \
+            const WTYPE *w2 = wmat + (oc + 2 * (nr > 2)) * in_f;           \
+            const WTYPE *w3 = wmat + (oc + 3 * (nr > 3)) * in_f;           \
             float l0[16] __attribute__((aligned(64))) = {0};               \
             float l1[16] __attribute__((aligned(64))) = {0};               \
             float l2[16] __attribute__((aligned(64))) = {0};               \
@@ -265,10 +331,10 @@ static void NAME(const TYPE *restrict x, const float *restrict wmat,       \
             for (; k + 16 <= in_f; k += 16)                                \
                 for (int64_t l = 0; l < 16; l++) {                         \
                     float v = (float)row[k + l];                           \
-                    l0[l] += w0[k + l] * v;                                \
-                    l1[l] += w1[k + l] * v;                                \
-                    l2[l] += w2[k + l] * v;                                \
-                    l3[l] += w3[k + l] * v;                                \
+                    l0[l] += (float)w0[k + l] * v;                         \
+                    l1[l] += (float)w1[k + l] * v;                         \
+                    l2[l] += (float)w2[k + l] * v;                         \
+                    l3[l] += (float)w3[k + l] * v;                         \
                 }                                                          \
             if (k < in_f) {                                                \
                 /* Zero-padded tail: the same 16-wide op sequence, so a    \
@@ -277,12 +343,13 @@ static void NAME(const TYPE *restrict x, const float *restrict wmat,       \
                 float wb0[16] = {0}, wb1[16] = {0};                        \
                 float wb2[16] = {0}, wb3[16] = {0};                        \
                 int64_t rem = in_f - k;                                    \
-                for (int64_t l = 0; l < rem; l++)                          \
+                for (int64_t l = 0; l < rem; l++) {                        \
                     rb[l] = (float)row[k + l];                             \
-                memcpy(wb0, w0 + k, rem * sizeof(float));                  \
-                memcpy(wb1, w1 + k, rem * sizeof(float));                  \
-                memcpy(wb2, w2 + k, rem * sizeof(float));                  \
-                memcpy(wb3, w3 + k, rem * sizeof(float));                  \
+                    wb0[l] = (float)w0[k + l];                             \
+                    wb1[l] = (float)w1[k + l];                             \
+                    wb2[l] = (float)w2[k + l];                             \
+                    wb3[l] = (float)w3[k + l];                             \
+                }                                                          \
                 for (int64_t l = 0; l < 16; l++) {                         \
                     float v = rb[l];                                       \
                     l0[l] += wb0[l] * v;                                   \
@@ -296,7 +363,8 @@ static void NAME(const TYPE *restrict x, const float *restrict wmat,       \
                 const float *a = lanes[r];                                 \
                 float s = 0.0f;                                            \
                 for (int64_t l = 0; l < 16; l++) s += a[l];                \
-                s = scale * s + (bias ? bias[oc + r] : 0.0f);              \
+                float sc = cscale ? cscale[oc + r] : scale;                \
+                s = sc * s + (bias ? bias[oc + r] : 0.0f);                 \
                 if (relu && s < 0.0f) s = 0.0f;                            \
                 if (extra) s += extra[i * out_f + oc + r];                 \
                 out[i * out_f + oc + r] = s;                               \
@@ -305,140 +373,426 @@ static void NAME(const TYPE *restrict x, const float *restrict wmat,       \
     }                                                                      \
 }
 
-DEF_LINEAR(linear_f32, float)
-DEF_LINEAR(linear_u8, uint8_t)
-DEF_LINEAR(linear_u16, uint16_t)
+DEF_LINEAR(linear_f32, float, float)
+DEF_LINEAR(linear_u8, uint8_t, float)
+DEF_LINEAR(linear_u16, uint16_t, float)
+
+/* int8-weight row dots, restructured so the code widening is shared:
+   16-sample blocks x 4 output features x 256-term k chunks.  Each
+   chunk's four weight rows are converted once into stack buffers and
+   reused by every sample in the block (DEF_LINEAR would reconvert them
+   per sample — the dominant cost of the widened path).  Per-sample
+   accumulators keep DEF_LINEAR's exact 16-lane (k mod 16) discipline
+   (chunks are 256 = 16*16 terms, so lane indices line up across chunk
+   boundaries) and the zero-padded tail reproduces its 16-wide op
+   sequence, so outputs are bit-identical to the per-sample form and
+   batch invariance is unchanged.  Generated per input dtype for
+   quantised-code ingest. */
+#define DEF_LINEAR_W8(NAME, TYPE)                                           \
+static void NAME(const TYPE *restrict x, const int8_t *restrict wmat,      \
+                 const float *restrict bias, const float *restrict cscale, \
+                 int64_t n, int64_t in_f, int64_t out_f, int relu,         \
+                 float scale, const float *restrict extra,                 \
+                 float *restrict out) {                                    \
+    for (int64_t ib = 0; ib < n; ib += 16) {                               \
+        int64_t ni = n - ib < 16 ? n - ib : 16;                            \
+        for (int64_t oc = 0; oc < out_f; oc += 4) {                        \
+            int64_t nr = out_f - oc;                                       \
+            if (nr > 4) nr = 4;                                            \
+            const int8_t *w0 = wmat + oc * in_f;                           \
+            const int8_t *w1 = wmat + (oc + (nr > 1)) * in_f;              \
+            const int8_t *w2 = wmat + (oc + 2 * (nr > 2)) * in_f;          \
+            const int8_t *w3 = wmat + (oc + 3 * (nr > 3)) * in_f;          \
+            float lanes[16][4][16] __attribute__((aligned(64)));           \
+            memset(lanes, 0, sizeof(float) * (size_t)ni * 64);             \
+            for (int64_t kb = 0; kb < in_f; kb += 256) {                   \
+                int64_t kc = in_f - kb < 256 ? in_f - kb : 256;            \
+                int64_t kfull = kc & ~(int64_t)15;                         \
+                float wb0[256] __attribute__((aligned(64)));               \
+                float wb1[256] __attribute__((aligned(64)));               \
+                float wb2[256] __attribute__((aligned(64)));               \
+                float wb3[256] __attribute__((aligned(64)));               \
+                for (int64_t t = 0; t < kc; t++) {                         \
+                    wb0[t] = (float)w0[kb + t];                            \
+                    wb1[t] = (float)w1[kb + t];                            \
+                    wb2[t] = (float)w2[kb + t];                            \
+                    wb3[t] = (float)w3[kb + t];                            \
+                }                                                          \
+                for (int64_t t = kc; t < ((kc + 15) & ~(int64_t)15); t++) {\
+                    wb0[t] = 0.0f; wb1[t] = 0.0f;                          \
+                    wb2[t] = 0.0f; wb3[t] = 0.0f;                          \
+                }                                                          \
+                for (int64_t ii = 0; ii < ni; ii++) {                      \
+                    const TYPE *restrict row = x + (ib + ii) * in_f + kb;  \
+                    float (*restrict ln)[16] = lanes[ii];                  \
+                    int64_t t = 0;                                         \
+                    for (; t < kfull; t += 16)                             \
+                        for (int64_t l = 0; l < 16; l++) {                 \
+                            float v = (float)row[t + l];                   \
+                            ln[0][l] += wb0[t + l] * v;                    \
+                            ln[1][l] += wb1[t + l] * v;                    \
+                            ln[2][l] += wb2[t + l] * v;                    \
+                            ln[3][l] += wb3[t + l] * v;                    \
+                        }                                                  \
+                    if (t < kc) {                                          \
+                        /* Zero-padded tail: the same 16-wide op          \
+                           sequence, so a term's lane depends only on     \
+                           its k index. */                                 \
+                        float rb[16] __attribute__((aligned(64))) = {0};   \
+                        for (int64_t l = 0; l < kc - t; l++)               \
+                            rb[l] = (float)row[t + l];                     \
+                        for (int64_t l = 0; l < 16; l++) {                 \
+                            float v = rb[l];                               \
+                            ln[0][l] += wb0[t + l] * v;                    \
+                            ln[1][l] += wb1[t + l] * v;                    \
+                            ln[2][l] += wb2[t + l] * v;                    \
+                            ln[3][l] += wb3[t + l] * v;                    \
+                        }                                                  \
+                    }                                                      \
+                }                                                          \
+            }                                                              \
+            for (int64_t ii = 0; ii < ni; ii++)                            \
+                for (int64_t r = 0; r < nr; r++) {                         \
+                    const float *a = lanes[ii][r];                         \
+                    float s = 0.0f;                                        \
+                    for (int64_t l = 0; l < 16; l++) s += a[l];            \
+                    float sc = cscale ? cscale[oc + r] : scale;            \
+                    s = sc * s + (bias ? bias[oc + r] : 0.0f);             \
+                    if (relu && s < 0.0f) s = 0.0f;                        \
+                    if (extra) s += extra[(ib + ii) * out_f + oc + r];     \
+                    out[(ib + ii) * out_f + oc + r] = s;                   \
+                }                                                          \
+        }                                                                  \
+    }                                                                      \
+}
+
+DEF_LINEAR_W8(linear_f32_w8, float)
+DEF_LINEAR_W8(linear_u8_w8, uint8_t)
+DEF_LINEAR_W8(linear_u16_w8, uint16_t)
+
+/* Fully integer row dot products: u8 activation codes x i8 weight codes
+   with exact int32 accumulation (a simple ascending-k loop — integer
+   adds are associative, so no lane discipline is needed for batch
+   invariance), per-channel scale + corrected bias in the f32 epilogue. */
+static void linear_u8_i8(const uint8_t *restrict x,
+                         const int8_t *restrict wmat,
+                         const float *restrict bias,
+                         const float *restrict cscale, int64_t n,
+                         int64_t in_f, int64_t out_f, int relu, float scale,
+                         const float *restrict extra, float *restrict out) {
+    for (int64_t i = 0; i < n; i++) {
+        const uint8_t *restrict row = x + i * in_f;
+        for (int64_t oc = 0; oc < out_f; oc++) {
+            const int8_t *restrict wr = wmat + oc * in_f;
+            int32_t acc = 0;
+            for (int64_t k = 0; k < in_f; k++)
+                acc += (int32_t)wr[k] * (int32_t)row[k];
+            float sc = cscale ? cscale[oc] : scale;
+            float s = sc * (float)acc + (bias ? bias[oc] : 0.0f);
+            if (relu && s < 0.0f) s = 0.0f;
+            if (extra) s += extra[i * out_f + oc];
+            out[i * out_f + oc] = s;
+        }
+    }
+}
 
 /* ------------------------------------------------------------------ */
 /* Direct stride-1 conv from a zero-padded plane copy: same ascending */
 /* (c, ki, kj) accumulation per output element as the GEMM path, but  */
 /* no column panel — early layers are scratch-bandwidth bound, not    */
-/* FLOP bound.  Tiles: 4 output channels x 2 output rows x <= 64 cols.*/
+/* FLOP bound.  Tiles: 4 output channels x 2 output rows x <=128 cols */
+/* (the eligibility window in repro.edge.ir caps ow at exactly that). */
 /* An optional fused eval-mode 2x2/2 max pool reduces the 2-row tile  */
 /* in-register: each pooled value is the max of the four epilogue     */
 /* values the unfused conv would have stored, in the same compare     */
 /* order the standalone pool uses — so fusion is bitwise neutral.     */
+/* Generated per weight dtype: the int8-weight variant widens each    */
+/* code once per broadcast (the scalar feeds a whole lane tile, so    */
+/* the convert is amortised away) and applies the per-channel dequant */
+/* scales in the epilogue (cscale non-NULL on that path).             */
 /* ------------------------------------------------------------------ */
-static void conv_direct_sample(const float *restrict xp,
-                               const float *restrict wmat,
-                               const float *restrict bias,
-                               int64_t c_in, int64_t hp, int64_t wp,
-                               int64_t kh, int64_t kw,
-                               int64_t oh, int64_t ow, int64_t c_out,
-                               int relu, float scale, int pool,
-                               int64_t poh, int64_t pow_,
-                               const float *restrict extra,
-                               float *restrict out) {
-    int64_t K = c_in * kh * kw;
+#define DEF_DIRECT_CONV(NAME, WTYPE)                                        \
+static void NAME(const float *restrict xp,                                  \
+                 const WTYPE *restrict wmat,                                \
+                 const float *restrict bias,                                \
+                 const float *restrict cscale,                              \
+                 int64_t c_in, int64_t hp, int64_t wp,                      \
+                 int64_t kh, int64_t kw,                                    \
+                 int64_t oh, int64_t ow, int64_t c_out,                     \
+                 int relu, float scale, int pool,                           \
+                 int64_t poh, int64_t pow_,                                 \
+                 const float *restrict extra,                               \
+                 float *restrict out) {                                     \
+    int64_t K = c_in * kh * kw;                                             \
+    for (int64_t oc = 0; oc < c_out; oc += 4) {                             \
+        int64_t nr = c_out - oc;                                            \
+        if (nr > 4) nr = 4;                                                 \
+        const WTYPE *w0 = wmat + oc * K;                                    \
+        const WTYPE *w1 = wmat + (oc + (nr > 1)) * K;                       \
+        const WTYPE *w2 = wmat + (oc + 2 * (nr > 2)) * K;                   \
+        const WTYPE *w3 = wmat + (oc + 3 * (nr > 3)) * K;                   \
+        for (int64_t oy = 0; oy < oh; oy += 2) {                            \
+            int64_t tr = oh - oy < 2 ? oh - oy : 2;                         \
+            float acc[4][2][128] __attribute__((aligned(64)));              \
+            if (pool && (tr < 2 || oy / 2 >= poh)) continue; /* odd tail */ \
+            if (ow <= 32) {                                                 \
+                /* Fixed-width tile: lanes j >= ow compute garbage from     \
+                   the scratch slack and are never stored; valid lanes      \
+                   are untouched by them (independent accumulators). */     \
+                for (int64_t r = 0; r < 4; r++)                             \
+                    for (int64_t t = 0; t < 2; t++)                         \
+                        for (int64_t j = 0; j < 32; j++)                    \
+                            acc[r][t][j] = 0.0f;                            \
+                int64_t k = 0;                                              \
+                for (int64_t c = 0; c < c_in; c++)                          \
+                    for (int64_t ki = 0; ki < kh; ki++)                     \
+                        for (int64_t kj = 0; kj < kw; kj++, k++) {          \
+                            float a0 = (float)w0[k], a1 = (float)w1[k];     \
+                            float a2 = (float)w2[k], a3 = (float)w3[k];     \
+                            const float *restrict b0 =                      \
+                                xp + (c * hp + oy + ki) * wp + kj;          \
+                            const float *restrict b1 = b0 + wp;             \
+                            for (int64_t j = 0; j < 32; j++) {              \
+                                float v = b0[j];                            \
+                                acc[0][0][j] += a0 * v;                     \
+                                acc[1][0][j] += a1 * v;                     \
+                                acc[2][0][j] += a2 * v;                     \
+                                acc[3][0][j] += a3 * v;                     \
+                            }                                               \
+                            if (tr == 2)                                    \
+                                for (int64_t j = 0; j < 32; j++) {          \
+                                    float v = b1[j];                        \
+                                    acc[0][1][j] += a0 * v;                 \
+                                    acc[1][1][j] += a1 * v;                 \
+                                    acc[2][1][j] += a2 * v;                 \
+                                    acc[3][1][j] += a3 * v;                 \
+                                }                                           \
+                        }                                                   \
+            } else {                                                        \
+                for (int64_t r = 0; r < 4; r++)                             \
+                    for (int64_t t = 0; t < 2; t++)                         \
+                        for (int64_t j = 0; j < ow; j++)                    \
+                            acc[r][t][j] = 0.0f;                            \
+                int64_t k = 0;                                              \
+                for (int64_t c = 0; c < c_in; c++)                          \
+                    for (int64_t ki = 0; ki < kh; ki++)                     \
+                        for (int64_t kj = 0; kj < kw; kj++, k++) {          \
+                            float a0 = (float)w0[k], a1 = (float)w1[k];     \
+                            float a2 = (float)w2[k], a3 = (float)w3[k];     \
+                            const float *restrict b0 =                      \
+                                xp + (c * hp + oy + ki) * wp + kj;          \
+                            const float *restrict b1 = b0 + wp;             \
+                            for (int64_t j = 0; j < ow; j++) {              \
+                                float v = b0[j];                            \
+                                acc[0][0][j] += a0 * v;                     \
+                                acc[1][0][j] += a1 * v;                     \
+                                acc[2][0][j] += a2 * v;                     \
+                                acc[3][0][j] += a3 * v;                     \
+                            }                                               \
+                            if (tr == 2)                                    \
+                                for (int64_t j = 0; j < ow; j++) {          \
+                                    float v = b1[j];                        \
+                                    acc[0][1][j] += a0 * v;                 \
+                                    acc[1][1][j] += a1 * v;                 \
+                                    acc[2][1][j] += a2 * v;                 \
+                                    acc[3][1][j] += a3 * v;                 \
+                                }                                           \
+                        }                                                   \
+            }                                                               \
+            for (int64_t r = 0; r < nr; r++) {                              \
+                float bv = bias ? bias[oc + r] : 0.0f;                      \
+                float sc = cscale ? cscale[oc + r] : scale;                 \
+                if (pool) {                                                 \
+                    int64_t py = oy / 2;                                    \
+                    float *restrict dst =                                   \
+                        out + ((oc + r) * poh + py) * pow_;                 \
+                    const float *restrict ex =                              \
+                        extra ? extra + ((oc + r) * poh + py) * pow_ : 0;   \
+                    const float *restrict a0 = acc[r][0];                   \
+                    const float *restrict a1 = acc[r][1];                   \
+                    for (int64_t j = 0; j < pow_; j++) {                    \
+                        float v00 = sc * a0[2 * j] + bv;                    \
+                        float v01 = sc * a0[2 * j + 1] + bv;                \
+                        float v10 = sc * a1[2 * j] + bv;                    \
+                        float v11 = sc * a1[2 * j + 1] + bv;                \
+                        if (relu) {                                         \
+                            if (v00 < 0.0f) v00 = 0.0f;                     \
+                            if (v01 < 0.0f) v01 = 0.0f;                     \
+                            if (v10 < 0.0f) v10 = 0.0f;                     \
+                            if (v11 < 0.0f) v11 = 0.0f;                     \
+                        }                                                   \
+                        float m0 = v00 > v01 ? v00 : v01;                   \
+                        float m1 = v10 > v11 ? v10 : v11;                   \
+                        float v = m0 > m1 ? m0 : m1;                        \
+                        if (ex) v += ex[j];                                 \
+                        dst[j] = v;                                         \
+                    }                                                       \
+                } else {                                                    \
+                    for (int64_t t = 0; t < tr; t++) {                      \
+                        float *restrict dst =                               \
+                            out + ((oc + r) * oh + oy + t) * ow;            \
+                        const float *restrict ex =                          \
+                            extra ? extra + ((oc + r) * oh + oy + t) * ow   \
+                                  : 0;                                      \
+                        const float *restrict a = acc[r][t];                \
+                        for (int64_t j = 0; j < ow; j++) {                  \
+                            float v = sc * a[j] + bv;                       \
+                            if (relu && v < 0.0f) v = 0.0f;                 \
+                            if (ex) v += ex[j];                             \
+                            dst[j] = v;                                     \
+                        }                                                   \
+                    }                                                       \
+                }                                                           \
+            }                                                               \
+        }                                                                   \
+    }                                                                       \
+}
+
+DEF_DIRECT_CONV(conv_direct_sample, float)
+DEF_DIRECT_CONV(conv_direct_sample_w8, int8_t)
+
+/* ------------------------------------------------------------------ */
+/* Packed integer direct conv, compiled only where AVX-512 VNNI/VBMI   */
+/* are available (has_vnni() reports it, so the record builder can     */
+/* choose).  Sixteen output columns live across the i32 lanes of one   */
+/* accumulator: per (channel, kernel-row) step, one unaligned 64-byte  */
+/* load of the padded u8 plane row is shuffled (vpermb) into sliding   */
+/* 4-byte windows, and vpdpbusd multiplies those against broadcast     */
+/* 4-tap weight groups — the weights having been packed on the Python  */
+/* side as (c_out, c_in*kh, G, 4) i8 with kw zero-padded to 4G taps    */
+/* (zero taps add exactly 0 to the integer accumulator).  i32          */
+/* accumulation is exact, hence associative, so this schedule is bit-  */
+/* identical to the integer GEMM it replaces and batch-invariant by    */
+/* arithmetic alone.  Tiles are 4 output channels x 2 rows x 16 cols   */
+/* with the same (scale, bias, ReLU, 2x2 pool max, extra) epilogue     */
+/* order as DEF_DIRECT_CONV.                                           */
+/* ------------------------------------------------------------------ */
+#if defined(__AVX512VNNI__) && defined(__AVX512VBMI__) && \
+    defined(__AVX512VL__) && defined(__AVX512BW__)
+#include <immintrin.h>
+#define HAVE_VNNI 1
+
+/* Byte 4j+t of window O selects source byte j+O+t: i32 lane j holds
+   the 4 consecutive plane bytes starting at column j+O. */
+#define WIN4(J, O) (uint8_t)((J) + (O)), (uint8_t)((J) + (O) + 1), \
+                   (uint8_t)((J) + (O) + 2), (uint8_t)((J) + (O) + 3)
+#define WIN64(O)                                                            \
+    WIN4(0, O), WIN4(1, O), WIN4(2, O), WIN4(3, O), WIN4(4, O),             \
+    WIN4(5, O), WIN4(6, O), WIN4(7, O), WIN4(8, O), WIN4(9, O),             \
+    WIN4(10, O), WIN4(11, O), WIN4(12, O), WIN4(13, O), WIN4(14, O),        \
+    WIN4(15, O)
+static const uint8_t VNNI_IDX0[64] __attribute__((aligned(64))) = {WIN64(0)};
+static const uint8_t VNNI_IDX1[64] __attribute__((aligned(64))) = {WIN64(4)};
+
+static void conv_vnni_u8i8(const uint8_t *restrict xp,
+                           const int8_t *restrict w4,
+                           const float *restrict bias,
+                           const float *restrict cscale,
+                           int64_t c_in, int64_t hp, int64_t wp,
+                           int64_t kh, int64_t G,
+                           int64_t oh, int64_t ow, int64_t c_out,
+                           int relu, float scale, int pool,
+                           int64_t poh, int64_t pow_,
+                           const float *restrict extra,
+                           float *restrict out) {
+    const __m512i idx0 = _mm512_load_si512(VNNI_IDX0);
+    const __m512i idx1 = _mm512_load_si512(VNNI_IDX1);
+    const int32_t *restrict wg = (const int32_t *)w4; /* (c_out, rows, G) */
+    int64_t rows = c_in * kh;
     for (int64_t oc = 0; oc < c_out; oc += 4) {
         int64_t nr = c_out - oc;
         if (nr > 4) nr = 4;
-        const float *w0 = wmat + oc * K;
-        const float *w1 = wmat + (oc + (nr > 1)) * K;
-        const float *w2 = wmat + (oc + 2 * (nr > 2)) * K;
-        const float *w3 = wmat + (oc + 3 * (nr > 3)) * K;
+        const int32_t *grows[4];
+        grows[0] = wg + oc * rows * G;
+        grows[1] = wg + (oc + (nr > 1)) * rows * G;
+        grows[2] = wg + (oc + 2 * (nr > 2)) * rows * G;
+        grows[3] = wg + (oc + 3 * (nr > 3)) * rows * G;
         for (int64_t oy = 0; oy < oh; oy += 2) {
             int64_t tr = oh - oy < 2 ? oh - oy : 2;
-            float acc[4][2][64] __attribute__((aligned(64)));
-            if (pool && (tr < 2 || oy / 2 >= poh)) continue; /* odd tail row */
-            if (ow <= 32) {
-                /* Fixed-width tile: lanes j >= ow compute garbage from the
-                   scratch slack and are never stored; valid lanes are
-                   untouched by them (independent accumulator chains). */
+            if (pool && (tr < 2 || oy / 2 >= poh)) continue; /* odd tail */
+            for (int64_t jb = 0; jb < ow; jb += 16) {
+                int64_t nc = ow - jb < 16 ? ow - jb : 16;
+                __m512i a[4][2];
                 for (int64_t r = 0; r < 4; r++)
-                    for (int64_t t = 0; t < 2; t++)
-                        for (int64_t j = 0; j < 32; j++) acc[r][t][j] = 0.0f;
-                int64_t k = 0;
+                    a[r][0] = a[r][1] = _mm512_setzero_si512();
                 for (int64_t c = 0; c < c_in; c++)
-                    for (int64_t ki = 0; ki < kh; ki++)
-                        for (int64_t kj = 0; kj < kw; kj++, k++) {
-                            float a0 = w0[k], a1 = w1[k], a2 = w2[k], a3 = w3[k];
-                            const float *restrict b0 =
-                                xp + (c * hp + oy + ki) * wp + kj;
-                            const float *restrict b1 = b0 + wp;
-                            for (int64_t j = 0; j < 32; j++) {
-                                float v = b0[j];
-                                acc[0][0][j] += a0 * v;
-                                acc[1][0][j] += a1 * v;
-                                acc[2][0][j] += a2 * v;
-                                acc[3][0][j] += a3 * v;
+                    for (int64_t ki = 0; ki < kh; ki++) {
+                        const uint8_t *row0 =
+                            xp + (c * hp + oy + ki) * wp + jb;
+                        __m512i win0[2], win1[2];
+                        __m512i v0 = _mm512_loadu_si512(row0);
+                        win0[0] = _mm512_permutexvar_epi8(idx0, v0);
+                        win0[1] = _mm512_permutexvar_epi8(idx1, v0);
+                        if (tr == 2) {
+                            __m512i v1 = _mm512_loadu_si512(row0 + wp);
+                            win1[0] = _mm512_permutexvar_epi8(idx0, v1);
+                            win1[1] = _mm512_permutexvar_epi8(idx1, v1);
+                        }
+                        int64_t kb = (c * kh + ki) * G;
+                        for (int64_t g = 0; g < G; g++)
+                            for (int64_t r = 0; r < 4; r++) {
+                                __m512i wv =
+                                    _mm512_set1_epi32(grows[r][kb + g]);
+                                a[r][0] = _mm512_dpbusd_epi32(
+                                    a[r][0], win0[g], wv);
+                                if (tr == 2)
+                                    a[r][1] = _mm512_dpbusd_epi32(
+                                        a[r][1], win1[g], wv);
                             }
-                            if (tr == 2)
-                                for (int64_t j = 0; j < 32; j++) {
-                                    float v = b1[j];
-                                    acc[0][1][j] += a0 * v;
-                                    acc[1][1][j] += a1 * v;
-                                    acc[2][1][j] += a2 * v;
-                                    acc[3][1][j] += a3 * v;
-                                }
-                        }
-            } else {
-                for (int64_t r = 0; r < 4; r++)
-                    for (int64_t t = 0; t < 2; t++)
-                        for (int64_t j = 0; j < ow; j++) acc[r][t][j] = 0.0f;
-                int64_t k = 0;
-                for (int64_t c = 0; c < c_in; c++)
-                    for (int64_t ki = 0; ki < kh; ki++)
-                        for (int64_t kj = 0; kj < kw; kj++, k++) {
-                            float a0 = w0[k], a1 = w1[k], a2 = w2[k], a3 = w3[k];
-                            const float *restrict b0 =
-                                xp + (c * hp + oy + ki) * wp + kj;
-                            const float *restrict b1 = b0 + wp;
-                            for (int64_t j = 0; j < ow; j++) {
-                                float v = b0[j];
-                                acc[0][0][j] += a0 * v;
-                                acc[1][0][j] += a1 * v;
-                                acc[2][0][j] += a2 * v;
-                                acc[3][0][j] += a3 * v;
-                            }
-                            if (tr == 2)
-                                for (int64_t j = 0; j < ow; j++) {
-                                    float v = b1[j];
-                                    acc[0][1][j] += a0 * v;
-                                    acc[1][1][j] += a1 * v;
-                                    acc[2][1][j] += a2 * v;
-                                    acc[3][1][j] += a3 * v;
-                                }
-                        }
-            }
-            for (int64_t r = 0; r < nr; r++) {
-                float bv = bias ? bias[oc + r] : 0.0f;
-                if (pool) {
-                    int64_t py = oy / 2;
-                    float *restrict dst = out + ((oc + r) * poh + py) * pow_;
-                    const float *restrict ex =
-                        extra ? extra + ((oc + r) * poh + py) * pow_ : 0;
-                    const float *restrict a0 = acc[r][0];
-                    const float *restrict a1 = acc[r][1];
-                    for (int64_t j = 0; j < pow_; j++) {
-                        float v00 = scale * a0[2 * j] + bv;
-                        float v01 = scale * a0[2 * j + 1] + bv;
-                        float v10 = scale * a1[2 * j] + bv;
-                        float v11 = scale * a1[2 * j + 1] + bv;
-                        if (relu) {
-                            if (v00 < 0.0f) v00 = 0.0f;
-                            if (v01 < 0.0f) v01 = 0.0f;
-                            if (v10 < 0.0f) v10 = 0.0f;
-                            if (v11 < 0.0f) v11 = 0.0f;
-                        }
-                        float m0 = v00 > v01 ? v00 : v01;
-                        float m1 = v10 > v11 ? v10 : v11;
-                        float v = m0 > m1 ? m0 : m1;
-                        if (ex) v += ex[j];
-                        dst[j] = v;
                     }
-                } else {
-                    for (int64_t t = 0; t < tr; t++) {
+                int32_t acc[4][2][16] __attribute__((aligned(64)));
+                for (int64_t r = 0; r < nr; r++) {
+                    _mm512_store_si512(acc[r][0], a[r][0]);
+                    _mm512_store_si512(acc[r][1], a[r][1]);
+                }
+                for (int64_t r = 0; r < nr; r++) {
+                    float bv = bias ? bias[oc + r] : 0.0f;
+                    float sc = cscale ? cscale[oc + r] : scale;
+                    if (pool) {
+                        /* jb is even (16-col tiles), so 2x2 pool pairs
+                           never straddle a tile. */
+                        int64_t py = oy / 2;
                         float *restrict dst =
-                            out + ((oc + r) * oh + oy + t) * ow;
+                            out + ((oc + r) * poh + py) * pow_;
                         const float *restrict ex =
-                            extra ? extra + ((oc + r) * oh + oy + t) * ow : 0;
-                        const float *restrict a = acc[r][t];
-                        for (int64_t j = 0; j < ow; j++) {
-                            float v = scale * a[j] + bv;
-                            if (relu && v < 0.0f) v = 0.0f;
+                            extra ? extra + ((oc + r) * poh + py) * pow_
+                                  : 0;
+                        int64_t jend = (jb + nc) / 2;
+                        if (jend > pow_) jend = pow_;
+                        for (int64_t j = jb / 2; j < jend; j++) {
+                            int64_t x0 = 2 * j - jb;
+                            float v00 = sc * (float)acc[r][0][x0] + bv;
+                            float v01 = sc * (float)acc[r][0][x0 + 1] + bv;
+                            float v10 = sc * (float)acc[r][1][x0] + bv;
+                            float v11 = sc * (float)acc[r][1][x0 + 1] + bv;
+                            if (relu) {
+                                if (v00 < 0.0f) v00 = 0.0f;
+                                if (v01 < 0.0f) v01 = 0.0f;
+                                if (v10 < 0.0f) v10 = 0.0f;
+                                if (v11 < 0.0f) v11 = 0.0f;
+                            }
+                            float m0 = v00 > v01 ? v00 : v01;
+                            float m1 = v10 > v11 ? v10 : v11;
+                            float v = m0 > m1 ? m0 : m1;
                             if (ex) v += ex[j];
                             dst[j] = v;
+                        }
+                    } else {
+                        for (int64_t t = 0; t < tr; t++) {
+                            float *restrict dst =
+                                out + ((oc + r) * oh + oy + t) * ow + jb;
+                            const float *restrict ex =
+                                extra ? extra +
+                                            ((oc + r) * oh + oy + t) * ow +
+                                            jb
+                                      : 0;
+                            const int32_t *restrict av = acc[r][t];
+                            for (int64_t j = 0; j < nc; j++) {
+                                float v = sc * (float)av[j] + bv;
+                                if (relu && v < 0.0f) v = 0.0f;
+                                if (ex) v += ex[j];
+                                dst[j] = v;
+                            }
                         }
                     }
                 }
@@ -446,6 +800,14 @@ static void conv_direct_sample(const float *restrict xp,
         }
     }
 }
+#else
+#define HAVE_VNNI 0
+#endif
+
+/* Whether records may use wmode 3 (the packed VNNI integer direct
+   conv).  A build-time property of this library artifact, so record
+   streams are stable for the life of the process. */
+int64_t has_vnni(void) { return HAVE_VNNI; }
 
 /* ------------------------------------------------------------------ */
 /* Max pooling with zero padding contributing to the max (matching    */
@@ -517,10 +879,15 @@ static void maxpool_planes(const float *restrict x, int64_t planes,
 /* each, plus one float (the epilogue scale) per record in fscale.    */
 /* Fields: [op, relu, c_in, h, w, c_out, kh, kw, sh, sw, ph, pw, oh,  */
 /*          ow, weight_index, bias_index, in_dtype, add_extra, pool,  */
-/*          pool_oh, pool_ow, pad_value, spare, spare]                */
+/*          pool_oh, pool_ow, pad_value, wmode, cscale_index]         */
 /* in_dtype (0=f32, 1=u8, 2=u16) is nonzero only on the first record  */
 /* (quantised-code ingest); extra is the full-batch per-row tensor an */
-/* add_extra op folds into its output write (the noise add).          */
+/* add_extra op folds into its output write (the noise add).  wmode   */
+/* (0=f32 weights, 1=i8 weight codes widened to float in-register,    */
+/* 2=i8 weight codes on the fully integer u8-act path, 3=the packed   */
+/* VNNI integer direct conv — only emitted when has_vnni()) selects   */
+/* the kernel variant; cscale_index points into the weight table at   */
+/* the per-output-channel f32 scale vector (-1: scalar fscale).       */
 /* ------------------------------------------------------------------ */
 #define REC 24
 
@@ -547,6 +914,8 @@ void run_program(const int64_t *restrict prog, const float *restrict fscale,
         int pool = (int)r[18];
         int64_t poh = r[19], pow_ = r[20];
         float padv = (float)r[21];
+        int wmode = (int)r[22];
+        const float *cscale = r[23] >= 0 ? weights[r[23]] : 0;
         float scale = fscale[op];
         float *dst = (op == n_ops - 1) ? output : arenas[which];
         which ^= 1;
@@ -555,6 +924,22 @@ void run_program(const int64_t *restrict prog, const float *restrict fscale,
             for (int64_t s = 0; s < n; s++) {
                 float *os = dst + s * c_out * m;
                 const float *exs = ex ? ex + s * c_out * m : 0;
+                if (wmode == 2) {
+                    /* Fully integer: raw u8 codes panel (zero-point
+                       padding), i8 weights, exact i32 accumulation. */
+                    uint8_t *ucols = (uint8_t *)cols;
+                    im2col_u8c((const uint8_t *)src + s * c_in * h * w,
+                               c_in, h, w, kh, kw, sh, sw, ph, pw, oh, ow,
+                               padv, ucols);
+                    if (m == 1)
+                        linear_u8_i8(ucols, (const int8_t *)wmat, bias,
+                                     cscale, 1, K, c_out, relu, scale,
+                                     exs, os);
+                    else
+                        gemm_u8w8((const int8_t *)wmat, ucols, bias, cscale,
+                                  c_out, K, m, relu, scale, exs, os);
+                    continue;
+                }
                 if (dtype == 1)
                     im2col_u8((const uint8_t *)src + s * c_in * h * w,
                               c_in, h, w, kh, kw, sh, sw, ph, pw, oh, ow,
@@ -567,17 +952,39 @@ void run_program(const int64_t *restrict prog, const float *restrict fscale,
                     im2col_f32((const float *)src + s * c_in * h * w,
                                c_in, h, w, kh, kw, sh, sw, ph, pw, oh, ow,
                                0.0f, cols);
-                if (m == 1)
-                    linear_f32(cols, wmat, bias, 1, K, c_out, relu, scale,
-                               exs, os);
+                if (wmode == 1) {
+                    if (m == 1)
+                        linear_f32_w8(cols, (const int8_t *)wmat, bias,
+                                      cscale, 1, K, c_out, relu, scale,
+                                      exs, os);
+                    else
+                        gemm_w8((const int8_t *)wmat, cols, bias, cscale,
+                                c_out, K, m, relu, scale, exs, os);
+                } else if (m == 1)
+                    linear_f32(cols, wmat, bias, cscale, 1, K, c_out, relu,
+                               scale, exs, os);
                 else
-                    gemm_f32(wmat, cols, bias, c_out, K, m, relu, scale,
-                             exs, os);
+                    gemm_f32(wmat, cols, bias, cscale, c_out, K, m, relu,
+                             scale, exs, os);
             }
         } else if (kind == 4) { /* conv2d, direct stride-1 kernel */
             int64_t out_es = pool ? c_out * poh * pow_ : c_out * oh * ow;
             int64_t hp = h + 2 * ph, wp = w + 2 * pw;
             for (int64_t s = 0; s < n; s++) {
+#if HAVE_VNNI
+                if (wmode == 3) { /* packed integer direct (VNNI) */
+                    pad_plane_u8_raw((const uint8_t *)src + s * c_in * h * w,
+                                     c_in, h, w, ph, pw, (uint8_t)r[21],
+                                     (uint8_t *)cols);
+                    conv_vnni_u8i8((const uint8_t *)cols,
+                                   (const int8_t *)wmat, bias, cscale, c_in,
+                                   hp, wp, kh, (kw + 3) / 4, oh, ow, c_out,
+                                   relu, scale, pool, poh, pow_,
+                                   ex ? ex + s * out_es : 0,
+                                   dst + s * out_es);
+                    continue;
+                }
+#endif
                 if (dtype == 1)
                     pad_plane_u8((const uint8_t *)src + s * c_in * h * w,
                                  c_in, h, w, ph, pw, padv, cols);
@@ -587,21 +994,44 @@ void run_program(const int64_t *restrict prog, const float *restrict fscale,
                 else
                     pad_plane_f32((const float *)src + s * c_in * h * w,
                                   c_in, h, w, ph, pw, 0.0f, cols);
-                conv_direct_sample(cols, wmat, bias, c_in, hp, wp, kh, kw,
-                                   oh, ow, c_out, relu, scale, pool, poh,
-                                   pow_, ex ? ex + s * out_es : 0,
-                                   dst + s * out_es);
+                if (wmode == 1)
+                    conv_direct_sample_w8(cols, (const int8_t *)wmat, bias,
+                                          cscale, c_in, hp, wp, kh, kw, oh,
+                                          ow, c_out, relu, scale, pool, poh,
+                                          pow_, ex ? ex + s * out_es : 0,
+                                          dst + s * out_es);
+                else
+                    conv_direct_sample(cols, wmat, bias, cscale, c_in, hp,
+                                       wp, kh, kw, oh, ow, c_out, relu,
+                                       scale, pool, poh, pow_,
+                                       ex ? ex + s * out_es : 0,
+                                       dst + s * out_es);
             }
         } else if (kind == 1) { /* linear: c_in = in_f, c_out = out_f */
-            if (dtype == 1)
-                linear_u8((const uint8_t *)src, wmat, bias, n, c_in, c_out,
-                          relu, scale, ex, dst);
+            if (wmode == 2)
+                linear_u8_i8((const uint8_t *)src, (const int8_t *)wmat,
+                             bias, cscale, n, c_in, c_out, relu, scale, ex,
+                             dst);
+            else if (wmode == 1) {
+                const int8_t *w8 = (const int8_t *)wmat;
+                if (dtype == 1)
+                    linear_u8_w8((const uint8_t *)src, w8, bias, cscale, n,
+                                 c_in, c_out, relu, scale, ex, dst);
+                else if (dtype == 2)
+                    linear_u16_w8((const uint16_t *)src, w8, bias, cscale,
+                                  n, c_in, c_out, relu, scale, ex, dst);
+                else
+                    linear_f32_w8((const float *)src, w8, bias, cscale, n,
+                                  c_in, c_out, relu, scale, ex, dst);
+            } else if (dtype == 1)
+                linear_u8((const uint8_t *)src, wmat, bias, cscale, n, c_in,
+                          c_out, relu, scale, ex, dst);
             else if (dtype == 2)
-                linear_u16((const uint16_t *)src, wmat, bias, n, c_in, c_out,
-                           relu, scale, ex, dst);
+                linear_u16((const uint16_t *)src, wmat, bias, cscale, n,
+                           c_in, c_out, relu, scale, ex, dst);
             else
-                linear_f32((const float *)src, wmat, bias, n, c_in, c_out,
-                           relu, scale, ex, dst);
+                linear_f32((const float *)src, wmat, bias, cscale, n, c_in,
+                           c_out, relu, scale, ex, dst);
         } else if (kind == 2) { /* standalone relu over c_in elems/sample */
             const float *restrict sf = (const float *)src;
             int64_t total = n * c_in;
@@ -644,6 +1074,8 @@ def _configure(lib: ctypes.CDLL) -> None:
         ctypes.c_void_p,  # extra per-row tensor (folded add), may be NULL
     ]
     lib.run_program.restype = None
+    lib.has_vnni.argtypes = []
+    lib.has_vnni.restype = ctypes.c_int64
 
 
 _MODULE = native.KernelModule("fastexec", _SOURCE, _configure)
@@ -657,21 +1089,6 @@ def available() -> bool:
 def load() -> ctypes.CDLL | None:
     """The configured library (``None`` when unavailable or disabled)."""
     return _MODULE.load()
-
-
-def _fold_dequant_bias(op: ir.IROp) -> np.ndarray:
-    """The dequant-corrected bias: ``bias − scale·zp·Σw`` per output row.
-
-    With code values ``c`` fed straight into the GEMM, the affine
-    dequantisation ``scale·(c − zp)`` distributes to
-    ``scale·Σ(w·c) − scale·zp·Σw + bias`` — the first term is the scale
-    epilogue, the rest is this constant.  Computed in float64 and rounded
-    once, like :func:`repro.edge.quantization.dequantize` rounds once.
-    """
-    rowsum = op.weight.astype(np.float64).sum(axis=1)
-    base = 0.0 if op.bias is None else op.bias.astype(np.float64)
-    correction = base - op.dequant.scale * op.dequant.zero_point * rowsum
-    return np.ascontiguousarray(correction.astype(np.float32))
 
 
 class CompiledProgram:
@@ -688,9 +1105,12 @@ class CompiledProgram:
 
     Weight/bias pointers reference the IR's live float32 arrays (views of
     the module parameters), so in-place weight updates stay visible;
-    rebinding a parameter to a new array does not.  Dequant-folding ops
-    are the exception: their corrected bias is a frozen copy.  Serving
-    nets are frozen, which is the contract this backend is built for.
+    rebinding a parameter to a new array does not.  Dequant-folding and
+    quantised-weight ops are the exception: their epilogue constants are
+    frozen copies and their weight pointer is the int8 code plane held by
+    the IR op.  Serving nets are frozen, which is the contract this
+    backend is built for.  Quantised weights never get a float32 copy
+    here — the code plane is the only weight operand the kernels read.
     """
 
     def __init__(self, program: ir.Program, n: int) -> None:
@@ -712,52 +1132,122 @@ class CompiledProgram:
         def _index(array: np.ndarray | None) -> int:
             if array is None:
                 return -1
-            if array.dtype != np.float32 or not array.flags.c_contiguous:
-                raise TypeError("native kernels need contiguous float32 weights")
+            if array.dtype not in (np.float32, np.int8) or (
+                not array.flags.c_contiguous
+            ):
+                raise TypeError(
+                    "native kernels need contiguous float32/int8 weights"
+                )
             self._weight_arrays.append(array)
             return len(self._weight_arrays) - 1
 
-        for op in program.ops:
-            if op.kind == "flatten":
-                continue  # free reshape; the flat record stream never sees it
+        lib_vnni = bool(lib.has_vnni())
+        compute = [op for op in program.ops if op.kind != "flatten"]
+        skip_next = False
+        for pos, op in enumerate(compute):
+            if skip_next:  # merged into the previous record
+                skip_next = False
+                continue
             dtype_code = _DTYPE_CODES[op.in_spec.dtype]
             add = int(op.add_rows)
-            scale, zero_point, bias = 1.0, 0, op.bias
-            if op.dequant is not None:
-                scale = float(op.dequant.scale)
-                zero_point = int(op.dequant.zero_point)
-                bias = _fold_dequant_bias(op)
+            scale, cscale, bias = ir.epilogue_constants(op)
+            zero_point = 0 if op.dequant is None else int(op.dequant.zero_point)
+            if op.wq is not None:
+                weight = op.wq.codes
+                wmode = 2 if ir.integer_matmul_eligible(op) else 1
+            else:
+                weight, wmode = op.weight, 0
             if op.kind == "conv2d":
                 c_in, h, w = op.in_spec.shape
+                if op.padding == (0, 0) and op.kernel == (h, w) and not op.pool:
+                    # A whole-input conv (oh == ow == 1, no padding) reads
+                    # exactly the flattened sample in weight order, so it
+                    # lowers to the linear record — one batched kernel
+                    # call instead of an im2col + dot per sample.
+                    records.append(
+                        (OP_LINEAR, int(op.relu), op.in_spec.elements, 0, 0,
+                         op.out_spec.elements, 0, 0, 0, 0, 0, 0, 0, 0,
+                         _index(weight), _index(bias), dtype_code, add,
+                         0, 0, 0, zero_point, wmode, _index(cscale))
+                    )
+                    scales.append(scale)
+                    continue
                 direct = ir.direct_conv_eligible(op)
                 if op.pool and not direct:  # pragma: no cover - rewrite guard
                     raise AssertionError("fused pool requires the direct kernel")
+                opcode = OP_CONV2D_DIRECT if direct else OP_CONV2D
+                pool = int(op.pool)
                 poh, pow_ = (op.out_spec.shape[1:] if op.pool else (0, 0))
+                if (
+                    wmode == 2
+                    and lib_vnni
+                    and op.stride == (1, 1)
+                    and op.kernel[1] <= 8
+                    and op.oh * op.ow > 1
+                ):
+                    # Upgrade the integer GEMM to the packed VNNI direct
+                    # kernel: exact i32 accumulation makes the two
+                    # schedules bit-identical, so this is purely a
+                    # record-level choice.  The weight operand becomes a
+                    # frozen (c_out, c_in*kh, G, 4) packing of the code
+                    # plane with kw zero-padded to 4G taps — still int8
+                    # codes, never a dequantised copy.
+                    wmode = 3
+                    opcode = OP_CONV2D_DIRECT
+                    kh, kw = op.kernel
+                    group_count = -(-kw // 4)
+                    codes3 = weight.reshape(-1, c_in * kh, kw)
+                    packed = np.zeros(
+                        (codes3.shape[0], c_in * kh, 4 * group_count),
+                        dtype=np.int8,
+                    )
+                    packed[:, :, :kw] = codes3
+                    weight = np.ascontiguousarray(
+                        packed.reshape(codes3.shape[0], -1)
+                    )
+                    nxt = compute[pos + 1] if pos + 1 < len(compute) else None
+                    if (
+                        nxt is not None
+                        and nxt.kind == "maxpool2d"
+                        and nxt.kernel == (2, 2)
+                        and nxt.stride == (2, 2)
+                        and nxt.padding == (0, 0)
+                        and op.oh >= 2
+                        and op.ow >= 2
+                    ):
+                        # The rewrite pipeline keeps integer convs
+                        # unfused (the GEMM cannot pool); this kernel
+                        # pools like the direct one, so merge the
+                        # eval-mode 2x2/2 pool back at record level.
+                        pool = 1
+                        poh, pow_ = nxt.out_spec.shape[1:]
+                        add = int(nxt.add_rows)
+                        skip_next = True
                 records.append(
-                    (OP_CONV2D_DIRECT if direct else OP_CONV2D, int(op.relu),
+                    (opcode, int(op.relu),
                      c_in, h, w, op.out_spec.shape[0], *op.kernel, *op.stride,
-                     *op.padding, op.oh, op.ow, _index(op.weight),
-                     _index(bias), dtype_code, add, int(op.pool), poh, pow_,
-                     zero_point, 0, 0)
+                     *op.padding, op.oh, op.ow, _index(weight),
+                     _index(bias), dtype_code, add, pool, poh, pow_,
+                     zero_point, wmode, _index(cscale))
                 )
             elif op.kind == "linear":
                 records.append(
                     (OP_LINEAR, int(op.relu), op.in_spec.elements, 0, 0,
                      op.out_spec.elements, 0, 0, 0, 0, 0, 0, 0, 0,
-                     _index(op.weight), _index(bias), dtype_code, add,
-                     0, 0, 0, zero_point, 0, 0)
+                     _index(weight), _index(bias), dtype_code, add,
+                     0, 0, 0, zero_point, wmode, _index(cscale))
                 )
             elif op.kind == "relu":
                 records.append(
                     (OP_RELU, 0, op.in_spec.elements, 0, 0, 0, 0, 0, 0, 0,
-                     0, 0, 0, 0, -1, -1, dtype_code, add, 0, 0, 0, 0, 0, 0)
+                     0, 0, 0, 0, -1, -1, dtype_code, add, 0, 0, 0, 0, 0, -1)
                 )
             elif op.kind == "maxpool2d":
                 c, h, w = op.in_spec.shape
                 records.append(
                     (OP_MAXPOOL2D, 0, c, h, w, 0, *op.kernel, *op.stride,
                      *op.padding, op.oh, op.ow, -1, -1, dtype_code, add,
-                     0, 0, 0, 0, 0, 0)
+                     0, 0, 0, 0, 0, -1)
                 )
             else:  # pragma: no cover - lowering controls the op kinds
                 raise ValueError(f"IR op {op.kind!r} has no native lowering")

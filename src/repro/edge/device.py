@@ -68,6 +68,10 @@ class EdgeDevice:
             / ``"numpy"``); every device and server of one deployment must
             use the same value or the bit-parity guarantee breaks (see
             :mod:`repro.edge.executor`).
+        weight_bits: ``8`` quantises the local half's weights (the opt-in
+            ``int8_weights`` IR rewrite); must match the deployment's
+            sequential reference — parity holds *within* a weight regime,
+            never across.
     """
 
     def __init__(
@@ -79,6 +83,7 @@ class EdgeDevice:
         rng: np.random.Generator | NoiseStream | None = None,
         quantization: QuantizationParams | None = None,
         kernel_backend: str = "auto",
+        weight_bits: int | None = None,
     ) -> None:
         self.local = local.eval()
         self.mean = np.asarray(mean, dtype=np.float32)
@@ -88,7 +93,9 @@ class EdgeDevice:
         self.noise = noise
         self.quantization = quantization
         self.noise_stream = rng if isinstance(rng, NoiseStream) else NoiseStream(rng)
-        self._executor = BatchInvariantExecutor(self.local, kernel_backend)
+        self._executor = BatchInvariantExecutor(
+            self.local, kernel_backend, weight_bits=weight_bits
+        )
         self._next_request = 0
 
     def normalize(self, images: np.ndarray) -> np.ndarray:
@@ -189,11 +196,20 @@ class CloudServer:
         remote: Remote network ``R(a, θ₂)``.
         kernel_backend: Forward-executor backend; must match the edge
             device's (the engine threads one value through both).
+        weight_bits: ``8`` quantises the remote half's weights (opt-in
+            ``int8_weights`` IR rewrite); must match the edge device's.
     """
 
-    def __init__(self, remote: Sequential, kernel_backend: str = "auto") -> None:
+    def __init__(
+        self,
+        remote: Sequential,
+        kernel_backend: str = "auto",
+        weight_bits: int | None = None,
+    ) -> None:
         self.remote = remote.eval()
-        self._executor = BatchInvariantExecutor(self.remote, kernel_backend)
+        self._executor = BatchInvariantExecutor(
+            self.remote, kernel_backend, weight_bits=weight_bits
+        )
 
     @property
     def ingest_dequants(self) -> int:
@@ -204,6 +220,18 @@ class CloudServer:
         the quantised serving bench makes.
         """
         return self._executor.ingest_dequants
+
+    @property
+    def weight_dequants(self) -> int:
+        """f32-widened weight-code copies materialised so far.
+
+        Stays zero on the native backend with ``int8_weights`` active —
+        its kernels read the int8 code planes directly (the allocation
+        assertion the ``executor_int8w`` bench makes).  The numpy
+        interpreter widens each code plane once per lowered program on
+        its float path.
+        """
+        return self._executor.weight_dequants
 
     def warm(
         self,
@@ -270,6 +298,8 @@ class InferenceSession:
         channel: Link model; default is a fast clean link.
         rng: Noise-sampling randomness.
         kernel_backend: Forward-executor backend for both halves.
+        weight_bits: ``8`` runs both halves on int8-quantised weights
+            (opt-in, label-agreement-gated — see :mod:`repro.edge.ir`).
     """
 
     def __init__(
@@ -282,11 +312,13 @@ class InferenceSession:
         channel: Channel | None = None,
         rng: np.random.Generator | None = None,
         kernel_backend: str = "auto",
+        weight_bits: int | None = None,
     ) -> None:
         local, remote = model.split(cut)
         self.device = EdgeDevice(local, mean, std, noise, rng,
-                                 kernel_backend=kernel_backend)
-        self.server = CloudServer(remote, kernel_backend)
+                                 kernel_backend=kernel_backend,
+                                 weight_bits=weight_bits)
+        self.server = CloudServer(remote, kernel_backend, weight_bits=weight_bits)
         self.channel = channel or Channel()
         self.cut = cut
         self._edge_cost = cut_cost(model, cut)

@@ -76,7 +76,28 @@ batch-invariant numpy kernels:
 * quantised-code inputs are dequantised at the consuming op via
   :func:`repro.edge.quantization.dequantize` (numpy GEMMs cannot fold the
   affine map profitably, so this backend keeps the f32 materialisation
-  and counts it in :attr:`BatchInvariantExecutor.ingest_dequants`).
+  and counts it in :attr:`BatchInvariantExecutor.ingest_dequants`) —
+  *except* when the op also carries int8 weights and the fully integer
+  path applies, in which case the codes feed an exact integer ``matmul``
+  directly (see below).
+
+Int8 weights (``weight_bits=8``)
+================================
+
+Constructing an executor with ``weight_bits=8`` adds the opt-in
+``int8_weights`` rewrite to the snapshot (unless ``REPRO_NO_IR_REWRITES``
+kills the pipeline): conv/linear ops carry per-output-channel int8 weight
+codes (:class:`repro.edge.quantization.WeightQuantization`) and apply the
+scales in their epilogue.  The native backend widens the codes in-register
+(f32 path) or accumulates u8-act × i8-weight in exact int32 (composed with
+``int8_ingest``) — it never materialises an f32 copy of a quantised
+weight.  The numpy interpreter mirrors the integer path with an int32
+``np.matmul`` on the codes; on its float path it caches one f32-widened
+copy of each code plane, counted in
+:attr:`BatchInvariantExecutor.weight_dequants` (which the serving bench
+asserts stays 0 on the native backend).  Both backends remain bitwise
+batch-invariant and run-to-run deterministic with the rewrite on; the
+on↔off comparison is label-agreement-gated (see :mod:`repro.edge.ir`).
 
 Python-fallback layers run via per-module handlers (or the module's own
 forward under ``no_grad``), exactly as before.  Non-float32 float inputs
@@ -103,6 +124,8 @@ construction.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -177,44 +200,52 @@ class _NumpyProgram:
             raise ValueError("program folds an epilogue add; extra is required")
         n = self.n
         for position, op in enumerate(self.program.ops):
-            if op.dequant is not None:
+            integer_op = op.wq is not None and ir.integer_matmul_eligible(op)
+            if op.dequant is not None and not integer_op:
                 # The ingest rewrite marked this op a code consumer; the
-                # numpy backend realises it as dequantise-then-run.
+                # numpy backend realises it as dequantise-then-run (the
+                # fully integer path below skips this entirely).
                 x = dequantize(x, op.dequant)
                 self._executor.ingest_dequants += 1
             if op.kind == "flatten":
                 x = np.ascontiguousarray(x).reshape(n, -1)
                 continue
             if op.kind == "conv2d":
-                c_out = op.out_spec.shape[0]
-                windows = extract_windows(x, op.kernel, op.stride, op.padding)
-                cols = self._buffer(position, "cols", windows.shape, np.float32)
-                np.copyto(cols, windows)
-                cols3 = cols.reshape(n, -1, op.oh * op.ow)
-                out3 = self._buffer(
-                    position, "out", (n, c_out, op.oh * op.ow), np.float32
-                )
-                # Stacked per-sample GEMM: identical geometry for every
-                # sample, so the result is independent of n.
-                np.matmul(op.weight, cols3, out=out3)
-                out = out3.reshape(n, c_out, op.oh, op.ow)
-                if op.bias is not None:
-                    out += op.bias.reshape(1, c_out, 1, 1)
-                if op.relu:
-                    np.maximum(out, 0.0, out=out)
-                if op.pool:
-                    out = self._pool(position, out, (2, 2), (2, 2), (0, 0))
-                x = out
+                if op.wq is not None:
+                    x = self._conv_wq(position, op, x, integer_op)
+                else:
+                    c_out = op.out_spec.shape[0]
+                    windows = extract_windows(x, op.kernel, op.stride, op.padding)
+                    cols = self._buffer(position, "cols", windows.shape, np.float32)
+                    np.copyto(cols, windows)
+                    cols3 = cols.reshape(n, -1, op.oh * op.ow)
+                    out3 = self._buffer(
+                        position, "out", (n, c_out, op.oh * op.ow), np.float32
+                    )
+                    # Stacked per-sample GEMM: identical geometry for every
+                    # sample, so the result is independent of n.
+                    np.matmul(op.weight, cols3, out=out3)
+                    out = out3.reshape(n, c_out, op.oh, op.ow)
+                    if op.bias is not None:
+                        out += op.bias.reshape(1, c_out, 1, 1)
+                    if op.relu:
+                        np.maximum(out, 0.0, out=out)
+                    if op.pool:
+                        out = self._pool(position, out, (2, 2), (2, 2), (0, 0))
+                    x = out
             elif op.kind == "linear":
-                out_f = op.out_spec.elements
-                out3 = self._buffer(position, "out", (n, 1, out_f), np.float32)
-                np.matmul(x[:, None, :], op.weight.T, out=out3)
-                out = out3.reshape(n, out_f)
-                if op.bias is not None:
-                    out += op.bias
-                if op.relu:
-                    np.maximum(out, 0.0, out=out)
-                x = out
+                if op.wq is not None:
+                    x = self._linear_wq(position, op, x, integer_op)
+                else:
+                    out_f = op.out_spec.elements
+                    out3 = self._buffer(position, "out", (n, 1, out_f), np.float32)
+                    np.matmul(x[:, None, :], op.weight.T, out=out3)
+                    out = out3.reshape(n, out_f)
+                    if op.bias is not None:
+                        out += op.bias
+                    if op.relu:
+                        np.maximum(out, 0.0, out=out)
+                    x = out
             elif op.kind == "relu":
                 out = self._buffer(position, "out", x.shape, np.float32)
                 x = np.maximum(x, 0.0, out=out)
@@ -225,6 +256,81 @@ class _NumpyProgram:
             if op.add_rows:
                 x = x + extra.reshape(x.shape)
         return x
+
+    def _conv_wq(self, position, op, x, integer_op) -> np.ndarray:
+        """Conv with int8 weights: exact integer matmul on the composed
+        (u8-act) path, f32-widened code matmul otherwise; per-channel
+        scales and the (f64-folded) corrected bias applied in the epilogue.
+        Widened-path convs may carry a fused pool (they keep direct-kernel
+        eligibility); fully integer convs never do."""
+        executor = self._executor
+        n = self.n
+        c_out = op.out_spec.shape[0]
+        m = op.oh * op.ow
+        _scale, cscale, bias = executor._epilogue(op, integer_op)
+        if integer_op:
+            ph, pw = op.padding
+            if ph or pw:
+                # Integer path: pad with the zero-point *code*, which
+                # dequantises to exactly 0.0 — same as the native kernels.
+                x = np.pad(
+                    x,
+                    ((0, 0), (0, 0), (ph, ph), (pw, pw)),
+                    mode="constant",
+                    constant_values=op.dequant.zero_point,
+                )
+            windows = extract_windows(x, op.kernel, op.stride, (0, 0))
+            cols = self._buffer(position, "icols", windows.shape, np.int32)
+            np.copyto(cols, windows)
+            cols3 = cols.reshape(n, -1, m)
+            acc3 = self._buffer(position, "iacc", (n, c_out, m), np.int32)
+            # Exact int32 accumulation: associative, hence batch-invariant
+            # by arithmetic alone.
+            np.matmul(executor._wq_i32(op), cols3, out=acc3)
+            src3 = acc3
+        else:
+            windows = extract_windows(x, op.kernel, op.stride, op.padding)
+            cols = self._buffer(position, "cols", windows.shape, np.float32)
+            np.copyto(cols, windows)
+            cols3 = cols.reshape(n, -1, m)
+            acc3 = self._buffer(position, "out", (n, c_out, m), np.float32)
+            np.matmul(executor._wq_f32(op), cols3, out=acc3)
+            src3 = acc3
+        out3 = self._buffer(position, "wout", (n, c_out, m), np.float32)
+        np.copyto(out3, src3)  # i32 → f32 cast on the integer path
+        out3 *= cscale.reshape(1, c_out, 1)
+        if bias is not None:
+            out3 += bias.reshape(1, c_out, 1)
+        out = out3.reshape(n, c_out, op.oh, op.ow)
+        if op.relu:
+            np.maximum(out, 0.0, out=out)
+        if op.pool:
+            out = self._pool(position, out, (2, 2), (2, 2), (0, 0))
+        return out
+
+    def _linear_wq(self, position, op, x, integer_op) -> np.ndarray:
+        """Linear with int8 weights (see :meth:`_conv_wq`)."""
+        executor = self._executor
+        n = self.n
+        out_f = op.out_spec.elements
+        _scale, cscale, bias = executor._epilogue(op, integer_op)
+        if integer_op:
+            xi = self._buffer(position, "ix", x.shape, np.int32)
+            np.copyto(xi, x)
+            acc3 = self._buffer(position, "iacc", (n, 1, out_f), np.int32)
+            np.matmul(xi[:, None, :], executor._wq_i32(op).T, out=acc3)
+        else:
+            acc3 = self._buffer(position, "acc", (n, 1, out_f), np.float32)
+            np.matmul(x[:, None, :], executor._wq_f32(op).T, out=acc3)
+        out3 = self._buffer(position, "wout", (n, 1, out_f), np.float32)
+        np.copyto(out3, acc3)
+        out = out3.reshape(n, out_f)
+        out *= cscale
+        if bias is not None:
+            out += bias
+        if op.relu:
+            np.maximum(out, 0.0, out=out)
+        return out
 
     def _pool(self, position, x, kernel, stride, padding) -> np.ndarray:
         windows = extract_windows(x, kernel, stride, padding)
@@ -251,6 +357,10 @@ class BatchInvariantExecutor:
         ir_rewrites: IR rewrite allowlist for this executor (default: the
             environment, via :func:`repro.edge.ir.default_rewrites`).
             Snapshotted once here, like the backend.
+        weight_bits: ``8`` opts in to int8 weight quantisation (adds the
+            ``int8_weights`` rewrite to the snapshot; overridden by the
+            ``REPRO_NO_IR_REWRITES`` kill-switch, which pins the canonical
+            f32 path).  ``None`` (default) keeps full-precision weights.
 
     Attributes:
         ingest_dequants: Number of batch-sized f32 dequantised copies this
@@ -258,6 +368,10 @@ class BatchInvariantExecutor:
             on the native backend when the ``int8_ingest`` rewrite covers
             every quantised call — the allocation assertion the serving
             bench makes.
+        weight_dequants: Number of f32-widened weight-code copies this
+            executor has materialised (numpy float path only, one per code
+            plane, cached).  Stays zero on the native backend — the int8w
+            bench's zero-f32-weight-copy assertion.
     """
 
     def __init__(
@@ -265,6 +379,7 @@ class BatchInvariantExecutor:
         net: Sequential,
         kernel_backend: str = "auto",
         ir_rewrites: tuple[str, ...] | None = None,
+        weight_bits: int | None = None,
     ) -> None:
         if kernel_backend not in KERNEL_BACKENDS:
             raise ConfigurationError(
@@ -276,6 +391,10 @@ class BatchInvariantExecutor:
                 "native kernel backend requested but the compiled kernels "
                 "are unavailable (no C compiler, or REPRO_NO_C_KERNEL=1)"
             )
+        if weight_bits not in (None, 8):
+            raise ConfigurationError(
+                f"weight_bits must be None or 8, got {weight_bits!r}"
+            )
         self.net = net
         self.backend = (
             "native"
@@ -283,18 +402,28 @@ class BatchInvariantExecutor:
             else "numpy"
         )
         if ir_rewrites is None:
-            self.rewrites = ir.default_rewrites()
+            names = set(ir.default_rewrites())
         else:
-            unknown = set(ir_rewrites) - set(ir.ALL_REWRITES)
+            unknown = set(ir_rewrites) - set(ir.KNOWN_REWRITES)
             if unknown:
                 raise ConfigurationError(
                     f"unknown IR rewrites: {sorted(unknown)} "
-                    f"(known: {list(ir.ALL_REWRITES)})"
+                    f"(known: {list(ir.KNOWN_REWRITES)})"
                 )
-            self.rewrites = tuple(
-                name for name in ir.ALL_REWRITES if name in ir_rewrites
-            )
+            names = set(ir_rewrites)
+        if weight_bits == 8 and not os.environ.get(ir.DISABLE_REWRITES_ENV_VAR):
+            names.add(ir.INT8_WEIGHTS)
+        self.rewrites = tuple(
+            name for name in ir.PIPELINE_ORDER if name in names
+        )
+        self.weight_bits = weight_bits
         self.ingest_dequants = 0
+        self.weight_dequants = 0
+        # id(op.wq) -> widened/int copies of the code plane (numpy backend).
+        self._wq_f32_cache: dict[int, np.ndarray] = {}
+        self._wq_i32_cache: dict[int, np.ndarray] = {}
+        # (id(op), ingest) -> epilogue constants (shared per lowered op).
+        self._epilogue_cache: dict[tuple[int, bool], tuple] = {}
         self._plan = [
             (index, module, self._handler(module))
             for index, module in enumerate(net.layers())
@@ -390,6 +519,37 @@ class BatchInvariantExecutor:
     def _owns(self, array: np.ndarray) -> bool:
         base = array.base if array.base is not None else array
         return any(base is buffer for buffer in self._scratch.values())
+
+    # ------------------------------------------------------------------
+    # Quantised-weight helpers (numpy interpreter)
+    # ------------------------------------------------------------------
+    def _wq_f32(self, op: ir.IROp) -> np.ndarray:
+        """The f32-widened code plane for the numpy float path (cached,
+        counted in :attr:`weight_dequants`)."""
+        cached = self._wq_f32_cache.get(id(op.wq))
+        if cached is None:
+            cached = op.wq.codes.astype(np.float32)
+            self._wq_f32_cache[id(op.wq)] = cached
+            self.weight_dequants += 1
+        return cached
+
+    def _wq_i32(self, op: ir.IROp) -> np.ndarray:
+        """The int32 code plane for the exact integer-matmul path (cached;
+        integer widening, so not a weight dequantisation)."""
+        cached = self._wq_i32_cache.get(id(op.wq))
+        if cached is None:
+            cached = op.wq.codes.astype(np.int32)
+            self._wq_i32_cache[id(op.wq)] = cached
+        return cached
+
+    def _epilogue(self, op: ir.IROp, ingest: bool) -> tuple:
+        """Cached ``ir.epilogue_constants`` for one lowered op."""
+        key = (id(op), ingest)
+        cached = self._epilogue_cache.get(key)
+        if cached is None:
+            cached = ir.epilogue_constants(op, ingest=ingest)
+            self._epilogue_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Kernels (each per-row invariant to the batch geometry)

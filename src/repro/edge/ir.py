@@ -57,14 +57,42 @@ round-off.  The pipeline (fixed order, each individually toggleable):
     the last op's output write, removing one full traversal of the
     activation per batch (bitwise-neutral: the same f32 add runs at the
     output write).
+``int8_weights`` (opt-in, never in the default pipeline)
+    Replaces every conv/linear weight reference with per-output-channel
+    symmetric int8 codes (:func:`repro.edge.quantization.quantize_weights`)
+    applied in the epilogue as ``out = scales[oc]·acc + bias``.  Composed
+    with ``int8_ingest`` the first conv/GEMM becomes fully integer:
+    u8-act × i8-weight → i32 accumulation with the combined scale
+    ``scale_act·scales[oc]`` and the zero-point row-sum correction folded
+    into the bias (f64 fold, stored f32).  This is the first
+    *accuracy-affecting* rewrite — quantised weights change what is
+    computed, not just how — so it never enters :func:`default_rewrites`
+    and is requested explicitly via ``weight_bits=8`` on executor
+    construction (or by naming it in ``REPRO_IR_REWRITES``).  Its
+    differential gate is ≥99% label agreement vs the f32 reference, not
+    f32 closeness; bitwise batch-invariance and run-to-run determinism per
+    backend still hold unconditionally.
 
 Determinism contract (inherited from PR 4, enforced by the per-rewrite
 differential fuzz in ``tests/edge/test_native_kernels.py``): for any fixed
 rewrite set, each backend remains bitwise batch-invariant and run-to-run
 deterministic; across backends — and across rewrite on/off togglings —
-results are f32-close.  Rewrite decisions depend only on per-sample
-geometry and dtypes, never on the batch size, so the sequential reference
-and every batched path make identical decisions.
+results are f32-close (with the quantised-weights carve-out above: the
+``int8_weights`` on↔off comparison is label-agreement-gated instead).
+Rewrite decisions depend only on per-sample geometry and dtypes, never on
+the batch size, so the sequential reference and every batched path make
+identical decisions.
+
+Lowered-program cache
+=====================
+
+:func:`lower` memoises its result per (module identities, per-sample
+geometry, quantisation, epilogue-add, rewrite set) so ``warm()``, healing
+respawns, and hot-swapped deployments stop re-lowering — and re-quantising
+— the same segment; :func:`plan_buffers` memoises per program.  Entries
+are evicted by weakref callback the moment a source module is collected,
+so a hot-swap that *replaces* modules can never hit a stale entry.
+:func:`lower_cache_info` exposes hit/miss counters.
 
 Environment
 ===========
@@ -80,11 +108,16 @@ numpy interpreter too.
 from __future__ import annotations
 
 import os
+import weakref
 from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.edge.quantization import QuantizationParams
+from repro.edge.quantization import (
+    QuantizationParams,
+    WeightQuantization,
+    quantize_weights,
+)
 from repro.errors import ConfigurationError
 from repro.nn import Linear
 from repro.nn.im2col import conv_output_size
@@ -99,7 +132,20 @@ FUSE_RELU = "fuse_relu"
 FUSE_CONV_POOL = "fuse_conv_pool"
 INT8_INGEST = "int8_ingest"
 FOLD_EPILOGUE_ADD = "fold_epilogue_add"
-ALL_REWRITES = (FUSE_RELU, FUSE_CONV_POOL, INT8_INGEST, FOLD_EPILOGUE_ADD)
+INT8_WEIGHTS = "int8_weights"
+#: The default pipeline: semantics-preserving rewrites only.
+ALL_REWRITES = (FUSE_RELU, INT8_INGEST, FUSE_CONV_POOL, FOLD_EPILOGUE_ADD)
+#: Accuracy-affecting rewrites a caller must explicitly request.
+OPT_IN_REWRITES = (INT8_WEIGHTS,)
+#: Every rewrite the pipeline can run, in application order.  Both
+#: int8_weights and int8_ingest run before fuse_conv_pool: direct-kernel
+#: eligibility (which gates pool fusion) depends on the final weight AND
+#: input regime — a fully integer conv (quantised weights composed with
+#: quantised ingest) runs on the integer matmul path, so the pool must
+#: not have fused into it (native backends may still merge the pool at
+#: record level, where the integer kernel can express it).
+PIPELINE_ORDER = (FUSE_RELU, INT8_WEIGHTS, INT8_INGEST, FUSE_CONV_POOL, FOLD_EPILOGUE_ADD)
+KNOWN_REWRITES = PIPELINE_ORDER
 
 #: Kill-switch: any non-empty value disables every IR rewrite.
 DISABLE_REWRITES_ENV_VAR = "REPRO_NO_IR_REWRITES"
@@ -109,19 +155,30 @@ SELECT_REWRITES_ENV_VAR = "REPRO_IR_REWRITES"
 #: Stride-1 convs with output rows in this width range are eligible for
 #: the direct (im2col-free) native kernel — and therefore for the fused
 #: conv+pool rewrite, which rides on the direct kernel's 2-row tiles.
+#: The ceiling is the direct kernel's accumulator-tile capacity (128
+#: lanes).  A measured sweep (single-conv nets, c_in/c_out up to 32/64,
+#: k∈{3,5}, ow∈[48,128]) had direct at 0.36–0.96x the im2col GEMM's
+#: wall time at every width, so the window runs to the full capacity.
 DIRECT_CONV_MIN_OW = 8
-DIRECT_CONV_MAX_OW = 64
+DIRECT_CONV_MAX_OW = 128
 
 #: Integer-code dtypes a program input may carry (quantised uplinks).
 CODE_DTYPES = {8: "u8", 16: "u16"}
+
+#: Largest reduction depth K for which the fully integer u8×i8 path is
+#: taken: per-product magnitude is ≤ 255·127 < 2**15, so any K below this
+#: keeps the i32 accumulator exact.  Deeper ops fall back to the
+#: float-widening path.  A per-geometry (never per-batch) decision.
+INT8_ACC_MAX_K = 1 << 16
 
 
 def default_rewrites() -> tuple[str, ...]:
     """The rewrite pipeline the environment configures.
 
     ``REPRO_NO_IR_REWRITES`` (any non-empty value) turns everything off;
-    otherwise ``REPRO_IR_REWRITES`` may name a comma-separated subset.
-    Executors snapshot this once at construction.
+    otherwise ``REPRO_IR_REWRITES`` may name a comma-separated subset —
+    including the opt-in ``int8_weights``, which is otherwise never on by
+    default.  Executors snapshot this once at construction.
     """
     if os.environ.get(DISABLE_REWRITES_ENV_VAR):
         return ()
@@ -129,13 +186,13 @@ def default_rewrites() -> tuple[str, ...]:
     if selected is None:
         return ALL_REWRITES
     names = tuple(name.strip() for name in selected.split(",") if name.strip())
-    unknown = set(names) - set(ALL_REWRITES)
+    unknown = set(names) - set(KNOWN_REWRITES)
     if unknown:
         raise ConfigurationError(
             f"unknown IR rewrites in ${SELECT_REWRITES_ENV_VAR}: "
-            f"{sorted(unknown)} (known: {list(ALL_REWRITES)})"
+            f"{sorted(unknown)} (known: {list(KNOWN_REWRITES)})"
         )
-    return tuple(name for name in ALL_REWRITES if name in names)
+    return tuple(name for name in PIPELINE_ORDER if name in names)
 
 
 # ----------------------------------------------------------------------
@@ -184,6 +241,11 @@ class IROp:
         pool: Fused eval-mode 2x2/2 max pool after the (relu'd) conv.
         dequant: When set, the op consumes integer codes of these affine
             params and folds dequantisation into its epilogue.
+        wq: When set (``int8_weights``), the op's arithmetic weight is the
+            int8 code plane ``wq.codes`` with per-output-channel
+            ``wq.scales`` applied in the epilogue; ``weight`` stays the
+            live f32 reference for cost pricing only — backends must not
+            touch it.
         add_rows: The op adds the program's extra per-row input tensor at
             its output write (the folded noise add).
         source: Layer indices (within the original Sequential) this op
@@ -203,6 +265,7 @@ class IROp:
     relu: bool = False
     pool: bool = False
     dequant: QuantizationParams | None = None
+    wq: WeightQuantization | None = None
     add_rows: bool = False
     source: tuple[int, ...] = ()
 
@@ -280,12 +343,100 @@ class BufferPlan:
 
 
 def direct_conv_eligible(op: IROp) -> bool:
-    """Whether a conv op can run on the direct (im2col-free) kernel."""
+    """Whether a conv op can run on the direct (im2col-free) kernel.
+
+    Quantised-weight convs qualify too — the direct kernel carries an
+    int8-weight variant that widens each code once per broadcast (the
+    weight scalar feeds a whole lane tile, so the convert is amortised
+    away) with the per-channel scales applied in the epilogue.  The one
+    exclusion is the fully integer path: it consumes raw u8 codes, so it
+    leaves this (float-plane) kernel for the integer matmul — which the
+    native backend may itself realise as a packed integer direct kernel
+    at record level.  ``int8_weights`` and ``int8_ingest`` must still be
+    applied *before* ``fuse_conv_pool`` asks this question, so fusion
+    sees the final weight and input regime.
+    """
     return (
         op.kind == "conv2d"
         and op.stride == (1, 1)
         and DIRECT_CONV_MIN_OW <= op.ow <= DIRECT_CONV_MAX_OW
+        and not integer_matmul_eligible(op)
     )
+
+
+def reduction_depth(op: IROp) -> int:
+    """K of the op's GEMM form: ``c_in·kh·kw`` for convs, features for linears."""
+    if op.kind == "conv2d":
+        return op.in_spec.shape[0] * op.kernel[0] * op.kernel[1]
+    if op.kind == "linear":
+        return op.in_spec.elements
+    return 0
+
+
+def integer_matmul_eligible(op: IROp) -> bool:
+    """Whether the op runs the fully integer u8-act × i8-weight path.
+
+    Requires quantised weights, a ≤8-bit code input (u8), and a reduction
+    shallow enough that the i32 accumulator cannot overflow.  Convs that
+    fused their trailing pool are excluded (a defensive guard — the
+    pipeline orders ``int8_ingest`` before ``fuse_conv_pool`` exactly so
+    integer convs keep a standalone pool op, which the native backend is
+    free to merge back at record level where its integer kernel *can*
+    express the pool epilogue).  Depends only on per-sample geometry and
+    dtypes, so both backends — and the sequential reference — take the
+    same path for the same op.
+    """
+    return (
+        op.wq is not None
+        and op.dequant is not None
+        and op.dequant.bits <= 8
+        and 0 < reduction_depth(op) < INT8_ACC_MAX_K
+        and not op.pool
+    )
+
+
+def epilogue_constants(
+    op: IROp, *, ingest: bool = True
+) -> tuple[float, np.ndarray | None, np.ndarray | None]:
+    """The affine constants an op's epilogue applies to its raw accumulator.
+
+    Returns ``(scale, channel_scales, bias)`` such that the op's output is
+    ``relu?(scale·acc + bias)`` when ``channel_scales`` is ``None``, or
+    ``relu?(channel_scales[oc]·acc + bias[oc])`` otherwise.  All folds run
+    in f64 and are stored f32 (the contract established by ``int8_ingest``):
+
+    * plain op: ``(1.0, None, bias)``;
+    * code ingest only: scalar dequant scale, bias corrected by
+      ``−scale·zp·rowsum(W)``;
+    * quantised weights only: per-channel ``wq.scales``, bias untouched
+      (symmetric codes have zero point 0);
+    * both composed: combined per-channel ``scale_act·wq.scales``, bias
+      corrected by ``−comb·zp·rowsum(codes)``.
+
+    ``ingest=False`` prices the epilogue as if the input were already
+    dequantised f32 — the numpy fallback path that dequantises the code
+    tensor before the op uses this.
+    """
+    dequant = op.dequant if ingest else None
+    if op.wq is None and dequant is None:
+        return 1.0, None, op.bias
+    base = 0.0 if op.bias is None else op.bias.astype(np.float64)
+    if op.wq is None:
+        scale = float(dequant.scale)
+        rowsum = op.weight.astype(np.float64).sum(axis=1)
+        bias = np.ascontiguousarray(
+            (base - scale * dequant.zero_point * rowsum).astype(np.float32)
+        )
+        return scale, None, bias
+    w_scales = op.wq.scales.astype(np.float64)
+    if dequant is None:
+        return 1.0, np.ascontiguousarray(op.wq.scales), op.bias
+    comb = float(dequant.scale) * w_scales
+    rowsum = op.wq.codes.astype(np.float64).sum(axis=1)
+    bias = np.ascontiguousarray(
+        (base - comb * dequant.zero_point * rowsum).astype(np.float32)
+    )
+    return 1.0, np.ascontiguousarray(comb.astype(np.float32)), bias
 
 
 def plan_buffers(program: Program) -> BufferPlan:
@@ -293,7 +444,24 @@ def plan_buffers(program: Program) -> BufferPlan:
 
     Pure geometry — backends allocate what this says (the numpy
     interpreter sizes its reusable output buffers from the same specs).
+    Memoised per program object (programs are frozen), so the plan is
+    derived once however many executors interpret the same cached program.
     """
+    entry = _PLAN_CACHE.get(id(program))
+    if entry is not None and entry[0]() is program:
+        return entry[1]
+    plan = _plan_buffers_uncached(program)
+    try:
+        ref = weakref.ref(
+            program, lambda _ref, key=id(program): _PLAN_CACHE.pop(key, None)
+        )
+    except TypeError:  # pragma: no cover - dataclasses are weakrefable
+        return plan
+    _PLAN_CACHE[id(program)] = (ref, plan)
+    return plan
+
+
+def _plan_buffers_uncached(program: Program) -> BufferPlan:
     arena = 0
     scratch = 1
     slots: list[int] = []
@@ -315,6 +483,14 @@ def plan_buffers(program: Program) -> BufferPlan:
                 scratch = max(scratch, c_in * (h + 2 * ph) * (w + 2 * pw) + 64)
             else:
                 scratch = max(scratch, c_in * kh * kw * op.oh * op.ow)
+                if integer_matmul_eligible(op):
+                    # The native backend may route this conv to its
+                    # packed integer direct kernel, which stages a raw
+                    # u8 padded-plane copy (quarter-width) plus vector
+                    # over-read slack in the same scratch panel.
+                    scratch = max(
+                        scratch, c_in * (h + 2 * ph) * (w + 2 * pw) + 64
+                    )
     # Flatten-only programs still need a (degenerate) plan.
     if not compute_ops:
         slots = []
@@ -492,6 +668,27 @@ def _rewrite_fuse_relu(ops: list[IROp]) -> tuple[list[IROp], bool]:
     return out, changed
 
 
+def _rewrite_int8_weights(ops: list[IROp]) -> tuple[list[IROp], bool]:
+    """Quantise every conv/linear weight to per-channel int8 codes.
+
+    Runs before ``fuse_conv_pool`` (as does ``int8_ingest``) so the
+    pool-fusion pass judges direct-kernel eligibility against the final
+    weight and input regime (fully integer convs leave the direct path;
+    widened int8-weight convs keep it).  ``op.weight`` is kept as the
+    live f32 reference (cost pricing); the arithmetic weight becomes
+    ``op.wq.codes``.
+    """
+    out: list[IROp] = []
+    changed = False
+    for op in ops:
+        if op.kind in ("conv2d", "linear") and op.weight is not None and op.wq is None:
+            out.append(replace(op, wq=quantize_weights(op.weight, bits=8)))
+            changed = True
+        else:
+            out.append(op)
+    return out, changed
+
+
 def _rewrite_fuse_conv_pool(ops: list[IROp]) -> tuple[list[IROp], bool]:
     out: list[IROp] = []
     changed = False
@@ -577,6 +774,74 @@ def _rewrite_fold_epilogue_add(ops: list[IROp]) -> tuple[list[IROp], bool]:
     return rewritten, True
 
 
+# ----------------------------------------------------------------------
+# Lowered-program cache
+# ----------------------------------------------------------------------
+_LOWER_CACHE: dict[tuple, Program] = {}
+_MODULE_REFS: dict[int, weakref.ref] = {}
+_MODULE_KEYS: dict[int, set[tuple]] = {}
+_PLAN_CACHE: dict[int, tuple[weakref.ref, BufferPlan]] = {}
+_CACHE_COUNTERS = {"hits": 0, "misses": 0}
+
+
+def _evict_module(module_id: int) -> None:
+    """Drop every cached program that lowered this (now collected) module."""
+    for key in _MODULE_KEYS.pop(module_id, ()):
+        _LOWER_CACHE.pop(key, None)
+    _MODULE_REFS.pop(module_id, None)
+
+
+def _lower_cache_key(
+    rows: list[tuple],
+    input_shape: tuple[int, ...],
+    quantization: QuantizationParams | None,
+    epilogue_add: bool,
+    rewrites: tuple[str, ...],
+) -> tuple | None:
+    """Cache key for one lowering request, or ``None`` if uncacheable.
+
+    Module *identity* stands in for the module fingerprint: weights are
+    live references, so the same module object always lowers to the same
+    program.  A weakref callback per module evicts its keys on collection,
+    which makes id reuse by a later module harmless.
+    """
+    try:
+        for row in rows:
+            module_id = id(row[1])
+            if module_id not in _MODULE_REFS:
+                _MODULE_REFS[module_id] = weakref.ref(
+                    row[1], lambda _ref, module_id=module_id: _evict_module(module_id)
+                )
+    except TypeError:  # pragma: no cover - all repro layers are weakrefable
+        return None
+    return (
+        tuple((int(row[0]), id(row[1])) for row in rows),
+        tuple(int(s) for s in input_shape),
+        quantization,
+        bool(epilogue_add),
+        tuple(rewrites),
+    )
+
+
+def lower_cache_info() -> dict[str, int]:
+    """Hit/miss counters and current size of the lowered-program cache."""
+    return {
+        "hits": _CACHE_COUNTERS["hits"],
+        "misses": _CACHE_COUNTERS["misses"],
+        "size": len(_LOWER_CACHE),
+    }
+
+
+def lower_cache_clear() -> None:
+    """Drop every cached program/plan and reset the counters (tests)."""
+    _LOWER_CACHE.clear()
+    _MODULE_REFS.clear()
+    _MODULE_KEYS.clear()
+    _PLAN_CACHE.clear()
+    _CACHE_COUNTERS["hits"] = 0
+    _CACHE_COUNTERS["misses"] = 0
+
+
 def lower(
     rows: list[tuple],
     input_shape: tuple[int, ...],
@@ -607,25 +872,62 @@ def lower(
     Every decision here depends only on per-sample geometry and dtypes —
     never the batch size — which is what keeps rewrite choices identical
     between the sequential reference and any batched path.
+
+    Results are memoised per (module identities, geometry, quantisation,
+    epilogue-add, rewrites); see the module docstring and
+    :func:`lower_cache_info`.
     """
     if rewrites is None:
         rewrites = default_rewrites()
+    key = _lower_cache_key(rows, input_shape, quantization, epilogue_add, rewrites)
+    if key is not None:
+        cached = _LOWER_CACHE.get(key)
+        if cached is not None:
+            _CACHE_COUNTERS["hits"] += 1
+            return cached
+        _CACHE_COUNTERS["misses"] += 1
+    program = _lower_uncached(
+        rows,
+        input_shape,
+        quantization=quantization,
+        epilogue_add=epilogue_add,
+        rewrites=rewrites,
+    )
+    if key is not None:
+        _LOWER_CACHE[key] = program
+        for _index, module_id in key[0]:
+            _MODULE_KEYS.setdefault(module_id, set()).add(key)
+    return program
+
+
+def _lower_uncached(
+    rows: list[tuple],
+    input_shape: tuple[int, ...],
+    *,
+    quantization: QuantizationParams | None,
+    epilogue_add: bool,
+    rewrites: tuple[str, ...],
+) -> Program:
     ops = _lower_canonical(rows, input_shape)
     applied: list[str] = []
     if FUSE_RELU in rewrites:
         ops, changed = _rewrite_fuse_relu(ops)
         if changed:
             applied.append(FUSE_RELU)
-    if FUSE_CONV_POOL in rewrites:
-        ops, changed = _rewrite_fuse_conv_pool(ops)
+    if INT8_WEIGHTS in rewrites:
+        ops, changed = _rewrite_int8_weights(ops)
         if changed:
-            applied.append(FUSE_CONV_POOL)
+            applied.append(INT8_WEIGHTS)
     in_spec = TensorSpec(tuple(int(s) for s in input_shape))
     if quantization is not None and INT8_INGEST in rewrites:
         ops, code_spec, changed = _rewrite_int8_ingest(ops, quantization)
         if changed:
             in_spec = code_spec
             applied.append(INT8_INGEST)
+    if FUSE_CONV_POOL in rewrites:
+        ops, changed = _rewrite_fuse_conv_pool(ops)
+        if changed:
+            applied.append(FUSE_CONV_POOL)
     extra = EXTRA_NONE
     if epilogue_add:
         extra = EXTRA_SEPARATE
@@ -658,6 +960,10 @@ class OpCost:
         macs: Multiply-accumulates.
         output_elements: Elements of the op output.
         output_bytes: Bytes of the op output at its dtype width.
+        weight_bytes: Bytes of the op's parameters at their *storage*
+            dtype — 1 byte/element for int8-quantised weights (plus the
+            f32 per-channel scales), 4 bytes/element otherwise.  This is
+            the working-set figure the planner prices.
         source: Source layer indices.
     """
 
@@ -665,7 +971,20 @@ class OpCost:
     macs: int
     output_elements: int
     output_bytes: int
+    weight_bytes: int
     source: tuple[int, ...]
+
+
+def op_weight_bytes(op: IROp) -> int:
+    """Parameter bytes of one op at its arithmetic storage width."""
+    total = 0
+    if op.wq is not None:
+        total += op.wq.code_bytes + op.wq.scales.size * 4
+    elif op.weight is not None:
+        total += int(op.weight.size) * 4
+    if op.bias is not None:
+        total += int(op.bias.size) * 4
+    return total
 
 
 def op_cost(op: IROp) -> OpCost:
@@ -675,6 +994,7 @@ def op_cost(op: IROp) -> OpCost:
         macs=op.macs,
         output_elements=op.out_spec.elements,
         output_bytes=op.out_spec.elements * op.out_spec.numpy_dtype.itemsize,
+        weight_bytes=op_weight_bytes(op),
         source=op.source,
     )
 
@@ -684,15 +1004,21 @@ def program_costs(program: Program) -> tuple[OpCost, ...]:
     return tuple(op_cost(op) for op in program.ops)
 
 
-def lower_module(module, input_shape: tuple[int, ...]) -> IROp | None:
+def lower_module(
+    module, input_shape: tuple[int, ...], *, weight_bits: int | None = None
+) -> IROp | None:
     """Canonically lower a single layer, or ``None`` if the IR can't.
 
     The cost model uses this to price individual layers from the same
     lowering pass the executors run, instead of re-deriving MAC formulas
     per layer type.  Eval-mode dropout lowers to nothing and returns
-    ``None`` too (it is free either way).
+    ``None`` too (it is free either way).  ``weight_bits=8`` prices the
+    layer as the ``int8_weights`` rewrite would execute it (quantised
+    storage width in :func:`op_cost`).
     """
     if not supported(module):
         return None
     ops = _lower_canonical([(0, module)], input_shape)
+    if weight_bits == 8:
+        ops, _changed = _rewrite_int8_weights(ops)
     return ops[0] if ops else None

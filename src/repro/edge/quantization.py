@@ -21,6 +21,13 @@ Quantisation interacts with privacy in one direction only: it is a
 deterministic, (almost) invertible per-element map, so it cannot *increase*
 mutual information; the measured leakage of the dequantised tensor is the
 relevant (and conservative) quantity.
+
+Weights can be quantised too (:func:`quantize_weights`): per-output-channel
+symmetric int8 codes with float32 scales, calibration-free (the scale is the
+row absmax over 127).  Unlike activation quantisation this changes *what*
+the model computes, so the ``int8_weights`` IR rewrite that consumes these
+codes is opt-in (``weight_bits=8``) and gated on label agreement rather than
+f32 closeness — see :mod:`repro.edge.ir`.
 """
 
 from __future__ import annotations
@@ -153,3 +160,67 @@ def compress_activation(
 ) -> QuantizedActivation:
     """Quantise one activation batch for transmission."""
     return QuantizedActivation(codes=quantize(activation, params), params=params)
+
+
+@dataclass(frozen=True)
+class WeightQuantization:
+    """Per-output-channel symmetric weight codes.
+
+    ``weight[oc, k] ≈ scales[oc] * codes[oc, k]`` with int8 codes in
+    ``[-qmax, qmax]`` and zero point 0 by construction (symmetric).  The
+    codes matrix has the canonical GEMM layout ``(out_features, K)`` — the
+    same shape :mod:`repro.edge.ir` lowers conv/linear weights to — so a
+    quantised op swaps its weight pointer for the code plane and applies
+    ``scales`` in the epilogue.
+    """
+
+    codes: np.ndarray  # int8, shape (out, K), C-contiguous
+    scales: np.ndarray  # float32, shape (out,), strictly positive
+    bits: int
+
+    @property
+    def qmax(self) -> int:
+        """Largest code magnitude (127 for 8 bits)."""
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def code_bytes(self) -> int:
+        """Bytes the code plane occupies (one byte per element)."""
+        return int(self.codes.size)
+
+    def dequantized(self) -> np.ndarray:
+        """Reconstruct the float32 weight matrix (testing/reference only —
+        the native backend never materialises this)."""
+        return (
+            self.scales[:, None].astype(np.float64) * self.codes.astype(np.float64)
+        ).astype(np.float32)
+
+
+def quantize_weights(weight: np.ndarray, bits: int = 8) -> WeightQuantization:
+    """Per-output-channel symmetric quantisation of a 2-D weight matrix.
+
+    Calibration-free post-training quantisation: each output channel's
+    scale is ``absmax(row) / qmax`` so the row's extreme value maps exactly
+    to ``±qmax`` and the representable grid is symmetric about zero (zero
+    point 0, so no zero-point correction term is needed for the *weight*
+    operand).  Rows that are identically zero get scale 1.0 and all-zero
+    codes.  Round-trip error is bounded per element by ``scales[oc] / 2``.
+    """
+    if bits < 2 or bits > 8:
+        raise ConfigurationError(f"weight bits must be in [2, 8], got {bits}")
+    weight = np.asarray(weight)
+    if weight.ndim != 2:
+        raise ConfigurationError(
+            f"quantize_weights expects a 2-D (out, K) matrix, got shape {weight.shape}"
+        )
+    qmax = (1 << (bits - 1)) - 1
+    w64 = weight.astype(np.float64)
+    absmax = np.max(np.abs(w64), axis=1)
+    scales = absmax / qmax
+    scales[absmax == 0.0] = 1.0  # zero rows quantise to zero codes exactly
+    codes = np.clip(np.round(w64 / scales[:, None]), -qmax, qmax).astype(np.int8)
+    return WeightQuantization(
+        codes=np.ascontiguousarray(codes),
+        scales=np.ascontiguousarray(scales.astype(np.float32)),
+        bits=bits,
+    )

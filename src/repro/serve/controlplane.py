@@ -104,7 +104,11 @@ from repro.core.sampler import NoiseCollection, NoiseStream
 from repro.edge.channel import Channel
 from repro.edge.costs import cut_cost
 from repro.edge.device import CloudServer, EdgeDevice, SessionReport
-from repro.edge.planner import plan_batch_window, predict_window_latency
+from repro.edge.planner import (
+    BYTES_PER_ELEMENT,
+    plan_batch_window,
+    predict_window_latency,
+)
 from repro.edge.protocol import (
     BatchActivationMessage,
     BatchPredictionMessage,
@@ -161,6 +165,10 @@ class DeploymentSpec:
         quantize_bits: Affine-quantise the stacked uplink payload
             (pipeline deployments only — calibration needs the pipeline's
             held-out activations).
+        weight_bits: ``8`` serves the deployment on int8-quantised weights
+            (opt-in ``int8_weights`` IR rewrite, label-agreement-gated);
+            the sequential reference must match — parity holds within a
+            weight regime, never across.
         kernel_backend: Executor backend override (default: the plane's).
         target_slo_seconds / arrival_rate_rps / service_seconds_per_sample:
             Planner inputs used when ``batch_window`` is ``None``.
@@ -184,6 +192,7 @@ class DeploymentSpec:
     deadline_aware: bool = True
     isolate_sessions: bool = False
     quantize_bits: int | None = None
+    weight_bits: int | None = None
     kernel_backend: str | None = None
     target_slo_seconds: float | None = None
     arrival_rate_rps: float | None = None
@@ -216,6 +225,7 @@ class Deployment:
     metrics: ServingMetrics
     batch_window: int
     kernel_backend: str
+    weight_bits: int | None
     edge_kilomacs: float
     activation_shapes: list[tuple[int, ...]]
     channel_prototype: Channel
@@ -487,6 +497,7 @@ class ControlPlane:
         deadline_aware: bool = True,
         isolate_sessions: bool = False,
         quantization: QuantizationParams | None = None,
+        weight_bits: int | None = None,
         kernel_backend: str | None = None,
         channel: Channel | None = None,
         target_slo_seconds: float | None = None,
@@ -544,6 +555,13 @@ class ControlPlane:
             std = np.ones(channels_count, dtype=np.float32)
         backend = kernel_backend or self.kernel_backend
         prototype = channel or self._channel_prototype
+        # Quantised uplinks shrink the wire working set; the planner
+        # prices the window off the actual payload width.
+        wire_bytes_per_element = (
+            float(quantization.bytes_per_element)
+            if quantization is not None
+            else BYTES_PER_ELEMENT
+        )
         if batch_window is None:
             if target_slo_seconds is None or arrival_rate_rps is None:
                 raise ConfigurationError(
@@ -557,12 +575,14 @@ class ControlPlane:
                 arrival_rate_rps=arrival_rate_rps,
                 service_seconds_per_sample=service_seconds_per_sample,
                 channel=prototype,
+                bytes_per_element=wire_bytes_per_element,
             ).window
         local, remote = model.split(cut)
         stream = rng if isinstance(rng, NoiseStream) else NoiseStream(rng)
         device = EdgeDevice(
             local, mean, std, noise, stream, quantization,
             kernel_backend=backend,
+            weight_bits=weight_bits,
         )
         queue = RequestQueue(clock=self._clock)
         batcher = AdaptiveBatcher(
@@ -603,6 +623,7 @@ class ControlPlane:
             arrival_rate_rps=arrival_rate_rps or 1.0,
             service_seconds_per_sample=service_seconds_per_sample,
             channel=prototype,
+            bytes_per_element=wire_bytes_per_element,
         )[2]
         deployment = Deployment(
             name=name,
@@ -615,6 +636,7 @@ class ControlPlane:
             metrics=ServingMetrics(),
             batch_window=batch_window,
             kernel_backend=backend,
+            weight_bits=weight_bits,
             edge_kilomacs=cut_cost(model, cut).kilomacs,
             activation_shapes=activation_shapes,
             channel_prototype=prototype,
@@ -653,7 +675,11 @@ class ControlPlane:
         """Give one worker context a pre-warmed executor + channel clone
         for ``deployment`` (registration, healing, and pool growth all
         funnel through here so every context is interchangeable)."""
-        server = CloudServer(deployment.remote, deployment.kernel_backend)
+        server = CloudServer(
+            deployment.remote,
+            deployment.kernel_backend,
+            weight_bits=deployment.weight_bits,
+        )
         for shape in deployment.activation_shapes:
             server.warm(shape, quantization=deployment.device.quantization)
         context.servers[deployment.name] = server
@@ -1059,6 +1085,9 @@ class ControlPlane:
             else None
         )
         local, remote = new_model.split(new_cut)
+        # The weight regime survives the swap: a new model's weights are
+        # re-quantised from scratch by the fresh executors (the int8 code
+        # planes live in the lowered programs, never in the deployment).
         device = EdgeDevice(
             local,
             deployment.device.mean,
@@ -1067,6 +1096,7 @@ class ControlPlane:
             stream,
             quantization,
             kernel_backend=deployment.kernel_backend,
+            weight_bits=deployment.weight_bits,
         )
         activation_shapes = [
             device.warm((rows, *new_model.input_shape))
@@ -1076,7 +1106,11 @@ class ControlPlane:
         saved = [(context, context.servers.get(name)) for context in contexts]
         try:
             for context in contexts:
-                server = CloudServer(remote, deployment.kernel_backend)
+                server = CloudServer(
+                    remote,
+                    deployment.kernel_backend,
+                    weight_bits=deployment.weight_bits,
+                )
                 for shape in activation_shapes:
                     server.warm(shape, quantization=quantization)
                 # The channel clone survives the swap: same link, and its

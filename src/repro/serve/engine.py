@@ -71,6 +71,9 @@ class ServingEngine(ControlPlane):
             users (the metrics' mixing index reads 0); default ``False``
             (``mixed``).
         quantization: Optional affine code for the stacked uplink payload.
+        weight_bits: ``8`` serves on int8-quantised weights (opt-in
+            ``int8_weights`` IR rewrite); the sequential reference must
+            match (parity within a weight regime, never across).
         kernel_backend: Forward-executor backend (``"auto"`` / ``"native"``
             / ``"numpy"``), selected **once here** and applied to the edge
             device and every cloud worker, so batched and sequential paths
@@ -115,6 +118,7 @@ class ServingEngine(ControlPlane):
         deadline_aware: bool = True,
         isolate_sessions: bool = False,
         quantization: QuantizationParams | None = None,
+        weight_bits: int | None = None,
         kernel_backend: str = "auto",
         fault_injector: Callable[[int, _Task], bool] | None = None,
         clock: Callable[[], float] | None = None,
@@ -150,6 +154,7 @@ class ServingEngine(ControlPlane):
             deadline_aware=deadline_aware,
             isolate_sessions=isolate_sessions,
             quantization=quantization,
+            weight_bits=weight_bits,
             kernel_backend=kernel_backend,
             max_pending=max_pending,
             admission_rate_rps=admission_rate_rps,

@@ -63,6 +63,10 @@ class BatchedInferenceSession:
         kernel_backend: Forward-executor backend, selected once here and
             shared by the edge and cloud halves (bit-parity requires one
             backend per deployment; see :mod:`repro.edge.executor`).
+        weight_bits: ``8`` runs both halves on int8-quantised weights
+            (opt-in ``int8_weights`` IR rewrite).  The sequential
+            reference must use the same value — the bit-parity guarantee
+            holds *within* a weight regime, never across.
         isolate_sessions: Batch-composition policy (see
             :class:`~repro.serve.queue.MicroBatcher`): ``True`` never
             mixes two sessions in one micro-batch.
@@ -89,14 +93,17 @@ class BatchedInferenceSession:
         max_rows: int | None = None,
         quantization: QuantizationParams | None = None,
         kernel_backend: str = "auto",
+        weight_bits: int | None = None,
         isolate_sessions: bool = False,
         shuffle: bool = False,
         shuffle_seed: int | None = None,
     ) -> None:
         local, remote = model.split(cut)
         self.device = EdgeDevice(local, mean, std, noise, rng, quantization,
-                                 kernel_backend=kernel_backend)
-        self.server = CloudServer(remote, kernel_backend)
+                                 kernel_backend=kernel_backend,
+                                 weight_bits=weight_bits)
+        self.server = CloudServer(remote, kernel_backend,
+                                  weight_bits=weight_bits)
         self.channel = channel or Channel()
         self.cut = cut
         self.batch_window = batch_window

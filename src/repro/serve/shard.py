@@ -155,6 +155,7 @@ class ShardSpec:
     deadline_aware: bool = True
     isolate_sessions: bool = False
     quantization: tuple[float, int, int] | None = None
+    weight_bits: int | None = None
     kernel_backend: str = "auto"
     shuffle: bool = False
     shuffle_seed: int | None = None
@@ -278,6 +279,7 @@ class ShardSpec:
             deadline_aware=self.deadline_aware,
             isolate_sessions=self.isolate_sessions,
             quantization=quantization,
+            weight_bits=self.weight_bits,
             kernel_backend=self.kernel_backend,
             shuffle=self.shuffle,
             shuffle_seed=self.shuffle_seed,
@@ -313,6 +315,7 @@ class ShardSpec:
             noise=noise,
             rng=np.random.default_rng(shard_seed(self.base_seed, shard_index)),
             kernel_backend=self.kernel_backend,
+            weight_bits=self.weight_bits,
         )
 
 

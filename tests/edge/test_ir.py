@@ -357,3 +357,79 @@ class TestPlannerGolden:
         )
         assert plan.feasible
         assert plan.window == window
+
+
+class TestLowerCache:
+    """Regression tests for the lowered-program / buffer-plan memoisation.
+
+    Serving re-lowers the same module list on every session and hot-swap;
+    the cache must return the identical program object on a repeat request
+    (so code planes and buffer plans are shared, not rebuilt) and must key
+    on everything that changes the lowering.
+    """
+
+    def test_repeat_lowering_returns_same_object(self, rng):
+        net = _lenet_like(rng)
+        ir.lower_cache_clear()
+        first = ir.lower(_rows(net), (1, 28, 28))
+        info = ir.lower_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 0
+        second = ir.lower(_rows(net), (1, 28, 28))
+        assert second is first
+        info = ir.lower_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+    def test_key_covers_rewrites_quantization_and_epilogue(self, rng, monkeypatch):
+        # The distinct-entry assertions need the default pipeline on.
+        monkeypatch.delenv(ir.DISABLE_REWRITES_ENV_VAR, raising=False)
+        monkeypatch.delenv(ir.SELECT_REWRITES_ENV_VAR, raising=False)
+        net = _lenet_like(rng)
+        ir.lower_cache_clear()
+        base = ir.lower(_rows(net), (1, 28, 28))
+        no_rewrites = ir.lower(_rows(net), (1, 28, 28), rewrites=())
+        quantised = ir.lower(_rows(net), (1, 28, 28), quantization=PARAMS8)
+        epilogue = ir.lower(_rows(net), (1, 28, 28), epilogue_add=True)
+        programs = {id(base), id(no_rewrites), id(quantised), id(epilogue)}
+        assert len(programs) == 4
+        assert ir.lower_cache_info()["size"] == 4
+        # And each variant is itself cached.
+        assert ir.lower(_rows(net), (1, 28, 28), quantization=PARAMS8) is quantised
+
+    def test_distinct_modules_do_not_share_entries(self, rng):
+        ir.lower_cache_clear()
+        a = ir.lower(_rows(_lenet_like(rng)), (1, 28, 28))
+        b = ir.lower(_rows(_lenet_like(rng)), (1, 28, 28))
+        assert a is not b
+        assert ir.lower_cache_info()["misses"] == 2
+
+    def test_module_collection_evicts_entries(self, rng):
+        import gc
+
+        ir.lower_cache_clear()
+        net = _lenet_like(rng)
+        ir.lower(_rows(net), (1, 28, 28))
+        assert ir.lower_cache_info()["size"] == 1
+        del net
+        gc.collect()
+        assert ir.lower_cache_info()["size"] == 0
+
+    def test_plan_buffers_memoised_per_program(self, rng, monkeypatch):
+        # Rewritten vs rewrite-free must be distinct cache entries here.
+        monkeypatch.delenv(ir.DISABLE_REWRITES_ENV_VAR, raising=False)
+        monkeypatch.delenv(ir.SELECT_REWRITES_ENV_VAR, raising=False)
+        net = _lenet_like(rng)
+        ir.lower_cache_clear()
+        program = ir.lower(_rows(net), (1, 28, 28))
+        plan_a = ir.plan_buffers(program)
+        plan_b = ir.plan_buffers(program)
+        assert plan_b is plan_a
+        # A fresh (uncached) equivalent program gets its own plan.
+        other = ir.lower(_rows(net), (1, 28, 28), rewrites=())
+        assert ir.plan_buffers(other) is not plan_a
+
+    def test_clear_resets_counters_and_entries(self, rng):
+        net = _lenet_like(rng)
+        ir.lower(_rows(net), (1, 28, 28))
+        ir.lower_cache_clear()
+        info = ir.lower_cache_info()
+        assert info == {"hits": 0, "misses": 0, "size": 0}

@@ -369,6 +369,106 @@ class TestRewriteDifferential:
         off(codes, quantization=params)
         assert off.ingest_dequants == 1
 
+    #: int8_weights axis: the one accuracy-affecting rewrite.  Gated by
+    #: label agreement instead of f32-closeness (the quantised-weights
+    #: carve-out in the standing IR contract); determinism/invariance
+    #: requirements are unchanged.  ``composed`` also feeds quantised
+    #: activation codes so the fully integer u8×i8 path is exercised.
+    INT8W_CASES = [
+        (seed, composed) for seed in range(3) for composed in (False, True)
+    ]
+
+    @pytest.mark.parametrize("seed,composed", INT8W_CASES)
+    def test_int8_weights_label_agreement_and_invariance(
+        self, seed, composed, monkeypatch
+    ):
+        # weight_bits=8 injects int8_weights only on top of a live
+        # pipeline; pin the default one regardless of ambient env.
+        monkeypatch.delenv(ir.DISABLE_REWRITES_ENV_VAR, raising=False)
+        monkeypatch.delenv(ir.SELECT_REWRITES_ENV_VAR, raising=False)
+        rng = np.random.default_rng(2000 + 31 * seed)
+        net, (c_in, h, w) = _rewrite_net(rng)
+        n = int(rng.integers(2, 7))
+        x = rng.normal(size=(n, c_in, h, w)).astype(np.float32)
+        params = calibrate(x, bits=8)
+        codes = quantize(x, params).astype(np.uint8)
+
+        def run(executor):
+            if composed:
+                return executor(codes, quantization=params)
+            return executor(x)
+
+        per_backend = {}
+        for backend in _rewrite_backends():
+            on = BatchInvariantExecutor(net, backend, weight_bits=8)
+            off = BatchInvariantExecutor(net, backend)
+            assert ir.INT8_WEIGHTS in on.rewrites
+            assert ir.INT8_WEIGHTS not in off.rewrites
+            out_on, out_off = run(on), run(off)
+            # Label-agreement gate: weight quantisation may only flip a
+            # prediction whose f32 top-2 margin was already a near-tie.
+            flipped = out_on.argmax(axis=1) != out_off.argmax(axis=1)
+            if flipped.any():
+                top2 = np.sort(out_off[flipped], axis=1)[:, -2:]
+                assert (top2[:, 1] - top2[:, 0] < 0.1).all()
+            # Bitwise batch invariance at the fixed (on) toggling.
+            fresh = BatchInvariantExecutor(net, backend, weight_bits=8)
+            singles = np.concatenate(
+                [
+                    fresh(codes[i : i + 1], quantization=params)
+                    if composed
+                    else fresh(x[i : i + 1])
+                    for i in range(n)
+                ]
+            )
+            np.testing.assert_array_equal(out_on, singles)
+            # Bitwise run-to-run determinism across fresh executors.
+            again = BatchInvariantExecutor(net, backend, weight_bits=8)
+            np.testing.assert_array_equal(out_on, run(again))
+            per_backend[backend] = out_on
+        if len(per_backend) == 2:
+            np.testing.assert_allclose(
+                per_backend["native"], per_backend["numpy"],
+                atol=ATOL, rtol=RTOL,
+            )
+
+    def test_int8_weights_is_opt_in_only(self, monkeypatch):
+        """Never in the default pipeline; ``weight_bits=8`` injects it;
+        the kill-switch still pins the canonical f32 path."""
+        monkeypatch.delenv(ir.DISABLE_REWRITES_ENV_VAR, raising=False)
+        monkeypatch.delenv(ir.SELECT_REWRITES_ENV_VAR, raising=False)
+        net = Sequential(
+            ("fc", Linear(6, 4, rng=np.random.default_rng(0)))
+        ).eval()
+        assert ir.INT8_WEIGHTS not in ir.default_rewrites()
+        assert ir.INT8_WEIGHTS not in BatchInvariantExecutor(net, "numpy").rewrites
+        on = BatchInvariantExecutor(net, "numpy", weight_bits=8)
+        assert ir.INT8_WEIGHTS in on.rewrites
+        monkeypatch.setenv(ir.DISABLE_REWRITES_ENV_VAR, "1")
+        pinned = BatchInvariantExecutor(net, "numpy", weight_bits=8)
+        assert pinned.rewrites == ()
+
+    @requires_kernel
+    def test_int8_weights_native_never_widens_codes(self, monkeypatch):
+        """The acceptance assertion: zero f32 dequantised weight copies on
+        the native backend, on both the float and fully integer paths."""
+        monkeypatch.delenv(ir.DISABLE_REWRITES_ENV_VAR, raising=False)
+        monkeypatch.delenv(ir.SELECT_REWRITES_ENV_VAR, raising=False)
+        rng = np.random.default_rng(79)
+        net, (c_in, h, w) = _rewrite_net(rng)
+        x = rng.normal(size=(3, c_in, h, w)).astype(np.float32)
+        params = calibrate(x, bits=8)
+        codes = quantize(x, params).astype(np.uint8)
+        nat = BatchInvariantExecutor(net, "native", weight_bits=8)
+        nat(x)
+        nat(codes, quantization=params)
+        assert nat.weight_dequants == 0
+        # The numpy float path does widen (once per code plane) — the
+        # counter is what distinguishes the backends.
+        np_ex = BatchInvariantExecutor(net, "numpy", weight_bits=8)
+        np_ex(x)
+        assert np_ex.weight_dequants > 0
+
     def test_rewrites_env_snapshot_at_construction(self, monkeypatch):
         net = Sequential(
             ("fc", Linear(6, 4, rng=np.random.default_rng(0)))

@@ -9,11 +9,13 @@ from hypothesis import strategies as st
 
 from repro.edge import (
     QuantizationParams,
+    WeightQuantization,
     calibrate,
     compress_activation,
     dequantize,
     quantization_error,
     quantize,
+    quantize_weights,
     wire_bytes,
 )
 from repro.errors import ChannelError, ConfigurationError
@@ -146,3 +148,104 @@ class TestProperties:
         once = dequantize(quantize(tensor, params), params)
         twice = dequantize(quantize(once, params), params)
         np.testing.assert_allclose(once, twice, atol=1e-6)
+
+
+class TestWeightQuantization:
+    """Property tests pinning the per-channel symmetric weight quantiser
+    consumed by the opt-in ``int8_weights`` IR rewrite."""
+
+    @given(
+        seed=st.integers(0, 2**16),
+        bits=st.integers(2, 8),
+        rows=st.integers(1, 12),
+        cols=st.integers(1, 48),
+        span=st.floats(1e-3, 100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_error_within_half_scale_per_channel(
+        self, seed, bits, rows, cols, span
+    ):
+        rng = np.random.default_rng(seed)
+        weight = rng.uniform(-span, span, size=(rows, cols)).astype(np.float32)
+        wq = quantize_weights(weight, bits=bits)
+        err = np.abs(wq.dequantized().astype(np.float64) - weight.astype(np.float64))
+        # Half a quantisation step per channel, plus slack for the scales
+        # themselves being stored in float32.
+        bound = wq.scales.astype(np.float64)[:, None] / 2.0
+        slack = np.abs(weight).max(initial=0.0) * 1e-5 + 1e-12
+        assert (err <= bound + slack).all()
+
+    @given(
+        seed=st.integers(0, 2**16),
+        bits=st.integers(2, 8),
+        rows=st.integers(1, 12),
+        cols=st.integers(1, 48),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_codes_and_scales_invariants(self, seed, bits, rows, cols):
+        rng = np.random.default_rng(seed)
+        weight = rng.normal(size=(rows, cols)).astype(np.float32)
+        wq = quantize_weights(weight, bits=bits)
+        qmax = (1 << (bits - 1)) - 1
+        assert wq.qmax == qmax
+        assert wq.codes.dtype == np.int8
+        assert wq.codes.shape == weight.shape
+        assert wq.codes.flags["C_CONTIGUOUS"]
+        assert wq.codes.min() >= -qmax and wq.codes.max() <= qmax
+        assert wq.scales.dtype == np.float32
+        assert wq.scales.shape == (rows,)
+        assert (wq.scales > 0).all()
+        assert wq.code_bytes == rows * cols
+        # Each row's absmax element maps exactly to ±qmax.
+        hit = np.abs(wq.codes).max(axis=1)
+        nonzero = np.abs(weight).max(axis=1) > 0
+        assert (hit[nonzero] == qmax).all()
+
+    @given(
+        seed=st.integers(0, 2**16),
+        bits=st.integers(2, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_zero_point_negation(self, seed, bits):
+        # Zero point is 0 by construction: negating the weights negates the
+        # codes and leaves the scales untouched.  (np.round ties go to even,
+        # which is itself sign-symmetric, so this holds exactly.)
+        rng = np.random.default_rng(seed)
+        weight = rng.normal(size=(6, 17)).astype(np.float32)
+        pos = quantize_weights(weight, bits=bits)
+        neg = quantize_weights(-weight, bits=bits)
+        np.testing.assert_array_equal(neg.codes, -pos.codes)
+        np.testing.assert_array_equal(neg.scales, pos.scales)
+
+    def test_zero_rows_get_unit_scale_and_zero_codes(self):
+        weight = np.zeros((3, 8), dtype=np.float32)
+        weight[1] = np.linspace(-1.0, 1.0, 8)
+        wq = quantize_weights(weight, bits=8)
+        assert (wq.codes[0] == 0).all() and (wq.codes[2] == 0).all()
+        assert wq.scales[0] == 1.0 and wq.scales[2] == 1.0
+        assert np.abs(wq.codes[1]).max() == 127
+
+    def test_dequantized_dtype_and_shape(self, rng):
+        weight = rng.normal(size=(5, 9)).astype(np.float32)
+        wq = quantize_weights(weight, bits=8)
+        dq = wq.dequantized()
+        assert dq.dtype == np.float32
+        assert dq.shape == weight.shape
+
+    def test_rejects_bad_bits(self, rng):
+        weight = rng.normal(size=(2, 4))
+        with pytest.raises(ConfigurationError):
+            quantize_weights(weight, bits=1)
+        with pytest.raises(ConfigurationError):
+            quantize_weights(weight, bits=9)
+
+    def test_rejects_non_2d(self, rng):
+        with pytest.raises(ConfigurationError):
+            quantize_weights(rng.normal(size=(4,)))
+        with pytest.raises(ConfigurationError):
+            quantize_weights(rng.normal(size=(2, 3, 4)))
+
+    def test_is_weight_quantization_instance(self, rng):
+        wq = quantize_weights(rng.normal(size=(2, 4)))
+        assert isinstance(wq, WeightQuantization)
+        assert wq.bits == 8

@@ -31,6 +31,7 @@ def test_examples_exist():
         ("batched_serving.py", ["tiny"]),
         ("multi_model_serving.py", ["tiny"]),
         ("sharded_serving.py", ["tiny"]),
+        ("quantized_serving.py", ["tiny"]),
     ],
 )
 def test_example_runs(tmp_path, script, args):

@@ -57,10 +57,14 @@ WORKER_COUNTS = sorted({1, 2, 4} | ({_ENV_WORKERS} if _ENV_WORKERS else set()))
 #: REPRO_SERVE_SHUFFLE=1 runs the whole parity matrix with the
 #: cross-session row shuffler on (the shuffling contract: permute →
 #: compute → unpermute must be bit-exact, crashes included).
+#: REPRO_SERVE_WEIGHT_BITS=8 runs the whole parity matrix with int8
+#: weight quantisation on — parity is against a sequential reference in
+#: the *same* weight regime (quantised vs quantised), never across.
 N_DEPLOYMENTS = int(os.environ.get("REPRO_SERVE_DEPLOYMENTS", "2"))
 FAULT_LEG = os.environ.get("REPRO_SERVE_FAULT") == "1"
 CHAOS_LEG = os.environ.get("REPRO_SERVE_CHAOS") == "1"
 SHUFFLE_LEG = os.environ.get("REPRO_SERVE_SHUFFLE") == "1"
+WEIGHT_BITS = int(os.environ.get("REPRO_SERVE_WEIGHT_BITS", "0")) or None
 
 
 @pytest.fixture(scope="module")
@@ -126,6 +130,7 @@ def _make_plane(
             batch_timeout=0.0,
             isolate_sessions=isolate_sessions,
             shuffle=shuffle,
+            weight_bits=WEIGHT_BITS,
         )
     return plane
 
@@ -161,6 +166,7 @@ def _sequential_reference(bundle, collections, plan, n_deployments):
             bundle.model, cut, mean, std,
             noise=_noise_for(collections, index),
             rng=np.random.default_rng(100 + index),
+            weight_bits=WEIGHT_BITS,
         )
         for index in range(n_deployments)
     }
@@ -788,16 +794,19 @@ class TestElasticLifecycle:
                 bundle.model, cut, mean, std,
                 noise=_noise_for(collections, 0),
                 rng=np.random.default_rng(100),
+                weight_bits=WEIGHT_BITS,
             )
             reference_new = InferenceSession(
                 bundle.model, cut, mean, std,
                 noise=collections[1],
                 rng=np.random.default_rng(777),
+                weight_bits=WEIGHT_BITS,
             )
             reference_dep1 = InferenceSession(
                 bundle.model, cut, mean, std,
                 noise=_noise_for(collections, 1),
                 rng=np.random.default_rng(101),
+                weight_bits=WEIGHT_BITS,
             )
             for (dep, img), handle in zip(phase_a, a_handles):
                 reference = (
@@ -843,6 +852,7 @@ class TestElasticLifecycle:
                 bundle.model, cut, mean, std,
                 noise=_noise_for(collections, 0),
                 rng=np.random.default_rng(100),
+                weight_bits=WEIGHT_BITS,
             )
             for i, handle in enumerate(dep0_handles):
                 np.testing.assert_array_equal(
@@ -859,6 +869,7 @@ class TestElasticLifecycle:
                 bundle.model, cut, mean, std,
                 noise=_noise_for(collections, 1),
                 rng=np.random.default_rng(101),
+                weight_bits=WEIGHT_BITS,
             )
             for i, handle in enumerate(dep1_handles + more):
                 np.testing.assert_array_equal(
